@@ -1,0 +1,47 @@
+//! Design-choice ablation (beyond the paper's figures): the RDLock
+//! *snatching* rule of §III-A. The paper argues snatching "will ensure
+//! that T2's completion will not be delayed by T1's completion"; this
+//! bench quantifies that by running MINOS-B with and without snatching
+//! under rising write contention.
+
+use minos_bench::{banner, SEED};
+use minos_net::driver;
+use minos_types::{DdpModel, PersistencyModel, SimConfig};
+use minos_workload::WorkloadSpec;
+
+fn main() {
+    banner(
+        "Ablation (extra)",
+        "RDLock snatching on/off under contention, MINOS-B <Lin,Synch>",
+    );
+    let cfg = SimConfig::paper_defaults();
+    let model = DdpModel::lin(PersistencyModel::Synchronous);
+
+    println!(
+        "{:>10} {:>14} {:>14} {:>12} {:>12}",
+        "records", "snatch wr(us)", "no-sn wr(us)", "snatch p99", "no-sn p99"
+    );
+    // Fewer records = more same-record conflicts = more lock contention.
+    for records in [8u64, 32, 128, 1024] {
+        let spec = WorkloadSpec::ycsb_default()
+            .with_records(records)
+            .with_write_fraction(1.0)
+            .with_requests_per_node(800);
+        let mut with = driver::run_b_snatch_ablation(&cfg, model, &spec, SEED, true);
+        let mut without = driver::run_b_snatch_ablation(&cfg, model, &spec, SEED, false);
+        println!(
+            "{:>10} {:>14.2} {:>14.2} {:>12.2} {:>12.2}",
+            records,
+            with.write_lat.mean() / 1e3,
+            without.write_lat.mean() / 1e3,
+            with.write_lat.p99() as f64 / 1e3,
+            without.write_lat.p99() as f64 / 1e3,
+        );
+    }
+
+    println!("\nfinding: in this simulator the mean-latency effect is small — but the");
+    println!("ablation's real result is *correctness*: the model checker shows that");
+    println!("without snatching an older lock owner's VAL exposes a younger,");
+    println!("unacknowledged write to reads (condition 2d violation). See");
+    println!("minos-mc's fault_injection tests. Snatching is load-bearing.");
+}

@@ -1,0 +1,84 @@
+//! Figure 9: normalized latency and throughput of writes (a) and reads
+//! (b) for MINOS-B and MINOS-O, per model, at 20/50/80/100% write (read)
+//! ratios. Everything is normalized to MINOS-B <Lin,Synch> at 50%.
+//!
+//! Paper shape to reproduce: MINOS-O cuts write latency 2-3x and lifts
+//! throughput 2-3x across all models and mixes, and is much less
+//! sensitive to the persistency model than MINOS-B.
+
+use minos_bench::{banner, bench_spec, norm, run_point};
+use minos_net::Arch;
+use minos_types::{DdpModel, PersistencyModel, SimConfig};
+
+fn main() {
+    banner(
+        "Figure 9",
+        "latency & throughput, B vs O, per model and write ratio",
+    );
+    let cfg = SimConfig::paper_defaults();
+
+    // Baseline of the normalization: B, <Lin,Synch>, 50% writes.
+    let synch = DdpModel::lin(PersistencyModel::Synchronous);
+    let base_run = run_point(
+        Arch::baseline(),
+        &cfg,
+        synch,
+        &bench_spec().with_write_fraction(0.5),
+    );
+    let base_wlat = base_run.write_lat.mean();
+    let base_wtput = base_run.write_throughput();
+    let base_rlat = base_run.read_lat.mean();
+    let base_rtput = base_run.read_throughput();
+
+    println!("\n(a) writes — normalized to MINOS-B <Lin,Synch> @50%");
+    println!(
+        "{:<14} {:>6} | {:>9} {:>9} | {:>9} {:>9} | {:>8}",
+        "model", "wr%", "B lat", "B tput", "O lat", "O tput", "O-speedup"
+    );
+    for model in DdpModel::all_lin() {
+        for pct in [20u32, 50, 80, 100] {
+            let spec = bench_spec().with_write_fraction(f64::from(pct) / 100.0);
+            let b = run_point(Arch::baseline(), &cfg, model, &spec);
+            let o = run_point(Arch::minos_o(), &cfg, model, &spec);
+            println!(
+                "{:<14} {:>5}% | {:>9} {:>9} | {:>9} {:>9} | {:>7.2}x",
+                model.to_string(),
+                pct,
+                norm(b.write_lat.mean(), base_wlat),
+                norm(b.write_throughput(), base_wtput),
+                norm(o.write_lat.mean(), base_wlat),
+                norm(o.write_throughput(), base_wtput),
+                b.write_lat.mean() / o.write_lat.mean(),
+            );
+        }
+    }
+
+    println!("\n(b) reads — normalized to MINOS-B <Lin,Synch> @50% reads");
+    println!(
+        "{:<14} {:>6} | {:>9} {:>9} | {:>9} {:>9} | {:>8}",
+        "model", "rd%", "B lat", "B tput", "O lat", "O tput", "O-speedup"
+    );
+    for model in DdpModel::all_lin() {
+        for rd_pct in [20u32, 50, 80, 100] {
+            let spec = bench_spec().with_write_fraction(1.0 - f64::from(rd_pct) / 100.0);
+            let b = run_point(Arch::baseline(), &cfg, model, &spec);
+            let o = run_point(Arch::minos_o(), &cfg, model, &spec);
+            if b.reads == 0 || o.reads == 0 {
+                continue;
+            }
+            println!(
+                "{:<14} {:>5}% | {:>9} {:>9} | {:>9} {:>9} | {:>7.2}x",
+                model.to_string(),
+                rd_pct,
+                norm(b.read_lat.mean(), base_rlat),
+                norm(b.read_throughput(), base_rtput),
+                norm(o.read_lat.mean(), base_rlat),
+                norm(o.read_throughput(), base_rtput),
+                b.read_lat.mean() / o.read_lat.mean(),
+            );
+        }
+    }
+
+    println!("\npaper: O averages 2.1x/2.2x lower write/read latency and 2.3x");
+    println!("higher throughput than B across models and mixes.");
+}

@@ -1,0 +1,58 @@
+//! Figure 10: normalized latency and throughput of writes and reads for
+//! MINOS-B and MINOS-O at 2/4/6/8/10 nodes, normalized to MINOS-B
+//! <Lin,Synch> on two nodes.
+//!
+//! Paper shape to reproduce: as nodes increase, MINOS-O rapidly raises
+//! throughput with modest (write) or no (read) latency growth, while
+//! MINOS-B's latency climbs quickly and its throughput barely improves.
+
+use minos_bench::{banner, bench_spec, norm, run_point};
+use minos_net::Arch;
+use minos_types::{DdpModel, PersistencyModel, SimConfig};
+
+fn main() {
+    banner("Figure 10", "scaling with node count, B vs O");
+    let spec = bench_spec();
+    let synch = DdpModel::lin(PersistencyModel::Synchronous);
+
+    let base = run_point(
+        Arch::baseline(),
+        &SimConfig::paper_defaults().with_nodes(2),
+        synch,
+        &spec,
+    );
+    let (bw, bt, br, brt) = (
+        base.write_lat.mean(),
+        base.write_throughput(),
+        base.read_lat.mean(),
+        base.read_throughput(),
+    );
+
+    for model in DdpModel::all_lin() {
+        println!("\n{model}");
+        println!(
+            "{:>6} | {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9}",
+            "nodes", "B w-lat", "B w-tput", "B r-lat", "B r-tput", "O w-lat", "O w-tput", "O r-lat", "O r-tput"
+        );
+        for nodes in [2usize, 4, 6, 8, 10] {
+            let cfg = SimConfig::paper_defaults().with_nodes(nodes);
+            let b = run_point(Arch::baseline(), &cfg, model, &spec);
+            let o = run_point(Arch::minos_o(), &cfg, model, &spec);
+            println!(
+                "{:>6} | {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9}",
+                nodes,
+                norm(b.write_lat.mean(), bw),
+                norm(b.write_throughput(), bt),
+                norm(b.read_lat.mean(), br),
+                norm(b.read_throughput(), brt),
+                norm(o.write_lat.mean(), bw),
+                norm(o.write_throughput(), bt),
+                norm(o.read_lat.mean(), br),
+                norm(o.read_throughput(), brt),
+            );
+        }
+    }
+
+    println!("\npaper: across models and node counts O averages 2.3x/3.1x lower");
+    println!("write/read latency and 2.4x higher throughput than B.");
+}

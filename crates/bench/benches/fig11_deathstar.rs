@@ -1,0 +1,52 @@
+//! Figure 11: end-to-end latency of the DeathStarBench `UserService::Login`
+//! function (Social Network and Media Microservices) on MINOS-B vs
+//! MINOS-O — 16 nodes, 500 µs node-to-node RTT, all five models,
+//! normalized to <Lin,Synch> MINOS-B on Social.
+//!
+//! Paper shape to reproduce: MINOS-O reduces end-to-end latency across
+//! the board, by 35% on average.
+
+use minos_bench::{banner, full_scale, norm, SEED};
+use minos_net::{driver, Arch};
+use minos_types::{DdpModel, PersistencyModel, SimConfig};
+use minos_workload::deathstar::App;
+
+fn main() {
+    banner("Figure 11", "DeathStar Login end-to-end latency, 16 nodes");
+    let mut cfg = SimConfig::paper_defaults().with_nodes(16);
+    cfg.datacenter_rtt_ns = 500_000;
+    let logins = if full_scale() { 50 } else { 4 };
+    let _ = SEED; // deathstar traces are deterministic by construction
+
+    let synch = DdpModel::lin(PersistencyModel::Synchronous);
+    let base = driver::run_deathstar(Arch::baseline(), &cfg, synch, App::SocialNetwork, logins)
+        .login_lat
+        .mean();
+
+    println!(
+        "{:<14} {:<7} {:>10} {:>10} {:>11}",
+        "model", "app", "B (norm)", "O (norm)", "O reduction"
+    );
+    let mut reductions = Vec::new();
+    for model in DdpModel::all_lin() {
+        for app in [App::SocialNetwork, App::MediaMicroservices] {
+            let b = driver::run_deathstar(Arch::baseline(), &cfg, model, app, logins);
+            let o = driver::run_deathstar(Arch::minos_o(), &cfg, model, app, logins);
+            let red = 1.0 - o.login_lat.mean() / b.login_lat.mean();
+            reductions.push(red);
+            println!(
+                "{:<14} {:<7} {:>10} {:>10} {:>10.1}%",
+                model.to_string(),
+                app.label(),
+                norm(b.login_lat.mean(), base),
+                norm(o.login_lat.mean(), base),
+                red * 100.0
+            );
+        }
+    }
+    let avg = reductions.iter().sum::<f64>() / reductions.len() as f64;
+    println!(
+        "\naverage end-to-end latency reduction: {:.1}% (paper: 35%)",
+        avg * 100.0
+    );
+}

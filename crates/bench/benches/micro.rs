@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks of the building blocks: protocol-engine
+//! event handling, zipfian sampling, FIFO occupancy modeling, and
+//! timestamp operations. These are implementation benchmarks (no paper
+//! counterpart); the figure benches regenerate the paper's evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minos_core::loopback::BCluster;
+use minos_core::{Event, NodeEngine, ReqId};
+use minos_sim::BoundedFifo;
+use minos_types::{DdpModel, Key, NodeId, PersistencyModel, Ts};
+use minos_workload::Zipfian;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn engine_write_roundtrip(c: &mut Criterion) {
+    let model = DdpModel::lin(PersistencyModel::Synchronous);
+    c.bench_function("engine/full_write_5_nodes", |b| {
+        b.iter_batched(
+            || BCluster::new(5, model),
+            |mut cl| {
+                let req = cl.submit_write(NodeId(0), Key(1), "payload".into(), None);
+                cl.run();
+                black_box(cl.write_completed(req));
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn engine_single_event(c: &mut Criterion) {
+    let model = DdpModel::lin(PersistencyModel::Eventual);
+    c.bench_function("engine/client_read_event", |b| {
+        let mut engine = NodeEngine::new(NodeId(0), 3, model);
+        engine.load_record(Key(1), "v".into());
+        let mut out = Vec::with_capacity(8);
+        let mut req = 0u64;
+        b.iter(|| {
+            out.clear();
+            req += 1;
+            engine.on_event(
+                Event::ClientRead {
+                    key: Key(1),
+                    req: ReqId(req),
+                },
+                &mut out,
+            );
+            black_box(&out);
+        });
+    });
+}
+
+fn zipfian_sampling(c: &mut Criterion) {
+    let z = Zipfian::new(100_000);
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("workload/zipfian_sample_100k", |b| {
+        b.iter(|| black_box(z.sample(&mut rng)));
+    });
+}
+
+fn fifo_model(c: &mut Criterion) {
+    c.bench_function("sim/bounded_fifo_enqueue", |b| {
+        let mut f = BoundedFifo::new(Some(5));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 500;
+            black_box(f.enqueue(t, 465, 664));
+        });
+    });
+}
+
+fn timestamp_ops(c: &mut Criterion) {
+    c.bench_function("types/ts_compare", |b| {
+        let a = Ts::new(NodeId(3), 1000);
+        let x = Ts::new(NodeId(2), 1001);
+        b.iter(|| black_box(black_box(a) < black_box(x)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = engine_write_roundtrip, engine_single_event, zipfian_sampling, fifo_model, timestamp_ops
+}
+criterion_main!(benches);

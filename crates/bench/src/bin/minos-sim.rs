@@ -1,0 +1,179 @@
+//! A command-line front end for the simulated distributed machine: run
+//! one configurable experiment point without touching the bench sources.
+//!
+//! ```text
+//! minos-sim [--arch b|o|b+bcast|b+batch|comb|comb+bcast|comb+batch]
+//!           [--model synch|strict|renf|event|scope]
+//!           [--nodes N] [--writes PCT] [--records N] [--requests N]
+//!           [--clients N] [--persist-ns N] [--fifo N|unlimited] [--seed N]
+//! ```
+//!
+//! Example — the Figure 9 headline point:
+//!
+//! ```text
+//! cargo run --release -p minos-bench --bin minos-sim -- --arch o --model synch
+//! ```
+
+use minos_net::{driver, Arch};
+use minos_types::{DdpModel, PersistencyModel, SimConfig};
+use minos_workload::{KeyDist, WorkloadSpec};
+
+struct Opts {
+    arch: Arch,
+    model: PersistencyModel,
+    nodes: usize,
+    writes: f64,
+    records: u64,
+    requests: u64,
+    clients: Option<usize>,
+    persist_ns: Option<u64>,
+    fifo: Option<Option<usize>>,
+    uniform: bool,
+    seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: minos-sim [--arch b|o|b+bcast|b+batch|comb|comb+bcast|comb+batch] \
+         [--model synch|strict|renf|event|scope] [--nodes N] [--writes PCT] \
+         [--records N] [--requests N] [--clients N] [--persist-ns N] \
+         [--fifo N|unlimited] [--uniform] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse() -> Opts {
+    let mut o = Opts {
+        arch: Arch::minos_o(),
+        model: PersistencyModel::Synchronous,
+        nodes: 5,
+        writes: 0.5,
+        records: 2_000,
+        requests: 2_000,
+        clients: None,
+        persist_ns: None,
+        fifo: None,
+        uniform: false,
+        seed: 42,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let mut value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--arch" => {
+                o.arch = match value(&mut i).as_str() {
+                    "b" => Arch::baseline(),
+                    "b+bcast" => Arch::baseline().with_broadcast(),
+                    "b+batch" => Arch::baseline().with_batching(),
+                    "comb" => Arch::offload(),
+                    "comb+bcast" => Arch::offload().with_broadcast(),
+                    "comb+batch" => Arch::offload().with_batching(),
+                    "o" => Arch::minos_o(),
+                    _ => usage(),
+                }
+            }
+            "--model" => {
+                o.model = match value(&mut i).as_str() {
+                    "synch" => PersistencyModel::Synchronous,
+                    "strict" => PersistencyModel::Strict,
+                    "renf" => PersistencyModel::ReadEnforced,
+                    "event" => PersistencyModel::Eventual,
+                    "scope" => PersistencyModel::Scope,
+                    _ => usage(),
+                }
+            }
+            "--nodes" => o.nodes = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--writes" => {
+                o.writes = value(&mut i).parse::<f64>().unwrap_or_else(|_| usage()) / 100.0;
+            }
+            "--records" => o.records = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--requests" => o.requests = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--clients" => o.clients = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--persist-ns" => {
+                o.persist_ns = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
+            }
+            "--fifo" => {
+                let v = value(&mut i);
+                o.fifo = Some(if v == "unlimited" {
+                    None
+                } else {
+                    Some(v.parse().unwrap_or_else(|_| usage()))
+                });
+            }
+            "--uniform" => o.uniform = true,
+            "--seed" => o.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    o
+}
+
+fn main() {
+    let o = parse();
+    let mut cfg = SimConfig::paper_defaults().with_nodes(o.nodes);
+    if let Some(ns) = o.persist_ns {
+        cfg = cfg.with_persist_ns_per_kb(ns);
+    }
+    if let Some(fifo) = o.fifo {
+        cfg = cfg.with_fifo_entries(fifo);
+    }
+    let mut spec = WorkloadSpec::ycsb_default()
+        .with_records(o.records)
+        .with_requests_per_node(o.requests)
+        .with_write_fraction(o.writes);
+    if o.uniform {
+        spec = spec.with_dist(KeyDist::Uniform);
+    }
+    let model = DdpModel::lin(o.model);
+    let clients = o.clients.unwrap_or(cfg.host_cores);
+
+    eprintln!(
+        "running {} {model} | {} nodes, {:.0}% writes, {} records, {} reqs/node, {} clients/node",
+        o.arch,
+        o.nodes,
+        o.writes * 100.0,
+        o.records,
+        o.requests,
+        clients
+    );
+    let mut r = driver::run_with_clients(o.arch, &cfg, model, &spec, o.seed, clients);
+
+    println!("architecture       {}", o.arch);
+    println!("model              {model}");
+    println!("writes completed   {}", r.writes);
+    println!("reads completed    {}", r.reads);
+    println!("makespan           {:.3} ms", r.makespan as f64 / 1e6);
+    println!(
+        "write latency      mean {:.2} us | p50 {:.2} | p99 {:.2}",
+        r.write_lat.mean() / 1e3,
+        r.write_lat.p50() as f64 / 1e3,
+        r.write_lat.p99() as f64 / 1e3
+    );
+    if r.reads > 0 {
+        println!(
+            "read latency       mean {:.2} us | p50 {:.2} | p99 {:.2}",
+            r.read_lat.mean() / 1e3,
+            r.read_lat.p50() as f64 / 1e3,
+            r.read_lat.p99() as f64 / 1e3
+        );
+    }
+    if r.write_comm.count() > 0 {
+        println!(
+            "write comm/comp    {:.2} / {:.2} us ({:.0}% comm)",
+            r.write_comm.mean() / 1e3,
+            r.write_comp_mean() / 1e3,
+            r.write_comm.mean() / r.write_lat.mean() * 100.0
+        );
+    }
+    println!(
+        "throughput         {:.0} writes/s | {:.0} reads/s | {:.0} total ops/s",
+        r.write_throughput(),
+        r.read_throughput(),
+        r.total_throughput()
+    );
+}

@@ -1,0 +1,87 @@
+//! Shared plumbing for the figure-reproduction benches.
+//!
+//! Each `benches/figNN_*.rs` target regenerates one table or figure of
+//! the paper's evaluation section with the same axes and normalization
+//! the paper uses; this crate holds the common experiment configuration
+//! and table formatting so the bench mains stay declarative.
+//!
+//! Run everything with `cargo bench --workspace`; a single figure with
+//! e.g. `cargo bench -p minos-bench --bench fig09_models_mix`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use minos_net::{driver, Arch, RunResult};
+use minos_types::{DdpModel, SimConfig};
+use minos_workload::WorkloadSpec;
+
+/// The workload scale used by the benches.
+///
+/// The paper runs 100 000 requests/node against 100 000 records; the
+/// benches default to a 2 000-record / 1 500-request configuration that
+/// preserves every trend while keeping `cargo bench --workspace` in the
+/// minutes range. Set `MINOS_BENCH_FULL=1` for the paper-scale runs.
+#[must_use]
+pub fn bench_spec() -> WorkloadSpec {
+    if full_scale() {
+        WorkloadSpec::ycsb_default()
+    } else {
+        WorkloadSpec::ycsb_default()
+            .with_records(2_000)
+            .with_requests_per_node(1_500)
+    }
+}
+
+/// Whether `MINOS_BENCH_FULL=1` requested paper-scale workloads.
+#[must_use]
+pub fn full_scale() -> bool {
+    std::env::var("MINOS_BENCH_FULL").is_ok_and(|v| v == "1")
+}
+
+/// The fixed seed shared by every bench (runs are deterministic).
+pub const SEED: u64 = 0x4D49_4E4F_53; // "MINOS"
+
+/// Runs one simulated experiment point.
+#[must_use]
+pub fn run_point(arch: Arch, cfg: &SimConfig, model: DdpModel, spec: &WorkloadSpec) -> RunResult {
+    driver::run(arch, cfg, model, spec, SEED)
+}
+
+/// Prints the standard figure header.
+pub fn banner(figure: &str, caption: &str) {
+    println!("\n=== {figure} — {caption} ===");
+    if !full_scale() {
+        println!(
+            "(bench-scale workload: {} records, {} reqs/node; MINOS_BENCH_FULL=1 for paper scale)",
+            bench_spec().records,
+            bench_spec().requests_per_node
+        );
+    }
+}
+
+/// Formats `v` normalized to `base` the way the paper's bar charts do.
+#[must_use]
+pub fn norm(v: f64, base: f64) -> String {
+    if base <= 0.0 {
+        return "n/a".into();
+    }
+    format!("{:.2}", v / base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_spec_is_small_by_default() {
+        if !full_scale() {
+            assert!(bench_spec().records <= 10_000);
+        }
+    }
+
+    #[test]
+    fn norm_handles_zero_base() {
+        assert_eq!(norm(1.0, 0.0), "n/a");
+        assert_eq!(norm(3.0, 2.0), "1.50");
+    }
+}

@@ -1,0 +1,56 @@
+//! One MINOS-B node as a standalone process.
+//!
+//! ```text
+//! minos-noded <node-idx> <model> <client-addr> <peer-addr-0> <peer-addr-1> ...
+//! ```
+//!
+//! `model` is one of `synch|strict|renf|event|scope`. The peer list is
+//! shared verbatim by every process of the cluster; `<node-idx>` selects
+//! which entry this process binds.
+
+use minos_cluster::tcp::{TcpNode, TcpNodeConfig};
+use minos_types::{DdpModel, NodeId, PersistencyModel};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 4 {
+        eprintln!(
+            "usage: minos-noded <node-idx> <synch|strict|renf|event|scope> <client-addr> <peer-addr>..."
+        );
+        std::process::exit(2);
+    }
+    let node: u16 = args[0].parse().expect("node index");
+    let persistency = match args[1].as_str() {
+        "synch" => PersistencyModel::Synchronous,
+        "strict" => PersistencyModel::Strict,
+        "renf" => PersistencyModel::ReadEnforced,
+        "event" => PersistencyModel::Eventual,
+        "scope" => PersistencyModel::Scope,
+        other => {
+            eprintln!("unknown model {other}");
+            std::process::exit(2);
+        }
+    };
+    let client_addr = args[2].parse().expect("client addr");
+    let peers = args[3..]
+        .iter()
+        .map(|a| a.parse().expect("peer addr"))
+        .collect::<Vec<_>>();
+    assert!((node as usize) < peers.len(), "node index out of range");
+
+    let cfg = TcpNodeConfig {
+        node: NodeId(node),
+        model: DdpModel::lin(persistency),
+        peers,
+        client_addr,
+        persist_ns_per_kb: 1295,
+    };
+    let server = TcpNode::serve(cfg).expect("bind node");
+    eprintln!(
+        "minos-noded {} up: peers {}, clients {}",
+        node,
+        server.peer_addr(),
+        server.client_addr()
+    );
+    server.join();
+}

@@ -1,0 +1,308 @@
+//! The cluster facade: spawning, client API, failure handling, shutdown.
+
+use crate::node::{spawn_node, NodeMsg, NodeThread};
+use crate::timer::TimerWheel;
+use crossbeam::channel::{bounded, unbounded, Sender};
+use minos_core::{Event, ReqId};
+use minos_types::{
+    ClusterConfig, DdpModel, Key, MinosError, NodeId, Result, ScopeId, Ts, Value,
+};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Result of a completed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// A write returned to the client.
+    Write {
+        /// Assigned timestamp.
+        ts: Ts,
+        /// Cut short as obsolete.
+        obsolete: bool,
+    },
+    /// A read completed.
+    Read {
+        /// Observed value.
+        value: Value,
+        /// Observed version.
+        ts: Ts,
+    },
+    /// A `[PERSIST]sc` completed.
+    PersistScope {
+        /// The flushed scope.
+        scope: ScopeId,
+    },
+}
+
+pub(crate) type CompletionMap = Arc<Mutex<HashMap<ReqId, Sender<Outcome>>>>;
+
+/// A running threaded cluster.
+///
+/// Client calls are synchronous: they block the calling thread until the
+/// protocol's client-response point for the configured DDP model.
+pub struct Cluster {
+    nodes: Vec<NodeThread>,
+    timer: Option<TimerWheel<NodeMsg>>,
+    completions: CompletionMap,
+    next_req: AtomicU64,
+    failed: Mutex<Vec<bool>>,
+    failure_rx: crossbeam::channel::Receiver<NodeId>,
+    cfg: ClusterConfig,
+}
+
+impl Cluster {
+    /// Spawns `cfg.nodes` node threads plus the delay wheel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has no nodes.
+    #[must_use]
+    pub fn spawn(cfg: ClusterConfig, model: DdpModel) -> Self {
+        assert!(cfg.nodes > 0, "cluster needs at least one node");
+        let completions: CompletionMap = Arc::new(Mutex::new(HashMap::new()));
+        let (failure_tx, failure_rx) = unbounded();
+
+        let channels: Vec<_> = (0..cfg.nodes).map(|_| unbounded::<NodeMsg>()).collect();
+        let senders: Vec<_> = channels.iter().map(|(tx, _)| tx.clone()).collect();
+        let timer = TimerWheel::spawn(senders.clone());
+
+        let nodes = channels
+            .into_iter()
+            .enumerate()
+            .map(|(i, (tx, rx))| {
+                spawn_node(
+                    NodeId(i as u16),
+                    cfg.clone(),
+                    model,
+                    rx,
+                    tx,
+                    timer.scheduler(),
+                    Arc::clone(&completions),
+                    failure_tx.clone(),
+                )
+            })
+            .collect();
+
+        Cluster {
+            nodes,
+            timer: Some(timer),
+            completions,
+            next_req: AtomicU64::new(1),
+            failed: Mutex::new(vec![false; cfg.nodes]),
+            failure_rx,
+            cfg,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn fresh_req(&self) -> ReqId {
+        ReqId(self.next_req.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn submit(&self, node: NodeId, build: impl FnOnce(ReqId) -> Event) -> Result<Outcome> {
+        if *self
+            .failed
+            .lock()
+            .get(node.0 as usize)
+            .ok_or(MinosError::UnknownNode(node))?
+        {
+            return Err(MinosError::NodeFailed(node));
+        }
+        let req = self.fresh_req();
+        let (tx, rx) = bounded(1);
+        self.completions.lock().insert(req, tx);
+        self.nodes[node.0 as usize]
+            .tx
+            .send(NodeMsg::Ev(build(req)))
+            .map_err(|_| MinosError::Shutdown)?;
+        rx.recv_timeout(Duration::from_secs(10)).map_err(|_| {
+            self.completions.lock().remove(&req);
+            MinosError::Shutdown
+        })
+    }
+
+    /// Writes `value` under `key`, coordinated by `node`; returns the
+    /// write's timestamp.
+    ///
+    /// # Errors
+    ///
+    /// [`MinosError::NodeFailed`] if `node` is failed;
+    /// [`MinosError::Shutdown`] if the cluster is stopping or the write
+    /// cannot complete within 10 s.
+    pub fn put(&self, node: NodeId, key: Key, value: Value) -> Result<Ts> {
+        self.put_scoped(node, key, value, None)
+    }
+
+    /// [`Cluster::put`] with a scope tag.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cluster::put`].
+    pub fn put_scoped(
+        &self,
+        node: NodeId,
+        key: Key,
+        value: Value,
+        scope: Option<ScopeId>,
+    ) -> Result<Ts> {
+        match self.submit(node, |req| Event::ClientWrite {
+            key,
+            value,
+            scope,
+            req,
+        })? {
+            Outcome::Write { ts, .. } => Ok(ts),
+            _ => Err(MinosError::Shutdown),
+        }
+    }
+
+    /// Reads `key` at `node` (served locally).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cluster::put`].
+    pub fn get(&self, node: NodeId, key: Key) -> Result<Value> {
+        self.get_versioned(node, key).map(|(v, _)| v)
+    }
+
+    /// Reads `key` and also reports the version (`volatileTS`) observed —
+    /// used by linearizability audits.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cluster::put`].
+    pub fn get_versioned(&self, node: NodeId, key: Key) -> Result<(Value, Ts)> {
+        match self.submit(node, |req| Event::ClientRead { key, req })? {
+            Outcome::Read { value, ts } => Ok((value, ts)),
+            _ => Err(MinosError::Shutdown),
+        }
+    }
+
+    /// Ends scope `scope` with a `[PERSIST]sc` transaction at `node`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cluster::put`].
+    pub fn persist_scope(&self, node: NodeId, scope: ScopeId) -> Result<()> {
+        match self.submit(node, |req| Event::ClientPersistScope { scope, req })? {
+            Outcome::PersistScope { .. } => Ok(()),
+            _ => Err(MinosError::Shutdown),
+        }
+    }
+
+    /// Crashes `node` (it silently drops all traffic until revived). The
+    /// heartbeat detectors on the surviving nodes will notice within the
+    /// configured failure timeout; [`Cluster::await_failure_detection`]
+    /// blocks until they do.
+    pub fn crash_node(&self, node: NodeId) {
+        let _ = self.nodes[node.0 as usize].tx.send(NodeMsg::Crash);
+        self.failed.lock()[node.0 as usize] = true;
+    }
+
+    /// Blocks until the heartbeat detectors report `node` failed, then
+    /// alerts every survivor to exclude it. Returns false on timeout.
+    pub fn await_failure_detection(&self, node: NodeId, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return false;
+            }
+            match self.failure_rx.recv_timeout(remaining) {
+                Ok(n) if n == node => break,
+                Ok(_) | Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                Err(_) => return false,
+            }
+        }
+        // "…identify the non-responding node(s) and alert all the other
+        // nodes."
+        for (i, nt) in self.nodes.iter().enumerate() {
+            if i != node.0 as usize {
+                let _ = nt.tx.send(NodeMsg::PeerFailed { node });
+            }
+        }
+        true
+    }
+
+    /// Recovers `node`: ships the durable-log suffix from `donor`, waits
+    /// for the replay, then re-admits the node everywhere.
+    ///
+    /// # Errors
+    ///
+    /// [`MinosError::Shutdown`] if the donor or rejoiner is unresponsive.
+    pub fn recover_node(&self, node: NodeId, donor: NodeId) -> Result<()> {
+        // Fetch the donor's committed log.
+        let (reply_tx, reply_rx) = bounded(1);
+        self.nodes[donor.0 as usize]
+            .tx
+            .send(NodeMsg::ShipLog {
+                since: 0,
+                reply: reply_tx,
+            })
+            .map_err(|_| MinosError::Shutdown)?;
+        let entries = reply_rx
+            .recv_timeout(Duration::from_secs(10))
+            .map_err(|_| MinosError::Shutdown)?;
+
+        // Replay on the rejoiner.
+        let (done_tx, done_rx) = bounded(1);
+        self.nodes[node.0 as usize]
+            .tx
+            .send(NodeMsg::Revive {
+                entries,
+                done: done_tx,
+            })
+            .map_err(|_| MinosError::Shutdown)?;
+        done_rx
+            .recv_timeout(Duration::from_secs(10))
+            .map_err(|_| MinosError::Shutdown)?;
+
+        // Re-admit everywhere.
+        for (i, nt) in self.nodes.iter().enumerate() {
+            if i != node.0 as usize {
+                let _ = nt.tx.send(NodeMsg::PeerRecovered { node });
+            }
+        }
+        self.failed.lock()[node.0 as usize] = false;
+        Ok(())
+    }
+
+    /// The configuration this cluster runs with.
+    #[must_use]
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Stops every node thread and the delay wheel.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        for nt in &self.nodes {
+            let _ = nt.tx.send(NodeMsg::Shutdown);
+        }
+        for nt in &mut self.nodes {
+            if let Some(h) = nt.handle.take() {
+                let _ = h.join();
+            }
+        }
+        if let Some(t) = self.timer.take() {
+            t.shutdown();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}

@@ -1,0 +1,276 @@
+//! The per-node worker thread.
+
+use crate::cluster::{CompletionMap, Outcome};
+use crate::timer::Scheduler;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use minos_core::{Action, Event, NodeEngine, ReqId};
+use minos_kv::DurableState;
+use minos_nvm::LogEntry;
+use minos_types::{ClusterConfig, DdpModel, Key, NodeId, Ts, Value};
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Messages a node thread accepts.
+#[derive(Debug)]
+pub(crate) enum NodeMsg {
+    /// A protocol or client event.
+    Ev(Event),
+    /// Liveness beacon from a peer.
+    Heartbeat {
+        /// The beaconing peer.
+        from: NodeId,
+    },
+    /// Donor side of recovery: ship the durable-log suffix.
+    ShipLog {
+        /// Ship entries at or after this LSN.
+        since: u64,
+        /// Where to send them.
+        reply: Sender<Vec<LogEntry>>,
+    },
+    /// Rejoiner side of recovery: replay shipped entries, install the
+    /// rebuilt records, resume service.
+    Revive {
+        /// The shipped log suffix.
+        entries: Vec<LogEntry>,
+        /// Signaled when the node is serving again.
+        done: Sender<()>,
+    },
+    /// Simulate a crash: stop processing (messages drain unhandled).
+    Crash,
+    /// Membership notice: `node` was detected failed by the cluster.
+    PeerFailed {
+        /// The failed peer.
+        node: NodeId,
+    },
+    /// Membership notice: `node` rejoined.
+    PeerRecovered {
+        /// The recovered peer.
+        node: NodeId,
+    },
+    /// Terminate the thread.
+    Shutdown,
+}
+
+pub(crate) struct NodeThread {
+    pub(crate) tx: Sender<NodeMsg>,
+    pub(crate) handle: Option<JoinHandle<()>>,
+}
+
+/// Spawns the worker thread for `node`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn spawn_node(
+    node: NodeId,
+    cfg: ClusterConfig,
+    model: DdpModel,
+    rx: Receiver<NodeMsg>,
+    tx: Sender<NodeMsg>,
+    scheduler: Scheduler<NodeMsg>,
+    completions: CompletionMap,
+    failure_tx: Sender<NodeId>,
+) -> NodeThread {
+    let handle = std::thread::Builder::new()
+        .name(format!("minos-node-{}", node.0))
+        .spawn(move || {
+            NodeLoop {
+                node,
+                engine: NodeEngine::new(node, cfg.nodes, model),
+                durable: DurableState::with_persist_latency(cfg.nvm_persist_ns_per_kb),
+                cfg,
+                model,
+                rx,
+                scheduler,
+                completions,
+                failure_tx,
+                last_seen: HashMap::new(),
+                crashed: false,
+            }
+            .run();
+        })
+        .expect("spawn node thread");
+    NodeThread {
+        tx,
+        handle: Some(handle),
+    }
+}
+
+struct NodeLoop {
+    node: NodeId,
+    engine: NodeEngine,
+    durable: DurableState,
+    cfg: ClusterConfig,
+    model: DdpModel,
+    rx: Receiver<NodeMsg>,
+    scheduler: Scheduler<NodeMsg>,
+    completions: CompletionMap,
+    failure_tx: Sender<NodeId>,
+    last_seen: HashMap<NodeId, Instant>,
+    crashed: bool,
+}
+
+impl NodeLoop {
+    fn run(mut self) {
+        let heartbeat_every = Duration::from_nanos(self.cfg.failure_timeout_ns / 4).max(
+            Duration::from_millis(1),
+        );
+        let mut next_beat = Instant::now();
+        let boot = Instant::now();
+        loop {
+            let wait = next_beat.saturating_duration_since(Instant::now());
+            match self.rx.recv_timeout(wait.max(Duration::from_micros(100))) {
+                Ok(NodeMsg::Shutdown) => return,
+                Ok(NodeMsg::Crash) => {
+                    self.crashed = true;
+                }
+                Ok(NodeMsg::Revive { entries, done }) => {
+                    self.revive(&entries);
+                    let _ = done.send(());
+                }
+                Ok(msg) if self.crashed => {
+                    // A crashed node silently drains its inbox.
+                    drop(msg);
+                }
+                Ok(NodeMsg::Ev(ev)) => self.handle_event(ev),
+                Ok(NodeMsg::Heartbeat { from }) => {
+                    self.last_seen.insert(from, Instant::now());
+                }
+                Ok(NodeMsg::ShipLog { since, reply }) => {
+                    let _ = reply.send(self.durable.entries_since(since));
+                }
+                Ok(NodeMsg::PeerFailed { node }) => {
+                    self.engine.mark_failed(node);
+                    let mut out = Vec::new();
+                    self.engine.poll_now(&mut out);
+                    self.dispatch(out);
+                }
+                Ok(NodeMsg::PeerRecovered { node }) => {
+                    self.engine.mark_recovered(node);
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+
+            // Heartbeating + failure detection (§III-E timeouts).
+            if !self.crashed && Instant::now() >= next_beat {
+                next_beat = Instant::now() + heartbeat_every;
+                for peer in self.engine.alive_peers() {
+                    self.scheduler.send_after(
+                        self.cfg.wire_latency_ns,
+                        peer,
+                        NodeMsg::Heartbeat { from: self.node },
+                    );
+                }
+                let timeout = Duration::from_nanos(self.cfg.failure_timeout_ns);
+                // Grace period: peers we have never heard from are only
+                // suspect once the cluster has been up for a full timeout.
+                if boot.elapsed() > timeout {
+                    let suspects: Vec<NodeId> = self
+                        .engine
+                        .alive_peers()
+                        .into_iter()
+                        .filter(|p| {
+                            self.last_seen
+                                .get(p)
+                                .is_none_or(|t| t.elapsed() > timeout)
+                        })
+                        .collect();
+                    for s in suspects {
+                        // Report to the cluster monitor, which alerts all
+                        // other nodes (including us, via PeerFailed).
+                        let _ = self.failure_tx.send(s);
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_event(&mut self, ev: Event) {
+        let mut out = Vec::new();
+        self.engine.on_event(ev, &mut out);
+        self.dispatch(out);
+    }
+
+    fn dispatch(&mut self, actions: Vec<Action>) {
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => {
+                    self.scheduler.send_after(
+                        self.cfg.wire_latency_ns,
+                        to,
+                        NodeMsg::Ev(Event::Message {
+                            from: self.node,
+                            msg,
+                        }),
+                    );
+                }
+                Action::SendToFollowers { msg } => {
+                    for to in self.engine.fanout_targets(msg.key()) {
+                        self.scheduler.send_after(
+                            self.cfg.wire_latency_ns,
+                            to,
+                            NodeMsg::Ev(Event::Message {
+                                from: self.node,
+                                msg: msg.clone(),
+                            }),
+                        );
+                    }
+                }
+                Action::Persist { key, ts, value, .. } => {
+                    let ns = self
+                        .durable
+                        .device()
+                        .persist_ns(value.len() as u64);
+                    self.durable.persist(key, ts, value);
+                    self.scheduler.send_after(
+                        ns,
+                        self.node,
+                        NodeMsg::Ev(Event::PersistDone { key, ts }),
+                    );
+                }
+                Action::Redirect { to, event } => {
+                    self.scheduler
+                        .send_after(self.cfg.wire_latency_ns, to, NodeMsg::Ev(event));
+                }
+                Action::Defer { event, .. } => {
+                    // Local dispatch hop: back through our own queue.
+                    self.scheduler.send_after(0, self.node, NodeMsg::Ev(event));
+                }
+                Action::WriteDone {
+                    req, ts, obsolete, ..
+                } => self.complete(req, Outcome::Write { ts, obsolete }),
+                Action::ReadDone { req, value, ts, .. } => {
+                    self.complete(req, Outcome::Read { value, ts });
+                }
+                Action::PersistScopeDone { req, scope } => {
+                    self.complete(req, Outcome::PersistScope { scope });
+                }
+                Action::Meta(_) => {}
+            }
+        }
+    }
+
+    fn complete(&self, req: ReqId, outcome: Outcome) {
+        if let Some(tx) = self.completions.lock().remove(&req) {
+            let _ = tx.send(outcome);
+        }
+    }
+
+    /// §III-E rejoin: a crash wiped the volatile state, so the protocol
+    /// engine is rebuilt from scratch (no stale transactions or locks),
+    /// the shipped log is replayed into durable state, and the rebuilt
+    /// records are installed into the fresh volatile replica.
+    fn revive(&mut self, entries: &[LogEntry]) {
+        self.engine = NodeEngine::new(self.node, self.cfg.nodes, self.model);
+        self.durable.replay(entries);
+        let records: Vec<(Key, Ts, Value)> = self
+            .durable
+            .iter_durable()
+            .map(|(k, (ts, v))| (*k, *ts, v.clone()))
+            .collect();
+        for (key, ts, value) in records {
+            self.engine.install_recovered(key, ts, value);
+        }
+        self.crashed = false;
+        self.last_seen.clear();
+    }
+}

@@ -1,0 +1,512 @@
+//! A real-socket MINOS-B runtime: nodes as independent processes (or
+//! threads) exchanging protocol messages over TCP, with a framed client
+//! protocol.
+//!
+//! This is the genuine multi-node deployment path: `minos-noded` runs one
+//! node per process; [`TcpClient`] connects to any node and issues
+//! puts/gets/`[PERSIST]sc`. Protocol messages travel in the hand-rolled
+//! wire format of [`minos_types::wire`] (the approved dependency set has
+//! no serializer, so the codec is part of this workspace).
+//!
+//! ## Frames
+//!
+//! Everything on the wire is `[u32 little-endian length][body]`.
+//!
+//! * **peer → peer**: `[u16 from][encoded Message]`
+//! * **client → node**: `[u8 op][u64 client-req][op payload]` where op is
+//!   1=put `[key][scope_opt][value]`, 2=get `[key]`, 3=persist `[scope]`
+//! * **node → client**: `[u64 client-req][u8 status][payload]` — status
+//!   1=write-done `[ts]`, 2=read-done `[ts][value]`, 3=persist-done, 0=error
+
+use crate::timer::TimerWheel;
+use crossbeam::channel::{unbounded, Sender};
+use minos_core::{Action, Event, NodeEngine, ReqId};
+use minos_kv::DurableState;
+use minos_types::wire::{decode_message, encode_message};
+use minos_types::{DdpModel, Key, NodeId, ScopeId, Ts, Value};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Configuration of one TCP node.
+#[derive(Debug, Clone)]
+pub struct TcpNodeConfig {
+    /// This node's id.
+    pub node: NodeId,
+    /// DDP model to run.
+    pub model: DdpModel,
+    /// Peer-protocol addresses, indexed by node id (including this
+    /// node's own listen address).
+    pub peers: Vec<SocketAddr>,
+    /// Address serving the client protocol.
+    pub client_addr: SocketAddr,
+    /// Emulated NVM persist latency (ns per KB).
+    pub persist_ns_per_kb: u64,
+}
+
+enum In {
+    Peer(NodeId, minos_types::Message),
+    Client {
+        conn: u64,
+        creq: u64,
+        op: ClientOp,
+    },
+    PersistDone(Key, Ts),
+    Local(Event),
+    Shutdown,
+}
+
+enum ClientOp {
+    Put {
+        key: Key,
+        scope: Option<ScopeId>,
+        value: Value,
+    },
+    Get {
+        key: Key,
+    },
+    Persist {
+        scope: ScopeId,
+    },
+}
+
+/// Handle to a running TCP node (its threads stop on [`TcpNode::shutdown`]
+/// or drop).
+pub struct TcpNode {
+    tx: Sender<In>,
+    engine_thread: Option<JoinHandle<()>>,
+    peer_addr: SocketAddr,
+    client_addr: SocketAddr,
+}
+
+/// Reads one length-prefixed frame.
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len)?;
+    let n = u32::from_le_bytes(len) as usize;
+    if n > 64 * 1024 * 1024 {
+        return Err(std::io::Error::other("frame too large"));
+    }
+    let mut body = vec![0u8; n];
+    stream.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Writes one length-prefixed frame.
+fn write_frame(stream: &mut TcpStream, body: &[u8]) -> std::io::Result<()> {
+    stream.write_all(&(body.len() as u32).to_le_bytes())?;
+    stream.write_all(body)
+}
+
+impl TcpNode {
+    /// Binds the peer and client listeners and spawns the node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind errors.
+    pub fn serve(cfg: TcpNodeConfig) -> std::io::Result<TcpNode> {
+        let peer_listener = TcpListener::bind(cfg.peers[cfg.node.0 as usize])?;
+        let client_listener = TcpListener::bind(cfg.client_addr)?;
+        let peer_addr = peer_listener.local_addr()?;
+        let client_addr = client_listener.local_addr()?;
+
+        let (tx, rx) = unbounded::<In>();
+
+        // Peer acceptor: one reader thread per inbound peer connection.
+        {
+            let tx = tx.clone();
+            std::thread::Builder::new()
+                .name(format!("minos-tcp-peer-accept-{}", cfg.node))
+                .spawn(move || {
+                    for stream in peer_listener.incoming() {
+                        let Ok(mut stream) = stream else { continue };
+                        let tx = tx.clone();
+                        std::thread::spawn(move || {
+                            while let Ok(frame) = read_frame(&mut stream) {
+                                if frame.len() < 2 {
+                                    break;
+                                }
+                                let from = NodeId(u16::from_le_bytes([frame[0], frame[1]]));
+                                match decode_message(&frame[2..]) {
+                                    Ok(msg) => {
+                                        if tx.send(In::Peer(from, msg)).is_err() {
+                                            break;
+                                        }
+                                    }
+                                    Err(_) => break,
+                                }
+                            }
+                        });
+                    }
+                })?;
+        }
+
+        // Client acceptor: per-connection reader + shared writer handle.
+        let client_writers: Arc<Mutex<HashMap<u64, TcpStream>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        {
+            let tx = tx.clone();
+            let writers = Arc::clone(&client_writers);
+            std::thread::Builder::new()
+                .name(format!("minos-tcp-client-accept-{}", cfg.node))
+                .spawn(move || {
+                    let mut next_conn = 1u64;
+                    for stream in client_listener.incoming() {
+                        let Ok(stream) = stream else { continue };
+                        let conn = next_conn;
+                        next_conn += 1;
+                        if let Ok(w) = stream.try_clone() {
+                            writers.lock().insert(conn, w);
+                        } else {
+                            continue;
+                        }
+                        let tx = tx.clone();
+                        let writers = Arc::clone(&writers);
+                        let mut stream = stream;
+                        std::thread::spawn(move || {
+                            while let Ok(frame) = read_frame(&mut stream) {
+                                match parse_client_request(&frame) {
+                                    Some((creq, op)) => {
+                                        if tx.send(In::Client { conn, creq, op }).is_err() {
+                                            break;
+                                        }
+                                    }
+                                    None => break,
+                                }
+                            }
+                            writers.lock().remove(&conn);
+                        });
+                    }
+                })?;
+        }
+
+        // Persist-completion timer (single destination: this engine).
+        let wheel = TimerWheel::spawn(vec![tx.clone()]);
+        let scheduler = wheel.scheduler();
+
+        let engine_tx = tx.clone();
+        let engine_thread = std::thread::Builder::new()
+            .name(format!("minos-tcp-engine-{}", cfg.node))
+            .spawn(move || {
+                let mut engine = NodeEngine::new(cfg.node, cfg.peers.len(), cfg.model);
+                let mut durable = DurableState::with_persist_latency(cfg.persist_ns_per_kb);
+                let mut peers: HashMap<NodeId, TcpStream> = HashMap::new();
+                // Client request bookkeeping: engine ReqId → (conn, creq).
+                let mut pending: HashMap<ReqId, (u64, u64)> = HashMap::new();
+                let mut next_req = 1u64;
+
+                let send_peer = |peers: &mut HashMap<NodeId, TcpStream>,
+                                 to: NodeId,
+                                 from: NodeId,
+                                 msg: &minos_types::Message| {
+                    let body = {
+                        let mut b = from.0.to_le_bytes().to_vec();
+                        b.extend_from_slice(&encode_message(msg));
+                        b
+                    };
+                    for _attempt in 0..2 {
+                        if !peers.contains_key(&to) {
+                            match TcpStream::connect(cfg.peers[to.0 as usize]) {
+                                Ok(s) => {
+                                    peers.insert(to, s);
+                                }
+                                Err(_) => return, // peer down: message lost
+                            }
+                        }
+                        if let Some(s) = peers.get_mut(&to) {
+                            if write_frame(s, &body).is_ok() {
+                                return;
+                            }
+                            peers.remove(&to); // stale connection: retry
+                        }
+                    }
+                };
+
+                while let Ok(input) = rx.recv() {
+                    let mut out = Vec::new();
+                    match input {
+                        In::Shutdown => return,
+                        In::Peer(from, msg) => {
+                            engine.on_event(Event::Message { from, msg }, &mut out);
+                        }
+                        In::PersistDone(key, ts) => {
+                            engine.on_event(Event::PersistDone { key, ts }, &mut out);
+                        }
+                        In::Local(ev) => engine.on_event(ev, &mut out),
+                        In::Client { conn, creq, op } => {
+                            let req = ReqId(next_req);
+                            next_req += 1;
+                            pending.insert(req, (conn, creq));
+                            let ev = match op {
+                                ClientOp::Put { key, scope, value } => Event::ClientWrite {
+                                    key,
+                                    value,
+                                    scope,
+                                    req,
+                                },
+                                ClientOp::Get { key } => Event::ClientRead { key, req },
+                                ClientOp::Persist { scope } => {
+                                    Event::ClientPersistScope { scope, req }
+                                }
+                            };
+                            engine.on_event(ev, &mut out);
+                        }
+                    }
+
+                    for a in out {
+                        match a {
+                            Action::Send { to, msg } => {
+                                send_peer(&mut peers, to, cfg.node, &msg);
+                            }
+                            Action::SendToFollowers { msg } => {
+                                for to in engine.fanout_targets(msg.key()) {
+                                    send_peer(&mut peers, to, cfg.node, &msg);
+                                }
+                            }
+                            Action::Redirect { .. } => {
+                                // The TCP runtime serves fully replicated
+                                // clusters; redirects cannot arise.
+                            }
+                            Action::Persist { key, ts, value, .. } => {
+                                let ns = durable.device().persist_ns(value.len() as u64);
+                                durable.persist(key, ts, value);
+                                scheduler.send_after(ns, NodeId(0), In::PersistDone(key, ts));
+                            }
+                            Action::Defer { event, .. } => {
+                                let _ = engine_tx.send(In::Local(event));
+                            }
+                            Action::WriteDone { req, ts, .. } => {
+                                respond(&client_writers, &mut pending, req, |b| {
+                                    b.push(1);
+                                    b.extend_from_slice(&ts.version.to_le_bytes());
+                                    b.extend_from_slice(&ts.node.0.to_le_bytes());
+                                });
+                            }
+                            Action::ReadDone { req, value, ts, .. } => {
+                                respond(&client_writers, &mut pending, req, |b| {
+                                    b.push(2);
+                                    b.extend_from_slice(&ts.version.to_le_bytes());
+                                    b.extend_from_slice(&ts.node.0.to_le_bytes());
+                                    b.extend_from_slice(&value);
+                                });
+                            }
+                            Action::PersistScopeDone { req, .. } => {
+                                respond(&client_writers, &mut pending, req, |b| b.push(3));
+                            }
+                            Action::Meta(_) => {}
+                        }
+                    }
+                }
+            })?;
+
+        Ok(TcpNode {
+            tx,
+            engine_thread: Some(engine_thread),
+            peer_addr,
+            client_addr,
+        })
+    }
+
+    /// The bound peer-protocol address.
+    #[must_use]
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer_addr
+    }
+
+    /// The bound client-protocol address.
+    #[must_use]
+    pub fn client_addr(&self) -> SocketAddr {
+        self.client_addr
+    }
+
+    /// Stops the engine thread (listener threads exit when the process
+    /// does; inbound connections then fail, which peers treat as loss).
+    pub fn shutdown(mut self) {
+        let _ = self.tx.send(In::Shutdown);
+        if let Some(h) = self.engine_thread.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Blocks forever serving (used by the `minos-noded` binary).
+    pub fn join(mut self) {
+        if let Some(h) = self.engine_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn respond(
+    writers: &Arc<Mutex<HashMap<u64, TcpStream>>>,
+    pending: &mut HashMap<ReqId, (u64, u64)>,
+    req: ReqId,
+    fill: impl FnOnce(&mut Vec<u8>),
+) {
+    let Some((conn, creq)) = pending.remove(&req) else {
+        return;
+    };
+    let mut body = creq.to_le_bytes().to_vec();
+    fill(&mut body);
+    let mut writers = writers.lock();
+    if let Some(s) = writers.get_mut(&conn) {
+        if write_frame(s, &body).is_err() {
+            writers.remove(&conn);
+        }
+    }
+}
+
+fn parse_client_request(frame: &[u8]) -> Option<(u64, ClientOp)> {
+    if frame.len() < 9 {
+        return None;
+    }
+    let op = frame[0];
+    let creq = u64::from_le_bytes(frame[1..9].try_into().ok()?);
+    let rest = &frame[9..];
+    let parsed = match op {
+        1 => {
+            // [key u64][scope flag u8 (+u32)][value...]
+            if rest.len() < 9 {
+                return None;
+            }
+            let key = Key(u64::from_le_bytes(rest[..8].try_into().ok()?));
+            let (scope, off) = if rest[8] == 1 {
+                if rest.len() < 13 {
+                    return None;
+                }
+                (
+                    Some(ScopeId(u32::from_le_bytes(rest[9..13].try_into().ok()?))),
+                    13,
+                )
+            } else {
+                (None, 9)
+            };
+            ClientOp::Put {
+                key,
+                scope,
+                value: Value::copy_from_slice(&rest[off..]),
+            }
+        }
+        2 => {
+            if rest.len() != 8 {
+                return None;
+            }
+            ClientOp::Get {
+                key: Key(u64::from_le_bytes(rest.try_into().ok()?)),
+            }
+        }
+        3 => {
+            if rest.len() != 4 {
+                return None;
+            }
+            ClientOp::Persist {
+                scope: ScopeId(u32::from_le_bytes(rest.try_into().ok()?)),
+            }
+        }
+        _ => return None,
+    };
+    Some((creq, parsed))
+}
+
+/// A synchronous client for the TCP node protocol.
+pub struct TcpClient {
+    stream: TcpStream,
+    next_req: u64,
+}
+
+impl TcpClient {
+    /// Connects to a node's client port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<TcpClient> {
+        Ok(TcpClient {
+            stream: TcpStream::connect(addr)?,
+            next_req: 1,
+        })
+    }
+
+    fn roundtrip(&mut self, body: Vec<u8>) -> std::io::Result<Vec<u8>> {
+        write_frame(&mut self.stream, &body)?;
+        let resp = read_frame(&mut self.stream)?;
+        if resp.len() < 9 {
+            return Err(std::io::Error::other("short response"));
+        }
+        Ok(resp)
+    }
+
+    fn fresh(&mut self) -> u64 {
+        let r = self.next_req;
+        self.next_req += 1;
+        r
+    }
+
+    /// Writes `value` under `key`; returns the write's timestamp.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses.
+    pub fn put(
+        &mut self,
+        key: Key,
+        value: &[u8],
+        scope: Option<ScopeId>,
+    ) -> std::io::Result<Ts> {
+        let creq = self.fresh();
+        let mut body = vec![1u8];
+        body.extend_from_slice(&creq.to_le_bytes());
+        body.extend_from_slice(&key.0.to_le_bytes());
+        match scope {
+            Some(sc) => {
+                body.push(1);
+                body.extend_from_slice(&sc.0.to_le_bytes());
+            }
+            None => body.push(0),
+        }
+        body.extend_from_slice(value);
+        let resp = self.roundtrip(body)?;
+        if resp[8] != 1 || resp.len() < 15 {
+            return Err(std::io::Error::other("unexpected put response"));
+        }
+        let version = u32::from_le_bytes(resp[9..13].try_into().unwrap());
+        let node = NodeId(u16::from_le_bytes(resp[13..15].try_into().unwrap()));
+        Ok(Ts { version, node })
+    }
+
+    /// Reads `key` from the connected node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses.
+    pub fn get(&mut self, key: Key) -> std::io::Result<Vec<u8>> {
+        let creq = self.fresh();
+        let mut body = vec![2u8];
+        body.extend_from_slice(&creq.to_le_bytes());
+        body.extend_from_slice(&key.0.to_le_bytes());
+        let resp = self.roundtrip(body)?;
+        if resp[8] != 2 || resp.len() < 15 {
+            return Err(std::io::Error::other("unexpected get response"));
+        }
+        Ok(resp[15..].to_vec())
+    }
+
+    /// Issues a `[PERSIST]sc` for `scope`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses.
+    pub fn persist_scope(&mut self, scope: ScopeId) -> std::io::Result<()> {
+        let creq = self.fresh();
+        let mut body = vec![3u8];
+        body.extend_from_slice(&creq.to_le_bytes());
+        body.extend_from_slice(&scope.0.to_le_bytes());
+        let resp = self.roundtrip(body)?;
+        if resp[8] != 3 {
+            return Err(std::io::Error::other("unexpected persist response"));
+        }
+        Ok(())
+    }
+}

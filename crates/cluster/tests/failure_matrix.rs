@@ -1,0 +1,129 @@
+//! Failure/recovery across every DDP model, plus multi-failure scenarios.
+
+use minos_cluster::Cluster;
+use minos_types::{ClusterConfig, DdpModel, Key, NodeId, PersistencyModel, ScopeId};
+use std::time::Duration;
+
+fn fast_cfg(nodes: usize) -> ClusterConfig {
+    let mut cfg = ClusterConfig::cloudlab().with_nodes(nodes);
+    cfg.wire_latency_ns = 20_000;
+    cfg.failure_timeout_ns = 40_000_000;
+    cfg
+}
+
+#[test]
+fn every_model_survives_a_crash() {
+    for model in DdpModel::all_lin() {
+        let cl = Cluster::spawn(fast_cfg(3), model);
+        let sc = (model.persistency == PersistencyModel::Scope).then_some(ScopeId(1));
+        cl.put_scoped(NodeId(0), Key(1), "pre".into(), sc).unwrap();
+        if let Some(sc) = sc {
+            cl.persist_scope(NodeId(0), sc).unwrap();
+        }
+
+        cl.crash_node(NodeId(1));
+        assert!(
+            cl.await_failure_detection(NodeId(1), Duration::from_secs(5)),
+            "{model}: detection failed"
+        );
+        let sc2 = (model.persistency == PersistencyModel::Scope).then_some(ScopeId(2));
+        cl.put_scoped(NodeId(0), Key(1), "post".into(), sc2)
+            .unwrap_or_else(|e| panic!("{model}: write during outage: {e}"));
+        if let Some(sc2) = sc2 {
+            cl.persist_scope(NodeId(0), sc2).unwrap();
+        }
+        assert_eq!(cl.get(NodeId(2), Key(1)).unwrap(), "post", "{model}");
+        cl.shutdown();
+    }
+}
+
+#[test]
+fn every_model_recovers_a_crashed_node() {
+    for model in DdpModel::all_lin() {
+        let cl = Cluster::spawn(fast_cfg(3), model);
+        let scoped = model.persistency == PersistencyModel::Scope;
+        let sc = scoped.then_some(ScopeId(1));
+        cl.put_scoped(NodeId(0), Key(1), "v1".into(), sc).unwrap();
+        if let Some(sc) = sc {
+            cl.persist_scope(NodeId(0), sc).unwrap();
+        }
+
+        cl.crash_node(NodeId(2));
+        assert!(cl.await_failure_detection(NodeId(2), Duration::from_secs(5)));
+        let sc2 = scoped.then_some(ScopeId(2));
+        cl.put_scoped(NodeId(1), Key(2), "during".into(), sc2).unwrap();
+        if let Some(sc2) = sc2 {
+            cl.persist_scope(NodeId(1), sc2).unwrap();
+        }
+
+        cl.recover_node(NodeId(2), NodeId(0)).unwrap();
+        assert_eq!(cl.get(NodeId(2), Key(1)).unwrap(), "v1", "{model}: pre-crash data");
+        // Background-persistency models may not have the in-flight write
+        // durable at the donor at ship time for Event; but the threaded
+        // facade quiesces between calls, so it is.
+        assert_eq!(
+            cl.get(NodeId(2), Key(2)).unwrap(),
+            "during",
+            "{model}: missed update not shipped"
+        );
+        cl.shutdown();
+    }
+}
+
+#[test]
+fn five_node_cluster_tolerates_two_failures() {
+    let cl = Cluster::spawn(fast_cfg(5), DdpModel::lin(PersistencyModel::Synchronous));
+    cl.put(NodeId(0), Key(1), "full".into()).unwrap();
+
+    cl.crash_node(NodeId(3));
+    cl.crash_node(NodeId(4));
+    assert!(cl.await_failure_detection(NodeId(3), Duration::from_secs(5)));
+    assert!(cl.await_failure_detection(NodeId(4), Duration::from_secs(5)));
+
+    cl.put(NodeId(1), Key(1), "three-left".into()).unwrap();
+    for n in 0..3 {
+        assert_eq!(cl.get(NodeId(n), Key(1)).unwrap(), "three-left");
+    }
+
+    // Recover both, in sequence, from different donors.
+    cl.recover_node(NodeId(3), NodeId(0)).unwrap();
+    cl.recover_node(NodeId(4), NodeId(3)).unwrap();
+    assert_eq!(cl.get(NodeId(4), Key(1)).unwrap(), "three-left");
+    cl.put(NodeId(4), Key(2), "whole-again".into()).unwrap();
+    assert_eq!(cl.get(NodeId(0), Key(2)).unwrap(), "whole-again");
+    cl.shutdown();
+}
+
+#[test]
+fn writes_in_flight_during_crash_complete_or_fail_cleanly() {
+    // A crash concurrent with traffic must never wedge the cluster: the
+    // caller either gets a completion (quorum shrank in time) or a
+    // timeout error, and subsequent operations work.
+    let cl = std::sync::Arc::new(Cluster::spawn(
+        fast_cfg(3),
+        DdpModel::lin(PersistencyModel::Synchronous),
+    ));
+    let writer = {
+        let cl = std::sync::Arc::clone(&cl);
+        std::thread::spawn(move || {
+            let mut completed = 0;
+            for i in 0..30u32 {
+                if cl.put(NodeId(0), Key(1), format!("v{i}").into()).is_ok() {
+                    completed += 1;
+                }
+            }
+            completed
+        })
+    };
+    std::thread::sleep(Duration::from_millis(5));
+    cl.crash_node(NodeId(2));
+    cl.await_failure_detection(NodeId(2), Duration::from_secs(5));
+    let completed = writer.join().unwrap();
+    assert!(completed > 0, "no write survived the crash window");
+    // The cluster still serves.
+    cl.put(NodeId(1), Key(9), "alive".into()).unwrap();
+    match std::sync::Arc::try_unwrap(cl) {
+        Ok(cl) => cl.shutdown(),
+        Err(_) => panic!("cluster still shared"),
+    }
+}

@@ -1,0 +1,195 @@
+//! Real-time linearizability audit of the threaded cluster.
+//!
+//! Concurrent client threads hammer one cluster while recording an
+//! invocation/response history with wall-clock bounds. Because every
+//! write carries a unique protocol timestamp and reads report the
+//! version they observed, three sound necessary conditions for
+//! linearizability can be checked exactly:
+//!
+//! 1. **No reads from the future** — a read cannot return a write that
+//!    was invoked after the read completed.
+//! 2. **No stale reads** — if a write completed before a read was
+//!    invoked, the read must observe that write or a newer one.
+//! 3. **Monotone reads in real time** — per key, non-overlapping reads
+//!    observe non-decreasing versions.
+//!
+//! Each violated condition is a genuine linearizability violation (the
+//! converse is not complete, as full history checking is NP-hard).
+
+use minos_cluster::Cluster;
+use minos_types::{ClusterConfig, DdpModel, Key, NodeId, PersistencyModel, Ts};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+#[derive(Debug, Clone, Copy)]
+enum OpRec {
+    Write {
+        key: Key,
+        ts: Ts,
+        invoked: Instant,
+        completed: Instant,
+    },
+    Read {
+        key: Key,
+        observed: Ts,
+        invoked: Instant,
+        completed: Instant,
+    },
+}
+
+fn audit(history: &[OpRec]) -> Vec<String> {
+    let mut violations = Vec::new();
+
+    for (i, r) in history.iter().enumerate() {
+        let OpRec::Read {
+            key: rk,
+            observed,
+            invoked: r_inv,
+            completed: r_comp,
+        } = *r
+        else {
+            continue;
+        };
+
+        for w in history {
+            let OpRec::Write {
+                key: wk,
+                ts,
+                invoked: w_inv,
+                completed: w_comp,
+            } = *w
+            else {
+                continue;
+            };
+            if wk != rk {
+                continue;
+            }
+            // 1. Reads from the future.
+            if ts == observed && w_inv > r_comp {
+                violations.push(format!(
+                    "read #{i} of {rk} observed {ts} before its write was invoked"
+                ));
+            }
+            // 2. Stale reads: w completed strictly before r was invoked.
+            if w_comp < r_inv && observed < ts {
+                violations.push(format!(
+                    "read #{i} of {rk} observed {observed} but write {ts} had already completed"
+                ));
+            }
+        }
+
+        // 3. Monotone reads among non-overlapping reads of the same key.
+        for r2 in history {
+            let OpRec::Read {
+                key: r2k,
+                observed: obs2,
+                invoked: r2_inv,
+                ..
+            } = *r2
+            else {
+                continue;
+            };
+            if r2k == rk && r_comp < r2_inv && obs2 < observed {
+                violations.push(format!(
+                    "reads of {rk} went backwards in real time: {observed} then {obs2}"
+                ));
+            }
+        }
+    }
+    violations
+}
+
+#[test]
+fn concurrent_history_is_linearizable() {
+    let mut cfg = ClusterConfig::cloudlab().with_nodes(3);
+    cfg.wire_latency_ns = 30_000;
+    let cl = Arc::new(Cluster::spawn(
+        cfg,
+        DdpModel::lin(PersistencyModel::Synchronous),
+    ));
+    let history: Arc<Mutex<Vec<OpRec>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let mut handles = Vec::new();
+    for t in 0..6u16 {
+        let cl = Arc::clone(&cl);
+        let history = Arc::clone(&history);
+        handles.push(std::thread::spawn(move || {
+            let node = NodeId(t % 3);
+            for i in 0..15u32 {
+                let key = Key(u64::from(i % 2));
+                if (t + i as u16) % 3 == 0 {
+                    let invoked = Instant::now();
+                    let ts = cl
+                        .put(node, key, format!("t{t}i{i}").into())
+                        .expect("put");
+                    history.lock().unwrap().push(OpRec::Write {
+                        key,
+                        ts,
+                        invoked,
+                        completed: Instant::now(),
+                    });
+                } else {
+                    let invoked = Instant::now();
+                    // get() returns the value; re-issue through submit to
+                    // capture the observed version via the public API:
+                    // the cluster's Outcome::Read carries it, but get()
+                    // strips it — use the version-reporting helper below.
+                    let (_v, observed) = get_versioned(&cl, node, key);
+                    history.lock().unwrap().push(OpRec::Read {
+                        key,
+                        observed,
+                        invoked,
+                        completed: Instant::now(),
+                    });
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let history = history.lock().unwrap();
+    let violations = audit(&history);
+    assert!(
+        violations.is_empty(),
+        "linearizability violations in {} ops:\n{}",
+        history.len(),
+        violations.join("\n")
+    );
+
+    match Arc::try_unwrap(cl) {
+        Ok(cl) => cl.shutdown(),
+        Err(_) => panic!("cluster still shared"),
+    }
+}
+
+/// Reads `key` and reports the version observed, via the public
+/// `get_versioned` API.
+fn get_versioned(cl: &Cluster, node: NodeId, key: Key) -> (minos_types::Value, Ts) {
+    cl.get_versioned(node, key).expect("get")
+}
+
+#[test]
+fn audit_detects_planted_stale_read() {
+    // Sanity-check the checker itself with a fabricated broken history.
+    let t0 = Instant::now();
+    let later = |ms: u64| t0 + std::time::Duration::from_millis(ms);
+    let history = vec![
+        OpRec::Write {
+            key: Key(1),
+            ts: Ts::new(NodeId(0), 5),
+            invoked: later(0),
+            completed: later(10),
+        },
+        OpRec::Read {
+            key: Key(1),
+            observed: Ts::new(NodeId(0), 3), // older than the completed write
+            invoked: later(20),
+            completed: later(30),
+        },
+    ];
+    let violations = audit(&history);
+    assert_eq!(violations.len(), 1);
+    assert!(violations[0].contains("already completed"));
+}

@@ -1,0 +1,163 @@
+//! The real-socket runtime: in-process TCP nodes and genuine
+//! multi-process clusters via the `minos-noded` binary.
+
+use minos_cluster::tcp::{TcpClient, TcpNode, TcpNodeConfig};
+use minos_types::{DdpModel, Key, NodeId, PersistencyModel, ScopeId};
+use std::net::{SocketAddr, TcpListener};
+use std::time::{Duration, Instant};
+
+/// Reserves `n` distinct loopback ports (racy in theory, fine for tests).
+fn free_addrs(n: usize) -> Vec<SocketAddr> {
+    (0..n)
+        .map(|_| {
+            TcpListener::bind("127.0.0.1:0")
+                .unwrap()
+                .local_addr()
+                .unwrap()
+        })
+        .collect()
+}
+
+fn spawn_tcp_cluster(n: usize, model: DdpModel) -> (Vec<TcpNode>, Vec<SocketAddr>) {
+    let peers = free_addrs(n);
+    let clients = free_addrs(n);
+    let nodes: Vec<TcpNode> = (0..n)
+        .map(|i| {
+            TcpNode::serve(TcpNodeConfig {
+                node: NodeId(i as u16),
+                model,
+                peers: peers.clone(),
+                client_addr: clients[i],
+                persist_ns_per_kb: 1295,
+            })
+            .expect("bind node")
+        })
+        .collect();
+    let client_addrs = nodes.iter().map(TcpNode::client_addr).collect();
+    (nodes, client_addrs)
+}
+
+#[test]
+fn tcp_put_then_get_from_every_node() {
+    let (nodes, clients) = spawn_tcp_cluster(3, DdpModel::lin(PersistencyModel::Synchronous));
+
+    let mut c0 = TcpClient::connect(clients[0]).unwrap();
+    let ts = c0.put(Key(7), b"hello-tcp", None).unwrap();
+    assert_eq!(ts, minos_types::Ts::new(NodeId(0), 1));
+
+    for &addr in &clients {
+        let mut c = TcpClient::connect(addr).unwrap();
+        assert_eq!(c.get(Key(7)).unwrap(), b"hello-tcp");
+    }
+    for n in nodes {
+        n.shutdown();
+    }
+}
+
+#[test]
+fn tcp_writes_from_multiple_coordinators() {
+    let (nodes, clients) = spawn_tcp_cluster(3, DdpModel::lin(PersistencyModel::Eventual));
+    let mut c0 = TcpClient::connect(clients[0]).unwrap();
+    let mut c2 = TcpClient::connect(clients[2]).unwrap();
+
+    c0.put(Key(1), b"first", None).unwrap();
+    c2.put(Key(1), b"second", None).unwrap();
+
+    // Lin: after the second put returns, every node serves it.
+    for &addr in &clients {
+        let mut c = TcpClient::connect(addr).unwrap();
+        assert_eq!(c.get(Key(1)).unwrap(), b"second", "stale read via {addr}");
+    }
+    for n in nodes {
+        n.shutdown();
+    }
+}
+
+#[test]
+fn tcp_scope_model_with_persist() {
+    let (nodes, clients) = spawn_tcp_cluster(2, DdpModel::lin(PersistencyModel::Scope));
+    let mut c = TcpClient::connect(clients[0]).unwrap();
+    let sc = ScopeId(3);
+    c.put(Key(1), b"a", Some(sc)).unwrap();
+    c.put(Key(2), b"b", Some(sc)).unwrap();
+    c.persist_scope(sc).unwrap();
+    assert_eq!(c.get(Key(1)).unwrap(), b"a");
+    for n in nodes {
+        n.shutdown();
+    }
+}
+
+#[test]
+fn tcp_many_sequential_writes_converge() {
+    let (nodes, clients) = spawn_tcp_cluster(3, DdpModel::lin(PersistencyModel::Synchronous));
+    let mut conns: Vec<TcpClient> = clients
+        .iter()
+        .map(|&a| TcpClient::connect(a).unwrap())
+        .collect();
+    for i in 0..30u32 {
+        let c = (i % 3) as usize;
+        conns[c].put(Key(5), format!("v{i}").as_bytes(), None).unwrap();
+    }
+    for c in &mut conns {
+        assert_eq!(c.get(Key(5)).unwrap(), b"v29");
+    }
+    for n in nodes {
+        n.shutdown();
+    }
+}
+
+/// The genuine multi-process deployment: three `minos-noded` processes on
+/// localhost, driven by a TCP client from the test process.
+#[test]
+fn three_process_cluster_end_to_end() {
+    let bin = env!("CARGO_BIN_EXE_minos-noded");
+    let peers = free_addrs(3);
+    let clients = free_addrs(3);
+    let peer_args: Vec<String> = peers.iter().map(ToString::to_string).collect();
+
+    let mut children: Vec<std::process::Child> = (0..3)
+        .map(|i| {
+            std::process::Command::new(bin)
+                .arg(i.to_string())
+                .arg("synch")
+                .arg(clients[i].to_string())
+                .args(&peer_args)
+                .stderr(std::process::Stdio::null())
+                .spawn()
+                .expect("spawn minos-noded")
+        })
+        .collect();
+
+    // Wait for the client ports to come up.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut conn = loop {
+        match TcpClient::connect(clients[0]) {
+            Ok(c) => break Some(c),
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(_) => break None,
+        }
+    }
+    .expect("node 0 client port never came up");
+
+    // Give peers a moment to bind before the first replicated write.
+    std::thread::sleep(Duration::from_millis(200));
+
+    let ts = conn.put(Key(42), b"multiprocess", None).unwrap();
+    assert_eq!(ts.node, NodeId(0));
+
+    // Read the replica from a *different process*.
+    let mut conn2 = TcpClient::connect(clients[2]).unwrap();
+    assert_eq!(conn2.get(Key(42)).unwrap(), b"multiprocess");
+
+    // A second write through node 2, read back via node 1.
+    conn2.put(Key(42), b"round-two", None).unwrap();
+    let mut conn1 = TcpClient::connect(clients[1]).unwrap();
+    assert_eq!(conn1.get(Key(42)).unwrap(), b"round-two");
+
+    for c in &mut children {
+        let _ = c.kill();
+        let _ = c.wait();
+    }
+}

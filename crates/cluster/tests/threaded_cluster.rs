@@ -1,0 +1,140 @@
+//! Integration tests for the threaded runtime: real concurrency, real
+//! failure detection, real recovery.
+
+use minos_cluster::Cluster;
+use minos_types::{ClusterConfig, DdpModel, Key, NodeId, PersistencyModel, ScopeId};
+use std::time::Duration;
+
+fn fast_cfg(nodes: usize) -> ClusterConfig {
+    let mut cfg = ClusterConfig::cloudlab().with_nodes(nodes);
+    // Short wire latency and failure timeout keep the test suite quick.
+    cfg.wire_latency_ns = 20_000;
+    cfg.failure_timeout_ns = 40_000_000; // 40 ms
+    cfg
+}
+
+fn synch() -> DdpModel {
+    DdpModel::lin(PersistencyModel::Synchronous)
+}
+
+#[test]
+fn put_then_get_everywhere() {
+    let cl = Cluster::spawn(fast_cfg(3), synch());
+    cl.put(NodeId(0), Key(1), "hello".into()).unwrap();
+    for n in 0..3 {
+        assert_eq!(cl.get(NodeId(n), Key(1)).unwrap(), "hello", "node {n}");
+    }
+    cl.shutdown();
+}
+
+#[test]
+fn all_models_run_threaded() {
+    for model in DdpModel::all_lin() {
+        let cl = Cluster::spawn(fast_cfg(3), model);
+        let sc = (model.persistency == PersistencyModel::Scope).then_some(ScopeId(1));
+        cl.put_scoped(NodeId(0), Key(2), "x".into(), sc).unwrap();
+        if let Some(sc) = sc {
+            cl.persist_scope(NodeId(0), sc).unwrap();
+        }
+        assert_eq!(cl.get(NodeId(1), Key(2)).unwrap(), "x", "{model}");
+        cl.shutdown();
+    }
+}
+
+#[test]
+fn concurrent_clients_from_many_threads() {
+    let cl = std::sync::Arc::new(Cluster::spawn(fast_cfg(4), synch()));
+    let mut handles = Vec::new();
+    for t in 0..8u16 {
+        let cl = std::sync::Arc::clone(&cl);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..10u32 {
+                let node = NodeId(t % 4);
+                let key = Key(u64::from(i % 3));
+                cl.put(node, key, format!("t{t}i{i}").into()).unwrap();
+                let _ = cl.get(node, key).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // All replicas agree after the storm.
+    for key in [Key(0), Key(1), Key(2)] {
+        let v0 = cl.get(NodeId(0), key).unwrap();
+        for n in 1..4 {
+            assert_eq!(cl.get(NodeId(n), key).unwrap(), v0, "{key} node {n}");
+        }
+    }
+    match std::sync::Arc::try_unwrap(cl) {
+        Ok(cl) => cl.shutdown(),
+        Err(_) => panic!("cluster still shared"),
+    }
+}
+
+#[test]
+fn linearizable_read_after_remote_write() {
+    let cl = Cluster::spawn(fast_cfg(5), synch());
+    for i in 0..20u32 {
+        let writer = NodeId((i % 5) as u16);
+        let reader = NodeId(((i + 3) % 5) as u16);
+        cl.put(writer, Key(9), format!("v{i}").into()).unwrap();
+        // Lin: once the write returned, every replica must serve it.
+        assert_eq!(cl.get(reader, Key(9)).unwrap(), format!("v{i}"));
+    }
+    cl.shutdown();
+}
+
+#[test]
+fn crash_is_detected_and_cluster_continues() {
+    let cl = Cluster::spawn(fast_cfg(3), synch());
+    cl.put(NodeId(0), Key(1), "before".into()).unwrap();
+
+    cl.crash_node(NodeId(2));
+    assert!(
+        cl.await_failure_detection(NodeId(2), Duration::from_secs(5)),
+        "heartbeat detector never fired"
+    );
+    // Writes complete against the shrunken quorum.
+    cl.put(NodeId(0), Key(1), "during".into()).unwrap();
+    assert_eq!(cl.get(NodeId(1), Key(1)).unwrap(), "during");
+    cl.shutdown();
+}
+
+#[test]
+fn recovery_ships_log_and_readmits() {
+    let cl = Cluster::spawn(fast_cfg(3), synch());
+    cl.put(NodeId(0), Key(1), "v1".into()).unwrap();
+
+    cl.crash_node(NodeId(2));
+    assert!(cl.await_failure_detection(NodeId(2), Duration::from_secs(5)));
+    cl.put(NodeId(0), Key(1), "v2".into()).unwrap();
+    cl.put(NodeId(1), Key(2), "w".into()).unwrap();
+
+    cl.recover_node(NodeId(2), NodeId(0)).unwrap();
+    assert_eq!(cl.get(NodeId(2), Key(1)).unwrap(), "v2");
+    assert_eq!(cl.get(NodeId(2), Key(2)).unwrap(), "w");
+
+    // The rejoined node coordinates new writes.
+    cl.put(NodeId(2), Key(3), "fresh".into()).unwrap();
+    assert_eq!(cl.get(NodeId(0), Key(3)).unwrap(), "fresh");
+    cl.shutdown();
+}
+
+#[test]
+fn requests_to_crashed_node_fail_fast() {
+    let cl = Cluster::spawn(fast_cfg(3), synch());
+    cl.crash_node(NodeId(1));
+    assert!(cl.put(NodeId(1), Key(1), "x".into()).is_err());
+    assert!(cl.get(NodeId(1), Key(1)).is_err());
+    cl.shutdown();
+}
+
+#[test]
+fn shutdown_is_clean_with_inflight_traffic() {
+    let cl = Cluster::spawn(fast_cfg(4), synch());
+    for i in 0..10u64 {
+        cl.put(NodeId((i % 4) as u16), Key(i), "x".into()).unwrap();
+    }
+    cl.shutdown(); // must not hang or panic
+}

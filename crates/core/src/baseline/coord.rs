@@ -1,0 +1,349 @@
+//! Coordinator-side write algorithm (Figure 2 left column, Figure 3
+//! model-specific steps).
+
+use super::{AckKind, CoordState, CoordTx, NodeEngine};
+use crate::event::{Action, Event, MetaOp, ReqId};
+use minos_types::{Key, Message, PersistencyModel, ScopeId, Ts, Value};
+use std::collections::BTreeSet;
+
+impl NodeEngine {
+    /// Figure 2, Line 4: a new client-write arrives; a `TS_WR` is
+    /// generated. The protocol body (Lines 5–18) runs at the deferred
+    /// [`Event::StartWrite`], preserving the race window in which remote
+    /// INVs can make this write obsolete.
+    pub(crate) fn client_write(
+        &mut self,
+        key: Key,
+        value: Value,
+        scope: Option<ScopeId>,
+        req: ReqId,
+        out: &mut Vec<Action>,
+    ) {
+        // Partial replication: only replicas coordinate writes.
+        if !self.is_replica(key) {
+            let to = self.replicas_of(key)[0];
+            out.push(Action::Redirect {
+                to,
+                event: Event::ClientWrite {
+                    key,
+                    value,
+                    scope,
+                    req,
+                },
+            });
+            return;
+        }
+        self.stats_mut().writes += 1;
+        let me = self.node();
+        let ts = self.store_mut().issue_ts(key, me);
+        let tx = CoordTx {
+            req,
+            value,
+            scope,
+            state: CoordState::PendingStart,
+            acks: BTreeSet::new(),
+            ack_cs: BTreeSet::new(),
+            ack_ps: BTreeSet::new(),
+            local_persisted: false,
+            client_done: false,
+        };
+        self.coord.insert((key, ts), tx);
+        self.defer(Event::StartWrite { key, ts }, out);
+    }
+
+    /// Figure 2, Lines 5–18.
+    pub(crate) fn start_write(&mut self, key: Key, ts: Ts, out: &mut Vec<Action>) {
+        let Some(mut tx) = self.coord.remove(&(key, ts)) else {
+            return; // duplicate StartWrite; nothing to do
+        };
+        debug_assert_eq!(tx.state, CoordState::PendingStart);
+
+        // Line 5: Obsolete(TS_WR)?
+        self.meta_hint(MetaOp::ObsoleteCheck, out);
+        let meta = self.store().meta(key);
+        if meta.is_obsolete(ts) {
+            // Lines 6–7: handleObsolete() and return to client.
+            self.stats_mut().obsolete_coord += 1;
+            tx.state = CoordState::ObsoleteConsistency {
+                target: meta.volatile_ts,
+            };
+            self.coord.insert((key, ts), tx);
+            return;
+        }
+
+        // Line 8: Snatch RDLock(k).
+        self.meta_hint(MetaOp::SnatchRdLock, out);
+        self.acquire_rd_lock(key, ts);
+
+        // Line 9: grab WRLock. The engine applies Lines 9–13 atomically
+        // (the embedding harness serializes engine access), so the lock is
+        // modeled as acquire/release hints plus a sanity flag.
+        self.meta_hint(MetaOp::WrLockAcquire, out);
+        debug_assert!(!self.store().meta(key).wr_lock, "WRLock held re-entrantly");
+        self.store_mut().record_mut(key).meta.wr_lock = true;
+
+        // Line 10: final obsoleteness check (cannot differ within one
+        // event, but kept for fidelity and for the threaded runtime).
+        self.meta_hint(MetaOp::ObsoleteCheck, out);
+        let obsolete_now = self.store().meta(key).is_obsolete(ts);
+        if obsolete_now {
+            // Lines 15–16: release WRLock first, then handleObsolete().
+            self.store_mut().record_mut(key).meta.wr_lock = false;
+            self.meta_hint(MetaOp::WrLockRelease, out);
+            self.stats_mut().obsolete_coord += 1;
+            let target = self.store().meta(key).volatile_ts;
+            tx.state = CoordState::ObsoleteConsistency { target };
+            self.coord.insert((key, ts), tx);
+            return;
+        }
+
+        // Line 11: send INVs to all Followers (single fan-out action).
+        self.send_to_followers(
+            Message::Inv {
+                key,
+                ts,
+                value: tx.value.clone(),
+                scope: tx.scope,
+            },
+            out,
+        );
+
+        // Line 12: update local volatile state (LLC) and volatileTS.
+        let bytes = tx.value.len() as u64;
+        self.store_mut().apply_local_write(key, ts, tx.value.clone());
+        self.meta_hint(MetaOp::LlcUpdate { bytes }, out);
+        self.meta_hint(MetaOp::TsUpdate, out);
+
+        // Line 13: release WRLock.
+        self.store_mut().record_mut(key).meta.wr_lock = false;
+        self.meta_hint(MetaOp::WrLockRelease, out);
+
+        // Lines 17–18 / Figure 3 Step d: persist to NVM — in the critical
+        // path for Synch and Strict, in the background otherwise.
+        out.push(Action::Persist {
+            key,
+            ts,
+            value: tx.value.clone(),
+            background: !self.model().persistency.persist_in_critical_path(),
+        });
+
+        // <Lin, Scope>: register the write in its scope.
+        if let Some(sc) = tx.scope {
+            let me = self.node();
+            self.scopes_mut().add_write(me, sc, key, ts);
+        }
+
+        tx.state = CoordState::AwaitAcks;
+        self.coord.insert((key, ts), tx);
+    }
+
+    /// Books an acknowledgment from `from` into the matching transaction.
+    /// Late acks for completed transactions are legitimately discarded.
+    pub(crate) fn record_ack(&mut self, key: Key, ts: Ts, from: minos_types::NodeId, kind: AckKind) {
+        debug_assert_ne!(from, self.node(), "node acked itself");
+        if let Some(tx) = self.coord.get_mut(&(key, ts)) {
+            match kind {
+                AckKind::Combined => tx.acks.insert(from),
+                AckKind::Consistency => tx.ack_cs.insert(from),
+                AckKind::Persistency => tx.ack_ps.insert(from),
+            };
+        }
+    }
+
+    /// One poll step for coordinator transaction `(key, ts)`; returns true
+    /// if the transaction made progress (and may need re-polling).
+    pub(crate) fn poll_coord_tx(&mut self, key: Key, ts: Ts, out: &mut Vec<Action>) -> bool {
+        let Some(mut tx) = self.coord.remove(&(key, ts)) else {
+            return false;
+        };
+        let followers = self.followers_for(key);
+        let model = self.model().persistency;
+        let mut progressed = false;
+
+        loop {
+            match tx.state {
+                CoordState::PendingStart => break,
+                CoordState::ObsoleteConsistency { target } => {
+                    // ConsistencySpin(): wait for the newer write to be
+                    // globally visible.
+                    if self.store().meta(key).glb_volatile_ts >= target {
+                        progressed = true;
+                        if model.obsolete_waits_for_persist() {
+                            tx.state = CoordState::ObsoletePersistency { target };
+                        } else {
+                            out.push(Action::WriteDone {
+                                req: tx.req,
+                                key,
+                                ts,
+                                obsolete: true,
+                            });
+                            return true; // tx dropped
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                CoordState::ObsoletePersistency { target } => {
+                    // PersistencySpin().
+                    if self.store().meta(key).glb_durable_ts >= target {
+                        out.push(Action::WriteDone {
+                            req: tx.req,
+                            key,
+                            ts,
+                            obsolete: true,
+                        });
+                        return true;
+                    }
+                    break;
+                }
+                CoordState::AwaitAcks => {
+                    let fired = match model {
+                        PersistencyModel::Synchronous => {
+                            // Line 19: all ACKs received (update + persist
+                            // everywhere) and the local persist finished.
+                            if tx.acks.len() >= followers && tx.local_persisted {
+                                self.finish_synch_coord(key, ts, &mut tx, out);
+                                return true;
+                            }
+                            false
+                        }
+                        PersistencyModel::Strict => {
+                            // Figure 3(i) Step e: spin for ACK_Cs.
+                            if tx.ack_cs.len() >= followers {
+                                self.consistency_global(key, ts, out);
+                                self.unlock_if_owner(key, ts, out);
+                                self.send_to_followers(Message::ValC { key, ts, scope: None }, out);
+                                tx.state = CoordState::AwaitPersistAcks;
+                                true
+                            } else {
+                                false
+                            }
+                        }
+                        PersistencyModel::ReadEnforced => {
+                            // Figure 3(iii) Step e: all ACK_Cs → return to
+                            // the client; RDLock stays held until ACK_Ps.
+                            if tx.ack_cs.len() >= followers {
+                                self.consistency_global(key, ts, out);
+                                out.push(Action::WriteDone {
+                                    req: tx.req,
+                                    key,
+                                    ts,
+                                    obsolete: false,
+                                });
+                                tx.client_done = true;
+                                tx.state = CoordState::AwaitPersistAcks;
+                                true
+                            } else {
+                                false
+                            }
+                        }
+                        PersistencyModel::Eventual | PersistencyModel::Scope => {
+                            // Figure 3(v)/(vii) Step e–f: all ACK_Cs →
+                            // release RDLock, send VAL_Cs, return.
+                            if tx.ack_cs.len() >= followers {
+                                self.consistency_global(key, ts, out);
+                                self.unlock_if_owner(key, ts, out);
+                                self.send_to_followers(
+                                    Message::ValC {
+                                        key,
+                                        ts,
+                                        scope: tx.scope,
+                                    },
+                                    out,
+                                );
+                                out.push(Action::WriteDone {
+                                    req: tx.req,
+                                    key,
+                                    ts,
+                                    obsolete: false,
+                                });
+                                return true; // tx complete (persist in bg)
+                            }
+                            false
+                        }
+                    };
+                    if fired {
+                        progressed = true;
+                        continue;
+                    }
+                    break;
+                }
+                CoordState::AwaitPersistAcks => {
+                    match model {
+                        PersistencyModel::Strict => {
+                            // Figure 3(i) Step f: spin for ACK_Ps, send
+                            // VAL_Ps, return to client.
+                            if tx.ack_ps.len() >= followers && tx.local_persisted {
+                                self.durability_global(key, ts, out);
+                                self.send_to_followers(Message::ValP { key, ts }, out);
+                                out.push(Action::WriteDone {
+                                    req: tx.req,
+                                    key,
+                                    ts,
+                                    obsolete: false,
+                                });
+                                return true;
+                            }
+                        }
+                        PersistencyModel::ReadEnforced => {
+                            // Figure 3(iii): when all ACK_Ps are received,
+                            // the RDLock is released and the VALs sent.
+                            if tx.ack_ps.len() >= followers && tx.local_persisted {
+                                self.durability_global(key, ts, out);
+                                self.unlock_if_owner(key, ts, out);
+                                self.send_to_followers(Message::Val { key, ts }, out);
+                                debug_assert!(tx.client_done);
+                                return true;
+                            }
+                        }
+                        _ => unreachable!("AwaitPersistAcks only in Strict/REnf"),
+                    }
+                    break;
+                }
+            }
+        }
+
+        self.coord.insert((key, ts), tx);
+        progressed
+    }
+
+    /// Completes a Synchronous-model coordinator write: the single ACK set
+    /// covers consistency and persistency, so both global timestamps rise,
+    /// the RDLock is released if still owned, and VALs go out (Figure 2
+    /// Lines 19–22).
+    fn finish_synch_coord(&mut self, key: Key, ts: Ts, tx: &mut CoordTx, out: &mut Vec<Action>) {
+        self.consistency_global(key, ts, out);
+        self.durability_global(key, ts, out);
+        self.unlock_if_owner(key, ts, out);
+        self.send_to_followers(Message::Val { key, ts }, out);
+        out.push(Action::WriteDone {
+            req: tx.req,
+            key,
+            ts,
+            obsolete: false,
+        });
+    }
+
+    /// The write is now consistent across all replicas: raise
+    /// `glb_volatileTS`.
+    pub(crate) fn consistency_global(&mut self, key: Key, ts: Ts, out: &mut Vec<Action>) {
+        self.store_mut().record_mut(key).meta.raise_glb_volatile(ts);
+        self.meta_hint(MetaOp::TsUpdate, out);
+    }
+
+    /// The write is now durable across all replicas: raise
+    /// `glb_durableTS`.
+    pub(crate) fn durability_global(&mut self, key: Key, ts: Ts, out: &mut Vec<Action>) {
+        self.store_mut().record_mut(key).meta.raise_glb_durable(ts);
+        self.meta_hint(MetaOp::TsUpdate, out);
+    }
+
+    /// Figure 2 Lines 20–21 / 42–43: release the RDLock iff this write
+    /// still owns it, then wake any stalled reads.
+    pub(crate) fn unlock_if_owner(&mut self, key: Key, ts: Ts, out: &mut Vec<Action>) {
+        if self.store_mut().record_mut(key).meta.rd_unlock_if_owner(ts) {
+            self.meta_hint(MetaOp::RdUnlock, out);
+            self.wake_reads(key, out);
+        }
+    }
+}

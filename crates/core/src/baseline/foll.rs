@@ -1,0 +1,260 @@
+//! Follower-side write algorithm (Figure 2 right column, Figure 3
+//! model-specific steps) plus the `[PERSIST]sc` follower handling.
+
+use super::{FollTx, NodeEngine};
+use crate::event::{Action, MetaOp};
+use minos_types::{Key, Message, NodeId, PersistencyModel, ScopeId, Ts, Value};
+
+impl NodeEngine {
+    /// Figure 2, Lines 26–40: an `INV` arrived.
+    pub(crate) fn handle_inv(
+        &mut self,
+        from: NodeId,
+        key: Key,
+        ts: Ts,
+        value: Value,
+        scope: Option<ScopeId>,
+        out: &mut Vec<Action>,
+    ) {
+        let mut tx = FollTx::new(from, value, scope);
+
+        // Line 27: Obsolete(TS_WR)?
+        self.meta_hint(MetaOp::ObsoleteCheck, out);
+        let meta = self.store().meta(key);
+        if meta.is_obsolete(ts) {
+            // Lines 28–30: handleObsolete(), then ACK as if done. The
+            // spin(s) run as wait conditions in the poll pass.
+            self.stats_mut().obsolete_foll += 1;
+            tx.obsolete = Some(meta.volatile_ts);
+            self.foll.insert((key, ts), tx);
+            return;
+        }
+
+        // Line 31: Snatch RDLock(k).
+        self.meta_hint(MetaOp::SnatchRdLock, out);
+        self.acquire_rd_lock(key, ts);
+
+        // Lines 32–38: WRLock, re-check, update LLC + volatileTS, unlock.
+        self.meta_hint(MetaOp::WrLockAcquire, out);
+        self.store_mut().record_mut(key).meta.wr_lock = true;
+        self.meta_hint(MetaOp::ObsoleteCheck, out);
+        // (Within one event the re-check cannot newly fail; kept for the
+        // threaded runtime and timing fidelity.)
+        let bytes = tx.value.len() as u64;
+        self.store_mut().apply_local_write(key, ts, tx.value.clone());
+        self.meta_hint(MetaOp::LlcUpdate { bytes }, out);
+        self.meta_hint(MetaOp::TsUpdate, out);
+        self.store_mut().record_mut(key).meta.wr_lock = false;
+        self.meta_hint(MetaOp::WrLockRelease, out);
+        tx.llc_updated = true;
+
+        // Line 39 / Figure 3: persist the update — critical path only for
+        // Synch and Strict followers (REnf/Event/Scope ACK_C first).
+        out.push(Action::Persist {
+            key,
+            ts,
+            value: tx.value.clone(),
+            background: !self.model().persistency.persist_in_critical_path(),
+        });
+
+        if let Some(sc) = tx.scope {
+            self.scopes_mut().add_write(from, sc, key, ts);
+        }
+
+        self.foll.insert((key, ts), tx);
+        // ACKs are emitted by the poll pass once their gates are met.
+    }
+
+    /// One poll step for follower transaction `(key, ts)`; returns true on
+    /// progress.
+    pub(crate) fn poll_foll_tx(&mut self, key: Key, ts: Ts, out: &mut Vec<Action>) -> bool {
+        let Some(mut tx) = self.foll.remove(&(key, ts)) else {
+            return false;
+        };
+        let model = self.model().persistency;
+        let mut progressed = false;
+
+        if let Some(target) = tx.obsolete {
+            progressed |= self.poll_obsolete_foll(key, ts, target, &mut tx, out);
+            let done = match model {
+                PersistencyModel::Synchronous => tx.sent_ack,
+                PersistencyModel::Strict | PersistencyModel::ReadEnforced => tx.sent_ack_p,
+                PersistencyModel::Eventual | PersistencyModel::Scope => tx.sent_ack_c,
+            };
+            if !done {
+                self.foll.insert((key, ts), tx);
+            }
+            // Obsolete transactions end after their final ACK; the later
+            // VAL "will be received ... but will be discarded" (§III-B).
+            return progressed || done;
+        }
+
+        match model {
+            PersistencyModel::Synchronous => {
+                // Line 40: ACK after LLC update *and* persist.
+                if tx.llc_updated && tx.local_persisted && !tx.sent_ack {
+                    self.send_one(tx.coord, Message::Ack { key, ts }, out);
+                    tx.sent_ack = true;
+                    progressed = true;
+                }
+                // Lines 41–44: on VAL, release RDLock; global TSs rise.
+                if tx.got_val_c && tx.sent_ack {
+                    self.consistency_global(key, ts, out);
+                    self.durability_global(key, ts, out);
+                    self.unlock_if_owner(key, ts, out);
+                    return true; // tx complete
+                }
+            }
+            PersistencyModel::Strict => {
+                if tx.llc_updated && !tx.sent_ack_c {
+                    self.send_one(tx.coord, Message::AckC { key, ts, scope: None }, out);
+                    tx.sent_ack_c = true;
+                    progressed = true;
+                }
+                if tx.local_persisted && !tx.sent_ack_p {
+                    self.send_one(tx.coord, Message::AckP { key, ts }, out);
+                    tx.sent_ack_p = true;
+                    progressed = true;
+                }
+                if tx.got_val_c && !tx.val_c_applied {
+                    self.consistency_global(key, ts, out);
+                    self.unlock_if_owner(key, ts, out);
+                    tx.val_c_applied = true;
+                    progressed = true;
+                }
+                if tx.got_val_c && tx.got_val_p {
+                    // Step m: VAL_P completes the write.
+                    self.durability_global(key, ts, out);
+                    return true;
+                }
+            }
+            PersistencyModel::ReadEnforced => {
+                if tx.llc_updated && !tx.sent_ack_c {
+                    self.send_one(tx.coord, Message::AckC { key, ts, scope: None }, out);
+                    tx.sent_ack_c = true;
+                    progressed = true;
+                }
+                if tx.local_persisted && !tx.sent_ack_p {
+                    self.send_one(tx.coord, Message::AckP { key, ts }, out);
+                    tx.sent_ack_p = true;
+                    progressed = true;
+                }
+                // Figure 3(iv): single VAL type enables reads; update is
+                // globally consistent *and* durable at that point.
+                if tx.got_val_c {
+                    self.consistency_global(key, ts, out);
+                    self.durability_global(key, ts, out);
+                    self.unlock_if_owner(key, ts, out);
+                    return true;
+                }
+            }
+            PersistencyModel::Eventual | PersistencyModel::Scope => {
+                if tx.llc_updated && !tx.sent_ack_c {
+                    let scope = tx.scope;
+                    self.send_one(tx.coord, Message::AckC { key, ts, scope }, out);
+                    tx.sent_ack_c = true;
+                    progressed = true;
+                }
+                if tx.got_val_c {
+                    self.consistency_global(key, ts, out);
+                    self.unlock_if_owner(key, ts, out);
+                    return true;
+                }
+            }
+        }
+
+        self.foll.insert((key, ts), tx);
+        progressed
+    }
+
+    /// The obsolete-INV path: ConsistencySpin → (ACK_C) →
+    /// PersistencySpin → (ACK_P), per Figure 2 Lines 23–25 and Figure 3.
+    fn poll_obsolete_foll(
+        &mut self,
+        key: Key,
+        ts: Ts,
+        target: Ts,
+        tx: &mut FollTx,
+        out: &mut Vec<Action>,
+    ) -> bool {
+        let model = self.model().persistency;
+        let meta = self.store().meta(key);
+        let mut progressed = false;
+
+        match model {
+            PersistencyModel::Synchronous => {
+                // handleObsolete() = both spins, then one combined ACK.
+                if !tx.sent_ack && meta.glb_volatile_ts >= target && meta.glb_durable_ts >= target
+                {
+                    self.send_one(tx.coord, Message::Ack { key, ts }, out);
+                    tx.sent_ack = true;
+                    progressed = true;
+                }
+            }
+            PersistencyModel::Strict | PersistencyModel::ReadEnforced => {
+                // Figure 3(ii): ConsistencySpin → ACK_C, then
+                // PersistencySpin → ACK_P.
+                if !tx.sent_ack_c && meta.glb_volatile_ts >= target {
+                    self.send_one(tx.coord, Message::AckC { key, ts, scope: None }, out);
+                    tx.sent_ack_c = true;
+                    progressed = true;
+                }
+                if tx.sent_ack_c && !tx.sent_ack_p && meta.glb_durable_ts >= target {
+                    self.send_one(tx.coord, Message::AckP { key, ts }, out);
+                    tx.sent_ack_p = true;
+                    progressed = true;
+                }
+            }
+            PersistencyModel::Eventual | PersistencyModel::Scope => {
+                // No PersistencySpin in the weak models (Figure 3).
+                if !tx.sent_ack_c && meta.glb_volatile_ts >= target {
+                    let scope = tx.scope;
+                    self.send_one(tx.coord, Message::AckC { key, ts, scope }, out);
+                    tx.sent_ack_c = true;
+                    progressed = true;
+                }
+            }
+        }
+        progressed
+    }
+
+    /// A consistency validation (`VAL` or `VAL_C`) arrived. Unknown
+    /// transactions are the paper's "discarded" VALs (obsolete path); the
+    /// global-consistency information they carry is still applied (the
+    /// raise is a monotone max, so it is always safe).
+    pub(crate) fn handle_val_c(&mut self, key: Key, ts: Ts, out: &mut Vec<Action>) {
+        if let Some(tx) = self.foll.get_mut(&(key, ts)) {
+            tx.got_val_c = true;
+        } else {
+            self.consistency_global(key, ts, out);
+            self.stats_mut().vals_discarded += 1;
+        }
+    }
+
+    /// A `VAL_P` arrived (Strict).
+    pub(crate) fn handle_val_p(&mut self, key: Key, ts: Ts) {
+        if let Some(tx) = self.foll.get_mut(&(key, ts)) {
+            tx.got_val_p = true;
+        } else {
+            self.store_mut().record_mut(key).meta.raise_glb_durable(ts);
+            self.stats_mut().vals_discarded += 1;
+        }
+    }
+
+    /// `[PERSIST]sc` arrived (Scope model, Figure 3(viii)): flush the
+    /// scope, answer `[ACK_P]sc` once everything in it is locally durable.
+    pub(crate) fn handle_persist_request(&mut self, from: NodeId, scope: ScopeId) {
+        let _ready_now = self.scopes_mut().request_flush(from, scope);
+        // The ACK is emitted by the poll pass (uniform with the
+        // wait-for-persist case).
+    }
+
+    /// `[VAL_P]sc` arrived: the scope's writes are durable everywhere;
+    /// raise their `glb_durableTS` and drop the scope.
+    pub(crate) fn handle_persist_val(&mut self, from: NodeId, scope: ScopeId) {
+        let writes = self.scopes_mut().finish(from, scope);
+        for (key, ts) in writes {
+            self.store_mut().record_mut(key).meta.raise_glb_durable(ts);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! The engine's progress pass: after each event, re-evaluate every wait
+//! condition until a fixpoint. This realizes the paper's spin loops
+//! (Figure 2 Lines 14/19, ConsistencySpin, PersistencySpin) in an
+//! event-driven setting.
+
+use super::NodeEngine;
+use crate::event::{Action, ReqId};
+use minos_types::{Message, ScopeId};
+
+impl NodeEngine {
+    /// `[PERSIST]sc` submitted by a local client (Scope model): start the
+    /// persist transaction and fan `[PERSIST]sc` out to the followers
+    /// (Figure 3(vii)).
+    pub(crate) fn client_persist_scope(
+        &mut self,
+        scope: ScopeId,
+        req: ReqId,
+        out: &mut Vec<Action>,
+    ) {
+        self.stats_mut().scope_persists += 1;
+        let me = self.node();
+        self.scopes_mut().start_persist_tx(me, scope, req);
+        self.send_to_followers(Message::Persist { scope }, out);
+        // Completion is gated in the poll pass: all [ACK_P]sc received and
+        // the coordinator's own scope writes durable.
+    }
+
+    /// Runs wait-condition evaluation to a fixpoint.
+    pub(crate) fn poll(&mut self, out: &mut Vec<Action>) {
+        loop {
+            let mut progressed = false;
+
+            let coord_keys: Vec<_> = self.coord.keys().copied().collect();
+            for (key, ts) in coord_keys {
+                progressed |= self.poll_coord_tx(key, ts, out);
+            }
+
+            let foll_keys: Vec<_> = self.foll.keys().copied().collect();
+            for (key, ts) in foll_keys {
+                progressed |= self.poll_foll_tx(key, ts, out);
+            }
+
+            progressed |= self.poll_scope_flushes(out);
+            progressed |= self.poll_persist_txs(out);
+
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// Follower side of `[PERSIST]sc`: send `[ACK_P]sc` for every scope
+    /// whose flush was requested and whose writes are now locally durable.
+    fn poll_scope_flushes(&mut self, out: &mut Vec<Action>) -> bool {
+        let me = self.node();
+        let ready = self.scopes().ready_to_ack(me);
+        let mut progressed = false;
+        for (owner, scope) in ready {
+            self.scopes_mut().mark_acked(owner, scope);
+            self.send_one(owner, Message::PersistAckP { scope }, out);
+            progressed = true;
+        }
+        progressed
+    }
+
+    /// Coordinator side of `[PERSIST]sc`: once every follower acked and
+    /// the local scope writes are durable, send `[VAL_P]sc`, raise the
+    /// scope's `glb_durableTS`s, and answer the client.
+    fn poll_persist_txs(&mut self, out: &mut Vec<Action>) -> bool {
+        let me = self.node();
+        let followers = self.followers();
+        let candidates: Vec<_> = self
+            .scopes()
+            .persist_tx_ids(me)
+            .into_iter()
+            .filter(|&sc| {
+                self.scopes().persist_ack_count(me, sc) >= followers
+                    && self.scopes().locally_persisted(me, sc)
+            })
+            .collect();
+
+        let mut progressed = false;
+        for scope in candidates {
+            let Some(req) = self.scopes().persist_tx(me, scope).map(|tx| tx.req) else {
+                continue;
+            };
+            self.send_to_followers(Message::PersistValP { scope }, out);
+            let writes = self.scopes_mut().finish(me, scope);
+            for (key, ts) in writes {
+                self.store_mut().record_mut(key).meta.raise_glb_durable(ts);
+            }
+            out.push(Action::PersistScopeDone { req, scope });
+            progressed = true;
+        }
+        progressed
+    }
+}

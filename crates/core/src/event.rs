@@ -1,0 +1,224 @@
+//! Inputs ([`Event`]) and outputs ([`Action`]) of the protocol engines.
+//!
+//! The engines are pure state machines: the embedding harness (threaded
+//! cluster, discrete-event simulator, or model checker) feeds [`Event`]s
+//! and executes the emitted [`Action`]s. All notions of *time* live in the
+//! harness; the engine only emits [`MetaOp`] hints so the simulator can
+//! charge the right latencies.
+
+use minos_types::{Key, Message, NodeId, ScopeId, Ts, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Correlates a client request with its completion action.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ReqId(pub u64);
+
+impl fmt::Display for ReqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// An input to a MINOS-Baseline node engine.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// A client submits a write (the node becomes the write's Coordinator).
+    ///
+    /// The engine assigns `TS_WR` and emits [`Action::Defer`] with a
+    /// [`Event::StartWrite`]; the gap between the two events is the race
+    /// window in which a remote `INV` can make the write obsolete (the
+    /// Figure 2 Line 5 / Line 10 checks).
+    ClientWrite {
+        /// Record to write.
+        key: Key,
+        /// New value.
+        value: Value,
+        /// Scope tag (`<Lin, Scope>` model only).
+        scope: Option<ScopeId>,
+        /// Request correlation id.
+        req: ReqId,
+    },
+    /// Second phase of a client write: runs Figure 2, Lines 5–18.
+    StartWrite {
+        /// Record being written.
+        key: Key,
+        /// The timestamp issued by the earlier [`Event::ClientWrite`].
+        ts: Ts,
+    },
+    /// A client submits a read (always satisfied locally, §III-D).
+    ClientRead {
+        /// Record to read.
+        key: Key,
+        /// Request correlation id.
+        req: ReqId,
+    },
+    /// A client ends a scope with `[PERSIST]sc` (`<Lin, Scope>` only).
+    ClientPersistScope {
+        /// Scope to flush.
+        scope: ScopeId,
+        /// Request correlation id.
+        req: ReqId,
+    },
+    /// A protocol message arrived from a peer.
+    Message {
+        /// Sending node.
+        from: NodeId,
+        /// The message.
+        msg: Message,
+    },
+    /// A previously requested NVM persist completed.
+    PersistDone {
+        /// Record that was persisted.
+        key: Key,
+        /// Timestamp of the persisted write.
+        ts: Ts,
+    },
+}
+
+/// Which queue a deferred event should take in the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DelayClass {
+    /// Local scheduling hop (e.g. handing a request to a worker thread).
+    LocalDispatch,
+}
+
+/// An output of a MINOS-Baseline node engine, to be executed by the
+/// embedding harness.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Send `msg` to one peer.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        msg: Message,
+    },
+    /// Send `msg` to every other node (the Coordinator's INV/VAL fan-out).
+    ///
+    /// Kept as a single action so the harness decides how the fan-out is
+    /// paid for: serialized unicasts (baseline), a batched PCIe descriptor,
+    /// or true broadcast (the Fig 12 ablations).
+    SendToFollowers {
+        /// The message.
+        msg: Message,
+    },
+    /// Start an NVM persist of `value` for `(key, ts)`; the harness must
+    /// eventually feed back [`Event::PersistDone`].
+    Persist {
+        /// Record being persisted.
+        key: Key,
+        /// Timestamp of the write.
+        ts: Ts,
+        /// Payload (its length drives the latency model).
+        value: Value,
+        /// Whether the persist is off the critical path (Figure 3: true
+        /// for REnf/Event/Scope coordinators and their followers).
+        background: bool,
+    },
+    /// Re-inject `event` after a harness-chosen delay.
+    Defer {
+        /// The event to re-inject.
+        event: Event,
+        /// Scheduling class.
+        class: DelayClass,
+    },
+    /// The write transaction `req` has returned to the client.
+    WriteDone {
+        /// Request correlation id.
+        req: ReqId,
+        /// Record written.
+        key: Key,
+        /// The write's timestamp.
+        ts: Ts,
+        /// True if the write was cut short as obsolete (a newer write
+        /// superseded it; §III-A "Outdated Writes").
+        obsolete: bool,
+    },
+    /// The read `req` completed with `value`.
+    ReadDone {
+        /// Request correlation id.
+        req: ReqId,
+        /// Record read.
+        key: Key,
+        /// Value observed.
+        value: Value,
+        /// Version observed (the record's `volatileTS` at read time).
+        ts: Ts,
+    },
+    /// The `[PERSIST]sc` transaction `req` completed.
+    PersistScopeDone {
+        /// Request correlation id.
+        req: ReqId,
+        /// The flushed scope.
+        scope: ScopeId,
+    },
+    /// Partial-replication extension: this node holds no replica of the
+    /// request's record; the harness should re-submit `event` at `to`.
+    Redirect {
+        /// A replica node that can coordinate the request.
+        to: NodeId,
+        /// The original client event, to resubmit verbatim.
+        event: Event,
+    },
+    /// Timing hint: a metadata/compute step happened (the simulator charges
+    /// Table III latencies for these; other harnesses ignore them).
+    Meta(MetaOp),
+}
+
+/// Metadata/compute steps the simulator charges time for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetaOp {
+    /// `Obsolete(TS_WR)` timestamp comparison.
+    ObsoleteCheck,
+    /// "Snatch RDLock" compare-and-swap.
+    SnatchRdLock,
+    /// RDLock release.
+    RdUnlock,
+    /// WRLock acquire (MINOS-B only).
+    WrLockAcquire,
+    /// WRLock release (MINOS-B only).
+    WrLockRelease,
+    /// Local volatile (LLC) record update of `bytes` bytes.
+    LlcUpdate {
+        /// Payload size.
+        bytes: u64,
+    },
+    /// Timestamp metadata update (volatileTS / glb_* raise).
+    TsUpdate,
+}
+
+impl Action {
+    /// True for actions that complete a client-visible request.
+    #[must_use]
+    pub fn is_completion(&self) -> bool {
+        matches!(
+            self,
+            Action::WriteDone { .. } | Action::ReadDone { .. } | Action::PersistScopeDone { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completions_are_classified() {
+        let w = Action::WriteDone {
+            req: ReqId(1),
+            key: Key(0),
+            ts: Ts::zero(),
+            obsolete: false,
+        };
+        assert!(w.is_completion());
+        assert!(!Action::Meta(MetaOp::ObsoleteCheck).is_completion());
+    }
+
+    #[test]
+    fn req_id_displays() {
+        assert_eq!(ReqId(7).to_string(), "r7");
+    }
+}

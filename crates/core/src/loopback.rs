@@ -1,0 +1,592 @@
+//! A deterministic, single-process loopback harness for the protocol
+//! engines.
+//!
+//! [`BCluster`] drives [`NodeEngine`]s (MINOS-B) and [`OCluster`] drives
+//! [`ONodeEngine`]s (MINOS-O) with a FIFO event queue and immediate
+//! action execution. No timing is modeled — this harness answers "does
+//! the protocol converge and what does it decide", which is what the unit
+//! tests, the KV layer, and the examples need. For timing, use the
+//! simulator in `minos-net`; for exhaustive interleavings, `minos-mc`.
+//!
+//! Persist completions can be held back (`auto_persist = false`) to test
+//! the persistency gates of each model.
+
+use crate::baseline::NodeEngine;
+use crate::event::{Action, Event, ReqId};
+use crate::offload::{OAction, OEvent, ONodeEngine, Side};
+use minos_types::{DdpModel, Key, NodeId, ScopeId, Ts, Value};
+use std::collections::VecDeque;
+
+/// A client-visible completion observed by a loopback cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Completion {
+    /// A write finished.
+    Write {
+        /// Node that coordinated it.
+        node: NodeId,
+        /// Request id.
+        req: ReqId,
+        /// Key written.
+        key: Key,
+        /// Timestamp assigned.
+        ts: Ts,
+        /// Whether it was cut short as obsolete.
+        obsolete: bool,
+    },
+    /// A read finished.
+    Read {
+        /// Node that served it.
+        node: NodeId,
+        /// Request id.
+        req: ReqId,
+        /// Key read.
+        key: Key,
+        /// Value observed.
+        value: Value,
+        /// Version observed.
+        ts: Ts,
+    },
+    /// A `[PERSIST]sc` finished.
+    PersistScope {
+        /// Coordinating node.
+        node: NodeId,
+        /// Request id.
+        req: ReqId,
+        /// Scope flushed.
+        scope: ScopeId,
+    },
+}
+
+/// Loopback driver for a cluster of MINOS-B engines.
+///
+/// # Example
+///
+/// ```
+/// use minos_core::loopback::BCluster;
+/// use minos_types::{DdpModel, Key, NodeId, PersistencyModel};
+///
+/// let mut cl = BCluster::new(3, DdpModel::lin(PersistencyModel::Synchronous));
+/// let req = cl.submit_write(NodeId(0), Key(1), "v1".into(), None);
+/// cl.run();
+/// assert!(cl.write_completed(req));
+/// // All three replicas converged.
+/// for n in 0..3 {
+///     assert_eq!(cl.engine(NodeId(n)).record_value(Key(1)).unwrap(), "v1");
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BCluster {
+    engines: Vec<NodeEngine>,
+    queue: VecDeque<(NodeId, Event)>,
+    /// When false, persist completions are parked in `held_persists` until
+    /// [`BCluster::release_persists`] is called.
+    pub auto_persist: bool,
+    held_persists: Vec<(NodeId, Key, Ts)>,
+    completions: Vec<Completion>,
+    next_req: u64,
+    scramble: Option<u64>,
+}
+
+/// xorshift64*, used for seeded event-order scrambling without pulling a
+/// random-number dependency into the protocol crate.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+impl BCluster {
+    /// Builds an `n`-node cluster running `model`.
+    #[must_use]
+    pub fn new(n: usize, model: DdpModel) -> Self {
+        BCluster {
+            engines: (0..n)
+                .map(|i| NodeEngine::new(NodeId(i as u16), n, model))
+                .collect(),
+            queue: VecDeque::new(),
+            auto_persist: true,
+            held_persists: Vec::new(),
+            completions: Vec::new(),
+            next_req: 1,
+            scramble: None,
+        }
+    }
+
+    /// Enables seeded event-order scrambling: `step` pops a pseudo-random
+    /// queued event instead of the oldest one. Per-pair FIFO ordering is
+    /// *not* preserved — this explores message reorderings the network
+    /// could produce, which the protocol must tolerate.
+    pub fn set_scramble(&mut self, seed: u64) {
+        self.scramble = Some(seed.max(1));
+    }
+
+    /// Access to a node's engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not in the cluster.
+    #[must_use]
+    pub fn engine(&self, node: NodeId) -> &NodeEngine {
+        &self.engines[node.0 as usize]
+    }
+
+    /// Mutable access to a node's engine (e.g. to pre-load records).
+    pub fn engine_mut(&mut self, node: NodeId) -> &mut NodeEngine {
+        &mut self.engines[node.0 as usize]
+    }
+
+    /// Pre-loads `key` on every node.
+    pub fn load_all(&mut self, key: Key, value: Value) {
+        for e in &mut self.engines {
+            e.load_record(key, value.clone());
+        }
+    }
+
+    /// Completions observed so far.
+    #[must_use]
+    pub fn completions(&self) -> &[Completion] {
+        &self.completions
+    }
+
+    fn fresh_req(&mut self) -> ReqId {
+        let r = ReqId(self.next_req);
+        self.next_req += 1;
+        r
+    }
+
+    /// Submits a client write at `node`; returns its request id.
+    pub fn submit_write(
+        &mut self,
+        node: NodeId,
+        key: Key,
+        value: Value,
+        scope: Option<ScopeId>,
+    ) -> ReqId {
+        let req = self.fresh_req();
+        self.queue.push_back((
+            node,
+            Event::ClientWrite {
+                key,
+                value,
+                scope,
+                req,
+            },
+        ));
+        req
+    }
+
+    /// Submits a client read at `node`.
+    pub fn submit_read(&mut self, node: NodeId, key: Key) -> ReqId {
+        let req = self.fresh_req();
+        self.queue.push_back((node, Event::ClientRead { key, req }));
+        req
+    }
+
+    /// Submits a `[PERSIST]sc` at `node`.
+    pub fn submit_persist_scope(&mut self, node: NodeId, scope: ScopeId) -> ReqId {
+        let req = self.fresh_req();
+        self.queue
+            .push_back((node, Event::ClientPersistScope { scope, req }));
+        req
+    }
+
+    /// Injects a raw event (tests use this for out-of-order deliveries).
+    pub fn inject(&mut self, node: NodeId, event: Event) {
+        self.queue.push_back((node, event));
+    }
+
+    /// Processes one queued event. Returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let picked = match self.scramble {
+            Some(ref mut seed) if !self.queue.is_empty() => {
+                let idx = (xorshift(seed) % self.queue.len() as u64) as usize;
+                self.queue.remove(idx)
+            }
+            _ => self.queue.pop_front(),
+        };
+        let Some((node, ev)) = picked else {
+            return false;
+        };
+        let mut out = Vec::new();
+        self.engines[node.0 as usize].on_event(ev, &mut out);
+        self.dispatch(node, out);
+        true
+    }
+
+    /// Runs until no event is queued.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 10 million steps (a protocol livelock would otherwise
+    /// hang the test suite).
+    pub fn run(&mut self) {
+        let mut steps = 0u64;
+        while self.step() {
+            steps += 1;
+            assert!(steps < 10_000_000, "loopback cluster did not quiesce");
+        }
+    }
+
+    /// Releases all held persist completions (manual-persist mode) and
+    /// returns how many were released.
+    pub fn release_persists(&mut self) -> usize {
+        let held = std::mem::take(&mut self.held_persists);
+        let n = held.len();
+        for (node, key, ts) in held {
+            self.queue.push_back((node, Event::PersistDone { key, ts }));
+        }
+        n
+    }
+
+    fn dispatch(&mut self, node: NodeId, actions: Vec<Action>) {
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => {
+                    self.queue
+                        .push_back((to, Event::Message { from: node, msg }));
+                }
+                Action::SendToFollowers { msg } => {
+                    for to in self.engines[node.0 as usize].fanout_targets(msg.key()) {
+                        self.queue.push_back((
+                            to,
+                            Event::Message {
+                                from: node,
+                                msg: msg.clone(),
+                            },
+                        ));
+                    }
+                }
+                Action::Redirect { to, event } => {
+                    self.queue.push_back((to, event));
+                }
+                Action::Persist { key, ts, .. } => {
+                    if self.auto_persist {
+                        self.queue.push_back((node, Event::PersistDone { key, ts }));
+                    } else {
+                        self.held_persists.push((node, key, ts));
+                    }
+                }
+                Action::Defer { event, .. } => self.queue.push_back((node, event)),
+                Action::WriteDone {
+                    req,
+                    key,
+                    ts,
+                    obsolete,
+                } => self.completions.push(Completion::Write {
+                    node,
+                    req,
+                    key,
+                    ts,
+                    obsolete,
+                }),
+                Action::ReadDone {
+                    req,
+                    key,
+                    value,
+                    ts,
+                } => self.completions.push(Completion::Read {
+                    node,
+                    req,
+                    key,
+                    value,
+                    ts,
+                }),
+                Action::PersistScopeDone { req, scope } => {
+                    self.completions
+                        .push(Completion::PersistScope { node, req, scope });
+                }
+                Action::Meta(_) => {}
+            }
+        }
+    }
+
+    /// Whether write `req` has completed.
+    #[must_use]
+    pub fn write_completed(&self, req: ReqId) -> bool {
+        self.completions
+            .iter()
+            .any(|c| matches!(c, Completion::Write { req: r, .. } if *r == req))
+    }
+
+    /// The value observed by read `req`, if it has completed.
+    #[must_use]
+    pub fn read_value(&self, req: ReqId) -> Option<Value> {
+        self.completions.iter().find_map(|c| match c {
+            Completion::Read { req: r, value, .. } if *r == req => Some(value.clone()),
+            _ => None,
+        })
+    }
+
+    /// Asserts that every replica of `key` converged to the same value and
+    /// fully-released, consistent metadata. Returns that value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if replicas diverge or a lock is still held.
+    pub fn assert_converged(&self, key: Key) -> Value {
+        let first = self.engines[0].record_value(key).unwrap_or_default();
+        let meta0 = self.engines[0].record_meta(key);
+        for e in &self.engines {
+            let meta = e.record_meta(key);
+            assert!(
+                meta.readable(),
+                "node {}: RDLock still held: {meta}",
+                e.node()
+            );
+            assert!(!meta.wr_lock, "node {}: WRLock still held", e.node());
+            assert_eq!(
+                e.record_value(key).unwrap_or_default(),
+                first,
+                "replica divergence at node {}",
+                e.node()
+            );
+            assert_eq!(
+                meta.volatile_ts,
+                meta0.volatile_ts,
+                "volatileTS divergence at node {}",
+                e.node()
+            );
+        }
+        first
+    }
+}
+
+/// Loopback driver for a cluster of MINOS-O engines (host + SmartNIC per
+/// node). PCIe descriptors and FIFO drains are delivered through the same
+/// FIFO queue; functional behavior matches the simulator's, minus timing.
+#[derive(Debug, Clone)]
+pub struct OCluster {
+    engines: Vec<ONodeEngine>,
+    queue: VecDeque<(NodeId, OEvent)>,
+    completions: Vec<Completion>,
+    next_req: u64,
+    scramble: Option<u64>,
+}
+
+impl OCluster {
+    /// Builds an `n`-node MINOS-O cluster running `model`.
+    #[must_use]
+    pub fn new(n: usize, model: DdpModel) -> Self {
+        OCluster {
+            engines: (0..n)
+                .map(|i| ONodeEngine::new(NodeId(i as u16), n, model))
+                .collect(),
+            queue: VecDeque::new(),
+            completions: Vec::new(),
+            next_req: 1,
+            scramble: None,
+        }
+    }
+
+    /// Enables seeded event-order scrambling (see
+    /// [`BCluster::set_scramble`]).
+    pub fn set_scramble(&mut self, seed: u64) {
+        self.scramble = Some(seed.max(1));
+    }
+
+    /// Access to a node's engine.
+    #[must_use]
+    pub fn engine(&self, node: NodeId) -> &ONodeEngine {
+        &self.engines[node.0 as usize]
+    }
+
+    /// Mutable access to a node's engine.
+    pub fn engine_mut(&mut self, node: NodeId) -> &mut ONodeEngine {
+        &mut self.engines[node.0 as usize]
+    }
+
+    /// Pre-loads `key` on every node.
+    pub fn load_all(&mut self, key: Key, value: Value) {
+        for e in &mut self.engines {
+            e.load_record(key, value.clone());
+        }
+    }
+
+    /// Completions observed so far.
+    #[must_use]
+    pub fn completions(&self) -> &[Completion] {
+        &self.completions
+    }
+
+    fn fresh_req(&mut self) -> ReqId {
+        let r = ReqId(self.next_req);
+        self.next_req += 1;
+        r
+    }
+
+    /// Submits a client write at `node`.
+    pub fn submit_write(
+        &mut self,
+        node: NodeId,
+        key: Key,
+        value: Value,
+        scope: Option<ScopeId>,
+    ) -> ReqId {
+        let req = self.fresh_req();
+        self.queue.push_back((
+            node,
+            OEvent::ClientWrite {
+                key,
+                value,
+                scope,
+                req,
+            },
+        ));
+        req
+    }
+
+    /// Submits a client read at `node`.
+    pub fn submit_read(&mut self, node: NodeId, key: Key) -> ReqId {
+        let req = self.fresh_req();
+        self.queue
+            .push_back((node, OEvent::ClientRead { key, req }));
+        req
+    }
+
+    /// Submits a `[PERSIST]sc` at `node`.
+    pub fn submit_persist_scope(&mut self, node: NodeId, scope: ScopeId) -> ReqId {
+        let req = self.fresh_req();
+        self.queue
+            .push_back((node, OEvent::ClientPersistScope { scope, req }));
+        req
+    }
+
+    /// Processes one queued event.
+    pub fn step(&mut self) -> bool {
+        let picked = match self.scramble {
+            Some(ref mut seed) if !self.queue.is_empty() => {
+                let idx = (xorshift(seed) % self.queue.len() as u64) as usize;
+                self.queue.remove(idx)
+            }
+            _ => self.queue.pop_front(),
+        };
+        let Some((node, ev)) = picked else {
+            return false;
+        };
+        let mut out = Vec::new();
+        self.engines[node.0 as usize].on_event(ev, &mut out);
+        self.dispatch(node, out);
+        true
+    }
+
+    /// Runs to quiescence.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 10 million steps.
+    pub fn run(&mut self) {
+        let mut steps = 0u64;
+        while self.step() {
+            steps += 1;
+            assert!(steps < 10_000_000, "loopback O-cluster did not quiesce");
+        }
+    }
+
+    fn dispatch(&mut self, node: NodeId, actions: Vec<OAction>) {
+        for a in actions {
+            match a {
+                OAction::Pcie { from, msg } => {
+                    let ev = match from {
+                        Side::Host => OEvent::PcieFromHost(msg),
+                        Side::Snic => OEvent::PcieFromSnic(msg),
+                    };
+                    self.queue.push_back((node, ev));
+                }
+                OAction::Send { to, msg } => {
+                    self.queue
+                        .push_back((to, OEvent::NetMessage { from: node, msg }));
+                }
+                OAction::SendToFollowers { msg } => {
+                    for i in 0..self.engines.len() {
+                        let to = NodeId(i as u16);
+                        if to != node {
+                            self.queue.push_back((
+                                to,
+                                OEvent::NetMessage {
+                                    from: node,
+                                    msg: msg.clone(),
+                                },
+                            ));
+                        }
+                    }
+                }
+                OAction::VfifoEnqueue { key, ts, .. } => {
+                    self.queue.push_back((node, OEvent::VfifoDrained { key, ts }));
+                }
+                OAction::DfifoEnqueue { key, ts, .. } => {
+                    self.queue.push_back((node, OEvent::DfifoDrained { key, ts }));
+                }
+                OAction::Defer { event } => self.queue.push_back((node, event)),
+                OAction::WriteDone {
+                    req,
+                    key,
+                    ts,
+                    obsolete,
+                } => self.completions.push(Completion::Write {
+                    node,
+                    req,
+                    key,
+                    ts,
+                    obsolete,
+                }),
+                OAction::ReadDone {
+                    req,
+                    key,
+                    value,
+                    ts,
+                } => self.completions.push(Completion::Read {
+                    node,
+                    req,
+                    key,
+                    value,
+                    ts,
+                }),
+                OAction::PersistScopeDone { req, scope } => {
+                    self.completions
+                        .push(Completion::PersistScope { node, req, scope });
+                }
+                OAction::Meta { .. } | OAction::CoherenceTransfer { .. } => {}
+            }
+        }
+    }
+
+    /// Whether write `req` has completed.
+    #[must_use]
+    pub fn write_completed(&self, req: ReqId) -> bool {
+        self.completions
+            .iter()
+            .any(|c| matches!(c, Completion::Write { req: r, .. } if *r == req))
+    }
+
+    /// The value observed by read `req`, if completed.
+    #[must_use]
+    pub fn read_value(&self, req: ReqId) -> Option<Value> {
+        self.completions.iter().find_map(|c| match c {
+            Completion::Read { req: r, value, .. } if *r == req => Some(value.clone()),
+            _ => None,
+        })
+    }
+
+    /// Asserts replica convergence for `key`; returns the common value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if replicas diverge or a lock is still held.
+    pub fn assert_converged(&self, key: Key) -> Value {
+        let first = self.engines[0].record_value(key).unwrap_or_default();
+        for e in &self.engines {
+            let meta = e.record_meta(key);
+            assert!(meta.readable(), "node {}: RDLock still held", e.node());
+            assert_eq!(
+                e.record_value(key).unwrap_or_default(),
+                first,
+                "replica divergence at node {}",
+                e.node()
+            );
+        }
+        first
+    }
+}

@@ -1,0 +1,685 @@
+//! MINOS-O protocol flows (Figure 8 and the Figure 7 timelines).
+
+use super::{OAction, OCoordTx, OEvent, OFollTx, ONodeEngine, PcieMsg, Side};
+use crate::event::{MetaOp, ReqId};
+use minos_types::{Key, Message, NodeId, PersistencyModel, ScopeId, Ts, Value};
+use std::collections::BTreeSet;
+
+impl ONodeEngine {
+    /// Figure 8, Line 4: host receives a client write and issues `TS_WR`.
+    pub(super) fn o_client_write(
+        &mut self,
+        key: Key,
+        value: Value,
+        scope: Option<ScopeId>,
+        req: ReqId,
+        out: &mut Vec<OAction>,
+    ) {
+        self.stats_mut().writes += 1;
+        self.meta_access(Side::Host, key, out);
+        let me = self.node();
+        let ts = self.store_mut().issue_ts(key, me);
+        let tx = OCoordTx {
+            req,
+            value,
+            scope,
+            obsolete: None,
+            inv_sent: false,
+            enqueued: false,
+            vfifo_drained: false,
+            acks: BTreeSet::new(),
+            ack_cs: BTreeSet::new(),
+            ack_ps: BTreeSet::new(),
+            batched_ack_sent: false,
+            client_done: false,
+            val_c_sent: false,
+            val_p_sent: false,
+        };
+        self.coord_map().insert((key, ts), tx);
+        out.push(OAction::Defer {
+            event: OEvent::HostStart { key, ts },
+        });
+    }
+
+    /// Figure 8, Lines 5–12: obsoleteness check, RDLock snatch, batched
+    /// INV to the SmartNIC. All on the host, against coherent metadata.
+    pub(super) fn o_host_start(&mut self, key: Key, ts: Ts, out: &mut Vec<OAction>) {
+        let Some(mut tx) = self.coord_map().remove(&(key, ts)) else {
+            return;
+        };
+
+        self.hint(Side::Host, MetaOp::ObsoleteCheck, out);
+        self.meta_access(Side::Host, key, out);
+        let meta = self.store().meta(key);
+        if meta.is_obsolete(ts) {
+            // Lines 6–7: handleObsolete() then exit; the spins resolve in
+            // the poll pass.
+            self.stats_mut().obsolete_coord += 1;
+            tx.obsolete = Some(meta.volatile_ts);
+            self.coord_map().insert((key, ts), tx);
+            return;
+        }
+
+        // Line 8: Snatch RDLock(k) — a host CAS on the coherent line.
+        self.hint(Side::Host, MetaOp::SnatchRdLock, out);
+        if self.store_mut().record_mut(key).meta.snatch_rd_lock(ts) {
+            self.stats_mut().rd_lock_snatches += 1;
+        }
+
+        // Lines 9–10: final check, then one batched INV over PCIe.
+        self.hint(Side::Host, MetaOp::ObsoleteCheck, out);
+        out.push(OAction::Pcie {
+            from: Side::Host,
+            msg: PcieMsg::BatchedInv {
+                key,
+                ts,
+                value: tx.value.clone(),
+                scope: tx.scope,
+            },
+        });
+        tx.inv_sent = true;
+        self.coord_map().insert((key, ts), tx);
+    }
+
+    /// §III-D read, checked on the host against the coherent RDLock.
+    pub(super) fn o_client_read(&mut self, key: Key, req: ReqId, out: &mut Vec<OAction>) {
+        self.stats_mut().reads += 1;
+        self.meta_access(Side::Host, key, out);
+        if self.store().meta(key).readable() {
+            self.o_complete_read(key, req, out);
+        } else {
+            self.stats_mut().reads_stalled += 1;
+            self.reads_map().entry(key).or_default().push(req);
+        }
+    }
+
+    fn o_complete_read(&mut self, key: Key, req: ReqId, out: &mut Vec<OAction>) {
+        let (value, ts) = match self.store().record(key) {
+            Some(r) => (r.value.clone(), r.meta.volatile_ts),
+            None => (Value::new(), Ts::zero()),
+        };
+        out.push(OAction::ReadDone {
+            req,
+            key,
+            value,
+            ts,
+        });
+    }
+
+    /// SmartNIC handler for descriptors from the local host.
+    pub(super) fn o_snic_from_host(&mut self, msg: PcieMsg, out: &mut Vec<OAction>) {
+        match msg {
+            // Figure 8, Lines 15–17: broadcast the INV, enqueue to both
+            // FIFOs.
+            PcieMsg::BatchedInv {
+                key,
+                ts,
+                value,
+                scope,
+            } => {
+                self.send_to_followers_o(
+                    Message::Inv {
+                        key,
+                        ts,
+                        value: value.clone(),
+                        scope,
+                    },
+                    out,
+                );
+                let bytes = value.len() as u64;
+                out.push(OAction::VfifoEnqueue { key, ts, bytes });
+                out.push(OAction::DfifoEnqueue { key, ts, bytes });
+                if let Some(sc) = scope {
+                    // The dFIFO enqueue makes the write durable at once.
+                    let me = self.node();
+                    self.scopes_mut().add_write(me, sc, key, ts);
+                    let _ = self.scopes_mut().mark_persisted(key, ts);
+                }
+                if let Some(tx) = self.coord_map().get_mut(&(key, ts)) {
+                    tx.enqueued = true;
+                }
+            }
+            // `[PERSIST]sc` offloaded wholesale to the SNIC.
+            PcieMsg::PersistScopeReq { scope, req } => {
+                self.stats_mut().scope_persists += 1;
+                let me = self.node();
+                self.scopes_mut().start_persist_tx(me, scope, req);
+                self.send_to_followers_o(Message::Persist { scope }, out);
+            }
+            _ => {}
+        }
+    }
+
+    /// Host handler for descriptors from the local SmartNIC.
+    pub(super) fn o_host_from_snic(&mut self, msg: PcieMsg, out: &mut Vec<OAction>) {
+        match msg {
+            // Figure 8, Lines 13–14: batched ACK ends the client write.
+            PcieMsg::BatchedAck { key, ts } => {
+                if let Some(tx) = self.coord_map().get_mut(&(key, ts)) {
+                    if !tx.client_done {
+                        tx.client_done = true;
+                        let req = tx.req;
+                        out.push(OAction::WriteDone {
+                            req,
+                            key,
+                            ts,
+                            obsolete: false,
+                        });
+                    }
+                }
+            }
+            PcieMsg::PersistScopeDone { scope, req } => {
+                out.push(OAction::PersistScopeDone { req, scope });
+            }
+            _ => {}
+        }
+    }
+
+    /// SmartNIC handler for network messages.
+    pub(super) fn o_net_message(&mut self, from: NodeId, msg: Message, out: &mut Vec<OAction>) {
+        self.stats_mut().record_received(msg.kind());
+        match msg {
+            Message::Inv {
+                key,
+                ts,
+                value,
+                scope,
+            } => self.o_handle_inv(from, key, ts, value, scope, out),
+            Message::Ack { key, ts } => {
+                if let Some(tx) = self.coord_map().get_mut(&(key, ts)) {
+                    tx.acks.insert(from);
+                }
+            }
+            Message::AckC { key, ts, .. } => {
+                if let Some(tx) = self.coord_map().get_mut(&(key, ts)) {
+                    tx.ack_cs.insert(from);
+                }
+            }
+            Message::AckP { key, ts } => {
+                if let Some(tx) = self.coord_map().get_mut(&(key, ts)) {
+                    tx.ack_ps.insert(from);
+                }
+            }
+            Message::Val { key, ts } | Message::ValC { key, ts, .. } => {
+                if let Some(tx) = self.foll_map().get_mut(&(key, ts)) {
+                    tx.got_val_c = true;
+                } else {
+                    self.meta_access(Side::Snic, key, out);
+                    self.store_mut().record_mut(key).meta.raise_glb_volatile(ts);
+                    self.stats_mut().vals_discarded += 1;
+                }
+            }
+            Message::ValP { key, ts } => {
+                if let Some(tx) = self.foll_map().get_mut(&(key, ts)) {
+                    tx.got_val_p = true;
+                } else {
+                    self.store_mut().record_mut(key).meta.raise_glb_durable(ts);
+                    self.stats_mut().vals_discarded += 1;
+                }
+            }
+            Message::Persist { scope } => {
+                let _ = self.scopes_mut().request_flush(from, scope);
+            }
+            Message::PersistAckP { scope } => {
+                let me = self.node();
+                self.scopes_mut().persist_ack_insert(me, scope, from);
+            }
+            Message::PersistValP { scope } => {
+                let writes = self.scopes_mut().finish(from, scope);
+                for (key, ts) in writes {
+                    self.store_mut().record_mut(key).meta.raise_glb_durable(ts);
+                }
+            }
+            // Partial replication is a MINOS-B extension; MINOS-O always
+            // runs fully replicated, so read forwarding never reaches it.
+            Message::ReadReq { .. } | Message::ReadResp { .. } => {}
+        }
+    }
+
+    /// Figure 8, Lines 28–38: INV processing at a Follower SmartNIC.
+    fn o_handle_inv(
+        &mut self,
+        from: NodeId,
+        key: Key,
+        ts: Ts,
+        value: Value,
+        scope: Option<ScopeId>,
+        out: &mut Vec<OAction>,
+    ) {
+        let mut tx = OFollTx {
+            coord: from,
+            value,
+            scope,
+            obsolete: None,
+            enqueued: false,
+            vfifo_drained: false,
+            sent_ack: false,
+            sent_ack_c: false,
+            sent_ack_p: false,
+            got_val_c: false,
+            val_c_applied: false,
+            got_val_p: false,
+        };
+
+        // Lines 29–32: obsolete → handleObsolete, ACK, exit.
+        self.hint(Side::Snic, MetaOp::ObsoleteCheck, out);
+        self.meta_access(Side::Snic, key, out);
+        let meta = self.store().meta(key);
+        if meta.is_obsolete(ts) {
+            self.stats_mut().obsolete_foll += 1;
+            tx.obsolete = Some(meta.volatile_ts);
+            self.foll_map().insert((key, ts), tx);
+            return;
+        }
+
+        // Line 33: Snatch RDLock — a SmartNIC CAS.
+        self.hint(Side::Snic, MetaOp::SnatchRdLock, out);
+        if self.store_mut().record_mut(key).meta.snatch_rd_lock(ts) {
+            self.stats_mut().rd_lock_snatches += 1;
+        }
+
+        // Lines 34–35: enqueue to vFIFO and dFIFO (no WRLock in MINOS-O).
+        let bytes = tx.value.len() as u64;
+        out.push(OAction::VfifoEnqueue { key, ts, bytes });
+        out.push(OAction::DfifoEnqueue { key, ts, bytes });
+        tx.enqueued = true;
+        if let Some(sc) = scope {
+            self.scopes_mut().add_write(from, sc, key, ts);
+            let _ = self.scopes_mut().mark_persisted(key, ts);
+        }
+        self.foll_map().insert((key, ts), tx);
+        // Line 38's ACK is emitted by the poll pass.
+    }
+
+    /// vFIFO drain: obsoleteness check, then DMA into the host LLC
+    /// (§V-B-4).
+    pub(super) fn o_vfifo_drained(&mut self, key: Key, ts: Ts, out: &mut Vec<OAction>) {
+        self.hint(Side::Snic, MetaOp::ObsoleteCheck, out);
+        self.meta_access(Side::Snic, key, out);
+        let obsolete = self.store().meta(key).is_obsolete(ts);
+        let value = self
+            .coord_map()
+            .get(&(key, ts))
+            .map(|tx| tx.value.clone())
+            .or_else(|| self.foll_map().get(&(key, ts)).map(|tx| tx.value.clone()));
+        if let Some(value) = value {
+            if !obsolete {
+                let bytes = value.len() as u64;
+                self.store_mut().apply_local_write(key, ts, value);
+                self.hint(Side::Snic, MetaOp::LlcUpdate { bytes }, out);
+                self.hint(Side::Snic, MetaOp::TsUpdate, out);
+            }
+            if let Some(tx) = self.coord_map().get_mut(&(key, ts)) {
+                tx.vfifo_drained = true;
+            }
+            if let Some(tx) = self.foll_map().get_mut(&(key, ts)) {
+                tx.vfifo_drained = true;
+            }
+        }
+    }
+
+    /// dFIFO drain: the entry lands in the host NVM log; it was already
+    /// durable, so nothing gates on this.
+    pub(super) fn o_dfifo_drained(&mut self, _key: Key, _ts: Ts) {
+        self.stats_mut().persists_completed += 1;
+    }
+
+    pub(super) fn send_to_followers_o(&mut self, msg: Message, out: &mut Vec<OAction>) {
+        let n = self.followers();
+        self.stats_mut().record_fanout(msg.kind(), n);
+        out.push(OAction::SendToFollowers { msg });
+    }
+
+    pub(super) fn send_one_o(&mut self, to: NodeId, msg: Message, out: &mut Vec<OAction>) {
+        self.stats_mut().record_sent(msg.kind());
+        out.push(OAction::Send { to, msg });
+    }
+
+    fn o_unlock_if_owner(&mut self, key: Key, ts: Ts, out: &mut Vec<OAction>) {
+        self.meta_access(Side::Snic, key, out);
+        if self.store_mut().record_mut(key).meta.rd_unlock_if_owner(ts) {
+            self.hint(Side::Snic, MetaOp::RdUnlock, out);
+            if self.store().meta(key).readable() {
+                if let Some(pending) = self.reads_map().remove(&key) {
+                    for req in pending {
+                        self.o_complete_read(key, req, out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn raise_glb_v(&mut self, key: Key, ts: Ts, out: &mut Vec<OAction>) {
+        self.meta_access(Side::Snic, key, out);
+        self.store_mut().record_mut(key).meta.raise_glb_volatile(ts);
+        self.hint(Side::Snic, MetaOp::TsUpdate, out);
+    }
+
+    fn raise_glb_d(&mut self, key: Key, ts: Ts, out: &mut Vec<OAction>) {
+        self.meta_access(Side::Snic, key, out);
+        self.store_mut().record_mut(key).meta.raise_glb_durable(ts);
+        self.hint(Side::Snic, MetaOp::TsUpdate, out);
+    }
+
+    /// Fixpoint progress pass.
+    pub(super) fn o_poll(&mut self, out: &mut Vec<OAction>) {
+        loop {
+            let mut progressed = false;
+            for (key, ts) in self.coord_keys() {
+                progressed |= self.o_poll_coord(key, ts, out);
+            }
+            for (key, ts) in self.foll_keys() {
+                progressed |= self.o_poll_foll(key, ts, out);
+            }
+            progressed |= self.o_poll_scope_flushes(out);
+            progressed |= self.o_poll_persist_txs(out);
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    fn o_poll_coord(&mut self, key: Key, ts: Ts, out: &mut Vec<OAction>) -> bool {
+        let Some(mut tx) = self.coord_map().remove(&(key, ts)) else {
+            return false;
+        };
+        let followers = self.followers();
+        let model = self.model().persistency;
+        let mut progressed = false;
+
+        // Obsolete path: host-side spins on the coherent glb timestamps.
+        if let Some(target) = tx.obsolete {
+            let meta = self.store().meta(key);
+            let ok_v = meta.glb_volatile_ts >= target;
+            let ok_p = !model.obsolete_waits_for_persist() || meta.glb_durable_ts >= target;
+            if ok_v && ok_p {
+                out.push(OAction::WriteDone {
+                    req: tx.req,
+                    key,
+                    ts,
+                    obsolete: true,
+                });
+                return true;
+            }
+            self.coord_map().insert((key, ts), tx);
+            return false;
+        }
+
+        match model {
+            PersistencyModel::Synchronous => {
+                // Lines 18–20: all ACKs → one batched ACK to the host.
+                if tx.acks.len() >= followers && tx.enqueued && !tx.batched_ack_sent {
+                    out.push(OAction::Pcie {
+                        from: Side::Snic,
+                        msg: PcieMsg::BatchedAck { key, ts },
+                    });
+                    tx.batched_ack_sent = true;
+                    progressed = true;
+                }
+                // Lines 21–24: vFIFO drained → unlock + broadcast VALs.
+                if tx.acks.len() >= followers && tx.vfifo_drained && !tx.val_c_sent {
+                    self.raise_glb_v(key, ts, out);
+                    self.raise_glb_d(key, ts, out);
+                    self.o_unlock_if_owner(key, ts, out);
+                    self.send_to_followers_o(Message::Val { key, ts }, out);
+                    tx.val_c_sent = true;
+                    progressed = true;
+                }
+                if tx.val_c_sent && tx.client_done {
+                    return true;
+                }
+            }
+            PersistencyModel::Strict => {
+                if tx.ack_cs.len() >= followers && tx.vfifo_drained && !tx.val_c_sent {
+                    self.raise_glb_v(key, ts, out);
+                    self.o_unlock_if_owner(key, ts, out);
+                    self.send_to_followers_o(Message::ValC { key, ts, scope: None }, out);
+                    tx.val_c_sent = true;
+                    progressed = true;
+                }
+                // dFIFO enqueue made the local update durable.
+                if tx.val_c_sent
+                    && tx.ack_ps.len() >= followers
+                    && tx.enqueued
+                    && !tx.val_p_sent
+                {
+                    self.raise_glb_d(key, ts, out);
+                    self.send_to_followers_o(Message::ValP { key, ts }, out);
+                    out.push(OAction::Pcie {
+                        from: Side::Snic,
+                        msg: PcieMsg::BatchedAck { key, ts },
+                    });
+                    tx.val_p_sent = true;
+                    tx.batched_ack_sent = true;
+                    progressed = true;
+                }
+                if tx.val_p_sent && tx.client_done {
+                    return true;
+                }
+            }
+            PersistencyModel::ReadEnforced => {
+                if tx.ack_cs.len() >= followers && !tx.batched_ack_sent {
+                    out.push(OAction::Pcie {
+                        from: Side::Snic,
+                        msg: PcieMsg::BatchedAck { key, ts },
+                    });
+                    tx.batched_ack_sent = true;
+                    progressed = true;
+                }
+                // Global timestamps rise at the drained gate, where the
+                // local LLC too reflects the write (keeps
+                // glb_volatileTS ≤ volatileTS on the coordinator).
+                if tx.ack_cs.len() >= followers
+                    && tx.ack_ps.len() >= followers
+                    && tx.enqueued
+                    && tx.vfifo_drained
+                    && !tx.val_p_sent
+                {
+                    self.raise_glb_v(key, ts, out);
+                    self.raise_glb_d(key, ts, out);
+                    self.o_unlock_if_owner(key, ts, out);
+                    self.send_to_followers_o(Message::Val { key, ts }, out);
+                    tx.val_p_sent = true;
+                    progressed = true;
+                }
+                if tx.val_p_sent && tx.client_done {
+                    return true;
+                }
+            }
+            PersistencyModel::Eventual | PersistencyModel::Scope => {
+                if tx.ack_cs.len() >= followers && !tx.batched_ack_sent {
+                    out.push(OAction::Pcie {
+                        from: Side::Snic,
+                        msg: PcieMsg::BatchedAck { key, ts },
+                    });
+                    tx.batched_ack_sent = true;
+                    progressed = true;
+                }
+                if tx.ack_cs.len() >= followers && tx.vfifo_drained && !tx.val_c_sent {
+                    self.raise_glb_v(key, ts, out);
+                    self.o_unlock_if_owner(key, ts, out);
+                    let scope = tx.scope;
+                    self.send_to_followers_o(Message::ValC { key, ts, scope }, out);
+                    tx.val_c_sent = true;
+                    progressed = true;
+                }
+                if tx.val_c_sent && tx.client_done {
+                    return true;
+                }
+            }
+        }
+
+        self.coord_map().insert((key, ts), tx);
+        progressed
+    }
+
+    fn o_poll_foll(&mut self, key: Key, ts: Ts, out: &mut Vec<OAction>) -> bool {
+        let Some(mut tx) = self.foll_map().remove(&(key, ts)) else {
+            return false;
+        };
+        let model = self.model().persistency;
+        let mut progressed = false;
+
+        if let Some(target) = tx.obsolete {
+            let meta = self.store().meta(key);
+            match model {
+                PersistencyModel::Synchronous => {
+                    if !tx.sent_ack
+                        && meta.glb_volatile_ts >= target
+                        && meta.glb_durable_ts >= target
+                    {
+                        self.send_one_o(tx.coord, Message::Ack { key, ts }, out);
+                        tx.sent_ack = true;
+                    }
+                    if tx.sent_ack {
+                        return true;
+                    }
+                }
+                PersistencyModel::Strict | PersistencyModel::ReadEnforced => {
+                    if !tx.sent_ack_c && meta.glb_volatile_ts >= target {
+                        self.send_one_o(tx.coord, Message::AckC { key, ts, scope: None }, out);
+                        tx.sent_ack_c = true;
+                        progressed = true;
+                    }
+                    if tx.sent_ack_c && !tx.sent_ack_p && meta.glb_durable_ts >= target {
+                        self.send_one_o(tx.coord, Message::AckP { key, ts }, out);
+                        tx.sent_ack_p = true;
+                    }
+                    if tx.sent_ack_p {
+                        return true;
+                    }
+                }
+                PersistencyModel::Eventual | PersistencyModel::Scope => {
+                    if !tx.sent_ack_c && meta.glb_volatile_ts >= target {
+                        let scope = tx.scope;
+                        self.send_one_o(tx.coord, Message::AckC { key, ts, scope }, out);
+                        tx.sent_ack_c = true;
+                    }
+                    if tx.sent_ack_c {
+                        return true;
+                    }
+                }
+            }
+            self.foll_map().insert((key, ts), tx);
+            return progressed;
+        }
+
+        match model {
+            PersistencyModel::Synchronous => {
+                // Line 38: ACK after both FIFO enqueues (durable + ordered).
+                if tx.enqueued && !tx.sent_ack {
+                    self.send_one_o(tx.coord, Message::Ack { key, ts }, out);
+                    tx.sent_ack = true;
+                    progressed = true;
+                }
+                // Lines 39–42: VAL + vFIFO drain → unlock.
+                if tx.got_val_c && tx.vfifo_drained {
+                    self.raise_glb_v(key, ts, out);
+                    self.raise_glb_d(key, ts, out);
+                    self.o_unlock_if_owner(key, ts, out);
+                    return true;
+                }
+            }
+            PersistencyModel::Strict => {
+                if tx.enqueued && !tx.sent_ack_c {
+                    self.send_one_o(tx.coord, Message::AckC { key, ts, scope: None }, out);
+                    tx.sent_ack_c = true;
+                    progressed = true;
+                }
+                if tx.enqueued && !tx.sent_ack_p {
+                    self.send_one_o(tx.coord, Message::AckP { key, ts }, out);
+                    tx.sent_ack_p = true;
+                    progressed = true;
+                }
+                if tx.got_val_c && tx.vfifo_drained && !tx.val_c_applied {
+                    self.raise_glb_v(key, ts, out);
+                    self.o_unlock_if_owner(key, ts, out);
+                    tx.val_c_applied = true;
+                    progressed = true;
+                }
+                if tx.val_c_applied && tx.got_val_p {
+                    self.raise_glb_d(key, ts, out);
+                    return true;
+                }
+            }
+            PersistencyModel::ReadEnforced => {
+                if tx.enqueued && !tx.sent_ack_c {
+                    self.send_one_o(tx.coord, Message::AckC { key, ts, scope: None }, out);
+                    tx.sent_ack_c = true;
+                    progressed = true;
+                }
+                if tx.enqueued && !tx.sent_ack_p {
+                    self.send_one_o(tx.coord, Message::AckP { key, ts }, out);
+                    tx.sent_ack_p = true;
+                    progressed = true;
+                }
+                if tx.got_val_c && tx.vfifo_drained {
+                    self.raise_glb_v(key, ts, out);
+                    self.raise_glb_d(key, ts, out);
+                    self.o_unlock_if_owner(key, ts, out);
+                    return true;
+                }
+            }
+            PersistencyModel::Eventual | PersistencyModel::Scope => {
+                if tx.enqueued && !tx.sent_ack_c {
+                    let scope = tx.scope;
+                    self.send_one_o(tx.coord, Message::AckC { key, ts, scope }, out);
+                    tx.sent_ack_c = true;
+                    progressed = true;
+                }
+                if tx.got_val_c && tx.vfifo_drained {
+                    self.raise_glb_v(key, ts, out);
+                    self.o_unlock_if_owner(key, ts, out);
+                    return true;
+                }
+            }
+        }
+
+        self.foll_map().insert((key, ts), tx);
+        progressed
+    }
+
+    fn o_poll_scope_flushes(&mut self, out: &mut Vec<OAction>) -> bool {
+        let me = self.node();
+        let ready = self.scopes().ready_to_ack(me);
+        let mut progressed = false;
+        for (owner, scope) in ready {
+            self.scopes_mut().mark_acked(owner, scope);
+            self.send_one_o(owner, Message::PersistAckP { scope }, out);
+            progressed = true;
+        }
+        progressed
+    }
+
+    fn o_poll_persist_txs(&mut self, out: &mut Vec<OAction>) -> bool {
+        let me = self.node();
+        let followers = self.followers();
+        let candidates: Vec<_> = self
+            .scopes()
+            .persist_tx_ids(me)
+            .into_iter()
+            .filter(|&sc| {
+                self.scopes().persist_ack_count(me, sc) >= followers
+                    && self.scopes().locally_persisted(me, sc)
+            })
+            .collect();
+
+        let mut progressed = false;
+        for scope in candidates {
+            let Some(req) = self.scopes().persist_tx(me, scope).map(|tx| tx.req) else {
+                continue;
+            };
+            self.send_to_followers_o(Message::PersistValP { scope }, out);
+            let writes = self.scopes_mut().finish(me, scope);
+            for (key, ts) in writes {
+                self.store_mut().record_mut(key).meta.raise_glb_durable(ts);
+            }
+            out.push(OAction::Pcie {
+                from: Side::Snic,
+                msg: PcieMsg::PersistScopeDone { scope, req },
+            });
+            progressed = true;
+        }
+        progressed
+    }
+}

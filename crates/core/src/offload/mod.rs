@@ -1,0 +1,532 @@
+//! The MINOS-Offload (MINOS-O) node engine: §V's redesigned algorithms
+//! running across a host and its SmartNIC (Figures 7 and 8).
+//!
+//! One [`ONodeEngine`] embodies one node = host + SmartNIC. The two sides
+//! communicate through [`PcieMsg`]s (the harness delays them by the PCIe
+//! latency) and share the four coherent metadata structures
+//! (`RDLock_Owner`, `volatileTS`, `glb_volatileTS`, `glb_durableTS`)
+//! through the engine's store; the [`Side`]-tagged meta hints plus
+//! [`OAction::CoherenceTransfer`] let the simulator charge the MSI snoop
+//! costs of the Selective Coherence Module.
+//!
+//! The four MINOS-O optimizations and where they live:
+//!
+//! 1. **Offloading** — the follower algorithm and the coordinator's
+//!    fan-out/collection run in SmartNIC handlers ([`OEvent::NetMessage`],
+//!    [`OEvent::PcieFromHost`]); the host only issues/completes requests.
+//! 2. **Host↔NIC coherence** — shared metadata + transfer hints.
+//! 3. **Batching & broadcasting** — one [`PcieMsg::BatchedInv`] descriptor
+//!    crosses PCIe per write, and one [`OAction::SendToFollowers`] per
+//!    fan-out (the harness's broadcast module expands it).
+//! 4. **WRLock elimination** — local-writes are enqueued to the vFIFO and
+//!    dFIFO ([`OAction::VfifoEnqueue`]/[`OAction::DfifoEnqueue`]); the
+//!    obsoleteness check moves to drain time ([`OEvent::VfifoDrained`]).
+
+mod flow;
+
+use crate::event::{MetaOp, ReqId};
+use crate::scope::ScopeTable;
+use crate::stats::EngineStats;
+use crate::store::Store;
+use minos_types::{DdpModel, Key, Message, NodeId, RecordMeta, ScopeId, Ts, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which side of the node performed an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Side {
+    /// The host CPU.
+    Host,
+    /// The SmartNIC.
+    Snic,
+}
+
+/// Messages crossing the PCIe bus between host and SmartNIC.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PcieMsg {
+    /// Host → SNIC: one batched INV descriptor ("the host sends a single
+    /// INV message with information about which nodes should receive it").
+    BatchedInv {
+        /// Record being written.
+        key: Key,
+        /// The write's `TS_WR`.
+        ts: Ts,
+        /// Payload.
+        value: Value,
+        /// Scope tag.
+        scope: Option<ScopeId>,
+    },
+    /// SNIC → host: one batched ACK once the follower acknowledgments the
+    /// client return waits on have all arrived.
+    BatchedAck {
+        /// Record being written.
+        key: Key,
+        /// The write's `TS_WR`.
+        ts: Ts,
+    },
+    /// Host → SNIC: run the `[PERSIST]sc` transaction.
+    PersistScopeReq {
+        /// Scope to flush.
+        scope: ScopeId,
+        /// Client request id.
+        req: ReqId,
+    },
+    /// SNIC → host: `[PERSIST]sc` completed.
+    PersistScopeDone {
+        /// The flushed scope.
+        scope: ScopeId,
+        /// Client request id.
+        req: ReqId,
+    },
+}
+
+impl PcieMsg {
+    /// Approximate descriptor size crossing PCIe, for the timing model.
+    #[must_use]
+    pub fn wire_bytes(&self) -> u64 {
+        const DESC: u64 = 64;
+        match self {
+            PcieMsg::BatchedInv { value, .. } => DESC + value.len() as u64,
+            _ => DESC,
+        }
+    }
+}
+
+/// Inputs to the MINOS-O engine.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum OEvent {
+    /// Host: client write submitted.
+    ClientWrite {
+        /// Record to write.
+        key: Key,
+        /// New value.
+        value: Value,
+        /// Scope tag.
+        scope: Option<ScopeId>,
+        /// Request id.
+        req: ReqId,
+    },
+    /// Host: deferred write body (Figure 8 Lines 5–12).
+    HostStart {
+        /// Record being written.
+        key: Key,
+        /// Timestamp issued at [`OEvent::ClientWrite`].
+        ts: Ts,
+    },
+    /// Host: client read submitted.
+    ClientRead {
+        /// Record to read.
+        key: Key,
+        /// Request id.
+        req: ReqId,
+    },
+    /// Host: client `[PERSIST]sc`.
+    ClientPersistScope {
+        /// Scope to flush.
+        scope: ScopeId,
+        /// Request id.
+        req: ReqId,
+    },
+    /// SNIC: a PCIe descriptor from the local host arrived.
+    PcieFromHost(PcieMsg),
+    /// Host: a PCIe descriptor from the local SmartNIC arrived.
+    PcieFromSnic(PcieMsg),
+    /// SNIC: a network message arrived from a peer SmartNIC.
+    NetMessage {
+        /// Sending node.
+        from: NodeId,
+        /// The message.
+        msg: Message,
+    },
+    /// The vFIFO hardware drained the entry for `(key, ts)`: obsoleteness
+    /// is checked and, if current, the update is DMAed into the host LLC.
+    VfifoDrained {
+        /// Record.
+        key: Key,
+        /// Entry timestamp.
+        ts: Ts,
+    },
+    /// The dFIFO hardware drained the entry (pushed to the host NVM log in
+    /// the background; the entry was already durable on enqueue).
+    DfifoDrained {
+        /// Record.
+        key: Key,
+        /// Entry timestamp.
+        ts: Ts,
+    },
+}
+
+/// Outputs of the MINOS-O engine.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum OAction {
+    /// Deliver a PCIe descriptor to the other side after the PCIe delay.
+    Pcie {
+        /// Which side *sent* the descriptor.
+        from: Side,
+        /// The descriptor.
+        msg: PcieMsg,
+    },
+    /// SNIC broadcast-module fan-out to every peer.
+    SendToFollowers {
+        /// The message.
+        msg: Message,
+    },
+    /// SNIC unicast to one peer.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        msg: Message,
+    },
+    /// Enqueue `(key, ts)` into the volatile FIFO; the harness feeds back
+    /// [`OEvent::VfifoDrained`] (after queueing + 465 ns/KB, with
+    /// backpressure when full).
+    VfifoEnqueue {
+        /// Record.
+        key: Key,
+        /// Entry timestamp.
+        ts: Ts,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// Enqueue into the durable FIFO (the update is durable once enqueued;
+    /// the drain to the host NVM log is background).
+    DfifoEnqueue {
+        /// Record.
+        key: Key,
+        /// Entry timestamp.
+        ts: Ts,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// Re-inject an event after a local dispatch delay.
+    Defer {
+        /// The event.
+        event: OEvent,
+    },
+    /// Client write completed.
+    WriteDone {
+        /// Request id.
+        req: ReqId,
+        /// Record written.
+        key: Key,
+        /// The write's timestamp.
+        ts: Ts,
+        /// Cut short as obsolete.
+        obsolete: bool,
+    },
+    /// Client read completed.
+    ReadDone {
+        /// Request id.
+        req: ReqId,
+        /// Record read.
+        key: Key,
+        /// Observed value.
+        value: Value,
+        /// Observed version.
+        ts: Ts,
+    },
+    /// `[PERSIST]sc` completed.
+    PersistScopeDone {
+        /// Request id.
+        req: ReqId,
+        /// The flushed scope.
+        scope: ScopeId,
+    },
+    /// Timing hint, tagged with the side that performed the step.
+    Meta {
+        /// Performing side.
+        side: Side,
+        /// The step.
+        op: MetaOp,
+    },
+    /// Timing hint: a coherent metadata line for `key` migrated between
+    /// host and SmartNIC (one MSI snoop on the dedicated bus).
+    CoherenceTransfer {
+        /// The record whose metadata line moved.
+        key: Key,
+    },
+}
+
+/// A client-write at its MINOS-O Coordinator.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OCoordTx {
+    /// Client request id.
+    pub req: ReqId,
+    /// Payload.
+    pub value: Value,
+    /// Scope tag.
+    pub scope: Option<ScopeId>,
+    /// `Some(target)`: cut short as obsolete; waiting on the glb spins.
+    pub obsolete: Option<Ts>,
+    /// Host issued the batched INV.
+    pub inv_sent: bool,
+    /// SNIC processed the batched INV (broadcast + FIFO enqueues done).
+    pub enqueued: bool,
+    /// vFIFO entry drained into the host LLC.
+    pub vfifo_drained: bool,
+    /// Combined ACKs received (Synchronous).
+    pub acks: BTreeSet<NodeId>,
+    /// ACK_Cs received.
+    pub ack_cs: BTreeSet<NodeId>,
+    /// ACK_Ps received.
+    pub ack_ps: BTreeSet<NodeId>,
+    /// Batched ACK pushed to the host.
+    pub batched_ack_sent: bool,
+    /// Client response delivered.
+    pub client_done: bool,
+    /// Consistency-global effects applied (glb_volatile raised, VAL_C
+    /// fan-out sent where applicable).
+    pub val_c_sent: bool,
+    /// Persistency-global effects applied.
+    pub val_p_sent: bool,
+}
+
+/// A write at a MINOS-O Follower's SmartNIC.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OFollTx {
+    /// The write's Coordinator.
+    pub coord: NodeId,
+    /// Payload.
+    pub value: Value,
+    /// Scope tag.
+    pub scope: Option<ScopeId>,
+    /// `Some(target)` when the INV was obsolete on arrival.
+    pub obsolete: Option<Ts>,
+    /// FIFO enqueues performed.
+    pub enqueued: bool,
+    /// vFIFO entry drained.
+    pub vfifo_drained: bool,
+    /// Combined ACK sent.
+    pub sent_ack: bool,
+    /// ACK_C sent.
+    pub sent_ack_c: bool,
+    /// ACK_P sent.
+    pub sent_ack_p: bool,
+    /// Consistency validation received.
+    pub got_val_c: bool,
+    /// VAL_C effects applied.
+    pub val_c_applied: bool,
+    /// VAL_P received (Strict).
+    pub got_val_p: bool,
+}
+
+/// The MINOS-Offload engine for one node (host + SmartNIC).
+///
+/// Functionally equivalent to [`crate::NodeEngine`] — the model checker
+/// verifies both against the same invariants — but restructured so a
+/// harness can charge host, SmartNIC, PCIe, FIFO, and coherence costs
+/// separately.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ONodeEngine {
+    node: NodeId,
+    n_nodes: usize,
+    model: DdpModel,
+    store: Store,
+    coord: BTreeMap<(Key, Ts), OCoordTx>,
+    foll: BTreeMap<(Key, Ts), OFollTx>,
+    reads: BTreeMap<Key, Vec<ReqId>>,
+    scopes: ScopeTable,
+    /// Which side last touched each coherent metadata line (MSI owner).
+    coherence_owner: BTreeMap<Key, Side>,
+    stats: EngineStats,
+}
+
+impl ONodeEngine {
+    /// Creates the engine for `node` in a cluster of `n_nodes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes` is zero or `node` is outside `0..n_nodes`.
+    #[must_use]
+    pub fn new(node: NodeId, n_nodes: usize, model: DdpModel) -> Self {
+        assert!(n_nodes > 0, "cluster must have at least one node");
+        assert!(
+            (node.0 as usize) < n_nodes,
+            "node id {node} outside cluster of {n_nodes}"
+        );
+        ONodeEngine {
+            node,
+            n_nodes,
+            model,
+            store: Store::new(),
+            coord: BTreeMap::new(),
+            foll: BTreeMap::new(),
+            reads: BTreeMap::new(),
+            scopes: ScopeTable::new(),
+            coherence_owner: BTreeMap::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// This node's id.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Cluster size.
+    #[must_use]
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// The DDP model in force.
+    #[must_use]
+    pub fn model(&self) -> DdpModel {
+        self.model
+    }
+
+    pub(crate) fn followers(&self) -> usize {
+        self.n_nodes - 1
+    }
+
+    /// Pre-populates a record.
+    pub fn load_record(&mut self, key: Key, value: Value) {
+        self.store.load(key, value);
+    }
+
+    /// Record metadata accessor.
+    #[must_use]
+    pub fn record_meta(&self, key: Key) -> RecordMeta {
+        self.store.meta(key)
+    }
+
+    /// Current value in the host LLC.
+    #[must_use]
+    pub fn record_value(&self, key: Key) -> Option<Value> {
+        self.store.record(key).map(|r| r.value.clone())
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// True when nothing is in flight.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.coord.is_empty()
+            && self.foll.is_empty()
+            && self.reads.values().all(Vec::is_empty)
+            && self.scopes.scope_ids().next().is_none()
+    }
+
+    /// All keys materialized at this node.
+    #[must_use]
+    pub fn keys(&self) -> Vec<Key> {
+        self.store.iter().map(|(k, _)| *k).collect()
+    }
+
+    /// Views of every in-flight coordinator transaction (invariant
+    /// checks), mirroring [`crate::NodeEngine::coord_tx_views`].
+    #[must_use]
+    pub fn coord_tx_views(&self) -> Vec<crate::CoordTxView> {
+        self.coord
+            .iter()
+            .map(|(&(key, ts), tx)| {
+                let needed = self.followers();
+                let consistency_complete = match self.model.persistency {
+                    minos_types::PersistencyModel::Synchronous => tx.acks.len() >= needed,
+                    _ => tx.ack_cs.len() >= needed,
+                };
+                crate::CoordTxView {
+                    key,
+                    ts,
+                    state: if tx.obsolete.is_some() {
+                        crate::CoordState::ObsoleteConsistency {
+                            target: tx.obsolete.unwrap_or_default(),
+                        }
+                    } else {
+                        crate::CoordState::AwaitAcks
+                    },
+                    acks: tx.acks.iter().copied().collect(),
+                    ack_cs: tx.ack_cs.iter().copied().collect(),
+                    ack_ps: tx.ack_ps.iter().copied().collect(),
+                    consistency_complete,
+                }
+            })
+            .collect()
+    }
+
+    /// Handles one event; actions are appended to `out`.
+    pub fn on_event(&mut self, ev: OEvent, out: &mut Vec<OAction>) {
+        match ev {
+            OEvent::ClientWrite {
+                key,
+                value,
+                scope,
+                req,
+            } => self.o_client_write(key, value, scope, req, out),
+            OEvent::HostStart { key, ts } => self.o_host_start(key, ts, out),
+            OEvent::ClientRead { key, req } => self.o_client_read(key, req, out),
+            OEvent::ClientPersistScope { scope, req } => {
+                // The host forwards the whole transaction to the SNIC.
+                out.push(OAction::Pcie {
+                    from: Side::Host,
+                    msg: PcieMsg::PersistScopeReq { scope, req },
+                });
+            }
+            OEvent::PcieFromHost(msg) => self.o_snic_from_host(msg, out),
+            OEvent::PcieFromSnic(msg) => self.o_host_from_snic(msg, out),
+            OEvent::NetMessage { from, msg } => self.o_net_message(from, msg, out),
+            OEvent::VfifoDrained { key, ts } => self.o_vfifo_drained(key, ts, out),
+            OEvent::DfifoDrained { key, ts } => self.o_dfifo_drained(key, ts),
+        }
+        self.o_poll(out);
+    }
+
+    /// Books a metadata access from `side`, emitting a coherence-transfer
+    /// hint when the MSI line migrates.
+    pub(crate) fn meta_access(&mut self, side: Side, key: Key, out: &mut Vec<OAction>) {
+        let owner = self.coherence_owner.insert(key, side);
+        if owner.is_some_and(|o| o != side) {
+            out.push(OAction::CoherenceTransfer { key });
+        }
+    }
+
+    pub(crate) fn hint(&self, side: Side, op: MetaOp, out: &mut Vec<OAction>) {
+        out.push(OAction::Meta { side, op });
+    }
+
+    pub(crate) fn store(&self) -> &Store {
+        &self.store
+    }
+
+    pub(crate) fn store_mut(&mut self) -> &mut Store {
+        &mut self.store
+    }
+
+    pub(crate) fn scopes(&self) -> &ScopeTable {
+        &self.scopes
+    }
+
+    pub(crate) fn scopes_mut(&mut self) -> &mut ScopeTable {
+        &mut self.scopes
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut EngineStats {
+        &mut self.stats
+    }
+
+    pub(crate) fn coord_map(&mut self) -> &mut BTreeMap<(Key, Ts), OCoordTx> {
+        &mut self.coord
+    }
+
+    pub(crate) fn foll_map(&mut self) -> &mut BTreeMap<(Key, Ts), OFollTx> {
+        &mut self.foll
+    }
+
+    pub(crate) fn reads_map(&mut self) -> &mut BTreeMap<Key, Vec<ReqId>> {
+        &mut self.reads
+    }
+
+    pub(crate) fn coord_keys(&self) -> Vec<(Key, Ts)> {
+        self.coord.keys().copied().collect()
+    }
+
+    pub(crate) fn foll_keys(&self) -> Vec<(Key, Ts)> {
+        self.foll.keys().copied().collect()
+    }
+}

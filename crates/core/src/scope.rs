@@ -1,0 +1,260 @@
+//! Scope bookkeeping for the `<Lin, Scope>` model.
+
+use crate::event::ReqId;
+use minos_types::{Key, NodeId, ScopeId, Ts};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One scope's state at one node.
+///
+/// Scopes are identified by `(owner, ScopeId)` where `owner` is the
+/// coordinator node that opened the scope; `[PERSIST]sc` runs as its own
+/// transaction (Figure 3(vii)/(viii)).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct ScopeState {
+    /// Every write observed in the scope (kept until `[VAL_P]sc` so the
+    /// final `glb_durableTS` raise knows which records to touch).
+    pub writes: BTreeSet<(Key, Ts)>,
+    /// Writes whose local NVM persist has not yet completed.
+    pub unpersisted: BTreeSet<(Key, Ts)>,
+    /// A `[PERSIST]sc` arrived (follower) and its `[ACK_P]sc` is owed once
+    /// `unpersisted` drains.
+    pub flush_requested: bool,
+    /// Follower already sent its `[ACK_P]sc`.
+    pub acked: bool,
+}
+
+/// The `[PERSIST]sc` transaction in flight at its coordinator.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PersistTx {
+    /// Client request to answer.
+    pub req: ReqId,
+    /// Followers whose `[ACK_P]sc` has been received.
+    pub ack_ps: BTreeSet<NodeId>,
+}
+
+/// All scope state at one node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct ScopeTable {
+    scopes: BTreeMap<(NodeId, ScopeId), ScopeState>,
+    persists: BTreeMap<(NodeId, ScopeId), PersistTx>,
+}
+
+impl ScopeTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        ScopeTable::default()
+    }
+
+    /// Records that write `(key, ts)` belongs to `scope` and is not yet
+    /// locally persisted.
+    pub fn add_write(&mut self, owner: NodeId, scope: ScopeId, key: Key, ts: Ts) {
+        let st = self.scopes.entry((owner, scope)).or_default();
+        st.writes.insert((key, ts));
+        st.unpersisted.insert((key, ts));
+    }
+
+    /// Marks `(key, ts)` locally persisted in whichever scope contains it.
+    /// Returns the scopes that became fully persisted *and* have a pending
+    /// flush request.
+    pub fn mark_persisted(&mut self, key: Key, ts: Ts) -> Vec<(NodeId, ScopeId)> {
+        let mut ready = Vec::new();
+        for (&id, st) in &mut self.scopes {
+            if st.unpersisted.remove(&(key, ts))
+                && st.unpersisted.is_empty()
+                && st.flush_requested
+                && !st.acked
+            {
+                ready.push(id);
+            }
+        }
+        ready
+    }
+
+    /// Follower side: `[PERSIST]sc` arrived. Returns `true` if the
+    /// `[ACK_P]sc` can be sent immediately (nothing left to persist).
+    pub fn request_flush(&mut self, owner: NodeId, scope: ScopeId) -> bool {
+        let st = self.scopes.entry((owner, scope)).or_default();
+        st.flush_requested = true;
+        st.unpersisted.is_empty()
+    }
+
+    /// Marks the follower `[ACK_P]sc` as sent.
+    pub fn mark_acked(&mut self, owner: NodeId, scope: ScopeId) {
+        if let Some(st) = self.scopes.get_mut(&(owner, scope)) {
+            st.acked = true;
+        }
+    }
+
+    /// Whether the local writes of `scope` are all persisted.
+    #[must_use]
+    pub fn locally_persisted(&self, owner: NodeId, scope: ScopeId) -> bool {
+        self.scopes
+            .get(&(owner, scope))
+            .map_or(true, |st| st.unpersisted.is_empty())
+    }
+
+    /// Coordinator side: starts the `[PERSIST]sc` transaction.
+    pub fn start_persist_tx(&mut self, owner: NodeId, scope: ScopeId, req: ReqId) {
+        self.persists.insert(
+            (owner, scope),
+            PersistTx {
+                req,
+                ack_ps: BTreeSet::new(),
+            },
+        );
+    }
+
+    /// Coordinator side: records an `[ACK_P]sc` from `from`. Returns the
+    /// transaction's request id when every one of `expected` followers has
+    /// acknowledged (the caller then sends `[VAL_P]sc` and completes).
+    pub fn record_persist_ack(
+        &mut self,
+        owner: NodeId,
+        scope: ScopeId,
+        from: NodeId,
+        expected: usize,
+    ) -> Option<ReqId> {
+        let tx = self.persists.get_mut(&(owner, scope))?;
+        tx.ack_ps.insert(from);
+        (tx.ack_ps.len() >= expected).then_some(tx.req)
+    }
+
+    /// The in-flight `[PERSIST]sc` transaction for `scope`, if any.
+    #[must_use]
+    pub fn persist_tx(&self, owner: NodeId, scope: ScopeId) -> Option<&PersistTx> {
+        self.persists.get(&(owner, scope))
+    }
+
+    /// Books an `[ACK_P]sc` without checking completion (completion is
+    /// gated by the engine's poll pass).
+    pub fn persist_ack_insert(&mut self, owner: NodeId, scope: ScopeId, from: NodeId) {
+        if let Some(tx) = self.persists.get_mut(&(owner, scope)) {
+            tx.ack_ps.insert(from);
+        }
+    }
+
+    /// Number of `[ACK_P]sc` received for `scope`.
+    #[must_use]
+    pub fn persist_ack_count(&self, owner: NodeId, scope: ScopeId) -> usize {
+        self.persists
+            .get(&(owner, scope))
+            .map_or(0, |tx| tx.ack_ps.len())
+    }
+
+    /// Scopes with an in-flight `[PERSIST]sc` coordinated by `owner`.
+    #[must_use]
+    pub fn persist_tx_ids(&self, owner: NodeId) -> Vec<ScopeId> {
+        self.persists
+            .keys()
+            .filter(|(o, _)| *o == owner)
+            .map(|&(_, sc)| sc)
+            .collect()
+    }
+
+    /// Follower side: scopes whose flush was requested, are fully
+    /// persisted locally, and have not been acknowledged yet. Excludes
+    /// scopes this node owns (`me`) — the owner answers through its own
+    /// persist transaction, not with an `[ACK_P]sc` to itself.
+    #[must_use]
+    pub fn ready_to_ack(&self, me: NodeId) -> Vec<(NodeId, ScopeId)> {
+        self.scopes
+            .iter()
+            .filter(|((owner, _), st)| {
+                *owner != me && st.flush_requested && !st.acked && st.unpersisted.is_empty()
+            })
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Ends the scope (after `[VAL_P]sc`): returns the writes it covered so
+    /// the caller can raise their `glb_durableTS`.
+    pub fn finish(&mut self, owner: NodeId, scope: ScopeId) -> Vec<(Key, Ts)> {
+        self.persists.remove(&(owner, scope));
+        self.scopes
+            .remove(&(owner, scope))
+            .map(|st| st.writes.into_iter().collect())
+            .unwrap_or_default()
+    }
+
+    /// All scope ids currently tracked (for invariant checks).
+    pub fn scope_ids(&self) -> impl Iterator<Item = &(NodeId, ScopeId)> {
+        self.scopes.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(v: u64) -> Key {
+        Key(v)
+    }
+    fn ts(n: u16, v: u32) -> Ts {
+        Ts::new(NodeId(n), v)
+    }
+
+    #[test]
+    fn flush_waits_for_unpersisted_writes() {
+        let mut t = ScopeTable::new();
+        let owner = NodeId(0);
+        let sc = ScopeId(1);
+        t.add_write(owner, sc, k(1), ts(0, 1));
+        t.add_write(owner, sc, k(2), ts(0, 1));
+        assert!(!t.request_flush(owner, sc));
+        assert!(t.mark_persisted(k(1), ts(0, 1)).is_empty());
+        let ready = t.mark_persisted(k(2), ts(0, 1));
+        assert_eq!(ready, vec![(owner, sc)]);
+    }
+
+    #[test]
+    fn flush_immediate_when_nothing_pending() {
+        let mut t = ScopeTable::new();
+        assert!(t.request_flush(NodeId(0), ScopeId(9)));
+    }
+
+    #[test]
+    fn persist_tx_counts_acks() {
+        let mut t = ScopeTable::new();
+        let owner = NodeId(0);
+        let sc = ScopeId(2);
+        t.start_persist_tx(owner, sc, ReqId(5));
+        assert_eq!(t.record_persist_ack(owner, sc, NodeId(1), 2), None);
+        assert_eq!(
+            t.record_persist_ack(owner, sc, NodeId(2), 2),
+            Some(ReqId(5))
+        );
+        // Duplicate acks do not double-count.
+        assert_eq!(
+            t.record_persist_ack(owner, sc, NodeId(2), 2),
+            Some(ReqId(5))
+        );
+    }
+
+    #[test]
+    fn finish_returns_covered_writes() {
+        let mut t = ScopeTable::new();
+        let owner = NodeId(3);
+        let sc = ScopeId(1);
+        t.add_write(owner, sc, k(1), ts(3, 1));
+        t.mark_persisted(k(1), ts(3, 1));
+        let writes = t.finish(owner, sc);
+        assert_eq!(writes, vec![(k(1), ts(3, 1))]);
+        assert!(t.finish(owner, sc).is_empty(), "idempotent");
+    }
+
+    #[test]
+    fn acked_scopes_not_reported_again() {
+        let mut t = ScopeTable::new();
+        let owner = NodeId(0);
+        let sc = ScopeId(1);
+        t.add_write(owner, sc, k(1), ts(0, 1));
+        t.request_flush(owner, sc);
+        let ready = t.mark_persisted(k(1), ts(0, 1));
+        assert_eq!(ready.len(), 1);
+        t.mark_acked(owner, sc);
+        t.add_write(owner, sc, k(2), ts(0, 2));
+        assert!(t.mark_persisted(k(2), ts(0, 2)).is_empty());
+    }
+}

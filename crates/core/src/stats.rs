@@ -1,0 +1,131 @@
+//! Per-engine protocol statistics.
+
+use minos_types::MessageKind;
+use serde::{Deserialize, Serialize};
+
+/// Counters maintained by a protocol engine. Useful for the benches
+/// (message counts explain the communication-time trends of Figure 4) and
+/// for assertions in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Client writes coordinated locally.
+    pub writes: u64,
+    /// Client reads served locally.
+    pub reads: u64,
+    /// Reads that found the RDLock taken and had to stall.
+    pub reads_stalled: u64,
+    /// `[PERSIST]sc` transactions coordinated locally.
+    pub scope_persists: u64,
+    /// Client writes cut short as obsolete at the Coordinator.
+    pub obsolete_coord: u64,
+    /// INVs found obsolete at this Follower.
+    pub obsolete_foll: u64,
+    /// Successful RDLock grabs/snatches.
+    pub rd_lock_snatches: u64,
+    /// VAL/VAL_C/VAL_P messages discarded (their transaction had already
+    /// completed via the obsolete path).
+    pub vals_discarded: u64,
+    /// NVM persists completed.
+    pub persists_completed: u64,
+    /// Messages sent, by direction.
+    pub msgs_sent: u64,
+    /// Messages received.
+    pub msgs_received: u64,
+    /// INV messages sent (fan-outs count once per destination).
+    pub invs_sent: u64,
+    /// ACK-family messages sent.
+    pub acks_sent: u64,
+    /// VAL-family messages sent (fan-outs count once per destination).
+    pub vals_sent: u64,
+}
+
+impl EngineStats {
+    /// Books one sent message of `kind`.
+    pub fn record_sent(&mut self, kind: MessageKind) {
+        self.msgs_sent += 1;
+        self.bump_kind(kind, 1);
+    }
+
+    /// Books a fan-out of `kind` to `n` destinations.
+    pub fn record_fanout(&mut self, kind: MessageKind, n: usize) {
+        self.msgs_sent += n as u64;
+        self.bump_kind(kind, n as u64);
+    }
+
+    /// Books one received message.
+    pub fn record_received(&mut self, _kind: MessageKind) {
+        self.msgs_received += 1;
+    }
+
+    fn bump_kind(&mut self, kind: MessageKind, n: u64) {
+        match kind {
+            MessageKind::Inv => self.invs_sent += n,
+            MessageKind::Ack | MessageKind::AckC | MessageKind::AckP | MessageKind::PersistAckP => {
+                self.acks_sent += n;
+            }
+            MessageKind::Val
+            | MessageKind::ValC
+            | MessageKind::ValP
+            | MessageKind::PersistValP => self.vals_sent += n,
+            MessageKind::Persist | MessageKind::ReadReq | MessageKind::ReadResp => {}
+        }
+    }
+
+    /// Accumulates another engine's counters (cluster-wide totals).
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.writes += other.writes;
+        self.reads += other.reads;
+        self.reads_stalled += other.reads_stalled;
+        self.scope_persists += other.scope_persists;
+        self.obsolete_coord += other.obsolete_coord;
+        self.obsolete_foll += other.obsolete_foll;
+        self.rd_lock_snatches += other.rd_lock_snatches;
+        self.vals_discarded += other.vals_discarded;
+        self.persists_completed += other.persists_completed;
+        self.msgs_sent += other.msgs_sent;
+        self.msgs_received += other.msgs_received;
+        self.invs_sent += other.invs_sent;
+        self.acks_sent += other.acks_sent;
+        self.vals_sent += other.vals_sent;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanout_counts_per_destination() {
+        let mut s = EngineStats::default();
+        s.record_fanout(MessageKind::Inv, 4);
+        assert_eq!(s.msgs_sent, 4);
+        assert_eq!(s.invs_sent, 4);
+    }
+
+    #[test]
+    fn ack_family_aggregates() {
+        let mut s = EngineStats::default();
+        s.record_sent(MessageKind::Ack);
+        s.record_sent(MessageKind::AckC);
+        s.record_sent(MessageKind::AckP);
+        s.record_sent(MessageKind::PersistAckP);
+        assert_eq!(s.acks_sent, 4);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = EngineStats {
+            writes: 1,
+            msgs_sent: 3,
+            ..Default::default()
+        };
+        let b = EngineStats {
+            writes: 2,
+            msgs_sent: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.writes, 3);
+        assert_eq!(a.msgs_sent, 8);
+    }
+}

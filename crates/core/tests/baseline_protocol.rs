@@ -1,0 +1,455 @@
+//! Integration tests for the MINOS-B engines: full write/read/persist
+//! transactions across a loopback cluster, for all five DDP models.
+
+use minos_core::loopback::{BCluster, Completion};
+use minos_core::{Event, ReqId};
+use minos_types::{DdpModel, Key, Message, NodeId, PersistencyModel, ScopeId, Ts};
+
+fn all_models() -> [DdpModel; 5] {
+    DdpModel::all_lin()
+}
+
+#[test]
+fn single_write_replicates_everywhere() {
+    for model in all_models() {
+        let mut cl = BCluster::new(5, model);
+        let req = cl.submit_write(NodeId(0), Key(1), "hello".into(), scope_for(model, 1));
+        maybe_flush_scope(&mut cl, model, NodeId(0), 1);
+        cl.run();
+        assert!(cl.write_completed(req), "{model}: write never completed");
+        assert_eq!(cl.assert_converged(Key(1)), "hello", "{model}");
+    }
+}
+
+#[test]
+fn write_then_read_returns_new_value_on_every_node() {
+    for model in all_models() {
+        let mut cl = BCluster::new(3, model);
+        cl.submit_write(NodeId(0), Key(9), "fresh".into(), scope_for(model, 1));
+        maybe_flush_scope(&mut cl, model, NodeId(0), 1);
+        cl.run();
+        for n in 0..3 {
+            let r = cl.submit_read(NodeId(n), Key(9));
+            cl.run();
+            assert_eq!(
+                cl.read_value(r).unwrap(),
+                "fresh",
+                "{model}: stale read at node {n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_writes_converge_to_newest_timestamp() {
+    for model in all_models() {
+        let mut cl = BCluster::new(4, model);
+        // Same key, two coordinators, submitted before any delivery: the
+        // per-node FIFO interleaves INVs and ACKs.
+        let r1 = cl.submit_write(NodeId(1), Key(5), "from-n1".into(), scope_for(model, 1));
+        let r2 = cl.submit_write(NodeId(3), Key(5), "from-n3".into(), scope_for(model, 2));
+        maybe_flush_scope(&mut cl, model, NodeId(1), 1);
+        maybe_flush_scope(&mut cl, model, NodeId(3), 2);
+        cl.run();
+        assert!(cl.write_completed(r1), "{model}: w1 incomplete");
+        assert!(cl.write_completed(r2), "{model}: w2 incomplete");
+        // Both issue version 1; node 3 wins the tie-break.
+        let v = cl.assert_converged(Key(5));
+        assert_eq!(v, "from-n3", "{model}: wrong winner");
+        let meta = cl.engine(NodeId(0)).record_meta(Key(5));
+        assert_eq!(meta.volatile_ts, Ts::new(NodeId(3), 1), "{model}");
+    }
+}
+
+#[test]
+fn many_sequential_writes_from_rotating_coordinators() {
+    for model in all_models() {
+        let mut cl = BCluster::new(5, model);
+        for i in 0..20u64 {
+            let node = NodeId((i % 5) as u16);
+            let sc = scope_for(model, i as u32 + 1);
+            cl.submit_write(node, Key(2), format!("v{i}").into(), sc);
+            maybe_flush_scope(&mut cl, model, node, i as u32 + 1);
+            cl.run();
+        }
+        assert_eq!(cl.assert_converged(Key(2)), "v19", "{model}");
+        let meta = cl.engine(NodeId(0)).record_meta(Key(2));
+        assert_eq!(meta.volatile_ts.version, 20, "{model}");
+        assert_eq!(meta.glb_volatile_ts, meta.volatile_ts, "{model}");
+    }
+}
+
+#[test]
+fn synch_write_blocks_on_persist() {
+    let mut cl = BCluster::new(3, DdpModel::lin(PersistencyModel::Synchronous));
+    cl.auto_persist = false;
+    let req = cl.submit_write(NodeId(0), Key(1), "x".into(), None);
+    cl.run();
+    assert!(
+        !cl.write_completed(req),
+        "<Lin,Synch> must not complete before persists"
+    );
+    assert_eq!(cl.release_persists(), 3, "coordinator + two followers");
+    cl.run();
+    assert!(cl.write_completed(req));
+    cl.assert_converged(Key(1));
+}
+
+#[test]
+fn strict_write_blocks_on_persist() {
+    let mut cl = BCluster::new(3, DdpModel::lin(PersistencyModel::Strict));
+    cl.auto_persist = false;
+    let req = cl.submit_write(NodeId(0), Key(1), "x".into(), None);
+    cl.run();
+    assert!(!cl.write_completed(req), "<Lin,Strict> gates on ACK_Ps");
+    cl.release_persists();
+    cl.run();
+    assert!(cl.write_completed(req));
+    let meta = cl.engine(NodeId(1)).record_meta(Key(1));
+    assert_eq!(meta.glb_durable_ts, Ts::new(NodeId(0), 1));
+}
+
+#[test]
+fn renf_write_completes_before_persist_but_blocks_readers() {
+    let mut cl = BCluster::new(3, DdpModel::lin(PersistencyModel::ReadEnforced));
+    cl.auto_persist = false;
+    let req = cl.submit_write(NodeId(0), Key(1), "x".into(), None);
+    cl.run();
+    // REnf returns to the client after all ACK_Cs.
+    assert!(cl.write_completed(req), "<Lin,REnf> completes on ACK_Cs");
+    // …but no node may serve a read of the record yet (RDLock held until
+    // VALs, which wait for all ACK_Ps).
+    for n in 0..3 {
+        let r = cl.submit_read(NodeId(n), Key(1));
+        cl.run();
+        assert!(
+            cl.read_value(r).is_none(),
+            "REnf read served before durability at node {n}"
+        );
+    }
+    cl.release_persists();
+    cl.run();
+    // All three stalled reads complete now, with the new value.
+    let reads: Vec<_> = cl
+        .completions()
+        .iter()
+        .filter_map(|c| match c {
+            Completion::Read { value, .. } => Some(value.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(reads.len(), 3);
+    assert!(reads.iter().all(|v| v == "x"));
+}
+
+#[test]
+fn eventual_write_completes_without_any_persist() {
+    let mut cl = BCluster::new(3, DdpModel::lin(PersistencyModel::Eventual));
+    cl.auto_persist = false;
+    let req = cl.submit_write(NodeId(0), Key(1), "x".into(), None);
+    cl.run();
+    assert!(cl.write_completed(req), "<Lin,Event> must not wait persists");
+    cl.assert_converged(Key(1));
+    // glb_durable never advanced: no persistency messages exist.
+    assert_eq!(
+        cl.engine(NodeId(1)).record_meta(Key(1)).glb_durable_ts,
+        Ts::zero()
+    );
+    cl.release_persists();
+    cl.run();
+}
+
+#[test]
+fn scope_persist_flushes_all_writes_in_scope() {
+    let mut cl = BCluster::new(3, DdpModel::lin(PersistencyModel::Scope));
+    cl.auto_persist = false;
+    let sc = ScopeId(7);
+    let w1 = cl.submit_write(NodeId(0), Key(1), "a".into(), Some(sc));
+    let w2 = cl.submit_write(NodeId(0), Key(2), "b".into(), Some(sc));
+    cl.run();
+    assert!(cl.write_completed(w1) && cl.write_completed(w2));
+
+    let p = cl.submit_persist_scope(NodeId(0), sc);
+    cl.run();
+    assert!(
+        !cl.completions()
+            .iter()
+            .any(|c| matches!(c, Completion::PersistScope { req, .. } if *req == p)),
+        "[PERSIST]sc must wait for the scope's writes to be durable"
+    );
+
+    cl.release_persists();
+    cl.run();
+    assert!(cl
+        .completions()
+        .iter()
+        .any(|c| matches!(c, Completion::PersistScope { req, .. } if *req == p)));
+    // After [VAL_P]sc, glb_durableTS reflects both writes everywhere.
+    for n in 0..3 {
+        let m1 = cl.engine(NodeId(n)).record_meta(Key(1));
+        let m2 = cl.engine(NodeId(n)).record_meta(Key(2));
+        assert_eq!(m1.glb_durable_ts, Ts::new(NodeId(0), 1), "node {n}");
+        assert_eq!(m2.glb_durable_ts, Ts::new(NodeId(0), 1), "node {n}");
+    }
+}
+
+#[test]
+fn reads_stall_while_rd_lock_held_then_wake() {
+    let mut cl = BCluster::new(3, DdpModel::lin(PersistencyModel::Synchronous));
+    cl.auto_persist = false;
+    cl.submit_write(NodeId(0), Key(4), "w".into(), None);
+    cl.run(); // stuck waiting for persists; RDLock held everywhere
+    let r = cl.submit_read(NodeId(0), Key(4));
+    cl.run();
+    assert!(cl.read_value(r).is_none(), "read must stall under RDLock");
+    assert_eq!(cl.engine(NodeId(0)).stats().reads_stalled, 1);
+    cl.release_persists();
+    cl.run();
+    assert_eq!(cl.read_value(r).unwrap(), "w");
+}
+
+#[test]
+fn stale_inv_after_newer_write_is_cut_short() {
+    // Deliver a hand-crafted INV that is already obsolete at the follower.
+    let model = DdpModel::lin(PersistencyModel::Synchronous);
+    let mut cl = BCluster::new(3, model);
+    cl.submit_write(NodeId(0), Key(3), "new".into(), None);
+    cl.run();
+    let meta_before = cl.engine(NodeId(1)).record_meta(Key(3));
+    assert_eq!(meta_before.volatile_ts, Ts::new(NodeId(0), 1));
+
+    // An INV with a *lower* timestamp arrives late at node 1.
+    cl.inject(
+        NodeId(1),
+        Event::Message {
+            from: NodeId(2),
+            msg: Message::Inv {
+                key: Key(3),
+                ts: Ts::new(NodeId(2), 0),
+                value: "stale".into(),
+                scope: None,
+            },
+        },
+    );
+    cl.run();
+    // The stale value must not be applied…
+    assert_eq!(
+        cl.engine(NodeId(1)).record_value(Key(3)).unwrap(),
+        "new",
+        "stale INV overwrote newer data"
+    );
+    // …but the follower still ACKed it (after the spins).
+    assert_eq!(cl.engine(NodeId(1)).stats().obsolete_foll, 1);
+    assert_eq!(cl.engine(NodeId(1)).stats().acks_sent, 2, "one per write");
+}
+
+#[test]
+fn obsolete_ack_waits_for_newer_writes_global_state() {
+    // Synch: the obsolete-INV ACK must wait until the newer write is
+    // globally consistent AND durable (ConsistencySpin + PersistencySpin).
+    let model = DdpModel::lin(PersistencyModel::Synchronous);
+    let mut cl = BCluster::new(3, model);
+    cl.auto_persist = false;
+    cl.submit_write(NodeId(0), Key(3), "new".into(), None);
+    cl.run(); // WR1 stuck before persists: volatileTS set, glb not yet
+
+    cl.inject(
+        NodeId(1),
+        Event::Message {
+            from: NodeId(2),
+            msg: Message::Inv {
+                key: Key(3),
+                ts: Ts::new(NodeId(2), 0),
+                value: "stale".into(),
+                scope: None,
+            },
+        },
+    );
+    cl.run();
+    // Nothing can be ACKed yet: WR1's follower ACK waits on the held
+    // local persist, and the stale INV's ACK waits on WR1 becoming
+    // globally consistent and durable.
+    assert_eq!(cl.engine(NodeId(1)).stats().acks_sent, 0);
+    assert_eq!(cl.engine(NodeId(1)).stats().obsolete_foll, 1);
+    cl.release_persists();
+    cl.run();
+    // Both ACKs flowed: WR1's, then (after WR1's VAL raised the global
+    // timestamps) the obsolete write's.
+    assert_eq!(cl.engine(NodeId(1)).stats().acks_sent, 2);
+}
+
+#[test]
+fn vals_for_obsolete_writes_are_discarded() {
+    let model = DdpModel::lin(PersistencyModel::Synchronous);
+    let mut cl = BCluster::new(3, model);
+    // A VAL for a write node 1 never saw: must be discarded harmlessly.
+    cl.inject(
+        NodeId(1),
+        Event::Message {
+            from: NodeId(0),
+            msg: Message::Val {
+                key: Key(8),
+                ts: Ts::new(NodeId(0), 1),
+                // no matching transaction
+            },
+        },
+    );
+    cl.run();
+    assert_eq!(cl.engine(NodeId(1)).stats().vals_discarded, 1);
+    assert!(cl.engine(NodeId(1)).is_quiescent());
+}
+
+#[test]
+fn write_done_reports_assigned_timestamp() {
+    let mut cl = BCluster::new(2, DdpModel::lin(PersistencyModel::Synchronous));
+    let req = cl.submit_write(NodeId(1), Key(1), "v".into(), None);
+    cl.run();
+    let done = cl
+        .completions()
+        .iter()
+        .find_map(|c| match c {
+            Completion::Write { req: r, ts, .. } if *r == req => Some(*ts),
+            _ => None,
+        })
+        .unwrap();
+    assert_eq!(done, Ts::new(NodeId(1), 1));
+}
+
+#[test]
+fn two_node_cluster_works() {
+    for model in all_models() {
+        let mut cl = BCluster::new(2, model);
+        cl.submit_write(NodeId(0), Key(1), "two".into(), scope_for(model, 1));
+        maybe_flush_scope(&mut cl, model, NodeId(0), 1);
+        cl.run();
+        assert_eq!(cl.assert_converged(Key(1)), "two", "{model}");
+    }
+}
+
+#[test]
+fn single_node_cluster_degenerates_gracefully() {
+    // n = 1: no followers, every ack set is trivially complete.
+    for model in all_models() {
+        let mut cl = BCluster::new(1, model);
+        let req = cl.submit_write(NodeId(0), Key(1), "solo".into(), scope_for(model, 1));
+        maybe_flush_scope(&mut cl, model, NodeId(0), 1);
+        cl.run();
+        assert!(cl.write_completed(req), "{model}");
+        let r = cl.submit_read(NodeId(0), Key(1));
+        cl.run();
+        assert_eq!(cl.read_value(r).unwrap(), "solo", "{model}");
+    }
+}
+
+#[test]
+fn engines_quiesce_after_burst() {
+    for model in all_models() {
+        let mut cl = BCluster::new(4, model);
+        for i in 0..10u64 {
+            let sc = scope_for(model, i as u32 + 1);
+            cl.submit_write(NodeId((i % 4) as u16), Key(i % 3), format!("{i}").into(), sc);
+        }
+        if model.persistency == PersistencyModel::Scope {
+            for i in 0..10u64 {
+                maybe_flush_scope(&mut cl, model, NodeId((i % 4) as u16), i as u32 + 1);
+            }
+        }
+        cl.run();
+        for n in 0..4 {
+            assert!(
+                cl.engine(NodeId(n)).is_quiescent(),
+                "{model}: node {n} left residue"
+            );
+        }
+    }
+}
+
+#[test]
+fn message_kinds_match_model() {
+    // Synch: combined ACK/VAL only. Strict: ACK_C/ACK_P + VAL_C/VAL_P.
+    // Event: ACK_C + VAL_C only, no persistency traffic.
+    let mut synch = BCluster::new(3, DdpModel::lin(PersistencyModel::Synchronous));
+    synch.submit_write(NodeId(0), Key(1), "v".into(), None);
+    synch.run();
+    let s = *synch.engine(NodeId(0)).stats();
+    assert_eq!(s.invs_sent, 2);
+    assert_eq!(s.vals_sent, 2);
+    let f = *synch.engine(NodeId(1)).stats();
+    assert_eq!(f.acks_sent, 1);
+
+    let mut strict = BCluster::new(3, DdpModel::lin(PersistencyModel::Strict));
+    strict.submit_write(NodeId(0), Key(1), "v".into(), None);
+    strict.run();
+    let s = *strict.engine(NodeId(0)).stats();
+    assert_eq!(s.vals_sent, 4, "VAL_C + VAL_P to two followers each");
+    let f = *strict.engine(NodeId(1)).stats();
+    assert_eq!(f.acks_sent, 2, "ACK_C + ACK_P");
+
+    let mut event = BCluster::new(3, DdpModel::lin(PersistencyModel::Eventual));
+    event.submit_write(NodeId(0), Key(1), "v".into(), None);
+    event.run();
+    let s = *event.engine(NodeId(0)).stats();
+    assert_eq!(s.vals_sent, 2, "VAL_C only");
+    let f = *event.engine(NodeId(1)).stats();
+    assert_eq!(f.acks_sent, 1, "ACK_C only");
+}
+
+#[test]
+fn glb_timestamps_agree_when_quiescent() {
+    for model in all_models() {
+        let mut cl = BCluster::new(5, model);
+        for i in 0..6u64 {
+            let sc = scope_for(model, i as u32 + 1);
+            cl.submit_write(NodeId((i % 5) as u16), Key(1), format!("{i}").into(), sc);
+            maybe_flush_scope(&mut cl, model, NodeId((i % 5) as u16), i as u32 + 1);
+            cl.run();
+        }
+        let reference = cl.engine(NodeId(0)).record_meta(Key(1));
+        for n in 1..5 {
+            let m = cl.engine(NodeId(n)).record_meta(Key(1));
+            assert_eq!(m.volatile_ts, reference.volatile_ts, "{model} node {n}");
+            assert_eq!(
+                m.glb_volatile_ts, reference.glb_volatile_ts,
+                "{model} node {n}"
+            );
+            if model.persistency != PersistencyModel::Eventual {
+                assert_eq!(
+                    m.glb_durable_ts, reference.glb_durable_ts,
+                    "{model} node {n}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn duplicate_start_write_is_ignored() {
+    let mut cl = BCluster::new(2, DdpModel::lin(PersistencyModel::Synchronous));
+    let req = cl.submit_write(NodeId(0), Key(1), "v".into(), None);
+    cl.run();
+    assert!(cl.write_completed(req));
+    // Replaying the StartWrite for the finished transaction is a no-op.
+    cl.inject(
+        NodeId(0),
+        Event::StartWrite {
+            key: Key(1),
+            ts: Ts::new(NodeId(0), 1),
+        },
+    );
+    cl.run();
+    assert!(cl.engine(NodeId(0)).is_quiescent());
+}
+
+// ---- helpers ----------------------------------------------------------
+
+/// Scope-model writes need a scope tag; other models use `None`.
+fn scope_for(model: DdpModel, sc: u32) -> Option<ScopeId> {
+    (model.persistency == PersistencyModel::Scope).then_some(ScopeId(sc))
+}
+
+/// Scope-model scopes must be flushed for the cluster to quiesce fully.
+fn maybe_flush_scope(cl: &mut BCluster, model: DdpModel, node: NodeId, sc: u32) {
+    if model.persistency == PersistencyModel::Scope {
+        let _req: ReqId = cl.submit_persist_scope(node, ScopeId(sc));
+    }
+}

@@ -1,0 +1,208 @@
+//! Targeted unit tests of engine internals that the protocol-level suites
+//! exercise only indirectly: membership, placement, recovery install,
+//! re-polling, and obsolete-path bookkeeping.
+
+use minos_core::loopback::BCluster;
+use minos_core::{Action, Event, NodeEngine, ReqId};
+use minos_types::{DdpModel, Key, NodeId, PersistencyModel, Ts};
+
+fn synch() -> DdpModel {
+    DdpModel::lin(PersistencyModel::Synchronous)
+}
+
+#[test]
+fn replicas_of_full_replication_is_everyone() {
+    let e = NodeEngine::new(NodeId(0), 4, synch());
+    assert_eq!(e.replicas_of(Key(123)).len(), 4);
+    assert!(e.is_replica(Key(123)));
+}
+
+#[test]
+fn replicas_of_ring_placement_is_deterministic_and_contiguous() {
+    let mut e = NodeEngine::new(NodeId(0), 5, synch());
+    e.set_replication_factor(Some(3));
+    let r = e.replicas_of(Key(7)); // 7 % 5 = 2 -> {2,3,4}
+    assert_eq!(r, vec![NodeId(2), NodeId(3), NodeId(4)]);
+    let r = e.replicas_of(Key(4)); // 4 % 5 = 4 -> wraps {4,0,1}
+    assert_eq!(r, vec![NodeId(4), NodeId(0), NodeId(1)]);
+}
+
+#[test]
+fn every_node_computes_identical_placement() {
+    let mut engines: Vec<_> = (0..5)
+        .map(|i| NodeEngine::new(NodeId(i), 5, synch()))
+        .collect();
+    for e in &mut engines {
+        e.set_replication_factor(Some(2));
+    }
+    for k in 0..50u64 {
+        let expect = engines[0].replicas_of(Key(k));
+        for e in &engines[1..] {
+            assert_eq!(e.replicas_of(Key(k)), expect, "key {k}");
+        }
+    }
+}
+
+#[test]
+fn fanout_targets_respect_membership_and_placement() {
+    let mut e = NodeEngine::new(NodeId(2), 5, synch());
+    e.set_replication_factor(Some(3));
+    // Key(7) -> replicas {2,3,4}; self excluded.
+    assert_eq!(
+        e.fanout_targets(Some(Key(7))),
+        vec![NodeId(3), NodeId(4)]
+    );
+    e.mark_failed(NodeId(3));
+    assert_eq!(e.fanout_targets(Some(Key(7))), vec![NodeId(4)]);
+    // Scope-class fan-outs (no key) go to all live peers.
+    assert_eq!(
+        e.fanout_targets(None),
+        vec![NodeId(0), NodeId(1), NodeId(4)]
+    );
+    e.mark_recovered(NodeId(3));
+    assert_eq!(e.fanout_targets(Some(Key(7))).len(), 2);
+}
+
+#[test]
+#[should_panic(expected = "cannot exclude itself")]
+fn mark_failed_rejects_self() {
+    let mut e = NodeEngine::new(NodeId(1), 3, synch());
+    e.mark_failed(NodeId(1));
+}
+
+#[test]
+fn install_recovered_sets_all_timestamps() {
+    let mut e = NodeEngine::new(NodeId(0), 3, synch());
+    let ts = Ts::new(NodeId(2), 9);
+    e.install_recovered(Key(1), ts, "recovered".into());
+    let m = e.record_meta(Key(1));
+    assert_eq!(m.volatile_ts, ts);
+    assert_eq!(m.glb_volatile_ts, ts);
+    assert_eq!(m.glb_durable_ts, ts);
+    assert!(m.readable());
+    assert_eq!(e.record_value(Key(1)).unwrap(), "recovered");
+}
+
+#[test]
+fn install_recovered_never_regresses() {
+    let mut e = NodeEngine::new(NodeId(0), 3, synch());
+    e.install_recovered(Key(1), Ts::new(NodeId(1), 5), "newer".into());
+    e.install_recovered(Key(1), Ts::new(NodeId(0), 3), "older".into());
+    assert_eq!(e.record_value(Key(1)).unwrap(), "newer");
+    assert_eq!(e.record_meta(Key(1)).volatile_ts, Ts::new(NodeId(1), 5));
+}
+
+#[test]
+fn quorum_shrinks_when_peer_fails_mid_write() {
+    // Start a write in a 3-node cluster, withhold one follower's ACK by
+    // failing it, then poll_now: the write must complete on the shrunken
+    // quorum.
+    let mut cl = BCluster::new(3, synch());
+    cl.auto_persist = false; // freeze mid-protocol
+    let req = cl.submit_write(NodeId(0), Key(1), "v".into(), None);
+    cl.run();
+    assert!(!cl.write_completed(req));
+
+    // Node 2 "fails": exclude it at the coordinator and re-poll.
+    cl.engine_mut(NodeId(0)).mark_failed(NodeId(2));
+    cl.release_persists();
+    cl.run();
+    assert!(
+        cl.write_completed(req),
+        "write must complete with the live quorum"
+    );
+}
+
+#[test]
+fn poll_now_fires_pending_gates() {
+    let mut e = NodeEngine::new(NodeId(0), 2, synch());
+    let mut out = Vec::new();
+    e.on_event(
+        Event::ClientWrite {
+            key: Key(1),
+            value: "v".into(),
+            scope: None,
+            req: ReqId(1),
+        },
+        &mut out,
+    );
+    let start = out
+        .iter()
+        .find_map(|a| match a {
+            Action::Defer { event, .. } => Some(event.clone()),
+            _ => None,
+        })
+        .unwrap();
+    out.clear();
+    e.on_event(start, &mut out);
+    // Stuck awaiting the follower's ACK.
+    assert!(!e.is_quiescent());
+    out.clear();
+    e.poll_now(&mut out);
+    assert!(out.is_empty(), "nothing ready yet");
+    // Failing the peer empties the quorum; poll_now completes the write.
+    e.mark_failed(NodeId(1));
+    // (the persist is still outstanding: feed it first)
+    e.on_event(
+        Event::PersistDone {
+            key: Key(1),
+            ts: Ts::new(NodeId(0), 1),
+        },
+        &mut out,
+    );
+    assert!(
+        out.iter().any(|a| matches!(a, Action::WriteDone { .. })),
+        "write should complete after membership change: {out:?}"
+    );
+}
+
+#[test]
+fn obsolete_stats_count_both_roles() {
+    let mut cl = BCluster::new(2, synch());
+    cl.submit_write(NodeId(0), Key(1), "new".into(), None);
+    cl.run();
+    cl.inject(
+        NodeId(1),
+        Event::Message {
+            from: NodeId(0),
+            msg: minos_types::Message::Inv {
+                key: Key(1),
+                ts: Ts::new(NodeId(0), 0),
+                value: "stale".into(),
+                scope: None,
+            },
+        },
+    );
+    cl.run();
+    assert_eq!(cl.engine(NodeId(1)).stats().obsolete_foll, 1);
+    assert_eq!(cl.engine(NodeId(0)).stats().obsolete_coord, 0);
+}
+
+#[test]
+fn redirect_carries_the_original_event() {
+    let mut e = NodeEngine::new(NodeId(0), 5, synch());
+    e.set_replication_factor(Some(2));
+    // Key(7) -> replicas {2,3}; node 0 must redirect.
+    assert!(!e.is_replica(Key(7)));
+    let mut out = Vec::new();
+    e.on_event(
+        Event::ClientWrite {
+            key: Key(7),
+            value: "x".into(),
+            scope: None,
+            req: ReqId(4),
+        },
+        &mut out,
+    );
+    match &out[..] {
+        [Action::Redirect { to, event }] => {
+            assert_eq!(*to, NodeId(2));
+            assert!(matches!(
+                event,
+                Event::ClientWrite { req: ReqId(4), .. }
+            ));
+        }
+        other => panic!("expected a single Redirect, got {other:?}"),
+    }
+    assert!(e.is_quiescent(), "redirect must leave no residue");
+}

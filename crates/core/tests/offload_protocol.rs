@@ -1,0 +1,280 @@
+//! Integration tests for the MINOS-O engines (Figures 7–8): the same
+//! protocol guarantees as MINOS-B, restructured across host + SmartNIC.
+
+use minos_core::loopback::{Completion, OCluster};
+use minos_types::{DdpModel, Key, NodeId, PersistencyModel, ScopeId, Ts};
+
+fn all_models() -> [DdpModel; 5] {
+    DdpModel::all_lin()
+}
+
+fn scope_for(model: DdpModel, sc: u32) -> Option<ScopeId> {
+    (model.persistency == PersistencyModel::Scope).then_some(ScopeId(sc))
+}
+
+fn maybe_flush_scope(cl: &mut OCluster, model: DdpModel, node: NodeId, sc: u32) {
+    if model.persistency == PersistencyModel::Scope {
+        cl.submit_persist_scope(node, ScopeId(sc));
+    }
+}
+
+#[test]
+fn single_write_replicates_everywhere() {
+    for model in all_models() {
+        let mut cl = OCluster::new(5, model);
+        let req = cl.submit_write(NodeId(0), Key(1), "hello".into(), scope_for(model, 1));
+        maybe_flush_scope(&mut cl, model, NodeId(0), 1);
+        cl.run();
+        assert!(cl.write_completed(req), "{model}: write never completed");
+        assert_eq!(cl.assert_converged(Key(1)), "hello", "{model}");
+    }
+}
+
+#[test]
+fn write_then_read_on_every_node() {
+    for model in all_models() {
+        let mut cl = OCluster::new(3, model);
+        cl.submit_write(NodeId(0), Key(9), "fresh".into(), scope_for(model, 1));
+        maybe_flush_scope(&mut cl, model, NodeId(0), 1);
+        cl.run();
+        for n in 0..3 {
+            let r = cl.submit_read(NodeId(n), Key(9));
+            cl.run();
+            assert_eq!(
+                cl.read_value(r).unwrap(),
+                "fresh",
+                "{model}: stale read at node {n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_writes_converge_to_newest_timestamp() {
+    for model in all_models() {
+        let mut cl = OCluster::new(4, model);
+        let r1 = cl.submit_write(NodeId(1), Key(5), "from-n1".into(), scope_for(model, 1));
+        let r2 = cl.submit_write(NodeId(3), Key(5), "from-n3".into(), scope_for(model, 2));
+        maybe_flush_scope(&mut cl, model, NodeId(1), 1);
+        maybe_flush_scope(&mut cl, model, NodeId(3), 2);
+        cl.run();
+        assert!(cl.write_completed(r1), "{model}");
+        assert!(cl.write_completed(r2), "{model}");
+        let v = cl.assert_converged(Key(5));
+        assert_eq!(v, "from-n3", "{model}: tie must break on node id");
+        assert_eq!(
+            cl.engine(NodeId(0)).record_meta(Key(5)).volatile_ts,
+            Ts::new(NodeId(3), 1),
+            "{model}"
+        );
+    }
+}
+
+#[test]
+fn many_sequential_writes_rotating_coordinators() {
+    for model in all_models() {
+        let mut cl = OCluster::new(5, model);
+        for i in 0..20u64 {
+            let node = NodeId((i % 5) as u16);
+            let sc = scope_for(model, i as u32 + 1);
+            cl.submit_write(node, Key(2), format!("v{i}").into(), sc);
+            maybe_flush_scope(&mut cl, model, node, i as u32 + 1);
+            cl.run();
+        }
+        assert_eq!(cl.assert_converged(Key(2)), "v19", "{model}");
+        assert_eq!(
+            cl.engine(NodeId(0)).record_meta(Key(2)).volatile_ts.version,
+            20,
+            "{model}"
+        );
+    }
+}
+
+#[test]
+fn scope_persist_transaction_completes() {
+    let model = DdpModel::lin(PersistencyModel::Scope);
+    let mut cl = OCluster::new(3, model);
+    let sc = ScopeId(4);
+    cl.submit_write(NodeId(0), Key(1), "a".into(), Some(sc));
+    cl.submit_write(NodeId(0), Key(2), "b".into(), Some(sc));
+    cl.run();
+    let p = cl.submit_persist_scope(NodeId(0), sc);
+    cl.run();
+    assert!(cl
+        .completions()
+        .iter()
+        .any(|c| matches!(c, Completion::PersistScope { req, .. } if *req == p)));
+    for n in 0..3 {
+        assert_eq!(
+            cl.engine(NodeId(n)).record_meta(Key(1)).glb_durable_ts,
+            Ts::new(NodeId(0), 1),
+            "node {n}"
+        );
+    }
+}
+
+#[test]
+fn engines_quiesce_after_burst() {
+    for model in all_models() {
+        let mut cl = OCluster::new(4, model);
+        for i in 0..10u64 {
+            let sc = scope_for(model, i as u32 + 1);
+            cl.submit_write(NodeId((i % 4) as u16), Key(i % 3), format!("{i}").into(), sc);
+        }
+        if model.persistency == PersistencyModel::Scope {
+            for i in 0..10u64 {
+                maybe_flush_scope(&mut cl, model, NodeId((i % 4) as u16), i as u32 + 1);
+            }
+        }
+        cl.run();
+        for n in 0..4 {
+            assert!(
+                cl.engine(NodeId(n)).is_quiescent(),
+                "{model}: node {n} left residue"
+            );
+        }
+    }
+}
+
+#[test]
+fn o_and_b_agree_on_final_state() {
+    // Functional equivalence: the same submission schedule produces the
+    // same converged value and volatileTS under MINOS-B and MINOS-O.
+    use minos_core::loopback::BCluster;
+    for model in all_models() {
+        if model.persistency == PersistencyModel::Scope {
+            continue; // scopes exercised separately above
+        }
+        let mut b = BCluster::new(4, model);
+        let mut o = OCluster::new(4, model);
+        for i in 0..12u64 {
+            let node = NodeId((i % 4) as u16);
+            let key = Key(i % 2);
+            b.submit_write(node, key, format!("{i}").into(), None);
+            o.submit_write(node, key, format!("{i}").into(), None);
+        }
+        b.run();
+        o.run();
+        for key in [Key(0), Key(1)] {
+            let bv = b.assert_converged(key);
+            let ov = o.assert_converged(key);
+            assert_eq!(bv, ov, "{model}: B/O diverged on {key}");
+            assert_eq!(
+                b.engine(NodeId(0)).record_meta(key).volatile_ts,
+                o.engine(NodeId(0)).record_meta(key).volatile_ts,
+                "{model}"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_pcie_descriptor_counts() {
+    // MINOS-O sends ONE BatchedInv over PCIe per write regardless of the
+    // follower count — that is the batching optimization. We verify via
+    // message stats: the SNIC still fans out n-1 INVs on the network.
+    let mut cl = OCluster::new(5, DdpModel::lin(PersistencyModel::Synchronous));
+    cl.submit_write(NodeId(0), Key(1), "v".into(), None);
+    cl.run();
+    let s = cl.engine(NodeId(0)).stats();
+    assert_eq!(s.invs_sent, 4, "network INVs = followers");
+    assert_eq!(s.vals_sent, 4);
+}
+
+#[test]
+fn reads_stall_under_rd_lock_in_o() {
+    // In <Lin, REnf>, after the client-write returns (all ACK_Cs) the
+    // RDLock is still held until all ACK_Ps; loopback delivers persistency
+    // acks in-queue, so force the stall with a two-write burst instead:
+    // submit a write, run only until the write is enqueued, then read.
+    let mut cl = OCluster::new(3, DdpModel::lin(PersistencyModel::Synchronous));
+    cl.submit_write(NodeId(0), Key(4), "w".into(), None);
+    // Step just a few events: ClientWrite + HostStart lock the record.
+    cl.step();
+    cl.step();
+    let r = cl.submit_read(NodeId(0), Key(4));
+    cl.run();
+    // The read completed eventually (after the VAL released the lock)…
+    assert_eq!(cl.read_value(r).unwrap(), "w");
+    // …and it did stall at submission time.
+    assert_eq!(cl.engine(NodeId(0)).stats().reads_stalled, 1);
+}
+
+#[test]
+fn obsolete_coordinator_write_in_o_is_cut_short() {
+    // Two same-key writes at different nodes; the loser's second write is
+    // made obsolete at a *follower*, and tie-break ordering holds.
+    let model = DdpModel::lin(PersistencyModel::Eventual);
+    let mut cl = OCluster::new(3, model);
+    let ra = cl.submit_write(NodeId(2), Key(1), "high".into(), None);
+    cl.run();
+    let rb = cl.submit_write(NodeId(0), Key(1), "next".into(), None);
+    cl.run();
+    assert!(cl.write_completed(ra) && cl.write_completed(rb));
+    // Node 0 issued version 2 (> node 2's version 1): it wins.
+    assert_eq!(cl.assert_converged(Key(1)), "next");
+}
+
+#[test]
+fn coherence_transfers_are_reported() {
+    // The host touches metadata at write issue; the SNIC touches it when
+    // processing ACK completion. At least one MSI migration must occur.
+    use minos_core::{OAction, OEvent, ONodeEngine, ReqId};
+    let model = DdpModel::lin(PersistencyModel::Eventual);
+    let mut e = ONodeEngine::new(NodeId(0), 1, model);
+    let mut out = Vec::new();
+    e.on_event(
+        OEvent::ClientWrite {
+            key: Key(1),
+            value: "v".into(),
+            scope: None,
+            req: ReqId(1),
+        },
+        &mut out,
+    );
+    let deferred: Vec<_> = out
+        .iter()
+        .filter_map(|a| match a {
+            OAction::Defer { event } => Some(event.clone()),
+            _ => None,
+        })
+        .collect();
+    let mut all = out.clone();
+    for ev in deferred {
+        out.clear();
+        e.on_event(ev, &mut out);
+        all.extend(out.iter().cloned());
+    }
+    // Feed the PCIe descriptor to the SNIC: its vFIFO-drain obsolete check
+    // touches the same line from the other side.
+    let pcie: Vec<_> = all
+        .iter()
+        .filter_map(|a| match a {
+            OAction::Pcie { msg, .. } => Some(msg.clone()),
+            _ => None,
+        })
+        .collect();
+    let mut transfers = 0;
+    for msg in pcie {
+        out.clear();
+        e.on_event(OEvent::PcieFromHost(msg), &mut out);
+        let drains: Vec<_> = out
+            .iter()
+            .filter_map(|a| match a {
+                OAction::VfifoEnqueue { key, ts, .. } => {
+                    Some(OEvent::VfifoDrained { key: *key, ts: *ts })
+                }
+                _ => None,
+            })
+            .collect();
+        for d in drains {
+            out.clear();
+            e.on_event(d, &mut out);
+            transfers += out
+                .iter()
+                .filter(|a| matches!(a, OAction::CoherenceTransfer { .. }))
+                .count();
+        }
+    }
+    assert!(transfers >= 1, "expected at least one MSI line migration");
+}

@@ -1,0 +1,188 @@
+//! Property-based tests: random operation schedules under random message
+//! reorderings must always converge, complete every request, and leave no
+//! locks held — for every DDP model, for both MINOS-B and MINOS-O.
+
+use minos_core::loopback::{BCluster, Completion, OCluster};
+use minos_types::{DdpModel, Key, NodeId, PersistencyModel};
+use proptest::prelude::*;
+
+/// One step of a randomly generated client schedule.
+#[derive(Debug, Clone)]
+enum Op {
+    Write { node: u16, key: u64, val: u8 },
+    Read { node: u16, key: u64 },
+}
+
+fn op_strategy(nodes: u16, keys: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..nodes, 0..keys, any::<u8>()).prop_map(|(node, key, val)| Op::Write { node, key, val }),
+        (0..nodes, 0..keys).prop_map(|(node, key)| Op::Read { node, key }),
+    ]
+}
+
+fn model_strategy() -> impl Strategy<Value = DdpModel> {
+    prop_oneof![
+        Just(DdpModel::lin(PersistencyModel::Synchronous)),
+        Just(DdpModel::lin(PersistencyModel::Strict)),
+        Just(DdpModel::lin(PersistencyModel::ReadEnforced)),
+        Just(DdpModel::lin(PersistencyModel::Eventual)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn baseline_random_schedules_converge(
+        model in model_strategy(),
+        ops in proptest::collection::vec(op_strategy(4, 3), 1..40),
+        seed in 1u64..u64::MAX,
+    ) {
+        let nodes = 4usize;
+        let mut cl = BCluster::new(nodes, model);
+        cl.set_scramble(seed);
+        let mut writes = Vec::new();
+        let mut reads = Vec::new();
+        for op in &ops {
+            match *op {
+                Op::Write { node, key, val } => {
+                    let req = cl.submit_write(
+                        NodeId(node),
+                        Key(key),
+                        vec![val].into(),
+                        None,
+                    );
+                    writes.push(req);
+                }
+                Op::Read { node, key } => {
+                    reads.push(cl.submit_read(NodeId(node), Key(key)));
+                }
+            }
+        }
+        cl.run();
+
+        // Every request completed.
+        for req in &writes {
+            prop_assert!(cl.write_completed(*req), "write {req} incomplete");
+        }
+        for req in &reads {
+            prop_assert!(cl.read_value(*req).is_some(), "read {req} incomplete");
+        }
+        // All replicas converged, all locks free, engines quiescent.
+        for k in 0..3u64 {
+            cl.assert_converged(Key(k));
+        }
+        for n in 0..nodes {
+            prop_assert!(cl.engine(NodeId(n as u16)).is_quiescent());
+        }
+    }
+
+    #[test]
+    fn offload_random_schedules_converge(
+        model in model_strategy(),
+        ops in proptest::collection::vec(op_strategy(4, 3), 1..40),
+        seed in 1u64..u64::MAX,
+    ) {
+        let nodes = 4usize;
+        let mut cl = OCluster::new(nodes, model);
+        cl.set_scramble(seed);
+        let mut writes = Vec::new();
+        let mut reads = Vec::new();
+        for op in &ops {
+            match *op {
+                Op::Write { node, key, val } => {
+                    writes.push(cl.submit_write(NodeId(node), Key(key), vec![val].into(), None));
+                }
+                Op::Read { node, key } => {
+                    reads.push(cl.submit_read(NodeId(node), Key(key)));
+                }
+            }
+        }
+        cl.run();
+        for req in &writes {
+            prop_assert!(cl.write_completed(*req), "write {req} incomplete");
+        }
+        for req in &reads {
+            prop_assert!(cl.read_value(*req).is_some(), "read {req} incomplete");
+        }
+        for k in 0..3u64 {
+            cl.assert_converged(Key(k));
+        }
+        for n in 0..nodes {
+            prop_assert!(cl.engine(NodeId(n as u16)).is_quiescent());
+        }
+    }
+
+    #[test]
+    fn winner_is_the_newest_timestamp(
+        model in model_strategy(),
+        writers in proptest::collection::vec((0u16..5, any::<u8>()), 2..8),
+        seed in 1u64..u64::MAX,
+    ) {
+        // All writes target one key from a clean cluster; every
+        // coordinator issues version 1 (or higher, for repeat writers), so
+        // the winner must be the maximum (version, node) pair — and every
+        // replica must agree on it.
+        let mut cl = BCluster::new(5, model);
+        cl.set_scramble(seed);
+        for (node, val) in &writers {
+            cl.submit_write(NodeId(*node), Key(0), vec![*val].into(), None);
+        }
+        cl.run();
+        let winner_meta = cl.engine(NodeId(0)).record_meta(Key(0));
+        // The final timestamp must be one of the issued writes' stamps,
+        // and maximal among completions.
+        let max_done = cl
+            .completions()
+            .iter()
+            .filter_map(|c| match c {
+                Completion::Write { ts, .. } => Some(*ts),
+                _ => None,
+            })
+            .max()
+            .unwrap();
+        prop_assert_eq!(winner_meta.volatile_ts, max_done);
+        cl.assert_converged(Key(0));
+    }
+
+    #[test]
+    fn b_and_o_reach_identical_values(
+        model in model_strategy(),
+        ops in proptest::collection::vec((0u16..3, 0u64..2, any::<u8>()), 1..20),
+    ) {
+        // Same FIFO schedule, no scrambling: MINOS-B and MINOS-O must
+        // produce identical converged state.
+        let mut b = BCluster::new(3, model);
+        let mut o = OCluster::new(3, model);
+        for (node, key, val) in &ops {
+            b.submit_write(NodeId(*node), Key(*key), vec![*val].into(), None);
+            o.submit_write(NodeId(*node), Key(*key), vec![*val].into(), None);
+        }
+        b.run();
+        o.run();
+        for k in 0..2u64 {
+            let bv = b.assert_converged(Key(k));
+            let ov = o.assert_converged(Key(k));
+            prop_assert_eq!(bv, ov);
+            prop_assert_eq!(
+                b.engine(NodeId(0)).record_meta(Key(k)).volatile_ts,
+                o.engine(NodeId(0)).record_meta(Key(k)).volatile_ts
+            );
+        }
+    }
+
+    #[test]
+    fn read_your_own_quiesced_write(
+        model in model_strategy(),
+        val in any::<u8>(),
+        node in 0u16..3,
+    ) {
+        let mut cl = BCluster::new(3, model);
+        cl.submit_write(NodeId(node), Key(1), vec![val].into(), None);
+        cl.run();
+        let r = cl.submit_read(NodeId(node), Key(1));
+        cl.run();
+        let got = cl.read_value(r).unwrap();
+        prop_assert_eq!(got.as_ref(), &[val][..]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Deep tests of the `<Lin, Scope>` model: interleaved scopes, multiple
+//! owners, empty scopes, and scrambled delivery.
+
+use minos_core::loopback::{BCluster, Completion, OCluster};
+use minos_types::{DdpModel, Key, NodeId, PersistencyModel, ScopeId, Ts};
+
+fn scope_model() -> DdpModel {
+    DdpModel::lin(PersistencyModel::Scope)
+}
+
+#[test]
+fn empty_scope_persists_immediately() {
+    let mut cl = BCluster::new(3, scope_model());
+    let p = cl.submit_persist_scope(NodeId(0), ScopeId(9));
+    cl.run();
+    assert!(cl
+        .completions()
+        .iter()
+        .any(|c| matches!(c, Completion::PersistScope { req, .. } if *req == p)));
+}
+
+#[test]
+fn two_scopes_flush_independently() {
+    let mut cl = BCluster::new(3, scope_model());
+    cl.auto_persist = false;
+    let a1 = cl.submit_write(NodeId(0), Key(1), "a1".into(), Some(ScopeId(1)));
+    let b1 = cl.submit_write(NodeId(0), Key(2), "b1".into(), Some(ScopeId(2)));
+    cl.run();
+    assert!(cl.write_completed(a1) && cl.write_completed(b1));
+
+    // Flush only scope 1; scope 2's write is still unpersisted.
+    let p1 = cl.submit_persist_scope(NodeId(0), ScopeId(1));
+    let p2 = cl.submit_persist_scope(NodeId(0), ScopeId(2));
+    cl.run();
+    assert!(
+        !cl.completions()
+            .iter()
+            .any(|c| matches!(c, Completion::PersistScope { .. })),
+        "no scope can flush before its persists land"
+    );
+    cl.release_persists();
+    cl.run();
+    for p in [p1, p2] {
+        assert!(cl
+            .completions()
+            .iter()
+            .any(|c| matches!(c, Completion::PersistScope { req, .. } if *req == p)));
+    }
+}
+
+#[test]
+fn scopes_from_different_owners_do_not_interfere() {
+    let mut cl = BCluster::new(3, scope_model());
+    // Same ScopeId used by two different coordinators: scopes are keyed
+    // by (owner, id), so these are distinct scopes.
+    let sc = ScopeId(5);
+    cl.submit_write(NodeId(0), Key(1), "from-0".into(), Some(sc));
+    cl.submit_write(NodeId(1), Key(2), "from-1".into(), Some(sc));
+    cl.run();
+    let p0 = cl.submit_persist_scope(NodeId(0), sc);
+    let p1 = cl.submit_persist_scope(NodeId(1), sc);
+    cl.run();
+    for p in [p0, p1] {
+        assert!(cl
+            .completions()
+            .iter()
+            .any(|c| matches!(c, Completion::PersistScope { req, .. } if *req == p)));
+    }
+    // Both writes' durability is globally recorded.
+    for n in 0..3 {
+        assert!(cl.engine(NodeId(n)).record_meta(Key(1)).glb_durable_ts > Ts::zero());
+        assert!(cl.engine(NodeId(n)).record_meta(Key(2)).glb_durable_ts > Ts::zero());
+    }
+}
+
+#[test]
+fn scope_reuse_after_flush_works() {
+    let mut cl = BCluster::new(2, scope_model());
+    let sc = ScopeId(1);
+    cl.submit_write(NodeId(0), Key(1), "gen1".into(), Some(sc));
+    cl.run();
+    cl.submit_persist_scope(NodeId(0), sc);
+    cl.run();
+    // Reusing the id starts a fresh scope.
+    cl.submit_write(NodeId(0), Key(1), "gen2".into(), Some(sc));
+    cl.run();
+    let p = cl.submit_persist_scope(NodeId(0), sc);
+    cl.run();
+    assert!(cl
+        .completions()
+        .iter()
+        .any(|c| matches!(c, Completion::PersistScope { req, .. } if *req == p)));
+    assert_eq!(cl.assert_converged(Key(1)), "gen2");
+}
+
+#[test]
+fn scrambled_scope_runs_converge() {
+    for seed in [3u64, 17, 99, 12345] {
+        let mut cl = BCluster::new(3, scope_model());
+        cl.set_scramble(seed);
+        let sc = ScopeId(1);
+        let w1 = cl.submit_write(NodeId(0), Key(1), "x".into(), Some(sc));
+        let w2 = cl.submit_write(NodeId(0), Key(2), "y".into(), Some(sc));
+        cl.run();
+        assert!(cl.write_completed(w1) && cl.write_completed(w2), "seed {seed}");
+        let p = cl.submit_persist_scope(NodeId(0), sc);
+        cl.run();
+        assert!(
+            cl.completions()
+                .iter()
+                .any(|c| matches!(c, Completion::PersistScope { req, .. } if *req == p)),
+            "seed {seed}"
+        );
+        cl.assert_converged(Key(1));
+        cl.assert_converged(Key(2));
+    }
+}
+
+#[test]
+fn o_cluster_scope_interleavings() {
+    for seed in [7u64, 21, 4242] {
+        let mut cl = OCluster::new(3, scope_model());
+        cl.set_scramble(seed);
+        let sc = ScopeId(2);
+        cl.submit_write(NodeId(1), Key(1), "ox".into(), Some(sc));
+        cl.submit_write(NodeId(1), Key(2), "oy".into(), Some(sc));
+        cl.run();
+        let p = cl.submit_persist_scope(NodeId(1), sc);
+        cl.run();
+        assert!(
+            cl.completions()
+                .iter()
+                .any(|c| matches!(c, Completion::PersistScope { req, .. } if *req == p)),
+            "seed {seed}"
+        );
+        for n in 0..3 {
+            assert!(
+                cl.engine(NodeId(n)).is_quiescent(),
+                "seed {seed}: node {n} left residue"
+            );
+        }
+    }
+}
+
+#[test]
+fn glb_durable_reflects_only_flushed_scopes() {
+    let mut cl = BCluster::new(2, scope_model());
+    cl.auto_persist = false;
+    cl.submit_write(NodeId(0), Key(1), "v".into(), Some(ScopeId(1)));
+    cl.run();
+    // Write visible but scope unflushed: durability not global.
+    assert_eq!(
+        cl.engine(NodeId(1)).record_meta(Key(1)).glb_durable_ts,
+        Ts::zero()
+    );
+    cl.release_persists();
+    cl.submit_persist_scope(NodeId(0), ScopeId(1));
+    cl.run();
+    assert_eq!(
+        cl.engine(NodeId(1)).record_meta(Key(1)).glb_durable_ts,
+        Ts::new(NodeId(0), 1)
+    );
+}

@@ -1,0 +1,77 @@
+//! §III-E recovery helpers: log shipping and volatile-state rebuild.
+//!
+//! When a failed node `F` rejoins, "a designated node sends to F a
+//! message with the log of all the updates that have been committed since
+//! the time when F stopped responding. F then applies the updates to its
+//! local persistent and volatile state." These helpers are shared by
+//! [`crate::MinosKv`] and the threaded runtime in `minos-cluster`.
+
+use crate::durable::DurableState;
+use minos_nvm::{LogEntry, Lsn};
+use minos_types::{Key, Ts, Value};
+use std::collections::BTreeMap;
+
+/// The donor side: the log suffix to ship to a node that last saw the
+/// donor's log at `rejoiner_watermark`.
+#[must_use]
+pub fn plan_shipment(donor: &DurableState, rejoiner_watermark: Lsn) -> Vec<LogEntry> {
+    donor.entries_since(rejoiner_watermark)
+}
+
+/// The rejoiner side: reduces shipped entries to the newest version per
+/// key — the records to install into the volatile replica after the
+/// durable replay.
+#[must_use]
+pub fn rebuild_volatile(entries: &[LogEntry]) -> Vec<(Key, Ts, Value)> {
+    let mut newest: BTreeMap<Key, (Ts, Value)> = BTreeMap::new();
+    for e in entries {
+        match newest.get(&e.key) {
+            Some((cur, _)) if *cur >= e.ts => {}
+            _ => {
+                newest.insert(e.key, (e.ts, e.value.clone()));
+            }
+        }
+    }
+    newest
+        .into_iter()
+        .map(|(k, (ts, v))| (k, ts, v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minos_types::NodeId;
+
+    fn ts(n: u16, v: u32) -> Ts {
+        Ts::new(NodeId(n), v)
+    }
+
+    #[test]
+    fn shipment_respects_watermark() {
+        let mut donor = DurableState::new();
+        donor.persist(Key(1), ts(0, 1), "a".into());
+        donor.persist(Key(2), ts(0, 1), "b".into());
+        donor.persist(Key(1), ts(0, 2), "c".into());
+        assert_eq!(plan_shipment(&donor, 0).len(), 3);
+        assert_eq!(plan_shipment(&donor, 2).len(), 1);
+        assert!(plan_shipment(&donor, 99).is_empty());
+    }
+
+    #[test]
+    fn rebuild_keeps_newest_per_key() {
+        let mut donor = DurableState::new();
+        donor.persist(Key(1), ts(0, 1), "old".into());
+        donor.persist(Key(1), ts(1, 1), "tie-winner".into());
+        donor.persist(Key(2), ts(0, 5), "only".into());
+        let rebuilt = rebuild_volatile(&plan_shipment(&donor, 0));
+        assert_eq!(rebuilt.len(), 2);
+        assert_eq!(rebuilt[0], (Key(1), ts(1, 1), "tie-winner".into()));
+        assert_eq!(rebuilt[1], (Key(2), ts(0, 5), "only".into()));
+    }
+
+    #[test]
+    fn rebuild_of_empty_shipment_is_empty() {
+        assert!(rebuild_volatile(&[]).is_empty());
+    }
+}

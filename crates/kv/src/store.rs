@@ -1,0 +1,358 @@
+//! The single-process replicated MINOS-KV store.
+
+use crate::durable::DurableState;
+use crate::hash_key;
+use minos_core::{Action, EngineStats, Event, NodeEngine, ReqId};
+use minos_types::{
+    DdpModel, Key, MinosError, NodeId, Result, ScopeId, Ts, Value,
+};
+use std::collections::VecDeque;
+
+/// A replicated key-value store: N protocol engines + N durable states,
+/// driven to quiescence after every client call.
+///
+/// This is the "real application" face of the workspace: examples and the
+/// KV test-suite use it; the simulator and model checker drive the same
+/// engines through their own harnesses.
+///
+/// Failure injection: [`MinosKv::fail_node`] partitions a node away
+/// (messages to/from it are dropped, quorums shrink);
+/// [`MinosKv::recover_node`] re-inserts it after shipping the durable-log
+/// suffix from a designated surviving node, as §III-E prescribes.
+#[derive(Debug, Clone)]
+pub struct MinosKv {
+    engines: Vec<NodeEngine>,
+    durable: Vec<DurableState>,
+    /// Per-node recovery cursor: the donor log position the node has
+    /// replayed up to.
+    failed: Vec<bool>,
+    queue: VecDeque<(NodeId, Event)>,
+    completions: Vec<(ReqId, KvOutcome)>,
+    next_req: u64,
+    model: DdpModel,
+}
+
+/// Result of a completed client operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum KvOutcome {
+    Write { ts: Ts, obsolete: bool },
+    Read { value: Value, ts: Ts },
+    PersistScope,
+}
+
+impl MinosKv {
+    /// Creates an `n`-node store running `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: usize, model: DdpModel) -> Self {
+        MinosKv {
+            engines: (0..n)
+                .map(|i| NodeEngine::new(NodeId(i as u16), n, model))
+                .collect(),
+            durable: (0..n).map(|_| DurableState::new()).collect(),
+            failed: vec![false; n],
+            queue: VecDeque::new(),
+            completions: Vec::new(),
+            next_req: 1,
+            model,
+        }
+    }
+
+    /// Creates an `n`-node store with each record replicated on only `k`
+    /// nodes (hash-ring placement) — the partial-replication extension
+    /// lifting the paper's "replicated in all the nodes" simplification.
+    /// Writes submitted at a non-replica are transparently redirected;
+    /// reads at a non-replica are forwarded to a replica over the
+    /// ReadReq/ReadResp sub-protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds `n`, or if `model` is
+    /// `<Lin, Scope>` (unsupported under partial replication).
+    #[must_use]
+    pub fn with_replication(n: usize, k: u16, model: DdpModel) -> Self {
+        let mut kv = MinosKv::new(n, model);
+        for e in &mut kv.engines {
+            e.set_replication_factor(Some(k));
+        }
+        kv
+    }
+
+    /// The DDP model in force.
+    #[must_use]
+    pub fn model(&self) -> DdpModel {
+        self.model
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Writes `value` under `name`, coordinated by `node`. Blocks (drives
+    /// the cluster) until the write's client response; returns its
+    /// timestamp.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MinosError::NodeFailed`] if `node` is marked failed.
+    pub fn put(
+        &mut self,
+        node: NodeId,
+        name: impl AsRef<[u8]>,
+        value: impl Into<Value>,
+    ) -> Result<Ts> {
+        self.put_scoped(node, name, value, None)
+    }
+
+    /// [`MinosKv::put`] with a scope tag (`<Lin, Scope>` model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MinosError::NodeFailed`] if `node` is marked failed.
+    pub fn put_scoped(
+        &mut self,
+        node: NodeId,
+        name: impl AsRef<[u8]>,
+        value: impl Into<Value>,
+        scope: Option<ScopeId>,
+    ) -> Result<Ts> {
+        self.check_alive(node)?;
+        let req = self.fresh_req();
+        let key = hash_key(name);
+        self.queue.push_back((
+            node,
+            Event::ClientWrite {
+                key,
+                value: value.into(),
+                scope,
+                req,
+            },
+        ));
+        self.run();
+        match self.take_completion(req) {
+            Some(KvOutcome::Write { ts, .. }) => Ok(ts),
+            _ => Err(MinosError::Shutdown),
+        }
+    }
+
+    /// Reads `name` at `node` (always served locally, §III-D).
+    ///
+    /// Returns `None` for never-written records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MinosError::NodeFailed`] if `node` is marked failed.
+    pub fn get(&mut self, node: NodeId, name: impl AsRef<[u8]>) -> Result<Option<Value>> {
+        self.check_alive(node)?;
+        let req = self.fresh_req();
+        let key = hash_key(name);
+        self.queue.push_back((node, Event::ClientRead { key, req }));
+        self.run();
+        match self.take_completion(req) {
+            Some(KvOutcome::Read { value, ts }) => {
+                Ok((ts != Ts::zero() || !value.is_empty()).then_some(value))
+            }
+            _ => Err(MinosError::Shutdown),
+        }
+    }
+
+    /// Ends scope `scope` at `node` with a `[PERSIST]sc` transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MinosError::NodeFailed`] if `node` is marked failed.
+    pub fn persist_scope(&mut self, node: NodeId, scope: ScopeId) -> Result<()> {
+        self.check_alive(node)?;
+        let req = self.fresh_req();
+        self.queue
+            .push_back((node, Event::ClientPersistScope { scope, req }));
+        self.run();
+        match self.take_completion(req) {
+            Some(KvOutcome::PersistScope) => Ok(()),
+            _ => Err(MinosError::Shutdown),
+        }
+    }
+
+    /// The durable state of `node` (inspection, tests).
+    #[must_use]
+    pub fn durable(&self, node: NodeId) -> &DurableState {
+        &self.durable[node.0 as usize]
+    }
+
+    /// Protocol statistics of `node`.
+    #[must_use]
+    pub fn stats(&self, node: NodeId) -> &EngineStats {
+        self.engines[node.0 as usize].stats()
+    }
+
+    /// The protocol engine of `node` (inspection, tests).
+    #[must_use]
+    pub fn engine(&self, node: NodeId) -> &NodeEngine {
+        &self.engines[node.0 as usize]
+    }
+
+    /// Fails `node`: its messages are dropped and every surviving node
+    /// excludes it from acknowledgment quorums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if it would leave the cluster empty.
+    pub fn fail_node(&mut self, node: NodeId) {
+        assert!(
+            self.failed.iter().filter(|f| !**f).count() > 1,
+            "cannot fail the last live node"
+        );
+        self.failed[node.0 as usize] = true;
+        for e in &mut self.engines {
+            if e.node() != node {
+                e.mark_failed(node);
+            }
+        }
+        // Drop queued traffic involving the failed node.
+        self.queue.retain(|(to, ev)| {
+            *to != node && !matches!(ev, Event::Message { from, .. } if *from == node)
+        });
+        self.run();
+    }
+
+    /// Recovers `node` per §III-E: `donor` ships the durable-log suffix;
+    /// the rejoining node replays it (obsoleteness-checked) into durable
+    /// state and reloads its volatile replica from the result, then every
+    /// node re-admits it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `donor` is failed or `node` is not failed.
+    pub fn recover_node(&mut self, node: NodeId, donor: NodeId) {
+        assert!(self.failed[node.0 as usize], "{node} is not failed");
+        assert!(!self.failed[donor.0 as usize], "donor {donor} is failed");
+
+        // Ship everything the rejoining node is missing. The donor sends
+        // its whole live log suffix from the rejoiner's high-water mark;
+        // obsolete entries are skipped during replay.
+        let from = 0; // conservative: replay full log (idempotent)
+        let entries = self.durable[donor.0 as usize].entries_since(from);
+        let ni = node.0 as usize;
+        self.durable[ni].replay(&entries);
+
+        // The crash wiped volatile state: rebuild the engine so no stale
+        // transaction or lock survives, then re-exclude any other nodes
+        // that are still failed.
+        self.engines[ni] = NodeEngine::new(node, self.engines.len(), self.model);
+        for (i, f) in self.failed.iter().enumerate() {
+            if *f && i != ni {
+                self.engines[ni].mark_failed(NodeId(i as u16));
+            }
+        }
+
+        // Reload the volatile replica from the recovered durable state:
+        // these updates are already globally consistent and durable, so
+        // they are installed directly (no protocol traffic).
+        let records: Vec<(Key, Ts, Value)> = self.durable[ni]
+            .iter_durable()
+            .map(|(k, (ts, v))| (*k, *ts, v.clone()))
+            .collect();
+        for (key, ts, value) in records {
+            self.engines[ni].install_recovered(key, ts, value);
+        }
+
+        self.failed[ni] = false;
+        for e in &mut self.engines {
+            if e.node() != node {
+                e.mark_recovered(node);
+            }
+        }
+        self.run();
+    }
+
+    fn check_alive(&self, node: NodeId) -> Result<()> {
+        if self
+            .failed
+            .get(node.0 as usize)
+            .copied()
+            .ok_or(MinosError::UnknownNode(node))?
+        {
+            Err(MinosError::NodeFailed(node))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn fresh_req(&mut self) -> ReqId {
+        let r = ReqId(self.next_req);
+        self.next_req += 1;
+        r
+    }
+
+    fn take_completion(&mut self, req: ReqId) -> Option<KvOutcome> {
+        let idx = self.completions.iter().position(|(r, _)| *r == req)?;
+        Some(self.completions.swap_remove(idx).1)
+    }
+
+    fn run(&mut self) {
+        let mut steps = 0u64;
+        while let Some((node, ev)) = self.queue.pop_front() {
+            steps += 1;
+            assert!(steps < 10_000_000, "MINOS-KV cluster did not quiesce");
+            if self.failed[node.0 as usize] {
+                continue;
+            }
+            if let Event::Message { from, .. } = &ev {
+                if self.failed[from.0 as usize] {
+                    continue;
+                }
+            }
+            let mut out = Vec::new();
+            self.engines[node.0 as usize].on_event(ev, &mut out);
+            self.dispatch(node, out);
+        }
+    }
+
+    fn dispatch(&mut self, node: NodeId, actions: Vec<Action>) {
+        let ni = node.0 as usize;
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => {
+                    self.queue
+                        .push_back((to, Event::Message { from: node, msg }));
+                }
+                Action::SendToFollowers { msg } => {
+                    for to in self.engines[ni].fanout_targets(msg.key()) {
+                        self.queue.push_back((
+                            to,
+                            Event::Message {
+                                from: node,
+                                msg: msg.clone(),
+                            },
+                        ));
+                    }
+                }
+                Action::Redirect { to, event } => {
+                    self.queue.push_back((to, event));
+                }
+                Action::Persist { key, ts, value, .. } => {
+                    // Real durable effect: log append + durable-db apply,
+                    // then the completion event the engine's gates await.
+                    self.durable[ni].persist(key, ts, value);
+                    self.queue.push_back((node, Event::PersistDone { key, ts }));
+                }
+                Action::Defer { event, .. } => self.queue.push_back((node, event)),
+                Action::WriteDone {
+                    req, ts, obsolete, ..
+                } => self.completions.push((req, KvOutcome::Write { ts, obsolete })),
+                Action::ReadDone { req, value, ts, .. } => {
+                    self.completions.push((req, KvOutcome::Read { value, ts }));
+                }
+                Action::PersistScopeDone { req, .. } => {
+                    self.completions.push((req, KvOutcome::PersistScope));
+                }
+                Action::Meta(_) => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! The partial-replication extension: records live on `k` of `n` nodes;
+//! writes redirect to replicas, reads forward over ReadReq/ReadResp.
+
+use minos_kv::{hash_key, MinosKv};
+use minos_types::{DdpModel, NodeId, PersistencyModel, Ts};
+
+fn synch() -> DdpModel {
+    DdpModel::lin(PersistencyModel::Synchronous)
+}
+
+#[test]
+fn put_get_work_from_any_node() {
+    // 5 nodes, 2 replicas per record: every node can still serve every
+    // client request (redirect/forward under the hood).
+    let mut kv = MinosKv::with_replication(5, 2, synch());
+    kv.put(NodeId(3), "alpha", "1").unwrap();
+    for n in 0..5 {
+        assert_eq!(
+            kv.get(NodeId(n), "alpha").unwrap().unwrap(),
+            "1",
+            "node {n}"
+        );
+    }
+}
+
+#[test]
+fn only_replicas_hold_the_data() {
+    let mut kv = MinosKv::with_replication(5, 2, synch());
+    kv.put(NodeId(0), "k", "v").unwrap();
+    let key = hash_key("k");
+    let replicas = kv.engine(NodeId(0)).replicas_of(key);
+    assert_eq!(replicas.len(), 2);
+    let mut holders = 0;
+    for n in 0..5 {
+        let node = NodeId(n);
+        let has = kv
+            .engine(node)
+            .record_value(key)
+            .is_some_and(|v| v == "v");
+        assert_eq!(
+            has,
+            replicas.contains(&node),
+            "node {node}: data placement mismatch"
+        );
+        holders += usize::from(has);
+    }
+    assert_eq!(holders, 2, "exactly k replicas hold the record");
+}
+
+#[test]
+fn durability_follows_placement() {
+    let mut kv = MinosKv::with_replication(4, 2, synch());
+    let ts = kv.put(NodeId(1), "k", "v").unwrap();
+    let key = hash_key("k");
+    let replicas = kv.engine(NodeId(0)).replicas_of(key);
+    for n in 0..4 {
+        let node = NodeId(n);
+        let durable = kv.durable(node).durable(key).cloned();
+        if replicas.contains(&node) {
+            assert_eq!(durable, Some((ts, "v".into())), "replica {node}");
+        } else {
+            assert_eq!(durable, None, "non-replica {node} persisted data");
+        }
+    }
+}
+
+#[test]
+fn overwrites_from_different_nodes_converge() {
+    let mut kv = MinosKv::with_replication(5, 3, synch());
+    for i in 0..12u32 {
+        kv.put(NodeId((i % 5) as u16), "hot", format!("v{i}")).unwrap();
+    }
+    for n in 0..5 {
+        assert_eq!(
+            kv.get(NodeId(n), "hot").unwrap().unwrap(),
+            "v11",
+            "node {n}"
+        );
+    }
+}
+
+#[test]
+fn replication_factor_one_is_single_copy() {
+    let mut kv = MinosKv::with_replication(3, 1, synch());
+    let ts = kv.put(NodeId(0), "solo", "x").unwrap();
+    // With one replica there are no followers: the write's version is 1
+    // and no ACK traffic occurred.
+    assert_eq!(ts.version, 1);
+    assert_eq!(kv.get(NodeId(2), "solo").unwrap().unwrap(), "x");
+    let key = hash_key("solo");
+    let replica = kv.engine(NodeId(0)).replicas_of(key)[0];
+    assert_eq!(kv.stats(replica).invs_sent, 0, "no fan-out for k=1");
+}
+
+#[test]
+fn full_replication_still_default() {
+    let mut kv = MinosKv::new(3, synch());
+    kv.put(NodeId(0), "k", "v").unwrap();
+    let key = hash_key("k");
+    for n in 0..3 {
+        assert!(kv.engine(NodeId(n)).record_value(key).is_some());
+        assert!(kv.engine(NodeId(n)).is_replica(key));
+    }
+}
+
+#[test]
+fn reads_at_non_replicas_see_latest_write() {
+    // Lin must survive forwarding: write at a replica, read immediately
+    // from a non-replica.
+    let mut kv = MinosKv::with_replication(5, 2, synch());
+    let key = hash_key("seq");
+    let replicas = kv.engine(NodeId(0)).replicas_of(key);
+    let non_replica = (0..5)
+        .map(|n| NodeId(n))
+        .find(|n| !replicas.contains(n))
+        .unwrap();
+    for i in 0..8u32 {
+        kv.put(replicas[i as usize % 2], "seq", format!("{i}")).unwrap();
+        assert_eq!(
+            kv.get(non_replica, "seq").unwrap().unwrap(),
+            format!("{i}"),
+            "stale forwarded read after write {i}"
+        );
+    }
+}
+
+#[test]
+fn many_keys_spread_across_the_ring() {
+    let kv = MinosKv::with_replication(5, 2, synch());
+    let mut per_node = vec![0usize; 5];
+    for i in 0..100u64 {
+        for r in kv.engine(NodeId(0)).replicas_of(minos_types::Key(i)) {
+            per_node[r.0 as usize] += 1;
+        }
+    }
+    // 100 keys × 2 replicas over 5 nodes ≈ 40 per node with ring placement.
+    for (n, &c) in per_node.iter().enumerate() {
+        assert!((30..=50).contains(&c), "node {n} holds {c} replicas");
+    }
+}
+
+#[test]
+fn timestamps_still_strictly_increase_per_key() {
+    let mut kv = MinosKv::with_replication(4, 2, synch());
+    let mut last = Ts::zero();
+    for i in 0..6u32 {
+        let ts = kv.put(NodeId((i % 4) as u16), "mono", format!("{i}")).unwrap();
+        assert!(ts > last, "ts regression: {ts} after {last}");
+        last = ts;
+    }
+}
+
+#[test]
+#[should_panic(expected = "partial replication is not supported under <Lin, Scope>")]
+fn scope_model_rejects_partial_replication() {
+    let _ = MinosKv::with_replication(3, 2, DdpModel::lin(PersistencyModel::Scope));
+}

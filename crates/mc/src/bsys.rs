@@ -1,0 +1,299 @@
+//! The MINOS-B system under check.
+
+use crate::explore::{explore, hash_debug, McReport, System, Violation};
+use crate::invariants::{
+    check_acked_visibility, check_bookkeeping, check_read_visibility,
+    check_timestamp_staging, check_unlocked_agreement, legal_message, NodeView,
+};
+use crate::workload::{McOp, Workload};
+use minos_core::{Action, Event, NodeEngine, ReqId};
+use minos_types::{DdpModel, NodeId, ScopeId};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+#[derive(Clone)]
+pub(crate) struct BSystem {
+    model: DdpModel,
+    engines: Vec<NodeEngine>,
+    /// Deliverable events: every interleaving of these is explored.
+    inflight: Vec<(NodeId, Event)>,
+    /// `[PERSIST]sc` ops staged until all writes complete.
+    staged: Vec<(NodeId, ScopeId, ReqId)>,
+    expected_writes: usize,
+    expected_reads: usize,
+    expected_persists: usize,
+    writes_done: usize,
+    reads_done: usize,
+    persists_done: usize,
+    /// Violations detected while dispatching (illegal messages).
+    dispatch_violations: Vec<Violation>,
+}
+
+impl BSystem {
+    fn new(model: DdpModel, w: &Workload) -> Self {
+        Self::with_snatch(model, w, true)
+    }
+
+    fn with_snatch(model: DdpModel, w: &Workload, snatch: bool) -> Self {
+        Self::with_options(model, w, snatch, None)
+    }
+
+    fn with_options(
+        model: DdpModel,
+        w: &Workload,
+        snatch: bool,
+        replication: Option<u16>,
+    ) -> Self {
+        let engines = (0..w.nodes)
+            .map(|i| {
+                let mut e = NodeEngine::new(NodeId(i as u16), w.nodes, model);
+                e.set_snatch_enabled(snatch);
+                e.set_replication_factor(replication);
+                e
+            })
+            .collect();
+        let mut sys = BSystem {
+            model,
+            engines,
+            inflight: Vec::new(),
+            staged: Vec::new(),
+            expected_writes: 0,
+            expected_reads: 0,
+            expected_persists: 0,
+            writes_done: 0,
+            reads_done: 0,
+            persists_done: 0,
+            dispatch_violations: Vec::new(),
+        };
+        for (i, op) in w.ops.iter().enumerate() {
+            let req = ReqId(i as u64 + 1);
+            match op.clone() {
+                McOp::Write {
+                    node,
+                    key,
+                    value,
+                    scope,
+                } => {
+                    sys.expected_writes += 1;
+                    sys.inflight.push((
+                        node,
+                        Event::ClientWrite {
+                            key,
+                            value,
+                            scope,
+                            req,
+                        },
+                    ));
+                }
+                McOp::Read { node, key } => {
+                    sys.expected_reads += 1;
+                    sys.inflight.push((node, Event::ClientRead { key, req }));
+                }
+                McOp::PersistScope { node, scope } => {
+                    sys.expected_persists += 1;
+                    sys.staged.push((node, scope, req));
+                }
+            }
+        }
+        sys
+    }
+
+    fn views(&self) -> Vec<NodeView> {
+        let keys: std::collections::BTreeSet<_> =
+            self.engines.iter().flat_map(|e| e.keys()).collect();
+        self.engines
+            .iter()
+            .map(|e| NodeView {
+                node: e.node(),
+                // Only replicated keys: non-replicas hold no copy to
+                // compare (partial-replication extension).
+                metas: keys
+                    .iter()
+                    .filter(|&&k| e.is_replica(k))
+                    .map(|&k| (k, e.record_meta(k)))
+                    .collect(),
+                coord_txs: e.coord_tx_views(),
+                quiescent: e.is_quiescent(),
+            })
+            .collect()
+    }
+}
+
+impl System for BSystem {
+    fn deliverable(&self) -> usize {
+        self.inflight.len()
+    }
+
+    fn deliver(&self, i: usize) -> Self {
+        let mut next = self.clone();
+        let (node, ev) = next.inflight.remove(i);
+        let mut out = Vec::new();
+        next.engines[node.0 as usize].on_event(ev, &mut out);
+        for a in out {
+            match a {
+                Action::Send { to, msg } => {
+                    if !legal_message(next.model, &msg) {
+                        next.dispatch_violations.push(Violation {
+                            condition: "4a legal message set".into(),
+                            detail: format!("{node} sent {msg} under {}", next.model),
+                        });
+                    }
+                    next.inflight.push((to, Event::Message { from: node, msg }));
+                }
+                Action::SendToFollowers { msg } => {
+                    if !legal_message(next.model, &msg) {
+                        next.dispatch_violations.push(Violation {
+                            condition: "4a legal message set".into(),
+                            detail: format!("{node} fanned out {msg} under {}", next.model),
+                        });
+                    }
+                    for to in next.engines[node.0 as usize].fanout_targets(msg.key()) {
+                        next.inflight.push((
+                            to,
+                            Event::Message {
+                                from: node,
+                                msg: msg.clone(),
+                            },
+                        ));
+                    }
+                }
+                Action::Persist { key, ts, .. } => {
+                    next.inflight.push((node, Event::PersistDone { key, ts }));
+                }
+                Action::Redirect { to, event } => next.inflight.push((to, event)),
+                Action::Defer { event, .. } => next.inflight.push((node, event)),
+                Action::WriteDone { .. } => next.writes_done += 1,
+                Action::ReadDone { .. } => next.reads_done += 1,
+                Action::PersistScopeDone { .. } => next.persists_done += 1,
+                Action::Meta(_) => {}
+            }
+        }
+        // Clients issue [PERSIST]sc only after their writes returned.
+        if next.writes_done == next.expected_writes && !next.staged.is_empty() {
+            for (node, scope, req) in std::mem::take(&mut next.staged) {
+                next.inflight
+                    .push((node, Event::ClientPersistScope { scope, req }));
+            }
+        }
+        next
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        for e in &self.engines {
+            e.hash(&mut h);
+        }
+        let mut pending: Vec<String> = self
+            .inflight
+            .iter()
+            .map(|(n, ev)| format!("{n}:{ev:?}"))
+            .collect();
+        pending.sort_unstable();
+        for p in &pending {
+            h.write(p.as_bytes());
+        }
+        hash_debug(&mut h, &self.staged);
+        h.write_usize(self.writes_done);
+        h.write_usize(self.reads_done);
+        h.write_usize(self.persists_done);
+        h.finish()
+    }
+
+    fn check_state(&self, out: &mut Vec<Violation>) {
+        out.extend(self.dispatch_violations.iter().cloned());
+        let views = self.views();
+        check_timestamp_staging(self.model, &views, out);
+        check_acked_visibility(&views, out);
+        check_read_visibility(&views, out);
+        check_bookkeeping(self.engines.len(), &views, out);
+    }
+
+    fn check_terminal(&self, out: &mut Vec<Violation>) {
+        // Agreement conditions 2(a)/3(a) are exact at terminal states.
+        check_unlocked_agreement(self.model, &self.views(), out);
+        // 1. No deadlock: a terminal state must be fully quiescent with
+        // every seeded operation completed.
+        for e in &self.engines {
+            if !e.is_quiescent() {
+                out.push(Violation {
+                    condition: "1 deadlock freedom".into(),
+                    detail: format!("terminal state but {} is not quiescent", e.node()),
+                });
+            }
+        }
+        if self.writes_done != self.expected_writes
+            || self.reads_done != self.expected_reads
+            || self.persists_done != self.expected_persists
+        {
+            out.push(Violation {
+                condition: "1 completion".into(),
+                detail: format!(
+                    "terminal state completed {}/{} writes, {}/{} reads, {}/{} persists",
+                    self.writes_done,
+                    self.expected_writes,
+                    self.reads_done,
+                    self.expected_reads,
+                    self.persists_done,
+                    self.expected_persists
+                ),
+            });
+        }
+        // Replica convergence: every record equal across its replicas.
+        let keys: std::collections::BTreeSet<_> =
+            self.engines.iter().flat_map(|e| e.keys()).collect();
+        for key in keys {
+            let values: Vec<_> = self
+                .engines
+                .iter()
+                .filter(|e| e.is_replica(key))
+                .map(|e| (e.node(), e.record_value(key)))
+                .collect();
+            if let Some((_, v0)) = values.first() {
+                for (n, v) in &values[1..] {
+                    if v != v0 {
+                        out.push(Violation {
+                            condition: "terminal replica convergence".into(),
+                            detail: format!("{key} diverges at {n}"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Model-checks MINOS-B under `model` on `workload`, exploring up to
+/// `max_states` distinct states.
+#[must_use]
+pub fn check_baseline(model: DdpModel, workload: &Workload, max_states: usize) -> McReport {
+    explore(BSystem::new(model, workload), max_states)
+}
+
+/// Model-checks the partial-replication extension: each record lives on
+/// `k` nodes; writes redirect and reads forward. The same Table I
+/// invariants are checked, with agreement restricted to replicas.
+#[must_use]
+pub fn check_baseline_replicated(
+    model: DdpModel,
+    workload: &Workload,
+    k: u16,
+    max_states: usize,
+) -> McReport {
+    explore(
+        BSystem::with_options(model, workload, true, Some(k)),
+        max_states,
+    )
+}
+
+/// Fault injection: model-checks MINOS-B with the §III-A RDLock-snatching
+/// rule disabled. The read-visibility invariant (condition 2d) is
+/// expected to catch the resulting exposure of unacknowledged writes —
+/// this validates both the checker and the paper's design rationale.
+#[must_use]
+pub fn check_baseline_no_snatch(
+    model: DdpModel,
+    workload: &Workload,
+    max_states: usize,
+) -> McReport {
+    explore(BSystem::with_snatch(model, workload, false), max_states)
+}

@@ -1,0 +1,130 @@
+//! The generic state-space explorer.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::Hasher;
+
+/// An invariant violation found during exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which Table I condition was violated.
+    pub condition: String,
+    /// Human-readable detail, including the offending state.
+    pub detail: String,
+}
+
+/// Outcome of a model-checking run.
+#[derive(Debug, Clone)]
+pub struct McReport {
+    /// Distinct states visited.
+    pub states_explored: usize,
+    /// Transitions taken.
+    pub transitions: usize,
+    /// Terminal (no-transition) states reached.
+    pub terminal_states: usize,
+    /// Violations found (empty = verified).
+    pub violations: Vec<Violation>,
+    /// True if exploration hit the state cap before exhausting the space.
+    pub truncated: bool,
+}
+
+impl McReport {
+    /// True when the run finished exhaustively with no violations.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty() && !self.truncated
+    }
+}
+
+impl fmt::Display for McReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} states, {} transitions, {} terminal{}{}",
+            self.states_explored,
+            self.transitions,
+            self.terminal_states,
+            if self.truncated { ", TRUNCATED" } else { "" },
+            if self.violations.is_empty() {
+                ", all invariants hold".to_string()
+            } else {
+                format!(
+                    ", {} VIOLATIONS (first: {} — {})",
+                    self.violations.len(),
+                    self.violations[0].condition,
+                    self.violations[0].detail
+                )
+            }
+        )
+    }
+}
+
+/// A checkable system: a snapshot of engines plus deliverable events.
+pub(crate) trait System: Clone {
+    /// Number of currently deliverable events (the branching factor).
+    fn deliverable(&self) -> usize;
+
+    /// Delivers the `i`-th deliverable event, returning the successor.
+    fn deliver(&self, i: usize) -> Self;
+
+    /// A collision-resistant-enough fingerprint for visited-state dedup.
+    fn fingerprint(&self) -> u64;
+
+    /// Per-state invariant checks; violations appended to `out`.
+    fn check_state(&self, out: &mut Vec<Violation>);
+
+    /// Terminal-state checks (deadlock / completion / convergence).
+    fn check_terminal(&self, out: &mut Vec<Violation>);
+}
+
+/// Hashes anything `Debug` (used by systems to fingerprint event queues).
+pub(crate) fn hash_debug(h: &mut DefaultHasher, v: &impl fmt::Debug) {
+    let s = format!("{v:?}");
+    h.write(s.as_bytes());
+}
+
+/// Exhaustive DFS over the system's state space, deduplicating visited
+/// states, up to `max_states` distinct states.
+pub(crate) fn explore<S: System>(initial: S, max_states: usize) -> McReport {
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut stack: Vec<S> = vec![initial.clone()];
+    seen.insert(initial.fingerprint());
+
+    let mut report = McReport {
+        states_explored: 0,
+        transitions: 0,
+        terminal_states: 0,
+        violations: Vec::new(),
+        truncated: false,
+    };
+
+    while let Some(state) = stack.pop() {
+        report.states_explored += 1;
+        state.check_state(&mut report.violations);
+
+        let n = state.deliverable();
+        if n == 0 {
+            report.terminal_states += 1;
+            state.check_terminal(&mut report.violations);
+            continue;
+        }
+        for i in 0..n {
+            report.transitions += 1;
+            let next = state.deliver(i);
+            let fp = next.fingerprint();
+            if seen.insert(fp) {
+                if seen.len() > max_states {
+                    report.truncated = true;
+                    return report;
+                }
+                stack.push(next);
+            }
+        }
+        // Fail fast on the first violation: the report carries it.
+        if !report.violations.is_empty() {
+            return report;
+        }
+    }
+    report
+}

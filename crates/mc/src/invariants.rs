@@ -1,0 +1,369 @@
+//! The Table I correctness conditions, phrased over engine state.
+//!
+//! The paper's invariants are stated for TLA+ state predicates; here they
+//! are checked against real engine snapshots. Two are adapted for a world
+//! with unboundedly-concurrent writes (noted inline); the adaptations are
+//! implied-by/equivalent-to the originals on the single-write schedules
+//! TLC would enumerate.
+
+use crate::explore::Violation;
+use minos_core::CoordTxView;
+use minos_types::{DdpModel, Key, Message, MessageKind, NodeId, PersistencyModel, RecordMeta};
+
+/// Per-node view the invariants need (engine-type agnostic).
+pub struct NodeView {
+    /// The node's id.
+    pub node: NodeId,
+    /// Metadata of every key under scrutiny.
+    pub metas: Vec<(Key, RecordMeta)>,
+    /// In-flight coordinator transactions.
+    pub coord_txs: Vec<CoordTxView>,
+    /// Whether the engine is quiescent.
+    pub quiescent: bool,
+}
+
+/// Conditions 2(a) + 3(a): when every write transaction has fully played
+/// out (terminal state: no messages in flight, all nodes quiescent) and a
+/// record is read-unlocked everywhere, its `volatileTS`, `glb_volatileTS`
+/// and `glb_durableTS` agree across all nodes. (`glb_durableTS` is exempt
+/// under Eventual/Scope write transactions, which exchange no persistency
+/// messages; a completed `[PERSIST]sc` *is* covered because the checker
+/// only reaches terminal states after it finishes.)
+///
+/// The paper states these for "read-unlocked in all nodes"; with
+/// in-flight VALs for obsolete (discarded) writes, the global timestamps
+/// legitimately disagree transiently even while unlocked, so the checker
+/// evaluates the agreement where it is exact: at terminal states.
+pub fn check_unlocked_agreement(model: DdpModel, views: &[NodeView], out: &mut Vec<Violation>) {
+    let keys: Vec<Key> = views
+        .iter()
+        .flat_map(|v| v.metas.iter().map(|(k, _)| *k))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+
+    for key in keys {
+        // Only nodes that replicate the key participate in agreement
+        // (NodeView carries metas only for replicated keys, so partial
+        // replication is handled uniformly).
+        let metas: Vec<(NodeId, RecordMeta)> = views
+            .iter()
+            .filter_map(|v| {
+                v.metas
+                    .iter()
+                    .find(|(k, _)| *k == key)
+                    .map(|(_, m)| (v.node, *m))
+            })
+            .collect();
+        if metas.is_empty() || !metas.iter().all(|(_, m)| m.readable()) {
+            continue;
+        }
+        let (n0, m0) = metas[0];
+        for &(n, m) in &metas[1..] {
+            if m.volatile_ts != m0.volatile_ts {
+                out.push(Violation {
+                    condition: "2a volatileTS agreement when unlocked".into(),
+                    detail: format!(
+                        "{key}: {n0} has {} but {n} has {}",
+                        m0.volatile_ts, m.volatile_ts
+                    ),
+                });
+            }
+            if m.glb_volatile_ts != m0.glb_volatile_ts {
+                out.push(Violation {
+                    condition: "2a glb_volatileTS agreement when unlocked".into(),
+                    detail: format!(
+                        "{key}: {n0} has {} but {n} has {}",
+                        m0.glb_volatile_ts, m.glb_volatile_ts
+                    ),
+                });
+            }
+            if model.persistency.tracks_persist_acks() && m.glb_durable_ts != m0.glb_durable_ts {
+                out.push(Violation {
+                    condition: "3a glb_durableTS agreement when unlocked".into(),
+                    detail: format!(
+                        "{key}: {n0} has {} but {n} has {}",
+                        m0.glb_durable_ts, m.glb_durable_ts
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Condition 2(b), adapted: once all consistency ACKs for a write have
+/// been received, the write (or a newer one) is visible on every node
+/// whose replica is *readable*. The paper states "the volatileTS of the
+/// record is the same across all nodes"; under MINOS-O the coordinator's
+/// own LLC copy updates at vFIFO-drain time, which Figure 8 explicitly
+/// allows to happen after the ACKs — the replica stays read-locked until
+/// the drain, so no read can observe the stale version. Restricting the
+/// check to readable replicas captures exactly the linearizability
+/// guarantee.
+pub fn check_acked_visibility(views: &[NodeView], out: &mut Vec<Violation>) {
+    for v in views {
+        for tx in &v.coord_txs {
+            if !tx.consistency_complete {
+                continue;
+            }
+            for w in views {
+                let Some(m) = w
+                    .metas
+                    .iter()
+                    .find(|(k, _)| *k == tx.key)
+                    .map(|(_, m)| *m)
+                else {
+                    continue; // w holds no replica of the key
+                };
+                if m.readable() && m.volatile_ts < tx.ts {
+                    out.push(Violation {
+                        condition: "2b visibility after all consistency ACKs".into(),
+                        detail: format!(
+                            "write ({}, {}) fully acked at {} but {} serves reads at volatileTS {}",
+                            tx.key, tx.ts, v.node, w.node, m.volatile_ts
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Conditions 2(c) + 3(b), adapted to monotone-staging form: on every
+/// node and record, `glb_volatileTS ≤ volatileTS` — a write is locally
+/// visible before it is globally visible — and, for the models where
+/// durability follows visibility (Synchronous; Eventual never raises
+/// `glb_durableTS` through writes), `glb_durableTS ≤ glb_volatileTS`.
+/// Strict explicitly permits a write to persist everywhere "possibly
+/// even before the replicas in the volatile memories of the replica
+/// nodes are updated" (§II), and REnf/Scope share that decoupling, so
+/// the durability-staging half does not apply to them.
+pub fn check_timestamp_staging(model: DdpModel, views: &[NodeView], out: &mut Vec<Violation>) {
+    let durability_staged = matches!(
+        model.persistency,
+        PersistencyModel::Synchronous | PersistencyModel::Eventual
+    );
+    for v in views {
+        for (key, m) in &v.metas {
+            if m.glb_volatile_ts > m.volatile_ts {
+                out.push(Violation {
+                    condition: "2c glb_volatileTS ≤ volatileTS".into(),
+                    detail: format!("{}: {key} has {m}", v.node),
+                });
+            }
+            if durability_staged && m.glb_durable_ts > m.glb_volatile_ts {
+                out.push(Violation {
+                    condition: "3b glb_durableTS ≤ glb_volatileTS".into(),
+                    detail: format!("{}: {key} has {m}", v.node),
+                });
+            }
+        }
+    }
+}
+
+/// Condition 2(d) — read-visibility safety, the property the §III-A
+/// RDLock-snatching rule exists to protect: whenever a replica is
+/// *readable*, the version it would expose (`volatileTS`) must already be
+/// globally consistent (`glb_volatileTS` has caught up). Without
+/// snatching, an older lock owner's VAL can unlock a record whose LLC a
+/// younger, not-yet-acknowledged write has already overwritten — a read
+/// would then observe a value that Linearizability does not yet permit.
+/// (`minos-mc`'s fault-injection test disables snatching and watches this
+/// invariant catch exactly that.)
+pub fn check_read_visibility(views: &[NodeView], out: &mut Vec<Violation>) {
+    for v in views {
+        for (key, m) in &v.metas {
+            if m.readable() && m.glb_volatile_ts < m.volatile_ts {
+                out.push(Violation {
+                    condition: "2d readable replicas expose only consistent versions".into(),
+                    detail: format!("{}: {key} readable with {m}", v.node),
+                });
+            }
+        }
+    }
+}
+
+/// Condition 4(a): is `msg` legal under `model`? (Scope-tag presence is
+/// also checked: `<Lin, Scope>` data messages carry scopes, others never
+/// do.)
+#[must_use]
+pub fn legal_message(model: DdpModel, msg: &Message) -> bool {
+    use MessageKind as K;
+    let scoped = model.persistency == PersistencyModel::Scope;
+    let scope_ok = match msg {
+        Message::Inv { scope, .. } | Message::AckC { scope, .. } | Message::ValC { scope, .. } => {
+            scope.is_some() == scoped
+        }
+        Message::Persist { .. } | Message::PersistAckP { .. } | Message::PersistValP { .. } => {
+            scoped
+        }
+        _ => true,
+    };
+    // Read forwarding (partial-replication extension) is model-agnostic.
+    if matches!(msg.kind(), K::ReadReq | K::ReadResp) {
+        return scope_ok;
+    }
+    let kind_ok = match model.persistency {
+        PersistencyModel::Synchronous => {
+            matches!(msg.kind(), K::Inv | K::Ack | K::Val)
+        }
+        PersistencyModel::Strict => {
+            matches!(msg.kind(), K::Inv | K::AckC | K::AckP | K::ValC | K::ValP)
+        }
+        PersistencyModel::ReadEnforced => {
+            matches!(msg.kind(), K::Inv | K::AckC | K::AckP | K::Val)
+        }
+        PersistencyModel::Eventual => matches!(msg.kind(), K::Inv | K::AckC | K::ValC),
+        PersistencyModel::Scope => matches!(
+            msg.kind(),
+            K::Inv | K::AckC | K::ValC | K::Persist | K::PersistAckP | K::PersistValP
+        ),
+    };
+    kind_ok && scope_ok
+}
+
+/// Condition 4(b)/(c): timestamp fields in range, ack sender sets are
+/// subsets of the peer set (never containing the coordinator itself).
+pub fn check_bookkeeping(n_nodes: usize, views: &[NodeView], out: &mut Vec<Violation>) {
+    for v in views {
+        for (key, m) in &v.metas {
+            for (name, ts) in [
+                ("volatileTS", m.volatile_ts),
+                ("glb_volatileTS", m.glb_volatile_ts),
+                ("glb_durableTS", m.glb_durable_ts),
+            ] {
+                if usize::from(ts.node.0) >= n_nodes && ts.version != 0 {
+                    out.push(Violation {
+                        condition: "4b timestamp node id in range".into(),
+                        detail: format!("{}: {key} {name} = {ts}", v.node),
+                    });
+                }
+            }
+            if let Some(owner) = m.rd_lock_owner {
+                if usize::from(owner.node.0) >= n_nodes {
+                    out.push(Violation {
+                        condition: "4b RDLock_Owner node id in range".into(),
+                        detail: format!("{}: {key} owner {owner}", v.node),
+                    });
+                }
+            }
+        }
+        for tx in &v.coord_txs {
+            for (set_name, set) in [
+                ("RcvedACK", &tx.acks),
+                ("RcvedACK_C", &tx.ack_cs),
+                ("RcvedACK_P", &tx.ack_ps),
+            ] {
+                for sender in set {
+                    if *sender == v.node || usize::from(sender.0) >= n_nodes {
+                        out.push(Violation {
+                            condition: "4c ack sender set".into(),
+                            detail: format!(
+                                "{}: write ({}, {}) has illegal {set_name} sender {sender}",
+                                v.node, tx.key, tx.ts
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use minos_types::Ts;
+
+    fn lin(p: PersistencyModel) -> DdpModel {
+        DdpModel::lin(p)
+    }
+
+    #[test]
+    fn synch_rejects_split_acks() {
+        let m = lin(PersistencyModel::Synchronous);
+        assert!(legal_message(
+            m,
+            &Message::Ack {
+                key: Key(1),
+                ts: Ts::zero()
+            }
+        ));
+        assert!(!legal_message(
+            m,
+            &Message::AckC {
+                key: Key(1),
+                ts: Ts::zero(),
+                scope: None
+            }
+        ));
+        assert!(!legal_message(
+            m,
+            &Message::ValP {
+                key: Key(1),
+                ts: Ts::zero()
+            }
+        ));
+    }
+
+    #[test]
+    fn eventual_rejects_persistency_messages() {
+        let m = lin(PersistencyModel::Eventual);
+        assert!(!legal_message(
+            m,
+            &Message::AckP {
+                key: Key(1),
+                ts: Ts::zero()
+            }
+        ));
+        assert!(legal_message(
+            m,
+            &Message::ValC {
+                key: Key(1),
+                ts: Ts::zero(),
+                scope: None
+            }
+        ));
+    }
+
+    #[test]
+    fn scope_requires_scope_tags() {
+        let m = lin(PersistencyModel::Scope);
+        assert!(!legal_message(
+            m,
+            &Message::Inv {
+                key: Key(1),
+                ts: Ts::zero(),
+                value: Bytes::new(),
+                scope: None
+            }
+        ));
+        assert!(legal_message(
+            m,
+            &Message::Inv {
+                key: Key(1),
+                ts: Ts::zero(),
+                value: Bytes::new(),
+                scope: Some(minos_types::ScopeId(1))
+            }
+        ));
+    }
+
+    #[test]
+    fn staging_violation_detected() {
+        let mut meta = RecordMeta::default();
+        meta.glb_volatile_ts = Ts::new(NodeId(0), 2);
+        meta.volatile_ts = Ts::new(NodeId(0), 1);
+        let views = vec![NodeView {
+            node: NodeId(0),
+            metas: vec![(Key(1), meta)],
+            coord_txs: vec![],
+            quiescent: true,
+        }];
+        let mut out = Vec::new();
+        check_timestamp_staging(lin(PersistencyModel::Synchronous), &views, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].condition.contains("2c"));
+    }
+}

@@ -1,0 +1,246 @@
+//! The MINOS-O system under check.
+
+use crate::explore::{explore, hash_debug, McReport, System, Violation};
+use crate::invariants::{
+    check_acked_visibility, check_bookkeeping, check_read_visibility,
+    check_timestamp_staging, check_unlocked_agreement, legal_message, NodeView,
+};
+use crate::workload::{McOp, Workload};
+use minos_core::{OAction, OEvent, ONodeEngine, ReqId, Side};
+use minos_types::{DdpModel, NodeId, ScopeId};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+#[derive(Clone)]
+pub(crate) struct OSystem {
+    model: DdpModel,
+    engines: Vec<ONodeEngine>,
+    inflight: Vec<(NodeId, OEvent)>,
+    staged: Vec<(NodeId, ScopeId, ReqId)>,
+    expected_writes: usize,
+    expected_reads: usize,
+    expected_persists: usize,
+    writes_done: usize,
+    reads_done: usize,
+    persists_done: usize,
+    dispatch_violations: Vec<Violation>,
+}
+
+impl OSystem {
+    fn new(model: DdpModel, w: &Workload) -> Self {
+        let engines = (0..w.nodes)
+            .map(|i| ONodeEngine::new(NodeId(i as u16), w.nodes, model))
+            .collect();
+        let mut sys = OSystem {
+            model,
+            engines,
+            inflight: Vec::new(),
+            staged: Vec::new(),
+            expected_writes: 0,
+            expected_reads: 0,
+            expected_persists: 0,
+            writes_done: 0,
+            reads_done: 0,
+            persists_done: 0,
+            dispatch_violations: Vec::new(),
+        };
+        for (i, op) in w.ops.iter().enumerate() {
+            let req = ReqId(i as u64 + 1);
+            match op.clone() {
+                McOp::Write {
+                    node,
+                    key,
+                    value,
+                    scope,
+                } => {
+                    sys.expected_writes += 1;
+                    sys.inflight.push((
+                        node,
+                        OEvent::ClientWrite {
+                            key,
+                            value,
+                            scope,
+                            req,
+                        },
+                    ));
+                }
+                McOp::Read { node, key } => {
+                    sys.expected_reads += 1;
+                    sys.inflight.push((node, OEvent::ClientRead { key, req }));
+                }
+                McOp::PersistScope { node, scope } => {
+                    sys.expected_persists += 1;
+                    sys.staged.push((node, scope, req));
+                }
+            }
+        }
+        sys
+    }
+
+    fn views(&self) -> Vec<NodeView> {
+        let keys: std::collections::BTreeSet<_> =
+            self.engines.iter().flat_map(|e| e.keys()).collect();
+        self.engines
+            .iter()
+            .map(|e| NodeView {
+                node: e.node(),
+                metas: keys.iter().map(|&k| (k, e.record_meta(k))).collect(),
+                coord_txs: e.coord_tx_views(),
+                quiescent: e.is_quiescent(),
+            })
+            .collect()
+    }
+}
+
+impl System for OSystem {
+    fn deliverable(&self) -> usize {
+        self.inflight.len()
+    }
+
+    fn deliver(&self, i: usize) -> Self {
+        let mut next = self.clone();
+        let (node, ev) = next.inflight.remove(i);
+        let mut out = Vec::new();
+        next.engines[node.0 as usize].on_event(ev, &mut out);
+        let n_nodes = next.engines.len();
+        for a in out {
+            match a {
+                OAction::Send { to, msg } => {
+                    if !legal_message(next.model, &msg) {
+                        next.dispatch_violations.push(Violation {
+                            condition: "4a legal message set".into(),
+                            detail: format!("{node} sent {msg} under {}", next.model),
+                        });
+                    }
+                    next.inflight
+                        .push((to, OEvent::NetMessage { from: node, msg }));
+                }
+                OAction::SendToFollowers { msg } => {
+                    if !legal_message(next.model, &msg) {
+                        next.dispatch_violations.push(Violation {
+                            condition: "4a legal message set".into(),
+                            detail: format!("{node} fanned out {msg} under {}", next.model),
+                        });
+                    }
+                    for t in 0..n_nodes as u16 {
+                        let to = NodeId(t);
+                        if to != node {
+                            next.inflight.push((
+                                to,
+                                OEvent::NetMessage {
+                                    from: node,
+                                    msg: msg.clone(),
+                                },
+                            ));
+                        }
+                    }
+                }
+                OAction::Pcie { from, msg } => {
+                    let ev = match from {
+                        Side::Host => OEvent::PcieFromHost(msg),
+                        Side::Snic => OEvent::PcieFromSnic(msg),
+                    };
+                    next.inflight.push((node, ev));
+                }
+                OAction::VfifoEnqueue { key, ts, .. } => {
+                    next.inflight.push((node, OEvent::VfifoDrained { key, ts }));
+                }
+                OAction::DfifoEnqueue { key, ts, .. } => {
+                    next.inflight.push((node, OEvent::DfifoDrained { key, ts }));
+                }
+                OAction::Defer { event } => next.inflight.push((node, event)),
+                OAction::WriteDone { .. } => next.writes_done += 1,
+                OAction::ReadDone { .. } => next.reads_done += 1,
+                OAction::PersistScopeDone { .. } => next.persists_done += 1,
+                OAction::Meta { .. } | OAction::CoherenceTransfer { .. } => {}
+            }
+        }
+        if next.writes_done == next.expected_writes && !next.staged.is_empty() {
+            for (node, scope, req) in std::mem::take(&mut next.staged) {
+                next.inflight
+                    .push((node, OEvent::ClientPersistScope { scope, req }));
+            }
+        }
+        next
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        for e in &self.engines {
+            e.hash(&mut h);
+        }
+        let mut pending: Vec<String> = self
+            .inflight
+            .iter()
+            .map(|(n, ev)| format!("{n}:{ev:?}"))
+            .collect();
+        pending.sort_unstable();
+        for p in &pending {
+            h.write(p.as_bytes());
+        }
+        hash_debug(&mut h, &self.staged);
+        h.write_usize(self.writes_done);
+        h.write_usize(self.reads_done);
+        h.write_usize(self.persists_done);
+        h.finish()
+    }
+
+    fn check_state(&self, out: &mut Vec<Violation>) {
+        out.extend(self.dispatch_violations.iter().cloned());
+        let views = self.views();
+        check_timestamp_staging(self.model, &views, out);
+        check_acked_visibility(&views, out);
+        check_read_visibility(&views, out);
+        check_bookkeeping(self.engines.len(), &views, out);
+    }
+
+    fn check_terminal(&self, out: &mut Vec<Violation>) {
+        // Agreement conditions 2(a)/3(a) are exact at terminal states.
+        check_unlocked_agreement(self.model, &self.views(), out);
+        for e in &self.engines {
+            if !e.is_quiescent() {
+                out.push(Violation {
+                    condition: "1 deadlock freedom".into(),
+                    detail: format!("terminal state but {} is not quiescent", e.node()),
+                });
+            }
+        }
+        if self.writes_done != self.expected_writes
+            || self.reads_done != self.expected_reads
+            || self.persists_done != self.expected_persists
+        {
+            out.push(Violation {
+                condition: "1 completion".into(),
+                detail: format!(
+                    "terminal state completed {}/{} writes, {}/{} reads, {}/{} persists",
+                    self.writes_done,
+                    self.expected_writes,
+                    self.reads_done,
+                    self.expected_reads,
+                    self.persists_done,
+                    self.expected_persists
+                ),
+            });
+        }
+        let keys: std::collections::BTreeSet<_> =
+            self.engines.iter().flat_map(|e| e.keys()).collect();
+        for key in keys {
+            let v0 = self.engines[0].record_value(key);
+            for e in &self.engines[1..] {
+                if e.record_value(key) != v0 {
+                    out.push(Violation {
+                        condition: "terminal replica convergence".into(),
+                        detail: format!("{key} diverges at {}", e.node()),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Model-checks MINOS-O under `model` on `workload`, exploring up to
+/// `max_states` distinct states.
+#[must_use]
+pub fn check_offload(model: DdpModel, workload: &Workload, max_states: usize) -> McReport {
+    explore(OSystem::new(model, workload), max_states)
+}

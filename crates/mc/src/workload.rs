@@ -1,0 +1,210 @@
+//! Small, exhaustively-checkable workloads.
+
+use minos_types::{Key, NodeId, ScopeId, Value};
+
+/// One seeded client operation for the checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum McOp {
+    /// A client write at `node`.
+    Write {
+        /// Coordinating node.
+        node: NodeId,
+        /// Record.
+        key: Key,
+        /// Payload.
+        value: Value,
+        /// Scope tag.
+        scope: Option<ScopeId>,
+    },
+    /// A client read at `node`.
+    Read {
+        /// Serving node.
+        node: NodeId,
+        /// Record.
+        key: Key,
+    },
+    /// A `[PERSIST]sc`, staged until every prior write has completed (the
+    /// client issues it after its writes return).
+    PersistScope {
+        /// Coordinating node.
+        node: NodeId,
+        /// Scope to flush.
+        scope: ScopeId,
+    },
+}
+
+/// A checker workload: the cluster size and the seeded operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Operations, all outstanding from the initial state (except
+    /// `PersistScope`, which stages behind the writes).
+    pub ops: Vec<McOp>,
+}
+
+impl Workload {
+    /// Two concurrent writes to the same key from different nodes — the
+    /// core conflict scenario (snatching, obsolete paths, tie-breaks).
+    #[must_use]
+    pub fn two_conflicting_writes() -> Self {
+        Workload {
+            nodes: 3,
+            ops: vec![
+                McOp::Write {
+                    node: NodeId(0),
+                    key: Key(1),
+                    value: Value::from_static(b"a"),
+                    scope: None,
+                },
+                McOp::Write {
+                    node: NodeId(2),
+                    key: Key(1),
+                    value: Value::from_static(b"b"),
+                    scope: None,
+                },
+            ],
+        }
+    }
+
+    /// The two-conflicting-writes scenario on a two-node cluster — the
+    /// MINOS-O state space (which adds PCIe and FIFO-drain events) stays
+    /// exhaustively explorable at this size.
+    #[must_use]
+    pub fn two_conflicting_writes_2n() -> Self {
+        Workload {
+            nodes: 2,
+            ops: vec![
+                McOp::Write {
+                    node: NodeId(0),
+                    key: Key(1),
+                    value: Value::from_static(b"a"),
+                    scope: None,
+                },
+                McOp::Write {
+                    node: NodeId(1),
+                    key: Key(1),
+                    value: Value::from_static(b"b"),
+                    scope: None,
+                },
+            ],
+        }
+    }
+
+    /// Two conflicting writes plus a concurrent read on a third node —
+    /// exercises read stalls against every interleaving.
+    #[must_use]
+    pub fn writes_with_read() -> Self {
+        let mut w = Workload::two_conflicting_writes();
+        w.ops.push(McOp::Read {
+            node: NodeId(1),
+            key: Key(1),
+        });
+        w
+    }
+
+    /// Three writes across two keys on two nodes — a denser mix with
+    /// cross-key independence.
+    #[must_use]
+    pub fn two_keys_three_writes() -> Self {
+        Workload {
+            nodes: 2,
+            ops: vec![
+                McOp::Write {
+                    node: NodeId(0),
+                    key: Key(1),
+                    value: Value::from_static(b"a"),
+                    scope: None,
+                },
+                McOp::Write {
+                    node: NodeId(1),
+                    key: Key(1),
+                    value: Value::from_static(b"b"),
+                    scope: None,
+                },
+                McOp::Write {
+                    node: NodeId(0),
+                    key: Key(2),
+                    value: Value::from_static(b"c"),
+                    scope: None,
+                },
+            ],
+        }
+    }
+
+    /// Scoped writes followed by the `[PERSIST]sc` transaction
+    /// (`<Lin, Scope>` model).
+    #[must_use]
+    pub fn scoped_writes_and_persist() -> Self {
+        let sc = ScopeId(1);
+        Workload {
+            nodes: 2,
+            ops: vec![
+                McOp::Write {
+                    node: NodeId(0),
+                    key: Key(1),
+                    value: Value::from_static(b"a"),
+                    scope: Some(sc),
+                },
+                McOp::Write {
+                    node: NodeId(0),
+                    key: Key(2),
+                    value: Value::from_static(b"b"),
+                    scope: Some(sc),
+                },
+                McOp::PersistScope {
+                    node: NodeId(0),
+                    scope: sc,
+                },
+            ],
+        }
+    }
+
+    /// Partial-replication scenario: key 1 on nodes {1, 2} of a 3-node
+    /// cluster (ring placement, k = 2); both replicas write concurrently
+    /// and the non-replica node 0 reads (forwarded).
+    #[must_use]
+    pub fn partial_replication_conflict() -> Self {
+        Workload {
+            nodes: 3,
+            ops: vec![
+                McOp::Write {
+                    node: NodeId(1),
+                    key: Key(1),
+                    value: Value::from_static(b"a"),
+                    scope: None,
+                },
+                McOp::Write {
+                    node: NodeId(2),
+                    key: Key(1),
+                    value: Value::from_static(b"b"),
+                    scope: None,
+                },
+                McOp::Read {
+                    node: NodeId(0),
+                    key: Key(1),
+                },
+            ],
+        }
+    }
+
+    /// Number of seeded client operations.
+    #[must_use]
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_have_expected_shapes() {
+        assert_eq!(Workload::two_conflicting_writes().op_count(), 2);
+        assert_eq!(Workload::writes_with_read().op_count(), 3);
+        assert_eq!(Workload::two_keys_three_writes().nodes, 2);
+        let sc = Workload::scoped_writes_and_persist();
+        assert!(matches!(sc.ops[2], McOp::PersistScope { .. }));
+    }
+}

@@ -1,0 +1,42 @@
+//! Fault-injection validation: the checker must *find* bugs, not just
+//! bless correct protocols. Disabling the §III-A RDLock-snatching rule
+//! creates a real linearizability hole (an older lock owner's VAL
+//! unlocks a record whose LLC a younger, unacknowledged write already
+//! overwrote) — condition 2d must catch it.
+
+use minos_mc::{check_baseline, check_baseline_no_snatch, Workload};
+use minos_types::{DdpModel, PersistencyModel};
+
+#[test]
+fn disabling_snatching_is_caught_by_condition_2d() {
+    let model = DdpModel::lin(PersistencyModel::Synchronous);
+    let r = check_baseline_no_snatch(model, &Workload::two_conflicting_writes(), 4_000_000);
+    assert!(
+        !r.violations.is_empty(),
+        "the no-snatch hole went undetected: {r}"
+    );
+    assert!(
+        r.violations[0].condition.contains("2d"),
+        "expected a read-visibility (2d) violation, got: {} — {}",
+        r.violations[0].condition,
+        r.violations[0].detail
+    );
+}
+
+#[test]
+fn no_snatch_hole_exists_in_weak_models_too() {
+    // The hole is a consistency (not persistency) defect, so it must
+    // surface under Eventual as well.
+    let model = DdpModel::lin(PersistencyModel::Eventual);
+    let r = check_baseline_no_snatch(model, &Workload::two_conflicting_writes(), 4_000_000);
+    assert!(!r.violations.is_empty(), "{r}");
+}
+
+#[test]
+fn snatching_restores_the_invariant() {
+    // The identical workload with snatching on is clean — pinpointing
+    // snatching as the load-bearing mechanism.
+    let model = DdpModel::lin(PersistencyModel::Synchronous);
+    let r = check_baseline(model, &Workload::two_conflicting_writes(), 4_000_000);
+    assert!(r.ok(), "{r}");
+}

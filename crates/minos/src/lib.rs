@@ -1,0 +1,48 @@
+//! # MINOS — Distributed Consistency & Persistency Protocols with SmartNIC Offloading
+//!
+//! A full reproduction of *"MINOS: Distributed Consistency and Persistency
+//! Protocol Implementation & Offloading to SmartNICs"* (HPCA 2024) as a
+//! Rust workspace. This facade crate re-exports every subsystem:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`core`] | `minos-core` | The MINOS-B and MINOS-O protocol engines (the paper's contribution) |
+//! | [`types`] | `minos-types` | Timestamps, record metadata, messages, models, configs |
+//! | [`sim`] | `minos-sim` | Discrete-event simulation kernel |
+//! | [`net`] | `minos-net` | The simulated distributed machine (Table III) + workload driver |
+//! | [`nvm`] | `minos-nvm` | Emulated NVM, durable log, durable database |
+//! | [`kv`] | `minos-kv` | MINOS-KV replicated store + recovery |
+//! | [`cluster`] | `minos-cluster` | Threaded multi-node runtime (Table II machine) |
+//! | [`workload`] | `minos-workload` | YCSB-style + DeathStar workload generation |
+//! | [`mc`] | `minos-mc` | Explicit-state model checker (Table I invariants) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use minos::kv::MinosKv;
+//! use minos::types::{DdpModel, NodeId, PersistencyModel};
+//!
+//! // A 5-node replicated store under <Lin, Synch>.
+//! let mut kv = MinosKv::new(5, DdpModel::lin(PersistencyModel::Synchronous));
+//! kv.put(NodeId(0), "answer", "42")?;
+//! assert_eq!(kv.get(NodeId(4), "answer")?.unwrap(), "42");
+//! # Ok::<(), minos::types::MinosError>(())
+//! ```
+//!
+//! The runnable binaries under `examples/` walk through the store, the
+//! simulated machine, the DeathStar end-to-end scenario, failure
+//! recovery, and protocol verification; `minos-bench` regenerates every
+//! figure and table of the paper's evaluation (see EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use minos_cluster as cluster;
+pub use minos_core as core;
+pub use minos_kv as kv;
+pub use minos_mc as mc;
+pub use minos_net as net;
+pub use minos_nvm as nvm;
+pub use minos_sim as sim;
+pub use minos_types as types;
+pub use minos_workload as workload;

@@ -1,0 +1,124 @@
+//! The architecture points of the Figure 12 ablation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A simulated architecture: MINOS-B or the Combined offload design, each
+/// with or without message batching and broadcast support.
+///
+/// The paper groups the offload, host↔NIC coherence, and WRLock
+/// elimination optimizations into one *Combined* point "because applying
+/// them separately is sub-optimal" — [`Arch::offload`] corresponds to
+/// Combined, and `Arch::offload().with_batching().with_broadcast()` is
+/// full MINOS-O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Arch {
+    /// Combined offload (SmartNIC protocol execution + coherence + no
+    /// WRLock) vs. host-resident MINOS-B.
+    pub offload: bool,
+    /// Host↔NIC message batching.
+    pub batching: bool,
+    /// NIC broadcast support.
+    pub broadcast: bool,
+}
+
+impl Arch {
+    /// Plain MINOS-B.
+    #[must_use]
+    pub fn baseline() -> Self {
+        Arch {
+            offload: false,
+            batching: false,
+            broadcast: false,
+        }
+    }
+
+    /// The Combined optimization group (Offl+Coh+WRLock in Figure 12).
+    #[must_use]
+    pub fn offload() -> Self {
+        Arch {
+            offload: true,
+            batching: false,
+            broadcast: false,
+        }
+    }
+
+    /// Full MINOS-O: Combined + batching + broadcast.
+    #[must_use]
+    pub fn minos_o() -> Self {
+        Arch {
+            offload: true,
+            batching: true,
+            broadcast: true,
+        }
+    }
+
+    /// Adds batching.
+    #[must_use]
+    pub fn with_batching(mut self) -> Self {
+        self.batching = true;
+        self
+    }
+
+    /// Adds broadcast.
+    #[must_use]
+    pub fn with_broadcast(mut self) -> Self {
+        self.broadcast = true;
+        self
+    }
+
+    /// The seven Figure 12 bars, in the paper's order.
+    #[must_use]
+    pub fn ablation_points() -> [Arch; 7] {
+        [
+            Arch::baseline(),
+            Arch::baseline().with_broadcast(),
+            Arch::baseline().with_batching(),
+            Arch::offload(),
+            Arch::offload().with_broadcast(),
+            Arch::offload().with_batching(),
+            Arch::minos_o(),
+        ]
+    }
+
+    /// The figure label for this point.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match (self.offload, self.batching, self.broadcast) {
+            (false, false, false) => "MINOS-B",
+            (false, false, true) => "MINOS-B+bcast",
+            (false, true, false) => "MINOS-B+batch",
+            (false, true, true) => "MINOS-B+batch+bcast",
+            (true, false, false) => "Offl+Coh+WRLock",
+            (true, false, true) => "Offl+Coh+WRLock+bcast",
+            (true, true, false) => "Offl+Coh+WRLock+batch",
+            (true, true, true) => "MINOS-O",
+        }
+    }
+}
+
+impl fmt::Display for Arch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_covers_seven_points() {
+        let pts = Arch::ablation_points();
+        assert_eq!(pts.len(), 7);
+        assert_eq!(pts[0].label(), "MINOS-B");
+        assert_eq!(pts[3].label(), "Offl+Coh+WRLock");
+        assert_eq!(pts[6].label(), "MINOS-O");
+    }
+
+    #[test]
+    fn minos_o_has_everything() {
+        let o = Arch::minos_o();
+        assert!(o.offload && o.batching && o.broadcast);
+    }
+}

@@ -1,0 +1,386 @@
+//! The simulated MINOS-B machine: protocol on host CPUs, plain NICs.
+
+use crate::arch::Arch;
+use crate::driver::{CompletionKind, CompletionRec};
+use crate::timing::{self, DISPATCH_NS};
+use minos_core::{Action, Event, NodeEngine, ReqId, Side};
+use minos_sim::{CorePool, EventQueue, Resource, Time};
+use minos_types::{DdpModel, Key, Message, MessageKind, NodeId, ScopeId, SimConfig, Ts, Value};
+use std::collections::HashMap;
+
+/// Per-node hardware resources.
+#[derive(Debug, Clone)]
+struct NodeRes {
+    cores: CorePool,
+    /// Host→NIC PCIe bandwidth (one direction).
+    pcie_tx: Resource,
+    /// NIC→host PCIe bandwidth.
+    pcie_rx: Resource,
+    /// NIC send engine (serializes outgoing messages).
+    nic_tx: Resource,
+}
+
+/// Per-write instrumentation for the Figure 4 communication/computation
+/// breakdown (§IV).
+#[derive(Debug, Clone, Copy, Default)]
+struct TxTrace {
+    first_inv_deposit: Time,
+    last_ack_arrival: Time,
+    foll_handle_total: Time,
+    foll_handles: u32,
+}
+
+/// The MINOS-B discrete-event simulation.
+///
+/// Every protocol step runs on host cores; every message pays PCIe both
+/// ways plus the NIC send cost and the network link. The [`Arch`] flags
+/// graft batching/broadcast NIC capabilities onto the baseline for the
+/// Figure 12 ablation.
+#[derive(Debug)]
+pub struct BSim {
+    cfg: SimConfig,
+    arch: Arch,
+    engines: Vec<NodeEngine>,
+    queue: EventQueue<(NodeId, Event)>,
+    nodes: Vec<NodeRes>,
+    completions: Vec<CompletionRec>,
+    traces: HashMap<(Key, Ts), TxTrace>,
+    next_req: u64,
+}
+
+impl BSim {
+    /// Builds the simulation for `cfg.nodes` nodes running `model`.
+    #[must_use]
+    pub fn new(cfg: SimConfig, arch: Arch, model: DdpModel) -> Self {
+        assert!(!arch.offload, "BSim models non-offloaded architectures");
+        let n = cfg.nodes;
+        BSim {
+            engines: (0..n)
+                .map(|i| NodeEngine::new(NodeId(i as u16), n, model))
+                .collect(),
+            nodes: (0..n)
+                .map(|_| NodeRes {
+                    cores: CorePool::new(cfg.host_cores),
+                    pcie_tx: Resource::new(),
+                    pcie_rx: Resource::new(),
+                    nic_tx: Resource::new(),
+                })
+                .collect(),
+            queue: EventQueue::new(),
+            completions: Vec::new(),
+            traces: HashMap::new(),
+            next_req: 1,
+            cfg,
+            arch,
+        }
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.queue.now()
+    }
+
+    /// Pre-loads a record on every node.
+    pub fn load_all(&mut self, key: Key, value: Value) {
+        for e in &mut self.engines {
+            e.load_record(key, value.clone());
+        }
+    }
+
+    /// Submits a client write at `node`, `at` the given time.
+    pub fn submit_write(
+        &mut self,
+        at: Time,
+        node: NodeId,
+        key: Key,
+        value: Value,
+        scope: Option<ScopeId>,
+    ) -> ReqId {
+        let req = self.fresh_req();
+        self.queue.schedule(
+            at,
+            (
+                node,
+                Event::ClientWrite {
+                    key,
+                    value,
+                    scope,
+                    req,
+                },
+            ),
+        );
+        req
+    }
+
+    /// Submits a client read.
+    pub fn submit_read(&mut self, at: Time, node: NodeId, key: Key) -> ReqId {
+        let req = self.fresh_req();
+        self.queue.schedule(at, (node, Event::ClientRead { key, req }));
+        req
+    }
+
+    /// Submits a `[PERSIST]sc`.
+    pub fn submit_persist_scope(&mut self, at: Time, node: NodeId, scope: ScopeId) -> ReqId {
+        let req = self.fresh_req();
+        self.queue
+            .schedule(at, (node, Event::ClientPersistScope { scope, req }));
+        req
+    }
+
+    fn fresh_req(&mut self) -> ReqId {
+        let r = ReqId(self.next_req);
+        self.next_req += 1;
+        r
+    }
+
+    /// Drains the completions recorded since the last call.
+    pub fn drain_completions(&mut self) -> Vec<CompletionRec> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Access to a node's engine (assertions, state dumps).
+    #[must_use]
+    pub fn engine(&self, node: NodeId) -> &NodeEngine {
+        &self.engines[node.0 as usize]
+    }
+
+    /// Disables RDLock snatching on every node (the §III-A design-choice
+    /// ablation).
+    pub fn disable_snatching(&mut self) {
+        for e in &mut self.engines {
+            e.set_snatch_enabled(false);
+        }
+    }
+
+    /// Processes one simulated event. Returns false when idle.
+    pub fn step(&mut self) -> bool {
+        let Some((t, (node, ev))) = self.queue.pop() else {
+            return false;
+        };
+        let ni = node.0 as usize;
+
+        // Instrumentation: acknowledgment arrivals close the comm window.
+        if let Event::Message { msg, .. } = &ev {
+            if msg.is_ack() {
+                if let (Some(key), Some(ts)) = (msg.key(), msg.ts()) {
+                    if let Some(tr) = self.traces.get_mut(&(key, ts)) {
+                        tr.last_ack_arrival = tr.last_ack_arrival.max(t);
+                    }
+                }
+            }
+        }
+        let inv_key = match &ev {
+            Event::Message {
+                msg: Message::Inv { key, ts, .. },
+                ..
+            } => Some((*key, *ts)),
+            _ => None,
+        };
+
+        let mut out = Vec::new();
+        self.engines[ni].on_event(ev, &mut out);
+
+        // Charge compute: dispatch + every meta hint, on a host core.
+        let cost: Time = DISPATCH_NS
+            + out
+                .iter()
+                .filter_map(|a| match a {
+                    Action::Meta(op) => Some(timing::meta_cost(&self.cfg, Side::Host, *op)),
+                    _ => None,
+                })
+                .sum::<Time>();
+        let end = self.nodes[ni].cores.acquire(t, cost);
+
+        if let Some(k) = inv_key {
+            // The paper's comm measure subtracts the average time a
+            // Follower takes to handle an INV (Lines 26-40), which
+            // includes the critical-path NVM persist of Line 39.
+            let persist: Time = out
+                .iter()
+                .filter_map(|a| match a {
+                    Action::Persist {
+                        value,
+                        background: false,
+                        ..
+                    } => Some(self.cfg.persist_ns(value.len() as u64)),
+                    _ => None,
+                })
+                .sum();
+            let tr = self.traces.entry(k).or_default();
+            tr.foll_handle_total += cost + persist;
+            tr.foll_handles += 1;
+        }
+
+        for a in out {
+            self.apply_action(node, end, a);
+        }
+        true
+    }
+
+    /// Runs until the event queue is empty.
+    pub fn run_to_idle(&mut self) {
+        while self.step() {}
+    }
+
+    fn apply_action(&mut self, node: NodeId, end: Time, a: Action) {
+        let ni = node.0 as usize;
+        match a {
+            Action::SendToFollowers { msg } => self.fanout(node, end, msg),
+            Action::Redirect { to, event } => {
+                // Client re-submission at a replica: one wire hop.
+                let arrival = end + timing::link_time(&self.cfg, &Message::ReadReq {
+                    key: Key(0),
+                    token: 0,
+                });
+                self.queue.schedule(arrival, (to, event));
+            }
+            Action::Send { to, msg } => self.unicast(node, end, to, msg),
+            Action::Persist { key, ts, value, .. } => {
+                // The CloudLab machine emulates NVM by spinning the
+                // issuing core for the persist latency (Table II), so the
+                // persist occupies a host core rather than a device port.
+                let d = self.cfg.persist_ns(value.len() as u64);
+                let done = self.nodes[ni].cores.acquire(end, d);
+                self.queue.schedule(done, (node, Event::PersistDone { key, ts }));
+            }
+            Action::Defer { event, .. } => self.queue.schedule(end, (node, event)),
+            Action::WriteDone {
+                req,
+                key,
+                ts,
+                obsolete,
+            } => {
+                let comm_ns = self.traces.remove(&(key, ts)).map(|tr| {
+                    let avg_handle = if tr.foll_handles > 0 {
+                        tr.foll_handle_total / Time::from(tr.foll_handles)
+                    } else {
+                        0
+                    };
+                    tr.last_ack_arrival
+                        .saturating_sub(tr.first_inv_deposit)
+                        .saturating_sub(avg_handle)
+                });
+                self.completions.push(CompletionRec {
+                    req,
+                    node,
+                    at: end,
+                    kind: CompletionKind::Write,
+                    obsolete,
+                    comm_ns,
+                });
+            }
+            Action::ReadDone { req, .. } => self.completions.push(CompletionRec {
+                req,
+                node,
+                at: end,
+                kind: CompletionKind::Read,
+                obsolete: false,
+                comm_ns: None,
+            }),
+            Action::PersistScopeDone { req, .. } => self.completions.push(CompletionRec {
+                req,
+                node,
+                at: end,
+                kind: CompletionKind::PersistScope,
+                obsolete: false,
+                comm_ns: None,
+            }),
+            Action::Meta(_) => {}
+        }
+    }
+
+    /// PCIe cost of one message: §IV — messages are "taken one at a time
+    /// from the send queue, transferred along the slow PCIe bus", so the
+    /// full latency+bandwidth time occupies the bus (no pipelining).
+    fn pcie_msg_ns(&self, bytes: u64) -> Time {
+        self.cfg.pcie_transfer_ns(bytes.max(64))
+    }
+
+    /// Delivers `msg` from `node` to `to`: host send queue → PCIe → NIC →
+    /// wire → NIC → PCIe → host receive queue.
+    fn unicast(&mut self, node: NodeId, deposit: Time, to: NodeId, msg: Message) {
+        let ni = node.0 as usize;
+        let bytes = msg.wire_bytes();
+        let cost = self.pcie_msg_ns(bytes);
+        let pcie_done = self.nodes[ni].pcie_tx.acquire(deposit, cost);
+        let depart = self.nodes[ni]
+            .nic_tx
+            .acquire(pcie_done, timing::send_cost(&self.cfg, &msg));
+        self.deliver(node, to, depart, msg);
+    }
+
+    /// Wire + receiver-side path shared by unicast and fan-out.
+    fn deliver(&mut self, from: NodeId, to: NodeId, depart: Time, msg: Message) {
+        let bytes = msg.wire_bytes();
+        let arrival_nic = depart + timing::link_time(&self.cfg, &msg);
+        let ti = to.0 as usize;
+        let cost = self.pcie_msg_ns(bytes);
+        let arrival_host = self.nodes[ti].pcie_rx.acquire(arrival_nic, cost);
+        self.queue
+            .schedule(arrival_host, (to, Event::Message { from, msg }));
+    }
+
+    /// The Coordinator's INV/VAL fan-out, shaped by the batching and
+    /// broadcast capabilities (§IV: "the multiple INV messages in a
+    /// transaction are sent one at a time" on the baseline).
+    fn fanout(&mut self, node: NodeId, deposit: Time, msg: Message) {
+        // Open the Figure 4 communication window at the send-queue
+        // deposit of the first INV.
+        if msg.kind() == MessageKind::Inv {
+            if let (Some(key), Some(ts)) = (msg.key(), msg.ts()) {
+                let tr = self.traces.entry((key, ts)).or_default();
+                if tr.first_inv_deposit == 0 {
+                    tr.first_inv_deposit = deposit;
+                }
+            }
+        }
+
+        let ni = node.0 as usize;
+        let dests: Vec<NodeId> = self.engines[ni].fanout_targets(msg.key());
+        let bytes = msg.wire_bytes();
+        let send = timing::send_cost(&self.cfg, &msg);
+        let gap = self.cfg.inter_msg_gap_ns;
+
+        if self.arch.batching {
+            // One descriptor (payload + an 8-byte entry per destination).
+            let desc = bytes + 8 * dests.len() as u64;
+            let cost = self.pcie_msg_ns(desc);
+            let pcie_done = self.nodes[ni].pcie_tx.acquire(deposit, cost);
+            if self.arch.broadcast {
+                // Deposit once; the broadcast FSM replicates on the wire.
+                let depart = self.nodes[ni].nic_tx.acquire(pcie_done, send);
+                for d in dests {
+                    self.deliver(node, d, depart, msg.clone());
+                }
+            } else {
+                // The NIC must unpack the batch, then send serially.
+                let base = pcie_done + self.cfg.batch_unpack_ns;
+                for d in dests {
+                    let depart = self.nodes[ni].nic_tx.acquire(base, send + gap);
+                    self.deliver(node, d, depart, msg.clone());
+                }
+            }
+        } else {
+            // One PCIe transfer per destination, serialized.
+            let mut first = true;
+            let cost = self.pcie_msg_ns(bytes);
+            for d in dests {
+                let pcie_done = self.nodes[ni].pcie_tx.acquire(deposit, cost);
+                let cost = if self.arch.broadcast {
+                    // The FSM only pays the prepare cost once.
+                    if first {
+                        send
+                    } else {
+                        0
+                    }
+                } else {
+                    send + gap
+                };
+                first = false;
+                let depart = self.nodes[ni].nic_tx.acquire(pcie_done, cost);
+                self.deliver(node, d, depart, msg.clone());
+            }
+        }
+    }
+}

@@ -1,0 +1,522 @@
+//! The closed-loop workload driver: submits YCSB-style or DeathStar
+//! operations against a simulated cluster and collects the latency and
+//! throughput numbers behind the paper's figures.
+
+use crate::arch::Arch;
+use crate::bsim::BSim;
+use crate::osim::OSim;
+use minos_core::ReqId;
+use minos_sim::{LatencyStats, Time};
+use minos_types::{DdpModel, Key, NodeId, PersistencyModel, ScopeId, SimConfig, Value};
+use minos_workload::deathstar::{login_batch, App};
+use minos_workload::{Op, RequestStream, WorkloadSpec};
+use std::collections::HashMap;
+
+/// What kind of request completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompletionKind {
+    /// A client write.
+    Write,
+    /// A client read.
+    Read,
+    /// A `[PERSIST]sc`.
+    PersistScope,
+}
+
+/// One completed request, as reported by a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletionRec {
+    /// Request id.
+    pub req: ReqId,
+    /// Node that served the request.
+    pub node: NodeId,
+    /// Completion time.
+    pub at: Time,
+    /// Request kind.
+    pub kind: CompletionKind,
+    /// Whether a write was cut short as obsolete.
+    pub obsolete: bool,
+    /// Communication time of the write transaction (Figure 4 breakdown;
+    /// recorded by [`BSim`] only).
+    pub comm_ns: Option<Time>,
+}
+
+/// Aggregated results of one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Architecture simulated.
+    pub arch: Arch,
+    /// DDP model simulated.
+    pub model: DdpModel,
+    /// Write latencies (ns).
+    pub write_lat: LatencyStats,
+    /// Read latencies (ns).
+    pub read_lat: LatencyStats,
+    /// Per-write communication time (ns; MINOS-B runs only).
+    pub write_comm: LatencyStats,
+    /// `[PERSIST]sc` latencies (ns; Scope runs only).
+    pub persist_lat: LatencyStats,
+    /// Time of the last completion.
+    pub makespan: Time,
+    /// Writes completed.
+    pub writes: u64,
+    /// Reads completed.
+    pub reads: u64,
+}
+
+impl RunResult {
+    /// Completed writes per second.
+    #[must_use]
+    pub fn write_throughput(&self) -> f64 {
+        ops_per_sec(self.writes, self.makespan)
+    }
+
+    /// Completed reads per second.
+    #[must_use]
+    pub fn read_throughput(&self) -> f64 {
+        ops_per_sec(self.reads, self.makespan)
+    }
+
+    /// All completed operations per second.
+    #[must_use]
+    pub fn total_throughput(&self) -> f64 {
+        ops_per_sec(self.writes + self.reads, self.makespan)
+    }
+
+    /// Mean computation time per write = mean latency − mean
+    /// communication time (Figure 4's decomposition).
+    #[must_use]
+    pub fn write_comp_mean(&self) -> f64 {
+        (self.write_lat.mean() - self.write_comm.mean()).max(0.0)
+    }
+}
+
+fn ops_per_sec(ops: u64, makespan: Time) -> f64 {
+    if makespan == 0 {
+        return 0.0;
+    }
+    ops as f64 * 1e9 / makespan as f64
+}
+
+/// Either simulation behind one interface.
+enum SimBox {
+    B(Box<BSim>),
+    O(Box<OSim>),
+}
+
+impl SimBox {
+    fn new(arch: Arch, cfg: &SimConfig, model: DdpModel) -> Self {
+        if arch.offload {
+            SimBox::O(Box::new(OSim::new(cfg.clone(), arch, model)))
+        } else {
+            SimBox::B(Box::new(BSim::new(cfg.clone(), arch, model)))
+        }
+    }
+
+    fn submit_write(
+        &mut self,
+        at: Time,
+        node: NodeId,
+        key: Key,
+        value: Value,
+        scope: Option<ScopeId>,
+    ) -> ReqId {
+        match self {
+            SimBox::B(s) => s.submit_write(at, node, key, value, scope),
+            SimBox::O(s) => s.submit_write(at, node, key, value, scope),
+        }
+    }
+
+    fn submit_read(&mut self, at: Time, node: NodeId, key: Key) -> ReqId {
+        match self {
+            SimBox::B(s) => s.submit_read(at, node, key),
+            SimBox::O(s) => s.submit_read(at, node, key),
+        }
+    }
+
+    fn submit_persist_scope(&mut self, at: Time, node: NodeId, scope: ScopeId) -> ReqId {
+        match self {
+            SimBox::B(s) => s.submit_persist_scope(at, node, scope),
+            SimBox::O(s) => s.submit_persist_scope(at, node, scope),
+        }
+    }
+
+    fn step(&mut self) -> bool {
+        match self {
+            SimBox::B(s) => s.step(),
+            SimBox::O(s) => s.step(),
+        }
+    }
+
+    fn drain_completions(&mut self) -> Vec<CompletionRec> {
+        match self {
+            SimBox::B(s) => s.drain_completions(),
+            SimBox::O(s) => s.drain_completions(),
+        }
+    }
+}
+
+/// Writes issued per scope before a `[PERSIST]sc` under `<Lin, Scope>`.
+const SCOPE_BATCH: u32 = 16;
+
+struct Client {
+    node: NodeId,
+    stream: RequestStream,
+    remaining: u64,
+    /// Scope bookkeeping (Scope model only).
+    scope_writes: u32,
+    scope_seq: u32,
+    id: u32,
+    waiting_persist: bool,
+}
+
+impl Client {
+    fn current_scope(&self) -> ScopeId {
+        ScopeId(self.id * 100_000 + self.scope_seq)
+    }
+}
+
+struct Pending {
+    client: usize,
+    start: Time,
+}
+
+/// Runs the YCSB-style workload `spec` on architecture `arch` under
+/// `model`, with one closed-loop client per host core per node (the
+/// paper's "5 cores busy per node").
+///
+/// `spec.requests_per_node` is split across the node's clients; the
+/// simulation runs until every client exhausts its budget.
+#[must_use]
+pub fn run(
+    arch: Arch,
+    cfg: &SimConfig,
+    model: DdpModel,
+    spec: &WorkloadSpec,
+    seed: u64,
+) -> RunResult {
+    run_with_clients(arch, cfg, model, spec, seed, cfg.host_cores)
+}
+
+/// [`run`] with an explicit number of closed-loop clients per node.
+/// Use 1 for latency-focused, contention-free measurements.
+#[must_use]
+pub fn run_with_clients(
+    arch: Arch,
+    cfg: &SimConfig,
+    model: DdpModel,
+    spec: &WorkloadSpec,
+    seed: u64,
+    clients_per_node: usize,
+) -> RunResult {
+    let sim = SimBox::new(arch, cfg, model);
+    run_on(sim, arch, cfg, model, spec, seed, clients_per_node)
+}
+
+/// MINOS-B with the RDLock-snatching optimization of §III-A disabled —
+/// the design-choice ablation (DESIGN.md): a younger write can no longer
+/// displace an older one's read lock, so its completion may be delayed
+/// behind the older write's.
+#[must_use]
+pub fn run_b_snatch_ablation(
+    cfg: &SimConfig,
+    model: DdpModel,
+    spec: &WorkloadSpec,
+    seed: u64,
+    snatch: bool,
+) -> RunResult {
+    let mut b = BSim::new(cfg.clone(), Arch::baseline(), model);
+    if !snatch {
+        b.disable_snatching();
+    }
+    run_on(
+        SimBox::B(Box::new(b)),
+        Arch::baseline(),
+        cfg,
+        model,
+        spec,
+        seed,
+        cfg.host_cores,
+    )
+}
+
+fn run_on(
+    mut sim: SimBox,
+    arch_label: Arch,
+    cfg: &SimConfig,
+    model: DdpModel,
+    spec: &WorkloadSpec,
+    seed: u64,
+    clients_per_node: usize,
+) -> RunResult {
+    let scoped = model.persistency == PersistencyModel::Scope;
+    let per_client = (spec.requests_per_node / clients_per_node as u64).max(1);
+
+    let mut clients: Vec<Client> = Vec::new();
+    for node in 0..cfg.nodes {
+        for c in 0..clients_per_node {
+            let id = (node * clients_per_node + c) as u32;
+            clients.push(Client {
+                node: NodeId(node as u16),
+                stream: spec.stream(seed ^ (u64::from(id) << 32) ^ u64::from(id)),
+                remaining: per_client,
+                scope_writes: 0,
+                scope_seq: 0,
+                id,
+                waiting_persist: false,
+            });
+        }
+    }
+
+    let mut pending: HashMap<ReqId, Pending> = HashMap::new();
+    let mut result = RunResult {
+        arch: arch_label,
+        model,
+        write_lat: LatencyStats::new(),
+        read_lat: LatencyStats::new(),
+        write_comm: LatencyStats::new(),
+        persist_lat: LatencyStats::new(),
+        makespan: 0,
+        writes: 0,
+        reads: 0,
+    };
+
+    // Prime one operation per client.
+    for i in 0..clients.len() {
+        submit_next(&mut sim, &mut clients, i, 0, scoped, &mut pending);
+    }
+
+    while sim.step() {
+        for rec in sim.drain_completions() {
+            let Some(p) = pending.remove(&rec.req) else {
+                continue;
+            };
+            let lat = rec.at.saturating_sub(p.start);
+            result.makespan = result.makespan.max(rec.at);
+            match rec.kind {
+                CompletionKind::Write => {
+                    result.writes += 1;
+                    result.write_lat.record(lat);
+                    if let Some(comm) = rec.comm_ns {
+                        result.write_comm.record(comm);
+                    }
+                }
+                CompletionKind::Read => {
+                    result.reads += 1;
+                    result.read_lat.record(lat);
+                }
+                CompletionKind::PersistScope => {
+                    result.persist_lat.record(lat);
+                    clients[p.client].waiting_persist = false;
+                }
+            }
+            submit_next(&mut sim, &mut clients, p.client, rec.at, scoped, &mut pending);
+        }
+    }
+
+    result
+}
+
+/// Submits the client's next operation (or its pending `[PERSIST]sc`).
+fn submit_next(
+    sim: &mut SimBox,
+    clients: &mut [Client],
+    idx: usize,
+    at: Time,
+    scoped: bool,
+    pending: &mut HashMap<ReqId, Pending>,
+) {
+    let cl = &mut clients[idx];
+    if cl.waiting_persist {
+        return;
+    }
+
+    // Scope model: flush the scope every SCOPE_BATCH writes and at the end
+    // of the client's run.
+    if scoped && (cl.scope_writes >= SCOPE_BATCH || (cl.remaining == 0 && cl.scope_writes > 0)) {
+        let sc = cl.current_scope();
+        cl.scope_writes = 0;
+        cl.scope_seq += 1;
+        cl.waiting_persist = true;
+        let req = sim.submit_persist_scope(at, cl.node, sc);
+        pending.insert(req, Pending { client: idx, start: at });
+        return;
+    }
+
+    if cl.remaining == 0 {
+        return;
+    }
+    cl.remaining -= 1;
+
+    let op = cl.stream.next_op();
+    let req = match op {
+        Op::Write { key, value } => {
+            let scope = scoped.then(|| {
+                cl.scope_writes += 1;
+                cl.current_scope()
+            });
+            sim.submit_write(at, cl.node, key, value, scope)
+        }
+        Op::Read { key } => sim.submit_read(at, cl.node, key),
+    };
+    pending.insert(req, Pending { client: idx, start: at });
+}
+
+/// End-to-end results of the DeathStar experiment (Figure 11).
+#[derive(Debug, Clone)]
+pub struct DeathstarResult {
+    /// Architecture simulated.
+    pub arch: Arch,
+    /// DDP model simulated.
+    pub model: DdpModel,
+    /// Application.
+    pub app: App,
+    /// End-to-end latency of each `Login` invocation (ns).
+    pub login_lat: LatencyStats,
+}
+
+/// Runs `logins` DeathStar `Login` invocations per chain, with one chain
+/// per host core per node (the service is under load, as in §VIII-C),
+/// on a cluster with a datacenter RTT (paper: 16 nodes, 500 µs).
+///
+/// Each KV operation of the function pays the client→service round trip
+/// (`cfg.datacenter_rtt_ns`) on top of its protocol latency: the
+/// microservice call chain crosses the datacenter between operations.
+#[must_use]
+pub fn run_deathstar(
+    arch: Arch,
+    cfg: &SimConfig,
+    model: DdpModel,
+    app: App,
+    logins_per_node: usize,
+) -> DeathstarResult {
+    // The per-op client hop is charged explicitly below; replication
+    // messages inside a write use the plain link latencies.
+    let op_rtt = cfg.datacenter_rtt_ns;
+    let mut cfg = cfg.clone();
+    cfg.datacenter_rtt_ns = 0;
+    let cfg = &cfg;
+    let mut sim = SimBox::new(arch, cfg, model);
+    let scoped = model.persistency == PersistencyModel::Scope;
+
+    // Per-node login chains: each node executes its logins sequentially,
+    // each login's ops in program order.
+    struct Chain {
+        node: NodeId,
+        ops: std::vec::IntoIter<Op>,
+        login_start: Time,
+        logins_left: usize,
+        traces: std::vec::IntoIter<Vec<Op>>,
+        scope_seq: u32,
+        wrote_in_scope: bool,
+        flushing: bool,
+    }
+
+    // Several login chains per node: the paper's service runs under
+    // load, which is where the offload's latency advantage shows (each
+    // chain spends most of its time in the client→service RTT, so it
+    // takes multiples of the core count to load the node).
+    let chains_per_node = cfg.host_cores * 8;
+    let mut chains: Vec<Chain> = (0..cfg.nodes * chains_per_node)
+        .map(|i| {
+            let n = i / chains_per_node;
+            let batch = login_batch(app, logins_per_node, 10_000 + i as u64);
+            let traces: Vec<Vec<Op>> = batch.into_iter().map(|t| t.ops).collect();
+            let mut it = traces.into_iter();
+            let first = it.next().unwrap_or_default();
+            Chain {
+                node: NodeId(n as u16),
+                ops: first.into_iter(),
+                login_start: 0,
+                logins_left: logins_per_node.saturating_sub(1),
+                traces: it,
+                scope_seq: 0,
+                wrote_in_scope: false,
+                flushing: false,
+            }
+        })
+        .collect();
+
+    let mut pending: HashMap<ReqId, usize> = HashMap::new();
+    let mut login_lat = LatencyStats::new();
+
+    fn submit_chain_op(
+        sim: &mut SimBox,
+        chains: &mut [Chain],
+        ci: usize,
+        done_at: Time,
+        op_rtt: Time,
+        scoped: bool,
+        pending: &mut HashMap<ReqId, usize>,
+        login_lat: &mut LatencyStats,
+    ) {
+        // Every KV operation of the function pays the client→service
+        // round trip before its protocol work starts.
+        let at = done_at + op_rtt;
+        loop {
+            let ch = &mut chains[ci];
+            if let Some(op) = ch.ops.next() {
+                let req = match op {
+                    Op::Write { key, value } => {
+                        let scope = scoped.then(|| {
+                            ch.wrote_in_scope = true;
+                            ScopeId(ci as u32 * 100_000 + ch.scope_seq)
+                        });
+                        sim.submit_write(at, ch.node, key, value, scope)
+                    }
+                    Op::Read { key } => sim.submit_read(at, ch.node, key),
+                };
+                pending.insert(req, ci);
+                return;
+            }
+            // Login finished: under Scope, flush it before it counts.
+            if scoped && ch.wrote_in_scope && !ch.flushing {
+                ch.flushing = true;
+                let sc = ScopeId(ci as u32 * 100_000 + ch.scope_seq);
+                let req = sim.submit_persist_scope(at, ch.node, sc);
+                pending.insert(req, ci);
+                return;
+            }
+            login_lat.record(done_at.saturating_sub(ch.login_start));
+            ch.wrote_in_scope = false;
+            ch.flushing = false;
+            ch.scope_seq += 1;
+            if ch.logins_left == 0 {
+                return;
+            }
+            ch.logins_left -= 1;
+            ch.login_start = done_at;
+            ch.ops = ch.traces.next().unwrap_or_default().into_iter();
+        }
+    }
+
+    for ci in 0..chains.len() {
+        submit_chain_op(
+            &mut sim, &mut chains, ci, 0, op_rtt, scoped, &mut pending, &mut login_lat,
+        );
+    }
+
+    while sim.step() {
+        for rec in sim.drain_completions() {
+            if let Some(ci) = pending.remove(&rec.req) {
+                submit_chain_op(
+                    &mut sim,
+                    &mut chains,
+                    ci,
+                    rec.at,
+                    op_rtt,
+                    scoped,
+                    &mut pending,
+                    &mut login_lat,
+                );
+            }
+        }
+    }
+
+    DeathstarResult {
+        arch,
+        model,
+        app,
+        login_lat,
+    }
+}

@@ -1,0 +1,49 @@
+//! The simulated distributed machine of §VII.
+//!
+//! This crate drives the `minos-core` protocol engines from a
+//! discrete-event simulation with the paper's Table III latency model:
+//!
+//! * [`BSim`] — MINOS-B nodes: protocol on the host CPU, every message
+//!   crossing the PCIe bus to a plain NIC;
+//! * [`OSim`] — MINOS-O nodes: protocol offloaded to a SmartNIC with
+//!   selective host/NIC coherence, vFIFO/dFIFO queues, batching, and
+//!   broadcast;
+//! * [`Arch`] — the seven architecture points of the Figure 12 ablation
+//!   (baseline/offload × batching × broadcast);
+//! * [`driver`] — a closed-loop workload driver producing the
+//!   latency/throughput numbers behind Figures 4, 9, 10, 11, 13 and 14.
+//!
+//! # Example: one write on the simulated 5-node machine
+//!
+//! ```
+//! use minos_net::{driver, Arch};
+//! use minos_types::{DdpModel, PersistencyModel, SimConfig};
+//! use minos_workload::WorkloadSpec;
+//!
+//! let spec = WorkloadSpec::ycsb_default()
+//!     .with_records(100)
+//!     .with_requests_per_node(20);
+//! let result = driver::run(
+//!     Arch::baseline(),
+//!     &SimConfig::paper_defaults(),
+//!     DdpModel::lin(PersistencyModel::Synchronous),
+//!     &spec,
+//!     7,
+//! );
+//! assert!(result.write_lat.mean() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arch;
+mod bsim;
+pub mod driver;
+mod osim;
+mod timing;
+
+pub use arch::Arch;
+pub use bsim::BSim;
+pub use driver::{CompletionKind, CompletionRec, RunResult};
+pub use osim::OSim;
+pub use timing::meta_cost;

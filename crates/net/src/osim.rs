@@ -1,0 +1,362 @@
+//! The simulated MINOS-O machine: SmartNIC-offloaded protocol execution.
+
+use crate::arch::Arch;
+use crate::driver::{CompletionKind, CompletionRec};
+use crate::timing::{self, DISPATCH_NS};
+use minos_core::{OAction, OEvent, ONodeEngine, PcieMsg, ReqId, Side};
+use minos_sim::{BoundedFifo, CorePool, EventQueue, Resource, Time};
+use minos_types::{DdpModel, Key, Message, MessageKind, NodeId, ScopeId, SimConfig, Value};
+
+#[derive(Debug, Clone)]
+struct ONodeRes {
+    host_cores: CorePool,
+    snic_cores: CorePool,
+    /// Host→SNIC PCIe bandwidth.
+    pcie_down: Resource,
+    /// SNIC→host PCIe bandwidth.
+    pcie_up: Resource,
+    /// SNIC network send engine.
+    nic_tx: Resource,
+    vfifo: BoundedFifo,
+    dfifo: BoundedFifo,
+}
+
+/// The MINOS-O discrete-event simulation.
+///
+/// Follower processing and the Coordinator's fan-out/collection run on
+/// SmartNIC cores; only batched descriptors cross PCIe; local-writes go
+/// through the bounded vFIFO/dFIFO; metadata accesses that migrate the
+/// coherent line between host and SNIC pay the snoop latency.
+///
+/// With `Arch { batching: false, .. }` or `broadcast: false` this also
+/// models the intermediate Figure 12 points (Combined, Combined+batch,
+/// Combined+bcast).
+#[derive(Debug)]
+pub struct OSim {
+    cfg: SimConfig,
+    arch: Arch,
+    engines: Vec<ONodeEngine>,
+    queue: EventQueue<(NodeId, OEvent)>,
+    nodes: Vec<ONodeRes>,
+    completions: Vec<CompletionRec>,
+    /// Write submission times, for latency bookkeeping by the driver.
+    next_req: u64,
+}
+
+impl OSim {
+    /// Builds the simulation for `cfg.nodes` nodes running `model`.
+    #[must_use]
+    pub fn new(cfg: SimConfig, arch: Arch, model: DdpModel) -> Self {
+        assert!(arch.offload, "OSim models offloaded architectures");
+        let n = cfg.nodes;
+        OSim {
+            engines: (0..n)
+                .map(|i| ONodeEngine::new(NodeId(i as u16), n, model))
+                .collect(),
+            nodes: (0..n)
+                .map(|_| ONodeRes {
+                    host_cores: CorePool::new(cfg.host_cores),
+                    snic_cores: CorePool::new(cfg.snic_cores),
+                    pcie_down: Resource::new(),
+                    pcie_up: Resource::new(),
+                    nic_tx: Resource::new(),
+                    vfifo: BoundedFifo::new(cfg.vfifo_entries),
+                    dfifo: BoundedFifo::new(cfg.dfifo_entries),
+                })
+                .collect(),
+            queue: EventQueue::new(),
+            completions: Vec::new(),
+            next_req: 1,
+            cfg,
+            arch,
+        }
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.queue.now()
+    }
+
+    /// Pre-loads a record on every node.
+    pub fn load_all(&mut self, key: Key, value: Value) {
+        for e in &mut self.engines {
+            e.load_record(key, value.clone());
+        }
+    }
+
+    /// Submits a client write.
+    pub fn submit_write(
+        &mut self,
+        at: Time,
+        node: NodeId,
+        key: Key,
+        value: Value,
+        scope: Option<ScopeId>,
+    ) -> ReqId {
+        let req = self.fresh_req();
+        self.queue.schedule(
+            at,
+            (
+                node,
+                OEvent::ClientWrite {
+                    key,
+                    value,
+                    scope,
+                    req,
+                },
+            ),
+        );
+        req
+    }
+
+    /// Submits a client read.
+    pub fn submit_read(&mut self, at: Time, node: NodeId, key: Key) -> ReqId {
+        let req = self.fresh_req();
+        self.queue
+            .schedule(at, (node, OEvent::ClientRead { key, req }));
+        req
+    }
+
+    /// Submits a `[PERSIST]sc`.
+    pub fn submit_persist_scope(&mut self, at: Time, node: NodeId, scope: ScopeId) -> ReqId {
+        let req = self.fresh_req();
+        self.queue
+            .schedule(at, (node, OEvent::ClientPersistScope { scope, req }));
+        req
+    }
+
+    fn fresh_req(&mut self) -> ReqId {
+        let r = ReqId(self.next_req);
+        self.next_req += 1;
+        r
+    }
+
+    /// Drains recorded completions.
+    pub fn drain_completions(&mut self) -> Vec<CompletionRec> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Access to a node's engine.
+    #[must_use]
+    pub fn engine(&self, node: NodeId) -> &ONodeEngine {
+        &self.engines[node.0 as usize]
+    }
+
+    /// Which side executes a given event's handler.
+    fn side_of(ev: &OEvent) -> Side {
+        match ev {
+            OEvent::ClientWrite { .. }
+            | OEvent::HostStart { .. }
+            | OEvent::ClientRead { .. }
+            | OEvent::ClientPersistScope { .. }
+            | OEvent::PcieFromSnic(_) => Side::Host,
+            OEvent::PcieFromHost(_)
+            | OEvent::NetMessage { .. }
+            | OEvent::VfifoDrained { .. }
+            | OEvent::DfifoDrained { .. } => Side::Snic,
+        }
+    }
+
+    /// Processes one simulated event. Returns false when idle.
+    pub fn step(&mut self) -> bool {
+        let Some((t, (node, ev))) = self.queue.pop() else {
+            return false;
+        };
+        let ni = node.0 as usize;
+        let side = Self::side_of(&ev);
+
+        let mut out = Vec::new();
+        self.engines[ni].on_event(ev, &mut out);
+
+        // Handler compute cost: dispatch + meta hints + coherence snoops.
+        let cost: Time = DISPATCH_NS
+            + out
+                .iter()
+                .map(|a| match a {
+                    OAction::Meta { side, op } => timing::meta_cost(&self.cfg, *side, *op),
+                    OAction::CoherenceTransfer { .. } => self.cfg.coherence_snoop_ns,
+                    _ => 0,
+                })
+                .sum::<Time>();
+        let end = match side {
+            Side::Host => self.nodes[ni].host_cores.acquire(t, cost),
+            Side::Snic => self.nodes[ni].snic_cores.acquire(t, cost),
+        };
+
+        // In-handler FIFO gating: ACK_C-class sends wait for the vFIFO
+        // enqueue, ACK/ACK_P-class sends for the dFIFO enqueue (§V-C).
+        let mut vq_done: Option<Time> = None;
+        let mut dq_done: Option<Time> = None;
+
+        for a in out {
+            match a {
+                OAction::VfifoEnqueue { key, ts, bytes } => {
+                    let write = self.cfg.vfifo_write_ns(bytes);
+                    // Drain = DMA into the host LLC across PCIe.
+                    let drain =
+                        self.cfg.pcie_transfer_ns(bytes) + self.cfg.llc_update_ns(bytes);
+                    let outcome = self.nodes[ni].vfifo.enqueue(end, write, drain);
+                    vq_done = Some(outcome.enqueued_at);
+                    self.queue
+                        .schedule(outcome.drained_at, (node, OEvent::VfifoDrained { key, ts }));
+                }
+                OAction::DfifoEnqueue { key, ts, bytes } => {
+                    let write = self.cfg.dfifo_write_ns(bytes);
+                    // The dFIFO write itself made the update durable. An
+                    // entry hands off to the DMA output register as soon
+                    // as it reaches the head (slot held for the write
+                    // only); the background DMA append to the host NVM
+                    // log shows up in the drained-event time.
+                    let outcome = self.nodes[ni].dfifo.enqueue(end, write, 0);
+                    dq_done = Some(outcome.enqueued_at);
+                    let dma_done = outcome.drained_at + self.cfg.pcie_transfer_ns(bytes);
+                    self.queue
+                        .schedule(dma_done, (node, OEvent::DfifoDrained { key, ts }));
+                }
+                OAction::Send { to, msg } => {
+                    let start = self.send_gate(end, &msg, vq_done, dq_done);
+                    self.snic_unicast(node, start, to, msg);
+                }
+                OAction::SendToFollowers { msg } => {
+                    let start = self.send_gate(end, &msg, vq_done, dq_done);
+                    self.snic_fanout(node, start, msg);
+                }
+                OAction::Pcie { from, msg } => self.pcie_transfer(node, end, from, msg),
+                OAction::Defer { event } => self.queue.schedule(end, (node, event)),
+                OAction::WriteDone {
+                    req, obsolete, ..
+                } => self.completions.push(CompletionRec {
+                    req,
+                    node,
+                    at: end,
+                    kind: CompletionKind::Write,
+                    obsolete,
+                    comm_ns: None,
+                }),
+                OAction::ReadDone { req, .. } => self.completions.push(CompletionRec {
+                    req,
+                    node,
+                    at: end,
+                    kind: CompletionKind::Read,
+                    obsolete: false,
+                    comm_ns: None,
+                }),
+                OAction::PersistScopeDone { req, .. } => self.completions.push(CompletionRec {
+                    req,
+                    node,
+                    at: end,
+                    kind: CompletionKind::PersistScope,
+                    obsolete: false,
+                    comm_ns: None,
+                }),
+                OAction::Meta { .. } | OAction::CoherenceTransfer { .. } => {}
+            }
+        }
+        true
+    }
+
+    /// Runs until the event queue is empty.
+    pub fn run_to_idle(&mut self) {
+        while self.step() {}
+    }
+
+    /// The earliest time a message emitted by this handler may be sent,
+    /// given the FIFO writes that precede it semantically.
+    fn send_gate(
+        &self,
+        end: Time,
+        msg: &Message,
+        vq_done: Option<Time>,
+        dq_done: Option<Time>,
+    ) -> Time {
+        match msg.kind() {
+            // Consistency acks follow the vFIFO enqueue.
+            MessageKind::AckC => vq_done.unwrap_or(end),
+            // Combined/persistency acks follow the dFIFO enqueue (the
+            // update must be durable).
+            MessageKind::Ack | MessageKind::AckP | MessageKind::PersistAckP => {
+                dq_done.or(vq_done).unwrap_or(end)
+            }
+            _ => end,
+        }
+    }
+
+    /// A PCIe descriptor between host and SNIC.
+    ///
+    /// Unlike the baseline's dumb NIC (doorbell per message, transfers
+    /// one at a time), the SmartNIC's DMA engines stream descriptors
+    /// back-to-back: per-descriptor occupancy is the bandwidth component
+    /// and the bus latency pipelines across them. Without batching, the
+    /// `BatchedInv` therefore costs one bandwidth slot per destination
+    /// (the Combined-without-batching ablation point); with batching it
+    /// is a single full transfer — whose *unpack* cost on the SNIC is
+    /// what makes batching a loss until broadcast removes it (Figure 12).
+    fn pcie_transfer(&mut self, node: NodeId, end: Time, from: Side, msg: PcieMsg) {
+        let ni = node.0 as usize;
+        let bytes = msg.wire_bytes();
+        let transfers = match (&msg, self.arch.batching) {
+            (PcieMsg::BatchedInv { .. }, false) => (self.engines.len() - 1).max(1) as u64,
+            _ => 1,
+        };
+        let res = match from {
+            Side::Host => &mut self.nodes[ni].pcie_down,
+            Side::Snic => &mut self.nodes[ni].pcie_up,
+        };
+        let bw = (bytes.max(64) * 1_000_000_000 / self.cfg.pcie_bw_bytes_per_s).max(1);
+        let mut bw_done = end;
+        for _ in 0..transfers {
+            bw_done = res.acquire(end, bw);
+        }
+        let arrival = bw_done + self.cfg.pcie_latency_ns;
+        let ev = match from {
+            Side::Host => OEvent::PcieFromHost(msg),
+            Side::Snic => OEvent::PcieFromSnic(msg),
+        };
+        self.queue.schedule(arrival, (node, ev));
+    }
+
+    fn snic_unicast(&mut self, node: NodeId, start: Time, to: NodeId, msg: Message) {
+        let ni = node.0 as usize;
+        let depart = self.nodes[ni]
+            .nic_tx
+            .acquire(start, timing::send_cost(&self.cfg, &msg));
+        self.deliver(node, to, depart, msg);
+    }
+
+    fn deliver(&mut self, from: NodeId, to: NodeId, depart: Time, msg: Message) {
+        let arrival = depart + timing::link_time(&self.cfg, &msg);
+        self.queue.schedule(arrival, (to, OEvent::NetMessage { from, msg }));
+    }
+
+    /// SNIC-side fan-out: a single Send-Buffer deposit with the broadcast
+    /// FSM, or serialized sends (plus the batch-unpack penalty when the
+    /// descriptor was batched but cannot be broadcast — the Figure 12
+    /// "Combined+batching is slower" effect).
+    fn snic_fanout(&mut self, node: NodeId, start: Time, msg: Message) {
+        let ni = node.0 as usize;
+        let dests: Vec<NodeId> = (0..self.engines.len() as u16)
+            .map(NodeId)
+            .filter(|&d| d != node)
+            .collect();
+        let send = timing::send_cost(&self.cfg, &msg);
+        if self.arch.broadcast {
+            let depart = self.nodes[ni].nic_tx.acquire(start, send);
+            for d in dests {
+                self.deliver(node, d, depart, msg.clone());
+            }
+        } else {
+            let base = if self.arch.batching {
+                start + self.cfg.batch_unpack_ns
+            } else {
+                start
+            };
+            for d in dests {
+                let depart = self.nodes[ni]
+                    .nic_tx
+                    .acquire(base, send + self.cfg.inter_msg_gap_ns);
+                self.deliver(node, d, depart, msg.clone());
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Cost tables mapping engine [`MetaOp`] hints to Table III latencies.
+
+use minos_core::MetaOp;
+use minos_core::Side;
+use minos_sim::Time;
+use minos_types::{Message, MessageKind, SimConfig};
+
+/// Fixed cost of a timestamp comparison or update (register/L1 work; the
+/// synchronization latencies of Table III only cover atomic CAS ops).
+pub(crate) const TS_OP_NS: Time = 15;
+
+/// Fixed event-dispatch overhead per handled event (queue pop, branch).
+pub(crate) const DISPATCH_NS: Time = 30;
+
+/// Cost of one engine meta-hint executed on `side`.
+#[must_use]
+pub fn meta_cost(cfg: &SimConfig, side: Side, op: MetaOp) -> Time {
+    let sync = match side {
+        Side::Host => cfg.host_sync_ns,
+        Side::Snic => cfg.snic_sync_ns,
+    };
+    match op {
+        MetaOp::ObsoleteCheck | MetaOp::TsUpdate => TS_OP_NS,
+        MetaOp::SnatchRdLock | MetaOp::RdUnlock | MetaOp::WrLockAcquire | MetaOp::WrLockRelease => {
+            sync
+        }
+        MetaOp::LlcUpdate { bytes } => cfg.llc_update_ns(bytes),
+    }
+}
+
+/// NIC-side cost of preparing and sending one message (Table III: 200 ns
+/// per INV, 100 ns per ACK; VAL-class and scope messages are header-only
+/// like ACKs).
+#[must_use]
+pub fn send_cost(cfg: &SimConfig, msg: &Message) -> Time {
+    match msg.kind() {
+        MessageKind::Inv => cfg.send_inv_ns,
+        _ => cfg.send_ack_ns,
+    }
+}
+
+/// One-way network transfer time for `msg`, including the optional
+/// datacenter RTT used in the DeathStar experiment.
+#[must_use]
+pub(crate) fn link_time(cfg: &SimConfig, msg: &Message) -> Time {
+    cfg.link_transfer_ns(msg.wire_bytes()) + cfg.datacenter_rtt_ns / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use minos_types::{Key, NodeId, Ts};
+
+    fn cfg() -> SimConfig {
+        SimConfig::paper_defaults()
+    }
+
+    #[test]
+    fn lock_ops_use_side_specific_sync_latency() {
+        assert_eq!(meta_cost(&cfg(), Side::Host, MetaOp::SnatchRdLock), 42);
+        assert_eq!(meta_cost(&cfg(), Side::Snic, MetaOp::SnatchRdLock), 105);
+    }
+
+    #[test]
+    fn inv_sends_cost_more_than_acks() {
+        let inv = Message::Inv {
+            key: Key(1),
+            ts: Ts::new(NodeId(0), 1),
+            value: Bytes::new(),
+            scope: None,
+        };
+        let ack = Message::Ack {
+            key: Key(1),
+            ts: Ts::new(NodeId(0), 1),
+        };
+        assert_eq!(send_cost(&cfg(), &inv), 200);
+        assert_eq!(send_cost(&cfg(), &ack), 100);
+    }
+
+    #[test]
+    fn llc_update_scales_with_bytes() {
+        let small = meta_cost(&cfg(), Side::Host, MetaOp::LlcUpdate { bytes: 64 });
+        let large = meta_cost(&cfg(), Side::Host, MetaOp::LlcUpdate { bytes: 4096 });
+        assert!(large > 10 * small);
+    }
+
+    #[test]
+    fn datacenter_rtt_inflates_link_time() {
+        let msg = Message::Ack {
+            key: Key(1),
+            ts: Ts::new(NodeId(0), 1),
+        };
+        let base = link_time(&cfg(), &msg);
+        let mut far = cfg();
+        far.datacenter_rtt_ns = 500_000;
+        assert_eq!(link_time(&far, &msg), base + 250_000);
+    }
+}

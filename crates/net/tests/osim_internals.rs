@@ -1,0 +1,132 @@
+//! Focused tests of the MINOS-O simulation internals: coherence charging,
+//! FIFO gating of acknowledgments, batching/broadcast cost structure.
+
+use minos_net::{driver, Arch, OSim};
+use minos_types::{DdpModel, Key, NodeId, PersistencyModel, SimConfig};
+use minos_workload::WorkloadSpec;
+
+fn synch() -> DdpModel {
+    DdpModel::lin(PersistencyModel::Synchronous)
+}
+
+#[test]
+fn synch_ack_waits_for_dfifo_write() {
+    // A Synch follower may ACK only once the update is durable — i.e.
+    // after the dFIFO write (1295 ns/KB). Halving the payload must
+    // shorten the single-write latency by roughly the dFIFO+vFIFO delta.
+    let lat = |bytes: usize| {
+        let mut sim = OSim::new(SimConfig::paper_defaults(), Arch::minos_o(), synch());
+        sim.submit_write(0, NodeId(0), Key(1), vec![0u8; bytes].into(), None);
+        sim.run_to_idle();
+        sim.drain_completions()[0].at
+    };
+    let full = lat(1024);
+    let half = lat(512);
+    assert!(
+        full > half + 500,
+        "payload size must move the durable gate: {full} vs {half}"
+    );
+}
+
+#[test]
+fn coherence_snoop_cost_is_charged() {
+    // Raising the snoop latency must slow MINOS-O writes (the coherent
+    // metadata line migrates host↔SNIC several times per write).
+    let spec = WorkloadSpec::ycsb_default()
+        .with_records(256)
+        .with_requests_per_node(300);
+    let lat = |snoop: u64| {
+        let mut cfg = SimConfig::paper_defaults();
+        cfg.coherence_snoop_ns = snoop;
+        driver::run(Arch::minos_o(), &cfg, synch(), &spec, 3)
+            .write_lat
+            .mean()
+    };
+    let cheap = lat(0);
+    let pricey = lat(2_000);
+    assert!(
+        pricey > cheap + 1_000.0,
+        "snoop cost not charged: {cheap} vs {pricey}"
+    );
+}
+
+#[test]
+fn snic_core_count_matters_under_load() {
+    let spec = WorkloadSpec::ycsb_default()
+        .with_records(256)
+        .with_write_fraction(1.0)
+        .with_requests_per_node(400);
+    let lat = |cores: usize| {
+        let mut cfg = SimConfig::paper_defaults();
+        cfg.snic_cores = cores;
+        driver::run(Arch::minos_o(), &cfg, synch(), &spec, 3)
+            .write_lat
+            .mean()
+    };
+    let one = lat(1);
+    let eight = lat(8);
+    assert!(
+        one > eight,
+        "a single SNIC core must be slower: 1core={one:.0} 8core={eight:.0}"
+    );
+}
+
+#[test]
+fn o_models_have_similar_latency() {
+    // Fig 9's "MINOS-O is much less sensitive to the persistency model":
+    // across all five models the mean write latency spread stays small.
+    let spec = WorkloadSpec::ycsb_default()
+        .with_records(512)
+        .with_requests_per_node(300);
+    let cfg = SimConfig::paper_defaults();
+    let lats: Vec<f64> = DdpModel::all_lin()
+        .into_iter()
+        .map(|m| driver::run(Arch::minos_o(), &cfg, m, &spec, 3).write_lat.mean())
+        .collect();
+    let min = lats.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = lats.iter().cloned().fold(0.0, f64::max);
+    assert!(
+        max / min < 1.6,
+        "O model spread too wide: {lats:?}"
+    );
+}
+
+#[test]
+fn obsolete_writes_complete_in_o_sim() {
+    // Same-key bursts from every node: many writes become obsolete;
+    // every one must still complete (the handleObsolete paths under
+    // simulated timing).
+    let spec = WorkloadSpec::ycsb_default()
+        .with_records(2)
+        .with_write_fraction(1.0)
+        .with_requests_per_node(200);
+    let cfg = SimConfig::paper_defaults();
+    let r = driver::run(Arch::minos_o(), &cfg, synch(), &spec, 3);
+    // 5 nodes × 5 clients × (200/5) requests, all writes.
+    assert_eq!(r.writes, 1000, "every write must complete");
+}
+
+#[test]
+fn batched_descriptor_is_one_pcie_transfer() {
+    // With batching, write latency must not grow with the node count as
+    // fast as without it (the PCIe leg is constant).
+    let spec = WorkloadSpec::ycsb_default()
+        .with_records(512)
+        .with_write_fraction(1.0)
+        .with_requests_per_node(200);
+    let lat = |nodes: usize, batching: bool| {
+        let cfg = SimConfig::paper_defaults().with_nodes(nodes);
+        let arch = if batching {
+            Arch::minos_o()
+        } else {
+            Arch::offload().with_broadcast()
+        };
+        driver::run(arch, &cfg, synch(), &spec, 3).write_lat.mean()
+    };
+    let growth_batched = lat(10, true) / lat(2, true);
+    let growth_unbatched = lat(10, false) / lat(2, false);
+    assert!(
+        growth_batched <= growth_unbatched * 1.05,
+        "batching must not scale worse: batched x{growth_batched:.2} vs x{growth_unbatched:.2}"
+    );
+}

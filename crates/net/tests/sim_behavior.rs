@@ -1,0 +1,333 @@
+//! End-to-end behavioral tests of the simulated machines: the headline
+//! trends of the paper's evaluation must hold on small configurations.
+
+use minos_net::{driver, Arch, BSim, OSim};
+use minos_types::{DdpModel, Key, NodeId, PersistencyModel, SimConfig};
+use minos_workload::{KeyDist, WorkloadSpec};
+
+fn small_spec() -> WorkloadSpec {
+    WorkloadSpec::ycsb_default()
+        .with_records(64)
+        .with_requests_per_node(200)
+}
+
+fn synch() -> DdpModel {
+    DdpModel::lin(PersistencyModel::Synchronous)
+}
+
+#[test]
+fn writes_complete_and_replicate_in_bsim() {
+    let cfg = SimConfig::paper_defaults();
+    let mut sim = BSim::new(cfg, Arch::baseline(), synch());
+    let r = sim.submit_write(0, NodeId(0), Key(1), "payload".into(), None);
+    sim.run_to_idle();
+    let recs = sim.drain_completions();
+    assert!(recs.iter().any(|c| c.req == r));
+    for n in 0..5 {
+        assert_eq!(
+            sim.engine(NodeId(n)).record_value(Key(1)).unwrap(),
+            "payload"
+        );
+    }
+}
+
+#[test]
+fn writes_complete_and_replicate_in_osim() {
+    let cfg = SimConfig::paper_defaults();
+    let mut sim = OSim::new(cfg, Arch::minos_o(), synch());
+    let r = sim.submit_write(0, NodeId(0), Key(1), "payload".into(), None);
+    sim.run_to_idle();
+    let recs = sim.drain_completions();
+    assert!(recs.iter().any(|c| c.req == r));
+    for n in 0..5 {
+        assert_eq!(
+            sim.engine(NodeId(n)).record_value(Key(1)).unwrap(),
+            "payload"
+        );
+    }
+}
+
+#[test]
+fn single_write_latency_is_physically_plausible() {
+    // A lone <Lin,Synch> write on the Table III machine: INV out (~PCIe +
+    // send + link), follower persist (~1295 ns), ACK back. Must land in
+    // the low-microsecond range, not nanoseconds or milliseconds.
+    let cfg = SimConfig::paper_defaults();
+    let mut sim = BSim::new(cfg, Arch::baseline(), synch());
+    sim.submit_write(0, NodeId(0), Key(1), vec![0u8; 1024].into(), None);
+    sim.run_to_idle();
+    let recs = sim.drain_completions();
+    let done = recs[0].at;
+    assert!(
+        (2_000..50_000).contains(&done),
+        "suspicious single-write latency: {done} ns"
+    );
+}
+
+#[test]
+fn minos_o_beats_minos_b_on_write_latency() {
+    let cfg = SimConfig::paper_defaults();
+    for model in DdpModel::all_lin() {
+        let b = driver::run(Arch::baseline(), &cfg, model, &small_spec(), 3);
+        let o = driver::run(Arch::minos_o(), &cfg, model, &small_spec(), 3);
+        assert!(b.writes > 0 && o.writes > 0, "{model}: no writes completed");
+        assert!(
+            o.write_lat.mean() < b.write_lat.mean(),
+            "{model}: O ({:.0} ns) not faster than B ({:.0} ns)",
+            o.write_lat.mean(),
+            b.write_lat.mean()
+        );
+    }
+}
+
+#[test]
+fn minos_o_speedup_is_in_paper_range() {
+    // Fig 9: "MINOS-O typically reduces the average write latency by 2-3x
+    // over MINOS-B". Accept 1.5–5x on the small test workload.
+    let cfg = SimConfig::paper_defaults();
+    let b = driver::run(Arch::baseline(), &cfg, synch(), &small_spec(), 3);
+    let o = driver::run(Arch::minos_o(), &cfg, synch(), &small_spec(), 3);
+    let speedup = b.write_lat.mean() / o.write_lat.mean();
+    assert!(
+        (1.5..6.0).contains(&speedup),
+        "write speedup {speedup:.2} outside plausible band"
+    );
+}
+
+#[test]
+fn conservative_models_have_higher_write_latency() {
+    // Fig 4: models with more conservative persistency enforcement have
+    // higher write latencies. Measured contention-free (one client per
+    // node, large database), where the protocol differences are visible.
+    let cfg = SimConfig::paper_defaults();
+    let spec = WorkloadSpec::ycsb_default()
+        .with_records(4096)
+        .with_requests_per_node(200);
+    let lat = |p: PersistencyModel| {
+        driver::run_with_clients(Arch::baseline(), &cfg, DdpModel::lin(p), &spec, 3, 1)
+            .write_lat
+            .mean()
+    };
+    let strict = lat(PersistencyModel::Strict);
+    let synch = lat(PersistencyModel::Synchronous);
+    let event = lat(PersistencyModel::Eventual);
+    assert!(
+        strict > synch,
+        "Strict ({strict:.0}) must exceed Synch ({synch:.0})"
+    );
+    assert!(
+        synch > event,
+        "Synch ({synch:.0}) must exceed Eventual ({event:.0})"
+    );
+}
+
+#[test]
+fn communication_dominates_b_write_latency() {
+    // §IV: communication contributes 51–73% of MINOS-B write time. Allow
+    // a generous 30–90% band on the small workload.
+    let cfg = SimConfig::paper_defaults();
+    let r = driver::run(Arch::baseline(), &cfg, synch(), &small_spec(), 9);
+    assert!(r.write_comm.count() > 0, "no comm samples recorded");
+    let frac = r.write_comm.mean() / r.write_lat.mean();
+    assert!(
+        (0.3..0.95).contains(&frac),
+        "comm fraction {frac:.2} implausible (comm {:.0} of {:.0})",
+        r.write_comm.mean(),
+        r.write_lat.mean()
+    );
+}
+
+#[test]
+fn b_write_latency_grows_with_node_count() {
+    // Fig 10: MINOS-B latency increases quickly with node count.
+    let spec = small_spec();
+    let lat = |nodes: usize| {
+        let cfg = SimConfig::paper_defaults().with_nodes(nodes);
+        driver::run(Arch::baseline(), &cfg, synch(), &spec, 3)
+            .write_lat
+            .mean()
+    };
+    let l2 = lat(2);
+    let l10 = lat(10);
+    assert!(
+        l10 > 1.5 * l2,
+        "B latency must grow with nodes: 2n={l2:.0} 10n={l10:.0}"
+    );
+}
+
+#[test]
+fn o_scales_throughput_with_node_count() {
+    // Fig 10: MINOS-O rapidly increases throughput with node count.
+    let spec = small_spec();
+    let tput = |nodes: usize| {
+        let cfg = SimConfig::paper_defaults().with_nodes(nodes);
+        driver::run(Arch::minos_o(), &cfg, synch(), &spec, 3).total_throughput()
+    };
+    let t2 = tput(2);
+    let t10 = tput(10);
+    assert!(
+        t10 > 2.0 * t2,
+        "O throughput must scale: 2n={t2:.0} 10n={t10:.0}"
+    );
+}
+
+#[test]
+fn tiny_fifos_hurt_and_deep_fifos_saturate() {
+    // Fig 13: 1-entry FIFOs are slower; 5 entries ≈ unlimited. The paper
+    // measures this on the default 50/50 workload.
+    let spec = WorkloadSpec::ycsb_default()
+        .with_records(1024)
+        .with_requests_per_node(200);
+    let lat = |entries: Option<usize>| {
+        let cfg = SimConfig::paper_defaults().with_fifo_entries(entries);
+        driver::run(Arch::minos_o(), &cfg, synch(), &spec, 3)
+            .write_lat
+            .mean()
+    };
+    let one = lat(Some(1));
+    let five = lat(Some(5));
+    let unlimited = lat(None);
+    assert!(
+        one > unlimited,
+        "1-entry FIFO ({one:.0}) must be slower than unlimited ({unlimited:.0})"
+    );
+    assert!(
+        (five - unlimited).abs() / unlimited < 0.12,
+        "5 entries ({five:.0}) should match unlimited ({unlimited:.0})"
+    );
+    assert!(
+        one > 2.0 * five,
+        "1 entry ({one:.0}) must serialize far behind 5 ({five:.0})"
+    );
+}
+
+#[test]
+fn o_speedup_grows_with_persist_latency() {
+    // Fig 14 first group: speedups increase with the persist latency.
+    let spec = small_spec();
+    let speedup = |ns_per_kb: u64| {
+        let cfg = SimConfig::paper_defaults().with_persist_ns_per_kb(ns_per_kb);
+        let b = driver::run(Arch::baseline(), &cfg, synch(), &spec, 3);
+        let o = driver::run(Arch::minos_o(), &cfg, synch(), &spec, 3);
+        b.write_lat.mean() / o.write_lat.mean()
+    };
+    let fast = speedup(100);
+    let slow = speedup(100_000);
+    assert!(
+        slow > fast,
+        "speedup must grow with persist latency: 100ns→{fast:.2}, 100µs→{slow:.2}"
+    );
+}
+
+#[test]
+fn uniform_and_zipfian_both_converge() {
+    // Fig 14 second group: both distributions work; O wins in both.
+    let cfg = SimConfig::paper_defaults();
+    for dist in [KeyDist::Zipfian, KeyDist::Uniform] {
+        let spec = small_spec().with_dist(dist);
+        let b = driver::run(Arch::baseline(), &cfg, synch(), &spec, 3);
+        let o = driver::run(Arch::minos_o(), &cfg, synch(), &spec, 3);
+        assert!(b.writes > 0 && o.writes > 0);
+        assert!(o.write_lat.mean() < b.write_lat.mean(), "{dist:?}");
+    }
+}
+
+#[test]
+fn deathstar_o_improves_end_to_end_latency() {
+    // Fig 11: MINOS-O reduces Login end-to-end latency (35% on average in
+    // the paper; require *an* improvement here).
+    let mut cfg = SimConfig::paper_defaults().with_nodes(8);
+    cfg.datacenter_rtt_ns = 500_000;
+    use minos_workload::deathstar::App;
+    for app in [App::SocialNetwork, App::MediaMicroservices] {
+        let b = driver::run_deathstar(Arch::baseline(), &cfg, synch(), app, 2);
+        let o = driver::run_deathstar(Arch::minos_o(), &cfg, synch(), app, 2);
+        assert!(b.login_lat.count() > 0 && o.login_lat.count() > 0);
+        assert!(
+            o.login_lat.mean() < b.login_lat.mean(),
+            "{}: O ({:.0}) not faster than B ({:.0})",
+            app.label(),
+            o.login_lat.mean(),
+            b.login_lat.mean()
+        );
+    }
+}
+
+#[test]
+fn combined_is_the_big_win_in_the_ablation() {
+    // Fig 12 shape: B+bcast ≈ B; Combined ≪ B; MINOS-O ≤ Combined+batch.
+    let spec = WorkloadSpec::ycsb_default()
+        .with_records(64)
+        .with_write_fraction(1.0)
+        .with_requests_per_node(150);
+    let cfg = SimConfig::paper_defaults();
+    let lat = |arch: Arch| driver::run(arch, &cfg, synch(), &spec, 3).write_lat.mean();
+
+    let b = lat(Arch::baseline());
+    let b_bcast = lat(Arch::baseline().with_broadcast());
+    let combined = lat(Arch::offload());
+    let combined_batch = lat(Arch::offload().with_batching());
+    let o = lat(Arch::minos_o());
+
+    assert!(
+        (b_bcast - b).abs() / b < 0.15,
+        "B+bcast ({b_bcast:.0}) should be close to B ({b:.0})"
+    );
+    assert!(
+        combined < 0.75 * b,
+        "Combined ({combined:.0}) must cut B ({b:.0}) substantially"
+    );
+    assert!(
+        o < b * 0.65,
+        "MINOS-O ({o:.0}) must roughly halve B ({b:.0})"
+    );
+    assert!(
+        o <= combined_batch * 1.05,
+        "full O ({o:.0}) must not lose to Combined+batch ({combined_batch:.0})"
+    );
+}
+
+#[test]
+fn scope_model_runs_with_periodic_persists() {
+    let cfg = SimConfig::paper_defaults();
+    let spec = small_spec();
+    let model = DdpModel::lin(PersistencyModel::Scope);
+    let b = driver::run(Arch::baseline(), &cfg, model, &spec, 3);
+    assert!(b.writes > 0);
+    assert!(
+        b.persist_lat.count() > 0,
+        "Scope runs must issue [PERSIST]sc transactions"
+    );
+    let o = driver::run(Arch::minos_o(), &cfg, model, &spec, 3);
+    assert!(o.writes > 0 && o.persist_lat.count() > 0);
+}
+
+#[test]
+fn higher_write_fractions_reduce_read_count() {
+    let cfg = SimConfig::paper_defaults();
+    let r20 = driver::run(
+        Arch::baseline(),
+        &cfg,
+        synch(),
+        &small_spec().with_write_fraction(0.2),
+        3,
+    );
+    let r80 = driver::run(
+        Arch::baseline(),
+        &cfg,
+        synch(),
+        &small_spec().with_write_fraction(0.8),
+        3,
+    );
+    assert!(r20.reads > r80.reads);
+    assert!(r20.writes < r80.writes);
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let cfg = SimConfig::paper_defaults();
+    let a = driver::run(Arch::minos_o(), &cfg, synch(), &small_spec(), 11);
+    let b = driver::run(Arch::minos_o(), &cfg, synch(), &small_spec(), 11);
+    assert_eq!(a.write_lat, b.write_lat);
+    assert_eq!(a.makespan, b.makespan);
+}

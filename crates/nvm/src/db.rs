@@ -1,0 +1,120 @@
+//! The durable record database that log entries are applied to.
+
+use crate::log::LogEntry;
+use minos_types::{Key, Ts, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The durable (non-volatile) database: one `(Ts, Value)` per key.
+///
+/// §V-B-4: *"before the log entries are applied to the non-volatile
+/// database, they are checked for obsoleteness"* — [`NvmDatabase::apply`]
+/// silently skips entries older than the stored version.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NvmDatabase {
+    records: BTreeMap<Key, (Ts, Value)>,
+}
+
+impl NvmDatabase {
+    /// Creates an empty database.
+    #[must_use]
+    pub fn new() -> Self {
+        NvmDatabase::default()
+    }
+
+    /// Applies a log entry; returns true if it was newer than the stored
+    /// version (obsolete entries are skipped).
+    pub fn apply(&mut self, entry: LogEntry) -> bool {
+        match self.records.get(&entry.key) {
+            Some((cur, _)) if *cur >= entry.ts => false,
+            _ => {
+                self.records.insert(entry.key, (entry.ts, entry.value));
+                true
+            }
+        }
+    }
+
+    /// The durable version and value of `key`, if any write has persisted.
+    #[must_use]
+    pub fn get(&self, key: Key) -> Option<&(Ts, Value)> {
+        self.records.get(&key)
+    }
+
+    /// Number of durable records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no record has been persisted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over durable records.
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, &(Ts, Value))> {
+        self.records.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minos_types::NodeId;
+
+    fn entry(lsn: u64, key: u64, n: u16, v: u32, val: &str) -> LogEntry {
+        LogEntry {
+            lsn,
+            key: Key(key),
+            ts: Ts::new(NodeId(n), v),
+            value: Value::from(val.to_owned()),
+        }
+    }
+
+    #[test]
+    fn newer_entries_apply() {
+        let mut db = NvmDatabase::new();
+        assert!(db.apply(entry(0, 1, 0, 1, "a")));
+        assert!(db.apply(entry(1, 1, 0, 2, "b")));
+        assert_eq!(db.get(Key(1)).unwrap().1, "b");
+    }
+
+    #[test]
+    fn obsolete_entries_are_skipped() {
+        let mut db = NvmDatabase::new();
+        db.apply(entry(0, 1, 1, 5, "current"));
+        assert!(!db.apply(entry(1, 1, 0, 5, "tie-loser")));
+        assert!(!db.apply(entry(2, 1, 9, 4, "older")));
+        assert_eq!(db.get(Key(1)).unwrap().1, "current");
+    }
+
+    #[test]
+    fn replaying_a_log_is_idempotent() {
+        use crate::DurableLog;
+        let mut log = DurableLog::new();
+        log.append(Key(1), Ts::new(NodeId(0), 2), "x".into());
+        log.append(Key(1), Ts::new(NodeId(0), 1), "stale".into());
+        log.append(Key(2), Ts::new(NodeId(1), 1), "y".into());
+
+        let mut db = NvmDatabase::new();
+        for e in log.entries_since(0) {
+            db.apply(e);
+        }
+        let snapshot = db.clone();
+        for e in log.entries_since(0) {
+            db.apply(e);
+        }
+        assert_eq!(db, snapshot, "double replay changed state");
+        assert_eq!(db.get(Key(1)).unwrap().1, "x");
+    }
+
+    #[test]
+    fn len_tracks_distinct_keys() {
+        let mut db = NvmDatabase::new();
+        db.apply(entry(0, 1, 0, 1, "a"));
+        db.apply(entry(1, 1, 0, 2, "b"));
+        db.apply(entry(2, 2, 0, 1, "c"));
+        assert_eq!(db.len(), 2);
+    }
+}

@@ -1,0 +1,105 @@
+//! The persist-latency and accounting model.
+
+use serde::{Deserialize, Serialize};
+
+/// An emulated NVM device.
+///
+/// Latency follows the paper's constant-per-KB model (1295 ns/KB by
+/// default, the Table II calibration); Figure 14 sweeps this from 100 ns
+/// (future PMEM) to 100 µs (SSD block writes).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NvmDevice {
+    persist_ns_per_kb: u64,
+    ops: u64,
+    bytes: u64,
+}
+
+impl NvmDevice {
+    /// Creates a device with the paper's default latency.
+    #[must_use]
+    pub fn new() -> Self {
+        NvmDevice::with_latency(1295)
+    }
+
+    /// Creates a device persisting 1 KB in `ns_per_kb` nanoseconds.
+    #[must_use]
+    pub fn with_latency(ns_per_kb: u64) -> Self {
+        NvmDevice {
+            persist_ns_per_kb: ns_per_kb,
+            ops: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Latency to persist `bytes` bytes (64-byte line minimum).
+    #[must_use]
+    pub fn persist_ns(&self, bytes: u64) -> u64 {
+        let bytes = bytes.max(64);
+        (self.persist_ns_per_kb * bytes).div_ceil(1024)
+    }
+
+    /// Books a persist of `bytes` bytes and returns its latency.
+    pub fn persist(&mut self, bytes: u64) -> u64 {
+        self.ops += 1;
+        self.bytes += bytes;
+        self.persist_ns(bytes)
+    }
+
+    /// Total persists booked.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Total bytes persisted.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The configured per-KB latency.
+    #[must_use]
+    pub fn ns_per_kb(&self) -> u64 {
+        self.persist_ns_per_kb
+    }
+}
+
+impl Default for NvmDevice {
+    fn default() -> Self {
+        NvmDevice::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_calibration() {
+        let d = NvmDevice::new();
+        assert_eq!(d.persist_ns(1024), 1295);
+    }
+
+    #[test]
+    fn latency_scales_linearly() {
+        let d = NvmDevice::with_latency(1000);
+        assert_eq!(d.persist_ns(2048), 2000);
+        assert_eq!(d.persist_ns(512), 500);
+    }
+
+    #[test]
+    fn sub_line_writes_pay_a_full_line() {
+        let d = NvmDevice::with_latency(1024);
+        assert_eq!(d.persist_ns(1), d.persist_ns(64));
+        assert_eq!(d.persist_ns(64), 64);
+    }
+
+    #[test]
+    fn accounting_accumulates() {
+        let mut d = NvmDevice::new();
+        d.persist(1024);
+        d.persist(512);
+        assert_eq!(d.ops(), 2);
+        assert_eq!(d.bytes(), 1536);
+    }
+}

@@ -1,0 +1,43 @@
+//! Emulated non-volatile memory for the MINOS protocols.
+//!
+//! The paper's cluster has no real persistent-memory device; it emulates
+//! one with a calibrated latency (1295 ns per persisted KB, Table II).
+//! This crate does the same and adds the durable structures the protocols
+//! rely on:
+//!
+//! * [`NvmDevice`] — the latency/accounting model;
+//! * [`DurableLog`] — the append-only persist log (§III-B: *"the NVM can
+//!   be updated by writes out of order. This is acceptable because we use
+//!   a log structure for the persists"*), with sequence numbers so a
+//!   recovering node can be shipped "the log of all the updates that have
+//!   been committed since the time when F stopped responding" (§III-E);
+//! * [`NvmDatabase`] — the durable record store the log is applied to,
+//!   with the obsoleteness check the paper requires before application.
+//!
+//! # Example
+//!
+//! ```
+//! use minos_nvm::{DurableLog, NvmDatabase};
+//! use minos_types::{Key, NodeId, Ts};
+//!
+//! let mut log = DurableLog::new();
+//! log.append(Key(1), Ts::new(NodeId(0), 2), "new".into());
+//! log.append(Key(1), Ts::new(NodeId(1), 1), "old-out-of-order".into());
+//!
+//! let mut db = NvmDatabase::new();
+//! for e in log.entries_since(0) {
+//!     db.apply(e); // obsolete entries are skipped
+//! }
+//! assert_eq!(db.get(Key(1)).unwrap().1, "new");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod db;
+mod device;
+mod log;
+
+pub use db::NvmDatabase;
+pub use device::NvmDevice;
+pub use log::{DurableLog, LogEntry, Lsn};

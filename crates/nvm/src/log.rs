@@ -1,0 +1,168 @@
+//! The durable, append-only persist log.
+
+use minos_types::{Key, Ts, Value};
+use serde::{Deserialize, Serialize};
+
+/// Log sequence number: position of an entry in the durable log.
+pub type Lsn = u64;
+
+/// One persisted update.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// Sequence number (dense, starting at 0).
+    pub lsn: Lsn,
+    /// Record key.
+    pub key: Key,
+    /// The write's timestamp.
+    pub ts: Ts,
+    /// Persisted value.
+    pub value: Value,
+}
+
+/// An append-only log of persisted updates.
+///
+/// Entries may be appended out of timestamp order (§III-B); obsoleteness
+/// is resolved when the log is applied to the [`crate::NvmDatabase`].
+/// Recovery (§III-E) ships `entries_since(lsn)` to a rejoining node.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DurableLog {
+    entries: Vec<LogEntry>,
+    /// LSNs below this have been compacted away (their effects are fully
+    /// reflected in the durable database).
+    compacted_to: Lsn,
+}
+
+impl DurableLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        DurableLog::default()
+    }
+
+    /// Appends an update; returns its LSN.
+    pub fn append(&mut self, key: Key, ts: Ts, value: Value) -> Lsn {
+        let lsn = self.compacted_to + self.entries.len() as Lsn;
+        self.entries.push(LogEntry {
+            lsn,
+            key,
+            ts,
+            value,
+        });
+        lsn
+    }
+
+    /// The next LSN that will be assigned.
+    #[must_use]
+    pub fn head(&self) -> Lsn {
+        self.compacted_to + self.entries.len() as Lsn
+    }
+
+    /// Entries with `lsn >= from` (the recovery shipping unit).
+    #[must_use]
+    pub fn entries_since(&self, from: Lsn) -> Vec<LogEntry> {
+        let start = from.saturating_sub(self.compacted_to) as usize;
+        self.entries.get(start.min(self.entries.len())..)
+            .unwrap_or(&[])
+            .to_vec()
+    }
+
+    /// Drops entries below `upto` once their effects are known durable in
+    /// the database.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upto` exceeds [`DurableLog::head`].
+    pub fn compact(&mut self, upto: Lsn) {
+        assert!(upto <= self.head(), "cannot compact past the head");
+        if upto <= self.compacted_to {
+            return;
+        }
+        let drop = (upto - self.compacted_to) as usize;
+        self.entries.drain(..drop);
+        self.compacted_to = upto;
+    }
+
+    /// Number of live (uncompacted) entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no live entries remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over live entries in LSN order.
+    pub fn iter(&self) -> impl Iterator<Item = &LogEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minos_types::NodeId;
+
+    fn ts(n: u16, v: u32) -> Ts {
+        Ts::new(NodeId(n), v)
+    }
+
+    #[test]
+    fn lsns_are_dense() {
+        let mut log = DurableLog::new();
+        assert_eq!(log.append(Key(1), ts(0, 1), "a".into()), 0);
+        assert_eq!(log.append(Key(2), ts(0, 2), "b".into()), 1);
+        assert_eq!(log.head(), 2);
+    }
+
+    #[test]
+    fn entries_since_slices_correctly() {
+        let mut log = DurableLog::new();
+        for i in 0..5u32 {
+            log.append(Key(1), ts(0, i + 1), format!("{i}").into());
+        }
+        let tail = log.entries_since(3);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].lsn, 3);
+        assert!(log.entries_since(99).is_empty());
+        assert_eq!(log.entries_since(0).len(), 5);
+    }
+
+    #[test]
+    fn compaction_preserves_lsns() {
+        let mut log = DurableLog::new();
+        for i in 0..5u32 {
+            log.append(Key(1), ts(0, i + 1), "x".into());
+        }
+        log.compact(3);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.entries_since(0)[0].lsn, 3, "compacted prefix gone");
+        assert_eq!(log.append(Key(1), ts(0, 9), "y".into()), 5);
+    }
+
+    #[test]
+    fn compact_is_idempotent() {
+        let mut log = DurableLog::new();
+        log.append(Key(1), ts(0, 1), "x".into());
+        log.compact(1);
+        log.compact(1);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot compact past the head")]
+    fn compact_past_head_panics() {
+        let mut log = DurableLog::new();
+        log.compact(1);
+    }
+
+    #[test]
+    fn out_of_order_timestamps_are_accepted() {
+        let mut log = DurableLog::new();
+        log.append(Key(1), ts(0, 5), "newer".into());
+        log.append(Key(1), ts(0, 3), "older".into());
+        assert_eq!(log.len(), 2, "log keeps both; db apply resolves");
+    }
+}

@@ -1,0 +1,213 @@
+//! Bounded-FIFO occupancy model for the MINOS-O vFIFO/dFIFO.
+
+use crate::{Resource, Time};
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+
+/// Outcome of enqueueing into a [`BoundedFifo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FifoOutcome {
+    /// When the writer obtained a slot (equals the request time unless the
+    /// FIFO was full — backpressure).
+    pub slot_at: Time,
+    /// When the entry finished being written into the FIFO (the write is
+    /// *durable* at this point for the dFIFO).
+    pub enqueued_at: Time,
+    /// When the hardware finished draining the entry (to the host LLC for
+    /// the vFIFO, to the host NVM log for the dFIFO).
+    pub drained_at: Time,
+}
+
+/// Occupancy model of a bounded hardware FIFO with a drain engine.
+///
+/// An entry occupies a slot from the moment its write begins until its
+/// drain completes. When all `capacity` slots are busy, a new enqueue
+/// stalls until the oldest entry drains — this is the backpressure that
+/// the Figure 13 sensitivity sweep measures. `capacity = None` models the
+/// paper's "unlimited entries" reference bar.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BoundedFifo {
+    capacity: Option<usize>,
+    /// Drain-completion times of entries currently occupying slots
+    /// (min-heap via `Reverse` ordering).
+    occupied: BinaryHeap<std::cmp::Reverse<Time>>,
+    /// Serializes drains when `parallel_drain` is false.
+    drain_engine: Resource,
+    /// §V-B-4: "Dequeueing can be done in parallel for updates to
+    /// different records" — when true (the MINOS-O configuration), each
+    /// entry drains independently and only slot occupancy limits
+    /// parallelism.
+    parallel_drain: bool,
+}
+
+impl BoundedFifo {
+    /// Creates a FIFO with `capacity` slots (`None` = unbounded) and
+    /// parallel drains (the MINOS-O hardware).
+    #[must_use]
+    pub fn new(capacity: Option<usize>) -> Self {
+        BoundedFifo {
+            capacity,
+            occupied: BinaryHeap::new(),
+            drain_engine: Resource::new(),
+            parallel_drain: true,
+        }
+    }
+
+    /// Creates a FIFO whose head drains one entry at a time.
+    #[must_use]
+    pub fn new_serial(capacity: Option<usize>) -> Self {
+        BoundedFifo {
+            parallel_drain: false,
+            ..BoundedFifo::new(capacity)
+        }
+    }
+
+    /// Enqueues an entry at time `now`. The write into the FIFO takes
+    /// `write_latency`; the later drain takes `drain_latency`.
+    pub fn enqueue(&mut self, now: Time, write_latency: Time, drain_latency: Time) -> FifoOutcome {
+        // Backpressure: wait for a slot if the FIFO is full.
+        let slot_at = match self.capacity {
+            Some(cap) if self.occupied.len() >= cap => {
+                // Pop drained entries that have already freed their slots.
+                let mut t = now;
+                while self.occupied.len() >= cap {
+                    let std::cmp::Reverse(freed) =
+                        self.occupied.pop().expect("len >= cap > 0 entries");
+                    t = t.max(freed);
+                }
+                t
+            }
+            _ => now,
+        };
+        // Also retire any entries that drained before `slot_at`, keeping
+        // the heap small on long runs.
+        while let Some(&std::cmp::Reverse(fr)) = self.occupied.peek() {
+            if fr <= slot_at {
+                self.occupied.pop();
+            } else {
+                break;
+            }
+        }
+
+        let enqueued_at = slot_at + write_latency;
+        let drained_at = if self.parallel_drain {
+            enqueued_at + drain_latency
+        } else {
+            self.drain_engine.acquire(enqueued_at, drain_latency)
+        };
+        self.occupied.push(std::cmp::Reverse(drained_at));
+        FifoOutcome {
+            slot_at,
+            enqueued_at,
+            drained_at,
+        }
+    }
+
+    /// Entries whose drains have not completed by `now`.
+    #[must_use]
+    pub fn occupancy(&self, now: Time) -> usize {
+        self.occupied
+            .iter()
+            .filter(|std::cmp::Reverse(t)| *t > now)
+            .count()
+    }
+
+    /// The configured capacity (`None` = unbounded).
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_fifo_never_backpressures() {
+        let mut f = BoundedFifo::new(None);
+        for i in 0..100 {
+            let o = f.enqueue(i, 10, 1000);
+            assert_eq!(o.slot_at, i, "no stall expected");
+        }
+    }
+
+    #[test]
+    fn single_entry_fifo_serializes_writes() {
+        let mut f = BoundedFifo::new(Some(1));
+        let a = f.enqueue(0, 10, 100);
+        assert_eq!(a.slot_at, 0);
+        assert_eq!(a.enqueued_at, 10);
+        assert_eq!(a.drained_at, 110);
+        // The second entry cannot take the slot until the first drains.
+        let b = f.enqueue(0, 10, 100);
+        assert_eq!(b.slot_at, 110);
+        assert_eq!(b.drained_at, 220);
+    }
+
+    #[test]
+    fn deep_fifo_absorbs_bursts() {
+        let mut shallow = BoundedFifo::new(Some(1));
+        let mut deep = BoundedFifo::new(Some(8));
+        let mut last_shallow = 0;
+        let mut last_deep = 0;
+        for _ in 0..8 {
+            last_shallow = shallow.enqueue(0, 10, 100).enqueued_at;
+            last_deep = deep.enqueue(0, 10, 100).enqueued_at;
+        }
+        assert!(
+            last_deep < last_shallow,
+            "deeper FIFO must absorb the burst: {last_deep} vs {last_shallow}"
+        );
+    }
+
+    #[test]
+    fn parallel_drains_overlap() {
+        let mut f = BoundedFifo::new(Some(10));
+        let a = f.enqueue(0, 0, 100);
+        let b = f.enqueue(0, 0, 100);
+        assert_eq!(a.drained_at, 100);
+        assert_eq!(b.drained_at, 100, "different records drain in parallel");
+    }
+
+    #[test]
+    fn serial_drains_queue_behind_each_other() {
+        let mut f = BoundedFifo::new_serial(Some(10));
+        let a = f.enqueue(0, 0, 100);
+        let b = f.enqueue(0, 0, 100);
+        assert_eq!(a.drained_at, 100);
+        assert_eq!(b.drained_at, 200, "head-of-queue drain order");
+    }
+
+    #[test]
+    fn occupancy_reflects_in_flight_entries() {
+        let mut f = BoundedFifo::new_serial(Some(4));
+        f.enqueue(0, 0, 100);
+        f.enqueue(0, 0, 100); // serial drain: done at 200
+        assert_eq!(f.occupancy(50), 2);
+        assert_eq!(f.occupancy(150), 1);
+        assert_eq!(f.occupancy(500), 0);
+    }
+
+    #[test]
+    fn occupancy_with_parallel_drains() {
+        let mut f = BoundedFifo::new(Some(4));
+        f.enqueue(0, 0, 100);
+        f.enqueue(0, 0, 100); // parallel drain: both done at 100
+        assert_eq!(f.occupancy(50), 2);
+        assert_eq!(f.occupancy(150), 0);
+    }
+
+    #[test]
+    fn bounded_matches_unbounded_when_load_is_light() {
+        let mut bounded = BoundedFifo::new(Some(5));
+        let mut unbounded = BoundedFifo::new(None);
+        // Arrivals spaced wider than the drain time: no queueing at all.
+        for i in 0..20u64 {
+            let t = i * 1000;
+            let b = bounded.enqueue(t, 10, 100);
+            let u = unbounded.enqueue(t, 10, 100);
+            assert_eq!(b, u);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The time-ordered event heap.
+
+use crate::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// Events scheduled for the same instant pop in insertion order, making
+/// whole-simulation runs reproducible regardless of payload type.
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: Time,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+        }
+    }
+
+    /// The time of the most recently popped event.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to `now` (a zero-latency hop
+    /// cannot reorder before already-processed events).
+    pub fn schedule(&mut self, at: Time, payload: E) {
+        let time = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Schedules `payload` at `now + delay`.
+    pub fn schedule_in(&mut self, delay: Time, payload: E) {
+        self.schedule(self.now + delay, payload);
+    }
+
+    /// Pops the earliest event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|e| {
+            self.now = e.time;
+            (e.time, e.payload)
+        })
+    }
+
+    /// Timestamp of the next event without popping it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, 3);
+        q.schedule(10, 1);
+        q.schedule(20, 2);
+        assert_eq!(q.pop(), Some((10, 1)));
+        assert_eq!(q.pop(), Some((20, 2)));
+        assert_eq!(q.pop(), Some((30, 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(7, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(50, ());
+        assert_eq!(q.now(), 0);
+        q.pop();
+        assert_eq!(q.now(), 50);
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(100, "late");
+        q.pop();
+        q.schedule(10, "early"); // in the past
+        assert_eq!(q.pop(), Some((100, "early")));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(40, "a");
+        q.pop();
+        q.schedule_in(5, "b");
+        assert_eq!(q.pop(), Some((45, "b")));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1, ());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(1));
+    }
+}

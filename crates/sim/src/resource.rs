@@ -1,0 +1,143 @@
+//! Serializing resources: single-server and N-server occupancy models.
+
+use crate::Time;
+use serde::{Deserialize, Serialize};
+
+/// A single-server serializing resource.
+///
+/// Models anything that processes one job at a time — a network link's
+/// serialization, a NIC send engine, an NVM write port. `acquire(now, d)`
+/// starts the job at `max(now, next_free)` and returns its completion
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Resource {
+    next_free: Time,
+}
+
+impl Resource {
+    /// A resource that is free at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Resource::default()
+    }
+
+    /// Occupies the resource for `duration` starting no earlier than
+    /// `now`; returns the completion time.
+    pub fn acquire(&mut self, now: Time, duration: Time) -> Time {
+        let start = now.max(self.next_free);
+        self.next_free = start + duration;
+        self.next_free
+    }
+
+    /// When the resource next becomes free.
+    #[must_use]
+    pub fn next_free(&self) -> Time {
+        self.next_free
+    }
+
+    /// Fraction-free check used by admission control: whether a job
+    /// arriving at `now` would start immediately.
+    #[must_use]
+    pub fn idle_at(&self, now: Time) -> bool {
+        self.next_free <= now
+    }
+}
+
+/// An N-server resource: jobs start on the earliest-free server.
+///
+/// Models a pool of host or SmartNIC cores: the paper's hosts keep 5 cores
+/// busy and the BlueField-derived SmartNIC has 8.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CorePool {
+    cores: Vec<Time>,
+}
+
+impl CorePool {
+    /// Creates a pool of `n` cores, all free at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a pool needs at least one core");
+        CorePool { cores: vec![0; n] }
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Always false (the constructor requires n > 0); present for
+    /// `len`/`is_empty` pairing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cores.is_empty()
+    }
+
+    /// Runs a `duration`-long job on the earliest-available core starting
+    /// no earlier than `now`; returns the completion time.
+    pub fn acquire(&mut self, now: Time, duration: Time) -> Time {
+        let idx = self
+            .cores
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .map(|(i, _)| i)
+            .expect("pool is non-empty");
+        let start = now.max(self.cores[idx]);
+        self.cores[idx] = start + duration;
+        self.cores[idx]
+    }
+
+    /// Number of cores that would be idle at `now`.
+    #[must_use]
+    pub fn idle_cores(&self, now: Time) -> usize {
+        self.cores.iter().filter(|&&t| t <= now).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_serializes_back_to_back() {
+        let mut r = Resource::new();
+        assert_eq!(r.acquire(0, 100), 100);
+        assert_eq!(r.acquire(0, 100), 200);
+        assert_eq!(r.acquire(500, 100), 600, "idle gap honored");
+    }
+
+    #[test]
+    fn resource_idle_check() {
+        let mut r = Resource::new();
+        r.acquire(0, 100);
+        assert!(!r.idle_at(50));
+        assert!(r.idle_at(100));
+    }
+
+    #[test]
+    fn pool_runs_jobs_in_parallel_up_to_width() {
+        let mut p = CorePool::new(2);
+        assert_eq!(p.acquire(0, 100), 100);
+        assert_eq!(p.acquire(0, 100), 100, "second core in parallel");
+        assert_eq!(p.acquire(0, 100), 200, "third job queues");
+    }
+
+    #[test]
+    fn pool_counts_idle_cores() {
+        let mut p = CorePool::new(3);
+        p.acquire(0, 50);
+        assert_eq!(p.idle_cores(0), 2);
+        assert_eq!(p.idle_cores(50), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn empty_pool_panics() {
+        let _ = CorePool::new(0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Latency statistics for the benchmark harness.
+
+use crate::Time;
+use serde::{Deserialize, Serialize};
+
+/// A latency recorder with exact percentiles (samples are retained; the
+/// experiments record at most a few hundred thousand points).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    samples: Vec<Time>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyStats::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, v: Time) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&v| v as f64).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// The `q`-quantile (0.0–1.0) by nearest-rank; 0 when empty.
+    #[must_use]
+    pub fn quantile(&mut self, q: f64) -> Time {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((self.samples.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        self.samples[rank]
+    }
+
+    /// Median.
+    #[must_use]
+    pub fn p50(&mut self) -> Time {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    #[must_use]
+    pub fn p99(&mut self) -> Time {
+        self.quantile(0.99)
+    }
+
+    /// Maximum sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> Time {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Minimum sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> Time {
+        self.samples.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Merges another recorder's samples into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(vals: &[Time]) -> LatencyStats {
+        let mut s = LatencyStats::new();
+        for &v in vals {
+            s.record(v);
+        }
+        s
+    }
+
+    #[test]
+    fn mean_of_known_samples() {
+        let s = filled(&[10, 20, 30]);
+        assert!((s.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_exact_on_small_sets() {
+        let mut s = filled(&[5, 1, 3, 2, 4]);
+        assert_eq!(s.p50(), 3);
+        assert_eq!(s.quantile(0.0), 1);
+        assert_eq!(s.quantile(1.0), 5);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let mut s = LatencyStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.max(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn merge_combines_sample_sets() {
+        let mut a = filled(&[1, 2]);
+        let b = filled(&[3, 4]);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.max(), 4);
+    }
+
+    #[test]
+    fn recording_after_quantile_resorts() {
+        let mut s = filled(&[10, 20]);
+        let _ = s.p50();
+        s.record(1);
+        assert_eq!(s.quantile(0.0), 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of the DES kernel invariants.
+
+use minos_sim::{BoundedFifo, CorePool, EventQueue, LatencyStats, Resource};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn event_queue_pops_in_nondecreasing_time_order(
+        times in proptest::collection::vec(0u64..1_000_000, 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut last = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn event_queue_preserves_fifo_within_a_timestamp(
+        n in 1usize..100
+    ) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(42, i);
+        }
+        for i in 0..n {
+            prop_assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn resource_never_overlaps_jobs(
+        jobs in proptest::collection::vec((0u64..10_000, 1u64..500), 1..100)
+    ) {
+        let mut r = Resource::new();
+        let mut prev_end = 0u64;
+        // Jobs submitted in arrival order: completions must be
+        // nondecreasing and each job takes at least its duration.
+        let mut sorted = jobs.clone();
+        sorted.sort_unstable();
+        for (arrive, dur) in sorted {
+            let end = r.acquire(arrive, dur);
+            prop_assert!(end >= arrive + dur);
+            prop_assert!(end >= prev_end + dur);
+            prev_end = end;
+        }
+    }
+
+    #[test]
+    fn core_pool_beats_single_resource(
+        jobs in proptest::collection::vec(1u64..500, 2..50)
+    ) {
+        // An N-core pool must finish a batch no later than one core.
+        let mut pool = CorePool::new(4);
+        let mut single = Resource::new();
+        let mut pool_last = 0;
+        let mut single_last = 0;
+        for &d in &jobs {
+            pool_last = pool_last.max(pool.acquire(0, d));
+            single_last = single_last.max(single.acquire(0, d));
+        }
+        prop_assert!(pool_last <= single_last);
+    }
+
+    #[test]
+    fn bounded_fifo_outcomes_are_ordered(
+        arrivals in proptest::collection::vec(0u64..100_000, 1..100),
+        cap in 1usize..8,
+        write in 1u64..2_000,
+        drain in 0u64..3_000,
+    ) {
+        let mut sorted = arrivals.clone();
+        sorted.sort_unstable();
+        let mut f = BoundedFifo::new(Some(cap));
+        for t in sorted {
+            let o = f.enqueue(t, write, drain);
+            prop_assert!(o.slot_at >= t);
+            prop_assert_eq!(o.enqueued_at, o.slot_at + write);
+            prop_assert!(o.drained_at >= o.enqueued_at + drain);
+        }
+    }
+
+    #[test]
+    fn bounded_fifo_never_exceeds_capacity(
+        arrivals in proptest::collection::vec(0u64..10_000, 1..100),
+        cap in 1usize..6,
+    ) {
+        let mut sorted = arrivals.clone();
+        sorted.sort_unstable();
+        let mut f = BoundedFifo::new(Some(cap));
+        for t in sorted {
+            let o = f.enqueue(t, 100, 500);
+            // Occupancy measured just after the slot grant never exceeds
+            // the configured capacity.
+            prop_assert!(f.occupancy(o.slot_at) <= cap, "over capacity");
+        }
+    }
+
+    #[test]
+    fn latency_stats_quantiles_are_order_statistics(
+        samples in proptest::collection::vec(0u64..1_000_000, 1..500)
+    ) {
+        let mut s = LatencyStats::new();
+        for &v in &samples {
+            s.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(s.quantile(0.0), sorted[0]);
+        prop_assert_eq!(s.quantile(1.0), *sorted.last().unwrap());
+        prop_assert_eq!(s.min(), sorted[0]);
+        prop_assert_eq!(s.max(), *sorted.last().unwrap());
+        let mean = s.mean();
+        prop_assert!(mean >= sorted[0] as f64 && mean <= *sorted.last().unwrap() as f64);
+    }
+}

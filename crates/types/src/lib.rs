@@ -1,0 +1,50 @@
+//! Common types for the MINOS Distributed Data Persistency (DDP) protocol
+//! suite.
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace:
+//!
+//! * [`Ts`] — logical timestamps (`<node_id, version>` tuples, ordered by
+//!   version then node id), exactly as in Figure 1(b) of the paper;
+//! * [`RecordMeta`] — the per-record metadata of Figure 1(a):
+//!   `RDLock_Owner`, `WRLock`, `volatileTS`, `glb_volatileTS`,
+//!   `glb_durableTS`;
+//! * [`Message`] — every protocol message of Table I's type-check set
+//!   (`INV`, `ACK`, `ACK_C`, `ACK_P`, `VAL`, `VAL_C`, `VAL_P`, the
+//!   scope-tagged variants, and `[PERSIST]sc`);
+//! * [`PersistencyModel`] / [`DdpModel`] — the five persistency models
+//!   combined with Linearizable consistency;
+//! * [`ClusterConfig`] / [`SimConfig`] — the Table II and Table III
+//!   parameter sets.
+//!
+//! # Example
+//!
+//! ```
+//! use minos_types::{Ts, NodeId};
+//!
+//! let older = Ts::new(NodeId(3), 7);
+//! let newer = Ts::new(NodeId(0), 8);
+//! assert!(newer > older, "version dominates node id");
+//!
+//! let tie_a = Ts::new(NodeId(1), 7);
+//! let tie_b = Ts::new(NodeId(2), 7);
+//! assert!(tie_b > tie_a, "ties break on node id");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod message;
+mod model;
+mod record;
+mod ts;
+pub mod wire;
+
+pub use config::{ClusterConfig, SimConfig};
+pub use error::{MinosError, Result};
+pub use message::{Message, MessageKind, ScopeId};
+pub use model::{ConsistencyModel, DdpModel, PersistencyModel};
+pub use record::{Record, RecordMeta};
+pub use ts::{Key, NodeId, Ts, Value, TS_UNLOCKED};

@@ -1,0 +1,325 @@
+//! Protocol messages exchanged between Coordinator and Followers.
+
+use crate::{Key, Ts, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a scope in the `<Lin, Scope>` model.
+///
+/// Scopes are per-coordinator: the pair `(coordinator NodeId, ScopeId)` is
+/// globally unique, so messages carry only the `ScopeId` and the sender.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ScopeId(pub u32);
+
+impl fmt::Display for ScopeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sc{}", self.0)
+    }
+}
+
+/// Every message type of the MINOS protocols — the legal-message set that
+/// Table I's type check 4(a) enumerates.
+///
+/// Messages in the `<Lin, Scope>` model carry `scope: Some(sc)` and
+/// correspond to the paper's `[INV]sc`, `[ACK_C]sc`, … notation; in all
+/// other models `scope` is `None`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Message {
+    /// Invalidation: carries the new data; invalidates the previous version
+    /// at the follower.
+    Inv {
+        /// Record being written.
+        key: Key,
+        /// The write's `TS_WR`.
+        ts: Ts,
+        /// New record payload.
+        value: Value,
+        /// Scope tag (`[INV]sc`) under `<Lin, Scope>`.
+        scope: Option<ScopeId>,
+    },
+    /// Combined consistency+persistency acknowledgment (Synchronous model).
+    Ack {
+        /// Record being written.
+        key: Key,
+        /// The write's `TS_WR`.
+        ts: Ts,
+    },
+    /// Consistency acknowledgment (split-ack models).
+    AckC {
+        /// Record being written.
+        key: Key,
+        /// The write's `TS_WR`.
+        ts: Ts,
+        /// Scope tag (`[ACK_C]sc`) under `<Lin, Scope>`.
+        scope: Option<ScopeId>,
+    },
+    /// Persistency acknowledgment (Strict and Read-Enforced).
+    AckP {
+        /// Record being written.
+        key: Key,
+        /// The write's `TS_WR`.
+        ts: Ts,
+    },
+    /// Combined validation, marking transaction completion (Synchronous and
+    /// Read-Enforced use a single VAL type).
+    Val {
+        /// Record being written.
+        key: Key,
+        /// The write's `TS_WR`.
+        ts: Ts,
+    },
+    /// Consistency validation (Strict, Eventual, Scope).
+    ValC {
+        /// Record being written.
+        key: Key,
+        /// The write's `TS_WR`.
+        ts: Ts,
+        /// Scope tag (`[VAL_C]sc`) under `<Lin, Scope>`.
+        scope: Option<ScopeId>,
+    },
+    /// Persistency validation (Strict).
+    ValP {
+        /// Record being written.
+        key: Key,
+        /// The write's `TS_WR`.
+        ts: Ts,
+    },
+    /// `[PERSIST]sc`: flush every write in scope `scope` (Scope model).
+    Persist {
+        /// The scope to flush.
+        scope: ScopeId,
+    },
+    /// `[ACK_P]sc`: the follower has persisted all writes of the scope.
+    PersistAckP {
+        /// The scope that was flushed.
+        scope: ScopeId,
+    },
+    /// `[VAL_P]sc`: terminates the `[PERSIST]sc` transaction.
+    PersistValP {
+        /// The scope that was flushed.
+        scope: ScopeId,
+    },
+    /// Partial-replication extension: a node that holds no replica of
+    /// `key` forwards the read to one that does.
+    ReadReq {
+        /// Record to read.
+        key: Key,
+        /// Forwarder-local token correlating the response.
+        token: u64,
+    },
+    /// Partial-replication extension: the replica's reply to a
+    /// [`Message::ReadReq`], served under the same RDLock discipline as a
+    /// local read.
+    ReadResp {
+        /// Record read.
+        key: Key,
+        /// Token from the request.
+        token: u64,
+        /// Observed value.
+        value: Value,
+        /// Observed version.
+        ts: Ts,
+    },
+}
+
+/// Discriminant of [`Message`], used for statistics and type checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum MessageKind {
+    Inv,
+    Ack,
+    AckC,
+    AckP,
+    Val,
+    ValC,
+    ValP,
+    Persist,
+    PersistAckP,
+    PersistValP,
+    ReadReq,
+    ReadResp,
+}
+
+impl Message {
+    /// The message's kind.
+    #[must_use]
+    pub fn kind(&self) -> MessageKind {
+        match self {
+            Message::Inv { .. } => MessageKind::Inv,
+            Message::Ack { .. } => MessageKind::Ack,
+            Message::AckC { .. } => MessageKind::AckC,
+            Message::AckP { .. } => MessageKind::AckP,
+            Message::Val { .. } => MessageKind::Val,
+            Message::ValC { .. } => MessageKind::ValC,
+            Message::ValP { .. } => MessageKind::ValP,
+            Message::Persist { .. } => MessageKind::Persist,
+            Message::PersistAckP { .. } => MessageKind::PersistAckP,
+            Message::PersistValP { .. } => MessageKind::PersistValP,
+            Message::ReadReq { .. } => MessageKind::ReadReq,
+            Message::ReadResp { .. } => MessageKind::ReadResp,
+        }
+    }
+
+    /// Approximate wire size in bytes, used by the timing models.
+    ///
+    /// Control messages are modeled as a 32-byte header; `INV` additionally
+    /// carries the record payload.
+    #[must_use]
+    pub fn wire_bytes(&self) -> u64 {
+        const HEADER: u64 = 32;
+        match self {
+            Message::Inv { value, .. } | Message::ReadResp { value, .. } => {
+                HEADER + value.len() as u64
+            }
+            _ => HEADER,
+        }
+    }
+
+    /// The key this message concerns, if it is a per-record message.
+    #[must_use]
+    pub fn key(&self) -> Option<Key> {
+        match self {
+            Message::Inv { key, .. }
+            | Message::Ack { key, .. }
+            | Message::AckC { key, .. }
+            | Message::AckP { key, .. }
+            | Message::Val { key, .. }
+            | Message::ValC { key, .. }
+            | Message::ValP { key, .. }
+            | Message::ReadReq { key, .. }
+            | Message::ReadResp { key, .. } => Some(*key),
+            _ => None,
+        }
+    }
+
+    /// The write timestamp this message carries, if any.
+    #[must_use]
+    pub fn ts(&self) -> Option<Ts> {
+        match self {
+            Message::Inv { ts, .. }
+            | Message::Ack { ts, .. }
+            | Message::AckC { ts, .. }
+            | Message::AckP { ts, .. }
+            | Message::Val { ts, .. }
+            | Message::ValC { ts, .. }
+            | Message::ValP { ts, .. } => Some(*ts),
+            _ => None,
+        }
+    }
+
+    /// Whether this is an acknowledgment flowing Follower → Coordinator.
+    #[must_use]
+    pub fn is_ack(&self) -> bool {
+        matches!(
+            self.kind(),
+            MessageKind::Ack | MessageKind::AckC | MessageKind::AckP | MessageKind::PersistAckP
+        )
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Message::Inv { key, ts, scope, .. } => match scope {
+                Some(sc) => write!(f, "[INV]{sc}({key},{ts})"),
+                None => write!(f, "INV({key},{ts})"),
+            },
+            Message::Ack { key, ts } => write!(f, "ACK({key},{ts})"),
+            Message::AckC { key, ts, scope } => match scope {
+                Some(sc) => write!(f, "[ACK_C]{sc}({key},{ts})"),
+                None => write!(f, "ACK_C({key},{ts})"),
+            },
+            Message::AckP { key, ts } => write!(f, "ACK_P({key},{ts})"),
+            Message::Val { key, ts } => write!(f, "VAL({key},{ts})"),
+            Message::ValC { key, ts, scope } => match scope {
+                Some(sc) => write!(f, "[VAL_C]{sc}({key},{ts})"),
+                None => write!(f, "VAL_C({key},{ts})"),
+            },
+            Message::ValP { key, ts } => write!(f, "VAL_P({key},{ts})"),
+            Message::Persist { scope } => write!(f, "[PERSIST]{scope}"),
+            Message::PersistAckP { scope } => write!(f, "[ACK_P]{scope}"),
+            Message::PersistValP { scope } => write!(f, "[VAL_P]{scope}"),
+            Message::ReadReq { key, token } => write!(f, "READ_REQ({key},#{token})"),
+            Message::ReadResp { key, token, ts, .. } => {
+                write!(f, "READ_RESP({key},#{token},{ts})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+    use bytes::Bytes;
+
+    fn inv(len: usize) -> Message {
+        Message::Inv {
+            key: Key(1),
+            ts: Ts::new(NodeId(0), 1),
+            value: Bytes::from(vec![0u8; len]),
+            scope: None,
+        }
+    }
+
+    #[test]
+    fn inv_wire_size_includes_payload() {
+        assert_eq!(inv(1024).wire_bytes(), 32 + 1024);
+        assert_eq!(
+            Message::Ack {
+                key: Key(1),
+                ts: Ts::zero()
+            }
+            .wire_bytes(),
+            32
+        );
+    }
+
+    #[test]
+    fn kind_roundtrip() {
+        assert_eq!(inv(0).kind(), MessageKind::Inv);
+        assert_eq!(
+            Message::Persist { scope: ScopeId(3) }.kind(),
+            MessageKind::Persist
+        );
+    }
+
+    #[test]
+    fn ack_classification() {
+        assert!(Message::Ack {
+            key: Key(0),
+            ts: Ts::zero()
+        }
+        .is_ack());
+        assert!(Message::PersistAckP { scope: ScopeId(0) }.is_ack());
+        assert!(!inv(0).is_ack());
+        assert!(!Message::Val {
+            key: Key(0),
+            ts: Ts::zero()
+        }
+        .is_ack());
+    }
+
+    #[test]
+    fn scope_messages_have_no_key() {
+        assert_eq!(Message::Persist { scope: ScopeId(1) }.key(), None);
+        assert_eq!(inv(0).key(), Some(Key(1)));
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let m = Message::Inv {
+            key: Key(2),
+            ts: Ts::new(NodeId(1), 4),
+            value: Bytes::new(),
+            scope: Some(ScopeId(7)),
+        };
+        assert_eq!(m.to_string(), "[INV]sc7(k2,<n1,v4>)");
+        assert_eq!(
+            Message::Persist { scope: ScopeId(7) }.to_string(),
+            "[PERSIST]sc7"
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Consistency, persistency, and combined DDP model enums.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Distributed data consistency models.
+///
+/// The paper (and therefore this reproduction) develops detailed algorithms
+/// only for [`ConsistencyModel::Linearizable`]; the enum exists so that the
+/// configuration surface matches the DDP framework of Kokolis et al., which
+/// the paper builds on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ConsistencyModel {
+    /// Total order of writes; reads/writes ordered by timestamps. A write
+    /// response returns only when all volatile replicas have been updated.
+    #[default]
+    Linearizable,
+}
+
+impl fmt::Display for ConsistencyModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsistencyModel::Linearizable => write!(f, "Lin"),
+        }
+    }
+}
+
+/// The five persistency models of §II-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PersistencyModel {
+    /// Synchronous: a write persists when the local volatile replica is
+    /// updated; a single ACK/VAL pair covers both consistency and
+    /// persistency.
+    Synchronous,
+    /// Strict: the write is persisted in all replica nodes by the time the
+    /// response returns; consistency and persistency are decoupled into
+    /// ACK_C/ACK_P and VAL_C/VAL_P.
+    Strict,
+    /// Read-Enforced: all updated replicas are persisted by the time any of
+    /// them is read; the write response returns after all ACK_Cs, but reads
+    /// are enabled (VALs sent / RDLock released) only after all ACK_Ps.
+    ReadEnforced,
+    /// Eventual: replicas persist at some point in the future; no message
+    /// exchange tracks persistency.
+    Eventual,
+    /// Scope: as Eventual within a scope, plus a `[PERSIST]sc` transaction
+    /// that flushes the whole scope before responding.
+    Scope,
+}
+
+impl PersistencyModel {
+    /// All five models, in the order the paper's figures list them.
+    pub const ALL: [PersistencyModel; 5] = [
+        PersistencyModel::Synchronous,
+        PersistencyModel::Strict,
+        PersistencyModel::ReadEnforced,
+        PersistencyModel::Eventual,
+        PersistencyModel::Scope,
+    ];
+
+    /// Whether consistency and persistency use *separate* acknowledgement
+    /// messages (ACK_C/ACK_P) rather than one combined ACK.
+    ///
+    /// True for Strict, Read-Enforced, Eventual and Scope; only Synchronous
+    /// folds both into a single ACK (Figure 2 vs Figure 3).
+    #[must_use]
+    pub fn split_acks(self) -> bool {
+        !matches!(self, PersistencyModel::Synchronous)
+    }
+
+    /// Whether the local NVM persist sits in the critical path of a write
+    /// (Figure 3: only Synchronous and Strict; the others persist in the
+    /// background).
+    #[must_use]
+    pub fn persist_in_critical_path(self) -> bool {
+        matches!(
+            self,
+            PersistencyModel::Synchronous | PersistencyModel::Strict
+        )
+    }
+
+    /// Whether the protocol exchanges persistency acknowledgements at all.
+    /// Eventual and Scope writes exchange none (Scope tracks persistency
+    /// only at `[PERSIST]sc` boundaries).
+    #[must_use]
+    pub fn tracks_persist_acks(self) -> bool {
+        matches!(
+            self,
+            PersistencyModel::Synchronous | PersistencyModel::Strict | PersistencyModel::ReadEnforced
+        )
+    }
+
+    /// Whether `handleObsolete` runs `PersistencySpin()` in addition to
+    /// `ConsistencySpin()` (Figure 3: dropped for Eventual and Scope).
+    #[must_use]
+    pub fn obsolete_waits_for_persist(self) -> bool {
+        self.tracks_persist_acks()
+    }
+
+    /// Short label as used in the paper's charts, e.g. `Synch`.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PersistencyModel::Synchronous => "Synch",
+            PersistencyModel::Strict => "Strict",
+            PersistencyModel::ReadEnforced => "REnf",
+            PersistencyModel::Eventual => "Event",
+            PersistencyModel::Scope => "Scope",
+        }
+    }
+}
+
+impl fmt::Display for PersistencyModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A Distributed Data Persistency model: one consistency model combined
+/// with one persistency model, written `<Lin, Synch>` etc. in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DdpModel {
+    /// The consistency half (always Linearizable in this reproduction).
+    pub consistency: ConsistencyModel,
+    /// The persistency half.
+    pub persistency: PersistencyModel,
+}
+
+impl DdpModel {
+    /// Creates a `<Lin, persistency>` model.
+    #[must_use]
+    pub fn lin(persistency: PersistencyModel) -> Self {
+        DdpModel {
+            consistency: ConsistencyModel::Linearizable,
+            persistency,
+        }
+    }
+
+    /// All five `<Lin, *>` combinations evaluated by the paper.
+    #[must_use]
+    pub fn all_lin() -> [DdpModel; 5] {
+        PersistencyModel::ALL.map(DdpModel::lin)
+    }
+}
+
+impl Default for DdpModel {
+    fn default() -> Self {
+        DdpModel::lin(PersistencyModel::Synchronous)
+    }
+}
+
+impl fmt::Display for DdpModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{},{}>", self.consistency, self.persistency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        let labels: Vec<_> = PersistencyModel::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(labels, ["Synch", "Strict", "REnf", "Event", "Scope"]);
+    }
+
+    #[test]
+    fn only_synch_has_combined_acks() {
+        for m in PersistencyModel::ALL {
+            assert_eq!(
+                m.split_acks(),
+                m != PersistencyModel::Synchronous,
+                "model {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn critical_path_persist_is_synch_and_strict() {
+        assert!(PersistencyModel::Synchronous.persist_in_critical_path());
+        assert!(PersistencyModel::Strict.persist_in_critical_path());
+        assert!(!PersistencyModel::ReadEnforced.persist_in_critical_path());
+        assert!(!PersistencyModel::Eventual.persist_in_critical_path());
+        assert!(!PersistencyModel::Scope.persist_in_critical_path());
+    }
+
+    #[test]
+    fn persist_ack_tracking() {
+        assert!(PersistencyModel::ReadEnforced.tracks_persist_acks());
+        assert!(!PersistencyModel::Eventual.tracks_persist_acks());
+        assert!(!PersistencyModel::Scope.tracks_persist_acks());
+    }
+
+    #[test]
+    fn display_combined() {
+        assert_eq!(
+            DdpModel::lin(PersistencyModel::ReadEnforced).to_string(),
+            "<Lin,REnf>"
+        );
+    }
+
+    #[test]
+    fn all_lin_yields_five_distinct() {
+        let all = DdpModel::all_lin();
+        assert_eq!(all.len(), 5);
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

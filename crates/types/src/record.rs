@@ -1,0 +1,229 @@
+//! Record metadata (Figure 1(a)) and the record itself.
+
+use crate::{Key, Ts, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-record metadata, exactly the five fields of Figure 1(a).
+///
+/// * `rd_lock_owner` — which client-write (identified by its `TS_WR`)
+///   currently holds the read lock, or `None` when released (the paper's
+///   `<-1,-1>`);
+/// * `wr_lock` — whether the write lock protecting local-writes is held
+///   (used by MINOS-B only; MINOS-O eliminates it via the vFIFO);
+/// * `volatile_ts` — the record's version in local volatile memory;
+/// * `glb_volatile_ts` — the machine-wide volatile version (consistency);
+/// * `glb_durable_ts` — the machine-wide durable version (persistency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct RecordMeta {
+    /// `RDLock_Owner`: `Some(ts)` when held by the client-write with
+    /// timestamp `ts`, `None` when free.
+    pub rd_lock_owner: Option<Ts>,
+    /// `WRLock`: taken while a local-write updates the LLC (MINOS-B).
+    pub wr_lock: bool,
+    /// `volatileTS`.
+    pub volatile_ts: Ts,
+    /// `glb_volatileTS`.
+    pub glb_volatile_ts: Ts,
+    /// `glb_durableTS`.
+    pub glb_durable_ts: Ts,
+}
+
+impl RecordMeta {
+    /// Fresh metadata for a never-written record.
+    #[must_use]
+    pub fn new() -> Self {
+        RecordMeta::default()
+    }
+
+    /// The `Obsolete(TS_WR)` primitive of §III-A: true when the client
+    /// write carrying `ts` is older than the record's local volatile
+    /// version.
+    #[must_use]
+    pub fn is_obsolete(&self, ts: Ts) -> bool {
+        ts < self.volatile_ts
+    }
+
+    /// The "Snatch RDLock" operation of Figure 2, Line 8.
+    ///
+    /// Returns `true` if this client-write now owns the lock:
+    /// (i) free → grab; (ii) held by an older write → snatch;
+    /// (iii) held by a younger write → continue without owning.
+    pub fn snatch_rd_lock(&mut self, ts: Ts) -> bool {
+        match self.rd_lock_owner {
+            None => {
+                self.rd_lock_owner = Some(ts);
+                true
+            }
+            Some(owner) if ts > owner => {
+                self.rd_lock_owner = Some(ts);
+                true
+            }
+            Some(_) => false,
+        }
+    }
+
+    /// Grabs the RDLock only if it is currently free — the non-snatching
+    /// variant used by the snatch-ablation study. Returns true on grab.
+    pub fn try_rd_lock(&mut self, ts: Ts) -> bool {
+        if self.rd_lock_owner.is_none() {
+            self.rd_lock_owner = Some(ts);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases the RDLock *iff* the client-write with `ts` still owns it
+    /// (Figure 2, Lines 20–21 / 42–43). Returns whether a release happened.
+    pub fn rd_unlock_if_owner(&mut self, ts: Ts) -> bool {
+        if self.rd_lock_owner == Some(ts) {
+            self.rd_lock_owner = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether a read transaction may currently proceed (§III-D: a read is
+    /// only stalled while the RDLock is taken).
+    #[must_use]
+    pub fn readable(&self) -> bool {
+        self.rd_lock_owner.is_none()
+    }
+
+    /// Monotonically advances `glb_volatileTS` (it reflects the newest
+    /// globally-consistent write; VALs for snatched writes must not move it
+    /// backwards).
+    pub fn raise_glb_volatile(&mut self, ts: Ts) {
+        if ts > self.glb_volatile_ts {
+            self.glb_volatile_ts = ts;
+        }
+    }
+
+    /// Monotonically advances `glb_durableTS`.
+    pub fn raise_glb_durable(&mut self, ts: Ts) {
+        if ts > self.glb_durable_ts {
+            self.glb_durable_ts = ts;
+        }
+    }
+
+    /// Monotonically advances `volatileTS` (used when applying a
+    /// local-write; callers have already passed the obsoleteness check, the
+    /// max keeps the invariant under re-entrancy).
+    pub fn raise_volatile(&mut self, ts: Ts) {
+        if ts > self.volatile_ts {
+            self.volatile_ts = ts;
+        }
+    }
+}
+
+impl fmt::Display for RecordMeta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let owner = match self.rd_lock_owner {
+            Some(ts) => ts.to_string(),
+            None => crate::TS_UNLOCKED.to_string(),
+        };
+        write!(
+            f,
+            "rd={owner} wr={} v={} gv={} gd={}",
+            self.wr_lock as u8, self.volatile_ts, self.glb_volatile_ts, self.glb_durable_ts
+        )
+    }
+}
+
+/// A key-value record plus its protocol metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Record {
+    /// The record's key.
+    pub key: Key,
+    /// Current value in local volatile memory (the "LLC" copy).
+    pub value: Value,
+    /// Protocol metadata.
+    pub meta: RecordMeta,
+}
+
+impl Record {
+    /// Creates a record with zeroed metadata.
+    #[must_use]
+    pub fn new(key: Key, value: Value) -> Self {
+        Record {
+            key,
+            value,
+            meta: RecordMeta::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn ts(n: u16, v: u32) -> Ts {
+        Ts::new(NodeId(n), v)
+    }
+
+    #[test]
+    fn obsolete_compares_against_volatile() {
+        let mut m = RecordMeta::new();
+        m.volatile_ts = ts(1, 5);
+        assert!(m.is_obsolete(ts(0, 5)));
+        assert!(m.is_obsolete(ts(9, 4)));
+        assert!(!m.is_obsolete(ts(2, 5)));
+        assert!(!m.is_obsolete(ts(1, 5)), "equal ts is not obsolete");
+    }
+
+    #[test]
+    fn snatch_grabs_free_lock() {
+        let mut m = RecordMeta::new();
+        assert!(m.snatch_rd_lock(ts(1, 1)));
+        assert_eq!(m.rd_lock_owner, Some(ts(1, 1)));
+    }
+
+    #[test]
+    fn snatch_steals_from_older() {
+        let mut m = RecordMeta::new();
+        assert!(m.snatch_rd_lock(ts(1, 1)));
+        assert!(m.snatch_rd_lock(ts(2, 1)), "younger snatches");
+        assert_eq!(m.rd_lock_owner, Some(ts(2, 1)));
+    }
+
+    #[test]
+    fn snatch_yields_to_younger() {
+        let mut m = RecordMeta::new();
+        assert!(m.snatch_rd_lock(ts(3, 2)));
+        assert!(!m.snatch_rd_lock(ts(1, 1)), "older must not snatch");
+        assert_eq!(m.rd_lock_owner, Some(ts(3, 2)));
+    }
+
+    #[test]
+    fn only_owner_unlocks() {
+        let mut m = RecordMeta::new();
+        m.snatch_rd_lock(ts(1, 1));
+        assert!(!m.rd_unlock_if_owner(ts(2, 1)));
+        assert!(!m.readable());
+        assert!(m.rd_unlock_if_owner(ts(1, 1)));
+        assert!(m.readable());
+    }
+
+    #[test]
+    fn glb_timestamps_are_monotone() {
+        let mut m = RecordMeta::new();
+        m.raise_glb_volatile(ts(1, 3));
+        m.raise_glb_volatile(ts(0, 2));
+        assert_eq!(m.glb_volatile_ts, ts(1, 3));
+        m.raise_glb_durable(ts(1, 3));
+        m.raise_glb_durable(ts(1, 2));
+        assert_eq!(m.glb_durable_ts, ts(1, 3));
+        m.raise_volatile(ts(2, 1));
+        m.raise_volatile(ts(1, 1));
+        assert_eq!(m.volatile_ts, ts(2, 1));
+    }
+
+    #[test]
+    fn display_shows_unlocked_sentinel() {
+        let m = RecordMeta::new();
+        assert!(m.to_string().contains("<-1,-1>"));
+    }
+}

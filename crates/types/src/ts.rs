@@ -1,0 +1,159 @@
+//! Logical timestamps and fundamental identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node in the cluster.
+///
+/// Nodes are numbered `0..n`. The paper's `<-1,-1>` "unlocked" sentinel is
+/// represented in Rust by [`Option<Ts>`]`::None` rather than a magic value,
+/// but [`TS_UNLOCKED`] is provided for wire/debug formatting parity.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u16);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A record key in MINOS-KV.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Key(pub u64);
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+impl From<u64> for Key {
+    fn from(v: u64) -> Self {
+        Key(v)
+    }
+}
+
+/// A record value.
+///
+/// The payload is reference-counted ([`bytes::Bytes`]) so that replicating a
+/// 1 KB record to N followers does not copy it N times inside one process.
+pub type Value = bytes::Bytes;
+
+/// A logical timestamp: a `<node_id, version>` tuple (Figure 1(b)).
+///
+/// Ordering follows §III-A of the paper: *"Given two writes, the newer one
+/// is the one that has the higher version field or, if the versions are the
+/// same, the one with the higher node_id."* The derived lexicographic order
+/// on `(version, node)` implements exactly that rule.
+///
+/// # Example
+///
+/// ```
+/// use minos_types::{NodeId, Ts};
+/// let t = Ts::new(NodeId(2), 5);
+/// assert_eq!(t.next_version(NodeId(4)), Ts::new(NodeId(4), 6));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Ts {
+    /// Version number; compared first.
+    pub version: u32,
+    /// Issuing node; breaks version ties.
+    pub node: NodeId,
+}
+
+/// Formatting sentinel equivalent to the paper's released-lock `<-1,-1>`.
+pub const TS_UNLOCKED: &str = "<-1,-1>";
+
+impl Ts {
+    /// Creates a timestamp from its two fields.
+    #[must_use]
+    pub fn new(node: NodeId, version: u32) -> Self {
+        Ts { version, node }
+    }
+
+    /// The zero timestamp carried by a freshly loaded record.
+    #[must_use]
+    pub fn zero() -> Self {
+        Ts::default()
+    }
+
+    /// Generates the timestamp of a new client-write issued at `node`,
+    /// based on this (the record's current `volatileTS`) — §III-A: the
+    /// version is the current version plus one, the node id is the
+    /// coordinator's.
+    #[must_use]
+    pub fn next_version(self, node: NodeId) -> Self {
+        Ts {
+            version: self.version + 1,
+            node,
+        }
+    }
+
+    /// Returns true if `self` is strictly newer than `other`.
+    #[must_use]
+    pub fn newer_than(self, other: Ts) -> bool {
+        self > other
+    }
+}
+
+impl fmt::Display for Ts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{},v{}>", self.node, self.version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_dominates_node_id() {
+        assert!(Ts::new(NodeId(0), 2) > Ts::new(NodeId(9), 1));
+    }
+
+    #[test]
+    fn node_id_breaks_ties() {
+        assert!(Ts::new(NodeId(3), 2) > Ts::new(NodeId(1), 2));
+        assert!(Ts::new(NodeId(1), 2) < Ts::new(NodeId(3), 2));
+    }
+
+    #[test]
+    fn equal_only_when_identical() {
+        assert_eq!(Ts::new(NodeId(1), 2), Ts::new(NodeId(1), 2));
+        assert_ne!(Ts::new(NodeId(1), 2), Ts::new(NodeId(2), 2));
+    }
+
+    #[test]
+    fn next_version_increments_and_rebrands() {
+        let t = Ts::new(NodeId(7), 41);
+        let n = t.next_version(NodeId(2));
+        assert_eq!(n.version, 42);
+        assert_eq!(n.node, NodeId(2));
+        assert!(n > t);
+    }
+
+    #[test]
+    fn zero_is_minimum() {
+        assert!(Ts::zero() <= Ts::new(NodeId(0), 0));
+        assert!(Ts::zero() < Ts::new(NodeId(0), 1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Ts::new(NodeId(3), 9).to_string(), "<n3,v9>");
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(Key(12).to_string(), "k12");
+    }
+}

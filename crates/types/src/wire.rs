@@ -1,0 +1,376 @@
+//! A compact, dependency-free binary wire codec for protocol messages.
+//!
+//! The multi-process runtime (`minos-cluster`'s TCP transport) needs a
+//! wire format; the approved dependency set has no serializer binary
+//! format, so this module hand-rolls one. The encoding is
+//! little-endian, length-prefixed, and versioned by a leading tag byte
+//! per message kind.
+
+use crate::{Key, Message, NodeId, ScopeId, Ts, Value};
+
+/// Errors from [`decode_message`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended mid-message.
+    Truncated,
+    /// An unknown message tag was encountered.
+    BadTag(u8),
+    /// Trailing bytes followed a complete message.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t:#x}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn ts(&mut self, t: Ts) {
+        self.u32(t.version);
+        self.u16(t.node.0);
+    }
+    fn key(&mut self, k: Key) {
+        self.u64(k.0);
+    }
+    fn scope_opt(&mut self, s: Option<ScopeId>) {
+        match s {
+            Some(sc) => {
+                self.u8(1);
+                self.u32(sc.0);
+            }
+            None => self.u8(0),
+        }
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.0.extend_from_slice(b);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        let s = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn ts(&mut self) -> Result<Ts, WireError> {
+        let version = self.u32()?;
+        let node = NodeId(self.u16()?);
+        Ok(Ts { version, node })
+    }
+    fn key(&mut self) -> Result<Key, WireError> {
+        Ok(Key(self.u64()?))
+    }
+    fn scope_opt(&mut self) -> Result<Option<ScopeId>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            _ => Ok(Some(ScopeId(self.u32()?))),
+        }
+    }
+    fn bytes(&mut self) -> Result<Value, WireError> {
+        let n = self.u32()? as usize;
+        Ok(Value::copy_from_slice(self.take(n)?))
+    }
+}
+
+const TAG_INV: u8 = 0x01;
+const TAG_ACK: u8 = 0x02;
+const TAG_ACK_C: u8 = 0x03;
+const TAG_ACK_P: u8 = 0x04;
+const TAG_VAL: u8 = 0x05;
+const TAG_VAL_C: u8 = 0x06;
+const TAG_VAL_P: u8 = 0x07;
+const TAG_PERSIST: u8 = 0x08;
+const TAG_PERSIST_ACK: u8 = 0x09;
+const TAG_PERSIST_VAL: u8 = 0x0A;
+const TAG_READ_REQ: u8 = 0x0B;
+const TAG_READ_RESP: u8 = 0x0C;
+
+/// Encodes `msg` into a self-contained byte vector.
+#[must_use]
+pub fn encode_message(msg: &Message) -> Vec<u8> {
+    let mut w = Writer(Vec::with_capacity(64));
+    match msg {
+        Message::Inv {
+            key,
+            ts,
+            value,
+            scope,
+        } => {
+            w.u8(TAG_INV);
+            w.key(*key);
+            w.ts(*ts);
+            w.scope_opt(*scope);
+            w.bytes(value);
+        }
+        Message::Ack { key, ts } => {
+            w.u8(TAG_ACK);
+            w.key(*key);
+            w.ts(*ts);
+        }
+        Message::AckC { key, ts, scope } => {
+            w.u8(TAG_ACK_C);
+            w.key(*key);
+            w.ts(*ts);
+            w.scope_opt(*scope);
+        }
+        Message::AckP { key, ts } => {
+            w.u8(TAG_ACK_P);
+            w.key(*key);
+            w.ts(*ts);
+        }
+        Message::Val { key, ts } => {
+            w.u8(TAG_VAL);
+            w.key(*key);
+            w.ts(*ts);
+        }
+        Message::ValC { key, ts, scope } => {
+            w.u8(TAG_VAL_C);
+            w.key(*key);
+            w.ts(*ts);
+            w.scope_opt(*scope);
+        }
+        Message::ValP { key, ts } => {
+            w.u8(TAG_VAL_P);
+            w.key(*key);
+            w.ts(*ts);
+        }
+        Message::Persist { scope } => {
+            w.u8(TAG_PERSIST);
+            w.u32(scope.0);
+        }
+        Message::PersistAckP { scope } => {
+            w.u8(TAG_PERSIST_ACK);
+            w.u32(scope.0);
+        }
+        Message::PersistValP { scope } => {
+            w.u8(TAG_PERSIST_VAL);
+            w.u32(scope.0);
+        }
+        Message::ReadReq { key, token } => {
+            w.u8(TAG_READ_REQ);
+            w.key(*key);
+            w.u64(*token);
+        }
+        Message::ReadResp {
+            key,
+            token,
+            value,
+            ts,
+        } => {
+            w.u8(TAG_READ_RESP);
+            w.key(*key);
+            w.u64(*token);
+            w.ts(*ts);
+            w.bytes(value);
+        }
+    }
+    w.0
+}
+
+/// Decodes a message previously produced by [`encode_message`].
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] for short buffers, [`WireError::BadTag`] for
+/// unknown kinds, [`WireError::TrailingBytes`] for oversized buffers.
+pub fn decode_message(buf: &[u8]) -> Result<Message, WireError> {
+    let mut r = Reader { buf, pos: 0 };
+    let msg = match r.u8()? {
+        TAG_INV => {
+            let key = r.key()?;
+            let ts = r.ts()?;
+            let scope = r.scope_opt()?;
+            let value = r.bytes()?;
+            Message::Inv {
+                key,
+                ts,
+                value,
+                scope,
+            }
+        }
+        TAG_ACK => Message::Ack {
+            key: r.key()?,
+            ts: r.ts()?,
+        },
+        TAG_ACK_C => Message::AckC {
+            key: r.key()?,
+            ts: r.ts()?,
+            scope: r.scope_opt()?,
+        },
+        TAG_ACK_P => Message::AckP {
+            key: r.key()?,
+            ts: r.ts()?,
+        },
+        TAG_VAL => Message::Val {
+            key: r.key()?,
+            ts: r.ts()?,
+        },
+        TAG_VAL_C => Message::ValC {
+            key: r.key()?,
+            ts: r.ts()?,
+            scope: r.scope_opt()?,
+        },
+        TAG_VAL_P => Message::ValP {
+            key: r.key()?,
+            ts: r.ts()?,
+        },
+        TAG_PERSIST => Message::Persist {
+            scope: ScopeId(r.u32()?),
+        },
+        TAG_PERSIST_ACK => Message::PersistAckP {
+            scope: ScopeId(r.u32()?),
+        },
+        TAG_PERSIST_VAL => Message::PersistValP {
+            scope: ScopeId(r.u32()?),
+        },
+        TAG_READ_REQ => Message::ReadReq {
+            key: r.key()?,
+            token: r.u64()?,
+        },
+        TAG_READ_RESP => {
+            let key = r.key()?;
+            let token = r.u64()?;
+            let ts = r.ts()?;
+            let value = r.bytes()?;
+            Message::ReadResp {
+                key,
+                token,
+                value,
+                ts,
+            }
+        }
+        t => return Err(WireError::BadTag(t)),
+    };
+    if r.pos != buf.len() {
+        return Err(WireError::TrailingBytes(buf.len() - r.pos));
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let enc = encode_message(&msg);
+        let dec = decode_message(&enc).expect("decode");
+        assert_eq!(dec, msg);
+    }
+
+    #[test]
+    fn all_kinds_roundtrip() {
+        let key = Key(0xDEAD_BEEF);
+        let ts = Ts::new(NodeId(7), 42);
+        let sc = Some(ScopeId(9));
+        roundtrip(Message::Inv {
+            key,
+            ts,
+            value: Value::from_static(b"payload bytes"),
+            scope: sc,
+        });
+        roundtrip(Message::Inv {
+            key,
+            ts,
+            value: Value::new(),
+            scope: None,
+        });
+        roundtrip(Message::Ack { key, ts });
+        roundtrip(Message::AckC { key, ts, scope: sc });
+        roundtrip(Message::AckC {
+            key,
+            ts,
+            scope: None,
+        });
+        roundtrip(Message::AckP { key, ts });
+        roundtrip(Message::Val { key, ts });
+        roundtrip(Message::ValC { key, ts, scope: sc });
+        roundtrip(Message::ValP { key, ts });
+        roundtrip(Message::Persist { scope: ScopeId(3) });
+        roundtrip(Message::PersistAckP { scope: ScopeId(3) });
+        roundtrip(Message::PersistValP { scope: ScopeId(3) });
+        roundtrip(Message::ReadReq { key, token: 99 });
+        roundtrip(Message::ReadResp {
+            key,
+            token: 99,
+            value: Value::from_static(b"resp"),
+            ts,
+        });
+    }
+
+    #[test]
+    fn truncated_buffers_error() {
+        let enc = encode_message(&Message::Ack {
+            key: Key(1),
+            ts: Ts::new(NodeId(0), 1),
+        });
+        for cut in 0..enc.len() {
+            assert_eq!(
+                decode_message(&enc[..cut]),
+                Err(WireError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tag_detected() {
+        assert_eq!(decode_message(&[0xFF]), Err(WireError::BadTag(0xFF)));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut enc = encode_message(&Message::Persist { scope: ScopeId(1) });
+        enc.push(0);
+        assert_eq!(decode_message(&enc), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn large_payload_roundtrips() {
+        roundtrip(Message::Inv {
+            key: Key(1),
+            ts: Ts::new(NodeId(1), 1),
+            value: Value::from(vec![0xA5u8; 64 * 1024]),
+            scope: None,
+        });
+    }
+}

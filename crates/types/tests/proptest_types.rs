@@ -1,0 +1,87 @@
+//! Property-based tests of the timestamp and metadata primitives.
+
+use minos_types::{NodeId, RecordMeta, Ts};
+use proptest::prelude::*;
+
+fn ts_strategy() -> impl Strategy<Value = Ts> {
+    (0u16..16, 0u32..1_000_000).prop_map(|(n, v)| Ts::new(NodeId(n), v))
+}
+
+proptest! {
+    #[test]
+    fn ts_ordering_is_total_and_antisymmetric(a in ts_strategy(), b in ts_strategy()) {
+        prop_assert_eq!(a < b, b > a);
+        prop_assert_eq!(a == b, !(a < b) && !(b < a));
+    }
+
+    #[test]
+    fn ts_ordering_is_transitive(
+        a in ts_strategy(),
+        b in ts_strategy(),
+        c in ts_strategy(),
+    ) {
+        if a <= b && b <= c {
+            prop_assert!(a <= c);
+        }
+    }
+
+    #[test]
+    fn version_dominates_node(a in ts_strategy(), b in ts_strategy()) {
+        if a.version != b.version {
+            prop_assert_eq!(a < b, a.version < b.version);
+        } else {
+            prop_assert_eq!(a < b, a.node < b.node);
+        }
+    }
+
+    #[test]
+    fn next_version_is_strictly_newer(t in ts_strategy(), n in 0u16..16) {
+        let nxt = t.next_version(NodeId(n));
+        prop_assert!(nxt > t);
+        prop_assert_eq!(nxt.node, NodeId(n));
+    }
+
+    #[test]
+    fn snatch_keeps_youngest_owner(stamps in proptest::collection::vec(ts_strategy(), 1..30)) {
+        let mut m = RecordMeta::new();
+        for &ts in &stamps {
+            m.snatch_rd_lock(ts);
+        }
+        // The final owner must be the maximum of all distinct contenders.
+        let max = stamps.iter().copied().max().unwrap();
+        prop_assert_eq!(m.rd_lock_owner, Some(max));
+    }
+
+    #[test]
+    fn raises_are_monotone(stamps in proptest::collection::vec(ts_strategy(), 1..30)) {
+        let mut m = RecordMeta::new();
+        let mut prev = Ts::zero();
+        for &ts in &stamps {
+            m.raise_volatile(ts);
+            m.raise_glb_volatile(ts);
+            m.raise_glb_durable(ts);
+            prop_assert!(m.volatile_ts >= prev);
+            prev = m.volatile_ts;
+        }
+        let max = stamps.iter().copied().max().unwrap().max(Ts::zero());
+        prop_assert_eq!(m.volatile_ts, max);
+        prop_assert_eq!(m.glb_volatile_ts, max);
+        prop_assert_eq!(m.glb_durable_ts, max);
+    }
+
+    #[test]
+    fn obsolete_iff_strictly_older(a in ts_strategy(), b in ts_strategy()) {
+        let mut m = RecordMeta::new();
+        m.raise_volatile(a);
+        prop_assert_eq!(m.is_obsolete(b), b < a);
+    }
+
+    #[test]
+    fn unlock_requires_exact_owner(a in ts_strategy(), b in ts_strategy()) {
+        let mut m = RecordMeta::new();
+        m.snatch_rd_lock(a);
+        let released = m.rd_unlock_if_owner(b);
+        prop_assert_eq!(released, a == b);
+        prop_assert_eq!(m.readable(), a == b);
+    }
+}

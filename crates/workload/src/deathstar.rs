@@ -1,0 +1,155 @@
+//! Synthetic DeathStarBench traces for the Figure 11 experiment.
+//!
+//! The paper evaluates the `Login` function of the `UserService`
+//! microservice in the *Social Network* and *Media Microservices*
+//! applications, mapping each SET to a client-write and each GET to a
+//! client-read, over a 16-node cluster with a 500 µs node-to-node RTT.
+//!
+//! DeathStarBench is a large C++/Docker benchmark suite; reproducing it
+//! wholesale is out of scope (and unnecessary: only the KV access pattern
+//! of `Login` reaches MINOS). The traces below reproduce that pattern —
+//! a session-cache lookup, credential fetch and verification reads,
+//! followed by session/login-marker writes — with the media variant
+//! issuing a longer read preamble (its user documents span more records).
+
+use crate::stream::Op;
+use bytes::Bytes;
+use minos_types::Key;
+use serde::{Deserialize, Serialize};
+
+/// Which DeathStarBench application the trace models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum App {
+    /// Social Network `UserService::Login`.
+    SocialNetwork,
+    /// Media Microservices `UserService::Login`.
+    MediaMicroservices,
+}
+
+impl App {
+    /// Display label used in the figure.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            App::SocialNetwork => "Social",
+            App::MediaMicroservices => "Media",
+        }
+    }
+
+    /// `(reads, writes)` issued by one `Login` invocation.
+    #[must_use]
+    pub fn ops_per_login(self) -> (usize, usize) {
+        match self {
+            App::SocialNetwork => (5, 2),
+            App::MediaMicroservices => (7, 3),
+        }
+    }
+}
+
+/// A generated `Login` invocation: the ordered KV operations it performs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoginTrace {
+    /// The application.
+    pub app: App,
+    /// The user id this login concerns.
+    pub user: u64,
+    /// KV operations, in program order (GETs then SETs, as the function
+    /// validates credentials before it installs the session).
+    pub ops: Vec<Op>,
+}
+
+/// Generates the `Login` trace for `user` against a user table of
+/// `users` records.
+///
+/// Keys are laid out per-user: the user's profile, credential, session,
+/// and (for media) document records occupy adjacent slots.
+///
+/// # Example
+///
+/// ```
+/// use minos_workload::deathstar::{login_trace, App};
+///
+/// let t = login_trace(App::SocialNetwork, 17, 1000);
+/// let (reads, writes) = App::SocialNetwork.ops_per_login();
+/// assert_eq!(t.ops.iter().filter(|o| !o.is_write()).count(), reads);
+/// assert_eq!(t.ops.iter().filter(|o| o.is_write()).count(), writes);
+/// ```
+#[must_use]
+pub fn login_trace(app: App, user: u64, users: u64) -> LoginTrace {
+    assert!(users > 0, "user table must be non-empty");
+    let user = user % users;
+    const SLOTS_PER_USER: u64 = 16;
+    let base = user * SLOTS_PER_USER;
+    let (reads, writes) = app.ops_per_login();
+    // Small session payloads: Login writes tokens, not media blobs.
+    let payload = Bytes::from(vec![0x5Eu8; 128]);
+
+    let mut ops = Vec::with_capacity(reads + writes);
+    for i in 0..reads {
+        ops.push(Op::Read {
+            key: Key(base + i as u64),
+        });
+    }
+    for i in 0..writes {
+        ops.push(Op::Write {
+            key: Key(base + SLOTS_PER_USER / 2 + i as u64),
+            value: payload.clone(),
+        });
+    }
+    LoginTrace { app, user, ops }
+}
+
+/// A batch of login invocations with rotating users (the Fig 11 driver).
+#[must_use]
+pub fn login_batch(app: App, logins: usize, users: u64) -> Vec<LoginTrace> {
+    (0..logins)
+        .map(|i| login_trace(app, i as u64 * 7 + 1, users))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn social_trace_shape() {
+        let t = login_trace(App::SocialNetwork, 3, 100);
+        assert_eq!(t.ops.len(), 7);
+        assert!(!t.ops[0].is_write(), "reads come first");
+        assert!(t.ops[6].is_write(), "writes close the function");
+    }
+
+    #[test]
+    fn media_trace_is_heavier() {
+        let s = login_trace(App::SocialNetwork, 1, 10);
+        let m = login_trace(App::MediaMicroservices, 1, 10);
+        assert!(m.ops.len() > s.ops.len());
+    }
+
+    #[test]
+    fn different_users_touch_disjoint_keys() {
+        let a = login_trace(App::SocialNetwork, 0, 100);
+        let b = login_trace(App::SocialNetwork, 1, 100);
+        let keys_a: std::collections::BTreeSet<_> = a.ops.iter().map(|o| o.key()).collect();
+        let keys_b: std::collections::BTreeSet<_> = b.ops.iter().map(|o| o.key()).collect();
+        assert!(keys_a.is_disjoint(&keys_b));
+    }
+
+    #[test]
+    fn user_id_wraps_at_table_size() {
+        let t = login_trace(App::SocialNetwork, 105, 100);
+        assert_eq!(t.user, 5);
+    }
+
+    #[test]
+    fn batch_produces_requested_logins() {
+        let batch = login_batch(App::MediaMicroservices, 12, 50);
+        assert_eq!(batch.len(), 12);
+    }
+
+    #[test]
+    fn labels_match_figure() {
+        assert_eq!(App::SocialNetwork.label(), "Social");
+        assert_eq!(App::MediaMicroservices.label(), "Media");
+    }
+}

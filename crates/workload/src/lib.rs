@@ -1,0 +1,32 @@
+//! Workload generation for the MINOS experiments.
+//!
+//! * [`Zipfian`] — the YCSB zipfian key distribution (θ = 0.99), plus
+//!   [`KeyDist::Uniform`] for the Figure 14 sensitivity sweep;
+//! * [`WorkloadSpec`] / [`RequestStream`] — YCSB-style request streams
+//!   with a configurable write fraction, database size, and record size
+//!   (the paper's defaults: 100 000 records/node, 1 KB records, 50/50
+//!   mix, 100 000 requests per node);
+//! * [`deathstar`] — synthetic DeathStarBench `Login` traces for the
+//!   Figure 11 end-to-end experiment.
+//!
+//! # Example
+//!
+//! ```
+//! use minos_workload::{KeyDist, Op, WorkloadSpec};
+//!
+//! let spec = WorkloadSpec::ycsb_default().with_write_fraction(0.2);
+//! let mut stream = spec.stream(42);
+//! let ops: Vec<Op> = (0..1000).map(|_| stream.next_op()).collect();
+//! let writes = ops.iter().filter(|o| o.is_write()).count();
+//! assert!((150..250).contains(&writes), "≈20% writes, got {writes}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deathstar;
+mod stream;
+mod zipf;
+
+pub use stream::{KeyDist, Op, RequestStream, WorkloadSpec};
+pub use zipf::Zipfian;

@@ -1,0 +1,265 @@
+//! YCSB-style request streams.
+
+use crate::zipf::Zipfian;
+use bytes::Bytes;
+use minos_types::Key;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Key distribution for a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum KeyDist {
+    /// YCSB zipfian, θ = 0.99 (the paper's default).
+    #[default]
+    Zipfian,
+    /// Uniform over the database.
+    Uniform,
+}
+
+/// One generated client operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Write `value` to `key`.
+    Write {
+        /// Target key.
+        key: Key,
+        /// Generated payload (of the spec's record size).
+        value: Bytes,
+    },
+    /// Read `key`.
+    Read {
+        /// Target key.
+        key: Key,
+    },
+}
+
+impl Op {
+    /// Whether this is a write.
+    #[must_use]
+    pub fn is_write(&self) -> bool {
+        matches!(self, Op::Write { .. })
+    }
+
+    /// The operation's key.
+    #[must_use]
+    pub fn key(&self) -> Key {
+        match self {
+            Op::Write { key, .. } | Op::Read { key } => *key,
+        }
+    }
+}
+
+/// A YCSB-style workload description.
+///
+/// Defaults mirror §VII: 100 000 records, 1 KB record size, zipfian keys,
+/// 50 % writes, 100 000 requests per node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of records in the database.
+    pub records: u64,
+    /// Payload size of each record, in bytes.
+    pub record_bytes: usize,
+    /// Fraction of operations that are writes (0.0–1.0).
+    pub write_fraction: f64,
+    /// Key distribution.
+    pub dist: KeyDist,
+    /// Requests issued per node.
+    pub requests_per_node: u64,
+}
+
+impl WorkloadSpec {
+    /// The paper's default workload.
+    #[must_use]
+    pub fn ycsb_default() -> Self {
+        WorkloadSpec {
+            records: 100_000,
+            record_bytes: 1024,
+            write_fraction: 0.5,
+            dist: KeyDist::Zipfian,
+            requests_per_node: 100_000,
+        }
+    }
+
+    /// Builder-style write-fraction override.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_write_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "write fraction must be in [0,1]");
+        self.write_fraction = f;
+        self
+    }
+
+    /// Builder-style database-size override.
+    #[must_use]
+    pub fn with_records(mut self, records: u64) -> Self {
+        self.records = records;
+        self
+    }
+
+    /// Builder-style distribution override.
+    #[must_use]
+    pub fn with_dist(mut self, dist: KeyDist) -> Self {
+        self.dist = dist;
+        self
+    }
+
+    /// Builder-style record-size override.
+    #[must_use]
+    pub fn with_record_bytes(mut self, bytes: usize) -> Self {
+        self.record_bytes = bytes;
+        self
+    }
+
+    /// Builder-style request-count override.
+    #[must_use]
+    pub fn with_requests_per_node(mut self, n: u64) -> Self {
+        self.requests_per_node = n;
+        self
+    }
+
+    /// Creates a deterministic request stream seeded with `seed`.
+    #[must_use]
+    pub fn stream(&self, seed: u64) -> RequestStream {
+        RequestStream {
+            spec: self.clone(),
+            zipf: Zipfian::new(self.records),
+            rng: StdRng::seed_from_u64(seed),
+            issued: 0,
+            payload: Bytes::from(vec![0xAB; self.record_bytes]),
+        }
+    }
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec::ycsb_default()
+    }
+}
+
+/// A deterministic generator of [`Op`]s following a [`WorkloadSpec`].
+#[derive(Debug, Clone)]
+pub struct RequestStream {
+    spec: WorkloadSpec,
+    zipf: Zipfian,
+    rng: StdRng,
+    issued: u64,
+    /// All writes share one refcounted payload of the right size: the
+    /// protocols only care about length, and this keeps 100 K-request
+    /// streams allocation-free.
+    payload: Bytes,
+}
+
+impl RequestStream {
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> Op {
+        self.issued += 1;
+        let key = Key(match self.spec.dist {
+            KeyDist::Zipfian => self.zipf.sample(&mut self.rng),
+            KeyDist::Uniform => self.rng.gen_range(0..self.spec.records),
+        });
+        if self.rng.gen::<f64>() < self.spec.write_fraction {
+            Op::Write {
+                key,
+                value: self.payload.clone(),
+            }
+        } else {
+            Op::Read { key }
+        }
+    }
+
+    /// Operations issued so far.
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// The spec this stream follows.
+    #[must_use]
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+}
+
+impl Iterator for RequestStream {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        (self.issued < self.spec.requests_per_node).then(|| self.next_op())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let s = WorkloadSpec::ycsb_default();
+        assert_eq!(s.records, 100_000);
+        assert_eq!(s.record_bytes, 1024);
+        assert_eq!(s.write_fraction, 0.5);
+        assert_eq!(s.dist, KeyDist::Zipfian);
+        assert_eq!(s.requests_per_node, 100_000);
+    }
+
+    #[test]
+    fn stream_is_deterministic_per_seed() {
+        let spec = WorkloadSpec::ycsb_default().with_records(100);
+        let a: Vec<_> = spec.stream(5).take(50).collect();
+        let b: Vec<_> = spec.stream(5).take(50).collect();
+        let c: Vec<_> = spec.stream(6).take(50).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn write_fraction_is_respected() {
+        for frac in [0.0, 0.2, 0.8, 1.0] {
+            let spec = WorkloadSpec::ycsb_default()
+                .with_records(100)
+                .with_write_fraction(frac);
+            let writes = spec.stream(1).take(5000).filter(|o| o.is_write()).count();
+            let got = writes as f64 / 5000.0;
+            assert!(
+                (got - frac).abs() < 0.03,
+                "frac {frac}: got {got} writes"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_keys_cover_the_space() {
+        let spec = WorkloadSpec::ycsb_default()
+            .with_records(10)
+            .with_dist(KeyDist::Uniform);
+        let mut seen = std::collections::BTreeSet::new();
+        for op in spec.stream(3).take(1000) {
+            seen.insert(op.key());
+        }
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn payload_has_record_size() {
+        let spec = WorkloadSpec::ycsb_default()
+            .with_records(10)
+            .with_write_fraction(1.0)
+            .with_record_bytes(256);
+        match spec.stream(1).next_op() {
+            Op::Write { value, .. } => assert_eq!(value.len(), 256),
+            Op::Read { .. } => panic!("write_fraction=1.0 produced a read"),
+        }
+    }
+
+    #[test]
+    fn iterator_stops_at_request_budget() {
+        let spec = WorkloadSpec::ycsb_default()
+            .with_records(10)
+            .with_requests_per_node(7);
+        assert_eq!(spec.stream(1).count(), 7);
+    }
+}

@@ -1,0 +1,190 @@
+//! The YCSB zipfian generator.
+
+use rand::Rng;
+
+/// Zipfian key-index generator over `0..n`, following the YCSB
+/// implementation of Gray et al.'s algorithm with θ = 0.99.
+///
+/// Item 0 is the most popular; popularity decays as `1 / rank^θ`.
+///
+/// # Example
+///
+/// ```
+/// use minos_workload::Zipfian;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let z = Zipfian::new(1000);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let mut hot = 0usize;
+/// for _ in 0..10_000 {
+///     if z.sample(&mut rng) == 0 {
+///         hot += 1;
+///     }
+/// }
+/// // Rank 0 draws a few percent of all traffic from a 1000-item set.
+/// assert!(hot > 200, "hot key undersampled: {hot}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2theta: f64,
+}
+
+impl Zipfian {
+    /// YCSB default skew.
+    pub const DEFAULT_THETA: f64 = 0.99;
+
+    /// Creates a generator over `0..n` with the default θ = 0.99.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: u64) -> Self {
+        Zipfian::with_theta(n, Self::DEFAULT_THETA)
+    }
+
+    /// Creates a generator with an explicit skew parameter θ ∈ (0, 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or θ is outside (0, 1).
+    #[must_use]
+    pub fn with_theta(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipfian needs a non-empty item set");
+        assert!((0.0..1.0).contains(&theta), "theta must be in (0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2theta = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2theta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct summation; the experiments use n ≤ 100 000, and the
+        // constructor runs once per workload.
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew parameter.
+    #[must_use]
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draws one item index in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let idx = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        idx.min(self.n - 1)
+    }
+
+    /// The analytic probability of drawing item `rank` (for tests).
+    #[must_use]
+    pub fn probability(&self, rank: u64) -> f64 {
+        1.0 / ((rank + 1) as f64).powf(self.theta) / self.zetan
+    }
+
+    /// Exposes ζ(2, θ) (used by tests validating the constants).
+    #[must_use]
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2theta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipfian::new(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn head_is_much_hotter_than_tail() {
+        let z = Zipfian::new(1000);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..200_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(
+            counts[0] > 20 * counts[500].max(1),
+            "head {} vs mid {}",
+            counts[0],
+            counts[500]
+        );
+    }
+
+    #[test]
+    fn empirical_head_frequency_tracks_analytic() {
+        let z = Zipfian::new(100);
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 400_000;
+        let mut hits = 0u64;
+        for _ in 0..trials {
+            if z.sample(&mut rng) == 0 {
+                hits += 1;
+            }
+        }
+        let expected = z.probability(0);
+        let got = hits as f64 / trials as f64;
+        assert!(
+            (got - expected).abs() < 0.02,
+            "expected ≈{expected:.3}, got {got:.3}"
+        );
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = Zipfian::new(500);
+        let total: f64 = (0..500).map(|r| z.probability(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_item_always_samples_zero() {
+        let z = Zipfian::new(1);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_items_panics() {
+        let _ = Zipfian::new(0);
+    }
+}

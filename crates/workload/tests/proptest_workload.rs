@@ -1,0 +1,90 @@
+//! Property-based tests of the workload generators.
+
+use minos_workload::{deathstar, KeyDist, WorkloadSpec, Zipfian};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn zipfian_probabilities_decrease_with_rank(n in 2u64..5_000) {
+        let z = Zipfian::new(n);
+        let mut prev = f64::INFINITY;
+        for rank in (0..n).step_by((n as usize / 17).max(1)) {
+            let p = z.probability(rank);
+            prop_assert!(p <= prev, "rank {rank}: p={p} > prev={prev}");
+            prop_assert!(p > 0.0);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn zipfian_samples_in_range_for_any_size(
+        n in 1u64..10_000,
+        seed in any::<u64>(),
+    ) {
+        let z = Zipfian::new(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn streams_are_reproducible(
+        seed in any::<u64>(),
+        frac in 0.0f64..=1.0,
+        records in 1u64..1000,
+    ) {
+        let spec = WorkloadSpec::ycsb_default()
+            .with_records(records)
+            .with_write_fraction(frac)
+            .with_record_bytes(16);
+        let a: Vec<_> = spec.stream(seed).take(100).collect();
+        let b: Vec<_> = spec.stream(seed).take(100).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_keys_stay_in_database(
+        records in 1u64..500,
+        seed in any::<u64>(),
+    ) {
+        let spec = WorkloadSpec::ycsb_default()
+            .with_records(records)
+            .with_dist(KeyDist::Uniform);
+        for op in spec.stream(seed).take(200) {
+            prop_assert!(op.key().0 < records);
+        }
+    }
+
+    #[test]
+    fn login_traces_have_fixed_shape(
+        user in any::<u64>(),
+        users in 1u64..10_000,
+    ) {
+        for app in [
+            deathstar::App::SocialNetwork,
+            deathstar::App::MediaMicroservices,
+        ] {
+            let t = deathstar::login_trace(app, user, users);
+            let (reads, writes) = app.ops_per_login();
+            prop_assert_eq!(t.ops.iter().filter(|o| !o.is_write()).count(), reads);
+            prop_assert_eq!(t.ops.iter().filter(|o| o.is_write()).count(), writes);
+            // Reads strictly precede writes (credential check then session
+            // install).
+            let first_write = t.ops.iter().position(|o| o.is_write()).unwrap();
+            prop_assert!(t.ops[first_write..].iter().all(|o| o.is_write()));
+        }
+    }
+
+    #[test]
+    fn login_traces_of_same_user_are_stable(
+        user in any::<u64>(),
+        users in 1u64..1_000,
+    ) {
+        let a = deathstar::login_trace(deathstar::App::SocialNetwork, user, users);
+        let b = deathstar::login_trace(deathstar::App::SocialNetwork, user, users);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,43 @@
+//! DeathStarBench `Login` end-to-end latency on MINOS-B vs MINOS-O
+//! (the paper's Figure 11 scenario: 16 nodes, 500 µs datacenter RTT).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p minos --example deathstar_login
+//! ```
+
+use minos::net::{driver, Arch};
+use minos::types::{DdpModel, SimConfig};
+use minos::workload::deathstar::App;
+
+fn main() {
+    let mut cfg = SimConfig::paper_defaults().with_nodes(16);
+    cfg.datacenter_rtt_ns = 500_000; // 500 us node-to-node RTT (§VIII-C)
+    let logins = 4;
+
+    println!("UserService::Login end-to-end latency, 16 nodes, 500 us RTT");
+    println!(
+        "{:<14} {:<7} {:>14} {:>14} {:>10}",
+        "model", "app", "MINOS-B (ms)", "MINOS-O (ms)", "reduction"
+    );
+
+    let mut reductions = Vec::new();
+    for model in DdpModel::all_lin() {
+        for app in [App::SocialNetwork, App::MediaMicroservices] {
+            let b = driver::run_deathstar(Arch::baseline(), &cfg, model, app, logins);
+            let o = driver::run_deathstar(Arch::minos_o(), &cfg, model, app, logins);
+            let reduction = 1.0 - o.login_lat.mean() / b.login_lat.mean();
+            reductions.push(reduction);
+            println!(
+                "{:<14} {:<7} {:>14.3} {:>14.3} {:>9.1}%",
+                model.to_string(),
+                app.label(),
+                b.login_lat.mean() / 1e6,
+                o.login_lat.mean() / 1e6,
+                reduction * 100.0
+            );
+        }
+    }
+    let avg = reductions.iter().sum::<f64>() / reductions.len() as f64 * 100.0;
+    println!("\naverage end-to-end latency reduction: {avg:.1}% (paper reports 35%)");
+}

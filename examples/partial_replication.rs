@@ -1,0 +1,63 @@
+//! Partial replication (extension): records on `k` of `n` nodes, with
+//! transparent write redirection and read forwarding.
+//!
+//! The paper replicates every record on every node "for simplicity"; this
+//! example lifts that, showing placement, redirection, and that
+//! Linearizability survives forwarded reads.
+//!
+//! Run with:
+//! ```text
+//! cargo run -p minos --example partial_replication
+//! ```
+
+use minos::kv::{hash_key, MinosKv};
+use minos::types::{DdpModel, MinosError, NodeId, PersistencyModel};
+
+fn main() -> Result<(), MinosError> {
+    let n = 5;
+    let k = 2;
+    let mut kv = MinosKv::with_replication(n, k, DdpModel::lin(PersistencyModel::Synchronous));
+    println!("{n}-node cluster, {k} replicas per record (hash-ring placement)\n");
+
+    for name in ["users:alice", "users:bob", "orders:17", "carts:9"] {
+        let key = hash_key(name);
+        let replicas = kv.engine(NodeId(0)).replicas_of(key);
+        println!("{name:<12} lives on {replicas:?}");
+    }
+
+    println!("\nwrite via a NON-replica (transparent redirect):");
+    let key = hash_key("users:alice");
+    let replicas = kv.engine(NodeId(0)).replicas_of(key);
+    let outsider = (0..n as u16)
+        .map(NodeId)
+        .find(|nd| !replicas.contains(nd))
+        .expect("k < n leaves non-replicas");
+    let ts = kv.put(outsider, "users:alice", "v1")?;
+    println!("  put at {outsider} -> coordinated by a replica, ts {ts}");
+
+    println!("\nread via a non-replica (forwarded over ReadReq/ReadResp):");
+    let v = kv.get(outsider, "users:alice")?.expect("written");
+    println!("  get at {outsider} -> {:?}", String::from_utf8_lossy(&v));
+
+    println!("\nonly the replicas hold the data:");
+    for nd in 0..n as u16 {
+        let node = NodeId(nd);
+        let holds = kv.engine(node).record_value(key).is_some();
+        println!(
+            "  {node}: volatile={holds:<5} durable={}",
+            kv.durable(node).durable(key).is_some()
+        );
+    }
+
+    println!("\nlinearizable across placements: overwrite from each node in turn");
+    for i in 0..n as u16 {
+        kv.put(NodeId(i), "users:alice", format!("v{}", i + 2))?;
+        let read = kv.get(NodeId((i + 1) % n as u16), "users:alice")?.unwrap();
+        println!(
+            "  put@n{i}, get@n{} -> {:?}",
+            (i + 1) % n as u16,
+            String::from_utf8_lossy(&read)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! YCSB-style workloads on the simulated Table III machine: MINOS-B vs
+//! MINOS-O latency and throughput, per DDP model (a small-scale version
+//! of the paper's Figure 9 experiment).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p minos --example ycsb_simulation
+//! ```
+
+use minos::net::{driver, Arch};
+use minos::types::{DdpModel, SimConfig};
+use minos::workload::WorkloadSpec;
+
+fn main() {
+    let cfg = SimConfig::paper_defaults();
+    let spec = WorkloadSpec::ycsb_default()
+        .with_records(2048)
+        .with_requests_per_node(2000);
+
+    println!("Simulated 5-node machine, zipfian 50/50, 1 KB records, 2000 reqs/node");
+    println!(
+        "{:<14} {:>12} {:>12} {:>9} | {:>12} {:>12} {:>9}",
+        "model", "B write(us)", "B read(us)", "B kop/s", "O write(us)", "O read(us)", "O kop/s"
+    );
+
+    for model in DdpModel::all_lin() {
+        let b = driver::run(Arch::baseline(), &cfg, model, &spec, 42);
+        let o = driver::run(Arch::minos_o(), &cfg, model, &spec, 42);
+        println!(
+            "{:<14} {:>12.2} {:>12.2} {:>9.0} | {:>12.2} {:>12.2} {:>9.0}",
+            model.to_string(),
+            b.write_lat.mean() / 1e3,
+            b.read_lat.mean() / 1e3,
+            b.total_throughput() / 1e3,
+            o.write_lat.mean() / 1e3,
+            o.read_lat.mean() / 1e3,
+            o.total_throughput() / 1e3,
+        );
+    }
+
+    println!("\nOffloading speedup (write latency, <Lin,Synch>) by node count:");
+    let model = DdpModel::lin(minos::types::PersistencyModel::Synchronous);
+    for nodes in [2usize, 4, 6, 8, 10] {
+        let cfg = SimConfig::paper_defaults().with_nodes(nodes);
+        let b = driver::run(Arch::baseline(), &cfg, model, &spec, 42);
+        let o = driver::run(Arch::minos_o(), &cfg, model, &spec, 42);
+        println!(
+            "  {nodes:>2} nodes: B {:>8.2} us  O {:>8.2} us  -> {:.2}x",
+            b.write_lat.mean() / 1e3,
+            o.write_lat.mean() / 1e3,
+            b.write_lat.mean() / o.write_lat.mean()
+        );
+    }
+}
