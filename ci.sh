@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, lints, and the tier-1 verify (ROADMAP.md).
+# Run from the repository root. Fails fast on the first broken stage.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1 verify: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> ci: all stages passed"

@@ -51,8 +51,6 @@ fn main() {
         );
     }
 
-    println!(
-        "\npaper: communication contributes 51-73% in every model; Strict/Synch"
-    );
+    println!("\npaper: communication contributes 51-73% in every model; Strict/Synch");
     println!("carry the extra critical-path persist in their computation time.");
 }

@@ -32,7 +32,15 @@ fn main() {
         println!("\n{model}");
         println!(
             "{:>6} | {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9}",
-            "nodes", "B w-lat", "B w-tput", "B r-lat", "B r-tput", "O w-lat", "O w-tput", "O r-lat", "O r-tput"
+            "nodes",
+            "B w-lat",
+            "B w-tput",
+            "B r-lat",
+            "B r-tput",
+            "O w-lat",
+            "O w-tput",
+            "O r-lat",
+            "O r-tput"
         );
         for nodes in [2usize, 4, 6, 8, 10] {
             let cfg = SimConfig::paper_defaults().with_nodes(nodes);

@@ -13,7 +13,10 @@ use minos_net::Arch;
 use minos_types::{DdpModel, PersistencyModel, SimConfig};
 
 fn main() {
-    banner("Figure 12", "optimization ablation, <Lin,Synch>, 100% writes");
+    banner(
+        "Figure 12",
+        "optimization ablation, <Lin,Synch>, 100% writes",
+    );
     let cfg = SimConfig::paper_defaults();
     let spec = bench_spec().with_write_fraction(1.0);
     let model = DdpModel::lin(PersistencyModel::Synchronous);
@@ -22,7 +25,10 @@ fn main() {
         .write_lat
         .mean();
 
-    println!("{:<26} {:>12} {:>12}", "architecture", "write(us)", "vs MINOS-B");
+    println!(
+        "{:<26} {:>12} {:>12}",
+        "architecture", "write(us)", "vs MINOS-B"
+    );
     for arch in Arch::ablation_points() {
         let lat = run_point(arch, &cfg, model, &spec).write_lat.mean();
         println!(

@@ -23,7 +23,10 @@ fn main() {
     .write_lat
     .mean();
 
-    println!("{:>10} {:>12} {:>14}", "entries", "write(us)", "vs unlimited");
+    println!(
+        "{:>10} {:>12} {:>14}",
+        "entries", "write(us)", "vs unlimited"
+    );
     for entries in [1usize, 2, 3, 4, 5, 100] {
         let lat = run_point(
             Arch::minos_o(),

@@ -14,11 +14,17 @@ use minos_types::{DdpModel, PersistencyModel, SimConfig};
 use minos_workload::KeyDist;
 
 fn main() {
-    banner("Figure 14", "sensitivity: persist latency, key dist, DB size");
+    banner(
+        "Figure 14",
+        "sensitivity: persist latency, key dist, DB size",
+    );
     let model = DdpModel::lin(PersistencyModel::Synchronous);
 
     println!("\n(1) persist latency sweep (ns per 1 KB) — speedup of O over B");
-    println!("{:>12} {:>12} {:>12} {:>9}", "persist", "B wr(us)", "O wr(us)", "speedup");
+    println!(
+        "{:>12} {:>12} {:>12} {:>9}",
+        "persist", "B wr(us)", "O wr(us)", "speedup"
+    );
     for ns in [100u64, 1_295, 10_000, 100_000] {
         let cfg = SimConfig::paper_defaults().with_persist_ns_per_kb(ns);
         // Latency-focused measurement (one client per node): the sweep
@@ -36,7 +42,10 @@ fn main() {
     }
 
     println!("\n(2) key distribution — speedup of O over B");
-    println!("{:>12} {:>12} {:>12} {:>9}", "dist", "B wr(us)", "O wr(us)", "speedup");
+    println!(
+        "{:>12} {:>12} {:>12} {:>9}",
+        "dist", "B wr(us)", "O wr(us)", "speedup"
+    );
     for dist in [KeyDist::Zipfian, KeyDist::Uniform] {
         let cfg = SimConfig::paper_defaults();
         let spec = bench_spec().with_dist(dist);
@@ -52,7 +61,10 @@ fn main() {
     }
 
     println!("\n(3) database size — speedup of O over B");
-    println!("{:>12} {:>12} {:>12} {:>9}", "records", "B wr(us)", "O wr(us)", "speedup");
+    println!(
+        "{:>12} {:>12} {:>12} {:>9}",
+        "records", "B wr(us)", "O wr(us)", "speedup"
+    );
     for records in [10u64, 1_000, 100_000] {
         let cfg = SimConfig::paper_defaults();
         let spec = bench_spec().with_records(records);

@@ -58,7 +58,7 @@ fn parse() -> Opts {
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
-    let mut value = |i: &mut usize| -> String {
+    let value = |i: &mut usize| -> String {
         *i += 1;
         args.get(*i).cloned().unwrap_or_else(|| usage())
     };

@@ -39,7 +39,7 @@ pub fn full_scale() -> bool {
 }
 
 /// The fixed seed shared by every bench (runs are deterministic).
-pub const SEED: u64 = 0x4D49_4E4F_53; // "MINOS"
+pub const SEED: u64 = 0x004D_494E_4F53; // "MINOS"
 
 /// Runs one simulated experiment point.
 #[must_use]

@@ -1,21 +1,25 @@
 //! One MINOS-B node as a standalone process.
 //!
 //! ```text
-//! minos-noded <node-idx> <model> <client-addr> <peer-addr-0> <peer-addr-1> ...
+//! minos-noded [--batching] [--broadcast] <node-idx> <model> <client-addr> <peer-addr-0> ...
 //! ```
 //!
 //! `model` is one of `synch|strict|renf|event|scope`. The peer list is
 //! shared verbatim by every process of the cluster; `<node-idx>` selects
-//! which entry this process binds.
+//! which entry this process binds. `--batching`/`--broadcast` switch on
+//! the Fig. 12 transport capabilities.
 
 use minos_cluster::tcp::{TcpNode, TcpNodeConfig};
 use minos_types::{DdpModel, NodeId, PersistencyModel};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let batching = args.iter().any(|a| a == "--batching");
+    let broadcast = args.iter().any(|a| a == "--broadcast");
+    args.retain(|a| a != "--batching" && a != "--broadcast");
     if args.len() < 4 {
         eprintln!(
-            "usage: minos-noded <node-idx> <synch|strict|renf|event|scope> <client-addr> <peer-addr>..."
+            "usage: minos-noded [--batching] [--broadcast] <node-idx> <synch|strict|renf|event|scope> <client-addr> <peer-addr>..."
         );
         std::process::exit(2);
     }
@@ -44,6 +48,8 @@ fn main() {
         peers,
         client_addr,
         persist_ns_per_kb: 1295,
+        batching,
+        broadcast,
     };
     let server = TcpNode::serve(cfg).expect("bind node");
     eprintln!(

@@ -3,10 +3,9 @@
 use crate::node::{spawn_node, NodeMsg, NodeThread};
 use crate::timer::TimerWheel;
 use crossbeam::channel::{bounded, unbounded, Sender};
+use minos_core::runtime::{DispatchStats, TransportCounters};
 use minos_core::{Event, ReqId};
-use minos_types::{
-    ClusterConfig, DdpModel, Key, MinosError, NodeId, Result, ScopeId, Ts, Value,
-};
+use minos_types::{ClusterConfig, DdpModel, Key, MinosError, NodeId, Result, ScopeId, Ts, Value};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -279,6 +278,49 @@ impl Cluster {
     #[must_use]
     pub fn config(&self) -> &ClusterConfig {
         &self.cfg
+    }
+
+    /// Snapshots `node`'s dispatch statistics and transport counters.
+    ///
+    /// The dispatch statistics count protocol actions (and are therefore
+    /// invariant under the batching/broadcast toggles); the transport
+    /// counters count physical enqueues, which the Fig. 12 NIC
+    /// capabilities shrink.
+    ///
+    /// # Errors
+    ///
+    /// [`MinosError::UnknownNode`] for an out-of-range node;
+    /// [`MinosError::Shutdown`] if the node is unresponsive (e.g. crashed).
+    pub fn dispatch_stats(&self, node: NodeId) -> Result<(DispatchStats, TransportCounters)> {
+        let nt = self
+            .nodes
+            .get(node.0 as usize)
+            .ok_or(MinosError::UnknownNode(node))?;
+        let (tx, rx) = bounded(1);
+        nt.tx
+            .send(NodeMsg::QueryStats { reply: tx })
+            .map_err(|_| MinosError::Shutdown)?;
+        rx.recv_timeout(Duration::from_secs(10))
+            .map_err(|_| MinosError::Shutdown)
+    }
+
+    /// Aggregated [`Cluster::dispatch_stats`] over all live nodes.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cluster::dispatch_stats`].
+    pub fn dispatch_stats_total(&self) -> Result<(DispatchStats, TransportCounters)> {
+        let mut stats = DispatchStats::default();
+        let mut counters = TransportCounters::default();
+        for i in 0..self.nodes.len() {
+            if self.failed.lock()[i] {
+                continue;
+            }
+            let (s, c) = self.dispatch_stats(NodeId(i as u16))?;
+            stats.merge(&s);
+            counters.merge(&c);
+        }
+        Ok((stats, counters))
     }
 
     /// Stops every node thread and the delay wheel.

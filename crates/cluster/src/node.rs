@@ -1,12 +1,21 @@
 //! The per-node worker thread.
+//!
+//! Action interpretation is delegated to the shared
+//! [`minos_core::runtime`] dispatcher; this module supplies the
+//! crossbeam-channel transport ([`NodeHandler`]) and wraps it in the
+//! [`Batched`] middleware so the Fig. 12 batching/broadcast capabilities
+//! can be toggled per cluster via [`ClusterConfig`].
 
 use crate::cluster::{CompletionMap, Outcome};
 use crate::timer::Scheduler;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
-use minos_core::{Action, Event, NodeEngine, ReqId};
+use minos_core::runtime::{
+    ActionSink, BatchPolicy, Batched, DispatchStats, Dispatcher, FrameTransport, TransportCounters,
+};
+use minos_core::{DelayClass, Event, NodeEngine, ReqId};
 use minos_kv::DurableState;
 use minos_nvm::LogEntry;
-use minos_types::{ClusterConfig, DdpModel, Key, NodeId, Ts, Value};
+use minos_types::{ClusterConfig, DdpModel, Key, Message, NodeId, Ts, Value};
 use std::collections::HashMap;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -16,6 +25,14 @@ use std::time::{Duration, Instant};
 pub(crate) enum NodeMsg {
     /// A protocol or client event.
     Ev(Event),
+    /// Framed peer traffic: one transport deposit carrying one or more
+    /// protocol messages from `from`.
+    Frame {
+        /// Sending peer.
+        from: NodeId,
+        /// The batched messages, in emission order.
+        msgs: Vec<Message>,
+    },
     /// Liveness beacon from a peer.
     Heartbeat {
         /// The beaconing peer.
@@ -35,6 +52,11 @@ pub(crate) enum NodeMsg {
         entries: Vec<LogEntry>,
         /// Signaled when the node is serving again.
         done: Sender<()>,
+    },
+    /// Report the node's dispatch and transport counters.
+    QueryStats {
+        /// Where to send them.
+        reply: Sender<(DispatchStats, TransportCounters)>,
     },
     /// Simulate a crash: stop processing (messages drain unhandled).
     Crash,
@@ -75,6 +97,8 @@ pub(crate) fn spawn_node(
             NodeLoop {
                 node,
                 engine: NodeEngine::new(node, cfg.nodes, model),
+                dispatcher: Dispatcher::new(),
+                counters: TransportCounters::default(),
                 durable: DurableState::with_persist_latency(cfg.nvm_persist_ns_per_kb),
                 cfg,
                 model,
@@ -97,6 +121,8 @@ pub(crate) fn spawn_node(
 struct NodeLoop {
     node: NodeId,
     engine: NodeEngine,
+    dispatcher: Dispatcher,
+    counters: TransportCounters,
     durable: DurableState,
     cfg: ClusterConfig,
     model: DdpModel,
@@ -108,11 +134,92 @@ struct NodeLoop {
     crashed: bool,
 }
 
+/// The crossbeam-cluster dispatch handler: frames ride the delay wheel,
+/// persists go through the emulated NVM device, completions wake the
+/// blocked client thread.
+struct NodeHandler<'a> {
+    node: NodeId,
+    cfg: &'a ClusterConfig,
+    scheduler: &'a Scheduler<NodeMsg>,
+    durable: &'a mut DurableState,
+    completions: &'a CompletionMap,
+}
+
+impl NodeHandler<'_> {
+    fn complete(&self, req: ReqId, outcome: Outcome) {
+        if let Some(tx) = self.completions.lock().remove(&req) {
+            let _ = tx.send(outcome);
+        }
+    }
+}
+
+impl FrameTransport for NodeHandler<'_> {
+    fn deposit(&mut self, to: NodeId, msgs: Vec<Message>) {
+        self.scheduler.send_after(
+            self.cfg.wire_latency_ns,
+            to,
+            NodeMsg::Frame {
+                from: self.node,
+                msgs,
+            },
+        );
+    }
+
+    fn deposit_all(&mut self, dests: &[NodeId], msgs: Vec<Message>) {
+        // Native broadcast: one wheel entry expands to every destination
+        // at expiry.
+        let deliveries = dests
+            .iter()
+            .map(|&to| {
+                (
+                    to,
+                    NodeMsg::Frame {
+                        from: self.node,
+                        msgs: msgs.clone(),
+                    },
+                )
+            })
+            .collect();
+        self.scheduler
+            .send_after_many(self.cfg.wire_latency_ns, deliveries);
+    }
+}
+
+impl ActionSink for NodeHandler<'_> {
+    fn persist(&mut self, key: Key, ts: Ts, value: Value, _background: bool) {
+        let ns = self.durable.device().persist_ns(value.len() as u64);
+        self.durable.persist(key, ts, value);
+        self.scheduler
+            .send_after(ns, self.node, NodeMsg::Ev(Event::PersistDone { key, ts }));
+    }
+
+    fn redirect(&mut self, to: NodeId, event: Event) {
+        self.scheduler
+            .send_after(self.cfg.wire_latency_ns, to, NodeMsg::Ev(event));
+    }
+
+    fn defer(&mut self, event: Event, _class: DelayClass) {
+        // Local dispatch hop: back through our own queue.
+        self.scheduler.send_after(0, self.node, NodeMsg::Ev(event));
+    }
+
+    fn write_done(&mut self, req: ReqId, _key: Key, ts: Ts, obsolete: bool) {
+        self.complete(req, Outcome::Write { ts, obsolete });
+    }
+
+    fn read_done(&mut self, req: ReqId, _key: Key, value: Value, ts: Ts) {
+        self.complete(req, Outcome::Read { value, ts });
+    }
+
+    fn persist_scope_done(&mut self, req: ReqId, scope: minos_types::ScopeId) {
+        self.complete(req, Outcome::PersistScope { scope });
+    }
+}
+
 impl NodeLoop {
     fn run(mut self) {
-        let heartbeat_every = Duration::from_nanos(self.cfg.failure_timeout_ns / 4).max(
-            Duration::from_millis(1),
-        );
+        let heartbeat_every =
+            Duration::from_nanos(self.cfg.failure_timeout_ns / 4).max(Duration::from_millis(1));
         let mut next_beat = Instant::now();
         let boot = Instant::now();
         loop {
@@ -126,11 +233,19 @@ impl NodeLoop {
                     self.revive(&entries);
                     let _ = done.send(());
                 }
+                Ok(NodeMsg::QueryStats { reply }) => {
+                    let _ = reply.send((*self.dispatcher.stats(), self.counters));
+                }
                 Ok(msg) if self.crashed => {
                     // A crashed node silently drains its inbox.
                     drop(msg);
                 }
                 Ok(NodeMsg::Ev(ev)) => self.handle_event(ev),
+                Ok(NodeMsg::Frame { from, msgs }) => {
+                    for msg in msgs {
+                        self.handle_event(Event::Message { from, msg });
+                    }
+                }
                 Ok(NodeMsg::Heartbeat { from }) => {
                     self.last_seen.insert(from, Instant::now());
                 }
@@ -141,7 +256,22 @@ impl NodeLoop {
                     self.engine.mark_failed(node);
                     let mut out = Vec::new();
                     self.engine.poll_now(&mut out);
-                    self.dispatch(out);
+                    let mut handler = Batched::new(
+                        NodeHandler {
+                            node: self.node,
+                            cfg: &self.cfg,
+                            scheduler: &self.scheduler,
+                            durable: &mut self.durable,
+                            completions: &self.completions,
+                        },
+                        BatchPolicy {
+                            batching: self.cfg.batching,
+                            broadcast: self.cfg.broadcast,
+                        },
+                    );
+                    self.dispatcher.run_actions(&self.engine, out, &mut handler);
+                    let (_, c) = handler.into_parts();
+                    self.counters.merge(&c);
                 }
                 Ok(NodeMsg::PeerRecovered { node }) => {
                     self.engine.mark_recovered(node);
@@ -168,11 +298,7 @@ impl NodeLoop {
                         .engine
                         .alive_peers()
                         .into_iter()
-                        .filter(|p| {
-                            self.last_seen
-                                .get(p)
-                                .is_none_or(|t| t.elapsed() > timeout)
-                        })
+                        .filter(|p| self.last_seen.get(p).is_none_or(|t| t.elapsed() > timeout))
                         .collect();
                     for s in suspects {
                         // Report to the cluster monitor, which alerts all
@@ -185,74 +311,22 @@ impl NodeLoop {
     }
 
     fn handle_event(&mut self, ev: Event) {
-        let mut out = Vec::new();
-        self.engine.on_event(ev, &mut out);
-        self.dispatch(out);
-    }
-
-    fn dispatch(&mut self, actions: Vec<Action>) {
-        for a in actions {
-            match a {
-                Action::Send { to, msg } => {
-                    self.scheduler.send_after(
-                        self.cfg.wire_latency_ns,
-                        to,
-                        NodeMsg::Ev(Event::Message {
-                            from: self.node,
-                            msg,
-                        }),
-                    );
-                }
-                Action::SendToFollowers { msg } => {
-                    for to in self.engine.fanout_targets(msg.key()) {
-                        self.scheduler.send_after(
-                            self.cfg.wire_latency_ns,
-                            to,
-                            NodeMsg::Ev(Event::Message {
-                                from: self.node,
-                                msg: msg.clone(),
-                            }),
-                        );
-                    }
-                }
-                Action::Persist { key, ts, value, .. } => {
-                    let ns = self
-                        .durable
-                        .device()
-                        .persist_ns(value.len() as u64);
-                    self.durable.persist(key, ts, value);
-                    self.scheduler.send_after(
-                        ns,
-                        self.node,
-                        NodeMsg::Ev(Event::PersistDone { key, ts }),
-                    );
-                }
-                Action::Redirect { to, event } => {
-                    self.scheduler
-                        .send_after(self.cfg.wire_latency_ns, to, NodeMsg::Ev(event));
-                }
-                Action::Defer { event, .. } => {
-                    // Local dispatch hop: back through our own queue.
-                    self.scheduler.send_after(0, self.node, NodeMsg::Ev(event));
-                }
-                Action::WriteDone {
-                    req, ts, obsolete, ..
-                } => self.complete(req, Outcome::Write { ts, obsolete }),
-                Action::ReadDone { req, value, ts, .. } => {
-                    self.complete(req, Outcome::Read { value, ts });
-                }
-                Action::PersistScopeDone { req, scope } => {
-                    self.complete(req, Outcome::PersistScope { scope });
-                }
-                Action::Meta(_) => {}
-            }
-        }
-    }
-
-    fn complete(&self, req: ReqId, outcome: Outcome) {
-        if let Some(tx) = self.completions.lock().remove(&req) {
-            let _ = tx.send(outcome);
-        }
+        let mut handler = Batched::new(
+            NodeHandler {
+                node: self.node,
+                cfg: &self.cfg,
+                scheduler: &self.scheduler,
+                durable: &mut self.durable,
+                completions: &self.completions,
+            },
+            BatchPolicy {
+                batching: self.cfg.batching,
+                broadcast: self.cfg.broadcast,
+            },
+        );
+        self.dispatcher.dispatch(&mut self.engine, ev, &mut handler);
+        let (_, c) = handler.into_parts();
+        self.counters.merge(&c);
     }
 
     /// §III-E rejoin: a crash wiped the volatile state, so the protocol

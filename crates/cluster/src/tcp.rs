@@ -12,18 +12,23 @@
 //!
 //! Everything on the wire is `[u32 little-endian length][body]`.
 //!
-//! * **peer → peer**: `[u16 from][encoded Message]`
+//! * **peer → peer**: a peer frame from [`minos_types::wire`]
+//!   (`[u16 from][u16 count]` then `count` length-prefixed messages) —
+//!   the same codec the batching middleware coalesces into, so a frame
+//!   carries one message without batching and a whole dispatch's worth
+//!   with it
 //! * **client → node**: `[u8 op][u64 client-req][op payload]` where op is
 //!   1=put `[key][scope_opt][value]`, 2=get `[key]`, 3=persist `[scope]`
 //! * **node → client**: `[u64 client-req][u8 status][payload]` — status
 //!   1=write-done `[ts]`, 2=read-done `[ts][value]`, 3=persist-done, 0=error
 
-use crate::timer::TimerWheel;
+use crate::timer::{Scheduler, TimerWheel};
 use crossbeam::channel::{unbounded, Sender};
-use minos_core::{Action, Event, NodeEngine, ReqId};
+use minos_core::runtime::{ActionSink, BatchPolicy, Batched, Dispatcher, FrameTransport};
+use minos_core::{DelayClass, Event, NodeEngine, ReqId};
 use minos_kv::DurableState;
-use minos_types::wire::{decode_message, encode_message};
-use minos_types::{DdpModel, Key, NodeId, ScopeId, Ts, Value};
+use minos_types::wire::{decode_peer_frame, encode_peer_frame};
+use minos_types::{DdpModel, Key, Message, NodeId, ScopeId, Ts, Value};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -45,15 +50,19 @@ pub struct TcpNodeConfig {
     pub client_addr: SocketAddr,
     /// Emulated NVM persist latency (ns per KB).
     pub persist_ns_per_kb: u64,
+    /// Transport-level message batching (Fig. 12 `batching`): messages
+    /// emitted while handling one event travel in one peer frame per
+    /// destination.
+    pub batching: bool,
+    /// Transport-level broadcast (Fig. 12 `broadcast`): a fan-out frame
+    /// is encoded once and the same bytes are written to every
+    /// destination socket.
+    pub broadcast: bool,
 }
 
 enum In {
-    Peer(NodeId, minos_types::Message),
-    Client {
-        conn: u64,
-        creq: u64,
-        op: ClientOp,
-    },
+    Peer(NodeId, Vec<Message>),
+    Client { conn: u64, creq: u64, op: ClientOp },
     PersistDone(Key, Ts),
     Local(Event),
     Shutdown,
@@ -126,13 +135,9 @@ impl TcpNode {
                         let tx = tx.clone();
                         std::thread::spawn(move || {
                             while let Ok(frame) = read_frame(&mut stream) {
-                                if frame.len() < 2 {
-                                    break;
-                                }
-                                let from = NodeId(u16::from_le_bytes([frame[0], frame[1]]));
-                                match decode_message(&frame[2..]) {
-                                    Ok(msg) => {
-                                        if tx.send(In::Peer(from, msg)).is_err() {
+                                match decode_peer_frame(&frame) {
+                                    Ok((from, msgs)) => {
+                                        if tx.send(In::Peer(from, msgs)).is_err() {
                                             break;
                                         }
                                     }
@@ -192,55 +197,34 @@ impl TcpNode {
             .name(format!("minos-tcp-engine-{}", cfg.node))
             .spawn(move || {
                 let mut engine = NodeEngine::new(cfg.node, cfg.peers.len(), cfg.model);
+                let mut dispatcher = Dispatcher::new();
+                let policy = BatchPolicy {
+                    batching: cfg.batching,
+                    broadcast: cfg.broadcast,
+                };
                 let mut durable = DurableState::with_persist_latency(cfg.persist_ns_per_kb);
                 let mut peers: HashMap<NodeId, TcpStream> = HashMap::new();
                 // Client request bookkeeping: engine ReqId → (conn, creq).
                 let mut pending: HashMap<ReqId, (u64, u64)> = HashMap::new();
                 let mut next_req = 1u64;
 
-                let send_peer = |peers: &mut HashMap<NodeId, TcpStream>,
-                                 to: NodeId,
-                                 from: NodeId,
-                                 msg: &minos_types::Message| {
-                    let body = {
-                        let mut b = from.0.to_le_bytes().to_vec();
-                        b.extend_from_slice(&encode_message(msg));
-                        b
-                    };
-                    for _attempt in 0..2 {
-                        if !peers.contains_key(&to) {
-                            match TcpStream::connect(cfg.peers[to.0 as usize]) {
-                                Ok(s) => {
-                                    peers.insert(to, s);
-                                }
-                                Err(_) => return, // peer down: message lost
-                            }
-                        }
-                        if let Some(s) = peers.get_mut(&to) {
-                            if write_frame(s, &body).is_ok() {
-                                return;
-                            }
-                            peers.remove(&to); // stale connection: retry
-                        }
-                    }
-                };
-
                 while let Ok(input) = rx.recv() {
-                    let mut out = Vec::new();
+                    let mut events: Vec<Event> = Vec::new();
                     match input {
                         In::Shutdown => return,
-                        In::Peer(from, msg) => {
-                            engine.on_event(Event::Message { from, msg }, &mut out);
+                        In::Peer(from, msgs) => {
+                            // One inbound frame may carry a whole batch.
+                            events.extend(msgs.into_iter().map(|msg| Event::Message { from, msg }));
                         }
                         In::PersistDone(key, ts) => {
-                            engine.on_event(Event::PersistDone { key, ts }, &mut out);
+                            events.push(Event::PersistDone { key, ts });
                         }
-                        In::Local(ev) => engine.on_event(ev, &mut out),
+                        In::Local(ev) => events.push(ev),
                         In::Client { conn, creq, op } => {
                             let req = ReqId(next_req);
                             next_req += 1;
                             pending.insert(req, (conn, creq));
-                            let ev = match op {
+                            events.push(match op {
                                 ClientOp::Put { key, scope, value } => Event::ClientWrite {
                                     key,
                                     value,
@@ -251,53 +235,24 @@ impl TcpNode {
                                 ClientOp::Persist { scope } => {
                                     Event::ClientPersistScope { scope, req }
                                 }
-                            };
-                            engine.on_event(ev, &mut out);
+                            });
                         }
                     }
-
-                    for a in out {
-                        match a {
-                            Action::Send { to, msg } => {
-                                send_peer(&mut peers, to, cfg.node, &msg);
-                            }
-                            Action::SendToFollowers { msg } => {
-                                for to in engine.fanout_targets(msg.key()) {
-                                    send_peer(&mut peers, to, cfg.node, &msg);
-                                }
-                            }
-                            Action::Redirect { .. } => {
-                                // The TCP runtime serves fully replicated
-                                // clusters; redirects cannot arise.
-                            }
-                            Action::Persist { key, ts, value, .. } => {
-                                let ns = durable.device().persist_ns(value.len() as u64);
-                                durable.persist(key, ts, value);
-                                scheduler.send_after(ns, NodeId(0), In::PersistDone(key, ts));
-                            }
-                            Action::Defer { event, .. } => {
-                                let _ = engine_tx.send(In::Local(event));
-                            }
-                            Action::WriteDone { req, ts, .. } => {
-                                respond(&client_writers, &mut pending, req, |b| {
-                                    b.push(1);
-                                    b.extend_from_slice(&ts.version.to_le_bytes());
-                                    b.extend_from_slice(&ts.node.0.to_le_bytes());
-                                });
-                            }
-                            Action::ReadDone { req, value, ts, .. } => {
-                                respond(&client_writers, &mut pending, req, |b| {
-                                    b.push(2);
-                                    b.extend_from_slice(&ts.version.to_le_bytes());
-                                    b.extend_from_slice(&ts.node.0.to_le_bytes());
-                                    b.extend_from_slice(&value);
-                                });
-                            }
-                            Action::PersistScopeDone { req, .. } => {
-                                respond(&client_writers, &mut pending, req, |b| b.push(3));
-                            }
-                            Action::Meta(_) => {}
-                        }
+                    for ev in events {
+                        let mut handler = Batched::new(
+                            TcpHandler {
+                                node: cfg.node,
+                                peer_addrs: &cfg.peers,
+                                peers: &mut peers,
+                                durable: &mut durable,
+                                scheduler: &scheduler,
+                                engine_tx: &engine_tx,
+                                writers: &client_writers,
+                                pending: &mut pending,
+                            },
+                            policy,
+                        );
+                        dispatcher.dispatch(&mut engine, ev, &mut handler);
                     }
                 }
             })?;
@@ -336,6 +291,99 @@ impl TcpNode {
         if let Some(h) = self.engine_thread.take() {
             let _ = h.join();
         }
+    }
+}
+
+/// The socket-backed dispatch handler: peer frames are encoded with the
+/// shared wire codec and written straight to peer sockets; persists ride
+/// the local delay wheel; completions are written back to the client
+/// connection.
+struct TcpHandler<'a> {
+    node: NodeId,
+    peer_addrs: &'a [SocketAddr],
+    peers: &'a mut HashMap<NodeId, TcpStream>,
+    durable: &'a mut DurableState,
+    scheduler: &'a Scheduler<In>,
+    engine_tx: &'a Sender<In>,
+    writers: &'a Arc<Mutex<HashMap<u64, TcpStream>>>,
+    pending: &'a mut HashMap<ReqId, (u64, u64)>,
+}
+
+impl TcpHandler<'_> {
+    /// Writes one already-encoded frame to `to`, reconnecting once on a
+    /// stale connection. An unreachable peer loses the frame, which is
+    /// exactly what a crashed node looks like.
+    fn write_to(&mut self, to: NodeId, body: &[u8]) {
+        for _attempt in 0..2 {
+            if !self.peers.contains_key(&to) {
+                match TcpStream::connect(self.peer_addrs[to.0 as usize]) {
+                    Ok(s) => {
+                        self.peers.insert(to, s);
+                    }
+                    Err(_) => return, // peer down: message lost
+                }
+            }
+            if let Some(s) = self.peers.get_mut(&to) {
+                if write_frame(s, body).is_ok() {
+                    return;
+                }
+                self.peers.remove(&to); // stale connection: retry
+            }
+        }
+    }
+}
+
+impl FrameTransport for TcpHandler<'_> {
+    fn deposit(&mut self, to: NodeId, msgs: Vec<Message>) {
+        let body = encode_peer_frame(self.node, &msgs);
+        self.write_to(to, &body);
+    }
+
+    fn deposit_all(&mut self, dests: &[NodeId], msgs: Vec<Message>) {
+        // Broadcast: encode once, write the same bytes to every socket.
+        let body = encode_peer_frame(self.node, &msgs);
+        for &to in dests {
+            self.write_to(to, &body);
+        }
+    }
+}
+
+impl ActionSink for TcpHandler<'_> {
+    fn persist(&mut self, key: Key, ts: Ts, value: Value, _background: bool) {
+        let ns = self.durable.device().persist_ns(value.len() as u64);
+        self.durable.persist(key, ts, value);
+        self.scheduler
+            .send_after(ns, NodeId(0), In::PersistDone(key, ts));
+    }
+
+    fn redirect(&mut self, _to: NodeId, _event: Event) {
+        // The TCP runtime serves fully replicated clusters; redirects
+        // cannot arise.
+    }
+
+    fn defer(&mut self, event: Event, _class: DelayClass) {
+        let _ = self.engine_tx.send(In::Local(event));
+    }
+
+    fn write_done(&mut self, req: ReqId, _key: Key, ts: Ts, _obsolete: bool) {
+        respond(self.writers, self.pending, req, |b| {
+            b.push(1);
+            b.extend_from_slice(&ts.version.to_le_bytes());
+            b.extend_from_slice(&ts.node.0.to_le_bytes());
+        });
+    }
+
+    fn read_done(&mut self, req: ReqId, _key: Key, value: Value, ts: Ts) {
+        respond(self.writers, self.pending, req, |b| {
+            b.push(2);
+            b.extend_from_slice(&ts.version.to_le_bytes());
+            b.extend_from_slice(&ts.node.0.to_le_bytes());
+            b.extend_from_slice(&value);
+        });
+    }
+
+    fn persist_scope_done(&mut self, req: ReqId, _scope: ScopeId) {
+        respond(self.writers, self.pending, req, |b| b.push(3));
     }
 }
 
@@ -449,12 +497,7 @@ impl TcpClient {
     /// # Errors
     ///
     /// Propagates socket errors and malformed responses.
-    pub fn put(
-        &mut self,
-        key: Key,
-        value: &[u8],
-        scope: Option<ScopeId>,
-    ) -> std::io::Result<Ts> {
+    pub fn put(&mut self, key: Key, value: &[u8], scope: Option<ScopeId>) -> std::io::Result<Ts> {
         let creq = self.fresh();
         let mut body = vec![1u8];
         body.extend_from_slice(&creq.to_le_bytes());

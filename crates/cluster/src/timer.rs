@@ -1,6 +1,11 @@
 //! The delay wheel: delivers messages to node threads after a wire or
 //! device latency. Generic over the message type so both the in-process
 //! runtime (`NodeMsg`) and the TCP runtime can use it.
+//!
+//! One heap entry can carry deliveries to *several* destinations
+//! ([`Scheduler::send_after_many`]): that is the broadcast capability of
+//! the transport layer — a fan-out costs its sender a single enqueue and
+//! is expanded to every destination inside the wheel at expiry.
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use minos_types::NodeId;
@@ -9,12 +14,11 @@ use std::collections::BinaryHeap;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// A request to deliver `msg` to `dest` at `due`.
+/// A request to perform `deliveries` at `due`.
 struct Pending<M> {
     due: Instant,
     seq: u64,
-    dest: NodeId,
-    msg: M,
+    deliveries: Vec<(NodeId, M)>,
 }
 
 impl<M> PartialEq for Pending<M> {
@@ -59,10 +63,13 @@ impl<M: Send + 'static> TimerWheel<M> {
                     let now = Instant::now();
                     while heap.peek().is_some_and(|Reverse(p)| p.due <= now) {
                         let Reverse(p) = heap.pop().expect("peeked");
-                        // A closed node channel means the node shut down;
-                        // in-flight messages to it are simply lost (which
-                        // is exactly what a crashed node looks like).
-                        let _ = nodes[p.dest.0 as usize].send(p.msg);
+                        for (dest, msg) in p.deliveries {
+                            // A closed node channel means the node shut
+                            // down; in-flight messages to it are simply
+                            // lost (which is exactly what a crashed node
+                            // looks like).
+                            let _ = nodes[dest.0 as usize].send(msg);
+                        }
                     }
                     // Sleep until the next deadline or a new request.
                     let wait = heap
@@ -116,12 +123,21 @@ impl<M> Clone for Scheduler<M> {
 impl<M> Scheduler<M> {
     /// Delivers `msg` to `dest` after `delay_ns`.
     pub(crate) fn send_after(&self, delay_ns: u64, dest: NodeId, msg: M) {
+        self.send_after_many(delay_ns, vec![(dest, msg)]);
+    }
+
+    /// Performs all of `deliveries` after `delay_ns`, from one wheel
+    /// entry — the sender pays a single enqueue however many
+    /// destinations there are.
+    pub(crate) fn send_after_many(&self, delay_ns: u64, deliveries: Vec<(NodeId, M)>) {
+        if deliveries.is_empty() {
+            return;
+        }
         let seq = NEXT_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let _ = self.tx.send(WheelMsg::Schedule(Pending {
             due: Instant::now() + Duration::from_nanos(delay_ns),
             seq,
-            dest,
-            msg,
+            deliveries,
         }));
     }
 }

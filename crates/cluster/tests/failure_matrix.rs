@@ -51,13 +51,18 @@ fn every_model_recovers_a_crashed_node() {
         cl.crash_node(NodeId(2));
         assert!(cl.await_failure_detection(NodeId(2), Duration::from_secs(5)));
         let sc2 = scoped.then_some(ScopeId(2));
-        cl.put_scoped(NodeId(1), Key(2), "during".into(), sc2).unwrap();
+        cl.put_scoped(NodeId(1), Key(2), "during".into(), sc2)
+            .unwrap();
         if let Some(sc2) = sc2 {
             cl.persist_scope(NodeId(1), sc2).unwrap();
         }
 
         cl.recover_node(NodeId(2), NodeId(0)).unwrap();
-        assert_eq!(cl.get(NodeId(2), Key(1)).unwrap(), "v1", "{model}: pre-crash data");
+        assert_eq!(
+            cl.get(NodeId(2), Key(1)).unwrap(),
+            "v1",
+            "{model}: pre-crash data"
+        );
         // Background-persistency models may not have the in-flight write
         // durable at the donor at ship time for Event; but the threaded
         // facade quiesces between calls, so it is.

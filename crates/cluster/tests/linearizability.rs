@@ -117,11 +117,9 @@ fn concurrent_history_is_linearizable() {
             let node = NodeId(t % 3);
             for i in 0..15u32 {
                 let key = Key(u64::from(i % 2));
-                if (t + i as u16) % 3 == 0 {
+                if (t + i as u16).is_multiple_of(3) {
                     let invoked = Instant::now();
-                    let ts = cl
-                        .put(node, key, format!("t{t}i{i}").into())
-                        .expect("put");
+                    let ts = cl.put(node, key, format!("t{t}i{i}").into()).expect("put");
                     history.lock().unwrap().push(OpRec::Write {
                         key,
                         ts,

@@ -19,6 +19,15 @@ fn free_addrs(n: usize) -> Vec<SocketAddr> {
 }
 
 fn spawn_tcp_cluster(n: usize, model: DdpModel) -> (Vec<TcpNode>, Vec<SocketAddr>) {
+    spawn_tcp_cluster_with(n, model, false, false)
+}
+
+fn spawn_tcp_cluster_with(
+    n: usize,
+    model: DdpModel,
+    batching: bool,
+    broadcast: bool,
+) -> (Vec<TcpNode>, Vec<SocketAddr>) {
     let peers = free_addrs(n);
     let clients = free_addrs(n);
     let nodes: Vec<TcpNode> = (0..n)
@@ -29,6 +38,8 @@ fn spawn_tcp_cluster(n: usize, model: DdpModel) -> (Vec<TcpNode>, Vec<SocketAddr
                 peers: peers.clone(),
                 client_addr: clients[i],
                 persist_ns_per_kb: 1295,
+                batching,
+                broadcast,
             })
             .expect("bind node")
         })
@@ -87,6 +98,32 @@ fn tcp_scope_model_with_persist() {
     }
 }
 
+/// Same workload as `tcp_many_sequential_writes_converge`, but with the
+/// batching + broadcast NIC capabilities on: replicated frames carry whole
+/// dispatch batches and fan-outs are encoded once. The protocol outcome
+/// must be identical.
+#[test]
+fn tcp_batched_broadcast_cluster_converges() {
+    let (nodes, clients) =
+        spawn_tcp_cluster_with(3, DdpModel::lin(PersistencyModel::Strict), true, true);
+    let mut conns: Vec<TcpClient> = clients
+        .iter()
+        .map(|&a| TcpClient::connect(a).unwrap())
+        .collect();
+    for i in 0..20u32 {
+        let c = (i % 3) as usize;
+        conns[c]
+            .put(Key(9), format!("b{i}").as_bytes(), None)
+            .unwrap();
+    }
+    for c in &mut conns {
+        assert_eq!(c.get(Key(9)).unwrap(), b"b19");
+    }
+    for n in nodes {
+        n.shutdown();
+    }
+}
+
 #[test]
 fn tcp_many_sequential_writes_converge() {
     let (nodes, clients) = spawn_tcp_cluster(3, DdpModel::lin(PersistencyModel::Synchronous));
@@ -96,7 +133,9 @@ fn tcp_many_sequential_writes_converge() {
         .collect();
     for i in 0..30u32 {
         let c = (i % 3) as usize;
-        conns[c].put(Key(5), format!("v{i}").as_bytes(), None).unwrap();
+        conns[c]
+            .put(Key(5), format!("v{i}").as_bytes(), None)
+            .unwrap();
     }
     for c in &mut conns {
         assert_eq!(c.get(Key(5)).unwrap(), b"v29");

@@ -110,7 +110,8 @@ impl NodeEngine {
 
         // Line 12: update local volatile state (LLC) and volatileTS.
         let bytes = tx.value.len() as u64;
-        self.store_mut().apply_local_write(key, ts, tx.value.clone());
+        self.store_mut()
+            .apply_local_write(key, ts, tx.value.clone());
         self.meta_hint(MetaOp::LlcUpdate { bytes }, out);
         self.meta_hint(MetaOp::TsUpdate, out);
 
@@ -139,7 +140,13 @@ impl NodeEngine {
 
     /// Books an acknowledgment from `from` into the matching transaction.
     /// Late acks for completed transactions are legitimately discarded.
-    pub(crate) fn record_ack(&mut self, key: Key, ts: Ts, from: minos_types::NodeId, kind: AckKind) {
+    pub(crate) fn record_ack(
+        &mut self,
+        key: Key,
+        ts: Ts,
+        from: minos_types::NodeId,
+        kind: AckKind,
+    ) {
         debug_assert_ne!(from, self.node(), "node acked itself");
         if let Some(tx) = self.coord.get_mut(&(key, ts)) {
             match kind {
@@ -212,7 +219,14 @@ impl NodeEngine {
                             if tx.ack_cs.len() >= followers {
                                 self.consistency_global(key, ts, out);
                                 self.unlock_if_owner(key, ts, out);
-                                self.send_to_followers(Message::ValC { key, ts, scope: None }, out);
+                                self.send_to_followers(
+                                    Message::ValC {
+                                        key,
+                                        ts,
+                                        scope: None,
+                                    },
+                                    out,
+                                );
                                 tx.state = CoordState::AwaitPersistAcks;
                                 true
                             } else {

@@ -41,7 +41,8 @@ impl NodeEngine {
         // (Within one event the re-check cannot newly fail; kept for the
         // threaded runtime and timing fidelity.)
         let bytes = tx.value.len() as u64;
-        self.store_mut().apply_local_write(key, ts, tx.value.clone());
+        self.store_mut()
+            .apply_local_write(key, ts, tx.value.clone());
         self.meta_hint(MetaOp::LlcUpdate { bytes }, out);
         self.meta_hint(MetaOp::TsUpdate, out);
         self.store_mut().record_mut(key).meta.wr_lock = false;
@@ -107,7 +108,15 @@ impl NodeEngine {
             }
             PersistencyModel::Strict => {
                 if tx.llc_updated && !tx.sent_ack_c {
-                    self.send_one(tx.coord, Message::AckC { key, ts, scope: None }, out);
+                    self.send_one(
+                        tx.coord,
+                        Message::AckC {
+                            key,
+                            ts,
+                            scope: None,
+                        },
+                        out,
+                    );
                     tx.sent_ack_c = true;
                     progressed = true;
                 }
@@ -130,7 +139,15 @@ impl NodeEngine {
             }
             PersistencyModel::ReadEnforced => {
                 if tx.llc_updated && !tx.sent_ack_c {
-                    self.send_one(tx.coord, Message::AckC { key, ts, scope: None }, out);
+                    self.send_one(
+                        tx.coord,
+                        Message::AckC {
+                            key,
+                            ts,
+                            scope: None,
+                        },
+                        out,
+                    );
                     tx.sent_ack_c = true;
                     progressed = true;
                 }
@@ -184,8 +201,7 @@ impl NodeEngine {
         match model {
             PersistencyModel::Synchronous => {
                 // handleObsolete() = both spins, then one combined ACK.
-                if !tx.sent_ack && meta.glb_volatile_ts >= target && meta.glb_durable_ts >= target
-                {
+                if !tx.sent_ack && meta.glb_volatile_ts >= target && meta.glb_durable_ts >= target {
                     self.send_one(tx.coord, Message::Ack { key, ts }, out);
                     tx.sent_ack = true;
                     progressed = true;
@@ -195,7 +211,15 @@ impl NodeEngine {
                 // Figure 3(ii): ConsistencySpin → ACK_C, then
                 // PersistencySpin → ACK_P.
                 if !tx.sent_ack_c && meta.glb_volatile_ts >= target {
-                    self.send_one(tx.coord, Message::AckC { key, ts, scope: None }, out);
+                    self.send_one(
+                        tx.coord,
+                        Message::AckC {
+                            key,
+                            ts,
+                            scope: None,
+                        },
+                        out,
+                    );
                     tx.sent_ack_c = true;
                     progressed = true;
                 }

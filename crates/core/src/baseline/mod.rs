@@ -384,7 +384,9 @@ impl NodeEngine {
 
     /// Number of followers = live peers expected to acknowledge.
     pub(crate) fn followers(&self) -> usize {
-        self.alive.len().saturating_sub(usize::from(self.alive.contains(&self.node)))
+        self.alive
+            .len()
+            .saturating_sub(usize::from(self.alive.contains(&self.node)))
     }
 
     /// Pre-populates a record (used to load the database before a run).
@@ -511,7 +513,10 @@ impl NodeEngine {
             self.serve_read(key, ReadWaiter::Local(req), out);
         } else {
             self.stats.reads_stalled += 1;
-            self.reads.entry(key).or_default().push(ReadWaiter::Local(req));
+            self.reads
+                .entry(key)
+                .or_default()
+                .push(ReadWaiter::Local(req));
         }
     }
 

@@ -49,6 +49,7 @@ mod baseline;
 mod event;
 pub mod loopback;
 mod offload;
+pub mod runtime;
 mod scope;
 mod stats;
 mod store;

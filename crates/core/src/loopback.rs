@@ -8,12 +8,20 @@
 //! tests, the KV layer, and the examples need. For timing, use the
 //! simulator in `minos-net`; for exhaustive interleavings, `minos-mc`.
 //!
+//! Action interpretation is the [`runtime`](crate::runtime) dispatchers':
+//! this harness only supplies [`Transport`]/[`ActionSink`] handlers that
+//! feed the in-process event queue, so its operational semantics are the
+//! same code every other harness runs.
+//!
 //! Persist completions can be held back (`auto_persist = false`) to test
 //! the persistency gates of each model.
 
 use crate::baseline::NodeEngine;
-use crate::event::{Action, Event, ReqId};
-use crate::offload::{OAction, OEvent, ONodeEngine, Side};
+use crate::event::{DelayClass, Event, ReqId};
+use crate::offload::{OEvent, ONodeEngine, PcieMsg, Side};
+use crate::runtime::{
+    ActionSink, DispatchStats, Dispatcher, ODispatchStats, ODispatcher, OSink, Transport,
+};
 use minos_types::{DdpModel, Key, NodeId, ScopeId, Ts, Value};
 use std::collections::VecDeque;
 
@@ -77,6 +85,7 @@ pub enum Completion {
 #[derive(Debug, Clone)]
 pub struct BCluster {
     engines: Vec<NodeEngine>,
+    dispatchers: Vec<Dispatcher>,
     queue: VecDeque<(NodeId, Event)>,
     /// When false, persist completions are parked in `held_persists` until
     /// [`BCluster::release_persists`] is called.
@@ -98,6 +107,75 @@ fn xorshift(state: &mut u64) -> u64 {
     x
 }
 
+/// The loopback handler for MINOS-B: every action effect is a push onto
+/// the shared in-process queue (or the completion/held-persist lists).
+struct BLoopHandler<'a> {
+    node: NodeId,
+    auto_persist: bool,
+    queue: &'a mut VecDeque<(NodeId, Event)>,
+    held_persists: &'a mut Vec<(NodeId, Key, Ts)>,
+    completions: &'a mut Vec<Completion>,
+}
+
+impl Transport for BLoopHandler<'_> {
+    fn send(&mut self, to: NodeId, msg: minos_types::Message) {
+        self.queue.push_back((
+            to,
+            Event::Message {
+                from: self.node,
+                msg,
+            },
+        ));
+    }
+}
+
+impl ActionSink for BLoopHandler<'_> {
+    fn persist(&mut self, key: Key, ts: Ts, _value: Value, _background: bool) {
+        if self.auto_persist {
+            self.queue
+                .push_back((self.node, Event::PersistDone { key, ts }));
+        } else {
+            self.held_persists.push((self.node, key, ts));
+        }
+    }
+
+    fn redirect(&mut self, to: NodeId, event: Event) {
+        self.queue.push_back((to, event));
+    }
+
+    fn defer(&mut self, event: Event, _class: DelayClass) {
+        self.queue.push_back((self.node, event));
+    }
+
+    fn write_done(&mut self, req: ReqId, key: Key, ts: Ts, obsolete: bool) {
+        self.completions.push(Completion::Write {
+            node: self.node,
+            req,
+            key,
+            ts,
+            obsolete,
+        });
+    }
+
+    fn read_done(&mut self, req: ReqId, key: Key, value: Value, ts: Ts) {
+        self.completions.push(Completion::Read {
+            node: self.node,
+            req,
+            key,
+            value,
+            ts,
+        });
+    }
+
+    fn persist_scope_done(&mut self, req: ReqId, scope: ScopeId) {
+        self.completions.push(Completion::PersistScope {
+            node: self.node,
+            req,
+            scope,
+        });
+    }
+}
+
 impl BCluster {
     /// Builds an `n`-node cluster running `model`.
     #[must_use]
@@ -106,6 +184,7 @@ impl BCluster {
             engines: (0..n)
                 .map(|i| NodeEngine::new(NodeId(i as u16), n, model))
                 .collect(),
+            dispatchers: vec![Dispatcher::new(); n],
             queue: VecDeque::new(),
             auto_persist: true,
             held_persists: Vec::new(),
@@ -136,6 +215,26 @@ impl BCluster {
     /// Mutable access to a node's engine (e.g. to pre-load records).
     pub fn engine_mut(&mut self, node: NodeId) -> &mut NodeEngine {
         &mut self.engines[node.0 as usize]
+    }
+
+    /// A node's accumulated dispatch counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not in the cluster.
+    #[must_use]
+    pub fn dispatch_stats(&self, node: NodeId) -> &DispatchStats {
+        self.dispatchers[node.0 as usize].stats()
+    }
+
+    /// Cluster-wide dispatch counters (all nodes merged).
+    #[must_use]
+    pub fn dispatch_stats_total(&self) -> DispatchStats {
+        let mut total = DispatchStats::default();
+        for d in &self.dispatchers {
+            total.merge(d.stats());
+        }
+        total
     }
 
     /// Pre-loads `key` on every node.
@@ -210,9 +309,15 @@ impl BCluster {
         let Some((node, ev)) = picked else {
             return false;
         };
-        let mut out = Vec::new();
-        self.engines[node.0 as usize].on_event(ev, &mut out);
-        self.dispatch(node, out);
+        let ni = node.0 as usize;
+        let mut handler = BLoopHandler {
+            node,
+            auto_persist: self.auto_persist,
+            queue: &mut self.queue,
+            held_persists: &mut self.held_persists,
+            completions: &mut self.completions,
+        };
+        self.dispatchers[ni].dispatch(&mut self.engines[ni], ev, &mut handler);
         true
     }
 
@@ -239,68 +344,6 @@ impl BCluster {
             self.queue.push_back((node, Event::PersistDone { key, ts }));
         }
         n
-    }
-
-    fn dispatch(&mut self, node: NodeId, actions: Vec<Action>) {
-        for a in actions {
-            match a {
-                Action::Send { to, msg } => {
-                    self.queue
-                        .push_back((to, Event::Message { from: node, msg }));
-                }
-                Action::SendToFollowers { msg } => {
-                    for to in self.engines[node.0 as usize].fanout_targets(msg.key()) {
-                        self.queue.push_back((
-                            to,
-                            Event::Message {
-                                from: node,
-                                msg: msg.clone(),
-                            },
-                        ));
-                    }
-                }
-                Action::Redirect { to, event } => {
-                    self.queue.push_back((to, event));
-                }
-                Action::Persist { key, ts, .. } => {
-                    if self.auto_persist {
-                        self.queue.push_back((node, Event::PersistDone { key, ts }));
-                    } else {
-                        self.held_persists.push((node, key, ts));
-                    }
-                }
-                Action::Defer { event, .. } => self.queue.push_back((node, event)),
-                Action::WriteDone {
-                    req,
-                    key,
-                    ts,
-                    obsolete,
-                } => self.completions.push(Completion::Write {
-                    node,
-                    req,
-                    key,
-                    ts,
-                    obsolete,
-                }),
-                Action::ReadDone {
-                    req,
-                    key,
-                    value,
-                    ts,
-                } => self.completions.push(Completion::Read {
-                    node,
-                    req,
-                    key,
-                    value,
-                    ts,
-                }),
-                Action::PersistScopeDone { req, scope } => {
-                    self.completions
-                        .push(Completion::PersistScope { node, req, scope });
-                }
-                Action::Meta(_) => {}
-            }
-        }
     }
 
     /// Whether write `req` has completed.
@@ -360,10 +403,83 @@ impl BCluster {
 #[derive(Debug, Clone)]
 pub struct OCluster {
     engines: Vec<ONodeEngine>,
+    dispatchers: Vec<ODispatcher>,
     queue: VecDeque<(NodeId, OEvent)>,
     completions: Vec<Completion>,
     next_req: u64,
     scramble: Option<u64>,
+}
+
+/// The loopback handler for MINOS-O: PCIe descriptors and FIFO drains
+/// feed back into the same queue immediately.
+struct OLoopHandler<'a> {
+    node: NodeId,
+    queue: &'a mut VecDeque<(NodeId, OEvent)>,
+    completions: &'a mut Vec<Completion>,
+}
+
+impl Transport for OLoopHandler<'_> {
+    fn send(&mut self, to: NodeId, msg: minos_types::Message) {
+        self.queue.push_back((
+            to,
+            OEvent::NetMessage {
+                from: self.node,
+                msg,
+            },
+        ));
+    }
+}
+
+impl OSink for OLoopHandler<'_> {
+    fn pcie(&mut self, from: Side, msg: PcieMsg) {
+        let ev = match from {
+            Side::Host => OEvent::PcieFromHost(msg),
+            Side::Snic => OEvent::PcieFromSnic(msg),
+        };
+        self.queue.push_back((self.node, ev));
+    }
+
+    fn vfifo_enqueue(&mut self, key: Key, ts: Ts, _bytes: u64) {
+        self.queue
+            .push_back((self.node, OEvent::VfifoDrained { key, ts }));
+    }
+
+    fn dfifo_enqueue(&mut self, key: Key, ts: Ts, _bytes: u64) {
+        self.queue
+            .push_back((self.node, OEvent::DfifoDrained { key, ts }));
+    }
+
+    fn defer(&mut self, event: OEvent) {
+        self.queue.push_back((self.node, event));
+    }
+
+    fn write_done(&mut self, req: ReqId, key: Key, ts: Ts, obsolete: bool) {
+        self.completions.push(Completion::Write {
+            node: self.node,
+            req,
+            key,
+            ts,
+            obsolete,
+        });
+    }
+
+    fn read_done(&mut self, req: ReqId, key: Key, value: Value, ts: Ts) {
+        self.completions.push(Completion::Read {
+            node: self.node,
+            req,
+            key,
+            value,
+            ts,
+        });
+    }
+
+    fn persist_scope_done(&mut self, req: ReqId, scope: ScopeId) {
+        self.completions.push(Completion::PersistScope {
+            node: self.node,
+            req,
+            scope,
+        });
+    }
 }
 
 impl OCluster {
@@ -374,6 +490,7 @@ impl OCluster {
             engines: (0..n)
                 .map(|i| ONodeEngine::new(NodeId(i as u16), n, model))
                 .collect(),
+            dispatchers: vec![ODispatcher::new(); n],
             queue: VecDeque::new(),
             completions: Vec::new(),
             next_req: 1,
@@ -396,6 +513,22 @@ impl OCluster {
     /// Mutable access to a node's engine.
     pub fn engine_mut(&mut self, node: NodeId) -> &mut ONodeEngine {
         &mut self.engines[node.0 as usize]
+    }
+
+    /// A node's accumulated dispatch counters.
+    #[must_use]
+    pub fn dispatch_stats(&self, node: NodeId) -> &ODispatchStats {
+        self.dispatchers[node.0 as usize].stats()
+    }
+
+    /// Cluster-wide dispatch counters (all nodes merged).
+    #[must_use]
+    pub fn dispatch_stats_total(&self) -> ODispatchStats {
+        let mut total = ODispatchStats::default();
+        for d in &self.dispatchers {
+            total.merge(d.stats());
+        }
+        total
     }
 
     /// Pre-loads `key` on every node.
@@ -466,9 +599,13 @@ impl OCluster {
         let Some((node, ev)) = picked else {
             return false;
         };
-        let mut out = Vec::new();
-        self.engines[node.0 as usize].on_event(ev, &mut out);
-        self.dispatch(node, out);
+        let ni = node.0 as usize;
+        let mut handler = OLoopHandler {
+            node,
+            queue: &mut self.queue,
+            completions: &mut self.completions,
+        };
+        self.dispatchers[ni].dispatch(&mut self.engines[ni], ev, &mut handler);
         true
     }
 
@@ -482,74 +619,6 @@ impl OCluster {
         while self.step() {
             steps += 1;
             assert!(steps < 10_000_000, "loopback O-cluster did not quiesce");
-        }
-    }
-
-    fn dispatch(&mut self, node: NodeId, actions: Vec<OAction>) {
-        for a in actions {
-            match a {
-                OAction::Pcie { from, msg } => {
-                    let ev = match from {
-                        Side::Host => OEvent::PcieFromHost(msg),
-                        Side::Snic => OEvent::PcieFromSnic(msg),
-                    };
-                    self.queue.push_back((node, ev));
-                }
-                OAction::Send { to, msg } => {
-                    self.queue
-                        .push_back((to, OEvent::NetMessage { from: node, msg }));
-                }
-                OAction::SendToFollowers { msg } => {
-                    for i in 0..self.engines.len() {
-                        let to = NodeId(i as u16);
-                        if to != node {
-                            self.queue.push_back((
-                                to,
-                                OEvent::NetMessage {
-                                    from: node,
-                                    msg: msg.clone(),
-                                },
-                            ));
-                        }
-                    }
-                }
-                OAction::VfifoEnqueue { key, ts, .. } => {
-                    self.queue.push_back((node, OEvent::VfifoDrained { key, ts }));
-                }
-                OAction::DfifoEnqueue { key, ts, .. } => {
-                    self.queue.push_back((node, OEvent::DfifoDrained { key, ts }));
-                }
-                OAction::Defer { event } => self.queue.push_back((node, event)),
-                OAction::WriteDone {
-                    req,
-                    key,
-                    ts,
-                    obsolete,
-                } => self.completions.push(Completion::Write {
-                    node,
-                    req,
-                    key,
-                    ts,
-                    obsolete,
-                }),
-                OAction::ReadDone {
-                    req,
-                    key,
-                    value,
-                    ts,
-                } => self.completions.push(Completion::Read {
-                    node,
-                    req,
-                    key,
-                    value,
-                    ts,
-                }),
-                OAction::PersistScopeDone { req, scope } => {
-                    self.completions
-                        .push(Completion::PersistScope { node, req, scope });
-                }
-                OAction::Meta { .. } | OAction::CoherenceTransfer { .. } => {}
-            }
         }
     }
 

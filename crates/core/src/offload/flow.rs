@@ -433,16 +433,19 @@ impl ONodeEngine {
                 if tx.ack_cs.len() >= followers && tx.vfifo_drained && !tx.val_c_sent {
                     self.raise_glb_v(key, ts, out);
                     self.o_unlock_if_owner(key, ts, out);
-                    self.send_to_followers_o(Message::ValC { key, ts, scope: None }, out);
+                    self.send_to_followers_o(
+                        Message::ValC {
+                            key,
+                            ts,
+                            scope: None,
+                        },
+                        out,
+                    );
                     tx.val_c_sent = true;
                     progressed = true;
                 }
                 // dFIFO enqueue made the local update durable.
-                if tx.val_c_sent
-                    && tx.ack_ps.len() >= followers
-                    && tx.enqueued
-                    && !tx.val_p_sent
-                {
+                if tx.val_c_sent && tx.ack_ps.len() >= followers && tx.enqueued && !tx.val_p_sent {
                     self.raise_glb_d(key, ts, out);
                     self.send_to_followers_o(Message::ValP { key, ts }, out);
                     out.push(OAction::Pcie {
@@ -537,7 +540,15 @@ impl ONodeEngine {
                 }
                 PersistencyModel::Strict | PersistencyModel::ReadEnforced => {
                     if !tx.sent_ack_c && meta.glb_volatile_ts >= target {
-                        self.send_one_o(tx.coord, Message::AckC { key, ts, scope: None }, out);
+                        self.send_one_o(
+                            tx.coord,
+                            Message::AckC {
+                                key,
+                                ts,
+                                scope: None,
+                            },
+                            out,
+                        );
                         tx.sent_ack_c = true;
                         progressed = true;
                     }
@@ -582,7 +593,15 @@ impl ONodeEngine {
             }
             PersistencyModel::Strict => {
                 if tx.enqueued && !tx.sent_ack_c {
-                    self.send_one_o(tx.coord, Message::AckC { key, ts, scope: None }, out);
+                    self.send_one_o(
+                        tx.coord,
+                        Message::AckC {
+                            key,
+                            ts,
+                            scope: None,
+                        },
+                        out,
+                    );
                     tx.sent_ack_c = true;
                     progressed = true;
                 }
@@ -604,7 +623,15 @@ impl ONodeEngine {
             }
             PersistencyModel::ReadEnforced => {
                 if tx.enqueued && !tx.sent_ack_c {
-                    self.send_one_o(tx.coord, Message::AckC { key, ts, scope: None }, out);
+                    self.send_one_o(
+                        tx.coord,
+                        Message::AckC {
+                            key,
+                            ts,
+                            scope: None,
+                        },
+                        out,
+                    );
                     tx.sent_ack_c = true;
                     progressed = true;
                 }

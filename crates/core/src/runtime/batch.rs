@@ -1,0 +1,360 @@
+//! Transport middleware: the paper's Fig. 12 *batching* and *broadcast*
+//! NIC capabilities, for the live (threaded / TCP) cluster runtimes.
+//!
+//! MINOS-O's host hands its NIC **one** batched descriptor per fan-out
+//! and, when the NIC supports broadcast, **one** wire transmission covers
+//! every destination. [`Batched`] reproduces both effects at the
+//! transport layer of the real runtimes: it implements [`Transport`] over
+//! any [`FrameTransport`], buffering the messages of one dispatch and
+//! emitting them at the [`Transport::flush`] batch boundary as framed
+//! deposits. [`TransportCounters`] measures what each capability saves —
+//! the Fig. 12 experiment for the live clusters.
+
+use super::{ActionSink, Transport};
+use crate::event::{Action, DelayClass, Event, MetaOp, ReqId};
+use minos_types::{Key, Message, NodeId, ScopeId, Ts, Value};
+
+/// Which Fig. 12 NIC capabilities the transport layer has.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Coalesce the messages of one dispatch into per-destination frames,
+    /// deposited into the transport as a single enqueue per frame set.
+    pub batching: bool,
+    /// Fan a multi-destination frame out of one enqueue (the transport
+    /// clones per destination); without it every destination pays its own
+    /// serial transmission.
+    pub broadcast: bool,
+}
+
+impl BatchPolicy {
+    /// Neither capability: every protocol message is its own deposit.
+    #[must_use]
+    pub fn off() -> Self {
+        BatchPolicy::default()
+    }
+
+    /// Both capabilities on.
+    #[must_use]
+    pub fn full() -> Self {
+        BatchPolicy {
+            batching: true,
+            broadcast: true,
+        }
+    }
+}
+
+/// What the transport layer did, in units that expose the batching and
+/// broadcast savings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportCounters {
+    /// Logical protocol messages handed to the transport (one per
+    /// destination of every send and fan-out) — policy-invariant.
+    pub protocol_msgs: u64,
+    /// Transport enqueue operations (framed deposits). Batching shrinks
+    /// this: one fan-out is one deposit instead of one per destination.
+    pub deposits: u64,
+    /// Per-destination wire transmissions. Broadcast shrinks this: one
+    /// transmission covers the whole destination set.
+    pub wire_msgs: u64,
+    /// Deposits that used native multi-destination fan-out.
+    pub broadcasts: u64,
+}
+
+impl TransportCounters {
+    /// Adds `other` into `self`.
+    pub fn merge(&mut self, other: &TransportCounters) {
+        self.protocol_msgs += other.protocol_msgs;
+        self.deposits += other.deposits;
+        self.wire_msgs += other.wire_msgs;
+        self.broadcasts += other.broadcasts;
+    }
+}
+
+/// A transport that can carry several protocol messages to one
+/// destination as a single framed unit — what [`Batched`] drives.
+pub trait FrameTransport {
+    /// Delivers `msgs` to `to` as one framed unit (one channel enqueue,
+    /// one TCP frame, …).
+    fn deposit(&mut self, to: NodeId, msgs: Vec<Message>);
+
+    /// Delivers the same `msgs` to every destination **from one
+    /// enqueue** — the broadcast capability. The default clones into
+    /// per-destination deposits; transports with native fan-out (a timer
+    /// wheel that expands one entry to many channels, a socket writer
+    /// that encodes once) override it.
+    fn deposit_all(&mut self, dests: &[NodeId], msgs: Vec<Message>) {
+        for &d in dests {
+            self.deposit(d, msgs.clone());
+        }
+    }
+}
+
+/// Batching/broadcast middleware over a [`FrameTransport`].
+///
+/// Wrap a harness handler in `Batched` and hand it to a
+/// [`Dispatcher`](super::Dispatcher): `Batched` implements [`Transport`]
+/// according to its [`BatchPolicy`] and delegates the [`ActionSink`] half
+/// to the inner handler untouched. Counters accumulate across
+/// dispatches; harnesses that rebuild the wrapper per step merge
+/// [`Batched::counters`] into a persistent total.
+#[derive(Debug)]
+pub struct Batched<H> {
+    inner: H,
+    policy: BatchPolicy,
+    counters: TransportCounters,
+    /// Frames buffered within the current dispatch: destination set plus
+    /// the messages coalesced for it.
+    frames: Vec<(Vec<NodeId>, Vec<Message>)>,
+}
+
+impl<H> Batched<H> {
+    /// Wraps `inner` under `policy`.
+    pub fn new(inner: H, policy: BatchPolicy) -> Self {
+        Batched {
+            inner,
+            policy,
+            counters: TransportCounters::default(),
+            frames: Vec::new(),
+        }
+    }
+
+    /// What the transport layer has done so far.
+    #[must_use]
+    pub fn counters(&self) -> &TransportCounters {
+        &self.counters
+    }
+
+    /// The wrapped handler.
+    #[must_use]
+    pub fn inner(&self) -> &H {
+        &self.inner
+    }
+
+    /// Unwraps into the inner handler and the accumulated counters.
+    pub fn into_parts(self) -> (H, TransportCounters) {
+        (self.inner, self.counters)
+    }
+}
+
+impl<H: FrameTransport> Batched<H> {
+    /// Appends `msg` to the buffered frame for `dests`, opening one if
+    /// none exists yet.
+    fn buffer(&mut self, dests: &[NodeId], msg: Message) {
+        if let Some((_, msgs)) = self.frames.iter_mut().find(|(d, _)| d == dests) {
+            msgs.push(msg);
+        } else {
+            self.frames.push((dests.to_vec(), vec![msg]));
+        }
+    }
+
+    /// Emits one frame: a single deposit, fanned natively when the
+    /// destination set is plural and broadcast is on.
+    fn emit(&mut self, dests: Vec<NodeId>, msgs: Vec<Message>) {
+        self.counters.deposits += 1;
+        if let [to] = dests[..] {
+            self.counters.wire_msgs += 1;
+            self.inner.deposit(to, msgs);
+        } else if self.policy.broadcast {
+            self.counters.broadcasts += 1;
+            self.counters.wire_msgs += 1;
+            self.inner.deposit_all(&dests, msgs);
+        } else {
+            // Batched but broadcast-incapable: the frame unpacks into one
+            // serial transmission per destination (the Fig. 12 "batching
+            // without broadcast" case).
+            self.counters.wire_msgs += dests.len() as u64;
+            for &d in &dests {
+                self.inner.deposit(d, msgs.clone());
+            }
+        }
+    }
+}
+
+impl<H: FrameTransport> Transport for Batched<H> {
+    fn send(&mut self, to: NodeId, msg: Message) {
+        self.counters.protocol_msgs += 1;
+        if self.policy.batching {
+            self.buffer(&[to], msg);
+        } else {
+            self.counters.deposits += 1;
+            self.counters.wire_msgs += 1;
+            self.inner.deposit(to, vec![msg]);
+        }
+    }
+
+    fn broadcast(&mut self, dests: &[NodeId], msg: Message) {
+        if dests.is_empty() {
+            return;
+        }
+        self.counters.protocol_msgs += dests.len() as u64;
+        if self.policy.batching {
+            self.buffer(dests, msg);
+        } else if self.policy.broadcast {
+            self.emit(dests.to_vec(), vec![msg]);
+        } else {
+            for &d in dests {
+                self.counters.deposits += 1;
+                self.counters.wire_msgs += 1;
+                self.inner.deposit(d, vec![msg.clone()]);
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        for (dests, msgs) in std::mem::take(&mut self.frames) {
+            self.emit(dests, msgs);
+        }
+    }
+}
+
+impl<H: ActionSink> ActionSink for Batched<H> {
+    fn begin(&mut self, actions: &[Action]) {
+        self.inner.begin(actions);
+    }
+    fn persist(&mut self, key: Key, ts: Ts, value: Value, background: bool) {
+        self.inner.persist(key, ts, value, background);
+    }
+    fn redirect(&mut self, to: NodeId, event: Event) {
+        self.inner.redirect(to, event);
+    }
+    fn defer(&mut self, event: Event, class: DelayClass) {
+        self.inner.defer(event, class);
+    }
+    fn write_done(&mut self, req: ReqId, key: Key, ts: Ts, obsolete: bool) {
+        self.inner.write_done(req, key, ts, obsolete);
+    }
+    fn read_done(&mut self, req: ReqId, key: Key, value: Value, ts: Ts) {
+        self.inner.read_done(req, key, value, ts);
+    }
+    fn persist_scope_done(&mut self, req: ReqId, scope: ScopeId) {
+        self.inner.persist_scope_done(req, scope);
+    }
+    fn meta(&mut self, op: &MetaOp) {
+        self.inner.meta(op);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Records every deposit; native fan-out records one entry with the
+    /// full destination set.
+    #[derive(Default)]
+    struct Wire {
+        deposits: Vec<(Vec<NodeId>, usize)>,
+    }
+
+    impl FrameTransport for Wire {
+        fn deposit(&mut self, to: NodeId, msgs: Vec<Message>) {
+            self.deposits.push((vec![to], msgs.len()));
+        }
+        fn deposit_all(&mut self, dests: &[NodeId], msgs: Vec<Message>) {
+            self.deposits.push((dests.to_vec(), msgs.len()));
+        }
+    }
+
+    fn msg(n: u64) -> Message {
+        Message::Ack {
+            key: Key(n),
+            ts: Ts::new(NodeId(0), 1),
+        }
+    }
+
+    fn dests() -> Vec<NodeId> {
+        vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+    }
+
+    #[test]
+    fn no_capabilities_is_one_deposit_per_message() {
+        let mut t = Batched::new(Wire::default(), BatchPolicy::off());
+        t.broadcast(&dests(), msg(1));
+        t.send(NodeId(2), msg(2));
+        t.flush();
+        let (wire, c) = t.into_parts();
+        assert_eq!(c.protocol_msgs, 5);
+        assert_eq!(c.deposits, 5);
+        assert_eq!(c.wire_msgs, 5);
+        assert_eq!(c.broadcasts, 0);
+        assert_eq!(wire.deposits.len(), 5);
+        assert!(wire.deposits.iter().all(|(d, n)| d.len() == 1 && *n == 1));
+    }
+
+    #[test]
+    fn batching_coalesces_fanout_into_one_deposit() {
+        let policy = BatchPolicy {
+            batching: true,
+            broadcast: false,
+        };
+        let mut t = Batched::new(Wire::default(), policy);
+        t.broadcast(&dests(), msg(1));
+        t.flush();
+        let (wire, c) = t.into_parts();
+        assert_eq!(c.protocol_msgs, 4);
+        assert_eq!(c.deposits, 1, "one fan-out = one enqueue");
+        assert_eq!(c.wire_msgs, 4, "but still four serial transmissions");
+        // Without broadcast the frame unpacks to per-destination deposits.
+        assert_eq!(wire.deposits.len(), 4);
+    }
+
+    #[test]
+    fn broadcast_collapses_wire_transmissions() {
+        let mut t = Batched::new(Wire::default(), BatchPolicy::full());
+        t.broadcast(&dests(), msg(1));
+        t.flush();
+        let (wire, c) = t.into_parts();
+        assert_eq!(c.deposits, 1);
+        assert_eq!(c.wire_msgs, 1, "one transmission covers all peers");
+        assert_eq!(c.broadcasts, 1);
+        assert_eq!(wire.deposits, vec![(dests(), 1)]);
+    }
+
+    #[test]
+    fn batching_coalesces_same_destination_sends() {
+        let policy = BatchPolicy {
+            batching: true,
+            broadcast: false,
+        };
+        let mut t = Batched::new(Wire::default(), policy);
+        t.send(NodeId(3), msg(1));
+        t.send(NodeId(3), msg(2));
+        t.send(NodeId(1), msg(3));
+        t.flush();
+        let (wire, c) = t.into_parts();
+        assert_eq!(c.protocol_msgs, 3);
+        assert_eq!(c.deposits, 2);
+        assert_eq!(
+            wire.deposits,
+            vec![(vec![NodeId(3)], 2), (vec![NodeId(1)], 1)],
+            "two messages ride one frame to node 3"
+        );
+    }
+
+    #[test]
+    fn flush_clears_buffers_between_dispatches() {
+        let mut t = Batched::new(Wire::default(), BatchPolicy::full());
+        t.send(NodeId(1), msg(1));
+        t.flush();
+        t.send(NodeId(1), msg(2));
+        t.flush();
+        let (wire, c) = t.into_parts();
+        assert_eq!(c.deposits, 2);
+        assert_eq!(wire.deposits.len(), 2);
+        assert!(wire.deposits.iter().all(|(_, n)| *n == 1));
+    }
+
+    #[test]
+    fn broadcast_without_batching_still_fans_natively() {
+        let policy = BatchPolicy {
+            batching: false,
+            broadcast: true,
+        };
+        let mut t = Batched::new(Wire::default(), policy);
+        t.broadcast(&dests(), msg(1));
+        t.flush();
+        let (_, c) = t.into_parts();
+        assert_eq!(c.deposits, 1);
+        assert_eq!(c.wire_msgs, 1);
+        assert_eq!(c.broadcasts, 1);
+    }
+}

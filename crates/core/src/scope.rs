@@ -92,7 +92,7 @@ impl ScopeTable {
     pub fn locally_persisted(&self, owner: NodeId, scope: ScopeId) -> bool {
         self.scopes
             .get(&(owner, scope))
-            .map_or(true, |st| st.unpersisted.is_empty())
+            .is_none_or(|st| st.unpersisted.is_empty())
     }
 
     /// Coordinator side: starts the `[PERSIST]sc` transaction.

@@ -63,10 +63,9 @@ impl EngineStats {
             MessageKind::Ack | MessageKind::AckC | MessageKind::AckP | MessageKind::PersistAckP => {
                 self.acks_sent += n;
             }
-            MessageKind::Val
-            | MessageKind::ValC
-            | MessageKind::ValP
-            | MessageKind::PersistValP => self.vals_sent += n,
+            MessageKind::Val | MessageKind::ValC | MessageKind::ValP | MessageKind::PersistValP => {
+                self.vals_sent += n
+            }
             MessageKind::Persist | MessageKind::ReadReq | MessageKind::ReadResp => {}
         }
     }

@@ -36,10 +36,7 @@ impl Store {
     /// record has never been touched).
     #[must_use]
     pub fn meta(&self, key: Key) -> RecordMeta {
-        self.records
-            .get(&key)
-            .map(|r| r.meta)
-            .unwrap_or_default()
+        self.records.get(&key).map(|r| r.meta).unwrap_or_default()
     }
 
     /// Mutable access to a record, creating it lazily.

@@ -148,7 +148,10 @@ fn eventual_write_completes_without_any_persist() {
     cl.auto_persist = false;
     let req = cl.submit_write(NodeId(0), Key(1), "x".into(), None);
     cl.run();
-    assert!(cl.write_completed(req), "<Lin,Event> must not wait persists");
+    assert!(
+        cl.write_completed(req),
+        "<Lin,Event> must not wait persists"
+    );
     cl.assert_converged(Key(1));
     // glb_durable never advanced: no persistency messages exist.
     assert_eq!(
@@ -347,7 +350,12 @@ fn engines_quiesce_after_burst() {
         let mut cl = BCluster::new(4, model);
         for i in 0..10u64 {
             let sc = scope_for(model, i as u32 + 1);
-            cl.submit_write(NodeId((i % 4) as u16), Key(i % 3), format!("{i}").into(), sc);
+            cl.submit_write(
+                NodeId((i % 4) as u16),
+                Key(i % 3),
+                format!("{i}").into(),
+                sc,
+            );
         }
         if model.persistency == PersistencyModel::Scope {
             for i in 0..10u64 {

@@ -48,10 +48,7 @@ fn fanout_targets_respect_membership_and_placement() {
     let mut e = NodeEngine::new(NodeId(2), 5, synch());
     e.set_replication_factor(Some(3));
     // Key(7) -> replicas {2,3,4}; self excluded.
-    assert_eq!(
-        e.fanout_targets(Some(Key(7))),
-        vec![NodeId(3), NodeId(4)]
-    );
+    assert_eq!(e.fanout_targets(Some(Key(7))), vec![NodeId(3), NodeId(4)]);
     e.mark_failed(NodeId(3));
     assert_eq!(e.fanout_targets(Some(Key(7))), vec![NodeId(4)]);
     // Scope-class fan-outs (no key) go to all live peers.
@@ -197,10 +194,7 @@ fn redirect_carries_the_original_event() {
     match &out[..] {
         [Action::Redirect { to, event }] => {
             assert_eq!(*to, NodeId(2));
-            assert!(matches!(
-                event,
-                Event::ClientWrite { req: ReqId(4), .. }
-            ));
+            assert!(matches!(event, Event::ClientWrite { req: ReqId(4), .. }));
         }
         other => panic!("expected a single Redirect, got {other:?}"),
     }

@@ -119,7 +119,12 @@ fn engines_quiesce_after_burst() {
         let mut cl = OCluster::new(4, model);
         for i in 0..10u64 {
             let sc = scope_for(model, i as u32 + 1);
-            cl.submit_write(NodeId((i % 4) as u16), Key(i % 3), format!("{i}").into(), sc);
+            cl.submit_write(
+                NodeId((i % 4) as u16),
+                Key(i % 3),
+                format!("{i}").into(),
+                sc,
+            );
         }
         if model.persistency == PersistencyModel::Scope {
             for i in 0..10u64 {

@@ -102,7 +102,10 @@ fn scrambled_scope_runs_converge() {
         let w1 = cl.submit_write(NodeId(0), Key(1), "x".into(), Some(sc));
         let w2 = cl.submit_write(NodeId(0), Key(2), "y".into(), Some(sc));
         cl.run();
-        assert!(cl.write_completed(w1) && cl.write_completed(w2), "seed {seed}");
+        assert!(
+            cl.write_completed(w1) && cl.write_completed(w2),
+            "seed {seed}"
+        );
         let p = cl.submit_persist_scope(NodeId(0), sc);
         cl.run();
         assert!(

@@ -32,10 +32,7 @@ pub fn rebuild_volatile(entries: &[LogEntry]) -> Vec<(Key, Ts, Value)> {
             }
         }
     }
-    newest
-        .into_iter()
-        .map(|(k, (ts, v))| (k, ts, v))
-        .collect()
+    newest.into_iter().map(|(k, (ts, v))| (k, ts, v)).collect()
 }
 
 #[cfg(test)]

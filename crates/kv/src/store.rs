@@ -2,10 +2,9 @@
 
 use crate::durable::DurableState;
 use crate::hash_key;
-use minos_core::{Action, EngineStats, Event, NodeEngine, ReqId};
-use minos_types::{
-    DdpModel, Key, MinosError, NodeId, Result, ScopeId, Ts, Value,
-};
+use minos_core::runtime::{ActionSink, DispatchStats, Dispatcher, Transport};
+use minos_core::{DelayClass, EngineStats, Event, NodeEngine, ReqId};
+use minos_types::{DdpModel, Key, Message, MinosError, NodeId, Result, ScopeId, Ts, Value};
 use std::collections::VecDeque;
 
 /// A replicated key-value store: N protocol engines + N durable states,
@@ -22,6 +21,7 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone)]
 pub struct MinosKv {
     engines: Vec<NodeEngine>,
+    dispatchers: Vec<Dispatcher>,
     durable: Vec<DurableState>,
     /// Per-node recovery cursor: the donor log position the node has
     /// replayed up to.
@@ -52,6 +52,7 @@ impl MinosKv {
             engines: (0..n)
                 .map(|i| NodeEngine::new(NodeId(i as u16), n, model))
                 .collect(),
+            dispatchers: vec![Dispatcher::new(); n],
             durable: (0..n).map(|_| DurableState::new()).collect(),
             failed: vec![false; n],
             queue: VecDeque::new(),
@@ -190,6 +191,13 @@ impl MinosKv {
         self.engines[node.0 as usize].stats()
     }
 
+    /// Dispatch statistics of `node` (actions interpreted by the shared
+    /// runtime dispatcher on its behalf).
+    #[must_use]
+    pub fn dispatch_stats(&self, node: NodeId) -> &DispatchStats {
+        self.dispatchers[node.0 as usize].stats()
+    }
+
     /// The protocol engine of `node` (inspection, tests).
     #[must_use]
     pub fn engine(&self, node: NodeId) -> &NodeEngine {
@@ -307,52 +315,66 @@ impl MinosKv {
                     continue;
                 }
             }
-            let mut out = Vec::new();
-            self.engines[node.0 as usize].on_event(ev, &mut out);
-            self.dispatch(node, out);
+            let ni = node.0 as usize;
+            let mut handler = KvHandler {
+                node,
+                durable: &mut self.durable[ni],
+                queue: &mut self.queue,
+                completions: &mut self.completions,
+            };
+            self.dispatchers[ni].dispatch(&mut self.engines[ni], ev, &mut handler);
         }
     }
+}
 
-    fn dispatch(&mut self, node: NodeId, actions: Vec<Action>) {
-        let ni = node.0 as usize;
-        for a in actions {
-            match a {
-                Action::Send { to, msg } => {
-                    self.queue
-                        .push_back((to, Event::Message { from: node, msg }));
-                }
-                Action::SendToFollowers { msg } => {
-                    for to in self.engines[ni].fanout_targets(msg.key()) {
-                        self.queue.push_back((
-                            to,
-                            Event::Message {
-                                from: node,
-                                msg: msg.clone(),
-                            },
-                        ));
-                    }
-                }
-                Action::Redirect { to, event } => {
-                    self.queue.push_back((to, event));
-                }
-                Action::Persist { key, ts, value, .. } => {
-                    // Real durable effect: log append + durable-db apply,
-                    // then the completion event the engine's gates await.
-                    self.durable[ni].persist(key, ts, value);
-                    self.queue.push_back((node, Event::PersistDone { key, ts }));
-                }
-                Action::Defer { event, .. } => self.queue.push_back((node, event)),
-                Action::WriteDone {
-                    req, ts, obsolete, ..
-                } => self.completions.push((req, KvOutcome::Write { ts, obsolete })),
-                Action::ReadDone { req, value, ts, .. } => {
-                    self.completions.push((req, KvOutcome::Read { value, ts }));
-                }
-                Action::PersistScopeDone { req, .. } => {
-                    self.completions.push((req, KvOutcome::PersistScope));
-                }
-                Action::Meta(_) => {}
-            }
-        }
+/// Dispatch handler for the single-process store: messages hop queues
+/// synchronously, persists apply immediately to the node's durable state.
+struct KvHandler<'a> {
+    node: NodeId,
+    durable: &'a mut DurableState,
+    queue: &'a mut VecDeque<(NodeId, Event)>,
+    completions: &'a mut Vec<(ReqId, KvOutcome)>,
+}
+
+impl Transport for KvHandler<'_> {
+    fn send(&mut self, to: NodeId, msg: Message) {
+        self.queue.push_back((
+            to,
+            Event::Message {
+                from: self.node,
+                msg,
+            },
+        ));
+    }
+}
+
+impl ActionSink for KvHandler<'_> {
+    fn persist(&mut self, key: Key, ts: Ts, value: Value, _background: bool) {
+        // Real durable effect: log append + durable-db apply, then the
+        // completion event the engine's gates await.
+        self.durable.persist(key, ts, value);
+        self.queue
+            .push_back((self.node, Event::PersistDone { key, ts }));
+    }
+
+    fn redirect(&mut self, to: NodeId, event: Event) {
+        self.queue.push_back((to, event));
+    }
+
+    fn defer(&mut self, event: Event, _class: DelayClass) {
+        self.queue.push_back((self.node, event));
+    }
+
+    fn write_done(&mut self, req: ReqId, _key: Key, ts: Ts, obsolete: bool) {
+        self.completions
+            .push((req, KvOutcome::Write { ts, obsolete }));
+    }
+
+    fn read_done(&mut self, req: ReqId, _key: Key, value: Value, ts: Ts) {
+        self.completions.push((req, KvOutcome::Read { value, ts }));
+    }
+
+    fn persist_scope_done(&mut self, req: ReqId, _scope: ScopeId) {
+        self.completions.push((req, KvOutcome::PersistScope));
     }
 }

@@ -157,7 +157,10 @@ fn recovery_module_round_trip() {
     let shipment = recovery::plan_shipment(kv.durable(NodeId(0)), 0);
     let rebuilt = recovery::rebuild_volatile(&shipment);
     assert_eq!(rebuilt.len(), 2);
-    let x = rebuilt.iter().find(|(k, _, _)| *k == hash_key("x")).unwrap();
+    let x = rebuilt
+        .iter()
+        .find(|(k, _, _)| *k == hash_key("x"))
+        .unwrap();
     assert_eq!(x.2, "2", "newest version wins");
 }
 
@@ -166,7 +169,8 @@ fn many_keys_many_nodes_stress() {
     let mut kv = MinosKv::new(4, synch());
     for i in 0..50u32 {
         let node = NodeId((i % 4) as u16);
-        kv.put(node, format!("key{}", i % 7), format!("val{i}")).unwrap();
+        kv.put(node, format!("key{}", i % 7), format!("val{i}"))
+            .unwrap();
     }
     for i in 0..7u32 {
         let name = format!("key{i}");

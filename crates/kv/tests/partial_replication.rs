@@ -33,10 +33,7 @@ fn only_replicas_hold_the_data() {
     let mut holders = 0;
     for n in 0..5 {
         let node = NodeId(n);
-        let has = kv
-            .engine(node)
-            .record_value(key)
-            .is_some_and(|v| v == "v");
+        let has = kv.engine(node).record_value(key).is_some_and(|v| v == "v");
         assert_eq!(
             has,
             replicas.contains(&node),
@@ -68,7 +65,8 @@ fn durability_follows_placement() {
 fn overwrites_from_different_nodes_converge() {
     let mut kv = MinosKv::with_replication(5, 3, synch());
     for i in 0..12u32 {
-        kv.put(NodeId((i % 5) as u16), "hot", format!("v{i}")).unwrap();
+        kv.put(NodeId((i % 5) as u16), "hot", format!("v{i}"))
+            .unwrap();
     }
     for n in 0..5 {
         assert_eq!(
@@ -110,12 +108,10 @@ fn reads_at_non_replicas_see_latest_write() {
     let mut kv = MinosKv::with_replication(5, 2, synch());
     let key = hash_key("seq");
     let replicas = kv.engine(NodeId(0)).replicas_of(key);
-    let non_replica = (0..5)
-        .map(|n| NodeId(n))
-        .find(|n| !replicas.contains(n))
-        .unwrap();
+    let non_replica = (0..5).map(NodeId).find(|n| !replicas.contains(n)).unwrap();
     for i in 0..8u32 {
-        kv.put(replicas[i as usize % 2], "seq", format!("{i}")).unwrap();
+        kv.put(replicas[i as usize % 2], "seq", format!("{i}"))
+            .unwrap();
         assert_eq!(
             kv.get(non_replica, "seq").unwrap().unwrap(),
             format!("{i}"),
@@ -127,7 +123,7 @@ fn reads_at_non_replicas_see_latest_write() {
 #[test]
 fn many_keys_spread_across_the_ring() {
     let kv = MinosKv::with_replication(5, 2, synch());
-    let mut per_node = vec![0usize; 5];
+    let mut per_node = [0usize; 5];
     for i in 0..100u64 {
         for r in kv.engine(NodeId(0)).replicas_of(minos_types::Key(i)) {
             per_node[r.0 as usize] += 1;
@@ -144,7 +140,9 @@ fn timestamps_still_strictly_increase_per_key() {
     let mut kv = MinosKv::with_replication(4, 2, synch());
     let mut last = Ts::zero();
     for i in 0..6u32 {
-        let ts = kv.put(NodeId((i % 4) as u16), "mono", format!("{i}")).unwrap();
+        let ts = kv
+            .put(NodeId((i % 4) as u16), "mono", format!("{i}"))
+            .unwrap();
         assert!(ts > last, "ts regression: {ts} after {last}");
         last = ts;
     }

@@ -2,12 +2,13 @@
 
 use crate::explore::{explore, hash_debug, McReport, System, Violation};
 use crate::invariants::{
-    check_acked_visibility, check_bookkeeping, check_read_visibility,
-    check_timestamp_staging, check_unlocked_agreement, legal_message, NodeView,
+    check_acked_visibility, check_bookkeeping, check_read_visibility, check_timestamp_staging,
+    check_unlocked_agreement, legal_message, NodeView,
 };
 use crate::workload::{McOp, Workload};
-use minos_core::{Action, Event, NodeEngine, ReqId};
-use minos_types::{DdpModel, NodeId, ScopeId};
+use minos_core::runtime::{ActionSink, Dispatcher, Transport};
+use minos_core::{DelayClass, Event, NodeEngine, ReqId};
+use minos_types::{DdpModel, Key, Message, NodeId, ScopeId, Ts, Value};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
@@ -38,12 +39,7 @@ impl BSystem {
         Self::with_options(model, w, snatch, None)
     }
 
-    fn with_options(
-        model: DdpModel,
-        w: &Workload,
-        snatch: bool,
-        replication: Option<u16>,
-    ) -> Self {
+    fn with_options(model: DdpModel, w: &Workload, snatch: bool, replication: Option<u16>) -> Self {
         let engines = (0..w.nodes)
             .map(|i| {
                 let mut e = NodeEngine::new(NodeId(i as u16), w.nodes, model);
@@ -119,6 +115,84 @@ impl BSystem {
     }
 }
 
+/// Dispatch handler for one model-checker transition: messages become
+/// deliverable in-flight events (every interleaving of which is
+/// explored), and each send is audited against the Table I condition 4a
+/// legal message set for the model under check.
+struct McBHandler<'a> {
+    model: DdpModel,
+    node: NodeId,
+    inflight: &'a mut Vec<(NodeId, Event)>,
+    violations: &'a mut Vec<Violation>,
+    writes_done: &'a mut usize,
+    reads_done: &'a mut usize,
+    persists_done: &'a mut usize,
+}
+
+impl McBHandler<'_> {
+    fn audit(&mut self, msg: &Message, verb: &str) {
+        if !legal_message(self.model, msg) {
+            self.violations.push(Violation {
+                condition: "4a legal message set".into(),
+                detail: format!("{} {verb} {msg} under {}", self.node, self.model),
+            });
+        }
+    }
+}
+
+impl Transport for McBHandler<'_> {
+    fn send(&mut self, to: NodeId, msg: Message) {
+        self.audit(&msg, "sent");
+        self.inflight.push((
+            to,
+            Event::Message {
+                from: self.node,
+                msg,
+            },
+        ));
+    }
+
+    fn broadcast(&mut self, dests: &[NodeId], msg: Message) {
+        self.audit(&msg, "fanned out");
+        for &to in dests {
+            self.inflight.push((
+                to,
+                Event::Message {
+                    from: self.node,
+                    msg: msg.clone(),
+                },
+            ));
+        }
+    }
+}
+
+impl ActionSink for McBHandler<'_> {
+    fn persist(&mut self, key: Key, ts: Ts, _value: Value, _background: bool) {
+        self.inflight
+            .push((self.node, Event::PersistDone { key, ts }));
+    }
+
+    fn redirect(&mut self, to: NodeId, event: Event) {
+        self.inflight.push((to, event));
+    }
+
+    fn defer(&mut self, event: Event, _class: DelayClass) {
+        self.inflight.push((self.node, event));
+    }
+
+    fn write_done(&mut self, _req: ReqId, _key: Key, _ts: Ts, _obsolete: bool) {
+        *self.writes_done += 1;
+    }
+
+    fn read_done(&mut self, _req: ReqId, _key: Key, _value: Value, _ts: Ts) {
+        *self.reads_done += 1;
+    }
+
+    fn persist_scope_done(&mut self, _req: ReqId, _scope: ScopeId) {
+        *self.persists_done += 1;
+    }
+}
+
 impl System for BSystem {
     fn deliverable(&self) -> usize {
         self.inflight.len()
@@ -127,47 +201,19 @@ impl System for BSystem {
     fn deliver(&self, i: usize) -> Self {
         let mut next = self.clone();
         let (node, ev) = next.inflight.remove(i);
-        let mut out = Vec::new();
-        next.engines[node.0 as usize].on_event(ev, &mut out);
-        for a in out {
-            match a {
-                Action::Send { to, msg } => {
-                    if !legal_message(next.model, &msg) {
-                        next.dispatch_violations.push(Violation {
-                            condition: "4a legal message set".into(),
-                            detail: format!("{node} sent {msg} under {}", next.model),
-                        });
-                    }
-                    next.inflight.push((to, Event::Message { from: node, msg }));
-                }
-                Action::SendToFollowers { msg } => {
-                    if !legal_message(next.model, &msg) {
-                        next.dispatch_violations.push(Violation {
-                            condition: "4a legal message set".into(),
-                            detail: format!("{node} fanned out {msg} under {}", next.model),
-                        });
-                    }
-                    for to in next.engines[node.0 as usize].fanout_targets(msg.key()) {
-                        next.inflight.push((
-                            to,
-                            Event::Message {
-                                from: node,
-                                msg: msg.clone(),
-                            },
-                        ));
-                    }
-                }
-                Action::Persist { key, ts, .. } => {
-                    next.inflight.push((node, Event::PersistDone { key, ts }));
-                }
-                Action::Redirect { to, event } => next.inflight.push((to, event)),
-                Action::Defer { event, .. } => next.inflight.push((node, event)),
-                Action::WriteDone { .. } => next.writes_done += 1,
-                Action::ReadDone { .. } => next.reads_done += 1,
-                Action::PersistScopeDone { .. } => next.persists_done += 1,
-                Action::Meta(_) => {}
-            }
-        }
+        // A fresh dispatcher per transition: the checker explores a tree
+        // of cloned states, so cumulative statistics are meaningless.
+        let mut dispatcher = Dispatcher::new();
+        let mut handler = McBHandler {
+            model: next.model,
+            node,
+            inflight: &mut next.inflight,
+            violations: &mut next.dispatch_violations,
+            writes_done: &mut next.writes_done,
+            reads_done: &mut next.reads_done,
+            persists_done: &mut next.persists_done,
+        };
+        dispatcher.dispatch(&mut next.engines[node.0 as usize], ev, &mut handler);
         // Clients issue [PERSIST]sc only after their writes returned.
         if next.writes_done == next.expected_writes && !next.staged.is_empty() {
             for (node, scope, req) in std::mem::take(&mut next.staged) {

@@ -107,12 +107,7 @@ pub fn check_acked_visibility(views: &[NodeView], out: &mut Vec<Violation>) {
                 continue;
             }
             for w in views {
-                let Some(m) = w
-                    .metas
-                    .iter()
-                    .find(|(k, _)| *k == tx.key)
-                    .map(|(_, m)| *m)
-                else {
+                let Some(m) = w.metas.iter().find(|(k, _)| *k == tx.key).map(|(_, m)| *m) else {
                     continue; // w holds no replica of the key
                 };
                 if m.readable() && m.volatile_ts < tx.ts {
@@ -352,9 +347,11 @@ mod tests {
 
     #[test]
     fn staging_violation_detected() {
-        let mut meta = RecordMeta::default();
-        meta.glb_volatile_ts = Ts::new(NodeId(0), 2);
-        meta.volatile_ts = Ts::new(NodeId(0), 1);
+        let meta = RecordMeta {
+            glb_volatile_ts: Ts::new(NodeId(0), 2),
+            volatile_ts: Ts::new(NodeId(0), 1),
+            ..RecordMeta::default()
+        };
         let views = vec![NodeView {
             node: NodeId(0),
             metas: vec![(Key(1), meta)],

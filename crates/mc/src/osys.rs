@@ -2,12 +2,13 @@
 
 use crate::explore::{explore, hash_debug, McReport, System, Violation};
 use crate::invariants::{
-    check_acked_visibility, check_bookkeeping, check_read_visibility,
-    check_timestamp_staging, check_unlocked_agreement, legal_message, NodeView,
+    check_acked_visibility, check_bookkeeping, check_read_visibility, check_timestamp_staging,
+    check_unlocked_agreement, legal_message, NodeView,
 };
 use crate::workload::{McOp, Workload};
-use minos_core::{OAction, OEvent, ONodeEngine, ReqId, Side};
-use minos_types::{DdpModel, NodeId, ScopeId};
+use minos_core::runtime::{ODispatcher, OSink, Transport};
+use minos_core::{OEvent, ONodeEngine, PcieMsg, ReqId, Side};
+use minos_types::{DdpModel, Key, Message, NodeId, ScopeId, Ts, Value};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
@@ -92,6 +93,92 @@ impl OSystem {
     }
 }
 
+/// Dispatch handler for one MINOS-O checker transition: network, PCIe,
+/// and FIFO effects all become deliverable in-flight events, so the
+/// explorer interleaves them freely.
+struct McOHandler<'a> {
+    model: DdpModel,
+    node: NodeId,
+    inflight: &'a mut Vec<(NodeId, OEvent)>,
+    violations: &'a mut Vec<Violation>,
+    writes_done: &'a mut usize,
+    reads_done: &'a mut usize,
+    persists_done: &'a mut usize,
+}
+
+impl McOHandler<'_> {
+    fn audit(&mut self, msg: &Message, verb: &str) {
+        if !legal_message(self.model, msg) {
+            self.violations.push(Violation {
+                condition: "4a legal message set".into(),
+                detail: format!("{} {verb} {msg} under {}", self.node, self.model),
+            });
+        }
+    }
+}
+
+impl Transport for McOHandler<'_> {
+    fn send(&mut self, to: NodeId, msg: Message) {
+        self.audit(&msg, "sent");
+        self.inflight.push((
+            to,
+            OEvent::NetMessage {
+                from: self.node,
+                msg,
+            },
+        ));
+    }
+
+    fn broadcast(&mut self, dests: &[NodeId], msg: Message) {
+        self.audit(&msg, "fanned out");
+        for &to in dests {
+            self.inflight.push((
+                to,
+                OEvent::NetMessage {
+                    from: self.node,
+                    msg: msg.clone(),
+                },
+            ));
+        }
+    }
+}
+
+impl OSink for McOHandler<'_> {
+    fn pcie(&mut self, from: Side, msg: PcieMsg) {
+        let ev = match from {
+            Side::Host => OEvent::PcieFromHost(msg),
+            Side::Snic => OEvent::PcieFromSnic(msg),
+        };
+        self.inflight.push((self.node, ev));
+    }
+
+    fn vfifo_enqueue(&mut self, key: Key, ts: Ts, _bytes: u64) {
+        self.inflight
+            .push((self.node, OEvent::VfifoDrained { key, ts }));
+    }
+
+    fn dfifo_enqueue(&mut self, key: Key, ts: Ts, _bytes: u64) {
+        self.inflight
+            .push((self.node, OEvent::DfifoDrained { key, ts }));
+    }
+
+    fn defer(&mut self, event: OEvent) {
+        self.inflight.push((self.node, event));
+    }
+
+    fn write_done(&mut self, _req: ReqId, _key: Key, _ts: Ts, _obsolete: bool) {
+        *self.writes_done += 1;
+    }
+
+    fn read_done(&mut self, _req: ReqId, _key: Key, _value: Value, _ts: Ts) {
+        *self.reads_done += 1;
+    }
+
+    fn persist_scope_done(&mut self, _req: ReqId, _scope: ScopeId) {
+        *self.persists_done += 1;
+    }
+}
+
 impl System for OSystem {
     fn deliverable(&self) -> usize {
         self.inflight.len()
@@ -100,61 +187,18 @@ impl System for OSystem {
     fn deliver(&self, i: usize) -> Self {
         let mut next = self.clone();
         let (node, ev) = next.inflight.remove(i);
-        let mut out = Vec::new();
-        next.engines[node.0 as usize].on_event(ev, &mut out);
-        let n_nodes = next.engines.len();
-        for a in out {
-            match a {
-                OAction::Send { to, msg } => {
-                    if !legal_message(next.model, &msg) {
-                        next.dispatch_violations.push(Violation {
-                            condition: "4a legal message set".into(),
-                            detail: format!("{node} sent {msg} under {}", next.model),
-                        });
-                    }
-                    next.inflight
-                        .push((to, OEvent::NetMessage { from: node, msg }));
-                }
-                OAction::SendToFollowers { msg } => {
-                    if !legal_message(next.model, &msg) {
-                        next.dispatch_violations.push(Violation {
-                            condition: "4a legal message set".into(),
-                            detail: format!("{node} fanned out {msg} under {}", next.model),
-                        });
-                    }
-                    for t in 0..n_nodes as u16 {
-                        let to = NodeId(t);
-                        if to != node {
-                            next.inflight.push((
-                                to,
-                                OEvent::NetMessage {
-                                    from: node,
-                                    msg: msg.clone(),
-                                },
-                            ));
-                        }
-                    }
-                }
-                OAction::Pcie { from, msg } => {
-                    let ev = match from {
-                        Side::Host => OEvent::PcieFromHost(msg),
-                        Side::Snic => OEvent::PcieFromSnic(msg),
-                    };
-                    next.inflight.push((node, ev));
-                }
-                OAction::VfifoEnqueue { key, ts, .. } => {
-                    next.inflight.push((node, OEvent::VfifoDrained { key, ts }));
-                }
-                OAction::DfifoEnqueue { key, ts, .. } => {
-                    next.inflight.push((node, OEvent::DfifoDrained { key, ts }));
-                }
-                OAction::Defer { event } => next.inflight.push((node, event)),
-                OAction::WriteDone { .. } => next.writes_done += 1,
-                OAction::ReadDone { .. } => next.reads_done += 1,
-                OAction::PersistScopeDone { .. } => next.persists_done += 1,
-                OAction::Meta { .. } | OAction::CoherenceTransfer { .. } => {}
-            }
-        }
+        // A fresh dispatcher per transition (see `McBHandler`).
+        let mut dispatcher = ODispatcher::new();
+        let mut handler = McOHandler {
+            model: next.model,
+            node,
+            inflight: &mut next.inflight,
+            violations: &mut next.dispatch_violations,
+            writes_done: &mut next.writes_done,
+            reads_done: &mut next.reads_done,
+            persists_done: &mut next.persists_done,
+        };
+        dispatcher.dispatch(&mut next.engines[node.0 as usize], ev, &mut handler);
         if next.writes_done == next.expected_writes && !next.staged.is_empty() {
             for (node, scope, req) in std::mem::take(&mut next.staged) {
                 next.inflight

@@ -3,19 +3,21 @@
 use crate::arch::Arch;
 use crate::driver::{CompletionKind, CompletionRec};
 use crate::timing::{self, DISPATCH_NS};
-use minos_core::{Action, Event, NodeEngine, ReqId, Side};
+use minos_core::runtime::{self, ActionSink, DispatchStats, Dispatcher, Transport};
+use minos_core::{Action, DelayClass, Event, NodeEngine, ReqId, Side};
 use minos_sim::{CorePool, EventQueue, Resource, Time};
 use minos_types::{DdpModel, Key, Message, MessageKind, NodeId, ScopeId, SimConfig, Ts, Value};
 use std::collections::HashMap;
 
-/// Per-node hardware resources.
+/// Per-node sender-side hardware resources. The receive-side PCIe
+/// resources live in a separate array on [`BSim`] so a dispatch handler
+/// can borrow its own node's sender resources and every peer's receiver
+/// at once.
 #[derive(Debug, Clone)]
 struct NodeRes {
     cores: CorePool,
     /// Host→NIC PCIe bandwidth (one direction).
     pcie_tx: Resource,
-    /// NIC→host PCIe bandwidth.
-    pcie_rx: Resource,
     /// NIC send engine (serializes outgoing messages).
     nic_tx: Resource,
 }
@@ -41,8 +43,11 @@ pub struct BSim {
     cfg: SimConfig,
     arch: Arch,
     engines: Vec<NodeEngine>,
+    dispatchers: Vec<Dispatcher>,
     queue: EventQueue<(NodeId, Event)>,
     nodes: Vec<NodeRes>,
+    /// NIC→host PCIe bandwidth, indexed by receiving node.
+    pcie_rx: Vec<Resource>,
     completions: Vec<CompletionRec>,
     traces: HashMap<(Key, Ts), TxTrace>,
     next_req: u64,
@@ -58,14 +63,15 @@ impl BSim {
             engines: (0..n)
                 .map(|i| NodeEngine::new(NodeId(i as u16), n, model))
                 .collect(),
+            dispatchers: vec![Dispatcher::new(); n],
             nodes: (0..n)
                 .map(|_| NodeRes {
                     cores: CorePool::new(cfg.host_cores),
                     pcie_tx: Resource::new(),
-                    pcie_rx: Resource::new(),
                     nic_tx: Resource::new(),
                 })
                 .collect(),
+            pcie_rx: vec![Resource::new(); n],
             queue: EventQueue::new(),
             completions: Vec::new(),
             traces: HashMap::new(),
@@ -116,7 +122,8 @@ impl BSim {
     /// Submits a client read.
     pub fn submit_read(&mut self, at: Time, node: NodeId, key: Key) -> ReqId {
         let req = self.fresh_req();
-        self.queue.schedule(at, (node, Event::ClientRead { key, req }));
+        self.queue
+            .schedule(at, (node, Event::ClientRead { key, req }));
         req
     }
 
@@ -153,6 +160,13 @@ impl BSim {
         }
     }
 
+    /// Per-node dispatch statistics (protocol actions interpreted for
+    /// `node` so far).
+    #[must_use]
+    pub fn dispatch_stats(&self, node: NodeId) -> &DispatchStats {
+        self.dispatchers[node.0 as usize].stats()
+    }
+
     /// Processes one simulated event. Returns false when idle.
     pub fn step(&mut self) -> bool {
         let Some((t, (node, ev))) = self.queue.pop() else {
@@ -178,43 +192,20 @@ impl BSim {
             _ => None,
         };
 
-        let mut out = Vec::new();
-        self.engines[ni].on_event(ev, &mut out);
-
-        // Charge compute: dispatch + every meta hint, on a host core.
-        let cost: Time = DISPATCH_NS
-            + out
-                .iter()
-                .filter_map(|a| match a {
-                    Action::Meta(op) => Some(timing::meta_cost(&self.cfg, Side::Host, *op)),
-                    _ => None,
-                })
-                .sum::<Time>();
-        let end = self.nodes[ni].cores.acquire(t, cost);
-
-        if let Some(k) = inv_key {
-            // The paper's comm measure subtracts the average time a
-            // Follower takes to handle an INV (Lines 26-40), which
-            // includes the critical-path NVM persist of Line 39.
-            let persist: Time = out
-                .iter()
-                .filter_map(|a| match a {
-                    Action::Persist {
-                        value,
-                        background: false,
-                        ..
-                    } => Some(self.cfg.persist_ns(value.len() as u64)),
-                    _ => None,
-                })
-                .sum();
-            let tr = self.traces.entry(k).or_default();
-            tr.foll_handle_total += cost + persist;
-            tr.foll_handles += 1;
-        }
-
-        for a in out {
-            self.apply_action(node, end, a);
-        }
+        let mut handler = BSimHandler {
+            cfg: &self.cfg,
+            arch: self.arch,
+            node,
+            t,
+            end: t,
+            inv_key,
+            res: &mut self.nodes[ni],
+            peer_rx: &mut self.pcie_rx,
+            queue: &mut self.queue,
+            completions: &mut self.completions,
+            traces: &mut self.traces,
+        };
+        self.dispatchers[ni].dispatch(&mut self.engines[ni], ev, &mut handler);
         true
     }
 
@@ -222,74 +213,29 @@ impl BSim {
     pub fn run_to_idle(&mut self) {
         while self.step() {}
     }
+}
 
-    fn apply_action(&mut self, node: NodeId, end: Time, a: Action) {
-        let ni = node.0 as usize;
-        match a {
-            Action::SendToFollowers { msg } => self.fanout(node, end, msg),
-            Action::Redirect { to, event } => {
-                // Client re-submission at a replica: one wire hop.
-                let arrival = end + timing::link_time(&self.cfg, &Message::ReadReq {
-                    key: Key(0),
-                    token: 0,
-                });
-                self.queue.schedule(arrival, (to, event));
-            }
-            Action::Send { to, msg } => self.unicast(node, end, to, msg),
-            Action::Persist { key, ts, value, .. } => {
-                // The CloudLab machine emulates NVM by spinning the
-                // issuing core for the persist latency (Table II), so the
-                // persist occupies a host core rather than a device port.
-                let d = self.cfg.persist_ns(value.len() as u64);
-                let done = self.nodes[ni].cores.acquire(end, d);
-                self.queue.schedule(done, (node, Event::PersistDone { key, ts }));
-            }
-            Action::Defer { event, .. } => self.queue.schedule(end, (node, event)),
-            Action::WriteDone {
-                req,
-                key,
-                ts,
-                obsolete,
-            } => {
-                let comm_ns = self.traces.remove(&(key, ts)).map(|tr| {
-                    let avg_handle = if tr.foll_handles > 0 {
-                        tr.foll_handle_total / Time::from(tr.foll_handles)
-                    } else {
-                        0
-                    };
-                    tr.last_ack_arrival
-                        .saturating_sub(tr.first_inv_deposit)
-                        .saturating_sub(avg_handle)
-                });
-                self.completions.push(CompletionRec {
-                    req,
-                    node,
-                    at: end,
-                    kind: CompletionKind::Write,
-                    obsolete,
-                    comm_ns,
-                });
-            }
-            Action::ReadDone { req, .. } => self.completions.push(CompletionRec {
-                req,
-                node,
-                at: end,
-                kind: CompletionKind::Read,
-                obsolete: false,
-                comm_ns: None,
-            }),
-            Action::PersistScopeDone { req, .. } => self.completions.push(CompletionRec {
-                req,
-                node,
-                at: end,
-                kind: CompletionKind::PersistScope,
-                obsolete: false,
-                comm_ns: None,
-            }),
-            Action::Meta(_) => {}
-        }
-    }
+/// The DES dispatch handler for one event at one node: models the host
+/// send queue → PCIe → NIC → wire → NIC → PCIe receive path and charges
+/// compute to the node's core pool. Created fresh per [`BSim::step`].
+struct BSimHandler<'a> {
+    cfg: &'a SimConfig,
+    arch: Arch,
+    node: NodeId,
+    /// Event arrival time.
+    t: Time,
+    /// Core-release time — when the emitted actions take effect. Set by
+    /// [`ActionSink::begin`] once the compute charge is known.
+    end: Time,
+    inv_key: Option<(Key, Ts)>,
+    res: &'a mut NodeRes,
+    peer_rx: &'a mut [Resource],
+    queue: &'a mut EventQueue<(NodeId, Event)>,
+    completions: &'a mut Vec<CompletionRec>,
+    traces: &'a mut HashMap<(Key, Ts), TxTrace>,
+}
 
+impl BSimHandler<'_> {
     /// PCIe cost of one message: §IV — messages are "taken one at a time
     /// from the send queue, transferred along the slow PCIe bus", so the
     /// full latency+bandwidth time occupies the bus (no pipelining).
@@ -297,34 +243,44 @@ impl BSim {
         self.cfg.pcie_transfer_ns(bytes.max(64))
     }
 
-    /// Delivers `msg` from `node` to `to`: host send queue → PCIe → NIC →
-    /// wire → NIC → PCIe → host receive queue.
-    fn unicast(&mut self, node: NodeId, deposit: Time, to: NodeId, msg: Message) {
-        let ni = node.0 as usize;
-        let bytes = msg.wire_bytes();
-        let cost = self.pcie_msg_ns(bytes);
-        let pcie_done = self.nodes[ni].pcie_tx.acquire(deposit, cost);
-        let depart = self.nodes[ni]
-            .nic_tx
-            .acquire(pcie_done, timing::send_cost(&self.cfg, &msg));
-        self.deliver(node, to, depart, msg);
-    }
-
     /// Wire + receiver-side path shared by unicast and fan-out.
-    fn deliver(&mut self, from: NodeId, to: NodeId, depart: Time, msg: Message) {
+    fn deliver(&mut self, to: NodeId, depart: Time, msg: Message) {
         let bytes = msg.wire_bytes();
-        let arrival_nic = depart + timing::link_time(&self.cfg, &msg);
-        let ti = to.0 as usize;
+        let arrival_nic = depart + timing::link_time(self.cfg, &msg);
         let cost = self.pcie_msg_ns(bytes);
-        let arrival_host = self.nodes[ti].pcie_rx.acquire(arrival_nic, cost);
-        self.queue
-            .schedule(arrival_host, (to, Event::Message { from, msg }));
+        let arrival_host = self.peer_rx[to.0 as usize].acquire(arrival_nic, cost);
+        self.queue.schedule(
+            arrival_host,
+            (
+                to,
+                Event::Message {
+                    from: self.node,
+                    msg,
+                },
+            ),
+        );
+    }
+}
+
+impl Transport for BSimHandler<'_> {
+    /// Delivers `msg` to `to`: host send queue → PCIe → NIC → wire →
+    /// NIC → PCIe → host receive queue.
+    fn send(&mut self, to: NodeId, msg: Message) {
+        let bytes = msg.wire_bytes();
+        let cost = self.pcie_msg_ns(bytes);
+        let pcie_done = self.res.pcie_tx.acquire(self.end, cost);
+        let depart = self
+            .res
+            .nic_tx
+            .acquire(pcie_done, timing::send_cost(self.cfg, &msg));
+        self.deliver(to, depart, msg);
     }
 
     /// The Coordinator's INV/VAL fan-out, shaped by the batching and
     /// broadcast capabilities (§IV: "the multiple INV messages in a
     /// transaction are sent one at a time" on the baseline).
-    fn fanout(&mut self, node: NodeId, deposit: Time, msg: Message) {
+    fn broadcast(&mut self, dests: &[NodeId], msg: Message) {
+        let deposit = self.end;
         // Open the Figure 4 communication window at the send-queue
         // deposit of the first INV.
         if msg.kind() == MessageKind::Inv {
@@ -336,37 +292,35 @@ impl BSim {
             }
         }
 
-        let ni = node.0 as usize;
-        let dests: Vec<NodeId> = self.engines[ni].fanout_targets(msg.key());
         let bytes = msg.wire_bytes();
-        let send = timing::send_cost(&self.cfg, &msg);
+        let send = timing::send_cost(self.cfg, &msg);
         let gap = self.cfg.inter_msg_gap_ns;
 
         if self.arch.batching {
             // One descriptor (payload + an 8-byte entry per destination).
             let desc = bytes + 8 * dests.len() as u64;
             let cost = self.pcie_msg_ns(desc);
-            let pcie_done = self.nodes[ni].pcie_tx.acquire(deposit, cost);
+            let pcie_done = self.res.pcie_tx.acquire(deposit, cost);
             if self.arch.broadcast {
                 // Deposit once; the broadcast FSM replicates on the wire.
-                let depart = self.nodes[ni].nic_tx.acquire(pcie_done, send);
-                for d in dests {
-                    self.deliver(node, d, depart, msg.clone());
+                let depart = self.res.nic_tx.acquire(pcie_done, send);
+                for &d in dests {
+                    self.deliver(d, depart, msg.clone());
                 }
             } else {
                 // The NIC must unpack the batch, then send serially.
                 let base = pcie_done + self.cfg.batch_unpack_ns;
-                for d in dests {
-                    let depart = self.nodes[ni].nic_tx.acquire(base, send + gap);
-                    self.deliver(node, d, depart, msg.clone());
+                for &d in dests {
+                    let depart = self.res.nic_tx.acquire(base, send + gap);
+                    self.deliver(d, depart, msg.clone());
                 }
             }
         } else {
             // One PCIe transfer per destination, serialized.
             let mut first = true;
             let cost = self.pcie_msg_ns(bytes);
-            for d in dests {
-                let pcie_done = self.nodes[ni].pcie_tx.acquire(deposit, cost);
+            for &d in dests {
+                let pcie_done = self.res.pcie_tx.acquire(deposit, cost);
                 let cost = if self.arch.broadcast {
                     // The FSM only pays the prepare cost once.
                     if first {
@@ -378,9 +332,108 @@ impl BSim {
                     send + gap
                 };
                 first = false;
-                let depart = self.nodes[ni].nic_tx.acquire(pcie_done, cost);
-                self.deliver(node, d, depart, msg.clone());
+                let depart = self.res.nic_tx.acquire(pcie_done, cost);
+                self.deliver(d, depart, msg.clone());
             }
         }
+    }
+}
+
+impl ActionSink for BSimHandler<'_> {
+    fn begin(&mut self, actions: &[Action]) {
+        // Charge compute: dispatch + every meta hint, on a host core.
+        let cost: Time = DISPATCH_NS
+            + runtime::meta_ops(actions)
+                .map(|op| timing::meta_cost(self.cfg, Side::Host, *op))
+                .sum::<Time>();
+        self.end = self.res.cores.acquire(self.t, cost);
+
+        if let Some(k) = self.inv_key {
+            // The paper's comm measure subtracts the average time a
+            // Follower takes to handle an INV (Lines 26-40), which
+            // includes the critical-path NVM persist of Line 39.
+            let persist: Time = runtime::foreground_persist_bytes(actions)
+                .map(|bytes| self.cfg.persist_ns(bytes))
+                .sum();
+            let tr = self.traces.entry(k).or_default();
+            tr.foll_handle_total += cost + persist;
+            tr.foll_handles += 1;
+        }
+    }
+
+    fn persist(&mut self, key: Key, ts: Ts, value: Value, _background: bool) {
+        // The CloudLab machine emulates NVM by spinning the issuing core
+        // for the persist latency (Table II), so the persist occupies a
+        // host core rather than a device port.
+        let d = self.cfg.persist_ns(value.len() as u64);
+        let done = self.res.cores.acquire(self.end, d);
+        self.queue
+            .schedule(done, (self.node, Event::PersistDone { key, ts }));
+    }
+
+    fn redirect(&mut self, to: NodeId, event: Event) {
+        // Client re-submission at a replica: one wire hop.
+        let arrival = self.end
+            + timing::link_time(
+                self.cfg,
+                &Message::ReadReq {
+                    key: Key(0),
+                    token: 0,
+                },
+            );
+        self.queue.schedule(arrival, (to, event));
+    }
+
+    fn defer(&mut self, event: Event, _class: DelayClass) {
+        self.queue.schedule(self.end, (self.node, event));
+    }
+
+    fn write_done(&mut self, req: ReqId, key: Key, ts: Ts, obsolete: bool) {
+        let comm_ns = self.traces.remove(&(key, ts)).map(|tr| {
+            let avg_handle = if tr.foll_handles > 0 {
+                tr.foll_handle_total / Time::from(tr.foll_handles)
+            } else {
+                0
+            };
+            tr.last_ack_arrival
+                .saturating_sub(tr.first_inv_deposit)
+                .saturating_sub(avg_handle)
+        });
+        self.completions.push(CompletionRec {
+            req,
+            node: self.node,
+            at: self.end,
+            kind: CompletionKind::Write,
+            key: Some(key),
+            ts,
+            obsolete,
+            comm_ns,
+        });
+    }
+
+    fn read_done(&mut self, req: ReqId, key: Key, _value: Value, ts: Ts) {
+        self.completions.push(CompletionRec {
+            req,
+            node: self.node,
+            at: self.end,
+            kind: CompletionKind::Read,
+            key: Some(key),
+            ts,
+            obsolete: false,
+            comm_ns: None,
+        });
+    }
+
+    fn persist_scope_done(&mut self, req: ReqId, _scope: ScopeId) {
+        self.completions.push(CompletionRec {
+            req,
+            node: self.node,
+            at: self.end,
+            kind: CompletionKind::PersistScope,
+            key: None,
+            ts: Ts::zero(),
+            obsolete: false,
+            comm_ns: None,
+        });
     }
 }

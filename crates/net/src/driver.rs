@@ -34,6 +34,10 @@ pub struct CompletionRec {
     pub at: Time,
     /// Request kind.
     pub kind: CompletionKind,
+    /// Key operated on (`None` for `[PERSIST]sc`).
+    pub key: Option<Key>,
+    /// Version written or observed (`Ts::zero()` for `[PERSIST]sc`).
+    pub ts: minos_types::Ts,
     /// Whether a write was cut short as obsolete.
     pub obsolete: bool,
     /// Communication time of the write transaction (Figure 4 breakdown;
@@ -310,7 +314,14 @@ fn run_on(
                     clients[p.client].waiting_persist = false;
                 }
             }
-            submit_next(&mut sim, &mut clients, p.client, rec.at, scoped, &mut pending);
+            submit_next(
+                &mut sim,
+                &mut clients,
+                p.client,
+                rec.at,
+                scoped,
+                &mut pending,
+            );
         }
     }
 
@@ -339,7 +350,13 @@ fn submit_next(
         cl.scope_seq += 1;
         cl.waiting_persist = true;
         let req = sim.submit_persist_scope(at, cl.node, sc);
-        pending.insert(req, Pending { client: idx, start: at });
+        pending.insert(
+            req,
+            Pending {
+                client: idx,
+                start: at,
+            },
+        );
         return;
     }
 
@@ -359,7 +376,13 @@ fn submit_next(
         }
         Op::Read { key } => sim.submit_read(at, cl.node, key),
     };
-    pending.insert(req, Pending { client: idx, start: at });
+    pending.insert(
+        req,
+        Pending {
+            client: idx,
+            start: at,
+        },
+    );
 }
 
 /// End-to-end results of the DeathStar experiment (Figure 11).
@@ -440,6 +463,7 @@ pub fn run_deathstar(
     let mut pending: HashMap<ReqId, usize> = HashMap::new();
     let mut login_lat = LatencyStats::new();
 
+    #[allow(clippy::too_many_arguments)]
     fn submit_chain_op(
         sim: &mut SimBox,
         chains: &mut [Chain],
@@ -492,7 +516,14 @@ pub fn run_deathstar(
 
     for ci in 0..chains.len() {
         submit_chain_op(
-            &mut sim, &mut chains, ci, 0, op_rtt, scoped, &mut pending, &mut login_lat,
+            &mut sim,
+            &mut chains,
+            ci,
+            0,
+            op_rtt,
+            scoped,
+            &mut pending,
+            &mut login_lat,
         );
     }
 

@@ -3,9 +3,10 @@
 use crate::arch::Arch;
 use crate::driver::{CompletionKind, CompletionRec};
 use crate::timing::{self, DISPATCH_NS};
+use minos_core::runtime::{self, ODispatchStats, ODispatcher, OSink, Transport};
 use minos_core::{OAction, OEvent, ONodeEngine, PcieMsg, ReqId, Side};
 use minos_sim::{BoundedFifo, CorePool, EventQueue, Resource, Time};
-use minos_types::{DdpModel, Key, Message, MessageKind, NodeId, ScopeId, SimConfig, Value};
+use minos_types::{DdpModel, Key, Message, MessageKind, NodeId, ScopeId, SimConfig, Ts, Value};
 
 #[derive(Debug, Clone)]
 struct ONodeRes {
@@ -36,6 +37,7 @@ pub struct OSim {
     cfg: SimConfig,
     arch: Arch,
     engines: Vec<ONodeEngine>,
+    dispatchers: Vec<ODispatcher>,
     queue: EventQueue<(NodeId, OEvent)>,
     nodes: Vec<ONodeRes>,
     completions: Vec<CompletionRec>,
@@ -53,6 +55,7 @@ impl OSim {
             engines: (0..n)
                 .map(|i| ONodeEngine::new(NodeId(i as u16), n, model))
                 .collect(),
+            dispatchers: vec![ODispatcher::new(); n],
             nodes: (0..n)
                 .map(|_| ONodeRes {
                     host_cores: CorePool::new(cfg.host_cores),
@@ -158,6 +161,13 @@ impl OSim {
         }
     }
 
+    /// Per-node dispatch statistics (protocol actions interpreted for
+    /// `node` so far).
+    #[must_use]
+    pub fn dispatch_stats(&self, node: NodeId) -> &ODispatchStats {
+        self.dispatchers[node.0 as usize].stats()
+    }
+
     /// Processes one simulated event. Returns false when idle.
     pub fn step(&mut self) -> bool {
         let Some((t, (node, ev))) = self.queue.pop() else {
@@ -166,93 +176,22 @@ impl OSim {
         let ni = node.0 as usize;
         let side = Self::side_of(&ev);
 
-        let mut out = Vec::new();
-        self.engines[ni].on_event(ev, &mut out);
-
-        // Handler compute cost: dispatch + meta hints + coherence snoops.
-        let cost: Time = DISPATCH_NS
-            + out
-                .iter()
-                .map(|a| match a {
-                    OAction::Meta { side, op } => timing::meta_cost(&self.cfg, *side, *op),
-                    OAction::CoherenceTransfer { .. } => self.cfg.coherence_snoop_ns,
-                    _ => 0,
-                })
-                .sum::<Time>();
-        let end = match side {
-            Side::Host => self.nodes[ni].host_cores.acquire(t, cost),
-            Side::Snic => self.nodes[ni].snic_cores.acquire(t, cost),
+        let n_nodes = self.engines.len();
+        let mut handler = OSimHandler {
+            cfg: &self.cfg,
+            arch: self.arch,
+            node,
+            n_nodes,
+            side,
+            t,
+            end: t,
+            vq_done: None,
+            dq_done: None,
+            res: &mut self.nodes[ni],
+            queue: &mut self.queue,
+            completions: &mut self.completions,
         };
-
-        // In-handler FIFO gating: ACK_C-class sends wait for the vFIFO
-        // enqueue, ACK/ACK_P-class sends for the dFIFO enqueue (§V-C).
-        let mut vq_done: Option<Time> = None;
-        let mut dq_done: Option<Time> = None;
-
-        for a in out {
-            match a {
-                OAction::VfifoEnqueue { key, ts, bytes } => {
-                    let write = self.cfg.vfifo_write_ns(bytes);
-                    // Drain = DMA into the host LLC across PCIe.
-                    let drain =
-                        self.cfg.pcie_transfer_ns(bytes) + self.cfg.llc_update_ns(bytes);
-                    let outcome = self.nodes[ni].vfifo.enqueue(end, write, drain);
-                    vq_done = Some(outcome.enqueued_at);
-                    self.queue
-                        .schedule(outcome.drained_at, (node, OEvent::VfifoDrained { key, ts }));
-                }
-                OAction::DfifoEnqueue { key, ts, bytes } => {
-                    let write = self.cfg.dfifo_write_ns(bytes);
-                    // The dFIFO write itself made the update durable. An
-                    // entry hands off to the DMA output register as soon
-                    // as it reaches the head (slot held for the write
-                    // only); the background DMA append to the host NVM
-                    // log shows up in the drained-event time.
-                    let outcome = self.nodes[ni].dfifo.enqueue(end, write, 0);
-                    dq_done = Some(outcome.enqueued_at);
-                    let dma_done = outcome.drained_at + self.cfg.pcie_transfer_ns(bytes);
-                    self.queue
-                        .schedule(dma_done, (node, OEvent::DfifoDrained { key, ts }));
-                }
-                OAction::Send { to, msg } => {
-                    let start = self.send_gate(end, &msg, vq_done, dq_done);
-                    self.snic_unicast(node, start, to, msg);
-                }
-                OAction::SendToFollowers { msg } => {
-                    let start = self.send_gate(end, &msg, vq_done, dq_done);
-                    self.snic_fanout(node, start, msg);
-                }
-                OAction::Pcie { from, msg } => self.pcie_transfer(node, end, from, msg),
-                OAction::Defer { event } => self.queue.schedule(end, (node, event)),
-                OAction::WriteDone {
-                    req, obsolete, ..
-                } => self.completions.push(CompletionRec {
-                    req,
-                    node,
-                    at: end,
-                    kind: CompletionKind::Write,
-                    obsolete,
-                    comm_ns: None,
-                }),
-                OAction::ReadDone { req, .. } => self.completions.push(CompletionRec {
-                    req,
-                    node,
-                    at: end,
-                    kind: CompletionKind::Read,
-                    obsolete: false,
-                    comm_ns: None,
-                }),
-                OAction::PersistScopeDone { req, .. } => self.completions.push(CompletionRec {
-                    req,
-                    node,
-                    at: end,
-                    kind: CompletionKind::PersistScope,
-                    obsolete: false,
-                    comm_ns: None,
-                }),
-                OAction::Meta { .. } | OAction::CoherenceTransfer { .. } => {}
-            }
-        }
+        self.dispatchers[ni].dispatch(&mut self.engines[ni], ev, &mut handler);
         true
     }
 
@@ -260,26 +199,134 @@ impl OSim {
     pub fn run_to_idle(&mut self) {
         while self.step() {}
     }
+}
 
+/// The DES dispatch handler for one event at one node. The dispatcher
+/// streams actions in emission order, so the FIFO-enqueue sink calls are
+/// seen *before* the sends they semantically precede — the handler
+/// records their completion times and gates later sends on them (§V-C).
+struct OSimHandler<'a> {
+    cfg: &'a SimConfig,
+    arch: Arch,
+    node: NodeId,
+    n_nodes: usize,
+    /// Which side's cores run this event's handler.
+    side: Side,
+    /// Event arrival time.
+    t: Time,
+    /// Core-release time, set by [`OSink::begin`].
+    end: Time,
+    /// vFIFO enqueue completion within this dispatch, if any.
+    vq_done: Option<Time>,
+    /// dFIFO enqueue completion within this dispatch, if any.
+    dq_done: Option<Time>,
+    res: &'a mut ONodeRes,
+    queue: &'a mut EventQueue<(NodeId, OEvent)>,
+    completions: &'a mut Vec<CompletionRec>,
+}
+
+impl OSimHandler<'_> {
     /// The earliest time a message emitted by this handler may be sent,
     /// given the FIFO writes that precede it semantically.
-    fn send_gate(
-        &self,
-        end: Time,
-        msg: &Message,
-        vq_done: Option<Time>,
-        dq_done: Option<Time>,
-    ) -> Time {
+    fn send_gate(&self, msg: &Message) -> Time {
         match msg.kind() {
             // Consistency acks follow the vFIFO enqueue.
-            MessageKind::AckC => vq_done.unwrap_or(end),
+            MessageKind::AckC => self.vq_done.unwrap_or(self.end),
             // Combined/persistency acks follow the dFIFO enqueue (the
             // update must be durable).
             MessageKind::Ack | MessageKind::AckP | MessageKind::PersistAckP => {
-                dq_done.or(vq_done).unwrap_or(end)
+                self.dq_done.or(self.vq_done).unwrap_or(self.end)
             }
-            _ => end,
+            _ => self.end,
         }
+    }
+
+    fn deliver(&mut self, to: NodeId, depart: Time, msg: Message) {
+        let arrival = depart + timing::link_time(self.cfg, &msg);
+        self.queue.schedule(
+            arrival,
+            (
+                to,
+                OEvent::NetMessage {
+                    from: self.node,
+                    msg,
+                },
+            ),
+        );
+    }
+
+    fn complete(
+        &mut self,
+        req: ReqId,
+        kind: CompletionKind,
+        key: Option<Key>,
+        ts: Ts,
+        obsolete: bool,
+    ) {
+        self.completions.push(CompletionRec {
+            req,
+            node: self.node,
+            at: self.end,
+            kind,
+            key,
+            ts,
+            obsolete,
+            comm_ns: None,
+        });
+    }
+}
+
+impl Transport for OSimHandler<'_> {
+    fn send(&mut self, to: NodeId, msg: Message) {
+        let start = self.send_gate(&msg);
+        let depart = self
+            .res
+            .nic_tx
+            .acquire(start, timing::send_cost(self.cfg, &msg));
+        self.deliver(to, depart, msg);
+    }
+
+    /// SNIC-side fan-out: a single Send-Buffer deposit with the broadcast
+    /// FSM, or serialized sends (plus the batch-unpack penalty when the
+    /// descriptor was batched but cannot be broadcast — the Figure 12
+    /// "Combined+batching is slower" effect).
+    fn broadcast(&mut self, dests: &[NodeId], msg: Message) {
+        let start = self.send_gate(&msg);
+        let send = timing::send_cost(self.cfg, &msg);
+        if self.arch.broadcast {
+            let depart = self.res.nic_tx.acquire(start, send);
+            for &d in dests {
+                self.deliver(d, depart, msg.clone());
+            }
+        } else {
+            let base = if self.arch.batching {
+                start + self.cfg.batch_unpack_ns
+            } else {
+                start
+            };
+            for &d in dests {
+                let depart = self
+                    .res
+                    .nic_tx
+                    .acquire(base, send + self.cfg.inter_msg_gap_ns);
+                self.deliver(d, depart, msg.clone());
+            }
+        }
+    }
+}
+
+impl OSink for OSimHandler<'_> {
+    fn begin(&mut self, actions: &[OAction]) {
+        // Handler compute cost: dispatch + meta hints + coherence snoops.
+        let cost: Time = DISPATCH_NS
+            + runtime::o_meta_ops(actions)
+                .map(|(side, op)| timing::meta_cost(self.cfg, side, *op))
+                .sum::<Time>()
+            + runtime::coherence_transfer_count(actions) as Time * self.cfg.coherence_snoop_ns;
+        self.end = match self.side {
+            Side::Host => self.res.host_cores.acquire(self.t, cost),
+            Side::Snic => self.res.snic_cores.acquire(self.t, cost),
+        };
     }
 
     /// A PCIe descriptor between host and SNIC.
@@ -292,71 +339,67 @@ impl OSim {
     /// (the Combined-without-batching ablation point); with batching it
     /// is a single full transfer — whose *unpack* cost on the SNIC is
     /// what makes batching a loss until broadcast removes it (Figure 12).
-    fn pcie_transfer(&mut self, node: NodeId, end: Time, from: Side, msg: PcieMsg) {
-        let ni = node.0 as usize;
+    fn pcie(&mut self, from: Side, msg: PcieMsg) {
         let bytes = msg.wire_bytes();
         let transfers = match (&msg, self.arch.batching) {
-            (PcieMsg::BatchedInv { .. }, false) => (self.engines.len() - 1).max(1) as u64,
+            (PcieMsg::BatchedInv { .. }, false) => (self.n_nodes - 1).max(1) as u64,
             _ => 1,
         };
         let res = match from {
-            Side::Host => &mut self.nodes[ni].pcie_down,
-            Side::Snic => &mut self.nodes[ni].pcie_up,
+            Side::Host => &mut self.res.pcie_down,
+            Side::Snic => &mut self.res.pcie_up,
         };
         let bw = (bytes.max(64) * 1_000_000_000 / self.cfg.pcie_bw_bytes_per_s).max(1);
-        let mut bw_done = end;
+        let mut bw_done = self.end;
         for _ in 0..transfers {
-            bw_done = res.acquire(end, bw);
+            bw_done = res.acquire(self.end, bw);
         }
         let arrival = bw_done + self.cfg.pcie_latency_ns;
         let ev = match from {
             Side::Host => OEvent::PcieFromHost(msg),
             Side::Snic => OEvent::PcieFromSnic(msg),
         };
-        self.queue.schedule(arrival, (node, ev));
+        self.queue.schedule(arrival, (self.node, ev));
     }
 
-    fn snic_unicast(&mut self, node: NodeId, start: Time, to: NodeId, msg: Message) {
-        let ni = node.0 as usize;
-        let depart = self.nodes[ni]
-            .nic_tx
-            .acquire(start, timing::send_cost(&self.cfg, &msg));
-        self.deliver(node, to, depart, msg);
+    fn vfifo_enqueue(&mut self, key: Key, ts: Ts, bytes: u64) {
+        let write = self.cfg.vfifo_write_ns(bytes);
+        // Drain = DMA into the host LLC across PCIe.
+        let drain = self.cfg.pcie_transfer_ns(bytes) + self.cfg.llc_update_ns(bytes);
+        let outcome = self.res.vfifo.enqueue(self.end, write, drain);
+        self.vq_done = Some(outcome.enqueued_at);
+        self.queue.schedule(
+            outcome.drained_at,
+            (self.node, OEvent::VfifoDrained { key, ts }),
+        );
     }
 
-    fn deliver(&mut self, from: NodeId, to: NodeId, depart: Time, msg: Message) {
-        let arrival = depart + timing::link_time(&self.cfg, &msg);
-        self.queue.schedule(arrival, (to, OEvent::NetMessage { from, msg }));
+    fn dfifo_enqueue(&mut self, key: Key, ts: Ts, bytes: u64) {
+        let write = self.cfg.dfifo_write_ns(bytes);
+        // The dFIFO write itself made the update durable. An entry hands
+        // off to the DMA output register as soon as it reaches the head
+        // (slot held for the write only); the background DMA append to
+        // the host NVM log shows up in the drained-event time.
+        let outcome = self.res.dfifo.enqueue(self.end, write, 0);
+        self.dq_done = Some(outcome.enqueued_at);
+        let dma_done = outcome.drained_at + self.cfg.pcie_transfer_ns(bytes);
+        self.queue
+            .schedule(dma_done, (self.node, OEvent::DfifoDrained { key, ts }));
     }
 
-    /// SNIC-side fan-out: a single Send-Buffer deposit with the broadcast
-    /// FSM, or serialized sends (plus the batch-unpack penalty when the
-    /// descriptor was batched but cannot be broadcast — the Figure 12
-    /// "Combined+batching is slower" effect).
-    fn snic_fanout(&mut self, node: NodeId, start: Time, msg: Message) {
-        let ni = node.0 as usize;
-        let dests: Vec<NodeId> = (0..self.engines.len() as u16)
-            .map(NodeId)
-            .filter(|&d| d != node)
-            .collect();
-        let send = timing::send_cost(&self.cfg, &msg);
-        if self.arch.broadcast {
-            let depart = self.nodes[ni].nic_tx.acquire(start, send);
-            for d in dests {
-                self.deliver(node, d, depart, msg.clone());
-            }
-        } else {
-            let base = if self.arch.batching {
-                start + self.cfg.batch_unpack_ns
-            } else {
-                start
-            };
-            for d in dests {
-                let depart = self.nodes[ni]
-                    .nic_tx
-                    .acquire(base, send + self.cfg.inter_msg_gap_ns);
-                self.deliver(node, d, depart, msg.clone());
-            }
-        }
+    fn defer(&mut self, event: OEvent) {
+        self.queue.schedule(self.end, (self.node, event));
+    }
+
+    fn write_done(&mut self, req: ReqId, key: Key, ts: Ts, obsolete: bool) {
+        self.complete(req, CompletionKind::Write, Some(key), ts, obsolete);
+    }
+
+    fn read_done(&mut self, req: ReqId, key: Key, _value: Value, ts: Ts) {
+        self.complete(req, CompletionKind::Read, Some(key), ts, false);
+    }
+
+    fn persist_scope_done(&mut self, req: ReqId, _scope: ScopeId) {
+        self.complete(req, CompletionKind::PersistScope, None, Ts::zero(), false);
     }
 }

@@ -81,14 +81,15 @@ fn o_models_have_similar_latency() {
     let cfg = SimConfig::paper_defaults();
     let lats: Vec<f64> = DdpModel::all_lin()
         .into_iter()
-        .map(|m| driver::run(Arch::minos_o(), &cfg, m, &spec, 3).write_lat.mean())
+        .map(|m| {
+            driver::run(Arch::minos_o(), &cfg, m, &spec, 3)
+                .write_lat
+                .mean()
+        })
         .collect();
     let min = lats.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = lats.iter().cloned().fold(0.0, f64::max);
-    assert!(
-        max / min < 1.6,
-        "O model spread too wide: {lats:?}"
-    );
+    assert!(max / min < 1.6, "O model spread too wide: {lats:?}");
 }
 
 #[test]

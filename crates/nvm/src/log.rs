@@ -61,7 +61,8 @@ impl DurableLog {
     #[must_use]
     pub fn entries_since(&self, from: Lsn) -> Vec<LogEntry> {
         let start = from.saturating_sub(self.compacted_to) as usize;
-        self.entries.get(start.min(self.entries.len())..)
+        self.entries
+            .get(start.min(self.entries.len())..)
             .unwrap_or(&[])
             .to_vec()
     }

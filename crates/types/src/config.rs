@@ -19,6 +19,15 @@ pub struct ClusterConfig {
     pub wire_latency_ns: u64,
     /// Heartbeat timeout for failure detection, in nanoseconds.
     pub failure_timeout_ns: u64,
+    /// Transport-level message batching (the Figure 12 `batching` NIC
+    /// capability): the messages a node emits while handling one event
+    /// are coalesced into per-destination frames, each deposited into the
+    /// transport as a single enqueue.
+    pub batching: bool,
+    /// Transport-level broadcast (the Figure 12 `broadcast` NIC
+    /// capability): a follower fan-out leaves the node as one enqueue and
+    /// is expanded to all destinations inside the transport.
+    pub broadcast: bool,
 }
 
 impl ClusterConfig {
@@ -31,6 +40,8 @@ impl ClusterConfig {
             nvm_persist_ns_per_kb: 1295,
             wire_latency_ns: 2_000,
             failure_timeout_ns: 50_000_000,
+            batching: false,
+            broadcast: false,
         }
     }
 
@@ -38,6 +49,20 @@ impl ClusterConfig {
     #[must_use]
     pub fn with_nodes(mut self, nodes: usize) -> Self {
         self.nodes = nodes;
+        self
+    }
+
+    /// Builder-style toggle for transport-level message batching.
+    #[must_use]
+    pub fn with_batching(mut self, on: bool) -> Self {
+        self.batching = on;
+        self
+    }
+
+    /// Builder-style toggle for transport-level broadcast.
+    #[must_use]
+    pub fn with_broadcast(mut self, on: bool) -> Self {
+        self.broadcast = on;
         self
     }
 }

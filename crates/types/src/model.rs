@@ -87,7 +87,9 @@ impl PersistencyModel {
     pub fn tracks_persist_acks(self) -> bool {
         matches!(
             self,
-            PersistencyModel::Synchronous | PersistencyModel::Strict | PersistencyModel::ReadEnforced
+            PersistencyModel::Synchronous
+                | PersistencyModel::Strict
+                | PersistencyModel::ReadEnforced
         )
     }
 

@@ -287,6 +287,48 @@ pub fn decode_message(buf: &[u8]) -> Result<Message, WireError> {
     Ok(msg)
 }
 
+/// Encodes a peer-to-peer frame: `from` plus one or more protocol
+/// messages batched into a single unit.
+///
+/// Layout: `[u16 from][u16 count]` then, per message, `[u32 len]` and the
+/// [`encode_message`] bytes. This is the **only** peer framing in the
+/// workspace — the TCP transport and the batching middleware both encode
+/// through here, so a frame written by one is decodable by the other.
+#[must_use]
+pub fn encode_peer_frame(from: NodeId, msgs: &[Message]) -> Vec<u8> {
+    let mut w = Writer(Vec::with_capacity(64 * msgs.len() + 4));
+    w.u16(from.0);
+    w.u16(msgs.len() as u16);
+    for msg in msgs {
+        let enc = encode_message(msg);
+        w.u32(enc.len() as u32);
+        w.0.extend_from_slice(&enc);
+    }
+    w.0
+}
+
+/// Decodes a frame produced by [`encode_peer_frame`].
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] for short buffers, [`WireError::BadTag`] for
+/// unknown message kinds, [`WireError::TrailingBytes`] for oversized
+/// buffers.
+pub fn decode_peer_frame(buf: &[u8]) -> Result<(NodeId, Vec<Message>), WireError> {
+    let mut r = Reader { buf, pos: 0 };
+    let from = NodeId(r.u16()?);
+    let count = r.u16()? as usize;
+    let mut msgs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = r.u32()? as usize;
+        msgs.push(decode_message(r.take(len)?)?);
+    }
+    if r.pos != buf.len() {
+        return Err(WireError::TrailingBytes(buf.len() - r.pos));
+    }
+    Ok((from, msgs))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,6 +404,50 @@ mod tests {
         let mut enc = encode_message(&Message::Persist { scope: ScopeId(1) });
         enc.push(0);
         assert_eq!(decode_message(&enc), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn peer_frames_roundtrip() {
+        let key = Key(11);
+        let ts = Ts::new(NodeId(2), 5);
+        let msgs = vec![
+            Message::Inv {
+                key,
+                ts,
+                value: Value::from_static(b"abc"),
+                scope: Some(ScopeId(1)),
+            },
+            Message::Ack { key, ts },
+            Message::Persist { scope: ScopeId(1) },
+        ];
+        let enc = encode_peer_frame(NodeId(3), &msgs);
+        let (from, dec) = decode_peer_frame(&enc).expect("decode");
+        assert_eq!(from, NodeId(3));
+        assert_eq!(dec, msgs);
+
+        // Empty frames are legal (a flush with nothing buffered).
+        let enc = encode_peer_frame(NodeId(0), &[]);
+        assert_eq!(decode_peer_frame(&enc), Ok((NodeId(0), vec![])));
+    }
+
+    #[test]
+    fn peer_frame_truncation_detected() {
+        let enc = encode_peer_frame(
+            NodeId(1),
+            &[Message::Ack {
+                key: Key(1),
+                ts: Ts::new(NodeId(0), 1),
+            }],
+        );
+        for cut in 0..enc.len() {
+            assert!(
+                decode_peer_frame(&enc[..cut]).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+        let mut padded = enc;
+        padded.push(7);
+        assert_eq!(decode_peer_frame(&padded), Err(WireError::TrailingBytes(1)));
     }
 
     #[test]

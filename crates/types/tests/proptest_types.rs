@@ -11,7 +11,7 @@ proptest! {
     #[test]
     fn ts_ordering_is_total_and_antisymmetric(a in ts_strategy(), b in ts_strategy()) {
         prop_assert_eq!(a < b, b > a);
-        prop_assert_eq!(a == b, !(a < b) && !(b < a));
+        prop_assert_eq!(a == b, a >= b && b >= a);
     }
 
     #[test]

@@ -224,10 +224,7 @@ mod tests {
                 .with_write_fraction(frac);
             let writes = spec.stream(1).take(5000).filter(|o| o.is_write()).count();
             let got = writes as f64 / 5000.0;
-            assert!(
-                (got - frac).abs() < 0.03,
-                "frac {frac}: got {got} writes"
-            );
+            assert!((got - frac).abs() < 0.03, "frac {frac}: got {got} writes");
         }
     }
 

@@ -20,7 +20,10 @@ fn main() -> Result<(), MinosError> {
 
     println!("3-node threaded cluster up; writing under <Lin,Synch>...");
     cluster.put(NodeId(0), Key(1), "v1".into())?;
-    println!("  k1=v1 visible at node 2: {:?}", cluster.get(NodeId(2), Key(1))?);
+    println!(
+        "  k1=v1 visible at node 2: {:?}",
+        cluster.get(NodeId(2), Key(1))?
+    );
 
     println!("\ncrashing node 2...");
     cluster.crash_node(NodeId(2));

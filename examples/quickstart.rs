@@ -43,8 +43,10 @@ fn main() -> Result<(), MinosError> {
     let t1 = kv.put(NodeId(0), "counter", "from-node-0")?;
     let t2 = kv.put(NodeId(2), "counter", "from-node-2")?;
     let winner = kv.get(NodeId(1), "counter")?.expect("written");
-    println!("  write@n0 got {t1}, write@n2 got {t2} -> every replica reads {:?}",
-        String::from_utf8_lossy(&winner));
+    println!(
+        "  write@n0 got {t1}, write@n2 got {t2} -> every replica reads {:?}",
+        String::from_utf8_lossy(&winner)
+    );
 
     Ok(())
 }

@@ -39,9 +39,7 @@ fn main() {
         all_ok &= o.ok();
     }
 
-    println!(
-        "\nconcurrent read workload, <Lin,Synch>:"
-    );
+    println!("\nconcurrent read workload, <Lin,Synch>:");
     let model = DdpModel::lin(PersistencyModel::Synchronous);
     let b = check_baseline(model, &Workload::writes_with_read(), cap);
     println!("MINOS-B {model:<14} {b}");

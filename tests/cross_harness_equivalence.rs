@@ -2,11 +2,15 @@
 //! discrete-event simulator, threaded cluster, model checker). These tests
 //! pin down that the harnesses agree on protocol outcomes.
 
+use minos::cluster::Cluster;
 use minos::core::loopback::{BCluster, OCluster};
 use minos::kv::hash_key;
 use minos::mc::{check_baseline, check_offload, Workload};
-use minos::net::{Arch, BSim, OSim};
-use minos::types::{DdpModel, NodeId, PersistencyModel, SimConfig};
+use minos::net::{Arch, BSim, CompletionKind, OSim};
+use minos::types::{
+    ClusterConfig, DdpModel, Key, NodeId, PersistencyModel, ScopeId, SimConfig, Ts, Value,
+};
+use std::collections::BTreeMap;
 
 fn all_models() -> [DdpModel; 5] {
     DdpModel::all_lin()
@@ -62,6 +66,193 @@ fn loopback_and_simulator_converge_identically_for_o() {
         let lw = loopback.engine(NodeId(1)).record_value(key).unwrap();
         let sw = sim.engine(NodeId(1)).record_value(key).unwrap();
         assert_eq!(lw, sw, "{model}");
+    }
+}
+
+/// One step of the parity workload.
+enum POp {
+    Write(NodeId, Key, &'static str),
+    Read(NodeId, Key),
+    PersistScope(NodeId),
+}
+
+/// The shared parity workload: per-key write/read interleavings across
+/// all three nodes, every read preceded by at least one write to its key.
+fn parity_ops() -> Vec<POp> {
+    use POp::{PersistScope, Read, Write};
+    let (n0, n1, n2) = (NodeId(0), NodeId(1), NodeId(2));
+    let (k1, k2, k3) = (Key(101), Key(202), Key(303));
+    vec![
+        Write(n0, k1, "a0"),
+        Write(n1, k1, "a1"),
+        Read(n2, k1),
+        Write(n2, k2, "b0"),
+        Read(n0, k2),
+        Write(n1, k2, "b1"),
+        Read(n2, k2),
+        Write(n0, k3, "c0"),
+        Write(n0, k3, "c1"),
+        Read(n1, k3),
+        Write(n2, k1, "a2"),
+        Read(n0, k1),
+        PersistScope(n0),
+        PersistScope(n1),
+        PersistScope(n2),
+    ]
+}
+
+/// The scope a node's writes are tagged with under `<Lin, Scope>`.
+fn scope_of(node: NodeId) -> ScopeId {
+    ScopeId(u32::from(node.0) + 1)
+}
+
+/// Per-key completion sequence: operation kind and version, in
+/// submission order, plus the value each completed write installed.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct ParityTrace {
+    per_key: BTreeMap<Key, Vec<(char, Ts)>>,
+    write_values: BTreeMap<(Key, Ts), Value>,
+}
+
+impl ParityTrace {
+    fn write(&mut self, key: Key, ts: Ts, value: Value) {
+        self.per_key.entry(key).or_default().push(('W', ts));
+        self.write_values.insert((key, ts), value);
+    }
+
+    fn read(&mut self, key: Key, ts: Ts, value: Option<&Value>) {
+        self.per_key.entry(key).or_default().push(('R', ts));
+        if let Some(v) = value {
+            // The observed value must be the one installed at `ts`.
+            assert_eq!(Some(v), self.write_values.get(&(key, ts)));
+        }
+    }
+}
+
+fn loopback_trace(model: DdpModel, scoped: bool) -> ParityTrace {
+    use minos::core::loopback::Completion;
+    let mut cl = BCluster::new(3, model);
+    let mut trace = ParityTrace::default();
+    let mut seen = 0;
+    for op in parity_ops() {
+        match op {
+            POp::Write(node, key, v) => {
+                cl.submit_write(node, key, v.into(), scoped.then(|| scope_of(node)));
+            }
+            POp::Read(node, key) => {
+                cl.submit_read(node, key);
+            }
+            POp::PersistScope(node) => {
+                if !scoped {
+                    continue;
+                }
+                cl.submit_persist_scope(node, scope_of(node));
+            }
+        }
+        cl.run();
+        for c in &cl.completions()[seen..] {
+            match c {
+                Completion::Write { key, ts, .. } => {
+                    let POp::Write(_, _, v) = op else {
+                        panic!("{model}: write completion for a non-write")
+                    };
+                    trace.write(*key, *ts, v.into());
+                }
+                Completion::Read { key, value, ts, .. } => {
+                    trace.read(*key, *ts, Some(value));
+                }
+                Completion::PersistScope { .. } => {}
+            }
+        }
+        seen = cl.completions().len();
+    }
+    trace
+}
+
+fn simulator_trace(model: DdpModel, scoped: bool) -> ParityTrace {
+    let mut sim = BSim::new(
+        SimConfig::paper_defaults().with_nodes(3),
+        Arch::baseline(),
+        model,
+    );
+    let mut trace = ParityTrace::default();
+    let mut t = 0;
+    for op in parity_ops() {
+        let submitted = match op {
+            POp::Write(node, key, v) => {
+                Some(sim.submit_write(t, node, key, v.into(), scoped.then(|| scope_of(node))))
+            }
+            POp::Read(node, key) => Some(sim.submit_read(t, node, key)),
+            POp::PersistScope(node) => {
+                scoped.then(|| sim.submit_persist_scope(t, node, scope_of(node)))
+            }
+        };
+        let Some(req) = submitted else { continue };
+        sim.run_to_idle();
+        for rec in sim.drain_completions() {
+            if rec.req != req {
+                continue;
+            }
+            t = rec.at + 1;
+            match rec.kind {
+                CompletionKind::Write => {
+                    let POp::Write(_, _, v) = op else {
+                        panic!("{model}: write completion for a non-write")
+                    };
+                    trace.write(rec.key.unwrap(), rec.ts, v.into());
+                }
+                // The simulator's completion records carry no payload;
+                // the version pins the value via `write_values`.
+                CompletionKind::Read => trace.read(rec.key.unwrap(), rec.ts, None),
+                CompletionKind::PersistScope => {}
+            }
+        }
+    }
+    trace
+}
+
+fn threaded_trace(model: DdpModel, scoped: bool) -> ParityTrace {
+    let mut cfg = ClusterConfig::cloudlab().with_nodes(3);
+    cfg.wire_latency_ns = 20_000;
+    let cl = Cluster::spawn(cfg, model);
+    let mut trace = ParityTrace::default();
+    for op in parity_ops() {
+        match op {
+            POp::Write(node, key, v) => {
+                let ts = cl
+                    .put_scoped(node, key, v.into(), scoped.then(|| scope_of(node)))
+                    .unwrap();
+                trace.write(key, ts, v.into());
+            }
+            POp::Read(node, key) => {
+                let (value, ts) = cl.get_versioned(node, key).unwrap();
+                trace.read(key, ts, Some(&value));
+            }
+            POp::PersistScope(node) => {
+                if !scoped {
+                    continue;
+                }
+                cl.persist_scope(node, scope_of(node)).unwrap();
+            }
+        }
+    }
+    cl.shutdown();
+    trace
+}
+
+#[test]
+fn dispatch_parity_across_loopback_threaded_and_simulator() {
+    // The tentpole guarantee of the shared runtime dispatcher: one
+    // workload replayed through three harnesses produces identical
+    // per-key value/version completion sequences under every
+    // persistency model.
+    for model in all_models() {
+        let scoped = model.persistency == PersistencyModel::Scope;
+        let lo = loopback_trace(model, scoped);
+        let sim = simulator_trace(model, scoped);
+        let th = threaded_trace(model, scoped);
+        assert_eq!(lo, sim, "{model}: loopback vs simulator divergence");
+        assert_eq!(lo, th, "{model}: loopback vs threaded divergence");
     }
 }
 

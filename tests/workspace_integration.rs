@@ -50,7 +50,11 @@ fn simulator_and_functional_store_agree_on_semantics() {
     kv.put(NodeId(2), "k", "from-2").unwrap();
     let functional = kv.get(NodeId(1), "k").unwrap().unwrap();
 
-    let mut sim = minos::net::BSim::new(SimConfig::paper_defaults().with_nodes(3), Arch::baseline(), synch());
+    let mut sim = minos::net::BSim::new(
+        SimConfig::paper_defaults().with_nodes(3),
+        Arch::baseline(),
+        synch(),
+    );
     let key = hash_key("k");
     sim.submit_write(0, NodeId(0), key, "from-0".into(), None);
     // The second write lands after the first completes (sequential, as in
@@ -58,10 +62,7 @@ fn simulator_and_functional_store_agree_on_semantics() {
     sim.run_to_idle();
     sim.submit_write(sim.now(), NodeId(2), key, "from-2".into(), None);
     sim.run_to_idle();
-    assert_eq!(
-        sim.engine(NodeId(1)).record_value(key).unwrap(),
-        functional
-    );
+    assert_eq!(sim.engine(NodeId(1)).record_value(key).unwrap(), functional);
 }
 
 #[test]
@@ -90,7 +91,13 @@ fn simulation_statistics_are_consistent() {
     let spec = WorkloadSpec::ycsb_default()
         .with_records(64)
         .with_requests_per_node(100);
-    let r = driver::run(Arch::minos_o(), &SimConfig::paper_defaults(), synch(), &spec, 5);
+    let r = driver::run(
+        Arch::minos_o(),
+        &SimConfig::paper_defaults(),
+        synch(),
+        &spec,
+        5,
+    );
     assert_eq!(r.writes as usize, r.write_lat.count());
     assert_eq!(r.reads as usize, r.read_lat.count());
     assert!(r.makespan > 0);

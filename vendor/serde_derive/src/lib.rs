@@ -1,0 +1,18 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace never serializes through serde (the wire format is the
+//! hand-rolled codec in `minos-types::wire`), so the derives only need to
+//! make `#[derive(Serialize, Deserialize)]` annotations compile. They emit
+//! nothing; the marker traits in the stub `serde` crate carry no methods.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
