@@ -1,0 +1,68 @@
+//! Replays a JSONL protocol trace into a per-op timeline and a Fig. 4
+//! style critical-path breakdown.
+//!
+//! ```text
+//! minos-trace [--ops N] <trace.jsonl> [more.jsonl ...]
+//! ```
+//!
+//! The input is whatever a [`minos_core::obs::JsonlWriter`] sink wrote —
+//! from the threaded cluster (`Cluster::spawn_observed`), a TCP node
+//! (`minos-noded --trace-out`), or the simulators. Multiple files (one
+//! per node process) are merged before analysis. `--ops N` caps how many
+//! individual op timelines are printed (default 10); the aggregate
+//! breakdown always covers every completed op.
+
+use minos_core::obs::{analyze, format_report, parse_jsonl};
+
+fn usage() -> ! {
+    eprintln!("usage: minos-trace [--ops N] <trace.jsonl> [more.jsonl ...]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut max_ops = 10usize;
+    let mut paths: Vec<String> = Vec::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ops" => {
+                i += 1;
+                max_ops = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--help" | "-h" => usage(),
+            p => paths.push(p.to_string()),
+        }
+        i += 1;
+    }
+    if paths.is_empty() {
+        usage();
+    }
+
+    let mut records = Vec::new();
+    for path in &paths {
+        match std::fs::read_to_string(path) {
+            Ok(text) => records.extend(parse_jsonl(&text)),
+            Err(e) => {
+                eprintln!("minos-trace: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    // Merging per-node files can interleave timestamps out of order;
+    // analysis expects the global record stream sorted by time.
+    records.sort_by_key(|r| r.at_ns);
+
+    let ops = analyze(&records);
+    if ops.is_empty() {
+        eprintln!(
+            "minos-trace: {} records parsed, no completed ops found",
+            records.len()
+        );
+        std::process::exit(1);
+    }
+    print!("{}", format_report(&ops, max_ops));
+}

@@ -1,25 +1,44 @@
 //! One MINOS-B node as a standalone process.
 //!
 //! ```text
-//! minos-noded [--batching] [--broadcast] <node-idx> <model> <client-addr> <peer-addr-0> ...
+//! minos-noded [--batching] [--broadcast] [--metrics-out <path>] [--trace-out <path>] \
+//!     <node-idx> <model> <client-addr> <peer-addr-0> ...
 //! ```
 //!
 //! `model` is one of `synch|strict|renf|event|scope`. The peer list is
 //! shared verbatim by every process of the cluster; `<node-idx>` selects
 //! which entry this process binds. `--batching`/`--broadcast` switch on
-//! the Fig. 12 transport capabilities.
+//! the Fig. 12 transport capabilities. `--metrics-out` dumps per-op
+//! latency histograms to the given file in Prometheus text format once
+//! per second; `--trace-out` appends a JSONL protocol-event trace that
+//! `minos-trace` can replay.
 
 use minos_cluster::tcp::{TcpNode, TcpNodeConfig};
 use minos_types::{DdpModel, NodeId, PersistencyModel};
+use std::path::PathBuf;
+
+/// Removes `--flag <value>` from `args`, returning the value if present.
+fn take_path_flag(args: &mut Vec<String>, flag: &str) -> Option<PathBuf> {
+    let idx = args.iter().position(|a| a == flag)?;
+    if idx + 1 >= args.len() {
+        eprintln!("{flag} requires a path argument");
+        std::process::exit(2);
+    }
+    let value = args.remove(idx + 1);
+    args.remove(idx);
+    Some(PathBuf::from(value))
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let batching = args.iter().any(|a| a == "--batching");
     let broadcast = args.iter().any(|a| a == "--broadcast");
     args.retain(|a| a != "--batching" && a != "--broadcast");
+    let metrics_out = take_path_flag(&mut args, "--metrics-out");
+    let trace_out = take_path_flag(&mut args, "--trace-out");
     if args.len() < 4 {
         eprintln!(
-            "usage: minos-noded [--batching] [--broadcast] <node-idx> <synch|strict|renf|event|scope> <client-addr> <peer-addr>..."
+            "usage: minos-noded [--batching] [--broadcast] [--metrics-out <path>] [--trace-out <path>] <node-idx> <synch|strict|renf|event|scope> <client-addr> <peer-addr>..."
         );
         std::process::exit(2);
     }
@@ -50,6 +69,8 @@ fn main() {
         persist_ns_per_kb: 1295,
         batching,
         broadcast,
+        trace_out,
+        metrics_out,
     };
     let server = TcpNode::serve(cfg).expect("bind node");
     eprintln!(

@@ -3,6 +3,7 @@
 use crate::node::{spawn_node, NodeMsg, NodeThread};
 use crate::timer::TimerWheel;
 use crossbeam::channel::{bounded, unbounded, Sender};
+use minos_core::obs::{SharedSink, TraceClock, Tracer};
 use minos_core::runtime::{DispatchStats, TransportCounters};
 use minos_core::{Event, ReqId};
 use minos_types::{ClusterConfig, DdpModel, Key, MinosError, NodeId, Result, ScopeId, Ts, Value};
@@ -60,6 +61,20 @@ impl Cluster {
     /// Panics if the configuration has no nodes.
     #[must_use]
     pub fn spawn(cfg: ClusterConfig, model: DdpModel) -> Self {
+        Cluster::spawn_observed(cfg, model, Vec::new())
+    }
+
+    /// [`Cluster::spawn`] with observability: every node's dispatcher
+    /// gets a tracer fanning out to `sinks`, stamped in wall-clock
+    /// nanoseconds from one cluster-common epoch (so records from
+    /// different node threads compare). Passing no sinks disables
+    /// tracing entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has no nodes.
+    #[must_use]
+    pub fn spawn_observed(cfg: ClusterConfig, model: DdpModel, sinks: Vec<SharedSink>) -> Self {
         assert!(cfg.nodes > 0, "cluster needs at least one node");
         let completions: CompletionMap = Arc::new(Mutex::new(HashMap::new()));
         let (failure_tx, failure_rx) = unbounded();
@@ -67,11 +82,14 @@ impl Cluster {
         let channels: Vec<_> = (0..cfg.nodes).map(|_| unbounded::<NodeMsg>()).collect();
         let senders: Vec<_> = channels.iter().map(|(tx, _)| tx.clone()).collect();
         let timer = TimerWheel::spawn(senders.clone());
+        let epoch = TraceClock::monotonic();
 
         let nodes = channels
             .into_iter()
             .enumerate()
             .map(|(i, (tx, rx))| {
+                let tracer = (!sinks.is_empty())
+                    .then(|| Tracer::new(NodeId(i as u16), epoch.clone(), sinks.clone()));
                 spawn_node(
                     NodeId(i as u16),
                     cfg.clone(),
@@ -81,6 +99,7 @@ impl Cluster {
                     timer.scheduler(),
                     Arc::clone(&completions),
                     failure_tx.clone(),
+                    tracer,
                 )
             })
             .collect();

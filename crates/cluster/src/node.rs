@@ -9,6 +9,7 @@
 use crate::cluster::{CompletionMap, Outcome};
 use crate::timer::Scheduler;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use minos_core::obs::Tracer;
 use minos_core::runtime::{
     ActionSink, BatchPolicy, Batched, DispatchStats, Dispatcher, FrameTransport, TransportCounters,
 };
@@ -90,14 +91,17 @@ pub(crate) fn spawn_node(
     scheduler: Scheduler<NodeMsg>,
     completions: CompletionMap,
     failure_tx: Sender<NodeId>,
+    tracer: Option<Tracer>,
 ) -> NodeThread {
     let handle = std::thread::Builder::new()
         .name(format!("minos-node-{}", node.0))
         .spawn(move || {
+            let mut dispatcher = Dispatcher::new();
+            dispatcher.set_tracer(tracer);
             NodeLoop {
                 node,
                 engine: NodeEngine::new(node, cfg.nodes, model),
-                dispatcher: Dispatcher::new(),
+                dispatcher,
                 counters: TransportCounters::default(),
                 durable: DurableState::with_persist_latency(cfg.nvm_persist_ns_per_kb),
                 cfg,
@@ -225,7 +229,12 @@ impl NodeLoop {
         loop {
             let wait = next_beat.saturating_duration_since(Instant::now());
             match self.rx.recv_timeout(wait.max(Duration::from_micros(100))) {
-                Ok(NodeMsg::Shutdown) => return,
+                Ok(NodeMsg::Shutdown) => {
+                    if let Some(tr) = self.dispatcher.tracer_mut() {
+                        tr.flush_sinks();
+                    }
+                    return;
+                }
                 Ok(NodeMsg::Crash) => {
                     self.crashed = true;
                 }

@@ -23,7 +23,8 @@
 //!   1=write-done `[ts]`, 2=read-done `[ts][value]`, 3=persist-done, 0=error
 
 use crate::timer::{Scheduler, TimerWheel};
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
+use minos_core::obs::{self, HistogramSet, JsonlWriter, MetricsSink, TraceClock, Tracer};
 use minos_core::runtime::{ActionSink, BatchPolicy, Batched, Dispatcher, FrameTransport};
 use minos_core::{DelayClass, Event, NodeEngine, ReqId};
 use minos_kv::DurableState;
@@ -33,8 +34,10 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Configuration of one TCP node.
 #[derive(Debug, Clone)]
@@ -58,6 +61,13 @@ pub struct TcpNodeConfig {
     /// is encoded once and the same bytes are written to every
     /// destination socket.
     pub broadcast: bool,
+    /// When set, every protocol-event boundary is appended to this file
+    /// as JSONL trace records (`minos-trace` replays them).
+    pub trace_out: Option<PathBuf>,
+    /// When set, per-op latency histograms are dumped to this file in
+    /// Prometheus text exposition format, once per second and at
+    /// shutdown (the `minos-noded --metrics-out` flag).
+    pub metrics_out: Option<PathBuf>,
 }
 
 enum In {
@@ -198,6 +208,38 @@ impl TcpNode {
             .spawn(move || {
                 let mut engine = NodeEngine::new(cfg.node, cfg.peers.len(), cfg.model);
                 let mut dispatcher = Dispatcher::new();
+
+                // Observability: JSONL trace + per-op latency histograms,
+                // stamped from this process's monotonic epoch.
+                let mut sinks: Vec<obs::SharedSink> = Vec::new();
+                if let Some(path) = cfg.trace_out.as_ref() {
+                    match JsonlWriter::create(path) {
+                        Ok(w) => sinks.push(obs::shared(w)),
+                        Err(e) => {
+                            eprintln!("minos-tcp: cannot open trace file {}: {e}", path.display());
+                        }
+                    }
+                }
+                let mut hists: Option<Arc<std::sync::Mutex<HistogramSet>>> = None;
+                if cfg.metrics_out.is_some() {
+                    let (sink, set) = MetricsSink::new(cfg.model.persistency);
+                    sinks.push(obs::shared(sink));
+                    hists = Some(set);
+                }
+                if !sinks.is_empty() {
+                    dispatcher.set_tracer(Some(Tracer::new(
+                        cfg.node,
+                        TraceClock::monotonic(),
+                        sinks,
+                    )));
+                }
+                let dump_metrics = |hists: &Option<Arc<std::sync::Mutex<HistogramSet>>>| {
+                    if let (Some(path), Some(set)) = (cfg.metrics_out.as_ref(), hists.as_ref()) {
+                        let text = set.lock().expect("histogram lock").render_prometheus();
+                        let _ = std::fs::write(path, text);
+                    }
+                };
+
                 let policy = BatchPolicy {
                     batching: cfg.batching,
                     broadcast: cfg.broadcast,
@@ -207,11 +249,24 @@ impl TcpNode {
                 // Client request bookkeeping: engine ReqId → (conn, creq).
                 let mut pending: HashMap<ReqId, (u64, u64)> = HashMap::new();
                 let mut next_req = 1u64;
+                let dump_every = Duration::from_secs(1);
+                let mut next_dump = Instant::now() + dump_every;
 
-                while let Ok(input) = rx.recv() {
+                loop {
+                    let input = match rx.recv_timeout(Duration::from_millis(200)) {
+                        Ok(input) => input,
+                        Err(RecvTimeoutError::Timeout) => {
+                            if Instant::now() >= next_dump {
+                                dump_metrics(&hists);
+                                next_dump = Instant::now() + dump_every;
+                            }
+                            continue;
+                        }
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    };
                     let mut events: Vec<Event> = Vec::new();
                     match input {
-                        In::Shutdown => return,
+                        In::Shutdown => break,
                         In::Peer(from, msgs) => {
                             // One inbound frame may carry a whole batch.
                             events.extend(msgs.into_iter().map(|msg| Event::Message { from, msg }));
@@ -254,6 +309,15 @@ impl TcpNode {
                         );
                         dispatcher.dispatch(&mut engine, ev, &mut handler);
                     }
+                    if Instant::now() >= next_dump {
+                        dump_metrics(&hists);
+                        next_dump = Instant::now() + dump_every;
+                    }
+                }
+                // Final dump + flush so short-lived runs still export.
+                dump_metrics(&hists);
+                if let Some(tr) = dispatcher.tracer_mut() {
+                    tr.flush_sinks();
                 }
             })?;
 

@@ -1,0 +1,104 @@
+//! Observability on the threaded runtime: the acceptance invariant that
+//! a traced cluster run emits JSONL which replays into per-op critical
+//! paths whose categories sum exactly to the measured end-to-end
+//! latency, and that the paired metrics sink counts every op.
+
+use minos_cluster::Cluster;
+use minos_core::obs::{
+    self, analyze, format_report, parse_jsonl, JsonlWriter, MetricsSink, OpKind,
+};
+use minos_types::{ClusterConfig, DdpModel, Key, NodeId, PersistencyModel, ScopeId};
+use std::path::PathBuf;
+
+fn fast_cfg(nodes: usize) -> ClusterConfig {
+    let mut cfg = ClusterConfig::cloudlab().with_nodes(nodes);
+    cfg.wire_latency_ns = 20_000;
+    cfg.failure_timeout_ns = 40_000_000;
+    cfg
+}
+
+fn temp_trace(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("minos-obs-{tag}-{}.jsonl", std::process::id()))
+}
+
+#[test]
+fn traced_cluster_replay_sums_to_end_to_end_latency() {
+    for p in PersistencyModel::ALL {
+        let model = DdpModel::lin(p);
+        let path = temp_trace(p.label());
+        let _ = std::fs::remove_file(&path);
+
+        let writer = JsonlWriter::create(&path).expect("create trace file");
+        let (metrics, hists) = MetricsSink::new(p);
+        let cl = Cluster::spawn_observed(
+            fast_cfg(3),
+            model,
+            vec![obs::shared(writer), obs::shared(metrics)],
+        );
+
+        let sc = (p == PersistencyModel::Scope).then_some(ScopeId(1));
+        for i in 0..4u64 {
+            cl.put_scoped(NodeId(0), Key(i), format!("v{i}").into(), sc)
+                .unwrap();
+        }
+        if let Some(sc) = sc {
+            cl.persist_scope(NodeId(0), sc).unwrap();
+        }
+        cl.get(NodeId(0), Key(0)).unwrap();
+        cl.shutdown(); // flushes every node's sinks
+
+        let text = std::fs::read_to_string(&path).expect("trace written");
+        let records = {
+            let mut r = parse_jsonl(&text);
+            // Node threads interleave appends; replay wants time order.
+            r.sort_by_key(|rec| rec.at_ns);
+            r
+        };
+        assert!(!records.is_empty(), "{p:?}: empty trace at {path:?}");
+
+        let ops = analyze(&records);
+        let expected_ops = if sc.is_some() { 6 } else { 5 };
+        assert_eq!(ops.len(), expected_ops, "{p:?}: ops missing from replay");
+
+        // The acceptance criterion: category segments tile the interval,
+        // so the per-op breakdown sums to the end-to-end latency.
+        for op in &ops {
+            let sum: u64 = op.breakdown().iter().sum();
+            assert_eq!(
+                sum,
+                op.total_ns(),
+                "{p:?} req {:?}: breakdown {:?} != total {}",
+                op.req,
+                op.breakdown(),
+                op.total_ns()
+            );
+            assert!(op.total_ns() > 0, "{p:?} req {:?}: zero latency", op.req);
+        }
+
+        // The report renders and names the model's op mix.
+        let report = format_report(&ops, 3);
+        assert!(report.contains("fig4 split"), "report:\n{report}");
+
+        // The paired histogram sink counted every completed op.
+        let hists = hists.lock().unwrap();
+        assert_eq!(hists.total_count(), expected_ops as u64, "{p:?}");
+        let writes = hists.get(p, OpKind::Write).expect("write histogram");
+        assert_eq!(writes.count(), 4, "{p:?}");
+        assert!(
+            writes.min_ns().unwrap_or(0) > 0,
+            "{p:?}: zero write latency recorded"
+        );
+        drop(hists);
+
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn untraced_spawn_writes_no_observability_state() {
+    // Cluster::spawn must stay the zero-cost path: no tracer installed.
+    let cl = Cluster::spawn(fast_cfg(2), DdpModel::lin(PersistencyModel::Eventual));
+    cl.put(NodeId(0), Key(9), "plain".into()).unwrap();
+    assert_eq!(cl.get(NodeId(1), Key(9)).unwrap(), "plain");
+    cl.shutdown();
+}

@@ -40,6 +40,8 @@ fn spawn_tcp_cluster_with(
                 persist_ns_per_kb: 1295,
                 batching,
                 broadcast,
+                trace_out: None,
+                metrics_out: None,
             })
             .expect("bind node")
         })
@@ -153,11 +155,18 @@ fn three_process_cluster_end_to_end() {
     let peers = free_addrs(3);
     let clients = free_addrs(3);
     let peer_args: Vec<String> = peers.iter().map(ToString::to_string).collect();
+    let metrics_path =
+        std::env::temp_dir().join(format!("minos-noded-metrics-{}.prom", std::process::id()));
+    let _ = std::fs::remove_file(&metrics_path);
 
     let mut children: Vec<std::process::Child> = (0..3)
         .map(|i| {
-            std::process::Command::new(bin)
-                .arg(i.to_string())
+            let mut cmd = std::process::Command::new(bin);
+            if i == 0 {
+                // Node 0 also exercises the --metrics-out exporter.
+                cmd.arg("--metrics-out").arg(&metrics_path);
+            }
+            cmd.arg(i.to_string())
                 .arg("synch")
                 .arg(clients[i].to_string())
                 .args(&peer_args)
@@ -195,8 +204,30 @@ fn three_process_cluster_end_to_end() {
     let mut conn1 = TcpClient::connect(clients[1]).unwrap();
     assert_eq!(conn1.get(Key(42)).unwrap(), b"round-two");
 
+    // Node 0 coordinated a write, so its periodic Prometheus dump must
+    // eventually show a nonzero op count.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let metrics = loop {
+        if let Ok(text) = std::fs::read_to_string(&metrics_path) {
+            if text.contains("minos_op_latency_ns_count") {
+                break text;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "metrics dump never appeared at {}",
+            metrics_path.display()
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    };
+    assert!(
+        metrics.contains(r#"model="synch""#),
+        "metrics missing model label:\n{metrics}"
+    );
+
     for c in &mut children {
         let _ = c.kill();
         let _ = c.wait();
     }
+    let _ = std::fs::remove_file(&metrics_path);
 }

@@ -43,11 +43,12 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod baseline;
 mod event;
 pub mod loopback;
+pub mod obs;
 mod offload;
 pub mod runtime;
 mod scope;

@@ -18,6 +18,7 @@
 
 use crate::baseline::NodeEngine;
 use crate::event::{DelayClass, Event, ReqId};
+use crate::obs::{SharedSink, TraceClock, Tracer};
 use crate::offload::{OEvent, ONodeEngine, PcieMsg, Side};
 use crate::runtime::{
     ActionSink, DispatchStats, Dispatcher, ODispatchStats, ODispatcher, OSink, Transport,
@@ -200,6 +201,21 @@ impl BCluster {
     /// could produce, which the protocol must tolerate.
     pub fn set_scramble(&mut self, seed: u64) {
         self.scramble = Some(seed.max(1));
+    }
+
+    /// Attaches `sinks` to every node's dispatcher. Records are stamped
+    /// with one cluster-global [`TraceClock::sequence`] counter, so the
+    /// trace is a deterministic total order of protocol boundaries —
+    /// tests assert exact event sequences against it.
+    pub fn attach_tracer(&mut self, sinks: Vec<SharedSink>) {
+        let clock = TraceClock::sequence();
+        for (i, d) in self.dispatchers.iter_mut().enumerate() {
+            d.set_tracer(Some(Tracer::new(
+                NodeId(i as u16),
+                clock.clone(),
+                sinks.clone(),
+            )));
+        }
     }
 
     /// Access to a node's engine.
@@ -502,6 +518,19 @@ impl OCluster {
     /// [`BCluster::set_scramble`]).
     pub fn set_scramble(&mut self, seed: u64) {
         self.scramble = Some(seed.max(1));
+    }
+
+    /// Attaches `sinks` to every node's dispatcher (see
+    /// [`BCluster::attach_tracer`]).
+    pub fn attach_tracer(&mut self, sinks: Vec<SharedSink>) {
+        let clock = TraceClock::sequence();
+        for (i, d) in self.dispatchers.iter_mut().enumerate() {
+            d.set_tracer(Some(Tracer::new(
+                NodeId(i as u16),
+                clock.clone(),
+                sinks.clone(),
+            )));
+        }
     }
 
     /// Access to a node's engine.

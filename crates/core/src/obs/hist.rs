@@ -1,0 +1,470 @@
+//! HDR-style fixed-bucket latency histograms, dependency-free.
+//!
+//! The bucket scheme is the classic "linear below a cutoff, then
+//! log-linear" layout: values below the 16 ns cutoff get one bucket per
+//! nanosecond; above it, each power of two is split into 16 equal
+//! sub-buckets, bounding the relative quantization
+//! error at 1/16 (6.25%) across the full `u64` range. The
+//! whole table is 976 counters, so a [`HistogramSet`] for all five
+//! persistency models × three op kinds stays under 120 KiB.
+
+use minos_types::PersistencyModel;
+use std::fmt;
+
+/// Values below this get an exact, one-per-nanosecond bucket.
+const LINEAR_CUTOFF: u64 = 16;
+/// Sub-buckets per power of two above the linear range.
+const SUB_BUCKETS: usize = 16;
+/// Total bucket count: 16 linear + 16 per power of two for 2^4..2^63.
+const NUM_BUCKETS: usize = LINEAR_CUTOFF as usize + (64 - 4) * SUB_BUCKETS;
+
+/// The client-visible operation classes latencies are keyed by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// A client write (`WR`).
+    Write,
+    /// A client read (`RD`).
+    Read,
+    /// A `[PERSIST]sc` scope flush.
+    PersistScope,
+}
+
+impl OpKind {
+    /// All op kinds, in display order.
+    pub const ALL: [OpKind; 3] = [OpKind::Write, OpKind::Read, OpKind::PersistScope];
+
+    /// Stable lowercase label (JSONL field / Prometheus label value).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Write => "write",
+            OpKind::Read => "read",
+            OpKind::PersistScope => "persist_scope",
+        }
+    }
+
+    /// Parses [`OpKind::label`] output back.
+    #[must_use]
+    pub fn from_label(s: &str) -> Option<OpKind> {
+        OpKind::ALL.into_iter().find(|k| k.label() == s)
+    }
+
+    fn index(self) -> usize {
+        match self {
+            OpKind::Write => 0,
+            OpKind::Read => 1,
+            OpKind::PersistScope => 2,
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One fixed-bucket latency histogram over nanosecond values.
+#[derive(Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+/// Bucket index for a nanosecond value.
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_CUTOFF {
+        v as usize
+    } else {
+        // Highest set bit h >= 4; the four bits below it select the
+        // sub-bucket within [2^h, 2^(h+1)).
+        let h = 63 - v.leading_zeros();
+        let sub = (v >> (h - 4)) & (SUB_BUCKETS as u64 - 1);
+        LINEAR_CUTOFF as usize + (h as usize - 4) * SUB_BUCKETS + sub as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket (the `le` label in the exposition
+/// dump). Saturates at `u64::MAX` for the final bucket.
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < LINEAR_CUTOFF as usize {
+        idx as u64
+    } else {
+        let h = 4 + (idx - LINEAR_CUTOFF as usize) / SUB_BUCKETS;
+        let sub = ((idx - LINEAR_CUTOFF as usize) % SUB_BUCKETS) as u128;
+        let upper = (1u128 << h) + (sub + 1) * (1u128 << (h - 4)) - 1;
+        u64::try_from(upper).unwrap_or(u64::MAX)
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one nanosecond sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples, in nanoseconds.
+    #[must_use]
+    pub fn sum_ns(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` when empty.
+    #[must_use]
+    pub fn min_ns(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    #[must_use]
+    pub fn max_ns(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean sample, or `None` when empty.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn mean_ns(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The bucket upper bound at quantile `q` (clamped to `[0, 1]`), or
+    /// `None` when empty. Quantization error is bounded by the bucket
+    /// scheme (≤ 6.25% above the linear range).
+    #[must_use]
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+        #[allow(clippy::cast_sign_loss)]
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_upper(i).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Adds `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Occupied buckets as `(inclusive upper bound ns, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper(i), c))
+    }
+}
+
+/// Latency histograms keyed by persistency model × op kind — the unit
+/// every harness exposes and `--metrics-out` dumps.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramSet {
+    hists: Vec<(PersistencyModel, OpKind, LatencyHistogram)>,
+}
+
+fn model_index(m: PersistencyModel) -> usize {
+    PersistencyModel::ALL
+        .iter()
+        .position(|&x| x == m)
+        .expect("model in ALL")
+}
+
+impl HistogramSet {
+    /// An empty set (histograms materialize on first record).
+    #[must_use]
+    pub fn new() -> Self {
+        HistogramSet::default()
+    }
+
+    fn slot(&mut self, model: PersistencyModel, op: OpKind) -> &mut LatencyHistogram {
+        let pos = self
+            .hists
+            .iter()
+            .position(|(m, o, _)| *m == model && *o == op);
+        match pos {
+            Some(i) => &mut self.hists[i].2,
+            None => {
+                self.hists.push((model, op, LatencyHistogram::new()));
+                self.hists
+                    .sort_by_key(|(m, o, _)| (model_index(*m), o.index()));
+                let i = self
+                    .hists
+                    .iter()
+                    .position(|(m, o, _)| *m == model && *o == op)
+                    .expect("just inserted");
+                &mut self.hists[i].2
+            }
+        }
+    }
+
+    /// Records one end-to-end sample.
+    pub fn record(&mut self, model: PersistencyModel, op: OpKind, ns: u64) {
+        self.slot(model, op).record(ns);
+    }
+
+    /// The histogram for `(model, op)`, if any sample was recorded.
+    #[must_use]
+    pub fn get(&self, model: PersistencyModel, op: OpKind) -> Option<&LatencyHistogram> {
+        self.hists
+            .iter()
+            .find(|(m, o, _)| *m == model && *o == op)
+            .map(|(_, _, h)| h)
+    }
+
+    /// Iterates the populated `(model, op, histogram)` cells.
+    pub fn iter(&self) -> impl Iterator<Item = (PersistencyModel, OpKind, &LatencyHistogram)> {
+        self.hists.iter().map(|(m, o, h)| (*m, *o, h))
+    }
+
+    /// Adds `other` into `self` (per-node → cluster aggregation).
+    pub fn merge(&mut self, other: &HistogramSet) {
+        for (m, o, h) in other.iter() {
+            self.slot(m, o).merge(h);
+        }
+    }
+
+    /// Total samples across all cells.
+    #[must_use]
+    pub fn total_count(&self) -> u64 {
+        self.hists.iter().map(|(_, _, h)| h.count()).sum()
+    }
+
+    /// Renders the set in Prometheus text exposition format, as the
+    /// classic cumulative `_bucket{le=…}` / `_sum` / `_count` triplet of
+    /// the `minos_op_latency_ns` metric. Only occupied buckets (plus the
+    /// mandatory `+Inf`) are emitted.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "# HELP minos_op_latency_ns End-to-end client operation latency \
+             by persistency model and op kind.\n",
+        );
+        out.push_str("# TYPE minos_op_latency_ns histogram\n");
+        for (model, op, h) in self.iter() {
+            let labels = format!(
+                "model=\"{}\",op=\"{}\"",
+                model.label().to_lowercase(),
+                op.label()
+            );
+            let mut cum = 0;
+            for (upper, c) in h.nonzero_buckets() {
+                cum += c;
+                out.push_str(&format!(
+                    "minos_op_latency_ns_bucket{{{labels},le=\"{upper}\"}} {cum}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "minos_op_latency_ns_bucket{{{labels},le=\"+Inf\"}} {}\n",
+                h.count()
+            ));
+            out.push_str(&format!(
+                "minos_op_latency_ns_sum{{{labels}}} {}\n",
+                h.sum_ns()
+            ));
+            out.push_str(&format!(
+                "minos_op_latency_ns_count{{{labels}}} {}\n",
+                h.count()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_lands_in_bucket_zero() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min_ns(), Some(0));
+        assert_eq!(h.max_ns(), Some(0));
+        assert_eq!(h.nonzero_buckets().next(), Some((0, 1)));
+        assert_eq!(h.quantile_ns(1.0), Some(0));
+    }
+
+    #[test]
+    fn u64_max_lands_in_last_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(h.nonzero_buckets().next(), Some((u64::MAX, 1)));
+        assert_eq!(h.quantile_ns(0.5), Some(u64::MAX));
+    }
+
+    #[test]
+    fn linear_range_is_exact() {
+        for v in 0..LINEAR_CUTOFF {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_upper(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn boundaries_between_linear_and_log_ranges() {
+        // 15 is the last exact bucket; 16 opens the first log-linear one.
+        assert_eq!(bucket_index(15), 15);
+        assert_eq!(bucket_index(16), 16);
+        // Powers of two open a fresh group of 16 sub-buckets.
+        assert_eq!(bucket_index(31), 31);
+        assert_eq!(bucket_index(32), 32);
+        assert_eq!(bucket_index(63), 47);
+        assert_eq!(bucket_index(64), 48);
+    }
+
+    #[test]
+    fn value_never_exceeds_its_bucket_upper_bound() {
+        let probes = [
+            0,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            100,
+            1_000,
+            4_095,
+            4_096,
+            123_456_789,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for v in probes {
+            let idx = bucket_index(v);
+            assert!(v <= bucket_upper(idx), "v={v} idx={idx}");
+            if idx > 0 {
+                assert!(v > bucket_upper(idx - 1), "v={v} idx={idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_uppers_are_strictly_increasing() {
+        for i in 1..NUM_BUCKETS {
+            assert!(bucket_upper(i) > bucket_upper(i - 1), "i={i}");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [17, 100, 999, 10_000, 1_000_000, 987_654_321] {
+            let upper = bucket_upper(bucket_index(v));
+            let err = (upper - v) as f64 / v as f64;
+            assert!(err <= 1.0 / SUB_BUCKETS as f64 + 1e-9, "v={v} err={err}");
+        }
+    }
+
+    #[test]
+    fn quantiles_and_merge() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for v in 1..=100u64 {
+            a.record(v * 1000);
+        }
+        b.record(5);
+        b.merge(&a);
+        assert_eq!(b.count(), 101);
+        assert_eq!(b.min_ns(), Some(5));
+        assert_eq!(b.max_ns(), Some(100_000));
+        let p50 = b.quantile_ns(0.5).unwrap();
+        assert!((40_000..=60_000).contains(&p50), "p50={p50}");
+        assert_eq!(b.quantile_ns(0.0), Some(5));
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative_and_labelled() {
+        let mut set = HistogramSet::new();
+        set.record(PersistencyModel::Synchronous, OpKind::Write, 10);
+        set.record(PersistencyModel::Synchronous, OpKind::Write, 10);
+        set.record(PersistencyModel::Synchronous, OpKind::Write, 1_000_000);
+        set.record(PersistencyModel::Eventual, OpKind::Read, 7);
+        let text = set.render_prometheus();
+        assert!(text.contains("# TYPE minos_op_latency_ns histogram"));
+        assert!(text.contains("model=\"synch\",op=\"write\",le=\"10\"} 2"));
+        assert!(text.contains("model=\"synch\",op=\"write\",le=\"+Inf\"} 3"));
+        assert!(text.contains("minos_op_latency_ns_sum{model=\"synch\",op=\"write\"} 1000020"));
+        assert!(text.contains("model=\"event\",op=\"read\",le=\"7\"} 1"));
+        assert!(text.contains("minos_op_latency_ns_count{model=\"event\",op=\"read\"} 1"));
+    }
+
+    #[test]
+    fn set_merge_aggregates_cells() {
+        let mut a = HistogramSet::new();
+        let mut b = HistogramSet::new();
+        a.record(PersistencyModel::Strict, OpKind::Write, 100);
+        b.record(PersistencyModel::Strict, OpKind::Write, 200);
+        b.record(PersistencyModel::Scope, OpKind::PersistScope, 50);
+        a.merge(&b);
+        assert_eq!(a.total_count(), 3);
+        assert_eq!(
+            a.get(PersistencyModel::Strict, OpKind::Write)
+                .unwrap()
+                .count(),
+            2
+        );
+    }
+}

@@ -1,0 +1,648 @@
+//! Trace replay: JSONL parsing and per-op critical-path analysis.
+//!
+//! [`analyze`] reconstructs each client operation's timeline from a
+//! recorded trace and attributes every inter-event gap to one
+//! [`Category`]. Because the categories tile the interval between
+//! `OpAdmitted` and `OpCompleted` exactly, their totals sum to the
+//! measured end-to-end latency by construction — the same accounting the
+//! paper's Fig. 4 breakdown uses, but reconstructed from live-cluster
+//! traces instead of the simulator's cost model.
+
+use super::hist::OpKind;
+use super::sinks::{kind_from_label, side_from_label};
+use super::{TraceEvent, TraceRecord};
+use crate::event::ReqId;
+use minos_types::{Key, MessageKind, NodeId};
+use std::fmt::Write as _;
+
+// ------------------------------------------------------------------
+// Flat-JSON parsing (inverse of `sinks::encode_json`).
+
+/// The raw text of field `key` in a flat JSON object, if present.
+fn raw_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim())
+}
+
+fn u64_field(line: &str, key: &str) -> Option<u64> {
+    raw_field(line, key)?.parse().ok()
+}
+
+fn bool_field(line: &str, key: &str) -> Option<bool> {
+    raw_field(line, key)?.parse().ok()
+}
+
+fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    Some(raw_field(line, key)?.trim_matches('"'))
+}
+
+fn key_field(line: &str) -> Option<Key> {
+    u64_field(line, "key").map(Key)
+}
+
+fn kind_field(line: &str) -> Option<MessageKind> {
+    kind_from_label(str_field(line, "kind")?)
+}
+
+/// Parses one JSONL line back into a [`TraceRecord`]. Returns `None` for
+/// blank lines and records this parser does not understand (making
+/// replay tolerant of trace-format evolution).
+#[must_use]
+pub fn parse_jsonl_line(line: &str) -> Option<TraceRecord> {
+    let line = line.trim();
+    if line.is_empty() {
+        return None;
+    }
+    let at_ns = u64_field(line, "at_ns")?;
+    let node = NodeId(u16::try_from(u64_field(line, "node")?).ok()?);
+    let op = || OpKind::from_label(str_field(line, "op")?);
+    let req = || u64_field(line, "req").map(ReqId);
+    let event = match str_field(line, "ev")? {
+        "op_admitted" => TraceEvent::OpAdmitted {
+            op: op()?,
+            req: req()?,
+            key: key_field(line),
+        },
+        "write_started" => TraceEvent::WriteStarted {
+            key: key_field(line)?,
+        },
+        "msg_received" => TraceEvent::MsgReceived {
+            from: NodeId(u16::try_from(u64_field(line, "from")?).ok()?),
+            kind: kind_field(line)?,
+            key: key_field(line),
+        },
+        "msg_sent" => TraceEvent::MsgSent {
+            to: NodeId(u16::try_from(u64_field(line, "to")?).ok()?),
+            kind: kind_field(line)?,
+            key: key_field(line),
+        },
+        "fan_out" => TraceEvent::FanOut {
+            dests: u32::try_from(u64_field(line, "dests")?).ok()?,
+            kind: kind_field(line)?,
+            key: key_field(line),
+        },
+        "persist_started" => TraceEvent::PersistStarted {
+            key: key_field(line)?,
+            background: bool_field(line, "background")?,
+        },
+        "persist_completed" => TraceEvent::PersistCompleted {
+            key: key_field(line)?,
+        },
+        "batch_flushed" => TraceEvent::BatchFlushed {
+            sends: u32::try_from(u64_field(line, "sends")?).ok()?,
+        },
+        "op_completed" => TraceEvent::OpCompleted {
+            op: op()?,
+            req: req()?,
+            key: key_field(line),
+            obsolete: bool_field(line, "obsolete")?,
+        },
+        "pcie_crossing" => TraceEvent::PcieCrossing {
+            from: side_from_label(str_field(line, "from")?)?,
+        },
+        "fifo_enqueued" => TraceEvent::FifoEnqueued {
+            durable: bool_field(line, "durable")?,
+            key: key_field(line)?,
+        },
+        "fifo_drained" => TraceEvent::FifoDrained {
+            durable: bool_field(line, "durable")?,
+            key: key_field(line)?,
+        },
+        "coherence_transfer" => TraceEvent::CoherenceTransfer {
+            key: key_field(line)?,
+        },
+        _ => return None,
+    };
+    Some(TraceRecord { at_ns, node, event })
+}
+
+/// Parses a whole JSONL trace, skipping unparseable lines.
+#[must_use]
+pub fn parse_jsonl(text: &str) -> Vec<TraceRecord> {
+    text.lines().filter_map(parse_jsonl_line).collect()
+}
+
+// ------------------------------------------------------------------
+// Per-op timelines.
+
+/// The Fig. 4 latency-breakdown categories an op's time is attributed
+/// to. `DESIGN.md` §4 documents the event → category mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Local scheduling hops (client admission → write body).
+    Dispatch,
+    /// Protocol computation: message handling, metadata updates.
+    Computation,
+    /// Waiting on the network: fan-outs, unicasts, batch flushes, PCIe.
+    Communication,
+    /// Waiting on a critical-path NVM persist.
+    Persist,
+}
+
+impl Category {
+    /// All categories, in display order.
+    pub const ALL: [Category; 4] = [
+        Category::Dispatch,
+        Category::Computation,
+        Category::Communication,
+        Category::Persist,
+    ];
+
+    /// Short display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Dispatch => "dispatch",
+            Category::Computation => "computation",
+            Category::Communication => "communication",
+            Category::Persist => "persist",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Category::Dispatch => 0,
+            Category::Computation => 1,
+            Category::Communication => 2,
+            Category::Persist => 3,
+        }
+    }
+}
+
+/// Which category the time *after* `event` (until the next coordinator
+/// event) is attributed to; `None` for events that are not timeline
+/// markers (background persists, completions).
+fn category_after(event: &TraceEvent) -> Option<Category> {
+    match event {
+        TraceEvent::OpAdmitted { .. } => Some(Category::Dispatch),
+        TraceEvent::WriteStarted { .. }
+        | TraceEvent::MsgReceived { .. }
+        | TraceEvent::PersistCompleted { .. }
+        | TraceEvent::FifoDrained { .. }
+        | TraceEvent::CoherenceTransfer { .. } => Some(Category::Computation),
+        TraceEvent::MsgSent { .. }
+        | TraceEvent::FanOut { .. }
+        | TraceEvent::BatchFlushed { .. }
+        | TraceEvent::PcieCrossing { .. } => Some(Category::Communication),
+        TraceEvent::PersistStarted { key: _, background } => {
+            (!background).then_some(Category::Persist)
+        }
+        TraceEvent::FifoEnqueued { durable, .. } => Some(if *durable {
+            Category::Persist
+        } else {
+            Category::Computation
+        }),
+        TraceEvent::OpCompleted { .. } => None,
+    }
+}
+
+/// One reconstructed client operation: its coordinator-side timeline,
+/// segmented by category.
+#[derive(Debug, Clone)]
+pub struct OpTrace {
+    /// Coordinating node.
+    pub node: NodeId,
+    /// Request id (unique per node in a trace).
+    pub req: ReqId,
+    /// Operation class.
+    pub op: OpKind,
+    /// Target record, if the op names one.
+    pub key: Option<Key>,
+    /// Admission timestamp.
+    pub start_ns: u64,
+    /// Completion timestamp.
+    pub end_ns: u64,
+    /// Write cut short as obsolete.
+    pub obsolete: bool,
+    /// Consecutive timeline segments, tiling `[start_ns, end_ns]`.
+    pub segments: Vec<(Category, u64)>,
+}
+
+impl OpTrace {
+    /// End-to-end latency.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+
+    /// Per-category totals, indexed as [`Category::ALL`]. Sums to
+    /// [`OpTrace::total_ns`] by construction.
+    #[must_use]
+    pub fn breakdown(&self) -> [u64; 4] {
+        let mut out = [0u64; 4];
+        for (cat, ns) in &self.segments {
+            out[cat.index()] += ns;
+        }
+        out
+    }
+}
+
+/// An op being reconstructed.
+struct OpenOp {
+    op: OpKind,
+    key: Option<Key>,
+    start_ns: u64,
+    /// `(timestamp, category of the following gap)`.
+    markers: Vec<(u64, Category)>,
+}
+
+/// Whether `event` belongs on the timeline of an open op over `op_key`.
+///
+/// Keyed events must match the op's key. Key-less events (batch flushes,
+/// PCIe crossings) match any open op on the node. A scope flush
+/// (`op_key == None`) additionally claims the scope sub-protocol's
+/// persist traffic regardless of record key.
+fn relevant(event: &TraceEvent, op_key: Option<Key>) -> bool {
+    let scope_kinds = [
+        MessageKind::Persist,
+        MessageKind::PersistAckP,
+        MessageKind::PersistValP,
+    ];
+    match (event.key(), op_key) {
+        (None, _) => true,
+        (Some(k), Some(ok)) => k == ok,
+        (Some(_), None) => match event {
+            TraceEvent::MsgReceived { kind, .. }
+            | TraceEvent::MsgSent { kind, .. }
+            | TraceEvent::FanOut { kind, .. } => scope_kinds.contains(kind),
+            TraceEvent::PersistStarted { .. } | TraceEvent::PersistCompleted { .. } => true,
+            _ => false,
+        },
+    }
+}
+
+/// Reconstructs per-op timelines from a trace.
+///
+/// Only coordinator-side records (the node that admitted the op) are
+/// attributed; concurrent ops on the *same* node share key-less events,
+/// so category totals are sharpest for closed-loop (one-op-per-node)
+/// workloads — which is how the paper measures Fig. 4.
+#[must_use]
+pub fn analyze(records: &[TraceRecord]) -> Vec<OpTrace> {
+    let mut open: Vec<((u16, u64), OpenOp)> = Vec::new();
+    let mut done: Vec<OpTrace> = Vec::new();
+
+    for rec in records {
+        match &rec.event {
+            TraceEvent::OpAdmitted { op, req, key } => {
+                open.push((
+                    (rec.node.0, req.0),
+                    OpenOp {
+                        op: *op,
+                        key: *key,
+                        start_ns: rec.at_ns,
+                        markers: vec![(rec.at_ns, Category::Dispatch)],
+                    },
+                ));
+            }
+            TraceEvent::OpCompleted { req, obsolete, .. } => {
+                let id = (rec.node.0, req.0);
+                if let Some(pos) = open.iter().position(|(k, _)| *k == id) {
+                    let (_, o) = open.swap_remove(pos);
+                    done.push(close_op(o, rec.node, ReqId(req.0), *obsolete, rec.at_ns));
+                }
+            }
+            ev => {
+                if let Some(cat) = category_after(ev) {
+                    for ((node, _), o) in &mut open {
+                        if *node == rec.node.0 && relevant(ev, o.key) {
+                            o.markers.push((rec.at_ns, cat));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    done
+}
+
+fn close_op(mut o: OpenOp, node: NodeId, req: ReqId, obsolete: bool, end_ns: u64) -> OpTrace {
+    // Clamp against cross-thread timestamp skew, then tile the interval:
+    // each marker owns the gap up to the next marker (or the end).
+    for (t, _) in &mut o.markers {
+        *t = (*t).clamp(o.start_ns, end_ns);
+    }
+    o.markers.sort_by_key(|&(t, _)| t);
+    let mut segments = Vec::with_capacity(o.markers.len());
+    for i in 0..o.markers.len() {
+        let (t, cat) = o.markers[i];
+        let next = o.markers.get(i + 1).map_or(end_ns, |&(t, _)| t);
+        segments.push((cat, next - t));
+    }
+    OpTrace {
+        node,
+        req,
+        op: o.op,
+        key: o.key,
+        start_ns: o.start_ns,
+        end_ns,
+        obsolete,
+        segments,
+    }
+}
+
+/// Renders the per-op timelines and the aggregate Fig. 4-style breakdown
+/// as the human-readable report `minos-trace` prints. At most `max_ops`
+/// individual timelines are listed; aggregates cover every op.
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn format_report(ops: &[OpTrace], max_ops: usize) -> String {
+    let mut out = String::new();
+    if ops.is_empty() {
+        out.push_str("no completed operations found in trace\n");
+        return out;
+    }
+
+    let _ = writeln!(out, "== per-op critical path ({} ops) ==", ops.len());
+    for o in ops.iter().take(max_ops) {
+        let key = o
+            .key
+            .map_or_else(|| "-".to_string(), |k| format!("{}", k.0));
+        let _ = write!(
+            out,
+            "node={} req={} op={} key={} total={}ns",
+            o.node.0,
+            o.req.0,
+            o.op,
+            key,
+            o.total_ns()
+        );
+        if o.obsolete {
+            out.push_str(" (obsolete)");
+        }
+        let bd = o.breakdown();
+        for (cat, ns) in Category::ALL.iter().zip(bd) {
+            let _ = write!(out, " {}={}ns", cat.label(), ns);
+        }
+        out.push('\n');
+    }
+    if ops.len() > max_ops {
+        let _ = writeln!(out, "... {} more ops elided", ops.len() - max_ops);
+    }
+
+    out.push_str("\n== aggregate breakdown (Fig. 4 categories) ==\n");
+    for kind in OpKind::ALL {
+        let of_kind: Vec<&OpTrace> = ops.iter().filter(|o| o.op == kind).collect();
+        if of_kind.is_empty() {
+            continue;
+        }
+        let n = of_kind.len() as f64;
+        let total: u64 = of_kind.iter().map(|o| o.total_ns()).sum();
+        let mut cat_totals = [0u64; 4];
+        for o in &of_kind {
+            for (acc, v) in cat_totals.iter_mut().zip(o.breakdown()) {
+                *acc += v;
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{}: n={} mean={:.0}ns",
+            kind,
+            of_kind.len(),
+            total as f64 / n
+        );
+        for (cat, ns) in Category::ALL.iter().zip(cat_totals) {
+            let share = if total > 0 {
+                100.0 * ns as f64 / total as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>12.0}ns mean  {share:>5.1}%",
+                cat.label(),
+                ns as f64 / n
+            );
+        }
+        // The paper folds persist waits and dispatch hops into
+        // "computation"; report that two-way split too.
+        let comm = cat_totals[Category::Communication.index()];
+        let comp: u64 = total - comm;
+        if total > 0 {
+            let _ = writeln!(
+                out,
+                "  fig4 split: communication {:.1}% / computation {:.1}%",
+                100.0 * comm as f64 / total as f64,
+                100.0 * comp as f64 / total as f64
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::sinks::encode_json;
+    use super::*;
+
+    fn rec(at_ns: u64, node: u16, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            at_ns,
+            node: NodeId(node),
+            event,
+        }
+    }
+
+    fn write_trace() -> Vec<TraceRecord> {
+        vec![
+            rec(
+                0,
+                0,
+                TraceEvent::OpAdmitted {
+                    op: OpKind::Write,
+                    req: ReqId(1),
+                    key: Some(Key(7)),
+                },
+            ),
+            rec(100, 0, TraceEvent::WriteStarted { key: Key(7) }),
+            rec(
+                150,
+                0,
+                TraceEvent::FanOut {
+                    dests: 2,
+                    kind: MessageKind::Inv,
+                    key: Some(Key(7)),
+                },
+            ),
+            rec(160, 0, TraceEvent::BatchFlushed { sends: 1 }),
+            rec(
+                900,
+                0,
+                TraceEvent::MsgReceived {
+                    from: NodeId(1),
+                    kind: MessageKind::Ack,
+                    key: Some(Key(7)),
+                },
+            ),
+            rec(
+                950,
+                0,
+                TraceEvent::PersistStarted {
+                    key: Key(7),
+                    background: false,
+                },
+            ),
+            rec(1400, 0, TraceEvent::PersistCompleted { key: Key(7) }),
+            rec(
+                1500,
+                0,
+                TraceEvent::OpCompleted {
+                    op: OpKind::Write,
+                    req: ReqId(1),
+                    key: Some(Key(7)),
+                    obsolete: false,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn jsonl_roundtrips_every_variant() {
+        let probes = vec![
+            rec(
+                1,
+                2,
+                TraceEvent::OpAdmitted {
+                    op: OpKind::PersistScope,
+                    req: ReqId(9),
+                    key: None,
+                },
+            ),
+            rec(2, 0, TraceEvent::WriteStarted { key: Key(4) }),
+            rec(
+                3,
+                1,
+                TraceEvent::MsgSent {
+                    to: NodeId(2),
+                    kind: MessageKind::ValP,
+                    key: Some(Key(4)),
+                },
+            ),
+            rec(
+                4,
+                1,
+                TraceEvent::MsgReceived {
+                    from: NodeId(0),
+                    kind: MessageKind::PersistAckP,
+                    key: None,
+                },
+            ),
+            rec(
+                5,
+                0,
+                TraceEvent::FanOut {
+                    dests: 4,
+                    kind: MessageKind::Inv,
+                    key: Some(Key(1)),
+                },
+            ),
+            rec(
+                6,
+                0,
+                TraceEvent::PersistStarted {
+                    key: Key(1),
+                    background: true,
+                },
+            ),
+            rec(7, 0, TraceEvent::PersistCompleted { key: Key(1) }),
+            rec(8, 0, TraceEvent::BatchFlushed { sends: 3 }),
+            rec(
+                9,
+                0,
+                TraceEvent::OpCompleted {
+                    op: OpKind::Write,
+                    req: ReqId(1),
+                    key: Some(Key(1)),
+                    obsolete: true,
+                },
+            ),
+            rec(
+                10,
+                0,
+                TraceEvent::PcieCrossing {
+                    from: crate::offload::Side::Snic,
+                },
+            ),
+            rec(
+                11,
+                0,
+                TraceEvent::FifoEnqueued {
+                    durable: true,
+                    key: Key(2),
+                },
+            ),
+            rec(
+                12,
+                0,
+                TraceEvent::FifoDrained {
+                    durable: false,
+                    key: Key(2),
+                },
+            ),
+            rec(13, 0, TraceEvent::CoherenceTransfer { key: Key(3) }),
+        ];
+        for p in probes {
+            let line = encode_json(&p);
+            let back = parse_jsonl_line(&line).unwrap_or_else(|| panic!("unparsed: {line}"));
+            assert_eq!(back, p, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn categories_tile_the_op_interval() {
+        let ops = analyze(&write_trace());
+        assert_eq!(ops.len(), 1);
+        let o = &ops[0];
+        assert_eq!(o.total_ns(), 1500);
+        assert_eq!(o.breakdown().iter().sum::<u64>(), o.total_ns());
+        let bd = o.breakdown();
+        assert_eq!(bd[Category::Dispatch.index()], 100);
+        // flush(160)→ack(900) waits on the network; fanout(150)→flush(160)
+        // is also communication.
+        assert_eq!(bd[Category::Communication.index()], 750);
+        assert_eq!(bd[Category::Persist.index()], 450);
+        assert_eq!(bd[Category::Computation.index()], 200);
+    }
+
+    #[test]
+    fn background_persists_do_not_open_a_persist_segment() {
+        let mut t = write_trace();
+        if let TraceEvent::PersistStarted { background, .. } = &mut t[5].event {
+            *background = true;
+        }
+        let ops = analyze(&t);
+        let bd = ops[0].breakdown();
+        assert_eq!(bd[Category::Persist.index()], 0);
+        assert_eq!(bd.iter().sum::<u64>(), ops[0].total_ns());
+    }
+
+    #[test]
+    fn unrelated_keys_are_not_attributed() {
+        let mut t = write_trace();
+        t.insert(
+            4,
+            rec(
+                500,
+                0,
+                TraceEvent::PersistStarted {
+                    key: Key(99),
+                    background: false,
+                },
+            ),
+        );
+        let ops = analyze(&t);
+        assert_eq!(ops[0].breakdown()[Category::Persist.index()], 450);
+    }
+
+    #[test]
+    fn report_mentions_categories_and_sums() {
+        let ops = analyze(&write_trace());
+        let report = format_report(&ops, 10);
+        assert!(report.contains("total=1500ns"));
+        assert!(report.contains("communication"));
+        assert!(report.contains("fig4 split"));
+    }
+}

@@ -30,6 +30,13 @@
 //! that gate sends on earlier actions of the same dispatch (the MINOS-O
 //! simulator gates ACKs on its FIFO enqueues) can rely on that.
 //!
+//! Being the single choke point also makes the dispatchers the single
+//! *instrumentation* point: a [`crate::obs::Tracer`] installed
+//! via [`Dispatcher::set_tracer`] / [`ODispatcher::set_tracer`] emits a
+//! structured [`crate::obs::TraceEvent`] at every protocol-event
+//! boundary, in every harness, from one piece of code. Without a tracer
+//! (the default) the only cost is an `Option` discriminant check.
+//!
 //! Time still does not exist here: the dispatcher is as deterministic as
 //! the engines, and the simulators implement [`Transport`] over their
 //! virtual-time event queues.
@@ -40,6 +47,7 @@ pub use batch::{BatchPolicy, Batched, FrameTransport, TransportCounters};
 
 use crate::baseline::NodeEngine;
 use crate::event::{Action, DelayClass, Event, MetaOp, ReqId};
+use crate::obs::{self, TraceEvent, Tracer};
 use crate::offload::{OAction, OEvent, ONodeEngine, PcieMsg, Side};
 use minos_types::{Key, Message, NodeId, ScopeId, Ts, Value};
 
@@ -214,10 +222,11 @@ impl DispatchStats {
 pub struct Dispatcher {
     stats: DispatchStats,
     scratch: Vec<Action>,
+    tracer: Option<Tracer>,
 }
 
 impl Dispatcher {
-    /// A fresh dispatcher with zeroed stats.
+    /// A fresh dispatcher with zeroed stats and no tracer.
     #[must_use]
     pub fn new() -> Self {
         Dispatcher::default()
@@ -229,6 +238,45 @@ impl Dispatcher {
         &self.stats
     }
 
+    /// Installs (or, with `None`, removes) the observability tracer.
+    /// Every subsequent dispatch emits [`TraceEvent`]s through it.
+    pub fn set_tracer(&mut self, tracer: Option<Tracer>) {
+        self.tracer = tracer;
+    }
+
+    /// The installed tracer (harnesses flush its sinks at shutdown).
+    pub fn tracer_mut(&mut self) -> Option<&mut Tracer> {
+        self.tracer.as_mut()
+    }
+
+    /// Emits the trace boundary for an outgoing action, if tracing.
+    fn trace_action(&mut self, engine: &NodeEngine, act: &Action) {
+        if self.tracer.is_some() {
+            let dests = match act {
+                Action::SendToFollowers { msg } => engine.fanout_targets(msg.key()).len(),
+                _ => 0,
+            };
+            if let Some(ev) = obs::trace_of_action(act, dests) {
+                if let Some(tr) = self.tracer.as_mut() {
+                    tr.emit(ev);
+                }
+            }
+        }
+    }
+
+    /// Emits the batch-flush boundary if the dispatch put traffic on the
+    /// wire (`wire0` is `sends + fanouts` before the dispatch).
+    fn trace_flush(&mut self, wire0: u64) {
+        if let Some(tr) = self.tracer.as_mut() {
+            let sent = self.stats.sends + self.stats.fanouts - wire0;
+            if sent > 0 {
+                tr.emit(TraceEvent::BatchFlushed {
+                    sends: u32::try_from(sent).unwrap_or(u32::MAX),
+                });
+            }
+        }
+    }
+
     /// Feeds `event` to `engine` and interprets every resulting action
     /// through `handler`, in emission order, ending with a
     /// [`Transport::flush`].
@@ -238,14 +286,23 @@ impl Dispatcher {
         event: Event,
         handler: &mut H,
     ) {
+        if self.tracer.is_some() {
+            if let Some(ev) = obs::trace_of_event(&event) {
+                if let Some(tr) = self.tracer.as_mut() {
+                    tr.emit(ev);
+                }
+            }
+        }
         let mut out = std::mem::take(&mut self.scratch);
         out.clear();
         engine.on_event(event, &mut out);
         handler.begin(&out);
+        let wire0 = self.stats.sends + self.stats.fanouts;
         for act in out.drain(..) {
             self.apply(engine, act, handler);
         }
         handler.flush();
+        self.trace_flush(wire0);
         self.scratch = out;
     }
 
@@ -258,13 +315,16 @@ impl Dispatcher {
         handler: &mut H,
     ) {
         handler.begin(&actions);
+        let wire0 = self.stats.sends + self.stats.fanouts;
         for act in actions {
             self.apply(engine, act, handler);
         }
         handler.flush();
+        self.trace_flush(wire0);
     }
 
     fn apply<H: Transport + ActionSink>(&mut self, engine: &NodeEngine, act: Action, h: &mut H) {
+        self.trace_action(engine, &act);
         match act {
             Action::Send { to, msg } => {
                 self.stats.sends += 1;
@@ -416,10 +476,11 @@ impl ODispatchStats {
 pub struct ODispatcher {
     stats: ODispatchStats,
     scratch: Vec<OAction>,
+    tracer: Option<Tracer>,
 }
 
 impl ODispatcher {
-    /// A fresh dispatcher with zeroed stats.
+    /// A fresh dispatcher with zeroed stats and no tracer.
     #[must_use]
     pub fn new() -> Self {
         ODispatcher::default()
@@ -431,6 +492,28 @@ impl ODispatcher {
         &self.stats
     }
 
+    /// Installs (or, with `None`, removes) the observability tracer.
+    pub fn set_tracer(&mut self, tracer: Option<Tracer>) {
+        self.tracer = tracer;
+    }
+
+    /// The installed tracer (harnesses flush its sinks at shutdown).
+    pub fn tracer_mut(&mut self) -> Option<&mut Tracer> {
+        self.tracer.as_mut()
+    }
+
+    /// See [`Dispatcher::trace_flush`].
+    fn trace_flush(&mut self, wire0: u64) {
+        if let Some(tr) = self.tracer.as_mut() {
+            let sent = self.stats.sends + self.stats.fanouts - wire0;
+            if sent > 0 {
+                tr.emit(TraceEvent::BatchFlushed {
+                    sends: u32::try_from(sent).unwrap_or(u32::MAX),
+                });
+            }
+        }
+    }
+
     /// Feeds `event` to `engine` and interprets every resulting action
     /// through `handler`, in emission order, ending with a
     /// [`Transport::flush`].
@@ -440,18 +523,40 @@ impl ODispatcher {
         event: OEvent,
         handler: &mut H,
     ) {
+        if self.tracer.is_some() {
+            if let Some(ev) = obs::trace_of_oevent(&event) {
+                if let Some(tr) = self.tracer.as_mut() {
+                    tr.emit(ev);
+                }
+            }
+        }
         let mut out = std::mem::take(&mut self.scratch);
         out.clear();
         engine.on_event(event, &mut out);
         handler.begin(&out);
+        let wire0 = self.stats.sends + self.stats.fanouts;
         for act in out.drain(..) {
             self.apply(engine, act, handler);
         }
         handler.flush();
+        self.trace_flush(wire0);
         self.scratch = out;
     }
 
     fn apply<H: Transport + OSink>(&mut self, engine: &ONodeEngine, act: OAction, h: &mut H) {
+        if self.tracer.is_some() {
+            // Under MINOS-O the broadcast module always fans out to every
+            // peer, so the destination count is `n - 1`.
+            let dests = match &act {
+                OAction::SendToFollowers { .. } => engine.n_nodes().saturating_sub(1),
+                _ => 0,
+            };
+            if let Some(ev) = obs::trace_of_oaction(&act, dests) {
+                if let Some(tr) = self.tracer.as_mut() {
+                    tr.emit(ev);
+                }
+            }
+        }
         match act {
             OAction::Send { to, msg } => {
                 self.stats.sends += 1;

@@ -198,6 +198,20 @@ impl MinosKv {
         self.dispatchers[node.0 as usize].stats()
     }
 
+    /// Attaches observability `sinks` to every node's dispatcher,
+    /// stamped by a deterministic cluster-global sequence clock (see
+    /// [`minos_core::obs`]).
+    pub fn attach_tracer(&mut self, sinks: Vec<minos_core::obs::SharedSink>) {
+        let clock = minos_core::obs::TraceClock::sequence();
+        for (i, d) in self.dispatchers.iter_mut().enumerate() {
+            d.set_tracer(Some(minos_core::obs::Tracer::new(
+                NodeId(i as u16),
+                clock.clone(),
+                sinks.clone(),
+            )));
+        }
+    }
+
     /// The protocol engine of `node` (inspection, tests).
     #[must_use]
     pub fn engine(&self, node: NodeId) -> &NodeEngine {

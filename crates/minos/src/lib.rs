@@ -15,6 +15,7 @@
 //! | [`cluster`] | `minos-cluster` | Threaded multi-node runtime (Table II machine) |
 //! | [`workload`] | `minos-workload` | YCSB-style + DeathStar workload generation |
 //! | [`mc`] | `minos-mc` | Explicit-state model checker (Table I invariants) |
+//! | [`obs`] | `minos-core::obs` | Structured tracing, latency histograms, trace replay |
 //!
 //! # Quickstart
 //!
@@ -39,6 +40,7 @@
 
 pub use minos_cluster as cluster;
 pub use minos_core as core;
+pub use minos_core::obs;
 pub use minos_kv as kv;
 pub use minos_mc as mc;
 pub use minos_net as net;

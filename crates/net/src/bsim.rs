@@ -3,11 +3,14 @@
 use crate::arch::Arch;
 use crate::driver::{CompletionKind, CompletionRec};
 use crate::timing::{self, DISPATCH_NS};
+use minos_core::obs::{SharedSink, TraceClock, Tracer};
 use minos_core::runtime::{self, ActionSink, DispatchStats, Dispatcher, Transport};
 use minos_core::{Action, DelayClass, Event, NodeEngine, ReqId, Side};
 use minos_sim::{CorePool, EventQueue, Resource, Time};
 use minos_types::{DdpModel, Key, Message, MessageKind, NodeId, ScopeId, SimConfig, Ts, Value};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Per-node sender-side hardware resources. The receive-side PCIe
 /// resources live in a separate array on [`BSim`] so a dispatch handler
@@ -51,6 +54,9 @@ pub struct BSim {
     completions: Vec<CompletionRec>,
     traces: HashMap<(Key, Ts), TxTrace>,
     next_req: u64,
+    /// Virtual-clock source shared with attached tracers: holds the
+    /// simulated time of the event being dispatched.
+    vclock: Option<Arc<AtomicU64>>,
 }
 
 impl BSim {
@@ -76,9 +82,25 @@ impl BSim {
             completions: Vec::new(),
             traces: HashMap::new(),
             next_req: 1,
+            vclock: None,
             cfg,
             arch,
         }
+    }
+
+    /// Attaches observability sinks to every node's dispatcher. Records
+    /// are stamped with simulated time (a virtual clock that tracks the
+    /// event queue), so traces replay on the same axis as the DES.
+    pub fn attach_tracer(&mut self, sinks: Vec<SharedSink>) {
+        let source = Arc::new(AtomicU64::new(0));
+        for (i, d) in self.dispatchers.iter_mut().enumerate() {
+            d.set_tracer(Some(Tracer::new(
+                NodeId(i as u16),
+                TraceClock::virtual_time(Arc::clone(&source)),
+                sinks.clone(),
+            )));
+        }
+        self.vclock = Some(source);
     }
 
     /// Current simulated time.
@@ -173,6 +195,9 @@ impl BSim {
             return false;
         };
         let ni = node.0 as usize;
+        if let Some(v) = &self.vclock {
+            v.store(t, Ordering::Relaxed);
+        }
 
         // Instrumentation: acknowledgment arrivals close the comm window.
         if let Event::Message { msg, .. } = &ev {

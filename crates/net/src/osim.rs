@@ -3,10 +3,13 @@
 use crate::arch::Arch;
 use crate::driver::{CompletionKind, CompletionRec};
 use crate::timing::{self, DISPATCH_NS};
+use minos_core::obs::{SharedSink, TraceClock, Tracer};
 use minos_core::runtime::{self, ODispatchStats, ODispatcher, OSink, Transport};
 use minos_core::{OAction, OEvent, ONodeEngine, PcieMsg, ReqId, Side};
 use minos_sim::{BoundedFifo, CorePool, EventQueue, Resource, Time};
 use minos_types::{DdpModel, Key, Message, MessageKind, NodeId, ScopeId, SimConfig, Ts, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 #[derive(Debug, Clone)]
 struct ONodeRes {
@@ -43,6 +46,9 @@ pub struct OSim {
     completions: Vec<CompletionRec>,
     /// Write submission times, for latency bookkeeping by the driver.
     next_req: u64,
+    /// Virtual-clock source shared with attached tracers: holds the
+    /// simulated time of the event being dispatched.
+    vclock: Option<Arc<AtomicU64>>,
 }
 
 impl OSim {
@@ -70,9 +76,25 @@ impl OSim {
             queue: EventQueue::new(),
             completions: Vec::new(),
             next_req: 1,
+            vclock: None,
             cfg,
             arch,
         }
+    }
+
+    /// Attaches observability sinks to every node's dispatcher. Records
+    /// are stamped with simulated time (a virtual clock that tracks the
+    /// event queue), so traces replay on the same axis as the DES.
+    pub fn attach_tracer(&mut self, sinks: Vec<SharedSink>) {
+        let source = Arc::new(AtomicU64::new(0));
+        for (i, d) in self.dispatchers.iter_mut().enumerate() {
+            d.set_tracer(Some(Tracer::new(
+                NodeId(i as u16),
+                TraceClock::virtual_time(Arc::clone(&source)),
+                sinks.clone(),
+            )));
+        }
+        self.vclock = Some(source);
     }
 
     /// Current simulated time.
@@ -174,6 +196,9 @@ impl OSim {
             return false;
         };
         let ni = node.0 as usize;
+        if let Some(v) = &self.vclock {
+            v.store(t, Ordering::Relaxed);
+        }
         let side = Self::side_of(&ev);
 
         let n_nodes = self.engines.len();
