@@ -1,8 +1,28 @@
 #!/usr/bin/env bash
 # Repository gate: formatting, lints, and the tier-1 verify (ROADMAP.md).
 # Run from the repository root. Fails fast on the first broken stage.
+#
+#   ./ci.sh          — the standard gate
+#   ./ci.sh --chaos  — additionally runs the seeded-torture block:
+#                      mutation smoke (both protocol faults must be found
+#                      and shrunk; output includes the reproducing seed)
+#                      plus clean chaos sweeps on the threaded and TCP
+#                      runtimes. This is the fast PR subset — the nightly
+#                      block (500 seeds per model per runtime) is
+#                      documented in EXPERIMENTS.md §Verification.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+CHAOS=0
+for arg in "$@"; do
+    case "$arg" in
+    --chaos) CHAOS=1 ;;
+    *)
+        echo "unknown flag: $arg (supported: --chaos)" >&2
+        exit 2
+        ;;
+    esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -16,5 +36,30 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 echo "==> tier-1 verify: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
+
+if [ "$CHAOS" -eq 1 ]; then
+    echo "==> chaos: build minos-torture (with fault injection)"
+    cargo build --release -p minos-check --features fault-injection
+    TORTURE=target/release/minos-torture
+
+    echo "==> chaos: mutation smoke — armed faults must be found and shrunk"
+    # A checker that cannot see a dropped INV or a skipped persist is
+    # vacuous; each fault must produce a violation within 100 seeds.
+    "$TORTURE" --model synch --seeds 100 --clients 2 --ops 8 \
+        --fault skip-inv@0 --expect-violation
+    "$TORTURE" --model synch --seeds 100 --clients 2 --ops 8 \
+        --fault phantom-persist@1 --expect-violation
+    "$TORTURE" --runtime tcp --model synch --seeds 20 --clients 2 --ops 8 \
+        --fault skip-inv@1 --expect-violation
+
+    echo "==> chaos: rebuild minos-torture (faults compiled out)"
+    cargo build --release -p minos-check
+
+    echo "==> chaos: clean sweep — threaded, all models"
+    "$TORTURE" --model all --seeds 20 --clients 2 --ops 8
+
+    echo "==> chaos: clean sweep — tcp, all models"
+    "$TORTURE" --runtime tcp --model all --seeds 5 --clients 2 --ops 8
+fi
 
 echo "==> ci: all stages passed"

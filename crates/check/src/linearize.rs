@@ -1,0 +1,439 @@
+//! Complete per-key linearizability checking (Wing & Gill search with
+//! memoized states, à la Porcupine/Knossos).
+//!
+//! # Model
+//!
+//! MINOS's correctness claim is linearizability of a *timestamp-ordered*
+//! register: every write carries a unique `TS_WR`, replicas apply writes
+//! by timestamp max, and a read returns the value of the largest
+//! timestamp applied at its coordinator. The sequential specification is
+//! therefore a **max-register** per key:
+//!
+//! * a write with timestamp `t` transitions `reg := max(reg, t)`;
+//! * a read is legal iff the timestamp it observed equals `reg`.
+//!
+//! Obsolete writes need no special casing — "obsolete" is exactly the
+//! protocol's name for a write whose max is a no-op — and the register
+//! value is monotone along any linearization, which both matches the
+//! spec and prunes the search hard.
+//!
+//! # Search
+//!
+//! Histories partition cleanly by key (operations on distinct keys
+//! commute in the spec), so each key is checked independently: a
+//! depth-first enumeration of linearization orders over the key's ops,
+//! constrained by real time (an op can be linearized next only if no
+//! other remaining op *returned* before it was invoked), with visited
+//! `(remaining-set, reg)` states memoized so the search is complete in
+//! `O(2^n)` worst case instead of `O(n!)` — and in practice near-linear
+//! on conforming histories thanks to the monotone register.
+//!
+//! # Incomplete operations
+//!
+//! An op that never returned (crashed coordinator, wedged write, run
+//! boundary) may or may not have taken effect. Incomplete writes may be
+//! linearized at any point after their invocation *or dropped*;
+//! incomplete reads are always dropped (they constrain nothing). A
+//! completed read that observed a timestamp no completed write ever
+//! carried is matched against a *pending* write from the same
+//! coordinator (timestamps embed the issuing node), which then joins the
+//! search with the observed timestamp; if no such pending write exists
+//! the timestamp was never issued at all and the history is rejected
+//! outright.
+
+use crate::history::History;
+use minos_core::obs::OpKind;
+use minos_types::{Key, Ts};
+use std::collections::HashSet;
+
+/// One operation of a single-key search problem.
+#[derive(Debug, Clone)]
+struct KOp {
+    write: bool,
+    /// Write: assigned `TS_WR`. Read: observed `volatileTS`.
+    ts: Ts,
+    call: u64,
+    ret: u64,
+    complete: bool,
+}
+
+/// Checks every key of the history; returns one message per key that has
+/// no valid linearization (empty = linearizable).
+#[must_use]
+pub fn check(history: &History) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (key, idxs) in history.per_key() {
+        match build_key_ops(history, key, &idxs) {
+            Err(msg) => violations.push(msg),
+            Ok(ops) => {
+                if let Some(msg) = check_key(key, &ops) {
+                    violations.push(msg);
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Assembles the per-key op list, resolving reads of never-completed
+/// writes against pending write invocations.
+fn build_key_ops(history: &History, key: Key, idxs: &[usize]) -> Result<Vec<KOp>, String> {
+    let mut ops = Vec::new();
+    // Timestamps some completed write carried (obsolete included: an
+    // obsolete write's timestamp exists and may be observed transiently
+    // at its coordinator before the newer write's VAL arrives).
+    let mut issued: HashSet<Ts> = HashSet::new();
+    // Pending writes, available for adoption by an orphan observation.
+    let mut pending: Vec<(usize, minos_types::NodeId)> = Vec::new();
+
+    for &i in idxs {
+        let op = &history.ops[i];
+        match (op.kind, op.ret, op.ts) {
+            (OpKind::Write, Some(ret), Some(ts)) => {
+                issued.insert(ts);
+                ops.push(KOp {
+                    write: true,
+                    ts,
+                    call: op.call,
+                    ret,
+                    complete: true,
+                });
+            }
+            (OpKind::Write, None, _) => {
+                pending.push((ops.len(), op.node));
+                ops.push(KOp {
+                    write: true,
+                    ts: Ts::zero(), // unknown until adopted
+                    call: op.call,
+                    ret: u64::MAX,
+                    complete: false,
+                });
+            }
+            (OpKind::Read, Some(ret), Some(ts)) => ops.push(KOp {
+                write: false,
+                ts,
+                call: op.call,
+                ret,
+                complete: true,
+            }),
+            // Incomplete reads constrain nothing; completed writes/reads
+            // always carry a timestamp, but tolerate records that lost
+            // theirs rather than crash the checker.
+            _ => {}
+        }
+    }
+
+    // Adopt orphan observations: a read observed `ts` that no completed
+    // write issued. The issuing node is embedded in the timestamp, so it
+    // must match a pending write from that node.
+    let mut orphans: Vec<Ts> = ops
+        .iter()
+        .filter(|o| !o.write && o.ts != Ts::zero() && !issued.contains(&o.ts))
+        .map(|o| o.ts)
+        .collect();
+    orphans.sort();
+    orphans.dedup();
+    for ts in orphans {
+        match pending.iter().position(|&(_, node)| node == ts.node) {
+            Some(p) => {
+                let (i, _) = pending.remove(p);
+                ops[i].ts = ts;
+            }
+            None => {
+                return Err(format!(
+                    "key {key}: a read observed {ts}, but no completed or \
+                     pending write from {} ever issued it",
+                    ts.node
+                ));
+            }
+        }
+    }
+
+    // Pending writes that stayed unobserved contribute nothing: with an
+    // unknown timestamp they could always be dropped, so drop them now.
+    ops.retain(|o| o.complete || o.ts != Ts::zero());
+    Ok(ops)
+}
+
+/// Wing & Gill over one key. Returns `None` when a linearization exists.
+fn check_key(key: Key, ops: &[KOp]) -> Option<String> {
+    let n = ops.len();
+    if n == 0 {
+        return None;
+    }
+    if n > 4096 {
+        // The memo key is a bitset; cap the per-key problem size far
+        // above anything the torture harness produces.
+        return Some(format!(
+            "key {key}: {n} ops exceeds the checker's per-key limit"
+        ));
+    }
+    let words = n.div_ceil(64);
+    let mut remaining = vec![0u64; words];
+    for i in 0..n {
+        remaining[i / 64] |= 1 << (i % 64);
+    }
+    let mut memo: HashSet<(Vec<u64>, Ts)> = HashSet::new();
+    if dfs(ops, &mut remaining, Ts::zero(), &mut memo) {
+        None
+    } else {
+        Some(describe_failure(key, ops))
+    }
+}
+
+fn dfs(ops: &[KOp], remaining: &mut Vec<u64>, reg: Ts, memo: &mut HashSet<(Vec<u64>, Ts)>) -> bool {
+    let mut min_ret = u64::MAX;
+    let mut any_complete = false;
+    for (i, op) in ops.iter().enumerate() {
+        if remaining[i / 64] & (1 << (i % 64)) != 0 {
+            any_complete |= op.complete;
+            min_ret = min_ret.min(op.ret);
+        }
+    }
+    // Incomplete ops may all be dropped; only completed ops must find a
+    // linearization point.
+    if !any_complete {
+        return true;
+    }
+    if !memo.insert((remaining.clone(), reg)) {
+        return false;
+    }
+
+    for (i, op) in ops.iter().enumerate() {
+        let bit = 1u64 << (i % 64);
+        if remaining[i / 64] & bit == 0 || op.call > min_ret {
+            continue;
+        }
+        remaining[i / 64] &= !bit;
+        let ok = if op.write {
+            // Effect branch: reg := max(reg, ts)…
+            dfs(ops, remaining, reg.max(op.ts), memo)
+                // …and, if the write never returned, the drop branch.
+                || (!op.complete && dfs(ops, remaining, reg, memo))
+        } else {
+            op.ts == reg && dfs(ops, remaining, reg, memo)
+        };
+        remaining[i / 64] |= bit;
+        if ok {
+            return true;
+        }
+    }
+    false
+}
+
+/// A compact dump of the key's completed ops for the failure report.
+fn describe_failure(key: Key, ops: &[KOp]) -> String {
+    let mut sorted: Vec<&KOp> = ops.iter().collect();
+    sorted.sort_by_key(|o| o.call);
+    let mut lines = String::new();
+    for o in sorted.iter().take(32) {
+        let kind = if o.write { "W" } else { "R" };
+        let done = if o.complete {
+            format!("{}", o.ret)
+        } else {
+            "∞".to_string()
+        };
+        lines.push_str(&format!(
+            "\n    {kind} {ts} [{call}, {done}]ns",
+            ts = o.ts,
+            call = o.call
+        ));
+    }
+    if ops.len() > 32 {
+        lines.push_str(&format!("\n    … {} more", ops.len() - 32));
+    }
+    format!(
+        "key {key}: no valid linearization exists over {} ops:{lines}",
+        ops.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::ClientOp;
+    use minos_types::NodeId;
+
+    fn w(node: u16, key: u64, v: u32, call: u64, ret: u64) -> ClientOp {
+        ClientOp {
+            node: NodeId(node),
+            req: call,
+            kind: OpKind::Write,
+            key: Some(Key(key)),
+            scope: None,
+            call,
+            ret: Some(ret),
+            ts: Some(Ts::new(NodeId(node), v)),
+            obsolete: false,
+        }
+    }
+
+    fn w_pending(node: u16, key: u64, call: u64) -> ClientOp {
+        ClientOp {
+            node: NodeId(node),
+            req: call,
+            kind: OpKind::Write,
+            key: Some(Key(key)),
+            scope: None,
+            call,
+            ret: None,
+            ts: None,
+            obsolete: false,
+        }
+    }
+
+    fn r(node: u16, key: u64, obs: Ts, call: u64, ret: u64) -> ClientOp {
+        ClientOp {
+            node: NodeId(node),
+            req: call,
+            kind: OpKind::Read,
+            key: Some(Key(key)),
+            scope: None,
+            call,
+            ret: Some(ret),
+            ts: Some(obs),
+            obsolete: false,
+        }
+    }
+
+    fn ts(node: u16, v: u32) -> Ts {
+        Ts::new(NodeId(node), v)
+    }
+
+    #[test]
+    fn sequential_history_is_linearizable() {
+        let h = History {
+            ops: vec![
+                w(0, 1, 1, 0, 10),
+                r(1, 1, ts(0, 1), 20, 30),
+                w(1, 1, 2, 40, 50),
+                r(0, 1, ts(1, 2), 60, 70),
+            ],
+        };
+        assert!(check(&h).is_empty());
+    }
+
+    #[test]
+    fn initial_reads_observe_zero() {
+        let h = History {
+            ops: vec![r(0, 1, Ts::zero(), 0, 5), w(0, 1, 1, 10, 20)],
+        };
+        assert!(check(&h).is_empty());
+    }
+
+    #[test]
+    fn concurrent_writes_allow_either_read_order() {
+        // w5 and w7 overlap; a read in the middle may see either,
+        // provided later reads never go backwards.
+        let h = History {
+            ops: vec![
+                w(0, 1, 5, 0, 100),
+                w(1, 1, 7, 0, 100),
+                r(2, 1, ts(0, 5), 10, 20),
+                r(2, 1, ts(1, 7), 110, 120),
+            ],
+        };
+        assert!(check(&h).is_empty());
+    }
+
+    #[test]
+    fn stale_read_is_rejected() {
+        // The v2 write completed before the read was invoked, yet the
+        // read observed v1.
+        let h = History {
+            ops: vec![
+                w(0, 1, 1, 0, 10),
+                w(1, 1, 2, 20, 30),
+                r(2, 1, ts(0, 1), 40, 50),
+            ],
+        };
+        let v = check(&h);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("no valid linearization"), "{v:?}");
+    }
+
+    #[test]
+    fn non_monotone_reads_are_rejected() {
+        let h = History {
+            ops: vec![
+                w(0, 1, 1, 0, 10),
+                w(1, 1, 2, 0, 12),
+                r(2, 1, ts(1, 2), 20, 30),
+                r(2, 1, ts(0, 1), 40, 50),
+            ],
+        };
+        assert_eq!(check(&h).len(), 1);
+    }
+
+    #[test]
+    fn pending_write_observed_by_read_is_adopted() {
+        // The write never returned (crash), but a read saw its value:
+        // the checker linearizes the pending write before the read.
+        let h = History {
+            ops: vec![w_pending(0, 1, 0), r(1, 1, ts(0, 1), 50, 60)],
+        };
+        assert!(check(&h).is_empty());
+    }
+
+    #[test]
+    fn pending_write_may_also_never_take_effect() {
+        let h = History {
+            ops: vec![w_pending(0, 1, 0), r(1, 1, Ts::zero(), 50, 60)],
+        };
+        assert!(check(&h).is_empty());
+    }
+
+    #[test]
+    fn observation_of_never_issued_ts_is_rejected() {
+        let h = History {
+            ops: vec![w(0, 1, 1, 0, 10), r(1, 1, ts(4, 9), 20, 30)],
+        };
+        let v = check(&h);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("ever issued"), "{v:?}");
+    }
+
+    #[test]
+    fn obsolete_write_timestamp_may_be_observed_transiently() {
+        // w(ts=(1,v1)) is obsoleted by w(ts=(2,v1)) (node id breaks the
+        // tie), but a read concurrent with both may still observe the
+        // smaller timestamp before the larger write linearizes.
+        let mut ow = w(1, 1, 1, 0, 100);
+        ow.obsolete = true;
+        let h = History {
+            ops: vec![
+                ow,
+                w(2, 1, 1, 0, 100),
+                r(0, 1, ts(1, 1), 10, 20),
+                r(0, 1, ts(2, 1), 30, 40),
+            ],
+        };
+        assert!(check(&h).is_empty());
+    }
+
+    #[test]
+    fn keys_are_checked_independently() {
+        let h = History {
+            ops: vec![
+                w(0, 1, 1, 0, 10),
+                w(0, 2, 2, 20, 30),
+                r(1, 1, ts(0, 1), 40, 50),
+                r(1, 2, ts(0, 2), 40, 50),
+            ],
+        };
+        assert!(check(&h).is_empty());
+    }
+
+    #[test]
+    fn wide_concurrency_terminates_quickly() {
+        // 24 fully-overlapping writes plus matching reads: the memoized
+        // search must not blow up.
+        let mut ops = Vec::new();
+        for i in 0..24u32 {
+            ops.push(w(0, 1, i + 1, 0, 1000));
+        }
+        ops.push(r(1, 1, ts(0, 24), 2000, 2100));
+        let h = History { ops };
+        assert!(check(&h).is_empty());
+    }
+}

@@ -1,0 +1,379 @@
+//! Persistency-conformance oracles for the five DDP models.
+//!
+//! The durable log is append-only (`entries_since(0)` keeps every
+//! persisted version), which makes durability *auditable*: a version that
+//! should have been persisted at a node but wasn't is missing from that
+//! node's log **forever** — later writes to the same key cannot mask it.
+//! Each oracle phrases one model's durability guarantee as a containment
+//! condition between the run's [`History`] and the end-of-run logs.
+//!
+//! # The supersession subtlety
+//!
+//! A follower that receives an `INV` *after* applying a newer version of
+//! the same key takes the obsolete path (Fig. 2 lines 27–30): it never
+//! applies or persists the older value, and ACKs only once its
+//! `globalDurableTS` for the key reaches the newer version — i.e. once a
+//! *superseding* version is durable everywhere, standing in for the
+//! skipped one. A completed write is therefore guaranteed either its own
+//! log entry or a strictly newer one at every replica ("supersession
+//! form"). But that path requires a *newer overlapping write on the same
+//! key*: when none exists, the write's INV cannot have arrived obsolete
+//! anywhere, and the entry must be present **exactly** ("exact form").
+//! The exact form is what makes the fault-injection mutations
+//! ([`minos_types::FaultKind`]) deterministically detectable: the
+//! torture driver's sequential warm-up writes are overlap-free.
+//!
+//! # Crashes
+//!
+//! Nodes that crashed (or crashed and recovered) during the run are
+//! excluded from the containment oracles: writes completed during their
+//! outage legitimately never reached them, and recovery replay installs
+//! only the newest version per key. The phantom-entry oracle still
+//! applies to them — nothing may ever invent durable data.
+
+use crate::history::History;
+use minos_core::obs::OpKind;
+use minos_types::{Key, NodeId, PersistencyModel, Ts};
+use std::collections::{HashMap, HashSet};
+
+/// One node's end-of-run durable log, reduced to `(key, ts)` pairs in
+/// append order.
+#[derive(Debug, Clone)]
+pub struct NodeLog {
+    /// The node the log belongs to.
+    pub node: NodeId,
+    /// `(key, ts)` per log entry, in LSN order.
+    pub entries: Vec<(Key, Ts)>,
+    /// True when the node was up for the whole run (never crashed, never
+    /// recovered): the containment oracles apply in full.
+    pub audit_exact: bool,
+}
+
+impl NodeLog {
+    fn contains(&self, key: Key, ts: Ts) -> bool {
+        self.entries.iter().any(|&(k, t)| k == key && t == ts)
+    }
+
+    fn contains_at_least(&self, key: Key, ts: Ts) -> bool {
+        self.entries.iter().any(|&(k, t)| k == key && t >= ts)
+    }
+}
+
+/// Runs every oracle the model mandates; returns one message per
+/// violation (empty = the run conforms).
+#[must_use]
+pub fn check(model: PersistencyModel, history: &History, logs: &[NodeLog]) -> Vec<String> {
+    let mut v = Vec::new();
+    phantom_entries(history, logs, &mut v);
+    match model {
+        PersistencyModel::Synchronous | PersistencyModel::Strict => {
+            completed_writes_durable(model, history, logs, &mut v);
+        }
+        PersistencyModel::ReadEnforced => observed_reads_durable(history, logs, &mut v),
+        PersistencyModel::Eventual => {} // phantom oracle only
+        PersistencyModel::Scope => flushed_scopes_durable(history, logs, &mut v),
+    }
+    v
+}
+
+/// Oracle A (all models): every durable entry must correspond to a
+/// timestamp some write actually issued. Keys with pending writes are
+/// tolerated — a write that never returned has an unknown `TS_WR` that
+/// may legitimately be on disk.
+fn phantom_entries(history: &History, logs: &[NodeLog], v: &mut Vec<String>) {
+    let mut issued: HashMap<Key, HashSet<Ts>> = HashMap::new();
+    for (k, ts, _) in history.completed_writes() {
+        issued.entry(k).or_default().insert(ts);
+    }
+    let pending_keys: HashSet<Key> = history
+        .ops
+        .iter()
+        .filter(|o| o.kind == OpKind::Write && o.ret.is_none())
+        .filter_map(|o| o.key)
+        .collect();
+    for log in logs {
+        for &(k, ts) in &log.entries {
+            let known = issued.get(&k).is_some_and(|set| set.contains(&ts));
+            if !known && !pending_keys.contains(&k) {
+                v.push(format!(
+                    "phantom durable entry: {}'s log holds ({k}, {ts}) but \
+                     no write ever issued that timestamp",
+                    log.node
+                ));
+            }
+        }
+    }
+}
+
+/// Oracle B (Synch, Strict): a completed non-obsolete write is durable
+/// at every full-run node — exactly when overlap-free, by supersession
+/// otherwise. (Obsolete completions are covered too, in supersession
+/// form: `handleObsolete` spins on `globalDurableTS` before returning.)
+fn completed_writes_durable(
+    model: PersistencyModel,
+    history: &History,
+    logs: &[NodeLog],
+    v: &mut Vec<String>,
+) {
+    for (k, ts, op) in history.completed_writes() {
+        let exact = !op.obsolete && !history.has_newer_overlapping_write(k, ts, op);
+        for log in logs.iter().filter(|l| l.audit_exact) {
+            let ok = if exact {
+                log.contains(k, ts)
+            } else {
+                log.contains_at_least(k, ts)
+            };
+            if !ok {
+                v.push(format!(
+                    "{model:?} durability violation: write ({k}, {ts}) \
+                     completed at {}ns but {}'s durable log has no \
+                     {} entry for it",
+                    op.ret_or_inf(),
+                    log.node,
+                    if exact { "exact" } else { "superseding" },
+                ));
+            }
+        }
+    }
+}
+
+/// Oracle C (ReadEnforced): every read-observed version is durable at
+/// every full-run node by the time the read returns (checked at end of
+/// run; the log being append-only makes the end-of-run check
+/// equivalent). Supersession applies as for writes; the observed write
+/// need not have completed — the read proves its `VAL` was released,
+/// which under REnf happens only after `ACK_P` from every follower.
+fn observed_reads_durable(history: &History, logs: &[NodeLog], v: &mut Vec<String>) {
+    let mut checked: HashSet<(Key, Ts)> = HashSet::new();
+    for (k, observed, r) in history.completed_reads() {
+        if observed.version == 0 || !checked.insert((k, observed)) {
+            continue;
+        }
+        // Exactness needs the observed write's interval; a pending or
+        // unmatched observation falls back to supersession form.
+        let exact = history
+            .completed_writes()
+            .find(|&(wk, wts, _)| wk == k && wts == observed)
+            .is_some_and(|(_, _, w)| {
+                !w.obsolete && !history.has_newer_overlapping_write(k, observed, w)
+            });
+        for log in logs.iter().filter(|l| l.audit_exact) {
+            let ok = if exact {
+                log.contains(k, observed)
+            } else {
+                log.contains_at_least(k, observed)
+            };
+            if !ok {
+                v.push(format!(
+                    "ReadEnforced durability violation: a read on {} \
+                     observed ({k}, {observed}) at {}ns but {}'s durable \
+                     log never received it",
+                    r.node,
+                    r.ret_or_inf(),
+                    log.node,
+                ));
+            }
+        }
+    }
+}
+
+/// Oracle E (Scope): once a `[PERSIST]sc` completes, every non-obsolete
+/// same-scope write *from the same coordinator* that completed before the
+/// flush was invoked is durable at every full-run node. (Scopes are
+/// registered per `(origin, sc)` — a flush through node `c` covers the
+/// writes `c` coordinated.)
+fn flushed_scopes_durable(history: &History, logs: &[NodeLog], v: &mut Vec<String>) {
+    for flush in history
+        .completed()
+        .filter(|o| o.kind == OpKind::PersistScope)
+    {
+        let Some(sc) = flush.scope else { continue };
+        for (k, ts, w) in history.completed_writes() {
+            if w.scope != Some(sc)
+                || w.node != flush.node
+                || w.obsolete
+                || w.ret_or_inf() > flush.call
+            {
+                continue;
+            }
+            let exact = !history.has_newer_overlapping_write(k, ts, w);
+            for log in logs.iter().filter(|l| l.audit_exact) {
+                let ok = if exact {
+                    log.contains(k, ts)
+                } else {
+                    log.contains_at_least(k, ts)
+                };
+                if !ok {
+                    v.push(format!(
+                        "Scope durability violation: [PERSIST]{sc:?} via {} \
+                         completed at {}ns but scoped write ({k}, {ts}) \
+                         (done {}ns) is not durable at {}",
+                        flush.node,
+                        flush.ret_or_inf(),
+                        w.ret_or_inf(),
+                        log.node,
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::ClientOp;
+
+    fn ts(n: u16, v: u32) -> Ts {
+        Ts::new(NodeId(n), v)
+    }
+
+    fn w(node: u16, key: u64, v: u32, call: u64, ret: u64) -> ClientOp {
+        ClientOp {
+            node: NodeId(node),
+            req: call,
+            kind: OpKind::Write,
+            key: Some(Key(key)),
+            scope: None,
+            call,
+            ret: Some(ret),
+            ts: Some(ts(node, v)),
+            obsolete: false,
+        }
+    }
+
+    fn log(node: u16, entries: &[(u64, Ts)]) -> NodeLog {
+        NodeLog {
+            node: NodeId(node),
+            entries: entries.iter().map(|&(k, t)| (Key(k), t)).collect(),
+            audit_exact: true,
+        }
+    }
+
+    #[test]
+    fn synch_requires_every_replica_to_hold_the_write() {
+        let h = History {
+            ops: vec![w(0, 1, 1, 0, 10)],
+        };
+        let logs = [
+            log(0, &[(1, ts(0, 1))]),
+            log(1, &[(1, ts(0, 1))]),
+            log(2, &[]), // the missing persist
+        ];
+        let v = check(PersistencyModel::Synchronous, &h, &logs);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("n2"), "{v:?}");
+    }
+
+    #[test]
+    fn supersession_excuses_an_overlapping_obsoleted_entry() {
+        // w(0,v1) and w(1,v1) overlap; node 2 saw the larger one first
+        // and skipped the smaller — legal, a newer entry stands in.
+        let h = History {
+            ops: vec![w(0, 1, 1, 0, 100), w(1, 1, 1, 0, 100)],
+        };
+        let logs = [
+            log(0, &[(1, ts(0, 1)), (1, ts(1, 1))]),
+            log(1, &[(1, ts(1, 1))]),
+        ];
+        assert!(check(PersistencyModel::Synchronous, &h, &logs).is_empty());
+    }
+
+    #[test]
+    fn overlap_free_write_must_be_exact_despite_newer_entries() {
+        // The v1 write finished long before v2 started, so nothing can
+        // have superseded it on arrival: node 1 holding only v2 means
+        // v1's persist was skipped (the PhantomPersist signature).
+        let h = History {
+            ops: vec![w(0, 1, 1, 0, 10), w(0, 1, 2, 50, 60)],
+        };
+        let logs = [
+            log(0, &[(1, ts(0, 1)), (1, ts(0, 2))]),
+            log(1, &[(1, ts(0, 2))]),
+        ];
+        let v = check(PersistencyModel::Strict, &h, &logs);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("exact"), "{v:?}");
+    }
+
+    #[test]
+    fn crashed_nodes_are_excused_from_containment() {
+        let h = History {
+            ops: vec![w(0, 1, 1, 0, 10)],
+        };
+        let mut l2 = log(2, &[]);
+        l2.audit_exact = false;
+        let logs = [log(0, &[(1, ts(0, 1))]), log(1, &[(1, ts(0, 1))]), l2];
+        assert!(check(PersistencyModel::Synchronous, &h, &logs).is_empty());
+    }
+
+    #[test]
+    fn phantom_entries_are_flagged_under_every_model() {
+        let h = History {
+            ops: vec![w(0, 1, 1, 0, 10)],
+        };
+        let logs = [log(0, &[(1, ts(0, 1)), (1, ts(3, 9))])];
+        for model in [
+            PersistencyModel::Synchronous,
+            PersistencyModel::Eventual,
+            PersistencyModel::Scope,
+        ] {
+            let v = check(model, &h, &logs);
+            assert!(v.iter().any(|m| m.contains("phantom")), "{model:?}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn read_enforced_checks_observed_versions() {
+        let mut read = ClientOp {
+            node: NodeId(2),
+            req: 99,
+            kind: OpKind::Read,
+            key: Some(Key(1)),
+            scope: None,
+            call: 20,
+            ret: Some(30),
+            ts: Some(ts(0, 1)),
+            obsolete: false,
+        };
+        read.ts = Some(ts(0, 1));
+        let h = History {
+            ops: vec![w(0, 1, 1, 0, 10), read],
+        };
+        let logs = [log(0, &[(1, ts(0, 1))]), log(1, &[])];
+        let v = check(PersistencyModel::ReadEnforced, &h, &logs);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("ReadEnforced"), "{v:?}");
+    }
+
+    #[test]
+    fn scope_flush_covers_prior_same_origin_writes_only() {
+        let mut w1 = w(0, 1, 1, 0, 10);
+        w1.scope = Some(minos_types::ScopeId(5));
+        let mut w_other = w(1, 2, 1, 0, 10);
+        w_other.scope = Some(minos_types::ScopeId(5)); // other coordinator
+        let flush = ClientOp {
+            node: NodeId(0),
+            req: 50,
+            kind: OpKind::PersistScope,
+            key: None,
+            scope: Some(minos_types::ScopeId(5)),
+            call: 20,
+            ret: Some(40),
+            ts: None,
+            obsolete: false,
+        };
+        let h = History {
+            ops: vec![w1, w_other, flush],
+        };
+        // Node 1 persisted the scoped write; node 2 did not.
+        let logs = [
+            log(0, &[(1, ts(0, 1))]),
+            log(1, &[(1, ts(0, 1))]),
+            log(2, &[]),
+        ];
+        let v = check(PersistencyModel::Scope, &h, &logs);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("Scope durability"), "{v:?}");
+    }
+}

@@ -1,0 +1,169 @@
+//! Fast necessary-condition audits (the linearizability pre-pass).
+//!
+//! Three O(ops²) single-key conditions that every linearizable history
+//! must satisfy, ported from the threaded runtime's original audit so
+//! every harness (loopback, threaded, TCP, DES) shares them. They are
+//! *necessary but not sufficient* — the complete search lives in
+//! [`crate::linearize`] — but when they fire they produce a precise,
+//! human-readable explanation, so the torture harness runs them first.
+//!
+//! 1. **Read-from-future** — a read observed a write's timestamp even
+//!    though the write was invoked after the read completed.
+//! 2. **Stale read** — a write completed before a read was invoked, yet
+//!    the read observed an older timestamp. (MINOS applies writes by
+//!    timestamp max, so after a write completes under `Lin`, every
+//!    replica's `volatileTS` is at least its `TS_WR` — obsolete
+//!    completions included.)
+//! 3. **Non-monotone reads** — two reads of one key, the second invoked
+//!    after the first completed, observing a smaller timestamp.
+
+use crate::history::History;
+
+/// Runs the three audits; returns one message per violation found
+/// (empty = the pre-pass is satisfied).
+#[must_use]
+pub fn audit(history: &History) -> Vec<String> {
+    let mut violations = Vec::new();
+    let writes: Vec<_> = history.completed_writes().collect();
+    let reads: Vec<_> = history.completed_reads().collect();
+
+    for &(rk, observed, r) in &reads {
+        for &(wk, ts, w) in &writes {
+            if rk != wk {
+                continue;
+            }
+            // 1. Read-from-future.
+            if ts == observed && w.call > r.ret_or_inf() {
+                violations.push(format!(
+                    "read-from-future: read of {rk} on {} observed {observed} \
+                     but its write was invoked at {}ns, after the read \
+                     completed at {}ns",
+                    r.node,
+                    w.call,
+                    r.ret_or_inf(),
+                ));
+            }
+            // 2. Stale read.
+            if w.ret_or_inf() < r.call && observed < ts {
+                violations.push(format!(
+                    "stale read: write {ts} to {wk} completed at {}ns, but a \
+                     read on {} invoked later (at {}ns) observed only \
+                     {observed}",
+                    w.ret_or_inf(),
+                    r.node,
+                    r.call,
+                ));
+            }
+        }
+    }
+
+    // 3. Monotone reads.
+    for &(k1, obs1, r1) in &reads {
+        for &(k2, obs2, r2) in &reads {
+            if k1 == k2 && r1.ret_or_inf() < r2.call && obs2 < obs1 {
+                violations.push(format!(
+                    "non-monotone reads: {k1} read {obs1} on {} (done {}ns), \
+                     then a later read on {} (invoked {}ns) observed {obs2}",
+                    r1.node,
+                    r1.ret_or_inf(),
+                    r2.node,
+                    r2.call,
+                ));
+            }
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::ClientOp;
+    use minos_core::obs::OpKind;
+    use minos_types::{Key, NodeId, Ts};
+
+    fn write(node: u16, key: u64, v: u32, call: u64, ret: u64) -> ClientOp {
+        ClientOp {
+            node: NodeId(node),
+            req: call,
+            kind: OpKind::Write,
+            key: Some(Key(key)),
+            scope: None,
+            call,
+            ret: Some(ret),
+            ts: Some(Ts::new(NodeId(node), v)),
+            obsolete: false,
+        }
+    }
+
+    fn read(node: u16, key: u64, obs: Ts, call: u64, ret: u64) -> ClientOp {
+        ClientOp {
+            node: NodeId(node),
+            req: call,
+            kind: OpKind::Read,
+            key: Some(Key(key)),
+            scope: None,
+            call,
+            ret: Some(ret),
+            ts: Some(obs),
+            obsolete: false,
+        }
+    }
+
+    #[test]
+    fn clean_sequential_history_passes() {
+        let h = History {
+            ops: vec![
+                write(0, 1, 1, 0, 10),
+                read(1, 1, Ts::new(NodeId(0), 1), 20, 30),
+                write(1, 1, 2, 40, 50),
+                read(2, 1, Ts::new(NodeId(1), 2), 60, 70),
+            ],
+        };
+        assert!(audit(&h).is_empty());
+    }
+
+    #[test]
+    fn detects_planted_stale_read() {
+        let h = History {
+            ops: vec![
+                write(0, 1, 1, 0, 10),
+                write(1, 1, 2, 20, 30),
+                // Invoked at 40, after the v2 write completed, yet sees v1.
+                read(2, 1, Ts::new(NodeId(0), 1), 40, 50),
+            ],
+        };
+        let v = audit(&h);
+        assert!(
+            v.iter().any(|m| m.contains("stale read")),
+            "expected stale-read violation, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn detects_read_from_future() {
+        let h = History {
+            ops: vec![
+                read(2, 1, Ts::new(NodeId(0), 1), 0, 10),
+                write(0, 1, 1, 20, 30),
+            ],
+        };
+        let v = audit(&h);
+        assert!(v.iter().any(|m| m.contains("read-from-future")), "{v:?}");
+    }
+
+    #[test]
+    fn detects_non_monotone_reads() {
+        let h = History {
+            ops: vec![
+                write(0, 1, 1, 0, 10),
+                write(1, 1, 2, 0, 12),
+                read(2, 1, Ts::new(NodeId(1), 2), 20, 30),
+                read(2, 1, Ts::new(NodeId(0), 1), 40, 50),
+            ],
+        };
+        let v = audit(&h);
+        assert!(v.iter().any(|m| m.contains("non-monotone")), "{v:?}");
+    }
+}

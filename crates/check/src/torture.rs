@@ -1,0 +1,733 @@
+//! Seeded torture runs over the live runtimes.
+//!
+//! One *run* = one seed: derive a [`Schedule`] from the seed, stand up a
+//! fresh cluster with the schedule's message injections installed in its
+//! transport, drive concurrent client traffic (plus the schedule's
+//! crash/recovery point, keyed on completed-op count), then hand the
+//! recorded history and the end-of-run durable logs to every checker:
+//! the necessary-condition pre-pass, the complete per-key
+//! linearizability search, the model's persistency oracles, and a
+//! value-consistency sweep against what the clients actually wrote.
+//!
+//! Two drivers share the workload shape:
+//!
+//! * [`run_threaded`] — the in-process threaded cluster. The history
+//!   comes from a [`HistoryRecorder`] tapping the observability layer;
+//!   crash/recovery points are live.
+//! * [`run_tcp`] — real-socket nodes. Every node process has its own
+//!   trace epoch, so the driver records the history *client-side*
+//!   (invocation/response around each blocking call — a superset of the
+//!   true intervals, hence sound); durable logs arrive over the wire via
+//!   the `dump-durable` client op. No crashes (the TCP runtime has no
+//!   failure-detector facade), and schedules stick to delay/reorder.
+//!
+//! # Workload
+//!
+//! Every run opens with a short **warm-up**: each key is written once,
+//! sequentially, before concurrency starts. Sequential writes are
+//! overlap-free, which puts the persistency oracles in their *exact*
+//! containment form (see [`crate::persistency`]) — this is what makes
+//! the armed-fault mutation smoke deterministic: a fault that skips an
+//! INV or fakes a persist during warm-up is caught on the very first
+//! seed, whatever the chaos schedule does.
+//!
+//! After the clients join, the driver quiesces and issues a sequential
+//! **probe read of every key at every live node**. Probes enter the same
+//! history, so a replica left stale by a protocol bug fails the
+//! linearizability search even if no concurrent client read happened to
+//! catch it.
+
+use crate::history::{History, HistoryRecorder};
+use crate::persistency::NodeLog;
+use crate::schedule::{generate, shrink, Rng, Schedule, ScheduleOptions};
+use crate::{linearize, persistency, prepass};
+use minos_cluster::tcp::{TcpClient, TcpNode, TcpNodeConfig};
+use minos_cluster::Cluster;
+use minos_core::obs::{OpKind, SharedSink};
+use minos_types::{
+    ClusterConfig, DdpModel, FaultSpec, Key, MsgChaos, NodeId, PersistencyModel, ScopeId, Ts,
+};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Workload and cluster knobs for one torture campaign.
+#[derive(Debug, Clone)]
+pub struct TortureOptions {
+    /// Persistency model under test (consistency is always `Lin`).
+    pub model: PersistencyModel,
+    /// Cluster size.
+    pub nodes: u16,
+    /// Concurrent client threads.
+    pub clients: u16,
+    /// Ops per client thread (after warm-up).
+    pub ops_per_client: u32,
+    /// Key-space size (small on purpose: contention is the point).
+    pub keys: u64,
+    /// Message injections per generated schedule.
+    pub injections: u32,
+    /// Allow crash/recovery points (threaded runtime only).
+    pub allow_crash: bool,
+    /// Deliberate protocol bug to arm (mutation smoke). Ignored unless
+    /// the engines were compiled with `fault-injection`.
+    pub fault: Option<FaultSpec>,
+}
+
+impl TortureOptions {
+    /// Defaults sized so one run takes well under a second.
+    #[must_use]
+    pub fn new(model: PersistencyModel) -> Self {
+        TortureOptions {
+            model,
+            nodes: 3,
+            clients: 3,
+            ops_per_client: 15,
+            keys: 4,
+            injections: 5,
+            allow_crash: true,
+            fault: None,
+        }
+    }
+
+    /// Total client ops a run attempts (warm-up included).
+    #[must_use]
+    pub fn total_ops(&self) -> u64 {
+        self.keys + u64::from(self.clients) * u64::from(self.ops_per_client)
+    }
+
+    /// Schedule-generation knobs matching this workload.
+    #[must_use]
+    pub fn schedule_options(&self, tcp: bool) -> ScheduleOptions {
+        ScheduleOptions {
+            nodes: self.nodes,
+            injections: self.injections,
+            // Rough messages-per-op upper bound keeps injections inside
+            // the run's actual traffic.
+            max_nth: self.total_ops() * 6,
+            // The live runtimes have no retransmission: drops would
+            // wedge writes by design, so schedules stay delay/reorder.
+            kinds: vec![MsgChaos::DelayToFlush, MsgChaos::ReorderNext],
+            allow_crash: self.allow_crash && !tcp,
+            total_ops: self.total_ops(),
+        }
+    }
+}
+
+/// The outcome of one run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Every violation any checker found (empty = the run conforms).
+    pub violations: Vec<String>,
+    /// Client ops the run completed.
+    pub ops: usize,
+}
+
+/// A reproduced, shrunk failure.
+#[derive(Debug)]
+pub struct Failure {
+    /// The seed that produced the violating schedule.
+    pub seed: u64,
+    /// The greedily-shrunk schedule that still fails.
+    pub shrunk: Schedule,
+    /// The violations of the final (shrunk) reproduction run.
+    pub violations: Vec<String>,
+    /// Re-runs the shrinker spent.
+    pub shrink_runs: usize,
+}
+
+/// A whole campaign's result.
+#[derive(Debug)]
+pub struct TortureResult {
+    /// The first failure found, if any.
+    pub failure: Option<Failure>,
+    /// Seeds actually run (stops early on failure).
+    pub seeds_run: u64,
+    /// Completed ops checked across all clean runs.
+    pub ops_checked: usize,
+}
+
+/// Runs all checkers over a finished run.
+fn check_everything(
+    model: PersistencyModel,
+    history: &History,
+    logs: &[NodeLog],
+    written: &HashMap<(Key, Ts), Vec<u8>>,
+    reads: &[(Key, Ts, Vec<u8>)],
+) -> Vec<String> {
+    let mut v = prepass::audit(history);
+    v.extend(linearize::check(history));
+    v.extend(persistency::check(model, history, logs));
+    for (k, ts, got) in reads {
+        if ts.version == 0 {
+            if !got.is_empty() {
+                v.push(format!(
+                    "value violation: a read of {k} observed the initial \
+                     version yet returned {} bytes",
+                    got.len()
+                ));
+            }
+        } else if let Some(expect) = written.get(&(*k, *ts)) {
+            if got != expect {
+                v.push(format!(
+                    "value violation: read of ({k}, {ts}) returned {:?}, \
+                     but that version wrote {:?}",
+                    String::from_utf8_lossy(got),
+                    String::from_utf8_lossy(expect),
+                ));
+            }
+        }
+    }
+    v
+}
+
+/// What a client thread decides to do next.
+enum Roll {
+    Write,
+    Read,
+    Flush,
+}
+
+fn roll(rng: &mut Rng, model: PersistencyModel) -> Roll {
+    match rng.below(100) {
+        0..=54 => Roll::Write,
+        55..=92 => Roll::Read,
+        _ if model == PersistencyModel::Scope => Roll::Flush,
+        _ => Roll::Read,
+    }
+}
+
+/// Values written during a run, keyed by the protocol-assigned `(key, ts)`
+/// — the ground truth reads and the persistency oracles are audited against.
+type WrittenMap = Arc<Mutex<HashMap<(Key, Ts), Vec<u8>>>>;
+/// Reads observed during a run: `(key, observed ts, observed bytes)`.
+type ReadLog = Arc<Mutex<Vec<(Key, Ts, Vec<u8>)>>>;
+
+/// One threaded-cluster run under `schedule`.
+#[must_use]
+pub fn run_threaded(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
+    let mut cfg = ClusterConfig::cloudlab().with_nodes(opts.nodes as usize);
+    cfg.wire_latency_ns = 20_000;
+    cfg.failure_timeout_ns = 40_000_000;
+    if !schedule.injections.is_empty() {
+        cfg = cfg.with_chaos(schedule.spec());
+    }
+    if let Some(f) = opts.fault {
+        cfg = cfg.with_fault(f);
+    }
+
+    let recorder = minos_core::obs::shared(HistoryRecorder::new());
+    let sink: SharedSink = recorder.clone();
+    let cluster = Arc::new(Cluster::spawn_observed(
+        cfg,
+        DdpModel::lin(opts.model),
+        vec![sink],
+    ));
+
+    let written: WrittenMap = Arc::new(Mutex::new(HashMap::new()));
+    let reads: ReadLog = Arc::new(Mutex::new(Vec::new()));
+    let mut violations = Vec::new();
+
+    // Warm-up: one sequential, overlap-free write per key.
+    for k in 0..opts.keys {
+        let node = NodeId((k % u64::from(opts.nodes)) as u16);
+        let value = format!("warmup-k{k}").into_bytes();
+        match cluster.put(node, Key(k), value.clone().into()) {
+            Ok(ts) => {
+                written.lock().unwrap().insert((Key(k), ts), value);
+            }
+            Err(e) => violations.push(format!("warm-up write of k{k} via {node} failed: {e}")),
+        }
+    }
+
+    let paused = AtomicBool::new(false);
+    let done_clients = AtomicU32::new(0);
+
+    std::thread::scope(|s| {
+        for c in 0..opts.clients {
+            let cluster = Arc::clone(&cluster);
+            let written = Arc::clone(&written);
+            let reads = Arc::clone(&reads);
+            let paused = &paused;
+            let done_clients = &done_clients;
+            let opts = &*opts;
+            let seed = schedule.seed;
+            s.spawn(move || {
+                let mut rng = Rng::new(seed ^ (0xC1E27 + u64::from(c) * 0x9E3779B9));
+                // Scope-model clients pin their coordinator: scopes are
+                // registered per (origin, sc), so the flush must go
+                // through the node that coordinated the scoped writes.
+                let pinned = NodeId(c % opts.nodes);
+                let scope = ScopeId(u32::from(c));
+                for i in 0..opts.ops_per_client {
+                    while paused.load(Ordering::Acquire) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    let node = if opts.model == PersistencyModel::Scope {
+                        pinned
+                    } else {
+                        NodeId(rng.below(u64::from(opts.nodes)) as u16)
+                    };
+                    let key = Key(rng.below(opts.keys));
+                    match roll(&mut rng, opts.model) {
+                        Roll::Write => {
+                            let value = format!("s{seed:x}-c{c}-i{i}").into_bytes();
+                            let sc = (opts.model == PersistencyModel::Scope && rng.chance(2, 3))
+                                .then_some(scope);
+                            if let Ok(ts) = cluster.put_scoped(node, key, value.clone().into(), sc)
+                            {
+                                written.lock().unwrap().insert((key, ts), value);
+                            }
+                            // Errors (crashed coordinator, wedged write)
+                            // leave a pending op in the history.
+                        }
+                        Roll::Read => {
+                            if let Ok((v, ts)) = cluster.get_versioned(node, key) {
+                                reads.lock().unwrap().push((key, ts, v.as_ref().to_vec()));
+                            }
+                        }
+                        Roll::Flush => {
+                            let _ = cluster.persist_scope(pinned, scope);
+                        }
+                    }
+                }
+                done_clients.fetch_add(1, Ordering::Release);
+            });
+        }
+
+        // The driver doubles as the crash controller, keyed on protocol
+        // progress so schedules replay stably.
+        if let Some(cp) = schedule.crash {
+            let crash_node = NodeId(cp.node % opts.nodes);
+            let all_done = || done_clients.load(Ordering::Acquire) >= u32::from(opts.clients);
+            let completed = || recorder.lock().unwrap().completed_count() as u64;
+            while completed() < cp.after_ops && !all_done() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            cluster.crash_node(crash_node);
+            if !cluster.await_failure_detection(crash_node, Duration::from_secs(5)) {
+                violations.push(format!("failure detection never reported {crash_node}"));
+            }
+            if let Some(after) = cp.recover_after_ops {
+                while completed() < after && !all_done() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                // Quiesce before the log ships: recovery replicates the
+                // *donor's durable log*, so in-flight writes (and, under
+                // the background-persist models, persists still in the
+                // device) must land first or the rejoiner would serve
+                // genuinely stale data.
+                paused.store(true, Ordering::Release);
+                let deadline = Instant::now() + Duration::from_secs(2);
+                while recorder
+                    .lock()
+                    .unwrap()
+                    .snapshot()
+                    .ops
+                    .iter()
+                    .any(|o| !o.is_complete() && o.node != crash_node)
+                    && Instant::now() < deadline
+                {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                std::thread::sleep(Duration::from_millis(25));
+                let donor = NodeId(if crash_node.0 == 0 { 1 } else { 0 });
+                if let Err(e) = cluster.recover_node(crash_node, donor) {
+                    violations.push(format!("recovery of {crash_node} from {donor} failed: {e}"));
+                }
+                paused.store(false, Ordering::Release);
+            }
+        }
+    });
+
+    // Post-run: if the schedule crashed without recovering, recover now
+    // anyway — the recovery machinery is part of what's under test, and
+    // the probe pass below then audits the rejoiner too.
+    let mut ever_crashed: Option<NodeId> = None;
+    if let Some(cp) = schedule.crash {
+        let crash_node = NodeId(cp.node % opts.nodes);
+        ever_crashed = Some(crash_node);
+        if cp.recover_after_ops.is_none() {
+            std::thread::sleep(Duration::from_millis(25));
+            let donor = NodeId(if crash_node.0 == 0 { 1 } else { 0 });
+            if let Err(e) = cluster.recover_node(crash_node, donor) {
+                violations.push(format!(
+                    "post-run recovery of {crash_node} from {donor} failed: {e}"
+                ));
+            }
+        }
+    }
+
+    // Probe pass: sequential reads of every key at every node, entering
+    // the same history (they are real client ops).
+    std::thread::sleep(Duration::from_millis(10));
+    for k in 0..opts.keys {
+        for n in 0..opts.nodes {
+            if let Ok((v, ts)) = cluster.get_versioned(NodeId(n), Key(k)) {
+                reads
+                    .lock()
+                    .unwrap()
+                    .push((Key(k), ts, v.as_ref().to_vec()));
+            }
+        }
+    }
+
+    // Durable-log snapshots (crashed nodes included: NVM survives).
+    let mut logs = Vec::new();
+    for n in 0..opts.nodes {
+        let node = NodeId(n);
+        match cluster.durable_log(node) {
+            Ok(entries) => logs.push(NodeLog {
+                node,
+                entries: entries.iter().map(|e| (e.key, e.ts)).collect(),
+                audit_exact: ever_crashed != Some(node),
+            }),
+            Err(e) => violations.push(format!("durable-log snapshot of {node} failed: {e}")),
+        }
+    }
+
+    let history = recorder.lock().unwrap().snapshot();
+    let ops = history.ops.iter().filter(|o| o.is_complete()).count();
+    violations.extend(check_everything(
+        opts.model,
+        &history,
+        &logs,
+        &written.lock().unwrap(),
+        &reads.lock().unwrap(),
+    ));
+
+    match Arc::try_unwrap(cluster) {
+        Ok(cl) => cl.shutdown(),
+        Err(_) => unreachable!("all client threads joined"),
+    }
+    RunReport { violations, ops }
+}
+
+/// One TCP-cluster run under `schedule` (message injections only).
+#[must_use]
+pub fn run_tcp(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
+    let n = opts.nodes as usize;
+    let nodes = bind_tcp_cluster(n, schedule, opts);
+    let client_addrs: Vec<_> = nodes.iter().map(TcpNode::client_addr).collect();
+
+    let epoch = Instant::now();
+    let now_ns = move || u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let history: Arc<Mutex<Vec<crate::history::ClientOp>>> = Arc::new(Mutex::new(Vec::new()));
+    let written: WrittenMap = Arc::new(Mutex::new(HashMap::new()));
+    let reads: ReadLog = Arc::new(Mutex::new(Vec::new()));
+    let mut violations = Vec::new();
+
+    let record = |h: &Mutex<Vec<crate::history::ClientOp>>, op: crate::history::ClientOp| {
+        h.lock().unwrap().push(op);
+    };
+
+    // Warm-up, sequential and overlap-free.
+    {
+        let mut conn = TcpClient::connect(client_addrs[0]).expect("connect");
+        let mut conns: Vec<Option<TcpClient>> = Vec::new();
+        conns.resize_with(n, || None);
+        for k in 0..opts.keys {
+            let ni = (k % u64::from(opts.nodes)) as usize;
+            let conn = if ni == 0 {
+                &mut conn
+            } else {
+                conns[ni]
+                    .get_or_insert_with(|| TcpClient::connect(client_addrs[ni]).expect("connect"))
+            };
+            let value = format!("warmup-k{k}").into_bytes();
+            let call = now_ns();
+            match conn.put(Key(k), &value, None) {
+                Ok(ts) => {
+                    record(
+                        &history,
+                        write_op(NodeId(ni as u16), call, Some(now_ns()), Key(k), Some(ts)),
+                    );
+                    written.lock().unwrap().insert((Key(k), ts), value);
+                }
+                Err(e) => violations.push(format!("tcp warm-up write of k{k} failed: {e}")),
+            }
+        }
+    }
+
+    std::thread::scope(|s| {
+        for c in 0..opts.clients {
+            let history = Arc::clone(&history);
+            let written = Arc::clone(&written);
+            let reads = Arc::clone(&reads);
+            let client_addrs = client_addrs.clone();
+            let opts = &*opts;
+            let seed = schedule.seed;
+            s.spawn(move || {
+                let mut conns: Vec<TcpClient> = client_addrs
+                    .iter()
+                    .map(|&a| TcpClient::connect(a).expect("connect"))
+                    .collect();
+                let mut rng = Rng::new(seed ^ (0x7C11 + u64::from(c) * 0x9E3779B9));
+                let pinned = usize::from(c % opts.nodes);
+                let scope = ScopeId(u32::from(c));
+                for i in 0..opts.ops_per_client {
+                    let ni = if opts.model == PersistencyModel::Scope {
+                        pinned
+                    } else {
+                        rng.below(u64::from(opts.nodes)) as usize
+                    };
+                    let key = Key(rng.below(opts.keys));
+                    match roll(&mut rng, opts.model) {
+                        Roll::Write => {
+                            let value = format!("s{seed:x}-c{c}-i{i}").into_bytes();
+                            let sc = (opts.model == PersistencyModel::Scope && rng.chance(2, 3))
+                                .then_some(scope);
+                            let call = now_ns();
+                            match conns[ni].put(key, &value, sc) {
+                                Ok(ts) => {
+                                    let mut op = write_op(
+                                        NodeId(ni as u16),
+                                        call,
+                                        Some(now_ns()),
+                                        key,
+                                        Some(ts),
+                                    );
+                                    op.scope = sc;
+                                    history.lock().unwrap().push(op);
+                                    written.lock().unwrap().insert((key, ts), value);
+                                }
+                                Err(_) => {
+                                    history.lock().unwrap().push(write_op(
+                                        NodeId(ni as u16),
+                                        call,
+                                        None,
+                                        key,
+                                        None,
+                                    ));
+                                }
+                            }
+                        }
+                        Roll::Read => {
+                            let call = now_ns();
+                            if let Ok((v, ts)) = conns[ni].get_versioned(key) {
+                                history.lock().unwrap().push(read_op(
+                                    NodeId(ni as u16),
+                                    call,
+                                    now_ns(),
+                                    key,
+                                    ts,
+                                ));
+                                reads.lock().unwrap().push((key, ts, v));
+                            }
+                        }
+                        Roll::Flush => {
+                            let call = now_ns();
+                            if conns[pinned].persist_scope(scope).is_ok() {
+                                history.lock().unwrap().push(crate::history::ClientOp {
+                                    node: NodeId(pinned as u16),
+                                    req: call,
+                                    kind: OpKind::PersistScope,
+                                    key: None,
+                                    scope: Some(scope),
+                                    call,
+                                    ret: Some(now_ns()),
+                                    ts: None,
+                                    obsolete: false,
+                                });
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // Probe pass + durable dumps.
+    let mut logs = Vec::new();
+    for (ni, &addr) in client_addrs.iter().enumerate() {
+        match TcpClient::connect(addr) {
+            Ok(mut conn) => {
+                for k in 0..opts.keys {
+                    let call = now_ns();
+                    if let Ok((v, ts)) = conn.get_versioned(Key(k)) {
+                        record(
+                            &history,
+                            read_op(NodeId(ni as u16), call, now_ns(), Key(k), ts),
+                        );
+                        reads.lock().unwrap().push((Key(k), ts, v));
+                    }
+                }
+                match conn.dump_durable() {
+                    Ok(entries) => logs.push(NodeLog {
+                        node: NodeId(ni as u16),
+                        entries: entries.iter().map(|e| (e.key, e.ts)).collect(),
+                        audit_exact: true,
+                    }),
+                    Err(e) => violations.push(format!("tcp durable dump of n{ni} failed: {e}")),
+                }
+            }
+            Err(e) => violations.push(format!("tcp probe connect to n{ni} failed: {e}")),
+        }
+    }
+
+    let history = History {
+        ops: std::mem::take(&mut *history.lock().unwrap()),
+    };
+    let ops = history.ops.iter().filter(|o| o.is_complete()).count();
+    violations.extend(check_everything(
+        opts.model,
+        &history,
+        &logs,
+        &written.lock().unwrap(),
+        &reads.lock().unwrap(),
+    ));
+
+    for node in nodes {
+        node.shutdown();
+    }
+    RunReport { violations, ops }
+}
+
+fn write_op(
+    node: NodeId,
+    call: u64,
+    ret: Option<u64>,
+    key: Key,
+    ts: Option<Ts>,
+) -> crate::history::ClientOp {
+    crate::history::ClientOp {
+        node,
+        req: call,
+        kind: OpKind::Write,
+        key: Some(key),
+        scope: None,
+        call,
+        ret,
+        ts,
+        obsolete: false,
+    }
+}
+
+fn read_op(node: NodeId, call: u64, ret: u64, key: Key, ts: Ts) -> crate::history::ClientOp {
+    crate::history::ClientOp {
+        node,
+        req: call,
+        kind: OpKind::Read,
+        key: Some(key),
+        scope: None,
+        call,
+        ret: Some(ret),
+        ts: Some(ts),
+        obsolete: false,
+    }
+}
+
+/// Brings up an in-process TCP cluster on fresh ports. All probe
+/// listeners are held simultaneously before any port is reused (a
+/// sequentially probed port can be handed right back by the kernel), and
+/// the whole bind phase retries on a collision — a port released by a
+/// probe can still be grabbed by another process between probe and bind.
+fn bind_tcp_cluster(n: usize, schedule: &Schedule, opts: &TortureOptions) -> Vec<TcpNode> {
+    'attempt: for _ in 0..16 {
+        let probes: Vec<std::net::TcpListener> = (0..2 * n)
+            .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("probe port"))
+            .collect();
+        let addrs: Vec<std::net::SocketAddr> =
+            probes.iter().map(|l| l.local_addr().unwrap()).collect();
+        drop(probes);
+        let (peers, client_addrs) = addrs.split_at(n);
+        let mut nodes = Vec::with_capacity(n);
+        for (i, &client_addr) in client_addrs.iter().enumerate() {
+            match TcpNode::serve(TcpNodeConfig {
+                node: NodeId(i as u16),
+                model: DdpModel::lin(opts.model),
+                peers: peers.to_vec(),
+                client_addr,
+                persist_ns_per_kb: 1295,
+                batching: false,
+                broadcast: false,
+                trace_out: None,
+                metrics_out: None,
+                chaos: (!schedule.injections.is_empty()).then(|| schedule.spec()),
+                fault: opts.fault,
+            }) {
+                Ok(node) => nodes.push(node),
+                Err(_) => {
+                    for node in nodes {
+                        node.shutdown();
+                    }
+                    continue 'attempt;
+                }
+            }
+        }
+        return nodes;
+    }
+    panic!("could not bind a TCP cluster after 16 attempts");
+}
+
+/// Runs `count` seeds starting at `start`, stopping (and shrinking) on
+/// the first violation. `verbose` prints per-seed progress to stdout —
+/// the `minos-torture` binary's output.
+pub fn torture<R>(
+    start: u64,
+    count: u64,
+    opts: &TortureOptions,
+    tcp: bool,
+    runner: R,
+    verbose: bool,
+) -> TortureResult
+where
+    R: Fn(&Schedule, &TortureOptions) -> RunReport,
+{
+    let sched_opts = opts.schedule_options(tcp);
+    let mut ops_checked = 0;
+    for i in 0..count {
+        let seed = start.wrapping_add(i);
+        let schedule = generate(seed, &sched_opts);
+        let report = runner(&schedule, opts);
+        if report.violations.is_empty() {
+            ops_checked += report.ops;
+            if verbose {
+                println!(
+                    "seed {seed:#018x} {model:?}: ok ({ops} ops, {w} injections{crash})",
+                    model = opts.model,
+                    ops = report.ops,
+                    w = schedule.injections.len(),
+                    crash = if schedule.crash.is_some() {
+                        ", crash"
+                    } else {
+                        ""
+                    },
+                );
+            }
+            continue;
+        }
+        if verbose {
+            println!(
+                "seed {seed:#018x} {model:?}: VIOLATION — shrinking…",
+                model = opts.model
+            );
+            for v in &report.violations {
+                println!("  {v}");
+            }
+        }
+        let (shrunk, shrink_runs) =
+            shrink(&schedule, |s| !runner(s, opts).violations.is_empty(), 40);
+        let final_report = runner(&shrunk, opts);
+        let violations = if final_report.violations.is_empty() {
+            report.violations
+        } else {
+            final_report.violations
+        };
+        return TortureResult {
+            failure: Some(Failure {
+                seed,
+                shrunk,
+                violations,
+                shrink_runs,
+            }),
+            seeds_run: i + 1,
+            ops_checked,
+        };
+    }
+    TortureResult {
+        failure: None,
+        seeds_run: count,
+        ops_checked,
+    }
+}

@@ -71,6 +71,8 @@ fn main() {
         broadcast,
         trace_out,
         metrics_out,
+        chaos: None,
+        fault: None,
     };
     let server = TcpNode::serve(cfg).expect("bind node");
     eprintln!(

@@ -6,6 +6,7 @@ use crossbeam::channel::{bounded, unbounded, Sender};
 use minos_core::obs::{SharedSink, TraceClock, Tracer};
 use minos_core::runtime::{DispatchStats, TransportCounters};
 use minos_core::{Event, ReqId};
+use minos_nvm::LogEntry;
 use minos_types::{ClusterConfig, DdpModel, Key, MinosError, NodeId, Result, ScopeId, Ts, Value};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -141,9 +142,14 @@ impl Cluster {
             .tx
             .send(NodeMsg::Ev(build(req)))
             .map_err(|_| MinosError::Shutdown)?;
-        rx.recv_timeout(Duration::from_secs(10)).map_err(|_| {
+        rx.recv_timeout(Duration::from_secs(10)).map_err(|err| {
             self.completions.lock().remove(&req);
-            MinosError::Shutdown
+            match err {
+                // The coordinator crashed with this op in flight and
+                // severed the reply channel (see `NodeMsg::Crash`).
+                crossbeam::channel::RecvTimeoutError::Disconnected => MinosError::NodeFailed(node),
+                crossbeam::channel::RecvTimeoutError::Timeout => MinosError::Shutdown,
+            }
         })
     }
 
@@ -291,6 +297,31 @@ impl Cluster {
         }
         self.failed.lock()[node.0 as usize] = false;
         Ok(())
+    }
+
+    /// Snapshots `node`'s durable log — every record persisted to its
+    /// emulated NVM, in LSN order. Works on *crashed* nodes too (the log
+    /// survives the crash), which is what lets the conformance checkers
+    /// audit post-crash durability without recovering the node first.
+    ///
+    /// # Errors
+    ///
+    /// [`MinosError::UnknownNode`] for an out-of-range node;
+    /// [`MinosError::Shutdown`] if the node thread is gone.
+    pub fn durable_log(&self, node: NodeId) -> Result<Vec<LogEntry>> {
+        let nt = self
+            .nodes
+            .get(node.0 as usize)
+            .ok_or(MinosError::UnknownNode(node))?;
+        let (tx, rx) = bounded(1);
+        nt.tx
+            .send(NodeMsg::ShipLog {
+                since: 0,
+                reply: tx,
+            })
+            .map_err(|_| MinosError::Shutdown)?;
+        rx.recv_timeout(Duration::from_secs(10))
+            .map_err(|_| MinosError::Shutdown)
     }
 
     /// The configuration this cluster runs with.

@@ -11,13 +11,14 @@ use crate::timer::Scheduler;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use minos_core::obs::Tracer;
 use minos_core::runtime::{
-    ActionSink, BatchPolicy, Batched, DispatchStats, Dispatcher, FrameTransport, TransportCounters,
+    ActionSink, BatchPolicy, Batched, ChaosNet, ChaosState, DispatchStats, Dispatcher,
+    FrameTransport, TransportCounters,
 };
 use minos_core::{DelayClass, Event, NodeEngine, ReqId};
 use minos_kv::DurableState;
 use minos_nvm::LogEntry;
 use minos_types::{ClusterConfig, DdpModel, Key, Message, NodeId, Ts, Value};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -98,9 +99,18 @@ pub(crate) fn spawn_node(
         .spawn(move || {
             let mut dispatcher = Dispatcher::new();
             dispatcher.set_tracer(tracer);
+            #[allow(unused_mut)]
+            let mut engine = NodeEngine::new(node, cfg.nodes, model);
+            #[cfg(feature = "fault-injection")]
+            if let Some(f) = cfg.fault {
+                if f.node == node.0 {
+                    engine.arm_fault(f.kind);
+                }
+            }
+            let chaos = cfg.chaos.as_ref().map(|spec| ChaosState::new(spec, node));
             NodeLoop {
                 node,
-                engine: NodeEngine::new(node, cfg.nodes, model),
+                engine,
                 dispatcher,
                 counters: TransportCounters::default(),
                 durable: DurableState::with_persist_latency(cfg.nvm_persist_ns_per_kb),
@@ -112,6 +122,8 @@ pub(crate) fn spawn_node(
                 failure_tx,
                 last_seen: HashMap::new(),
                 crashed: false,
+                inflight: HashSet::new(),
+                chaos,
             }
             .run();
         })
@@ -136,6 +148,13 @@ struct NodeLoop {
     failure_tx: Sender<NodeId>,
     last_seen: HashMap<NodeId, Instant>,
     crashed: bool,
+    /// Client requests admitted here and not yet completed. Severed (reply
+    /// senders dropped) on [`NodeMsg::Crash`] so blocked `Cluster::submit`
+    /// callers observe the crash immediately instead of timing out.
+    inflight: HashSet<ReqId>,
+    /// Seeded chaos bookkeeping (`ClusterConfig::chaos`); persists across
+    /// dispatches so injection indices count whole-run outbound traffic.
+    chaos: Option<ChaosState>,
 }
 
 /// The crossbeam-cluster dispatch handler: frames ride the delay wheel,
@@ -147,10 +166,12 @@ struct NodeHandler<'a> {
     scheduler: &'a Scheduler<NodeMsg>,
     durable: &'a mut DurableState,
     completions: &'a CompletionMap,
+    inflight: &'a mut HashSet<ReqId>,
 }
 
 impl NodeHandler<'_> {
-    fn complete(&self, req: ReqId, outcome: Outcome) {
+    fn complete(&mut self, req: ReqId, outcome: Outcome) {
+        self.inflight.remove(&req);
         if let Some(tx) = self.completions.lock().remove(&req) {
             let _ = tx.send(outcome);
         }
@@ -237,6 +258,15 @@ impl NodeLoop {
                 }
                 Ok(NodeMsg::Crash) => {
                     self.crashed = true;
+                    // A crash loses every op this coordinator had in
+                    // flight: drop their reply senders so the blocked
+                    // clients fail fast rather than waiting out the
+                    // submit timeout. (The completion map is shared by
+                    // all nodes, so only our own requests are removed.)
+                    let mut map = self.completions.lock();
+                    for req in self.inflight.drain() {
+                        map.remove(&req);
+                    }
                 }
                 Ok(NodeMsg::Revive { entries, done }) => {
                     self.revive(&entries);
@@ -245,9 +275,26 @@ impl NodeLoop {
                 Ok(NodeMsg::QueryStats { reply }) => {
                     let _ = reply.send((*self.dispatcher.stats(), self.counters));
                 }
+                Ok(NodeMsg::ShipLog { since, reply }) => {
+                    // Served even while crashed: the log lives in NVM,
+                    // which survives the crash — this is what makes both
+                    // recovery and post-crash durability audits possible.
+                    let _ = reply.send(self.durable.entries_since(since));
+                }
                 Ok(msg) if self.crashed => {
-                    // A crashed node silently drains its inbox.
-                    drop(msg);
+                    // A crashed node silently drains its inbox — but a
+                    // client op racing the crash (sent before the failed
+                    // flag was visible) must still fail fast, so its
+                    // reply sender is dropped here just as `Crash` does
+                    // for ops already admitted.
+                    if let NodeMsg::Ev(
+                        Event::ClientWrite { req, .. }
+                        | Event::ClientRead { req, .. }
+                        | Event::ClientPersistScope { req, .. },
+                    ) = msg
+                    {
+                        self.completions.lock().remove(&req);
+                    }
                 }
                 Ok(NodeMsg::Ev(ev)) => self.handle_event(ev),
                 Ok(NodeMsg::Frame { from, msgs }) => {
@@ -257,9 +304,6 @@ impl NodeLoop {
                 }
                 Ok(NodeMsg::Heartbeat { from }) => {
                     self.last_seen.insert(from, Instant::now());
-                }
-                Ok(NodeMsg::ShipLog { since, reply }) => {
-                    let _ = reply.send(self.durable.entries_since(since));
                 }
                 Ok(NodeMsg::PeerFailed { node }) => {
                     self.engine.mark_failed(node);
@@ -272,13 +316,19 @@ impl NodeLoop {
                             scheduler: &self.scheduler,
                             durable: &mut self.durable,
                             completions: &self.completions,
+                            inflight: &mut self.inflight,
                         },
                         BatchPolicy {
                             batching: self.cfg.batching,
                             broadcast: self.cfg.broadcast,
                         },
                     );
-                    self.dispatcher.run_actions(&self.engine, out, &mut handler);
+                    if let Some(chaos) = self.chaos.as_mut() {
+                        let mut net = ChaosNet::new(&mut handler, chaos);
+                        self.dispatcher.run_actions(&self.engine, out, &mut net);
+                    } else {
+                        self.dispatcher.run_actions(&self.engine, out, &mut handler);
+                    }
                     let (_, c) = handler.into_parts();
                     self.counters.merge(&c);
                 }
@@ -320,6 +370,14 @@ impl NodeLoop {
     }
 
     fn handle_event(&mut self, ev: Event) {
+        match &ev {
+            Event::ClientWrite { req, .. }
+            | Event::ClientRead { req, .. }
+            | Event::ClientPersistScope { req, .. } => {
+                self.inflight.insert(*req);
+            }
+            _ => {}
+        }
         let mut handler = Batched::new(
             NodeHandler {
                 node: self.node,
@@ -327,13 +385,22 @@ impl NodeLoop {
                 scheduler: &self.scheduler,
                 durable: &mut self.durable,
                 completions: &self.completions,
+                inflight: &mut self.inflight,
             },
             BatchPolicy {
                 batching: self.cfg.batching,
                 broadcast: self.cfg.broadcast,
             },
         );
-        self.dispatcher.dispatch(&mut self.engine, ev, &mut handler);
+        if let Some(chaos) = self.chaos.as_mut() {
+            // Chaos sits *above* batching so injection indices count
+            // protocol messages, not frames — schedules replay the same
+            // whatever the NIC capabilities.
+            let mut net = ChaosNet::new(&mut handler, chaos);
+            self.dispatcher.dispatch(&mut self.engine, ev, &mut net);
+        } else {
+            self.dispatcher.dispatch(&mut self.engine, ev, &mut handler);
+        }
         let (_, c) = handler.into_parts();
         self.counters.merge(&c);
     }

@@ -18,18 +18,24 @@
 //!   carries one message without batching and a whole dispatch's worth
 //!   with it
 //! * **client → node**: `[u8 op][u64 client-req][op payload]` where op is
-//!   1=put `[key][scope_opt][value]`, 2=get `[key]`, 3=persist `[scope]`
+//!   1=put `[key][scope_opt][value]`, 2=get `[key]`, 3=persist `[scope]`,
+//!   4=dump-durable (no payload; audit surface, served off the protocol
+//!   path)
 //! * **node → client**: `[u64 client-req][u8 status][payload]` — status
-//!   1=write-done `[ts]`, 2=read-done `[ts][value]`, 3=persist-done, 0=error
+//!   1=write-done `[ts]`, 2=read-done `[ts][value]`, 3=persist-done,
+//!   4=durable-log dump `[u32 count]` + entries, 0=error
 
 use crate::timer::{Scheduler, TimerWheel};
 use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
 use minos_core::obs::{self, HistogramSet, JsonlWriter, MetricsSink, TraceClock, Tracer};
-use minos_core::runtime::{ActionSink, BatchPolicy, Batched, Dispatcher, FrameTransport};
+use minos_core::runtime::{
+    ActionSink, BatchPolicy, Batched, ChaosNet, ChaosState, Dispatcher, FrameTransport,
+};
 use minos_core::{DelayClass, Event, NodeEngine, ReqId};
 use minos_kv::DurableState;
+use minos_nvm::LogEntry;
 use minos_types::wire::{decode_peer_frame, encode_peer_frame};
-use minos_types::{DdpModel, Key, Message, NodeId, ScopeId, Ts, Value};
+use minos_types::{ChaosSpec, DdpModel, FaultSpec, Key, Message, NodeId, ScopeId, Ts, Value};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -68,6 +74,15 @@ pub struct TcpNodeConfig {
     /// Prometheus text exposition format, once per second and at
     /// shutdown (the `minos-noded --metrics-out` flag).
     pub metrics_out: Option<PathBuf>,
+    /// Deterministic message-level chaos schedule applied to this node's
+    /// outbound protocol traffic (`None` = no chaos). Torture schedules
+    /// for the TCP runtime stick to delay/reorder — a dropped message is
+    /// permanent here and the client protocol has no retry.
+    pub chaos: Option<ChaosSpec>,
+    /// Deliberate protocol bug to arm (`None` = correct protocol). Only
+    /// honored when built with the `fault-injection` feature; silently
+    /// ignored otherwise.
+    pub fault: Option<FaultSpec>,
 }
 
 enum In {
@@ -90,6 +105,10 @@ enum ClientOp {
     Persist {
         scope: ScopeId,
     },
+    /// Durability audit: dump the node's NVM log (op 4). Served directly
+    /// by the node loop, off the protocol path — the wire analogue of the
+    /// threaded cluster's log-shipping snapshot.
+    DumpDurable,
 }
 
 /// Handle to a running TCP node (its threads stop on [`TcpNode::shutdown`]
@@ -206,7 +225,18 @@ impl TcpNode {
         let engine_thread = std::thread::Builder::new()
             .name(format!("minos-tcp-engine-{}", cfg.node))
             .spawn(move || {
+                #[allow(unused_mut)]
                 let mut engine = NodeEngine::new(cfg.node, cfg.peers.len(), cfg.model);
+                #[cfg(feature = "fault-injection")]
+                if let Some(f) = cfg.fault {
+                    if f.node == cfg.node.0 {
+                        engine.arm_fault(f.kind);
+                    }
+                }
+                let mut chaos = cfg
+                    .chaos
+                    .as_ref()
+                    .map(|spec| ChaosState::new(spec, cfg.node));
                 let mut dispatcher = Dispatcher::new();
 
                 // Observability: JSONL trace + per-op latency histograms,
@@ -275,6 +305,21 @@ impl TcpNode {
                             events.push(Event::PersistDone { key, ts });
                         }
                         In::Local(ev) => events.push(ev),
+                        In::Client {
+                            conn,
+                            creq,
+                            op: ClientOp::DumpDurable,
+                        } => {
+                            let mut body = creq.to_le_bytes().to_vec();
+                            body.push(4);
+                            encode_log_dump(&durable.entries_since(0), &mut body);
+                            let mut writers = client_writers.lock();
+                            if let Some(s) = writers.get_mut(&conn) {
+                                if write_frame(s, &body).is_err() {
+                                    writers.remove(&conn);
+                                }
+                            }
+                        }
                         In::Client { conn, creq, op } => {
                             let req = ReqId(next_req);
                             next_req += 1;
@@ -290,6 +335,7 @@ impl TcpNode {
                                 ClientOp::Persist { scope } => {
                                     Event::ClientPersistScope { scope, req }
                                 }
+                                ClientOp::DumpDurable => unreachable!("handled above"),
                             });
                         }
                     }
@@ -307,7 +353,14 @@ impl TcpNode {
                             },
                             policy,
                         );
-                        dispatcher.dispatch(&mut engine, ev, &mut handler);
+                        if let Some(chaos) = chaos.as_mut() {
+                            // Chaos above batching: injection indices count
+                            // protocol messages, not frames.
+                            let mut net = ChaosNet::new(&mut handler, chaos);
+                            dispatcher.dispatch(&mut engine, ev, &mut net);
+                        } else {
+                            dispatcher.dispatch(&mut engine, ev, &mut handler);
+                        }
                     }
                     if Instant::now() >= next_dump {
                         dump_metrics(&hists);
@@ -517,9 +570,60 @@ fn parse_client_request(frame: &[u8]) -> Option<(u64, ClientOp)> {
                 scope: ScopeId(u32::from_le_bytes(rest.try_into().ok()?)),
             }
         }
+        4 => {
+            if !rest.is_empty() {
+                return None;
+            }
+            ClientOp::DumpDurable
+        }
         _ => return None,
     };
     Some((creq, parsed))
+}
+
+/// Encodes a durable-log dump: `[u32 count]` then, per entry,
+/// `[u64 lsn][u64 key][u32 ts_version][u16 ts_node][u32 len][value]`.
+fn encode_log_dump(entries: &[LogEntry], body: &mut Vec<u8>) {
+    body.extend_from_slice(
+        &u32::try_from(entries.len())
+            .unwrap_or(u32::MAX)
+            .to_le_bytes(),
+    );
+    for e in entries {
+        body.extend_from_slice(&e.lsn.to_le_bytes());
+        body.extend_from_slice(&e.key.0.to_le_bytes());
+        body.extend_from_slice(&e.ts.version.to_le_bytes());
+        body.extend_from_slice(&e.ts.node.0.to_le_bytes());
+        body.extend_from_slice(
+            &u32::try_from(e.value.len())
+                .unwrap_or(u32::MAX)
+                .to_le_bytes(),
+        );
+        body.extend_from_slice(&e.value);
+    }
+}
+
+/// Decodes [`encode_log_dump`] output; `None` on malformed payloads.
+fn decode_log_dump(mut rest: &[u8]) -> Option<Vec<LogEntry>> {
+    let count = u32::from_le_bytes(rest.get(..4)?.try_into().ok()?) as usize;
+    rest = &rest[4..];
+    let mut entries = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let lsn = u64::from_le_bytes(rest.get(..8)?.try_into().ok()?);
+        let key = Key(u64::from_le_bytes(rest.get(8..16)?.try_into().ok()?));
+        let version = u32::from_le_bytes(rest.get(16..20)?.try_into().ok()?);
+        let node = NodeId(u16::from_le_bytes(rest.get(20..22)?.try_into().ok()?));
+        let len = u32::from_le_bytes(rest.get(22..26)?.try_into().ok()?) as usize;
+        let value = Value::copy_from_slice(rest.get(26..26 + len)?);
+        rest = &rest[26 + len..];
+        entries.push(LogEntry {
+            lsn,
+            key,
+            ts: Ts { version, node },
+            value,
+        });
+    }
+    Some(entries)
 }
 
 /// A synchronous client for the TCP node protocol.
@@ -589,6 +693,16 @@ impl TcpClient {
     ///
     /// Propagates socket errors and malformed responses.
     pub fn get(&mut self, key: Key) -> std::io::Result<Vec<u8>> {
+        self.get_versioned(key).map(|(v, _)| v)
+    }
+
+    /// Reads `key` and also reports the version (`volatileTS`) observed —
+    /// what the linearizability checkers need from a TCP history.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses.
+    pub fn get_versioned(&mut self, key: Key) -> std::io::Result<(Vec<u8>, Ts)> {
         let creq = self.fresh();
         let mut body = vec![2u8];
         body.extend_from_slice(&creq.to_le_bytes());
@@ -597,7 +711,26 @@ impl TcpClient {
         if resp[8] != 2 || resp.len() < 15 {
             return Err(std::io::Error::other("unexpected get response"));
         }
-        Ok(resp[15..].to_vec())
+        let version = u32::from_le_bytes(resp[9..13].try_into().unwrap());
+        let node = NodeId(u16::from_le_bytes(resp[13..15].try_into().unwrap()));
+        Ok((resp[15..].to_vec(), Ts { version, node }))
+    }
+
+    /// Dumps the connected node's durable log (op 4) — the post-crash
+    /// durability audit surface of the TCP runtime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses.
+    pub fn dump_durable(&mut self) -> std::io::Result<Vec<LogEntry>> {
+        let creq = self.fresh();
+        let mut body = vec![4u8];
+        body.extend_from_slice(&creq.to_le_bytes());
+        let resp = self.roundtrip(body)?;
+        if resp[8] != 4 {
+            return Err(std::io::Error::other("unexpected dump response"));
+        }
+        decode_log_dump(&resp[9..]).ok_or_else(|| std::io::Error::other("malformed log dump"))
     }
 
     /// Issues a `[PERSIST]sc` for `scope`.

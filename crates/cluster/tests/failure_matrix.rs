@@ -100,6 +100,117 @@ fn five_node_cluster_tolerates_two_failures() {
 }
 
 #[test]
+fn origin_node_crash_mid_write_under_every_model() {
+    // The crash lands on the *coordinator* of the traffic: clients
+    // hammering node 1 while node 1 dies. Every in-flight op must fail
+    // fast (no wedged submit), and the surviving majority must keep
+    // serving under all five models.
+    for model in DdpModel::all_lin() {
+        let cl = std::sync::Arc::new(Cluster::spawn(fast_cfg(3), model));
+        let scoped = model.persistency == PersistencyModel::Scope;
+        let writer = {
+            let cl = std::sync::Arc::clone(&cl);
+            std::thread::spawn(move || {
+                let mut completed = 0;
+                for i in 0..30u32 {
+                    let sc = scoped.then_some(ScopeId(7));
+                    if cl
+                        .put_scoped(NodeId(1), Key(1), format!("v{i}").into(), sc)
+                        .is_ok()
+                    {
+                        completed += 1;
+                    }
+                }
+                completed
+            })
+        };
+        std::thread::sleep(Duration::from_millis(3));
+        cl.crash_node(NodeId(1));
+        assert!(
+            cl.await_failure_detection(NodeId(1), Duration::from_secs(5)),
+            "{model}: detection failed"
+        );
+        let start = std::time::Instant::now();
+        let completed = writer.join().unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "{model}: in-flight ops wedged after origin crash"
+        );
+        assert!(completed < 30, "{model}: crash landed after all writes");
+        // The survivors still serve reads and writes on the same key.
+        let sc = scoped.then_some(ScopeId(8));
+        cl.put_scoped(NodeId(0), Key(1), "post-crash".into(), sc)
+            .unwrap_or_else(|e| panic!("{model}: write after origin crash: {e}"));
+        if let Some(sc) = sc {
+            cl.persist_scope(NodeId(0), sc).unwrap();
+        }
+        assert_eq!(cl.get(NodeId(2), Key(1)).unwrap(), "post-crash", "{model}");
+        match std::sync::Arc::try_unwrap(cl) {
+            Ok(cl) => cl.shutdown(),
+            Err(_) => panic!("cluster still shared"),
+        }
+    }
+}
+
+#[test]
+fn two_node_minority_double_crash_under_every_model() {
+    // A 5-node cluster loses two nodes (still a majority left) under
+    // every model, keeps serving, then recovers both and reconverges.
+    for model in DdpModel::all_lin() {
+        let cl = Cluster::spawn(fast_cfg(5), model);
+        let scoped = model.persistency == PersistencyModel::Scope;
+        let sc = scoped.then_some(ScopeId(1));
+        cl.put_scoped(NodeId(0), Key(1), "pre".into(), sc).unwrap();
+        if let Some(sc) = sc {
+            cl.persist_scope(NodeId(0), sc).unwrap();
+        }
+
+        cl.crash_node(NodeId(2));
+        cl.crash_node(NodeId(4));
+        assert!(
+            cl.await_failure_detection(NodeId(2), Duration::from_secs(5)),
+            "{model}: first crash undetected"
+        );
+        assert!(
+            cl.await_failure_detection(NodeId(4), Duration::from_secs(5)),
+            "{model}: second crash undetected"
+        );
+
+        let sc2 = scoped.then_some(ScopeId(2));
+        cl.put_scoped(NodeId(1), Key(2), "during".into(), sc2)
+            .unwrap_or_else(|e| panic!("{model}: write during double outage: {e}"));
+        if let Some(sc2) = sc2 {
+            cl.persist_scope(NodeId(1), sc2).unwrap();
+        }
+        for n in [0u16, 1, 3] {
+            assert_eq!(
+                cl.get(NodeId(n), Key(2)).unwrap(),
+                "during",
+                "{model}: survivor n{n} missed the write"
+            );
+        }
+
+        // Recover in sequence; the second rejoiner uses the first as
+        // donor, so shipped state must be transitively complete.
+        cl.recover_node(NodeId(2), NodeId(0)).unwrap();
+        cl.recover_node(NodeId(4), NodeId(2)).unwrap();
+        for n in [2u16, 4] {
+            assert_eq!(
+                cl.get(NodeId(n), Key(1)).unwrap(),
+                "pre",
+                "{model}: rejoiner n{n} lost pre-crash data"
+            );
+            assert_eq!(
+                cl.get(NodeId(n), Key(2)).unwrap(),
+                "during",
+                "{model}: rejoiner n{n} missed the outage write"
+            );
+        }
+        cl.shutdown();
+    }
+}
+
+#[test]
 fn writes_in_flight_during_crash_complete_or_fail_cleanly() {
     // A crash concurrent with traffic must never wedge the cluster: the
     // caller either gets a completion (quorum shrank in time) or a

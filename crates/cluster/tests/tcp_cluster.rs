@@ -42,6 +42,8 @@ fn spawn_tcp_cluster_with(
                 broadcast,
                 trace_out: None,
                 metrics_out: None,
+                chaos: None,
+                fault: None,
             })
             .expect("bind node")
         })

@@ -98,15 +98,19 @@ impl NodeEngine {
         }
 
         // Line 11: send INVs to all Followers (single fan-out action).
-        self.send_to_followers(
-            Message::Inv {
-                key,
-                ts,
-                value: tx.value.clone(),
-                scope: tx.scope,
-            },
-            out,
-        );
+        let inv = Message::Inv {
+            key,
+            ts,
+            value: tx.value.clone(),
+            scope: tx.scope,
+        };
+        #[cfg(feature = "fault-injection")]
+        let inv_skipped = self.fault_skip_inv(key, &inv, &mut tx, out);
+        #[cfg(not(feature = "fault-injection"))]
+        let inv_skipped = false;
+        if !inv_skipped {
+            self.send_to_followers(inv, out);
+        }
 
         // Line 12: update local volatile state (LLC) and volatileTS.
         let bytes = tx.value.len() as u64;
@@ -136,6 +140,34 @@ impl NodeEngine {
 
         tx.state = CoordState::AwaitAcks;
         self.coord.insert((key, ts), tx);
+    }
+
+    /// [`minos_types::FaultKind::SkipInv`]: fan the INV out to every
+    /// follower *except* one victim, pretending the victim already
+    /// acknowledged every phase. The victim keeps serving the stale
+    /// version and never persists the new one — exactly the bug class
+    /// the conformance checkers exist to catch. Returns whether the
+    /// fault fired (the caller then skips the normal fan-out).
+    #[cfg(feature = "fault-injection")]
+    fn fault_skip_inv(
+        &mut self,
+        key: Key,
+        inv: &Message,
+        tx: &mut super::CoordTx,
+        out: &mut Vec<Action>,
+    ) -> bool {
+        let targets = self.fanout_targets(Some(key));
+        if targets.len() < 2 || !self.take_fault(minos_types::FaultKind::SkipInv) {
+            return false;
+        }
+        let victim = targets[0];
+        for &to in &targets[1..] {
+            self.send_one(to, inv.clone(), out);
+        }
+        tx.acks.insert(victim);
+        tx.ack_cs.insert(victim);
+        tx.ack_ps.insert(victim);
+        true
     }
 
     /// Books an acknowledgment from `from` into the matching transaction.

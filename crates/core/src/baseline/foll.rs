@@ -51,12 +51,18 @@ impl NodeEngine {
 
         // Line 39 / Figure 3: persist the update — critical path only for
         // Synch and Strict followers (REnf/Event/Scope ACK_C first).
-        out.push(Action::Persist {
-            key,
-            ts,
-            value: tx.value.clone(),
-            background: !self.model().persistency.persist_in_critical_path(),
-        });
+        #[cfg(feature = "fault-injection")]
+        let persist_skipped = self.fault_phantom_persist(&mut tx);
+        #[cfg(not(feature = "fault-injection"))]
+        let persist_skipped = false;
+        if !persist_skipped {
+            out.push(Action::Persist {
+                key,
+                ts,
+                value: tx.value.clone(),
+                background: !self.model().persistency.persist_in_critical_path(),
+            });
+        }
 
         if let Some(sc) = tx.scope {
             self.scopes_mut().add_write(from, sc, key, ts);
@@ -64,6 +70,20 @@ impl NodeEngine {
 
         self.foll.insert((key, ts), tx);
         // ACKs are emitted by the poll pass once their gates are met.
+    }
+
+    /// [`minos_types::FaultKind::PhantomPersist`]: skip the NVM persist
+    /// but mark the transaction persisted anyway, so this follower later
+    /// sends an `ACK`/`ACK_P` for data that never reached the durable
+    /// medium. Returns whether the fault fired (the caller then skips
+    /// the persist action).
+    #[cfg(feature = "fault-injection")]
+    fn fault_phantom_persist(&mut self, tx: &mut FollTx) -> bool {
+        if !self.take_fault(minos_types::FaultKind::PhantomPersist) {
+            return false;
+        }
+        tx.local_persisted = true;
+        true
     }
 
     /// One poll step for follower transaction `(key, ts)`; returns true on

@@ -201,6 +201,21 @@ pub struct NodeEngine {
     /// each record on `k` nodes chosen by a hash ring. Writes must be
     /// coordinated by a replica (non-replicas redirect); reads forward.
     replication: Option<u16>,
+    /// A deliberately armed protocol bug, used by the mutation smoke
+    /// tests to prove the conformance checkers can catch real protocol
+    /// violations. Compiled out of production builds.
+    #[cfg(feature = "fault-injection")]
+    fault: Option<ArmedFault>,
+}
+
+/// An armed deliberate protocol bug (see [`NodeEngine::arm_fault`]); it
+/// fires at most once per engine lifetime so a single run contains
+/// exactly one violation to find and shrink toward.
+#[cfg(feature = "fault-injection")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+struct ArmedFault {
+    kind: minos_types::FaultKind,
+    fired: bool,
 }
 
 /// A stalled read waiting for a record's RDLock.
@@ -246,6 +261,28 @@ impl NodeEngine {
             alive: (0..n_nodes as u16).map(NodeId).collect(),
             snatch_enabled: true,
             replication: None,
+            #[cfg(feature = "fault-injection")]
+            fault: None,
+        }
+    }
+
+    /// Arms deliberate protocol bug `kind`; it fires at most once. Only
+    /// available under the `fault-injection` feature — the mutation smoke
+    /// tests use it to prove the conformance checkers catch real bugs.
+    #[cfg(feature = "fault-injection")]
+    pub fn arm_fault(&mut self, kind: minos_types::FaultKind) {
+        self.fault = Some(ArmedFault { kind, fired: false });
+    }
+
+    /// Consumes the armed fault if it is `kind` and has not fired yet.
+    #[cfg(feature = "fault-injection")]
+    pub(crate) fn take_fault(&mut self, kind: minos_types::FaultKind) -> bool {
+        match &mut self.fault {
+            Some(f) if f.kind == kind && !f.fired => {
+                f.fired = true;
+                true
+            }
+            _ => false,
         }
     }
 

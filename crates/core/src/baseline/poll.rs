@@ -30,6 +30,8 @@ impl NodeEngine {
         loop {
             let mut progressed = false;
 
+            progressed |= self.abort_orphaned_foll_txs(out);
+
             let coord_keys: Vec<_> = self.coord.keys().copied().collect();
             for (key, ts) in coord_keys {
                 progressed |= self.poll_coord_tx(key, ts, out);
@@ -47,6 +49,34 @@ impl NodeEngine {
                 break;
             }
         }
+    }
+
+    /// §III-E failure handling, follower side: a write whose Coordinator
+    /// has been detected failed will never receive its `VAL`/`VAL_C`, so
+    /// the transaction is aborted — its RDLock released (waking stalled
+    /// reads) and its state dropped. Without this, a crash mid-write
+    /// leaves the record permanently unreadable at every follower the
+    /// `INV` reached. The locally applied value is kept: recovery
+    /// reconciles replicas via log shipping, and the volatile copy is at
+    /// worst a newer-timestamped value the failed write's client was
+    /// never acknowledged (the checker treats it as an effect of a
+    /// pending write).
+    fn abort_orphaned_foll_txs(&mut self, out: &mut Vec<Action>) -> bool {
+        let orphaned: Vec<_> = self
+            .foll
+            .iter()
+            .filter(|(_, tx)| !self.alive.contains(&tx.coord))
+            .map(|(&id, tx)| (id, tx.obsolete.is_none()))
+            .collect();
+        let mut progressed = false;
+        for ((key, ts), held_lock) in orphaned {
+            self.foll.remove(&(key, ts));
+            if held_lock {
+                self.unlock_if_owner(key, ts, out);
+            }
+            progressed = true;
+        }
+        progressed
     }
 
     /// Follower side of `[PERSIST]sc`: send `[ACK_P]sc` for every scope

@@ -39,7 +39,7 @@ pub use sinks::{JsonlWriter, MetricsSink, RingRecorder};
 
 use crate::event::{Action, Event, ReqId};
 use crate::offload::{OAction, OEvent, Side};
-use minos_types::{Key, MessageKind, NodeId};
+use minos_types::{Key, MessageKind, NodeId, ScopeId, Ts};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -56,6 +56,9 @@ pub enum TraceEvent {
         req: ReqId,
         /// Target record, if the op names one.
         key: Option<Key>,
+        /// Scope the op belongs to (a scope-tagged write) or flushes (a
+        /// `[PERSIST]sc`), under `<Lin, Scope>`.
+        scope: Option<ScopeId>,
     },
     /// The deferred write body started executing (Fig. 2 line 5).
     WriteStarted {
@@ -117,6 +120,10 @@ pub enum TraceEvent {
         key: Option<Key>,
         /// Write cut short as obsolete (§III-A).
         obsolete: bool,
+        /// The op's version: a write's assigned `TS_WR`, a read's
+        /// observed `volatileTS`. `None` for scope flushes. This is what
+        /// turns a trace into a checkable history (`minos-check`).
+        ts: Option<Ts>,
     },
     /// MINOS-O: a descriptor was enqueued onto the host↔SmartNIC PCIe bus.
     PcieCrossing {
@@ -325,20 +332,25 @@ impl Tracer {
 /// The trace boundary a MINOS-B input event crosses, if any.
 pub(crate) fn trace_of_event(ev: &Event) -> Option<TraceEvent> {
     match ev {
-        Event::ClientWrite { key, req, .. } => Some(TraceEvent::OpAdmitted {
+        Event::ClientWrite {
+            key, req, scope, ..
+        } => Some(TraceEvent::OpAdmitted {
             op: OpKind::Write,
             req: *req,
             key: Some(*key),
+            scope: *scope,
         }),
         Event::ClientRead { key, req } => Some(TraceEvent::OpAdmitted {
             op: OpKind::Read,
             req: *req,
             key: Some(*key),
+            scope: None,
         }),
-        Event::ClientPersistScope { req, .. } => Some(TraceEvent::OpAdmitted {
+        Event::ClientPersistScope { req, scope } => Some(TraceEvent::OpAdmitted {
             op: OpKind::PersistScope,
             req: *req,
             key: None,
+            scope: Some(*scope),
         }),
         Event::StartWrite { key, .. } => Some(TraceEvent::WriteStarted { key: *key }),
         Event::Message { from, msg } => Some(TraceEvent::MsgReceived {
@@ -371,24 +383,30 @@ pub(crate) fn trace_of_action(act: &Action, fanout_dests: usize) -> Option<Trace
             background: *background,
         }),
         Action::WriteDone {
-            req, key, obsolete, ..
+            req,
+            key,
+            ts,
+            obsolete,
         } => Some(TraceEvent::OpCompleted {
             op: OpKind::Write,
             req: *req,
             key: Some(*key),
             obsolete: *obsolete,
+            ts: Some(*ts),
         }),
-        Action::ReadDone { req, key, .. } => Some(TraceEvent::OpCompleted {
+        Action::ReadDone { req, key, ts, .. } => Some(TraceEvent::OpCompleted {
             op: OpKind::Read,
             req: *req,
             key: Some(*key),
             obsolete: false,
+            ts: Some(*ts),
         }),
         Action::PersistScopeDone { req, .. } => Some(TraceEvent::OpCompleted {
             op: OpKind::PersistScope,
             req: *req,
             key: None,
             obsolete: false,
+            ts: None,
         }),
         Action::Defer { .. } | Action::Redirect { .. } | Action::Meta(_) => None,
     }
@@ -397,20 +415,25 @@ pub(crate) fn trace_of_action(act: &Action, fanout_dests: usize) -> Option<Trace
 /// The trace boundary a MINOS-O input event crosses, if any.
 pub(crate) fn trace_of_oevent(ev: &OEvent) -> Option<TraceEvent> {
     match ev {
-        OEvent::ClientWrite { key, req, .. } => Some(TraceEvent::OpAdmitted {
+        OEvent::ClientWrite {
+            key, req, scope, ..
+        } => Some(TraceEvent::OpAdmitted {
             op: OpKind::Write,
             req: *req,
             key: Some(*key),
+            scope: *scope,
         }),
         OEvent::ClientRead { key, req } => Some(TraceEvent::OpAdmitted {
             op: OpKind::Read,
             req: *req,
             key: Some(*key),
+            scope: None,
         }),
-        OEvent::ClientPersistScope { req, .. } => Some(TraceEvent::OpAdmitted {
+        OEvent::ClientPersistScope { req, scope } => Some(TraceEvent::OpAdmitted {
             op: OpKind::PersistScope,
             req: *req,
             key: None,
+            scope: Some(*scope),
         }),
         OEvent::HostStart { key, .. } => Some(TraceEvent::WriteStarted { key: *key }),
         OEvent::NetMessage { from, msg } => Some(TraceEvent::MsgReceived {
@@ -454,24 +477,30 @@ pub(crate) fn trace_of_oaction(act: &OAction, fanout_dests: usize) -> Option<Tra
             key: *key,
         }),
         OAction::WriteDone {
-            req, key, obsolete, ..
+            req,
+            key,
+            ts,
+            obsolete,
         } => Some(TraceEvent::OpCompleted {
             op: OpKind::Write,
             req: *req,
             key: Some(*key),
             obsolete: *obsolete,
+            ts: Some(*ts),
         }),
-        OAction::ReadDone { req, key, .. } => Some(TraceEvent::OpCompleted {
+        OAction::ReadDone { req, key, ts, .. } => Some(TraceEvent::OpCompleted {
             op: OpKind::Read,
             req: *req,
             key: Some(*key),
             obsolete: false,
+            ts: Some(*ts),
         }),
         OAction::PersistScopeDone { req, .. } => Some(TraceEvent::OpCompleted {
             op: OpKind::PersistScope,
             req: *req,
             key: None,
             obsolete: false,
+            ts: None,
         }),
         OAction::CoherenceTransfer { key } => Some(TraceEvent::CoherenceTransfer { key: *key }),
         OAction::Defer { .. } | OAction::Meta { .. } => None,

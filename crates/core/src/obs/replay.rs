@@ -12,7 +12,7 @@ use super::hist::OpKind;
 use super::sinks::{kind_from_label, side_from_label};
 use super::{TraceEvent, TraceRecord};
 use crate::event::ReqId;
-use minos_types::{Key, MessageKind, NodeId};
+use minos_types::{Key, MessageKind, NodeId, ScopeId, Ts};
 use std::fmt::Write as _;
 
 // ------------------------------------------------------------------
@@ -47,6 +47,18 @@ fn kind_field(line: &str) -> Option<MessageKind> {
     kind_from_label(str_field(line, "kind")?)
 }
 
+fn scope_field(line: &str) -> Option<ScopeId> {
+    u64_field(line, "scope")
+        .and_then(|v| u32::try_from(v).ok())
+        .map(ScopeId)
+}
+
+fn ts_field(line: &str) -> Option<Ts> {
+    let version = u32::try_from(u64_field(line, "ts_v")?).ok()?;
+    let node = NodeId(u16::try_from(u64_field(line, "ts_node")?).ok()?);
+    Some(Ts::new(node, version))
+}
+
 /// Parses one JSONL line back into a [`TraceRecord`]. Returns `None` for
 /// blank lines and records this parser does not understand (making
 /// replay tolerant of trace-format evolution).
@@ -65,6 +77,7 @@ pub fn parse_jsonl_line(line: &str) -> Option<TraceRecord> {
             op: op()?,
             req: req()?,
             key: key_field(line),
+            scope: scope_field(line),
         },
         "write_started" => TraceEvent::WriteStarted {
             key: key_field(line)?,
@@ -99,6 +112,7 @@ pub fn parse_jsonl_line(line: &str) -> Option<TraceRecord> {
             req: req()?,
             key: key_field(line),
             obsolete: bool_field(line, "obsolete")?,
+            ts: ts_field(line),
         },
         "pcie_crossing" => TraceEvent::PcieCrossing {
             from: side_from_label(str_field(line, "from")?)?,
@@ -287,7 +301,7 @@ pub fn analyze(records: &[TraceRecord]) -> Vec<OpTrace> {
 
     for rec in records {
         match &rec.event {
-            TraceEvent::OpAdmitted { op, req, key } => {
+            TraceEvent::OpAdmitted { op, req, key, .. } => {
                 open.push((
                     (rec.node.0, req.0),
                     OpenOp {
@@ -455,6 +469,7 @@ mod tests {
                     op: OpKind::Write,
                     req: ReqId(1),
                     key: Some(Key(7)),
+                    scope: None,
                 },
             ),
             rec(100, 0, TraceEvent::WriteStarted { key: Key(7) }),
@@ -494,6 +509,7 @@ mod tests {
                     req: ReqId(1),
                     key: Some(Key(7)),
                     obsolete: false,
+                    ts: Some(Ts::new(NodeId(0), 1)),
                 },
             ),
         ]
@@ -509,6 +525,7 @@ mod tests {
                     op: OpKind::PersistScope,
                     req: ReqId(9),
                     key: None,
+                    scope: Some(ScopeId(3)),
                 },
             ),
             rec(2, 0, TraceEvent::WriteStarted { key: Key(4) }),
@@ -557,6 +574,7 @@ mod tests {
                     req: ReqId(1),
                     key: Some(Key(1)),
                     obsolete: true,
+                    ts: Some(Ts::new(NodeId(2), 40)),
                 },
             ),
             rec(

@@ -157,10 +157,18 @@ pub fn encode_json(rec: &TraceRecord) -> String {
         rec.event.name()
     );
     match &rec.event {
-        TraceEvent::OpAdmitted { op, req, key } => {
+        TraceEvent::OpAdmitted {
+            op,
+            req,
+            key,
+            scope,
+        } => {
             let _ = write!(s, ",\"op\":\"{}\",\"req\":{}", op.label(), req.0);
             if let Some(k) = key {
                 let _ = write!(s, ",\"key\":{}", k.0);
+            }
+            if let Some(sc) = scope {
+                let _ = write!(s, ",\"scope\":{}", sc.0);
             }
         }
         TraceEvent::WriteStarted { key }
@@ -197,6 +205,7 @@ pub fn encode_json(rec: &TraceRecord) -> String {
             req,
             key,
             obsolete,
+            ts,
         } => {
             let _ = write!(
                 s,
@@ -206,6 +215,9 @@ pub fn encode_json(rec: &TraceRecord) -> String {
             );
             if let Some(k) = key {
                 let _ = write!(s, ",\"key\":{}", k.0);
+            }
+            if let Some(t) = ts {
+                let _ = write!(s, ",\"ts_v\":{},\"ts_node\":{}", t.version, t.node.0);
             }
         }
         TraceEvent::PcieCrossing { from } => {
@@ -381,6 +393,7 @@ mod tests {
                 op: OpKind::Write,
                 req: ReqId(1),
                 key: Some(Key(1)),
+                scope: None,
             },
         ));
         assert_eq!(sink.in_flight(), 1);
@@ -391,6 +404,7 @@ mod tests {
                 req: ReqId(1),
                 key: Some(Key(1)),
                 obsolete: false,
+                ts: None,
             },
         ));
         assert_eq!(sink.in_flight(), 0);

@@ -1,0 +1,369 @@
+//! `ChaosNet`: deterministic chaos-injection transport middleware.
+//!
+//! Wraps any [`Transport`] and applies an explicit, seed-derived schedule
+//! of message-level injections ([`minos_types::ChaosSpec`]): delaying a
+//! message to the end of its dispatch, swapping it with the next message,
+//! or dropping it outright. The schedule indexes messages by their
+//! *protocol-level* send order at the node (one follower fan-out counts
+//! as one message), so the same schedule replays identically whether or
+//! not the [`super::Batched`] middleware sits underneath.
+//!
+//! The middleware is deliberately restricted to perturbations that cannot
+//! wedge a retransmission-free protocol on the live runtimes:
+//! `DelayToFlush` releases the held message inside the *same* dispatch's
+//! flush, and `ReorderNext` only swaps adjacent sends. `Drop` is honored
+//! too (the loopback torture tests use it), but live-runtime schedule
+//! generators must not emit it — a dropped ACK stalls its write forever
+//! by design (§III: MINOS has no retransmission; liveness under loss is
+//! the failure detector's job, not the protocol's).
+//!
+//! Crash/recovery injection is *not* here: it needs cluster-level
+//! machinery (`crash_node`/`recover_node`) and is driven by the
+//! `minos-check` torture driver.
+
+use super::{ActionSink, Transport};
+use crate::event::{Action, DelayClass, Event, MetaOp, ReqId};
+use minos_types::{ChaosSpec, Key, Message, MsgChaos, MsgInjection, NodeId, ScopeId, Ts, Value};
+
+/// One outbound unit: a unicast or a fan-out kept whole.
+#[derive(Debug, Clone)]
+enum Outbound {
+    One(NodeId, Message),
+    Many(Vec<NodeId>, Message),
+}
+
+/// Per-node chaos bookkeeping, persistent across dispatches. The node
+/// loop owns one of these for the whole run; a fresh [`ChaosNet`] borrows
+/// it per dispatch (mirroring how harnesses rebuild their handlers).
+#[derive(Debug, Clone, Default)]
+pub struct ChaosState {
+    /// This node's injections, sorted by `nth`.
+    plan: Vec<MsgInjection>,
+    /// Next plan entry to consider.
+    next: usize,
+    /// Outbound protocol messages seen so far.
+    sent: u64,
+    /// Messages dropped.
+    pub dropped: u64,
+    /// Messages delayed to their dispatch's flush.
+    pub delayed: u64,
+    /// Adjacent message pairs swapped.
+    pub reordered: u64,
+}
+
+impl ChaosState {
+    /// The chaos bookkeeping for `node` under `spec`.
+    #[must_use]
+    pub fn new(spec: &ChaosSpec, node: NodeId) -> Self {
+        ChaosState {
+            plan: spec.for_node(node.0),
+            ..ChaosState::default()
+        }
+    }
+
+    /// Total injections that have fired.
+    #[must_use]
+    pub fn fired(&self) -> u64 {
+        self.dropped + self.delayed + self.reordered
+    }
+
+    /// The injection (if any) scheduled for the current message, advancing
+    /// past stale entries.
+    fn take_injection(&mut self) -> Option<MsgChaos> {
+        while let Some(inj) = self.plan.get(self.next) {
+            if inj.nth < self.sent {
+                self.next += 1; // stale (duplicate nth) — skip
+            } else if inj.nth == self.sent {
+                self.next += 1;
+                return Some(inj.kind);
+            } else {
+                return None;
+            }
+        }
+        None
+    }
+}
+
+/// The chaos middleware: borrow it around an inner transport for one
+/// dispatch. Anything still held when the dispatch flushes is released,
+/// so no message outlives its dispatch.
+#[derive(Debug)]
+pub struct ChaosNet<'a, H: Transport> {
+    inner: &'a mut H,
+    state: &'a mut ChaosState,
+    /// Message awaiting its adjacent-swap partner.
+    swap: Option<Outbound>,
+    /// Messages held until flush.
+    held: Vec<Outbound>,
+}
+
+impl<'a, H: Transport> ChaosNet<'a, H> {
+    /// Wraps `inner` for one dispatch, applying and updating `state`.
+    pub fn new(inner: &'a mut H, state: &'a mut ChaosState) -> Self {
+        ChaosNet {
+            inner,
+            state,
+            swap: None,
+            held: Vec::new(),
+        }
+    }
+
+    fn forward(inner: &mut H, out: Outbound) {
+        match out {
+            Outbound::One(to, msg) => inner.send(to, msg),
+            Outbound::Many(dests, msg) => inner.broadcast(&dests, msg),
+        }
+    }
+
+    /// Routes one outbound unit through the schedule.
+    fn route(&mut self, out: Outbound) {
+        let inj = self.state.take_injection();
+        self.state.sent += 1;
+        match inj {
+            Some(MsgChaos::Drop) => {
+                self.state.dropped += 1;
+            }
+            Some(MsgChaos::DelayToFlush) => {
+                self.state.delayed += 1;
+                self.held.push(out);
+            }
+            Some(MsgChaos::ReorderNext) => {
+                // Hold; the *next* send goes first, then this one. If a
+                // swap is already pending, release it first (no nesting).
+                if let Some(prev) = self.swap.take() {
+                    Self::forward(self.inner, prev);
+                }
+                self.state.reordered += 1;
+                self.swap = Some(out);
+            }
+            None => {
+                Self::forward(self.inner, out);
+                if let Some(prev) = self.swap.take() {
+                    Self::forward(self.inner, prev);
+                }
+            }
+        }
+    }
+}
+
+impl<H: Transport> Transport for ChaosNet<'_, H> {
+    fn send(&mut self, to: NodeId, msg: Message) {
+        self.route(Outbound::One(to, msg));
+    }
+
+    fn broadcast(&mut self, dests: &[NodeId], msg: Message) {
+        self.route(Outbound::Many(dests.to_vec(), msg));
+    }
+
+    fn flush(&mut self) {
+        // Release everything still held — a swap partner that never came,
+        // then the delayed messages — so chaos never outlives a dispatch.
+        if let Some(prev) = self.swap.take() {
+            Self::forward(self.inner, prev);
+        }
+        for out in std::mem::take(&mut self.held) {
+            Self::forward(self.inner, out);
+        }
+        self.inner.flush();
+    }
+}
+
+/// Chaos only perturbs the *messaging* half of a handler; the local half
+/// passes straight through, so a `ChaosNet` over a full dispatch handler
+/// is itself a full dispatch handler.
+impl<H: Transport + ActionSink> ActionSink for ChaosNet<'_, H> {
+    fn begin(&mut self, actions: &[Action]) {
+        self.inner.begin(actions);
+    }
+    fn persist(&mut self, key: Key, ts: Ts, value: Value, background: bool) {
+        self.inner.persist(key, ts, value, background);
+    }
+    fn redirect(&mut self, to: NodeId, event: Event) {
+        self.inner.redirect(to, event);
+    }
+    fn defer(&mut self, event: Event, class: DelayClass) {
+        self.inner.defer(event, class);
+    }
+    fn write_done(&mut self, req: ReqId, key: Key, ts: Ts, obsolete: bool) {
+        self.inner.write_done(req, key, ts, obsolete);
+    }
+    fn read_done(&mut self, req: ReqId, key: Key, value: Value, ts: Ts) {
+        self.inner.read_done(req, key, value, ts);
+    }
+    fn persist_scope_done(&mut self, req: ReqId, scope: ScopeId) {
+        self.inner.persist_scope_done(req, scope);
+    }
+    fn meta(&mut self, op: &MetaOp) {
+        self.inner.meta(op);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Log {
+        events: Vec<String>,
+    }
+
+    impl Transport for Log {
+        fn send(&mut self, to: NodeId, msg: Message) {
+            self.events.push(format!("send:{}:{:?}", to.0, msg.kind()));
+        }
+        fn broadcast(&mut self, dests: &[NodeId], msg: Message) {
+            self.events
+                .push(format!("bcast:{}:{:?}", dests.len(), msg.kind()));
+        }
+        fn flush(&mut self) {
+            self.events.push("flush".into());
+        }
+    }
+
+    fn ack(n: u32) -> Message {
+        Message::Ack {
+            key: Key(0),
+            ts: Ts::new(NodeId(0), n),
+        }
+    }
+
+    fn spec(injections: Vec<MsgInjection>) -> ChaosSpec {
+        ChaosSpec {
+            seed: 0,
+            injections,
+        }
+    }
+
+    #[test]
+    fn no_injections_is_transparent() {
+        let mut log = Log::default();
+        let mut st = ChaosState::new(&spec(vec![]), NodeId(0));
+        {
+            let mut net = ChaosNet::new(&mut log, &mut st);
+            net.send(NodeId(1), ack(1));
+            net.broadcast(&[NodeId(1), NodeId(2)], ack(2));
+            net.flush();
+        }
+        assert_eq!(log.events, vec!["send:1:Ack", "bcast:2:Ack", "flush"]);
+        assert_eq!(st.fired(), 0);
+    }
+
+    #[test]
+    fn drop_discards_and_counts() {
+        let mut log = Log::default();
+        let mut st = ChaosState::new(
+            &spec(vec![MsgInjection {
+                node: 0,
+                nth: 1,
+                kind: MsgChaos::Drop,
+            }]),
+            NodeId(0),
+        );
+        {
+            let mut net = ChaosNet::new(&mut log, &mut st);
+            net.send(NodeId(1), ack(1));
+            net.send(NodeId(2), ack(2));
+            net.send(NodeId(3), ack(3));
+            net.flush();
+        }
+        assert_eq!(log.events, vec!["send:1:Ack", "send:3:Ack", "flush"]);
+        assert_eq!(st.dropped, 1);
+    }
+
+    #[test]
+    fn delay_holds_until_flush() {
+        let mut log = Log::default();
+        let mut st = ChaosState::new(
+            &spec(vec![MsgInjection {
+                node: 0,
+                nth: 0,
+                kind: MsgChaos::DelayToFlush,
+            }]),
+            NodeId(0),
+        );
+        {
+            let mut net = ChaosNet::new(&mut log, &mut st);
+            net.send(NodeId(1), ack(1));
+            net.send(NodeId(2), ack(2));
+            net.flush();
+        }
+        assert_eq!(log.events, vec!["send:2:Ack", "send:1:Ack", "flush"]);
+        assert_eq!(st.delayed, 1);
+    }
+
+    #[test]
+    fn reorder_swaps_adjacent_sends() {
+        let mut log = Log::default();
+        let mut st = ChaosState::new(
+            &spec(vec![MsgInjection {
+                node: 0,
+                nth: 0,
+                kind: MsgChaos::ReorderNext,
+            }]),
+            NodeId(0),
+        );
+        {
+            let mut net = ChaosNet::new(&mut log, &mut st);
+            net.send(NodeId(1), ack(1));
+            net.send(NodeId(2), ack(2));
+            net.send(NodeId(3), ack(3));
+            net.flush();
+        }
+        assert_eq!(
+            log.events,
+            vec!["send:2:Ack", "send:1:Ack", "send:3:Ack", "flush"]
+        );
+        assert_eq!(st.reordered, 1);
+    }
+
+    #[test]
+    fn reorder_with_no_partner_releases_at_flush() {
+        let mut log = Log::default();
+        let mut st = ChaosState::new(
+            &spec(vec![MsgInjection {
+                node: 0,
+                nth: 0,
+                kind: MsgChaos::ReorderNext,
+            }]),
+            NodeId(0),
+        );
+        {
+            let mut net = ChaosNet::new(&mut log, &mut st);
+            net.send(NodeId(1), ack(1));
+            net.flush();
+        }
+        assert_eq!(log.events, vec!["send:1:Ack", "flush"]);
+    }
+
+    #[test]
+    fn state_persists_across_dispatches() {
+        let mut log = Log::default();
+        let mut st = ChaosState::new(
+            &spec(vec![MsgInjection {
+                node: 0,
+                nth: 2,
+                kind: MsgChaos::Drop,
+            }]),
+            NodeId(0),
+        );
+        for i in 0..4 {
+            let mut net = ChaosNet::new(&mut log, &mut st);
+            net.send(NodeId(1), ack(i));
+            net.flush();
+        }
+        // The third message (nth == 2, counted across dispatches) dropped.
+        assert_eq!(
+            log.events,
+            vec![
+                "send:1:Ack",
+                "flush",
+                "send:1:Ack",
+                "flush",
+                "flush",
+                "send:1:Ack",
+                "flush"
+            ]
+        );
+        assert_eq!(st.dropped, 1);
+    }
+}

@@ -42,8 +42,10 @@
 //! virtual-time event queues.
 
 mod batch;
+mod chaos;
 
 pub use batch::{BatchPolicy, Batched, FrameTransport, TransportCounters};
+pub use chaos::{ChaosNet, ChaosState};
 
 use crate::baseline::NodeEngine;
 use crate::event::{Action, DelayClass, Event, MetaOp, ReqId};

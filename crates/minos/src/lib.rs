@@ -13,6 +13,7 @@
 //! | [`nvm`] | `minos-nvm` | Emulated NVM, durable log, durable database |
 //! | [`kv`] | `minos-kv` | MINOS-KV replicated store + recovery |
 //! | [`cluster`] | `minos-cluster` | Threaded multi-node runtime (Table II machine) |
+//! | [`check`] | `minos-check` | Linearizability + persistency conformance checking, seeded chaos torture |
 //! | [`workload`] | `minos-workload` | YCSB-style + DeathStar workload generation |
 //! | [`mc`] | `minos-mc` | Explicit-state model checker (Table I invariants) |
 //! | [`obs`] | `minos-core::obs` | Structured tracing, latency histograms, trace replay |
@@ -38,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use minos_check as check;
 pub use minos_cluster as cluster;
 pub use minos_core as core;
 pub use minos_core::obs;

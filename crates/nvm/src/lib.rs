@@ -36,8 +36,8 @@
 
 mod db;
 mod device;
-mod log;
+pub mod log;
 
 pub use db::NvmDatabase;
 pub use device::NvmDevice;
-pub use log::{DurableLog, LogEntry, Lsn};
+pub use log::{decode_entries, encode_entries, DecodeOutcome, DurableLog, LogEntry, Lsn};

@@ -1,0 +1,183 @@
+//! Chaos-schedule and fault-injection vocabulary shared by the runtimes
+//! and the `minos-check` torture harness.
+//!
+//! A chaos schedule is *data*: an explicit list of message-level
+//! injections ([`MsgInjection`]) derived deterministically from a `u64`
+//! seed by `minos-check`, carried to the runtimes inside their configs
+//! ([`crate::ClusterConfig`], the TCP node config), and applied by the
+//! `ChaosNet` transport middleware in `minos-core::runtime`. Keeping the
+//! schedule explicit (rather than probabilistic) is what makes greedy
+//! shrinking possible: removing one injection at a time yields a strictly
+//! smaller schedule that still replays deterministically.
+//!
+//! Crash/recovery points are part of the same schedule but are executed
+//! by the torture *driver* (they need the cluster-level `crash_node` /
+//! `recover_node` machinery, not the per-message transport); see
+//! `minos-check`'s schedule type.
+
+use serde::{Deserialize, Serialize};
+
+/// What to do to the n-th wire message leaving a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MsgChaos {
+    /// Hold the message until the end of the current dispatch (it leaves
+    /// in the same flush, after everything else) — an intra-dispatch
+    /// delay that can never wedge the protocol.
+    DelayToFlush,
+    /// Swap the message with the next one the node emits in the same
+    /// dispatch (adjacent reorder).
+    ReorderNext,
+    /// Silently discard the message. Only schedules for harnesses with
+    /// retransmission-free *loss tolerance* checks should generate this
+    /// (the live runtimes have no retransmission, so a dropped ACK can
+    /// wedge a write forever by design).
+    Drop,
+}
+
+impl MsgChaos {
+    /// Short display label (the schedule dump format).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgChaos::DelayToFlush => "delay",
+            MsgChaos::ReorderNext => "reorder",
+            MsgChaos::Drop => "drop",
+        }
+    }
+}
+
+/// One message-level injection: applied to the `nth` (0-based) protocol
+/// message *sent* by `node` since the run began.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MsgInjection {
+    /// The node whose outbound message is targeted.
+    pub node: u16,
+    /// 0-based index into that node's outbound-message sequence.
+    pub nth: u64,
+    /// What happens to the message.
+    pub kind: MsgChaos,
+}
+
+/// A deterministic message-level chaos schedule for one run.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ChaosSpec {
+    /// The seed the schedule was generated from (for reproduction dumps;
+    /// replay uses the explicit `injections` list, not the seed).
+    pub seed: u64,
+    /// The injections, in no particular order.
+    pub injections: Vec<MsgInjection>,
+}
+
+impl ChaosSpec {
+    /// True when the schedule injects nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.injections.is_empty()
+    }
+
+    /// The injections targeting `node`, in `nth` order.
+    #[must_use]
+    pub fn for_node(&self, node: u16) -> Vec<MsgInjection> {
+        let mut v: Vec<MsgInjection> = self
+            .injections
+            .iter()
+            .copied()
+            .filter(|i| i.node == node)
+            .collect();
+        v.sort_by_key(|i| i.nth);
+        v
+    }
+}
+
+/// Which deliberate protocol bug to arm (the mutation smoke test for the
+/// checker: with a fault armed, `minos-torture` must find a violating
+/// schedule; with no fault, it must not).
+///
+/// The faults only exist in `minos-core` when it is compiled with the
+/// `fault-injection` feature; this spec is plain data so configs carrying
+/// it stay feature-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The coordinator "forgets" one follower on one INV fan-out but
+    /// still counts it as acknowledged — the stale replica can then serve
+    /// old data (a consistency violation).
+    SkipInv,
+    /// A follower reports one persist as complete without ever writing
+    /// NVM — the write's durability guarantee is silently void (a
+    /// persistency violation under Synch/Strict).
+    PhantomPersist,
+}
+
+impl FaultKind {
+    /// Stable CLI/display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::SkipInv => "skip-inv",
+            FaultKind::PhantomPersist => "phantom-persist",
+        }
+    }
+
+    /// Parses [`FaultKind::label`] output back.
+    #[must_use]
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "skip-inv" => Some(FaultKind::SkipInv),
+            "phantom-persist" => Some(FaultKind::PhantomPersist),
+            _ => None,
+        }
+    }
+}
+
+/// A fault armed at one node for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// The node whose engine misbehaves.
+    pub node: u16,
+    /// Which bug to arm (each fires exactly once per run).
+    pub kind: FaultKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_node_filters_and_sorts() {
+        let spec = ChaosSpec {
+            seed: 9,
+            injections: vec![
+                MsgInjection {
+                    node: 1,
+                    nth: 5,
+                    kind: MsgChaos::Drop,
+                },
+                MsgInjection {
+                    node: 0,
+                    nth: 2,
+                    kind: MsgChaos::DelayToFlush,
+                },
+                MsgInjection {
+                    node: 1,
+                    nth: 1,
+                    kind: MsgChaos::ReorderNext,
+                },
+            ],
+        };
+        let n1 = spec.for_node(1);
+        assert_eq!(n1.len(), 2);
+        assert_eq!(n1[0].nth, 1);
+        assert_eq!(n1[1].nth, 5);
+        assert!(spec.for_node(7).is_empty());
+        assert!(!spec.is_empty());
+        assert!(ChaosSpec::default().is_empty());
+    }
+
+    #[test]
+    fn fault_labels_roundtrip() {
+        for k in [FaultKind::SkipInv, FaultKind::PhantomPersist] {
+            assert_eq!(FaultKind::from_label(k.label()), Some(k));
+        }
+        assert_eq!(FaultKind::from_label("nope"), None);
+    }
+}

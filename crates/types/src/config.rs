@@ -1,6 +1,7 @@
 //! Configuration: the Table II (real cluster) and Table III (simulated
 //! system) parameter sets.
 
+use crate::chaos::{ChaosSpec, FaultSpec};
 use serde::{Deserialize, Serialize};
 
 /// Parameters of the MINOS-B distributed machine (Table II), used by the
@@ -28,6 +29,14 @@ pub struct ClusterConfig {
     /// capability): a follower fan-out leaves the node as one enqueue and
     /// is expanded to all destinations inside the transport.
     pub broadcast: bool,
+    /// Deterministic message-level chaos schedule (`None` = no chaos),
+    /// applied by the `ChaosNet` transport middleware. Set by the
+    /// `minos-check` torture harness.
+    pub chaos: Option<ChaosSpec>,
+    /// Deliberate protocol bug to arm (`None` = correct protocol). Only
+    /// honored when `minos-core` is compiled with its `fault-injection`
+    /// feature; silently ignored otherwise.
+    pub fault: Option<FaultSpec>,
 }
 
 impl ClusterConfig {
@@ -42,6 +51,8 @@ impl ClusterConfig {
             failure_timeout_ns: 50_000_000,
             batching: false,
             broadcast: false,
+            chaos: None,
+            fault: None,
         }
     }
 
@@ -63,6 +74,20 @@ impl ClusterConfig {
     #[must_use]
     pub fn with_broadcast(mut self, on: bool) -> Self {
         self.broadcast = on;
+        self
+    }
+
+    /// Builder-style chaos-schedule install.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ChaosSpec) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// Builder-style fault arming.
+    #[must_use]
+    pub fn with_fault(mut self, fault: FaultSpec) -> Self {
+        self.fault = Some(fault);
         self
     }
 }

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod chaos;
 mod config;
 mod error;
 mod message;
@@ -42,6 +43,7 @@ mod record;
 mod ts;
 pub mod wire;
 
+pub use chaos::{ChaosSpec, FaultKind, FaultSpec, MsgChaos, MsgInjection};
 pub use config::{ClusterConfig, SimConfig};
 pub use error::{MinosError, Result};
 pub use message::{Message, MessageKind, ScopeId};
