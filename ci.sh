@@ -10,15 +10,24 @@
 #                      runtimes. This is the fast PR subset — the nightly
 #                      block (500 seeds per model per runtime) is
 #                      documented in EXPERIMENTS.md §Verification.
+#   ./ci.sh --bench  — additionally runs the minos-bench quick sweep,
+#                      writes BENCH_results.json, and reruns the sweep
+#                      with --compare against the file it just wrote.
+#                      Both bench runtimes are deterministic, so the
+#                      self-compare must report zero regressions — this
+#                      gates the sweep, the JSON writer/parser, and the
+#                      compare logic in one pass.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 CHAOS=0
+BENCH=0
 for arg in "$@"; do
     case "$arg" in
     --chaos) CHAOS=1 ;;
+    --bench) BENCH=1 ;;
     *)
-        echo "unknown flag: $arg (supported: --chaos)" >&2
+        echo "unknown flag: $arg (supported: --chaos, --bench)" >&2
         exit 2
         ;;
     esac
@@ -60,6 +69,18 @@ if [ "$CHAOS" -eq 1 ]; then
 
     echo "==> chaos: clean sweep — tcp, all models"
     "$TORTURE" --runtime tcp --model all --seeds 5 --clients 2 --ops 8
+fi
+
+if [ "$BENCH" -eq 1 ]; then
+    echo "==> bench: build minos-bench"
+    cargo build --release -p minos-bench
+    BENCH_BIN=target/release/minos-bench
+
+    echo "==> bench: quick sweep -> BENCH_results.json"
+    "$BENCH_BIN" --quick --out BENCH_results.json
+
+    echo "==> bench: self-compare (deterministic rerun must show 0 regressions)"
+    "$BENCH_BIN" --quick --out target/bench_rerun.json --compare BENCH_results.json --threshold 5%
 fi
 
 echo "==> ci: all stages passed"

@@ -1,0 +1,144 @@
+//! The regression-tracking benchmark harness.
+//!
+//! ```text
+//! minos-bench [--quick] [--out <file>] [--compare <baseline> [--threshold <t>]]
+//! ```
+//!
+//! Runs the persistency-model × architecture sweep on the DES and
+//! loopback runtimes (see [`minos_bench::regress`]) and writes the
+//! machine-readable results to `--out` (default `BENCH_results.json`):
+//! throughput, p50/p95/p99/p999 per op kind, resource-gauge high-water
+//! marks, and Fig. 4 critical-path category totals per sweep cell.
+//!
+//! With `--compare`, the fresh sweep is diffed against a baseline file
+//! and the process exits nonzero when any cell's throughput drops, or a
+//! p50/p95/p99 rises, beyond `--threshold` (default `5%`; accepts `5%`
+//! or `0.05`), or when a baseline cell vanished. Both runtimes are
+//! deterministic under the shared bench seed, so rerunning the sweep
+//! against a just-written baseline compares clean — the `ci.sh --bench`
+//! gate relies on exactly that.
+
+use minos_bench::regress::{
+    compare, parse_results, parse_threshold, render_json, run_sweep, BenchPoint,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: minos-bench [--quick] [--out <file>] [--compare <baseline> [--threshold <t>]]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = String::from("BENCH_results.json");
+    let mut baseline: Option<String> = None;
+    let mut threshold = 0.05;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--compare" => {
+                i += 1;
+                baseline = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--threshold" => {
+                i += 1;
+                let raw = args.get(i).cloned().unwrap_or_else(|| usage());
+                threshold = match parse_threshold(&raw) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("minos-bench: {e}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("minos-bench: unknown argument {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!(
+        "minos-bench: running {} sweep (5 models x DES/loopback arches)…",
+        if quick { "quick" } else { "full" }
+    );
+    let points = run_sweep(quick);
+    let text = render_json(&points, quick);
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("minos-bench: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("minos-bench: {} points -> {out}", points.len());
+    print_summary(&points);
+
+    if let Some(base_path) = baseline {
+        let base_text = match std::fs::read_to_string(&base_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("minos-bench: cannot read baseline {base_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let base = match parse_results(&base_text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("minos-bench: malformed baseline {base_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let report = compare(&base.points, &points, threshold);
+        for id in &report.missing {
+            println!("MISSING    {id} (present in baseline, absent now)");
+        }
+        for r in &report.regressions {
+            println!(
+                "REGRESSION {id} {metric}: {base:.3} -> {cur:.3} ({delta:+.1}%)",
+                id = r.id,
+                metric = r.metric,
+                base = r.baseline,
+                cur = r.current,
+                delta = r.delta() * 100.0
+            );
+        }
+        println!(
+            "minos-bench: compared {} cells against {base_path} at {:.2}%: {} regression(s), {} missing",
+            report.compared,
+            threshold * 100.0,
+            report.regressions.len(),
+            report.missing.len()
+        );
+        if !report.passed() {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// A short human-readable view of the sweep (the JSON file carries the
+/// full detail).
+fn print_summary(points: &[BenchPoint]) {
+    println!(
+        "{:<22} {:>12} {:>8} {:>10} {:>10} {:>10}",
+        "point", "throughput", "ops", "w.p50", "w.p95", "w.p99"
+    );
+    for pt in points {
+        let w = pt.latency.get("write");
+        println!(
+            "{:<22} {:>12.3} {:>8} {:>10} {:>10} {:>10}",
+            pt.id,
+            pt.throughput,
+            pt.ops,
+            w.map_or(0, |q| q.p50),
+            w.map_or(0, |q| q.p95),
+            w.map_or(0, |q| q.p99),
+        );
+    }
+}

@@ -2,7 +2,7 @@
 //! style critical-path breakdown.
 //!
 //! ```text
-//! minos-trace [--ops N] <trace.jsonl> [more.jsonl ...]
+//! minos-trace [--ops N] [--perfetto out.json] <trace.jsonl> [more.jsonl ...]
 //! ```
 //!
 //! The input is whatever a [`minos_core::obs::JsonlWriter`] sink wrote —
@@ -11,16 +11,23 @@
 //! per node process) are merged before analysis. `--ops N` caps how many
 //! individual op timelines are printed (default 10); the aggregate
 //! breakdown always covers every completed op.
+//!
+//! `--perfetto <out.json>` additionally converts the merged trace to
+//! Chrome Trace Format JSON — per-op spans with nested Fig. 4
+//! critical-path slices, coordinator→follower flow arrows, and
+//! vFIFO/dFIFO counter tracks — loadable in <https://ui.perfetto.dev>
+//! or `chrome://tracing`.
 
-use minos_core::obs::{analyze, format_report, parse_jsonl};
+use minos_core::obs::{analyze, format_report, parse_jsonl, perfetto};
 
 fn usage() -> ! {
-    eprintln!("usage: minos-trace [--ops N] <trace.jsonl> [more.jsonl ...]");
+    eprintln!("usage: minos-trace [--ops N] [--perfetto out.json] <trace.jsonl> [more.jsonl ...]");
     std::process::exit(2);
 }
 
 fn main() {
     let mut max_ops = 10usize;
+    let mut perfetto_out: Option<String> = None;
     let mut paths: Vec<String> = Vec::new();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -32,6 +39,10 @@ fn main() {
                     .get(i)
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
+            }
+            "--perfetto" => {
+                i += 1;
+                perfetto_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             "--help" | "-h" => usage(),
             p => paths.push(p.to_string()),
@@ -55,6 +66,18 @@ fn main() {
     // Merging per-node files can interleave timestamps out of order;
     // analysis expects the global record stream sorted by time.
     records.sort_by_key(|r| r.at_ns);
+
+    if let Some(out) = &perfetto_out {
+        let json = perfetto::export(&records);
+        if let Err(e) = std::fs::write(out, json) {
+            eprintln!("minos-trace: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "minos-trace: wrote Perfetto trace ({} records) to {out}",
+            records.len()
+        );
+    }
 
     let ops = analyze(&records);
     if ops.is_empty() {

@@ -11,6 +11,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod regress;
+
 use minos_net::{driver, Arch, RunResult};
 use minos_types::{DdpModel, SimConfig};
 use minos_workload::WorkloadSpec;

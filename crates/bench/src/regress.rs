@@ -1,0 +1,715 @@
+//! The regression-tracking sweep behind the `minos-bench` binary.
+//!
+//! One sweep runs the persistency-model × architecture matrix on two
+//! runtimes — the discrete-event simulators (`minos-net`, Table III
+//! latency model) and the single-threaded loopback clusters
+//! (`minos-core::loopback`, deterministic sequence clock) — and records
+//! one [`BenchPoint`] per cell: throughput, p50/p95/p99/p999 per op
+//! kind, resource-gauge high-water marks, and the Fig. 4 critical-path
+//! category totals. Points serialize to `BENCH_results.json` (written
+//! by [`render_json`], read back by [`parse_results`]); [`compare`]
+//! diffs two files and flags every cell whose throughput dropped or
+//! whose latency percentiles rose beyond a threshold.
+//!
+//! Both runtimes are deterministic under the shared [`crate::SEED`], so
+//! a freshly rerun sweep compares clean against a just-written baseline
+//! — which is exactly the `ci.sh --bench` gate.
+
+use crate::SEED;
+use minos_core::loopback::{BCluster, OCluster};
+use minos_core::obs::json::quoted;
+use minos_core::obs::{
+    analyze, shared, Category, GaugeKind, HistogramSet, Json, MetricsSink, RingRecorder,
+};
+use minos_net::{run_observed, Arch};
+use minos_types::{DdpModel, Key, NodeId, PersistencyModel, ScopeId, SimConfig, Value};
+use minos_workload::WorkloadSpec;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema version stamped into `BENCH_results.json`.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Latency percentiles for one op kind, in the runtime's time unit
+/// (nanoseconds on the DES runtime, sequence ticks on loopback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quantiles {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+}
+
+/// One sweep cell: a (runtime, architecture, model) triple and
+/// everything the regression gate tracks about it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchPoint {
+    /// Stable identifier, `<runtime>/<arch>/<model>` (e.g. `des/b/Synch`).
+    pub id: String,
+    /// `des` or `loopback`.
+    pub runtime: String,
+    /// Architecture slug (`b`, `b+batch`, `b+bcast`, `o`, `o+all`, …).
+    pub arch: String,
+    /// Persistency-model label (`Synch`, `Strict`, `REnf`, `Event`, `Scope`).
+    pub model: String,
+    /// Completed operations per second (DES) or per sequence tick
+    /// (loopback). Deterministic for a fixed seed on both runtimes.
+    pub throughput: f64,
+    /// Operations completed.
+    pub ops: u64,
+    /// Per-op-kind latency percentiles, keyed by [`minos_core::obs::OpKind::label`].
+    pub latency: BTreeMap<String, Quantiles>,
+    /// Resource-gauge high-water summaries, keyed by
+    /// [`GaugeKind::label`] (levels: max across nodes; counters: total).
+    pub gauges: BTreeMap<String, u64>,
+    /// Fig. 4 critical-path totals keyed by [`Category::label`], summed
+    /// over every op the trace replay reconstructed.
+    pub critical_path: BTreeMap<String, u64>,
+}
+
+/// A parsed `BENCH_results.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResults {
+    /// Schema version of the file.
+    pub version: u64,
+    /// Whether the sweep ran in `--quick` mode.
+    pub quick: bool,
+    /// The sweep cells.
+    pub points: Vec<BenchPoint>,
+}
+
+/// Architecture slug used in point ids and reports.
+#[must_use]
+pub fn arch_slug(arch: Arch) -> &'static str {
+    match (arch.offload, arch.batching, arch.broadcast) {
+        (false, false, false) => "b",
+        (false, true, false) => "b+batch",
+        (false, false, true) => "b+bcast",
+        (false, true, true) => "b+batch+bcast",
+        (true, false, false) => "o",
+        (true, true, false) => "o+batch",
+        (true, false, true) => "o+bcast",
+        (true, true, true) => "o+all",
+    }
+}
+
+fn quantiles_of(h: &minos_core::obs::LatencyHistogram) -> Quantiles {
+    Quantiles {
+        count: h.count(),
+        p50: h.p50().unwrap_or(0),
+        p95: h.p95().unwrap_or(0),
+        p99: h.p99().unwrap_or(0),
+        p999: h.p999().unwrap_or(0),
+    }
+}
+
+fn latency_map(hists: &HistogramSet) -> BTreeMap<String, Quantiles> {
+    let mut out = BTreeMap::new();
+    for (_, op, h) in hists.iter() {
+        if h.count() > 0 {
+            out.insert(op.label().to_string(), quantiles_of(h));
+        }
+    }
+    out
+}
+
+fn gauge_map(gauges: &minos_core::obs::GaugeSet) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for kind in GaugeKind::ALL {
+        if let Some(hw) = gauges.high_water(kind) {
+            out.insert(kind.label().to_string(), hw);
+        }
+    }
+    out
+}
+
+fn critical_path_map(breakdown: [u64; 4]) -> BTreeMap<String, u64> {
+    Category::ALL
+        .iter()
+        .map(|c| (c.label().to_string(), breakdown[c.index()]))
+        .collect()
+}
+
+/// The DES architecture points a sweep covers.
+#[must_use]
+pub fn des_arches(quick: bool) -> Vec<Arch> {
+    if quick {
+        vec![Arch::baseline(), Arch::minos_o()]
+    } else {
+        vec![
+            Arch::baseline(),
+            Arch::baseline().with_batching(),
+            Arch::baseline().with_broadcast(),
+            Arch::offload(),
+            Arch::minos_o(),
+        ]
+    }
+}
+
+/// The DES workload a sweep cell runs.
+#[must_use]
+pub fn sweep_spec(quick: bool) -> WorkloadSpec {
+    let (records, reqs) = if quick { (500, 200) } else { (2_000, 800) };
+    WorkloadSpec::ycsb_default()
+        .with_records(records)
+        .with_requests_per_node(reqs)
+}
+
+/// Runs the DES half of the sweep: every model × [`des_arches`] point
+/// through [`minos_net::run_observed`] with the full observability
+/// stack attached.
+#[must_use]
+pub fn sweep_des(quick: bool) -> Vec<BenchPoint> {
+    let cfg = SimConfig::paper_defaults();
+    let spec = sweep_spec(quick);
+    let mut points = Vec::new();
+    for arch in des_arches(quick) {
+        for p in PersistencyModel::ALL {
+            let model = DdpModel::lin(p);
+            let run = run_observed(arch, &cfg, model, &spec, SEED, 4, 1 << 20);
+            points.push(BenchPoint {
+                id: format!("des/{}/{}", arch_slug(arch), p.label()),
+                runtime: "des".into(),
+                arch: arch_slug(arch).into(),
+                model: p.label().into(),
+                throughput: run.result.total_throughput(),
+                ops: run.result.writes + run.result.reads,
+                latency: latency_map(&run.hists),
+                gauges: gauge_map(&run.gauges),
+                critical_path: critical_path_map(run.breakdown),
+            });
+        }
+    }
+    points
+}
+
+/// Ops driven through each loopback cell.
+fn loopback_ops(quick: bool) -> u64 {
+    if quick {
+        240
+    } else {
+        900
+    }
+}
+
+/// Runs the loopback half of the sweep: the B and O engine stacks under
+/// the deterministic sequence clock (latency unit = protocol dispatch
+/// ticks), 5 models each, with a fixed write/read/persist-scope mix.
+#[must_use]
+pub fn sweep_loopback(quick: bool) -> Vec<BenchPoint> {
+    let mut points = Vec::new();
+    for p in PersistencyModel::ALL {
+        points.push(loopback_point(p, false, quick));
+        points.push(loopback_point(p, true, quick));
+    }
+    points
+}
+
+fn loopback_point(p: PersistencyModel, offload: bool, quick: bool) -> BenchPoint {
+    let nodes = 3usize;
+    let keys = 64u64;
+    let ops = loopback_ops(quick);
+    let model = DdpModel::lin(p);
+    let (msink, hists) = MetricsSink::new(p);
+    let ring = shared(RingRecorder::new(1 << 18));
+    let sinks: Vec<minos_core::obs::SharedSink> = vec![shared(msink), ring.clone()];
+
+    // The op mix: three writes then a read, round-robin over nodes and
+    // keys; Scope runs tag writes and flush each scope every 40 ops.
+    enum DriveOp {
+        Write(NodeId, Key, Option<ScopeId>),
+        Read(NodeId, Key),
+        Persist(NodeId, ScopeId),
+    }
+    let mut plan: Vec<DriveOp> = Vec::new();
+    for i in 0..ops {
+        let node = NodeId((i % nodes as u64) as u16);
+        let key = Key(i % keys);
+        if i % 4 == 3 {
+            plan.push(DriveOp::Read(node, key));
+        } else {
+            let scope = (p == PersistencyModel::Scope).then_some(ScopeId((i % 4) as u32));
+            plan.push(DriveOp::Write(node, key, scope));
+        }
+        if p == PersistencyModel::Scope && i % 40 == 39 {
+            plan.push(DriveOp::Persist(node, ScopeId(((i / 40) % 4) as u32)));
+        }
+    }
+    let payload = || Value::from(vec![0xA5u8; 32]);
+
+    let (completions, gauges) = if offload {
+        let mut cl = OCluster::new(nodes, model);
+        cl.attach_tracer(sinks);
+        for op in &plan {
+            match *op {
+                DriveOp::Write(n, k, s) => {
+                    cl.submit_write(n, k, payload(), s);
+                }
+                DriveOp::Read(n, k) => {
+                    cl.submit_read(n, k);
+                }
+                DriveOp::Persist(n, s) => {
+                    cl.submit_persist_scope(n, s);
+                }
+            }
+        }
+        cl.run();
+        (cl.completions().len() as u64, cl.gauges().clone())
+    } else {
+        let mut cl = BCluster::new(nodes, model);
+        cl.attach_tracer(sinks);
+        for op in &plan {
+            match *op {
+                DriveOp::Write(n, k, s) => {
+                    cl.submit_write(n, k, payload(), s);
+                }
+                DriveOp::Read(n, k) => {
+                    cl.submit_read(n, k);
+                }
+                DriveOp::Persist(n, s) => {
+                    cl.submit_persist_scope(n, s);
+                }
+            }
+        }
+        cl.run();
+        // Eventual/Scope persists complete in the background; release
+        // them so persist gauge/trace state settles before snapshotting.
+        while cl.release_persists() > 0 {
+            cl.run();
+        }
+        (cl.completions().len() as u64, cl.gauges().clone())
+    };
+
+    let records = ring.lock().expect("ring poisoned").to_vec();
+    let last_tick = records.last().map_or(0, |r| r.at_ns);
+    let ops_traced = analyze(&records);
+    let mut breakdown = [0u64; 4];
+    for op in &ops_traced {
+        for (i, v) in op.breakdown().iter().enumerate() {
+            breakdown[i] += v;
+        }
+    }
+    let hists = hists.lock().expect("hists poisoned").clone();
+    BenchPoint {
+        id: format!("loopback/{}/{}", if offload { "o" } else { "b" }, p.label()),
+        runtime: "loopback".into(),
+        arch: if offload { "o" } else { "b" }.into(),
+        model: p.label().into(),
+        // Ops per dispatch tick — dimensionless but deterministic, which
+        // is all the regression gate needs.
+        throughput: if last_tick == 0 {
+            0.0
+        } else {
+            completions as f64 / last_tick as f64
+        },
+        ops: completions,
+        latency: latency_map(&hists),
+        gauges: gauge_map(&gauges),
+        critical_path: critical_path_map(breakdown),
+    }
+}
+
+/// Runs the whole sweep: DES then loopback.
+#[must_use]
+pub fn run_sweep(quick: bool) -> Vec<BenchPoint> {
+    let mut points = sweep_des(quick);
+    points.extend(sweep_loopback(quick));
+    points
+}
+
+// ---------------------------------------------------------------------
+// BENCH_results.json
+// ---------------------------------------------------------------------
+
+fn write_u64_map(out: &mut String, map: &BTreeMap<String, u64>) {
+    out.push('{');
+    for (i, (k, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{v}", quoted(k));
+    }
+    out.push('}');
+}
+
+/// Serializes `points` into the `BENCH_results.json` text.
+#[must_use]
+pub fn render_json(points: &[BenchPoint], quick: bool) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"version\": {SCHEMA_VERSION},\n  \"suite\": \"minos-bench\",\n  \"quick\": {quick},\n  \"points\": ["
+    );
+    for (i, pt) in points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"id\":{},\"runtime\":{},\"arch\":{},\"model\":{},\"throughput\":{},\"ops\":{},\"latency\":",
+            quoted(&pt.id),
+            quoted(&pt.runtime),
+            quoted(&pt.arch),
+            quoted(&pt.model),
+            pt.throughput,
+            pt.ops,
+        );
+        out.push('{');
+        for (j, (op, q)) in pt.latency.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"p999\":{}}}",
+                quoted(op),
+                q.count,
+                q.p50,
+                q.p95,
+                q.p99,
+                q.p999
+            );
+        }
+        out.push_str("},\"gauges\":");
+        write_u64_map(&mut out, &pt.gauges);
+        out.push_str(",\"critical_path_ns\":");
+        write_u64_map(&mut out, &pt.critical_path);
+        out.push('}');
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn u64_map_of(v: &Json, what: &str) -> Result<BTreeMap<String, u64>, String> {
+    let obj = v
+        .as_obj()
+        .ok_or_else(|| format!("{what} is not an object"))?;
+    let mut out = BTreeMap::new();
+    for (k, val) in obj {
+        out.insert(
+            k.clone(),
+            val.as_u64()
+                .ok_or_else(|| format!("{what}.{k} is not a u64"))?,
+        );
+    }
+    Ok(out)
+}
+
+fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, String> {
+    obj.get(key).ok_or_else(|| format!("missing field {key}"))
+}
+
+/// Parses a `BENCH_results.json` produced by [`render_json`].
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem found.
+pub fn parse_results(src: &str) -> Result<BenchResults, String> {
+    let root = Json::parse(src).map_err(|e| e.to_string())?;
+    let version = field(&root, "version")?
+        .as_u64()
+        .ok_or("version is not a u64")?;
+    if version != SCHEMA_VERSION {
+        return Err(format!(
+            "unsupported BENCH_results.json version {version} (expected {SCHEMA_VERSION})"
+        ));
+    }
+    let quick = matches!(root.get("quick"), Some(Json::Bool(true)));
+    let mut points = Vec::new();
+    for (i, pt) in field(&root, "points")?
+        .as_arr()
+        .ok_or("points is not an array")?
+        .iter()
+        .enumerate()
+    {
+        let ctx = |e: String| format!("points[{i}]: {e}");
+        let str_field = |key: &str| -> Result<String, String> {
+            field(pt, key)
+                .map_err(ctx)?
+                .as_str()
+                .map(ToString::to_string)
+                .ok_or_else(|| ctx(format!("{key} is not a string")))
+        };
+        let mut latency = BTreeMap::new();
+        for (op, q) in field(pt, "latency")
+            .map_err(ctx)?
+            .as_obj()
+            .ok_or_else(|| ctx("latency is not an object".into()))?
+        {
+            let qn = |key: &str| -> Result<u64, String> {
+                field(q, key)
+                    .map_err(ctx)?
+                    .as_u64()
+                    .ok_or_else(|| ctx(format!("latency.{op}.{key} is not a u64")))
+            };
+            latency.insert(
+                op.clone(),
+                Quantiles {
+                    count: qn("count")?,
+                    p50: qn("p50")?,
+                    p95: qn("p95")?,
+                    p99: qn("p99")?,
+                    p999: qn("p999")?,
+                },
+            );
+        }
+        points.push(BenchPoint {
+            id: str_field("id")?,
+            runtime: str_field("runtime")?,
+            arch: str_field("arch")?,
+            model: str_field("model")?,
+            throughput: field(pt, "throughput")
+                .map_err(ctx)?
+                .as_f64()
+                .ok_or_else(|| ctx("throughput is not a number".into()))?,
+            ops: field(pt, "ops")
+                .map_err(ctx)?
+                .as_u64()
+                .ok_or_else(|| ctx("ops is not a u64".into()))?,
+            latency,
+            gauges: u64_map_of(field(pt, "gauges").map_err(ctx)?, "gauges").map_err(ctx)?,
+            critical_path: u64_map_of(
+                field(pt, "critical_path_ns").map_err(ctx)?,
+                "critical_path_ns",
+            )
+            .map_err(ctx)?,
+        });
+    }
+    Ok(BenchResults {
+        version,
+        quick,
+        points,
+    })
+}
+
+// ---------------------------------------------------------------------
+// --compare
+// ---------------------------------------------------------------------
+
+/// Parses a regression threshold: `5%` or `0.05` both mean five percent.
+///
+/// # Errors
+///
+/// Rejects non-numeric, negative, and NaN thresholds.
+pub fn parse_threshold(s: &str) -> Result<f64, String> {
+    let (num, pct) = match s.strip_suffix('%') {
+        Some(rest) => (rest, true),
+        None => (s, false),
+    };
+    let v: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad threshold {s:?} (want e.g. \"5%\" or \"0.05\")"))?;
+    let v = if pct { v / 100.0 } else { v };
+    if !v.is_finite() || v < 0.0 {
+        return Err(format!("threshold {s:?} out of range"));
+    }
+    Ok(v)
+}
+
+/// One regression found by [`compare`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The sweep cell.
+    pub id: String,
+    /// The metric that moved (`throughput`, `write.p95`, …).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+}
+
+impl Regression {
+    /// Relative change (positive = worse).
+    #[must_use]
+    pub fn delta(&self) -> f64 {
+        if self.baseline == 0.0 {
+            return 0.0;
+        }
+        if self.metric == "throughput" {
+            (self.baseline - self.current) / self.baseline
+        } else {
+            (self.current - self.baseline) / self.baseline
+        }
+    }
+}
+
+/// The outcome of diffing a sweep against a baseline file.
+#[derive(Debug, Clone, Default)]
+pub struct CompareReport {
+    /// Cells compared (present in both files).
+    pub compared: usize,
+    /// Baseline cells absent from the current sweep (each one fails the
+    /// gate — a silently dropped point is a regression too).
+    pub missing: Vec<String>,
+    /// Metrics beyond the threshold, worst first.
+    pub regressions: Vec<Regression>,
+}
+
+impl CompareReport {
+    /// Whether the gate passes.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+}
+
+/// Diffs `current` against `baseline` at `threshold` (relative, e.g.
+/// 0.05): a cell regresses when throughput drops below
+/// `baseline × (1 − threshold)` or a p50/p95/p99 latency rises above
+/// `baseline × (1 + threshold)`. p999 is recorded in the file but not
+/// gated (too tail-noisy on the wall-clock runtimes); new cells in
+/// `current` are ignored, vanished cells fail.
+#[must_use]
+pub fn compare(baseline: &[BenchPoint], current: &[BenchPoint], threshold: f64) -> CompareReport {
+    let mut report = CompareReport::default();
+    for base in baseline {
+        let Some(cur) = current.iter().find(|p| p.id == base.id) else {
+            report.missing.push(base.id.clone());
+            continue;
+        };
+        report.compared += 1;
+        if cur.throughput < base.throughput * (1.0 - threshold) {
+            report.regressions.push(Regression {
+                id: base.id.clone(),
+                metric: "throughput".into(),
+                baseline: base.throughput,
+                current: cur.throughput,
+            });
+        }
+        for (op, bq) in &base.latency {
+            let Some(cq) = cur.latency.get(op) else {
+                report.missing.push(format!("{}:{op}", base.id));
+                continue;
+            };
+            for (name, b, c) in [
+                ("p50", bq.p50, cq.p50),
+                ("p95", bq.p95, cq.p95),
+                ("p99", bq.p99, cq.p99),
+            ] {
+                if (c as f64) > (b as f64) * (1.0 + threshold) {
+                    report.regressions.push(Regression {
+                        id: base.id.clone(),
+                        metric: format!("{op}.{name}"),
+                        baseline: b as f64,
+                        current: c as f64,
+                    });
+                }
+            }
+        }
+    }
+    report.regressions.sort_by(|a, b| {
+        b.delta()
+            .partial_cmp(&a.delta())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(id: &str, thr: f64, p95: u64) -> BenchPoint {
+        let mut latency = BTreeMap::new();
+        latency.insert(
+            "write".to_string(),
+            Quantiles {
+                count: 10,
+                p50: p95 / 2,
+                p95,
+                p99: p95 * 2,
+                p999: p95 * 3,
+            },
+        );
+        let mut gauges = BTreeMap::new();
+        gauges.insert("pcie_bytes".to_string(), 4096);
+        BenchPoint {
+            id: id.into(),
+            runtime: "des".into(),
+            arch: "b".into(),
+            model: "Synch".into(),
+            throughput: thr,
+            ops: 100,
+            latency,
+            gauges,
+            critical_path: Category::ALL
+                .iter()
+                .map(|c| (c.label().to_string(), 1000))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let pts = vec![
+            point("des/b/Synch", 1234.5, 800),
+            point("des/o/Event", 99.25, 30),
+        ];
+        let text = render_json(&pts, true);
+        let parsed = parse_results(&text).expect("parse back");
+        assert_eq!(parsed.version, SCHEMA_VERSION);
+        assert!(parsed.quick);
+        assert_eq!(parsed.points, pts);
+    }
+
+    #[test]
+    fn identical_results_compare_clean() {
+        let pts = vec![point("des/b/Synch", 1000.0, 500)];
+        let report = compare(&pts, &pts, 0.05);
+        assert!(report.passed());
+        assert_eq!(report.compared, 1);
+    }
+
+    #[test]
+    fn throughput_drop_beyond_threshold_fails() {
+        let base = vec![point("des/b/Synch", 1000.0, 500)];
+        let cur = vec![point("des/b/Synch", 900.0, 500)];
+        let report = compare(&base, &cur, 0.05);
+        assert!(!report.passed());
+        assert_eq!(report.regressions[0].metric, "throughput");
+        // …while a drop inside the threshold passes.
+        let cur = vec![point("des/b/Synch", 960.0, 500)];
+        assert!(compare(&base, &cur, 0.05).passed());
+    }
+
+    #[test]
+    fn latency_rise_beyond_threshold_fails() {
+        let base = vec![point("des/b/Synch", 1000.0, 500)];
+        let cur = vec![point("des/b/Synch", 1000.0, 600)];
+        let report = compare(&base, &cur, 0.05);
+        assert!(report.regressions.iter().any(|r| r.metric == "write.p95"));
+    }
+
+    #[test]
+    fn vanished_point_fails_the_gate() {
+        let base = vec![point("des/b/Synch", 1000.0, 500)];
+        let report = compare(&base, &[], 0.05);
+        assert!(!report.passed());
+        assert_eq!(report.missing, vec!["des/b/Synch".to_string()]);
+    }
+
+    #[test]
+    fn threshold_parses_percent_and_fraction() {
+        assert!((parse_threshold("5%").unwrap() - 0.05).abs() < 1e-12);
+        assert!((parse_threshold("0.05").unwrap() - 0.05).abs() < 1e-12);
+        assert!((parse_threshold("12.5%").unwrap() - 0.125).abs() < 1e-12);
+        assert!(parse_threshold("lots").is_err());
+        assert!(parse_threshold("-1%").is_err());
+    }
+
+    #[test]
+    fn arch_slugs_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for a in Arch::ablation_points() {
+            assert!(seen.insert(arch_slug(a)));
+        }
+    }
+}

@@ -643,6 +643,7 @@ fn bind_tcp_cluster(n: usize, schedule: &Schedule, opts: &TortureOptions) -> Vec
                 broadcast: false,
                 trace_out: None,
                 metrics_out: None,
+                metrics_interval: std::time::Duration::from_secs(1),
                 chaos: (!schedule.injections.is_empty()).then(|| schedule.spec()),
                 fault: opts.fault,
             }) {

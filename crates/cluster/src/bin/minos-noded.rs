@@ -1,7 +1,8 @@
 //! One MINOS-B node as a standalone process.
 //!
 //! ```text
-//! minos-noded [--batching] [--broadcast] [--metrics-out <path>] [--trace-out <path>] \
+//! minos-noded [--batching] [--broadcast] [--metrics-out <path>] \
+//!     [--metrics-interval <ms>] [--trace-out <path>] \
 //!     <node-idx> <model> <client-addr> <peer-addr-0> ...
 //! ```
 //!
@@ -9,24 +10,31 @@
 //! shared verbatim by every process of the cluster; `<node-idx>` selects
 //! which entry this process binds. `--batching`/`--broadcast` switch on
 //! the Fig. 12 transport capabilities. `--metrics-out` dumps per-op
-//! latency histograms to the given file in Prometheus text format once
-//! per second; `--trace-out` appends a JSONL protocol-event trace that
-//! `minos-trace` can replay.
+//! latency histograms plus resource gauges to the given file in
+//! Prometheus text format every `--metrics-interval` milliseconds
+//! (default 1000) and once more at clean shutdown; `--trace-out` appends
+//! a JSONL protocol-event trace that `minos-trace` can replay.
 
 use minos_cluster::tcp::{TcpNode, TcpNodeConfig};
 use minos_types::{DdpModel, NodeId, PersistencyModel};
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Removes `--flag <value>` from `args`, returning the value if present.
-fn take_path_flag(args: &mut Vec<String>, flag: &str) -> Option<PathBuf> {
+fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     let idx = args.iter().position(|a| a == flag)?;
     if idx + 1 >= args.len() {
-        eprintln!("{flag} requires a path argument");
+        eprintln!("{flag} requires an argument");
         std::process::exit(2);
     }
     let value = args.remove(idx + 1);
     args.remove(idx);
-    Some(PathBuf::from(value))
+    Some(value)
+}
+
+/// Removes `--flag <path>` from `args`, returning the path if present.
+fn take_path_flag(args: &mut Vec<String>, flag: &str) -> Option<PathBuf> {
+    take_value_flag(args, flag).map(PathBuf::from)
 }
 
 fn main() {
@@ -35,10 +43,19 @@ fn main() {
     let broadcast = args.iter().any(|a| a == "--broadcast");
     args.retain(|a| a != "--batching" && a != "--broadcast");
     let metrics_out = take_path_flag(&mut args, "--metrics-out");
+    let metrics_interval_ms: u64 = take_value_flag(&mut args, "--metrics-interval")
+        .map(|v| match v.parse::<u64>() {
+            Ok(ms) if ms > 0 => ms,
+            _ => {
+                eprintln!("--metrics-interval wants a positive millisecond count, got {v}");
+                std::process::exit(2);
+            }
+        })
+        .unwrap_or(1000);
     let trace_out = take_path_flag(&mut args, "--trace-out");
     if args.len() < 4 {
         eprintln!(
-            "usage: minos-noded [--batching] [--broadcast] [--metrics-out <path>] [--trace-out <path>] <node-idx> <synch|strict|renf|event|scope> <client-addr> <peer-addr>..."
+            "usage: minos-noded [--batching] [--broadcast] [--metrics-out <path>] [--metrics-interval <ms>] [--trace-out <path>] <node-idx> <synch|strict|renf|event|scope> <client-addr> <peer-addr>..."
         );
         std::process::exit(2);
     }
@@ -71,6 +88,7 @@ fn main() {
         broadcast,
         trace_out,
         metrics_out,
+        metrics_interval: Duration::from_millis(metrics_interval_ms),
         chaos: None,
         fault: None,
     };

@@ -3,7 +3,7 @@
 use crate::node::{spawn_node, NodeMsg, NodeThread};
 use crate::timer::TimerWheel;
 use crossbeam::channel::{bounded, unbounded, Sender};
-use minos_core::obs::{SharedSink, TraceClock, Tracer};
+use minos_core::obs::{shared_gauges, GaugeSet, SharedGauges, SharedSink, TraceClock, Tracer};
 use minos_core::runtime::{DispatchStats, TransportCounters};
 use minos_core::{Event, ReqId};
 use minos_nvm::LogEntry;
@@ -52,6 +52,7 @@ pub struct Cluster {
     failed: Mutex<Vec<bool>>,
     failure_rx: crossbeam::channel::Receiver<NodeId>,
     cfg: ClusterConfig,
+    gauges: SharedGauges,
 }
 
 impl Cluster {
@@ -84,6 +85,7 @@ impl Cluster {
         let senders: Vec<_> = channels.iter().map(|(tx, _)| tx.clone()).collect();
         let timer = TimerWheel::spawn(senders.clone());
         let epoch = TraceClock::monotonic();
+        let gauges = shared_gauges();
 
         let nodes = channels
             .into_iter()
@@ -101,6 +103,7 @@ impl Cluster {
                     Arc::clone(&completions),
                     failure_tx.clone(),
                     tracer,
+                    Arc::clone(&gauges),
                 )
             })
             .collect();
@@ -113,7 +116,16 @@ impl Cluster {
             failed: Mutex::new(vec![false; cfg.nodes]),
             failure_rx,
             cfg,
+            gauges,
         }
+    }
+
+    /// Snapshots the cluster's resource telemetry: per-node in-flight
+    /// ops, lock-table sizes, inbox depths (sampled every 32 dispatches)
+    /// and batch fill at each flush (batching clusters only).
+    #[must_use]
+    pub fn gauges(&self) -> GaugeSet {
+        self.gauges.lock().expect("gauge lock").clone()
     }
 
     /// Number of nodes.

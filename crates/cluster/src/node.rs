@@ -9,7 +9,7 @@
 use crate::cluster::{CompletionMap, Outcome};
 use crate::timer::Scheduler;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
-use minos_core::obs::Tracer;
+use minos_core::obs::{GaugeKind, SharedGauges, Tracer};
 use minos_core::runtime::{
     ActionSink, BatchPolicy, Batched, ChaosNet, ChaosState, DispatchStats, Dispatcher,
     FrameTransport, TransportCounters,
@@ -93,6 +93,7 @@ pub(crate) fn spawn_node(
     completions: CompletionMap,
     failure_tx: Sender<NodeId>,
     tracer: Option<Tracer>,
+    gauges: SharedGauges,
 ) -> NodeThread {
     let handle = std::thread::Builder::new()
         .name(format!("minos-node-{}", node.0))
@@ -124,6 +125,8 @@ pub(crate) fn spawn_node(
                 crashed: false,
                 inflight: HashSet::new(),
                 chaos,
+                gauges,
+                dispatches: 0,
             }
             .run();
         })
@@ -155,7 +158,17 @@ struct NodeLoop {
     /// Seeded chaos bookkeeping (`ClusterConfig::chaos`); persists across
     /// dispatches so injection indices count whole-run outbound traffic.
     chaos: Option<ChaosState>,
+    /// Cluster-shared resource telemetry: in-flight ops, lock-table
+    /// size, inbox depth (sampled every [`GAUGE_SAMPLE_DISPATCHES`]
+    /// dispatches) and the batch fill at each flush.
+    gauges: SharedGauges,
+    /// Dispatches handled so far — the gauge sampling pacer.
+    dispatches: u64,
 }
+
+/// Sample the level gauges once per this many dispatches: the lock-table
+/// scan is O(records), so it stays off the per-event hot path.
+const GAUGE_SAMPLE_DISPATCHES: u64 = 32;
 
 /// The crossbeam-cluster dispatch handler: frames ride the delay wheel,
 /// persists go through the emulated NVM device, completions wake the
@@ -403,6 +416,32 @@ impl NodeLoop {
         }
         let (_, c) = handler.into_parts();
         self.counters.merge(&c);
+        self.sample_gauges(&c);
+    }
+
+    /// Telemetry: batch fill at every flush (batching runs only), level
+    /// gauges on the dispatch-count pacer.
+    fn sample_gauges(&mut self, c: &TransportCounters) {
+        self.dispatches += 1;
+        let node = u32::from(self.node.0);
+        if self.cfg.batching && c.deposits > 0 {
+            self.gauges.lock().expect("gauge lock").observe(
+                GaugeKind::BatchFill,
+                node,
+                c.protocol_msgs / c.deposits,
+            );
+        }
+        // `% N == 1` rather than `== 0`: short runs still get a sample.
+        if self.dispatches % GAUGE_SAMPLE_DISPATCHES == 1 {
+            let mut g = self.gauges.lock().expect("gauge lock");
+            g.observe(GaugeKind::InflightTxs, node, self.inflight.len() as u64);
+            g.observe(
+                GaugeKind::LockTableSize,
+                node,
+                self.engine.locked_records() as u64,
+            );
+            g.observe(GaugeKind::HostSendQueue, node, self.rx.len() as u64);
+        }
     }
 
     /// §III-E rejoin: a crash wiped the volatile state, so the protocol

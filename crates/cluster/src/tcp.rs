@@ -27,7 +27,9 @@
 
 use crate::timer::{Scheduler, TimerWheel};
 use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
-use minos_core::obs::{self, HistogramSet, JsonlWriter, MetricsSink, TraceClock, Tracer};
+use minos_core::obs::{
+    self, GaugeKind, GaugeSet, HistogramSet, JsonlWriter, MetricsSink, TraceClock, Tracer,
+};
 use minos_core::runtime::{
     ActionSink, BatchPolicy, Batched, ChaosNet, ChaosState, Dispatcher, FrameTransport,
 };
@@ -70,10 +72,15 @@ pub struct TcpNodeConfig {
     /// When set, every protocol-event boundary is appended to this file
     /// as JSONL trace records (`minos-trace` replays them).
     pub trace_out: Option<PathBuf>,
-    /// When set, per-op latency histograms are dumped to this file in
-    /// Prometheus text exposition format, once per second and at
-    /// shutdown (the `minos-noded --metrics-out` flag).
+    /// When set, per-op latency histograms plus resource gauges are
+    /// dumped to this file in Prometheus text exposition format, every
+    /// [`TcpNodeConfig::metrics_interval`] and at shutdown (the
+    /// `minos-noded --metrics-out` flag).
     pub metrics_out: Option<PathBuf>,
+    /// Cadence of the periodic metrics dump and of the resource-gauge
+    /// sampling tick (the `minos-noded --metrics-interval` flag).
+    /// Clamped to at least 1 ms.
+    pub metrics_interval: Duration,
     /// Deterministic message-level chaos schedule applied to this node's
     /// outbound protocol traffic (`None` = no chaos). Torture schedules
     /// for the TCP runtime stick to delay/reorder — a dropped message is
@@ -131,6 +138,22 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
     let mut body = vec![0u8; n];
     stream.read_exact(&mut body)?;
     Ok(body)
+}
+
+/// Samples the node-level resource gauges: in-flight client ops, records
+/// holding locks, and the engine inbox depth. Called on the metrics tick
+/// (and once at shutdown) so the O(records) lock scan stays off the
+/// per-event path.
+fn sample_node_gauges(
+    gauges: &mut GaugeSet,
+    node: u32,
+    inflight: usize,
+    locked: usize,
+    inbox: usize,
+) {
+    gauges.observe(GaugeKind::InflightTxs, node, inflight as u64);
+    gauges.observe(GaugeKind::LockTableSize, node, locked as u64);
+    gauges.observe(GaugeKind::HostSendQueue, node, inbox as u64);
 }
 
 /// Writes one length-prefixed frame.
@@ -263,9 +286,11 @@ impl TcpNode {
                         sinks,
                     )));
                 }
-                let dump_metrics = |hists: &Option<Arc<std::sync::Mutex<HistogramSet>>>| {
+                let dump_metrics = |hists: &Option<Arc<std::sync::Mutex<HistogramSet>>>,
+                                    gauges: &GaugeSet| {
                     if let (Some(path), Some(set)) = (cfg.metrics_out.as_ref(), hists.as_ref()) {
-                        let text = set.lock().expect("histogram lock").render_prometheus();
+                        let mut text = set.lock().expect("histogram lock").render_prometheus();
+                        text.push_str(&gauges.render_prometheus());
                         let _ = std::fs::write(path, text);
                     }
                 };
@@ -279,15 +304,24 @@ impl TcpNode {
                 // Client request bookkeeping: engine ReqId → (conn, creq).
                 let mut pending: HashMap<ReqId, (u64, u64)> = HashMap::new();
                 let mut next_req = 1u64;
-                let dump_every = Duration::from_secs(1);
+                let dump_every = cfg.metrics_interval.max(Duration::from_millis(1));
                 let mut next_dump = Instant::now() + dump_every;
+                let mut gauges = GaugeSet::new();
+                let node_idx = u32::from(cfg.node.0);
 
                 loop {
-                    let input = match rx.recv_timeout(Duration::from_millis(200)) {
+                    let input = match rx.recv_timeout(dump_every.min(Duration::from_millis(200))) {
                         Ok(input) => input,
                         Err(RecvTimeoutError::Timeout) => {
                             if Instant::now() >= next_dump {
-                                dump_metrics(&hists);
+                                sample_node_gauges(
+                                    &mut gauges,
+                                    node_idx,
+                                    pending.len(),
+                                    engine.locked_records(),
+                                    rx.len(),
+                                );
+                                dump_metrics(&hists, &gauges);
                                 next_dump = Instant::now() + dump_every;
                             }
                             continue;
@@ -361,14 +395,36 @@ impl TcpNode {
                         } else {
                             dispatcher.dispatch(&mut engine, ev, &mut handler);
                         }
+                        let (_, c) = handler.into_parts();
+                        if cfg.batching && c.deposits > 0 {
+                            gauges.observe(
+                                GaugeKind::BatchFill,
+                                node_idx,
+                                c.protocol_msgs / c.deposits,
+                            );
+                        }
                     }
                     if Instant::now() >= next_dump {
-                        dump_metrics(&hists);
+                        sample_node_gauges(
+                            &mut gauges,
+                            node_idx,
+                            pending.len(),
+                            engine.locked_records(),
+                            rx.len(),
+                        );
+                        dump_metrics(&hists, &gauges);
                         next_dump = Instant::now() + dump_every;
                     }
                 }
                 // Final dump + flush so short-lived runs still export.
-                dump_metrics(&hists);
+                sample_node_gauges(
+                    &mut gauges,
+                    node_idx,
+                    pending.len(),
+                    engine.locked_records(),
+                    rx.len(),
+                );
+                dump_metrics(&hists, &gauges);
                 if let Some(tr) = dispatcher.tracer_mut() {
                     tr.flush_sinks();
                 }

@@ -5,7 +5,7 @@
 
 use minos_cluster::Cluster;
 use minos_core::obs::{
-    self, analyze, format_report, parse_jsonl, JsonlWriter, MetricsSink, OpKind,
+    self, analyze, format_report, parse_jsonl, GaugeKind, JsonlWriter, MetricsSink, OpKind,
 };
 use minos_types::{ClusterConfig, DdpModel, Key, NodeId, PersistencyModel, ScopeId};
 use std::path::PathBuf;
@@ -92,6 +92,34 @@ fn traced_cluster_replay_sums_to_end_to_end_latency() {
 
         let _ = std::fs::remove_file(&path);
     }
+}
+
+#[test]
+fn cluster_gauges_sample_resource_levels() {
+    let mut cfg = fast_cfg(3);
+    cfg.batching = true;
+    cfg.broadcast = true;
+    let cl = Cluster::spawn(cfg, DdpModel::lin(PersistencyModel::Strict));
+    for i in 0..8u64 {
+        cl.put(NodeId(0), Key(i), format!("g{i}").into()).unwrap();
+    }
+    let g = cl.gauges();
+    // Level gauges sample on the dispatch pacer (first dispatch counts),
+    // so a short run still reports the coordinator's levels…
+    assert!(
+        g.get(GaugeKind::InflightTxs, 0).is_some(),
+        "no in-flight sample on the coordinator"
+    );
+    assert!(
+        g.get(GaugeKind::LockTableSize, 0).is_some(),
+        "no lock-table sample on the coordinator"
+    );
+    // …and a batching cluster observes the fill of every flushed frame.
+    assert!(
+        g.high_water(GaugeKind::BatchFill).unwrap_or(0) >= 1,
+        "batching cluster never observed a flush"
+    );
+    cl.shutdown();
 }
 
 #[test]

@@ -42,6 +42,7 @@ fn spawn_tcp_cluster_with(
                 broadcast,
                 trace_out: None,
                 metrics_out: None,
+                metrics_interval: Duration::from_secs(1),
                 chaos: None,
                 fault: None,
             })

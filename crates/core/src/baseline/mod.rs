@@ -464,6 +464,13 @@ impl NodeEngine {
         self.store.iter().map(|(k, _)| *k).collect()
     }
 
+    /// Records currently holding an RDLock or WRLock (the lock-table
+    /// resource gauge).
+    #[must_use]
+    pub fn locked_records(&self) -> usize {
+        self.store.locked_records()
+    }
+
     /// Cumulative protocol statistics.
     #[must_use]
     pub fn stats(&self) -> &EngineStats {

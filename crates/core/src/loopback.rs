@@ -18,7 +18,7 @@
 
 use crate::baseline::NodeEngine;
 use crate::event::{DelayClass, Event, ReqId};
-use crate::obs::{SharedSink, TraceClock, Tracer};
+use crate::obs::{GaugeKind, GaugeSet, SharedSink, TraceClock, Tracer, GAUGE_NODE_ALL};
 use crate::offload::{OEvent, ONodeEngine, PcieMsg, Side};
 use crate::runtime::{
     ActionSink, DispatchStats, Dispatcher, ODispatchStats, ODispatcher, OSink, Transport,
@@ -95,7 +95,16 @@ pub struct BCluster {
     completions: Vec<Completion>,
     next_req: u64,
     scramble: Option<u64>,
+    /// Resource telemetry (lock-table size, in-flight ops, event-queue
+    /// depth), sampled every [`LOOPBACK_SAMPLE_STEPS`] dispatch steps.
+    gauges: GaugeSet,
+    steps: u64,
 }
+
+/// Dispatch steps between telemetry samples on the loopback clusters.
+/// The loopback harness has no clock, so the sequence counter paces the
+/// gauges; 64 keeps the lock-table scan off the hot path.
+const LOOPBACK_SAMPLE_STEPS: u64 = 64;
 
 /// xorshift64*, used for seeded event-order scrambling without pulling a
 /// random-number dependency into the protocol crate.
@@ -192,6 +201,8 @@ impl BCluster {
             completions: Vec::new(),
             next_req: 1,
             scramble: None,
+            gauges: GaugeSet::new(),
+            steps: 0,
         }
     }
 
@@ -334,7 +345,34 @@ impl BCluster {
             completions: &mut self.completions,
         };
         self.dispatchers[ni].dispatch(&mut self.engines[ni], ev, &mut handler);
+        self.steps += 1;
+        if self.steps.is_multiple_of(LOOPBACK_SAMPLE_STEPS) {
+            for (i, e) in self.engines.iter().enumerate() {
+                self.gauges.observe(
+                    GaugeKind::LockTableSize,
+                    i as u32,
+                    e.locked_records() as u64,
+                );
+            }
+            let done: u64 = self.completions.len() as u64;
+            self.gauges.observe(
+                GaugeKind::InflightTxs,
+                GAUGE_NODE_ALL,
+                (self.next_req - 1).saturating_sub(done),
+            );
+            self.gauges.observe(
+                GaugeKind::HostSendQueue,
+                GAUGE_NODE_ALL,
+                self.queue.len() as u64,
+            );
+        }
         true
+    }
+
+    /// The resource-telemetry gauges accumulated so far.
+    #[must_use]
+    pub fn gauges(&self) -> &GaugeSet {
+        &self.gauges
     }
 
     /// Runs until no event is queued.
@@ -424,6 +462,10 @@ pub struct OCluster {
     completions: Vec<Completion>,
     next_req: u64,
     scramble: Option<u64>,
+    /// Resource telemetry, sampled every [`LOOPBACK_SAMPLE_STEPS`]
+    /// dispatch steps (mirrors [`BCluster::gauges`]).
+    gauges: GaugeSet,
+    steps: u64,
 }
 
 /// The loopback handler for MINOS-O: PCIe descriptors and FIFO drains
@@ -511,6 +553,8 @@ impl OCluster {
             completions: Vec::new(),
             next_req: 1,
             scramble: None,
+            gauges: GaugeSet::new(),
+            steps: 0,
         }
     }
 
@@ -635,7 +679,34 @@ impl OCluster {
             completions: &mut self.completions,
         };
         self.dispatchers[ni].dispatch(&mut self.engines[ni], ev, &mut handler);
+        self.steps += 1;
+        if self.steps.is_multiple_of(LOOPBACK_SAMPLE_STEPS) {
+            for (i, e) in self.engines.iter().enumerate() {
+                self.gauges.observe(
+                    GaugeKind::LockTableSize,
+                    i as u32,
+                    e.locked_records() as u64,
+                );
+            }
+            let done: u64 = self.completions.len() as u64;
+            self.gauges.observe(
+                GaugeKind::InflightTxs,
+                GAUGE_NODE_ALL,
+                (self.next_req - 1).saturating_sub(done),
+            );
+            self.gauges.observe(
+                GaugeKind::HostSendQueue,
+                GAUGE_NODE_ALL,
+                self.queue.len() as u64,
+            );
+        }
         true
+    }
+
+    /// The resource-telemetry gauges accumulated so far.
+    #[must_use]
+    pub fn gauges(&self) -> &GaugeSet {
+        &self.gauges
     }
 
     /// Runs to quiescence.

@@ -1,0 +1,325 @@
+//! Resource-occupancy telemetry: the gauge/counter timeseries behind the
+//! paper's Figs. 5–13 resource stories.
+//!
+//! The protocol-boundary tracer ([`Tracer`](super::Tracer)) sees *events*;
+//! this module sees *levels*: vFIFO/dFIFO occupancy, send-queue depth,
+//! PCIe bytes, lock-table size, in-flight transactions, and the batch
+//! fill at each transport flush. Harnesses sample a [`GaugeSet`] on a
+//! configurable tick (virtual-clock driven in the DES kernels, heartbeat
+//! driven in the live clusters) and export it next to the latency
+//! histograms in the Prometheus text dump.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// The resource dimensions a MINOS harness can report.
+///
+/// The set is closed so every runtime names the same series and
+/// `BENCH_results.json` files stay comparable across PRs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GaugeKind {
+    /// MINOS-O volatile-FIFO occupancy (entries), sampled.
+    VfifoOccupancy,
+    /// MINOS-O durable-FIFO occupancy (entries), sampled.
+    DfifoOccupancy,
+    /// Host-side send-queue depth (jobs acquired but not yet drained),
+    /// sampled. In MINOS-B this is the host→NIC PCIe submission queue.
+    HostSendQueue,
+    /// NIC wire-TX queue depth, sampled.
+    NicSendQueue,
+    /// Cumulative bytes moved across the host↔NIC PCIe bus (counter).
+    PcieBytes,
+    /// Records whose metadata currently holds an RDLock or WRLock,
+    /// sampled.
+    LockTableSize,
+    /// Client operations admitted but not yet completed, sampled.
+    InflightTxs,
+    /// Protocol messages coalesced into the flushed batch, observed at
+    /// each transport flush boundary.
+    BatchFill,
+}
+
+impl GaugeKind {
+    /// Every kind, in render order.
+    pub const ALL: [GaugeKind; 8] = [
+        GaugeKind::VfifoOccupancy,
+        GaugeKind::DfifoOccupancy,
+        GaugeKind::HostSendQueue,
+        GaugeKind::NicSendQueue,
+        GaugeKind::PcieBytes,
+        GaugeKind::LockTableSize,
+        GaugeKind::InflightTxs,
+        GaugeKind::BatchFill,
+    ];
+
+    /// Stable snake_case label (the Prometheus `kind` label and the
+    /// `BENCH_results.json` key stem).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            GaugeKind::VfifoOccupancy => "vfifo_occupancy",
+            GaugeKind::DfifoOccupancy => "dfifo_occupancy",
+            GaugeKind::HostSendQueue => "host_send_queue",
+            GaugeKind::NicSendQueue => "nic_send_queue",
+            GaugeKind::PcieBytes => "pcie_bytes",
+            GaugeKind::LockTableSize => "lock_table_size",
+            GaugeKind::InflightTxs => "inflight_txs",
+            GaugeKind::BatchFill => "batch_fill",
+        }
+    }
+
+    /// Inverse of [`GaugeKind::label`].
+    #[must_use]
+    pub fn from_label(s: &str) -> Option<GaugeKind> {
+        GaugeKind::ALL.iter().copied().find(|k| k.label() == s)
+    }
+
+    /// True for monotonically accumulating series ([`GaugeSet::add`]);
+    /// false for level series ([`GaugeSet::observe`]).
+    #[must_use]
+    pub fn is_counter(self) -> bool {
+        matches!(self, GaugeKind::PcieBytes)
+    }
+}
+
+/// One gauge series: current level, high-water mark, and enough to form
+/// a mean over the samples taken so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Gauge {
+    /// Most recently observed level (for counters: the running total).
+    pub last: u64,
+    /// Highest level ever observed.
+    pub high_water: u64,
+    /// Observations taken.
+    pub samples: u64,
+    /// Sum of observed levels (mean = `sum / samples`).
+    pub sum: u64,
+}
+
+impl Gauge {
+    /// Mean observed level; 0.0 before the first sample.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.samples as f64
+        }
+    }
+
+    fn observe(&mut self, v: u64) {
+        self.last = v;
+        self.high_water = self.high_water.max(v);
+        self.samples += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    fn add(&mut self, delta: u64) {
+        self.last = self.last.saturating_add(delta);
+        self.high_water = self.high_water.max(self.last);
+        self.samples += 1;
+        self.sum = self.sum.saturating_add(delta);
+    }
+
+    fn merge(&mut self, other: &Gauge) {
+        self.last = self.last.max(other.last);
+        self.high_water = self.high_water.max(other.high_water);
+        self.samples += other.samples;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+}
+
+/// A set of [`Gauge`] series keyed by kind and node.
+///
+/// Level series take [`observe`](GaugeSet::observe) on the sampling
+/// tick; counters take [`add`](GaugeSet::add) at each contributing
+/// event. `u32::MAX` as the node index means "whole cluster".
+#[derive(Debug, Clone, Default)]
+pub struct GaugeSet {
+    series: BTreeMap<(GaugeKind, u32), Gauge>,
+}
+
+/// Node index meaning "not attributable to one node".
+pub const GAUGE_NODE_ALL: u32 = u32::MAX;
+
+impl GaugeSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        GaugeSet::default()
+    }
+
+    /// Samples level series `kind` at `node` as `value`.
+    pub fn observe(&mut self, kind: GaugeKind, node: u32, value: u64) {
+        self.series.entry((kind, node)).or_default().observe(value);
+    }
+
+    /// Accumulates `delta` into counter series `kind` at `node`.
+    pub fn add(&mut self, kind: GaugeKind, node: u32, delta: u64) {
+        self.series.entry((kind, node)).or_default().add(delta);
+    }
+
+    /// The series for (`kind`, `node`), if it ever took a sample.
+    #[must_use]
+    pub fn get(&self, kind: GaugeKind, node: u32) -> Option<&Gauge> {
+        self.series.get(&(kind, node))
+    }
+
+    /// Every populated series, ordered by kind then node.
+    pub fn iter(&self) -> impl Iterator<Item = (GaugeKind, u32, &Gauge)> {
+        self.series.iter().map(|(&(k, n), g)| (k, n, g))
+    }
+
+    /// True when no series has taken a sample.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Highest high-water mark for `kind` across all nodes, plus the sum
+    /// of counter totals — the cross-node summary `BENCH_results.json`
+    /// stores. Returns `None` when no node reported the series.
+    #[must_use]
+    pub fn high_water(&self, kind: GaugeKind) -> Option<u64> {
+        let mut any = false;
+        let mut acc: u64 = 0;
+        for ((k, _), g) in &self.series {
+            if *k == kind {
+                any = true;
+                if kind.is_counter() {
+                    acc = acc.saturating_add(g.last);
+                } else {
+                    acc = acc.max(g.high_water);
+                }
+            }
+        }
+        any.then_some(acc)
+    }
+
+    /// Folds `other` into `self`: levels take the max, counters and
+    /// sample counts accumulate.
+    pub fn merge(&mut self, other: &GaugeSet) {
+        for (&key, g) in &other.series {
+            self.series.entry(key).or_default().merge(g);
+        }
+    }
+
+    /// Renders the set in Prometheus text exposition format, appended
+    /// after the histogram families in the metrics dump:
+    ///
+    /// ```text
+    /// # TYPE minos_gauge gauge
+    /// minos_gauge{kind="vfifo_occupancy",node="2"} 3
+    /// minos_gauge_high_water{kind="vfifo_occupancy",node="2"} 5
+    /// minos_gauge_samples{kind="vfifo_occupancy",node="2"} 118
+    /// ```
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        if self.series.is_empty() {
+            return out;
+        }
+        out.push_str(
+            "# HELP minos_gauge Sampled resource level (counters report the running total).\n",
+        );
+        out.push_str("# TYPE minos_gauge gauge\n");
+        out.push_str("# HELP minos_gauge_high_water Highest level ever sampled.\n");
+        out.push_str("# TYPE minos_gauge_high_water gauge\n");
+        out.push_str("# HELP minos_gauge_samples Observations taken of the series.\n");
+        out.push_str("# TYPE minos_gauge_samples counter\n");
+        for ((kind, node), g) in &self.series {
+            let labels = if *node == GAUGE_NODE_ALL {
+                format!("kind=\"{}\"", kind.label())
+            } else {
+                format!("kind=\"{}\",node=\"{node}\"", kind.label())
+            };
+            let _ = writeln!(out, "minos_gauge{{{labels}}} {}", g.last);
+            let _ = writeln!(out, "minos_gauge_high_water{{{labels}}} {}", g.high_water);
+            let _ = writeln!(out, "minos_gauge_samples{{{labels}}} {}", g.samples);
+        }
+        out
+    }
+}
+
+/// A [`GaugeSet`] shared between a sampling loop and an exporter —
+/// the shape the threaded/TCP runtimes use.
+pub type SharedGauges = Arc<Mutex<GaugeSet>>;
+
+/// A fresh, shareable, empty [`GaugeSet`].
+#[must_use]
+pub fn shared_gauges() -> SharedGauges {
+    Arc::new(Mutex::new(GaugeSet::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_tracks_level_and_high_water() {
+        let mut g = GaugeSet::new();
+        g.observe(GaugeKind::VfifoOccupancy, 0, 2);
+        g.observe(GaugeKind::VfifoOccupancy, 0, 5);
+        g.observe(GaugeKind::VfifoOccupancy, 0, 1);
+        let s = g.get(GaugeKind::VfifoOccupancy, 0).unwrap();
+        assert_eq!(s.last, 1);
+        assert_eq!(s.high_water, 5);
+        assert_eq!(s.samples, 3);
+        assert!((s.mean() - 8.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_accumulates_counters() {
+        let mut g = GaugeSet::new();
+        g.add(GaugeKind::PcieBytes, 1, 64);
+        g.add(GaugeKind::PcieBytes, 1, 128);
+        let s = g.get(GaugeKind::PcieBytes, 1).unwrap();
+        assert_eq!(s.last, 192);
+        assert_eq!(s.high_water, 192);
+    }
+
+    #[test]
+    fn high_water_maxes_levels_and_sums_counters() {
+        let mut g = GaugeSet::new();
+        g.observe(GaugeKind::DfifoOccupancy, 0, 4);
+        g.observe(GaugeKind::DfifoOccupancy, 1, 7);
+        g.add(GaugeKind::PcieBytes, 0, 100);
+        g.add(GaugeKind::PcieBytes, 1, 50);
+        assert_eq!(g.high_water(GaugeKind::DfifoOccupancy), Some(7));
+        assert_eq!(g.high_water(GaugeKind::PcieBytes), Some(150));
+        assert_eq!(g.high_water(GaugeKind::BatchFill), None);
+    }
+
+    #[test]
+    fn merge_folds_levels_and_counters() {
+        let mut a = GaugeSet::new();
+        a.observe(GaugeKind::InflightTxs, 0, 3);
+        let mut b = GaugeSet::new();
+        b.observe(GaugeKind::InflightTxs, 0, 9);
+        b.add(GaugeKind::PcieBytes, 0, 32);
+        a.merge(&b);
+        assert_eq!(a.get(GaugeKind::InflightTxs, 0).unwrap().high_water, 9);
+        assert_eq!(a.get(GaugeKind::PcieBytes, 0).unwrap().last, 32);
+    }
+
+    #[test]
+    fn prometheus_render_names_every_series() {
+        let mut g = GaugeSet::new();
+        g.observe(GaugeKind::BatchFill, GAUGE_NODE_ALL, 4);
+        g.observe(GaugeKind::LockTableSize, 2, 1);
+        let text = g.render_prometheus();
+        assert!(text.contains("minos_gauge{kind=\"batch_fill\"} 4"));
+        assert!(text.contains("minos_gauge{kind=\"lock_table_size\",node=\"2\"} 1"));
+        assert!(text.contains("minos_gauge_high_water{kind=\"lock_table_size\",node=\"2\"} 1"));
+        assert!(text.contains("# TYPE minos_gauge gauge"));
+    }
+
+    #[test]
+    fn label_round_trips() {
+        for k in GaugeKind::ALL {
+            assert_eq!(GaugeKind::from_label(k.label()), Some(k));
+        }
+        assert_eq!(GaugeKind::from_label("nope"), None);
+    }
+}

@@ -191,6 +191,30 @@ impl LatencyHistogram {
         Some(self.max)
     }
 
+    /// Median ([`quantile_ns`](Self::quantile_ns) at 0.5).
+    #[must_use]
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile_ns(0.5)
+    }
+
+    /// 95th percentile.
+    #[must_use]
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile_ns(0.95)
+    }
+
+    /// 99th percentile.
+    #[must_use]
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile_ns(0.99)
+    }
+
+    /// 99.9th percentile — the tail the regression harness watches.
+    #[must_use]
+    pub fn p999(&self) -> Option<u64> {
+        self.quantile_ns(0.999)
+    }
+
     /// Adds `other` into `self`.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
@@ -325,6 +349,18 @@ impl HistogramSet {
                 "minos_op_latency_ns_count{{{labels}}} {}\n",
                 h.count()
             ));
+            for (q, tag) in [
+                (0.5, "0.5"),
+                (0.95, "0.95"),
+                (0.99, "0.99"),
+                (0.999, "0.999"),
+            ] {
+                if let Some(v) = h.quantile_ns(q) {
+                    out.push_str(&format!(
+                        "minos_op_latency_ns_quantile{{{labels},quantile=\"{tag}\"}} {v}\n"
+                    ));
+                }
+            }
         }
         out
     }
@@ -449,6 +485,69 @@ mod tests {
         assert!(text.contains("minos_op_latency_ns_sum{model=\"synch\",op=\"write\"} 1000020"));
         assert!(text.contains("model=\"event\",op=\"read\",le=\"7\"} 1"));
         assert!(text.contains("minos_op_latency_ns_count{model=\"event\",op=\"read\"} 1"));
+    }
+
+    #[test]
+    fn quantiles_are_exact_at_bucket_boundaries() {
+        // Every sample sits exactly on a bucket upper bound, so the
+        // quantile must come back exactly — no quantization error.
+        let mut h = LatencyHistogram::new();
+        let edges: Vec<u64> = (0..NUM_BUCKETS).step_by(37).map(bucket_upper).collect();
+        for &e in &edges {
+            h.record(e);
+        }
+        for (i, &e) in edges.iter().enumerate() {
+            // Mid-rank quantile targets sample i+1 without float-rounding
+            // ambiguity at the exact rank boundary.
+            let q = (i as f64 + 0.5) / edges.len() as f64;
+            assert_eq!(h.quantile_ns(q), Some(e), "q={q} edge={e}");
+        }
+        assert_eq!(h.p50(), h.quantile_ns(0.5));
+        assert_eq!(h.p999(), h.quantile_ns(0.999));
+    }
+
+    #[test]
+    fn single_sample_quantiles_collapse_to_it() {
+        let mut h = LatencyHistogram::new();
+        h.record(12_345);
+        for q in [0.0, 0.5, 0.95, 0.99, 0.999, 1.0] {
+            let v = h.quantile_ns(q).unwrap();
+            assert!(
+                v >= 12_345 && (v - 12_345) as f64 <= 12_345.0 * 0.0625,
+                "q={q} v={v}"
+            );
+        }
+        assert_eq!(h.p999(), h.quantile_ns(0.999));
+    }
+
+    #[test]
+    fn p999_error_stays_within_bucket_resolution() {
+        // 1000 distinct samples: p999 lands on the largest. The reported
+        // value is its bucket upper bound clamped to the observed max —
+        // within the advertised 6.25% relative error.
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 997);
+        }
+        let exact = 1000 * 997;
+        let got = h.p999().unwrap() as f64;
+        assert!(
+            got >= exact as f64 * (1.0 - 0.0625) && got <= exact as f64 * (1.0 + 0.0625),
+            "p999={got} exact={exact}"
+        );
+    }
+
+    #[test]
+    fn prometheus_exports_quantile_gauges() {
+        let mut set = HistogramSet::new();
+        for v in [10, 20, 30] {
+            set.record(PersistencyModel::Synchronous, OpKind::Write, v);
+        }
+        let text = set.render_prometheus();
+        assert!(text.contains(
+            "minos_op_latency_ns_quantile{model=\"synch\",op=\"write\",quantile=\"0.5\"}"
+        ));
+        assert!(text.contains("quantile=\"0.999\""));
     }
 
     #[test]

@@ -28,12 +28,23 @@
 //! The [`replay`] module turns a recorded trace back into per-op
 //! timelines whose category totals reproduce the paper's Fig. 4 latency
 //! breakdown; see `DESIGN.md` §4 for the taxonomy-to-figure mapping.
+//! [`perfetto`] renders the same stream as Chrome Trace Format JSON for
+//! visual inspection, and [`gauge`] adds the *resource* side of the
+//! story: sampled vFIFO/dFIFO occupancy, queue depths, PCIe bytes,
+//! lock-table size, in-flight transactions, and batch fill, with
+//! high-water marks, exported next to the histograms in the Prometheus
+//! dump and summarized in `BENCH_results.json`.
 
+pub mod gauge;
 pub mod hist;
+pub mod json;
+pub mod perfetto;
 pub mod replay;
 pub mod sinks;
 
+pub use gauge::{shared_gauges, Gauge, GaugeKind, GaugeSet, SharedGauges, GAUGE_NODE_ALL};
 pub use hist::{HistogramSet, LatencyHistogram, OpKind};
+pub use json::Json;
 pub use replay::{analyze, format_report, parse_jsonl, Category, OpTrace};
 pub use sinks::{JsonlWriter, MetricsSink, RingRecorder};
 

@@ -1,0 +1,390 @@
+//! Chrome Trace Format / Perfetto JSON export.
+//!
+//! Turns a [`TraceRecord`] stream into a trace that `chrome://tracing`
+//! or [ui.perfetto.dev](https://ui.perfetto.dev) renders directly:
+//!
+//! * one **process** per node, one **thread lane** per client request,
+//! * a `B`/`E` span per operation (admit → complete), with the Fig-4
+//!   critical-path categories as nested child slices that tile the op
+//!   interval exactly,
+//! * **flow arrows** from each coordinator fan-out to the follower
+//!   `msg_received` events it caused (the INV/VAL propagation picture),
+//! * `C` counter tracks for vFIFO/dFIFO occupancy reconstructed from
+//!   the enqueue/drain events (MINOS-O traces).
+//!
+//! Timestamps convert from trace nanoseconds to Chrome's microsecond
+//! doubles with 1 ns resolution (three decimals).
+
+use super::json::escape;
+use super::replay::{analyze, OpTrace};
+use super::{TraceEvent, TraceRecord};
+use std::fmt::Write as _;
+
+/// The `tid` used for per-node lanes that are not tied to one request
+/// (network receive slices, counter tracks).
+const NET_LANE: u64 = 0;
+
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// One Chrome Trace event, hand-formatted.
+fn push_event(out: &mut String, body: &str) {
+    if !out.is_empty() {
+        out.push_str(",\n");
+    }
+    out.push(' ');
+    out.push_str(body);
+}
+
+fn op_slice_name(op: &OpTrace) -> String {
+    let mut name = op.op.label().to_string();
+    if let Some(k) = op.key {
+        let _ = write!(name, " k{}", k.0);
+    }
+    if op.obsolete {
+        name.push_str(" (obsolete)");
+    }
+    name
+}
+
+/// Exports `records` as a complete Chrome Trace Format JSON document
+/// (the object form: `{"traceEvents": [...], "displayTimeUnit": "ns"}`).
+///
+/// `records` must carry coherent timestamps (one clock domain); merge
+/// and sort multi-node JSONL files by `at_ns` first, as `minos-trace`
+/// does.
+#[must_use]
+pub fn export(records: &[TraceRecord]) -> String {
+    let ops = analyze(records);
+    let mut ev = String::new();
+
+    // Process / thread naming metadata.
+    let mut nodes: Vec<u16> = records.iter().map(|r| r.node.0).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    for n in &nodes {
+        push_event(
+            &mut ev,
+            &format!(
+                r#"{{"ph":"M","pid":{n},"tid":0,"name":"process_name","args":{{"name":"node {n}"}}}}"#
+            ),
+        );
+        push_event(
+            &mut ev,
+            &format!(
+                r#"{{"ph":"M","pid":{n},"tid":{NET_LANE},"name":"thread_name","args":{{"name":"net/counters"}}}}"#
+            ),
+        );
+    }
+
+    // Per-op spans with nested critical-path slices. Lane = req id + 1
+    // (so the shared NET_LANE stays free).
+    for op in &ops {
+        let pid = op.node.0;
+        let tid = op.req.0 + 1;
+        push_event(
+            &mut ev,
+            &format!(
+                r#"{{"ph":"M","pid":{pid},"tid":{tid},"name":"thread_name","args":{{"name":"req {}"}}}}"#,
+                op.req.0
+            ),
+        );
+        push_event(
+            &mut ev,
+            &format!(
+                r#"{{"ph":"B","pid":{pid},"tid":{tid},"ts":{},"name":"{}","cat":"op"}}"#,
+                us(op.start_ns),
+                escape(&op_slice_name(op)),
+            ),
+        );
+        let mut cursor = op.start_ns;
+        for &(cat, dur) in &op.segments {
+            if dur > 0 {
+                push_event(
+                    &mut ev,
+                    &format!(
+                        r#"{{"ph":"B","pid":{pid},"tid":{tid},"ts":{},"name":"{}","cat":"critical-path"}}"#,
+                        us(cursor),
+                        cat.label(),
+                    ),
+                );
+                push_event(
+                    &mut ev,
+                    &format!(
+                        r#"{{"ph":"E","pid":{pid},"tid":{tid},"ts":{}}}"#,
+                        us(cursor + dur),
+                    ),
+                );
+            }
+            cursor += dur;
+        }
+        push_event(
+            &mut ev,
+            &format!(
+                r#"{{"ph":"E","pid":{pid},"tid":{tid},"ts":{}}}"#,
+                us(op.end_ns),
+            ),
+        );
+    }
+
+    // Flow arrows: coordinator fan-out → the next msg_received from
+    // that coordinator on each other node. Also thin receive slices on
+    // the follower net lane for the arrows to terminate on.
+    let mut flow_id: u64 = 0;
+    for (i, rec) in records.iter().enumerate() {
+        let TraceEvent::FanOut { key, .. } = &rec.event else {
+            continue;
+        };
+        // The op span this fan-out happened inside, for slice binding.
+        let Some(op) = ops.iter().find(|o| {
+            o.node == rec.node
+                && o.start_ns <= rec.at_ns
+                && rec.at_ns <= o.end_ns
+                && (o.key == *key || key.is_none())
+        }) else {
+            continue;
+        };
+        let mut seen: Vec<u16> = Vec::new();
+        let mut arrows = String::new();
+        for later in &records[i + 1..] {
+            let TraceEvent::MsgReceived {
+                from, key: rkey, ..
+            } = &later.event
+            else {
+                continue;
+            };
+            if *from != rec.node
+                || later.node == rec.node
+                || seen.contains(&later.node.0)
+                || (key.is_some() && rkey.is_some() && rkey != key)
+            {
+                continue;
+            }
+            seen.push(later.node.0);
+            let rpid = later.node.0;
+            // A 1 ns receive slice so the flow terminator has a slice
+            // to bind to.
+            push_event(
+                &mut arrows,
+                &format!(
+                    r#"{{"ph":"X","pid":{rpid},"tid":{NET_LANE},"ts":{},"dur":0.001,"name":"recv","cat":"net"}}"#,
+                    us(later.at_ns),
+                ),
+            );
+            push_event(
+                &mut arrows,
+                &format!(
+                    r#"{{"ph":"f","bp":"e","pid":{rpid},"tid":{NET_LANE},"ts":{},"id":{flow_id},"name":"fanout","cat":"flow"}}"#,
+                    us(later.at_ns),
+                ),
+            );
+        }
+        if !seen.is_empty() {
+            push_event(
+                &mut ev,
+                &format!(
+                    r#"{{"ph":"s","pid":{},"tid":{},"ts":{},"id":{flow_id},"name":"fanout","cat":"flow"}}"#,
+                    rec.node.0,
+                    op.req.0 + 1,
+                    us(rec.at_ns),
+                ),
+            );
+            ev.push_str(",\n ");
+            ev.push_str(&arrows);
+            flow_id += 1;
+        }
+    }
+
+    // FIFO occupancy counter tracks (MINOS-O traces), reconstructed
+    // from enqueue/drain pairs.
+    let mut vfifo: Vec<i64> = vec![0; 1 + nodes.last().map_or(0, |&n| n as usize)];
+    let mut dfifo = vfifo.clone();
+    for rec in records {
+        let (durable, delta) = match rec.event {
+            TraceEvent::FifoEnqueued { durable, .. } => (durable, 1),
+            TraceEvent::FifoDrained { durable, .. } => (durable, -1),
+            _ => continue,
+        };
+        let tbl = if durable { &mut dfifo } else { &mut vfifo };
+        let slot = &mut tbl[rec.node.0 as usize];
+        *slot = (*slot + delta).max(0);
+        push_event(
+            &mut ev,
+            &format!(
+                r#"{{"ph":"C","pid":{},"tid":{NET_LANE},"ts":{},"name":"{}","args":{{"entries":{}}}}}"#,
+                rec.node.0,
+                us(rec.at_ns),
+                if durable { "dfifo" } else { "vfifo" },
+                *slot,
+            ),
+        );
+    }
+
+    format!("{{\"traceEvents\": [\n{ev}\n], \"displayTimeUnit\": \"ns\"}}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::json::Json;
+    use super::super::TraceRecord;
+    use super::*;
+    use crate::event::ReqId;
+    use crate::obs::hist::OpKind;
+    use minos_types::{Key, MessageKind, NodeId, Ts};
+
+    fn rec(at_ns: u64, node: u16, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            at_ns,
+            node: NodeId(node),
+            event,
+        }
+    }
+
+    fn tiny_trace() -> Vec<TraceRecord> {
+        vec![
+            rec(
+                100,
+                0,
+                TraceEvent::OpAdmitted {
+                    op: OpKind::Write,
+                    req: ReqId(1),
+                    key: Some(Key(7)),
+                    scope: None,
+                },
+            ),
+            rec(150, 0, TraceEvent::WriteStarted { key: Key(7) }),
+            rec(
+                200,
+                0,
+                TraceEvent::FanOut {
+                    dests: 2,
+                    kind: MessageKind::Inv,
+                    key: Some(Key(7)),
+                },
+            ),
+            rec(
+                300,
+                1,
+                TraceEvent::MsgReceived {
+                    from: NodeId(0),
+                    kind: MessageKind::Inv,
+                    key: Some(Key(7)),
+                },
+            ),
+            rec(
+                320,
+                2,
+                TraceEvent::MsgReceived {
+                    from: NodeId(0),
+                    kind: MessageKind::Inv,
+                    key: Some(Key(7)),
+                },
+            ),
+            rec(
+                400,
+                0,
+                TraceEvent::PersistStarted {
+                    key: Key(7),
+                    background: false,
+                },
+            ),
+            rec(500, 0, TraceEvent::PersistCompleted { key: Key(7) }),
+            rec(
+                520,
+                0,
+                TraceEvent::OpCompleted {
+                    op: OpKind::Write,
+                    req: ReqId(1),
+                    key: Some(Key(7)),
+                    obsolete: false,
+                    ts: Some(Ts::new(NodeId(0), 1)),
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn export_is_valid_json_with_trace_events() {
+        let doc = export(&tiny_trace());
+        let parsed = Json::parse(&doc).expect("valid JSON");
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(!events.is_empty());
+        assert_eq!(parsed.get("displayTimeUnit").unwrap().as_str(), Some("ns"));
+    }
+
+    #[test]
+    fn spans_balance_and_flows_pair_up() {
+        let doc = export(&tiny_trace());
+        let parsed = Json::parse(&doc).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        let count = |ph: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(Json::as_str) == Some(ph))
+                .count()
+        };
+        assert_eq!(count("B"), count("E"), "unbalanced B/E events");
+        assert_eq!(count("s"), 1, "one fan-out start");
+        assert_eq!(count("f"), 2, "two follower terminations");
+        assert!(count("B") >= 2, "op span plus at least one category slice");
+    }
+
+    #[test]
+    fn empty_trace_exports_empty_document() {
+        let doc = export(&[]);
+        let parsed = Json::parse(&doc).unwrap();
+        assert_eq!(
+            parsed.get("traceEvents").unwrap().as_arr().unwrap().len(),
+            0
+        );
+    }
+
+    #[test]
+    fn fifo_events_become_counter_tracks() {
+        let records = vec![
+            rec(
+                10,
+                0,
+                TraceEvent::FifoEnqueued {
+                    durable: false,
+                    key: Key(1),
+                },
+            ),
+            rec(
+                20,
+                0,
+                TraceEvent::FifoDrained {
+                    durable: false,
+                    key: Key(1),
+                },
+            ),
+        ];
+        let doc = export(&records);
+        let parsed = Json::parse(&doc).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        let counters: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 2);
+        assert_eq!(
+            counters[0]
+                .get("args")
+                .unwrap()
+                .get("entries")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            counters[1]
+                .get("args")
+                .unwrap()
+                .get("entries")
+                .unwrap()
+                .as_u64(),
+            Some(0)
+        );
+    }
+}

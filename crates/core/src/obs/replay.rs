@@ -176,7 +176,10 @@ impl Category {
         }
     }
 
-    fn index(self) -> usize {
+    /// Stable position of this category in a `[u64; 4]` breakdown (the
+    /// order of [`Category::ALL`]).
+    #[must_use]
+    pub fn index(self) -> usize {
         match self {
             Category::Dispatch => 0,
             Category::Computation => 1,

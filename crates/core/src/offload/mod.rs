@@ -419,6 +419,13 @@ impl ONodeEngine {
         self.store.iter().map(|(k, _)| *k).collect()
     }
 
+    /// Records currently holding an RDLock or WRLock (the lock-table
+    /// resource gauge).
+    #[must_use]
+    pub fn locked_records(&self) -> usize {
+        self.store.locked_records()
+    }
+
     /// Views of every in-flight coordinator transaction (invariant
     /// checks), mirroring [`crate::NodeEngine::coord_tx_views`].
     #[must_use]

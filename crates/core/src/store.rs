@@ -75,6 +75,17 @@ impl Store {
         self.records.iter()
     }
 
+    /// Records whose metadata currently holds an RDLock or WRLock — the
+    /// lock-table-size resource gauge
+    /// ([`GaugeKind::LockTableSize`](crate::obs::GaugeKind)).
+    #[must_use]
+    pub fn locked_records(&self) -> usize {
+        self.records
+            .values()
+            .filter(|r| r.meta.rd_lock_owner.is_some() || r.meta.wr_lock)
+            .count()
+    }
+
     /// Number of materialized records.
     #[must_use]
     pub fn len(&self) -> usize {

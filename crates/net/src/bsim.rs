@@ -3,10 +3,10 @@
 use crate::arch::Arch;
 use crate::driver::{CompletionKind, CompletionRec};
 use crate::timing::{self, DISPATCH_NS};
-use minos_core::obs::{SharedSink, TraceClock, Tracer};
+use minos_core::obs::{GaugeKind, GaugeSet, SharedSink, TraceClock, Tracer, GAUGE_NODE_ALL};
 use minos_core::runtime::{self, ActionSink, DispatchStats, Dispatcher, Transport};
 use minos_core::{Action, DelayClass, Event, NodeEngine, ReqId, Side};
-use minos_sim::{CorePool, EventQueue, Resource, Time};
+use minos_sim::{CorePool, DepthTracker, EventQueue, Resource, Time};
 use minos_types::{DdpModel, Key, Message, MessageKind, NodeId, ScopeId, SimConfig, Ts, Value};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,6 +23,10 @@ struct NodeRes {
     pcie_tx: Resource,
     /// NIC send engine (serializes outgoing messages).
     nic_tx: Resource,
+    /// Telemetry companion: host send-queue (PCIe submission) depth.
+    pcie_depth: DepthTracker,
+    /// Telemetry companion: NIC wire-TX queue depth.
+    nic_depth: DepthTracker,
 }
 
 /// Per-write instrumentation for the Figure 4 communication/computation
@@ -57,6 +61,14 @@ pub struct BSim {
     /// Virtual-clock source shared with attached tracers: holds the
     /// simulated time of the event being dispatched.
     vclock: Option<Arc<AtomicU64>>,
+    /// Resource telemetry, sampled every `cfg.telemetry_tick_ns` of
+    /// virtual time (PCIe bytes and batch fill accumulate event-driven).
+    gauges: GaugeSet,
+    /// Next virtual-time telemetry sample point.
+    next_sample: Time,
+    /// Completions already handed out through `drain_completions` (for
+    /// the in-flight gauge).
+    drained: u64,
 }
 
 impl BSim {
@@ -75,6 +87,8 @@ impl BSim {
                     cores: CorePool::new(cfg.host_cores),
                     pcie_tx: Resource::new(),
                     nic_tx: Resource::new(),
+                    pcie_depth: DepthTracker::new(),
+                    nic_depth: DepthTracker::new(),
                 })
                 .collect(),
             pcie_rx: vec![Resource::new(); n],
@@ -83,6 +97,9 @@ impl BSim {
             traces: HashMap::new(),
             next_req: 1,
             vclock: None,
+            gauges: GaugeSet::new(),
+            next_sample: 0,
+            drained: 0,
             cfg,
             arch,
         }
@@ -165,7 +182,47 @@ impl BSim {
 
     /// Drains the completions recorded since the last call.
     pub fn drain_completions(&mut self) -> Vec<CompletionRec> {
-        std::mem::take(&mut self.completions)
+        let out = std::mem::take(&mut self.completions);
+        self.drained += out.len() as u64;
+        out
+    }
+
+    /// The resource-telemetry gauges accumulated so far.
+    #[must_use]
+    pub fn gauges(&self) -> &GaugeSet {
+        &self.gauges
+    }
+
+    /// Samples the level gauges at virtual time `t` when a telemetry
+    /// tick boundary has been crossed (one sample per crossing).
+    fn sample_gauges(&mut self, t: Time) {
+        let tick = self.cfg.telemetry_tick_ns;
+        if tick == 0 || t < self.next_sample {
+            return;
+        }
+        self.next_sample = (t / tick + 1) * tick;
+        for (i, res) in self.nodes.iter_mut().enumerate() {
+            let node = i as u32;
+            self.gauges.observe(
+                GaugeKind::HostSendQueue,
+                node,
+                res.pcie_depth.depth(t) as u64,
+            );
+            self.gauges
+                .observe(GaugeKind::NicSendQueue, node, res.nic_depth.depth(t) as u64);
+            self.gauges.observe(
+                GaugeKind::LockTableSize,
+                node,
+                self.engines[i].locked_records() as u64,
+            );
+        }
+        let issued = self.next_req - 1;
+        let done = self.drained + self.completions.len() as u64;
+        self.gauges.observe(
+            GaugeKind::InflightTxs,
+            GAUGE_NODE_ALL,
+            issued.saturating_sub(done),
+        );
     }
 
     /// Access to a node's engine (assertions, state dumps).
@@ -198,6 +255,7 @@ impl BSim {
         if let Some(v) = &self.vclock {
             v.store(t, Ordering::Relaxed);
         }
+        self.sample_gauges(t);
 
         // Instrumentation: acknowledgment arrivals close the comm window.
         if let Event::Message { msg, .. } = &ev {
@@ -229,6 +287,7 @@ impl BSim {
             queue: &mut self.queue,
             completions: &mut self.completions,
             traces: &mut self.traces,
+            gauges: &mut self.gauges,
         };
         self.dispatchers[ni].dispatch(&mut self.engines[ni], ev, &mut handler);
         true
@@ -258,6 +317,7 @@ struct BSimHandler<'a> {
     queue: &'a mut EventQueue<(NodeId, Event)>,
     completions: &'a mut Vec<CompletionRec>,
     traces: &'a mut HashMap<(Key, Ts), TxTrace>,
+    gauges: &'a mut GaugeSet,
 }
 
 impl BSimHandler<'_> {
@@ -268,12 +328,31 @@ impl BSimHandler<'_> {
         self.cfg.pcie_transfer_ns(bytes.max(64))
     }
 
+    /// Occupies the host→NIC PCIe bus for `bytes` starting at `from`,
+    /// feeding the send-queue-depth tracker and the PCIe-byte counter.
+    fn pcie_tx(&mut self, from: Time, bytes: u64) -> Time {
+        let done = self.res.pcie_tx.acquire(from, self.pcie_msg_ns(bytes));
+        self.res.pcie_depth.on_acquire(done);
+        self.gauges
+            .add(GaugeKind::PcieBytes, u32::from(self.node.0), bytes.max(64));
+        done
+    }
+
+    /// Occupies the NIC send engine, feeding the TX-queue-depth tracker.
+    fn nic_tx(&mut self, from: Time, cost: Time) -> Time {
+        let depart = self.res.nic_tx.acquire(from, cost);
+        self.res.nic_depth.on_acquire(depart);
+        depart
+    }
+
     /// Wire + receiver-side path shared by unicast and fan-out.
     fn deliver(&mut self, to: NodeId, depart: Time, msg: Message) {
         let bytes = msg.wire_bytes();
         let arrival_nic = depart + timing::link_time(self.cfg, &msg);
         let cost = self.pcie_msg_ns(bytes);
         let arrival_host = self.peer_rx[to.0 as usize].acquire(arrival_nic, cost);
+        self.gauges
+            .add(GaugeKind::PcieBytes, u32::from(to.0), bytes.max(64));
         self.queue.schedule(
             arrival_host,
             (
@@ -292,12 +371,8 @@ impl Transport for BSimHandler<'_> {
     /// NIC → PCIe → host receive queue.
     fn send(&mut self, to: NodeId, msg: Message) {
         let bytes = msg.wire_bytes();
-        let cost = self.pcie_msg_ns(bytes);
-        let pcie_done = self.res.pcie_tx.acquire(self.end, cost);
-        let depart = self
-            .res
-            .nic_tx
-            .acquire(pcie_done, timing::send_cost(self.cfg, &msg));
+        let pcie_done = self.pcie_tx(self.end, bytes);
+        let depart = self.nic_tx(pcie_done, timing::send_cost(self.cfg, &msg));
         self.deliver(to, depart, msg);
     }
 
@@ -324,11 +399,15 @@ impl Transport for BSimHandler<'_> {
         if self.arch.batching {
             // One descriptor (payload + an 8-byte entry per destination).
             let desc = bytes + 8 * dests.len() as u64;
-            let cost = self.pcie_msg_ns(desc);
-            let pcie_done = self.res.pcie_tx.acquire(deposit, cost);
+            let pcie_done = self.pcie_tx(deposit, desc);
+            self.gauges.observe(
+                GaugeKind::BatchFill,
+                u32::from(self.node.0),
+                dests.len() as u64,
+            );
             if self.arch.broadcast {
                 // Deposit once; the broadcast FSM replicates on the wire.
-                let depart = self.res.nic_tx.acquire(pcie_done, send);
+                let depart = self.nic_tx(pcie_done, send);
                 for &d in dests {
                     self.deliver(d, depart, msg.clone());
                 }
@@ -336,16 +415,15 @@ impl Transport for BSimHandler<'_> {
                 // The NIC must unpack the batch, then send serially.
                 let base = pcie_done + self.cfg.batch_unpack_ns;
                 for &d in dests {
-                    let depart = self.res.nic_tx.acquire(base, send + gap);
+                    let depart = self.nic_tx(base, send + gap);
                     self.deliver(d, depart, msg.clone());
                 }
             }
         } else {
             // One PCIe transfer per destination, serialized.
             let mut first = true;
-            let cost = self.pcie_msg_ns(bytes);
             for &d in dests {
-                let pcie_done = self.res.pcie_tx.acquire(deposit, cost);
+                let pcie_done = self.pcie_tx(deposit, bytes);
                 let cost = if self.arch.broadcast {
                     // The FSM only pays the prepare cost once.
                     if first {
@@ -357,7 +435,7 @@ impl Transport for BSimHandler<'_> {
                     send + gap
                 };
                 first = false;
-                let depart = self.res.nic_tx.acquire(pcie_done, cost);
+                let depart = self.nic_tx(pcie_done, cost);
                 self.deliver(d, depart, msg.clone());
             }
         }

@@ -5,6 +5,9 @@
 use crate::arch::Arch;
 use crate::bsim::BSim;
 use crate::osim::OSim;
+use minos_core::obs::{
+    analyze, Category, GaugeSet, HistogramSet, MetricsSink, RingRecorder, SharedSink,
+};
 use minos_core::ReqId;
 use minos_sim::{LatencyStats, Time};
 use minos_types::{DdpModel, Key, NodeId, PersistencyModel, ScopeId, SimConfig, Value};
@@ -158,6 +161,20 @@ impl SimBox {
             SimBox::O(s) => s.drain_completions(),
         }
     }
+
+    fn attach_tracer(&mut self, sinks: Vec<SharedSink>) {
+        match self {
+            SimBox::B(s) => s.attach_tracer(sinks),
+            SimBox::O(s) => s.attach_tracer(sinks),
+        }
+    }
+
+    fn gauges(&self) -> &GaugeSet {
+        match self {
+            SimBox::B(s) => s.gauges(),
+            SimBox::O(s) => s.gauges(),
+        }
+    }
 }
 
 /// Writes issued per scope before a `[PERSIST]sc` under `<Lin, Scope>`.
@@ -213,8 +230,8 @@ pub fn run_with_clients(
     seed: u64,
     clients_per_node: usize,
 ) -> RunResult {
-    let sim = SimBox::new(arch, cfg, model);
-    run_on(sim, arch, cfg, model, spec, seed, clients_per_node)
+    let mut sim = SimBox::new(arch, cfg, model);
+    run_on(&mut sim, arch, cfg, model, spec, seed, clients_per_node)
 }
 
 /// MINOS-B with the RDLock-snatching optimization of §III-A disabled —
@@ -233,8 +250,9 @@ pub fn run_b_snatch_ablation(
     if !snatch {
         b.disable_snatching();
     }
+    let mut sim = SimBox::B(Box::new(b));
     run_on(
-        SimBox::B(Box::new(b)),
+        &mut sim,
         Arch::baseline(),
         cfg,
         model,
@@ -244,8 +262,73 @@ pub fn run_b_snatch_ablation(
     )
 }
 
+/// One simulated run with the full second-generation observability stack
+/// attached: latency histograms, resource gauges, and the Fig-4
+/// critical-path category totals — what the `minos-bench` regression
+/// harness records per sweep point.
+#[derive(Debug, Clone)]
+pub struct ObservedRun {
+    /// The classic throughput/latency aggregates.
+    pub result: RunResult,
+    /// Per model × op latency histograms (p50/p95/p99/p999 source).
+    pub hists: HistogramSet,
+    /// Resource telemetry sampled during the run.
+    pub gauges: GaugeSet,
+    /// Total nanoseconds per Fig-4 critical-path category, summed over
+    /// every analyzed coordinator-side op
+    /// (index = [`Category::index`]).
+    pub breakdown: [u64; 4],
+    /// Ops the critical-path replay reconstructed (0 when the trace
+    /// ring overflowed badly).
+    pub analyzed_ops: u64,
+}
+
+/// [`run_with_clients`] with tracing attached: returns the run result
+/// plus histograms, gauge telemetry, and critical-path totals.
+///
+/// `trace_capacity` bounds the in-memory trace ring (records beyond it
+/// drop oldest-first, shrinking `analyzed_ops`).
+#[must_use]
+pub fn run_observed(
+    arch: Arch,
+    cfg: &SimConfig,
+    model: DdpModel,
+    spec: &WorkloadSpec,
+    seed: u64,
+    clients_per_node: usize,
+    trace_capacity: usize,
+) -> ObservedRun {
+    use std::sync::{Arc, Mutex};
+
+    let mut sim = SimBox::new(arch, cfg, model);
+    let (msink, hists) = MetricsSink::new(model.persistency);
+    let ring = Arc::new(Mutex::new(RingRecorder::new(trace_capacity.max(1))));
+    let ring_sink: SharedSink = ring.clone();
+    sim.attach_tracer(vec![Arc::new(Mutex::new(msink)), ring_sink]);
+
+    let result = run_on(&mut sim, arch, cfg, model, spec, seed, clients_per_node);
+
+    let records = ring.lock().expect("ring poisoned").to_vec();
+    let ops = analyze(&records);
+    let mut breakdown = [0u64; 4];
+    for op in &ops {
+        for (i, v) in op.breakdown().iter().enumerate() {
+            breakdown[i] += v;
+        }
+    }
+    debug_assert_eq!(Category::ALL.len(), breakdown.len());
+    let hists = hists.lock().expect("hists poisoned").clone();
+    ObservedRun {
+        result,
+        hists,
+        gauges: sim.gauges().clone(),
+        breakdown,
+        analyzed_ops: ops.len() as u64,
+    }
+}
+
 fn run_on(
-    mut sim: SimBox,
+    sim: &mut SimBox,
     arch_label: Arch,
     cfg: &SimConfig,
     model: DdpModel,
@@ -287,7 +370,7 @@ fn run_on(
 
     // Prime one operation per client.
     for i in 0..clients.len() {
-        submit_next(&mut sim, &mut clients, i, 0, scoped, &mut pending);
+        submit_next(sim, &mut clients, i, 0, scoped, &mut pending);
     }
 
     while sim.step() {
@@ -314,14 +397,7 @@ fn run_on(
                     clients[p.client].waiting_persist = false;
                 }
             }
-            submit_next(
-                &mut sim,
-                &mut clients,
-                p.client,
-                rec.at,
-                scoped,
-                &mut pending,
-            );
+            submit_next(sim, &mut clients, p.client, rec.at, scoped, &mut pending);
         }
     }
 

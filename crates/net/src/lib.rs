@@ -44,6 +44,6 @@ mod timing;
 
 pub use arch::Arch;
 pub use bsim::BSim;
-pub use driver::{CompletionKind, CompletionRec, RunResult};
+pub use driver::{run_observed, CompletionKind, CompletionRec, ObservedRun, RunResult};
 pub use osim::OSim;
 pub use timing::meta_cost;

@@ -3,10 +3,10 @@
 use crate::arch::Arch;
 use crate::driver::{CompletionKind, CompletionRec};
 use crate::timing::{self, DISPATCH_NS};
-use minos_core::obs::{SharedSink, TraceClock, Tracer};
+use minos_core::obs::{GaugeKind, GaugeSet, SharedSink, TraceClock, Tracer, GAUGE_NODE_ALL};
 use minos_core::runtime::{self, ODispatchStats, ODispatcher, OSink, Transport};
 use minos_core::{OAction, OEvent, ONodeEngine, PcieMsg, ReqId, Side};
-use minos_sim::{BoundedFifo, CorePool, EventQueue, Resource, Time};
+use minos_sim::{BoundedFifo, CorePool, DepthTracker, EventQueue, Resource, Time};
 use minos_types::{DdpModel, Key, Message, MessageKind, NodeId, ScopeId, SimConfig, Ts, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -23,6 +23,10 @@ struct ONodeRes {
     nic_tx: Resource,
     vfifo: BoundedFifo,
     dfifo: BoundedFifo,
+    /// Telemetry companion: host→SNIC PCIe submission-queue depth.
+    pcie_depth: DepthTracker,
+    /// Telemetry companion: SNIC wire-TX queue depth.
+    nic_depth: DepthTracker,
 }
 
 /// The MINOS-O discrete-event simulation.
@@ -49,6 +53,13 @@ pub struct OSim {
     /// Virtual-clock source shared with attached tracers: holds the
     /// simulated time of the event being dispatched.
     vclock: Option<Arc<AtomicU64>>,
+    /// Resource telemetry, sampled every `cfg.telemetry_tick_ns` of
+    /// virtual time (PCIe bytes and batch fill accumulate event-driven).
+    gauges: GaugeSet,
+    /// Next virtual-time telemetry sample point.
+    next_sample: Time,
+    /// Completions already handed out through `drain_completions`.
+    drained: u64,
 }
 
 impl OSim {
@@ -71,12 +82,17 @@ impl OSim {
                     nic_tx: Resource::new(),
                     vfifo: BoundedFifo::new(cfg.vfifo_entries),
                     dfifo: BoundedFifo::new(cfg.dfifo_entries),
+                    pcie_depth: DepthTracker::new(),
+                    nic_depth: DepthTracker::new(),
                 })
                 .collect(),
             queue: EventQueue::new(),
             completions: Vec::new(),
             next_req: 1,
             vclock: None,
+            gauges: GaugeSet::new(),
+            next_sample: 0,
+            drained: 0,
             cfg,
             arch,
         }
@@ -159,7 +175,57 @@ impl OSim {
 
     /// Drains recorded completions.
     pub fn drain_completions(&mut self) -> Vec<CompletionRec> {
-        std::mem::take(&mut self.completions)
+        let out = std::mem::take(&mut self.completions);
+        self.drained += out.len() as u64;
+        out
+    }
+
+    /// The resource-telemetry gauges accumulated so far.
+    #[must_use]
+    pub fn gauges(&self) -> &GaugeSet {
+        &self.gauges
+    }
+
+    /// Samples the level gauges at virtual time `t` when a telemetry
+    /// tick boundary has been crossed (one sample per crossing).
+    fn sample_gauges(&mut self, t: Time) {
+        let tick = self.cfg.telemetry_tick_ns;
+        if tick == 0 || t < self.next_sample {
+            return;
+        }
+        self.next_sample = (t / tick + 1) * tick;
+        for (i, res) in self.nodes.iter_mut().enumerate() {
+            let node = i as u32;
+            self.gauges.observe(
+                GaugeKind::VfifoOccupancy,
+                node,
+                res.vfifo.occupancy(t) as u64,
+            );
+            self.gauges.observe(
+                GaugeKind::DfifoOccupancy,
+                node,
+                res.dfifo.occupancy(t) as u64,
+            );
+            self.gauges.observe(
+                GaugeKind::HostSendQueue,
+                node,
+                res.pcie_depth.depth(t) as u64,
+            );
+            self.gauges
+                .observe(GaugeKind::NicSendQueue, node, res.nic_depth.depth(t) as u64);
+            self.gauges.observe(
+                GaugeKind::LockTableSize,
+                node,
+                self.engines[i].locked_records() as u64,
+            );
+        }
+        let issued = self.next_req - 1;
+        let done = self.drained + self.completions.len() as u64;
+        self.gauges.observe(
+            GaugeKind::InflightTxs,
+            GAUGE_NODE_ALL,
+            issued.saturating_sub(done),
+        );
     }
 
     /// Access to a node's engine.
@@ -199,6 +265,7 @@ impl OSim {
         if let Some(v) = &self.vclock {
             v.store(t, Ordering::Relaxed);
         }
+        self.sample_gauges(t);
         let side = Self::side_of(&ev);
 
         let n_nodes = self.engines.len();
@@ -215,6 +282,7 @@ impl OSim {
             res: &mut self.nodes[ni],
             queue: &mut self.queue,
             completions: &mut self.completions,
+            gauges: &mut self.gauges,
         };
         self.dispatchers[ni].dispatch(&mut self.engines[ni], ev, &mut handler);
         true
@@ -248,6 +316,7 @@ struct OSimHandler<'a> {
     res: &'a mut ONodeRes,
     queue: &'a mut EventQueue<(NodeId, OEvent)>,
     completions: &'a mut Vec<CompletionRec>,
+    gauges: &'a mut GaugeSet,
 }
 
 impl OSimHandler<'_> {
@@ -301,13 +370,20 @@ impl OSimHandler<'_> {
     }
 }
 
+impl OSimHandler<'_> {
+    /// Occupies the SNIC send engine, feeding the TX-queue-depth
+    /// telemetry tracker.
+    fn nic_tx(&mut self, from: Time, cost: Time) -> Time {
+        let depart = self.res.nic_tx.acquire(from, cost);
+        self.res.nic_depth.on_acquire(depart);
+        depart
+    }
+}
+
 impl Transport for OSimHandler<'_> {
     fn send(&mut self, to: NodeId, msg: Message) {
         let start = self.send_gate(&msg);
-        let depart = self
-            .res
-            .nic_tx
-            .acquire(start, timing::send_cost(self.cfg, &msg));
+        let depart = self.nic_tx(start, timing::send_cost(self.cfg, &msg));
         self.deliver(to, depart, msg);
     }
 
@@ -319,7 +395,7 @@ impl Transport for OSimHandler<'_> {
         let start = self.send_gate(&msg);
         let send = timing::send_cost(self.cfg, &msg);
         if self.arch.broadcast {
-            let depart = self.res.nic_tx.acquire(start, send);
+            let depart = self.nic_tx(start, send);
             for &d in dests {
                 self.deliver(d, depart, msg.clone());
             }
@@ -330,10 +406,7 @@ impl Transport for OSimHandler<'_> {
                 start
             };
             for &d in dests {
-                let depart = self
-                    .res
-                    .nic_tx
-                    .acquire(base, send + self.cfg.inter_msg_gap_ns);
+                let depart = self.nic_tx(base, send + self.cfg.inter_msg_gap_ns);
                 self.deliver(d, depart, msg.clone());
             }
         }
@@ -370,6 +443,22 @@ impl OSink for OSimHandler<'_> {
             (PcieMsg::BatchedInv { .. }, false) => (self.n_nodes - 1).max(1) as u64,
             _ => 1,
         };
+        if self.arch.batching {
+            if let PcieMsg::BatchedInv { .. } = &msg {
+                // One descriptor carried the whole fan-out: its fill is
+                // the destination count.
+                self.gauges.observe(
+                    GaugeKind::BatchFill,
+                    u32::from(self.node.0),
+                    (self.n_nodes - 1).max(1) as u64,
+                );
+            }
+        }
+        self.gauges.add(
+            GaugeKind::PcieBytes,
+            u32::from(self.node.0),
+            bytes.max(64) * transfers,
+        );
         let res = match from {
             Side::Host => &mut self.res.pcie_down,
             Side::Snic => &mut self.res.pcie_up,
@@ -378,6 +467,10 @@ impl OSink for OSimHandler<'_> {
         let mut bw_done = self.end;
         for _ in 0..transfers {
             bw_done = res.acquire(self.end, bw);
+        }
+        if from == Side::Host {
+            // Host-side submissions feed the host send-queue gauge.
+            self.res.pcie_depth.on_acquire(bw_done);
         }
         let arrival = bw_done + self.cfg.pcie_latency_ns;
         let ev = match from {
@@ -391,6 +484,8 @@ impl OSink for OSimHandler<'_> {
         let write = self.cfg.vfifo_write_ns(bytes);
         // Drain = DMA into the host LLC across PCIe.
         let drain = self.cfg.pcie_transfer_ns(bytes) + self.cfg.llc_update_ns(bytes);
+        self.gauges
+            .add(GaugeKind::PcieBytes, u32::from(self.node.0), bytes.max(64));
         let outcome = self.res.vfifo.enqueue(self.end, write, drain);
         self.vq_done = Some(outcome.enqueued_at);
         self.queue.schedule(
@@ -407,6 +502,8 @@ impl OSink for OSimHandler<'_> {
         // the host NVM log shows up in the drained-event time.
         let outcome = self.res.dfifo.enqueue(self.end, write, 0);
         self.dq_done = Some(outcome.enqueued_at);
+        self.gauges
+            .add(GaugeKind::PcieBytes, u32::from(self.node.0), bytes.max(64));
         let dma_done = outcome.drained_at + self.cfg.pcie_transfer_ns(bytes);
         self.queue
             .schedule(dma_done, (self.node, OEvent::DfifoDrained { key, ts }));

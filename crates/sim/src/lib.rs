@@ -45,7 +45,7 @@ mod stats;
 
 pub use fifo::BoundedFifo;
 pub use queue::EventQueue;
-pub use resource::{CorePool, Resource};
+pub use resource::{CorePool, DepthTracker, Resource};
 pub use stats::LatencyStats;
 
 /// Simulated time, in nanoseconds since the start of the run.

@@ -99,6 +99,44 @@ impl CorePool {
     }
 }
 
+/// Queue-depth companion for a [`Resource`].
+///
+/// [`Resource`] itself stores only its next-free time (it is `Copy` and
+/// embedded all over the simulators), so it cannot answer "how many jobs
+/// are waiting right now?" — the send-queue-depth telemetry gauge.
+/// Harnesses that want depth pair the resource with a tracker: record
+/// each [`Resource::acquire`] completion time with
+/// [`on_acquire`](DepthTracker::on_acquire) and sample
+/// [`depth`](DepthTracker::depth) on the telemetry tick. A serializing
+/// resource completes jobs in acquisition order, so completion times
+/// arrive monotonically and the tracker prunes from the front.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DepthTracker {
+    completions: std::collections::VecDeque<Time>,
+}
+
+impl DepthTracker {
+    /// An empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        DepthTracker::default()
+    }
+
+    /// Records a job that will complete at `completes_at`.
+    pub fn on_acquire(&mut self, completes_at: Time) {
+        self.completions.push_back(completes_at);
+    }
+
+    /// Jobs acquired but not yet completed at `now`; prunes completed
+    /// entries as a side effect.
+    pub fn depth(&mut self, now: Time) -> usize {
+        while matches!(self.completions.front(), Some(&t) if t <= now) {
+            self.completions.pop_front();
+        }
+        self.completions.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +177,19 @@ mod tests {
     #[should_panic(expected = "at least one core")]
     fn empty_pool_panics() {
         let _ = CorePool::new(0);
+    }
+
+    #[test]
+    fn depth_tracker_follows_resource_backlog() {
+        let mut r = Resource::new();
+        let mut d = DepthTracker::new();
+        for _ in 0..3 {
+            d.on_acquire(r.acquire(0, 100));
+        }
+        assert_eq!(d.depth(0), 3);
+        assert_eq!(d.depth(100), 2, "first job done");
+        assert_eq!(d.depth(250), 1);
+        assert_eq!(d.depth(300), 0);
+        assert_eq!(d.depth(1000), 0);
     }
 }

@@ -155,6 +155,11 @@ pub struct SimConfig {
     /// end-to-end experiments (paper Fig 11: 500 µs datacenter RTT);
     /// zero for all other experiments.
     pub datacenter_rtt_ns: u64,
+    /// Virtual-clock period between resource-telemetry samples
+    /// (FIFO occupancy, queue depths, lock-table size, in-flight ops).
+    /// `0` disables sampling; event-driven counters (PCIe bytes, batch
+    /// fill) accumulate regardless.
+    pub telemetry_tick_ns: u64,
 }
 
 impl SimConfig {
@@ -184,7 +189,16 @@ impl SimConfig {
             coherence_snoop_ns: 60,
             batch_unpack_ns: 700,
             datacenter_rtt_ns: 0,
+            telemetry_tick_ns: 1_000,
         }
+    }
+
+    /// Builder-style telemetry sampling-period override (`0` disables
+    /// level sampling).
+    #[must_use]
+    pub fn with_telemetry_tick(mut self, tick_ns: u64) -> Self {
+        self.telemetry_tick_ns = tick_ns;
+        self
     }
 
     /// Builder-style node-count override.
