@@ -6,8 +6,9 @@
 #   ./ci.sh --chaos  — additionally runs the seeded-torture block:
 #                      mutation smoke (both protocol faults must be found
 #                      and shrunk; output includes the reproducing seed)
-#                      plus clean chaos sweeps on the threaded and TCP
-#                      runtimes. This is the fast PR subset — the nightly
+#                      plus clean chaos sweeps on the threaded runtime
+#                      (fully replicated and 4-shard × 3-replica sharded)
+#                      and the TCP runtime. This is the fast PR subset — the nightly
 #                      block (500 seeds per model per runtime) is
 #                      documented in EXPERIMENTS.md §Verification.
 #   ./ci.sh --bench  — additionally runs the minos-bench quick sweep,
@@ -66,6 +67,10 @@ if [ "$CHAOS" -eq 1 ]; then
 
     echo "==> chaos: clean sweep — threaded, all models"
     "$TORTURE" --model all --seeds 20 --clients 2 --ops 8
+
+    echo "==> chaos: clean sweep — threaded sharded (4 shards x 3 replicas, 12 nodes)"
+    "$TORTURE" --model all --seeds 20 --clients 2 --ops 8 \
+        --nodes 12 --shards 4 --replicas 3 --keys 8
 
     echo "==> chaos: clean sweep — tcp, all models"
     "$TORTURE" --runtime tcp --model all --seeds 5 --clients 2 --ops 8

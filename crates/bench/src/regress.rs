@@ -21,14 +21,16 @@ use minos_core::obs::json::quoted;
 use minos_core::obs::{
     analyze, shared, Category, GaugeKind, HistogramSet, Json, MetricsSink, RingRecorder,
 };
-use minos_net::{run_observed, Arch};
-use minos_types::{DdpModel, Key, NodeId, PersistencyModel, ScopeId, SimConfig, Value};
+use minos_net::{run_observed, run_observed_sharded, Arch};
+use minos_types::{DdpModel, Key, NodeId, PersistencyModel, ScopeId, ShardMap, SimConfig, Value};
 use minos_workload::WorkloadSpec;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Schema version stamped into `BENCH_results.json`.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Schema version stamped into `BENCH_results.json`. Version 2 added the
+/// sharding dimension: `shards`/`nodes` fields per point and a
+/// `<shards>x<nodes>` suffix in every cell id.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Latency percentiles for one op kind, in the runtime's time unit
 /// (nanoseconds on the DES runtime, sequence ticks on loopback).
@@ -50,7 +52,8 @@ pub struct Quantiles {
 /// everything the regression gate tracks about it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchPoint {
-    /// Stable identifier, `<runtime>/<arch>/<model>` (e.g. `des/b/Synch`).
+    /// Stable identifier, `<runtime>/<arch>/<model>/<shards>x<nodes>`
+    /// (e.g. `des/b/Synch/1x5`, `des/b/Synch/16x64`).
     pub id: String,
     /// `des` or `loopback`.
     pub runtime: String,
@@ -58,6 +61,10 @@ pub struct BenchPoint {
     pub arch: String,
     /// Persistency-model label (`Synch`, `Strict`, `REnf`, `Event`, `Scope`).
     pub model: String,
+    /// Key-space shards the cell ran with (1 = fully replicated).
+    pub shards: u32,
+    /// Cluster size the cell ran at.
+    pub nodes: u32,
     /// Completed operations per second (DES) or per sequence tick
     /// (loopback). Deterministic for a fixed seed on both runtimes.
     pub throughput: f64,
@@ -174,10 +181,80 @@ pub fn sweep_des(quick: bool) -> Vec<BenchPoint> {
             let model = DdpModel::lin(p);
             let run = run_observed(arch, &cfg, model, &spec, SEED, 4, 1 << 20);
             points.push(BenchPoint {
-                id: format!("des/{}/{}", arch_slug(arch), p.label()),
+                id: format!("des/{}/{}/1x{}", arch_slug(arch), p.label(), cfg.nodes),
                 runtime: "des".into(),
                 arch: arch_slug(arch).into(),
                 model: p.label().into(),
+                shards: 1,
+                nodes: cfg.nodes as u32,
+                throughput: run.result.total_throughput(),
+                ops: run.result.writes + run.result.reads,
+                latency: latency_map(&run.hists),
+                gauges: gauge_map(&run.gauges),
+                critical_path: critical_path_map(run.breakdown),
+            });
+        }
+    }
+    points
+}
+
+/// The Fig. 10-style scale-out cells: 64 simulated nodes at 4 replicas
+/// per shard, fully replicated routing (1 shard) vs 16 disjoint shard
+/// groups. Aggregate throughput must scale with the group count — the
+/// `ci.sh --bench` gate tracks both cells like any other.
+#[must_use]
+pub fn scaling_shards() -> [u32; 2] {
+    [1, 16]
+}
+
+/// Cluster size of the scale-out cells.
+pub const SCALING_NODES: usize = 64;
+
+/// Replicas per shard in the scale-out cells.
+pub const SCALING_REPLICAS: u16 = 4;
+
+/// The (smaller) workload each scale-out cell runs: the matrix spec at
+/// 64 nodes would dominate the sweep's wall clock.
+#[must_use]
+pub fn scaling_spec(quick: bool) -> WorkloadSpec {
+    let (records, reqs) = if quick { (512, 40) } else { (2_048, 120) };
+    WorkloadSpec::ycsb_default()
+        .with_records(records)
+        .with_requests_per_node(reqs)
+}
+
+/// Runs the multi-group scale-out half of the sweep on the DES runtime.
+#[must_use]
+pub fn sweep_scaling(quick: bool) -> Vec<BenchPoint> {
+    let mut cfg = SimConfig::paper_defaults();
+    cfg.nodes = SCALING_NODES;
+    let spec = scaling_spec(quick);
+    let models = if quick {
+        vec![PersistencyModel::Synchronous]
+    } else {
+        vec![PersistencyModel::Synchronous, PersistencyModel::Eventual]
+    };
+    let mut points = Vec::new();
+    for &shards in &scaling_shards() {
+        let map = ShardMap::uniform(shards, SCALING_NODES, SCALING_REPLICAS);
+        for &p in &models {
+            let run = run_observed_sharded(
+                Arch::baseline(),
+                &cfg,
+                DdpModel::lin(p),
+                &spec,
+                SEED,
+                4,
+                1 << 20,
+                &map,
+            );
+            points.push(BenchPoint {
+                id: format!("des/b/{}/{shards}x{SCALING_NODES}", p.label()),
+                runtime: "des".into(),
+                arch: "b".into(),
+                model: p.label().into(),
+                shards,
+                nodes: SCALING_NODES as u32,
                 throughput: run.result.total_throughput(),
                 ops: run.result.writes + run.result.reads,
                 latency: latency_map(&run.hists),
@@ -297,10 +374,16 @@ fn loopback_point(p: PersistencyModel, offload: bool, quick: bool) -> BenchPoint
     }
     let hists = hists.lock().expect("hists poisoned").clone();
     BenchPoint {
-        id: format!("loopback/{}/{}", if offload { "o" } else { "b" }, p.label()),
+        id: format!(
+            "loopback/{}/{}/1x{nodes}",
+            if offload { "o" } else { "b" },
+            p.label()
+        ),
         runtime: "loopback".into(),
         arch: if offload { "o" } else { "b" }.into(),
         model: p.label().into(),
+        shards: 1,
+        nodes: nodes as u32,
         // Ops per dispatch tick — dimensionless but deterministic, which
         // is all the regression gate needs.
         throughput: if last_tick == 0 {
@@ -315,11 +398,13 @@ fn loopback_point(p: PersistencyModel, offload: bool, quick: bool) -> BenchPoint
     }
 }
 
-/// Runs the whole sweep: DES then loopback.
+/// Runs the whole sweep: DES matrix, loopback matrix, then the 64-node
+/// multi-group scale-out cells.
 #[must_use]
 pub fn run_sweep(quick: bool) -> Vec<BenchPoint> {
     let mut points = sweep_des(quick);
     points.extend(sweep_loopback(quick));
+    points.extend(sweep_scaling(quick));
     points
 }
 
@@ -352,11 +437,13 @@ pub fn render_json(points: &[BenchPoint], quick: bool) -> String {
         }
         let _ = write!(
             out,
-            "\n    {{\"id\":{},\"runtime\":{},\"arch\":{},\"model\":{},\"throughput\":{},\"ops\":{},\"latency\":",
+            "\n    {{\"id\":{},\"runtime\":{},\"arch\":{},\"model\":{},\"shards\":{},\"nodes\":{},\"throughput\":{},\"ops\":{},\"latency\":",
             quoted(&pt.id),
             quoted(&pt.runtime),
             quoted(&pt.arch),
             quoted(&pt.model),
+            pt.shards,
+            pt.nodes,
             pt.throughput,
             pt.ops,
         );
@@ -459,11 +546,20 @@ pub fn parse_results(src: &str) -> Result<BenchResults, String> {
                 },
             );
         }
+        let num_field = |key: &str| -> Result<u32, String> {
+            let v = field(pt, key)
+                .map_err(ctx)?
+                .as_u64()
+                .ok_or_else(|| ctx(format!("{key} is not a u64")))?;
+            u32::try_from(v).map_err(|_| ctx(format!("{key} out of range")))
+        };
         points.push(BenchPoint {
             id: str_field("id")?,
             runtime: str_field("runtime")?,
             arch: str_field("arch")?,
             model: str_field("model")?,
+            shards: num_field("shards")?,
+            nodes: num_field("nodes")?,
             throughput: field(pt, "throughput")
                 .map_err(ctx)?
                 .as_f64()
@@ -636,6 +732,8 @@ mod tests {
             runtime: "des".into(),
             arch: "b".into(),
             model: "Synch".into(),
+            shards: 1,
+            nodes: 5,
             throughput: thr,
             ops: 100,
             latency,
@@ -649,15 +747,38 @@ mod tests {
 
     #[test]
     fn json_round_trips() {
+        let mut scaled = point("des/b/Synch/16x64", 4321.0, 120);
+        scaled.shards = 16;
+        scaled.nodes = 64;
         let pts = vec![
-            point("des/b/Synch", 1234.5, 800),
-            point("des/o/Event", 99.25, 30),
+            point("des/b/Synch/1x5", 1234.5, 800),
+            point("des/o/Event/1x5", 99.25, 30),
+            scaled,
         ];
         let text = render_json(&pts, true);
         let parsed = parse_results(&text).expect("parse back");
         assert_eq!(parsed.version, SCHEMA_VERSION);
         assert!(parsed.quick);
         assert_eq!(parsed.points, pts);
+    }
+
+    /// The scale-out acceptance gate: at equal replica count, 16 shard
+    /// groups over 64 simulated nodes must deliver at least 4× the
+    /// aggregate throughput of the single fully routed group.
+    #[test]
+    fn sharded_scaleout_reaches_4x() {
+        let pts = sweep_scaling(true);
+        let thr = |shards: u32| {
+            pts.iter()
+                .find(|p| p.shards == shards && p.model == "Synch")
+                .map(|p| p.throughput)
+                .expect("scaling cell missing")
+        };
+        let (one, sixteen) = (thr(1), thr(16));
+        assert!(
+            sixteen >= 4.0 * one,
+            "16x64 throughput {sixteen:.0} < 4x the 1x64 cell's {one:.0}"
+        );
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! ```text
 //! minos-torture [--runtime threaded|tcp] [--model synch|strict|renf|event|scope|all]
 //!     [--seeds N] [--start-seed S] [--nodes N] [--clients N] [--ops N] [--keys N]
-//!     [--injections N] [--no-crash] [--fault skip-inv@NODE|phantom-persist@NODE]
-//!     [--expect-violation]
+//!     [--injections N] [--shards S] [--replicas K] [--no-crash]
+//!     [--fault skip-inv@NODE|phantom-persist@NODE] [--expect-violation]
 //! ```
 //!
 //! Runs `--seeds` consecutive seeds per selected model. Each seed derives
@@ -14,6 +14,12 @@
 //! persistency conformance. On the first violation the schedule is
 //! greedily shrunk and the reproducing seed plus minimal schedule are
 //! printed; exit status 1.
+//!
+//! `--shards S` sorts the key space into `S` shards placed uniformly at
+//! `--replicas K` copies each (threaded runtime only): nodes host only
+//! their shards, clients route through the cluster facade, the workload
+//! mixes in multi-key cross-shard writes, and the checkers audit
+//! durability per the placement map.
 //!
 //! `--fault` arms a deliberate protocol bug (requires a binary built
 //! with `--features fault-injection`) — the mutation smoke mode used by
@@ -28,7 +34,7 @@ fn usage() -> ! {
         "usage: minos-torture [--runtime threaded|tcp] \
          [--model synch|strict|renf|event|scope|all] [--seeds N] \
          [--start-seed S] [--nodes N] [--clients N] [--ops N] [--keys N] \
-         [--injections N] [--no-crash] \
+         [--injections N] [--shards S] [--replicas K] [--no-crash] \
          [--fault skip-inv@NODE|phantom-persist@NODE] [--expect-violation]"
     );
     std::process::exit(2);
@@ -109,6 +115,14 @@ fn main() {
         &take_flag(&mut args, "--injections").unwrap_or_else(|| "5".into()),
         "--injections",
     );
+    let shards: u32 = parse_num(
+        &take_flag(&mut args, "--shards").unwrap_or_else(|| "0".into()),
+        "--shards",
+    );
+    let replicas: u16 = parse_num(
+        &take_flag(&mut args, "--replicas").unwrap_or_else(|| "2".into()),
+        "--replicas",
+    );
     let no_crash = take_switch(&mut args, "--no-crash");
     let fault = take_flag(&mut args, "--fault").map(|s| parse_fault(&s));
     let expect_violation = take_switch(&mut args, "--expect-violation");
@@ -163,6 +177,13 @@ fn main() {
         opts.injections = injections;
         opts.allow_crash = !no_crash;
         opts.fault = fault;
+        if shards > 0 {
+            if tcp {
+                eprintln!("--shards requires --runtime threaded");
+                std::process::exit(2);
+            }
+            opts = opts.sharded(shards, replicas);
+        }
 
         let result = if tcp {
             torture(start, seeds, &opts, true, run_tcp, true)
@@ -185,9 +206,14 @@ fn main() {
             print!("{}", f.shrunk);
             println!(
                 "reproduce: minos-torture --runtime {runtime} --model \
-                 {model} --seeds 1 --start-seed {seed}{fault_arg}",
+                 {model} --seeds 1 --start-seed {seed}{shard_arg}{fault_arg}",
                 model = model_label(model),
                 seed = f.seed,
+                shard_arg = if shards > 0 {
+                    format!(" --nodes {nodes} --shards {shards} --replicas {replicas}")
+                } else {
+                    String::new()
+                },
                 fault_arg = fault
                     .map(|f| format!(" --fault {}@{}", f.kind.label(), f.node))
                     .unwrap_or_default(),

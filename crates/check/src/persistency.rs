@@ -33,7 +33,7 @@
 
 use crate::history::History;
 use minos_core::obs::OpKind;
-use minos_types::{Key, NodeId, PersistencyModel, Ts};
+use minos_types::{Key, NodeId, PersistencyModel, ShardMap, Ts};
 use std::collections::{HashMap, HashSet};
 
 /// One node's end-of-run durable log, reduced to `(key, ts)` pairs in
@@ -63,17 +63,45 @@ impl NodeLog {
 /// violation (empty = the run conforms).
 #[must_use]
 pub fn check(model: PersistencyModel, history: &History, logs: &[NodeLog]) -> Vec<String> {
+    check_placed(model, history, logs, None)
+}
+
+/// [`check`] over a sharded cluster: the containment oracles audit a
+/// key's durability only at the nodes `placement` makes replicas of it —
+/// a non-replica legitimately never persists the key. The phantom-entry
+/// oracle stays global (inventing durable data is illegal everywhere,
+/// replica or not). `None` restores the fully replicated audit.
+#[must_use]
+pub fn check_placed(
+    model: PersistencyModel,
+    history: &History,
+    logs: &[NodeLog],
+    placement: Option<&ShardMap>,
+) -> Vec<String> {
     let mut v = Vec::new();
     phantom_entries(history, logs, &mut v);
     match model {
         PersistencyModel::Synchronous | PersistencyModel::Strict => {
-            completed_writes_durable(model, history, logs, &mut v);
+            completed_writes_durable(model, history, logs, placement, &mut v);
         }
-        PersistencyModel::ReadEnforced => observed_reads_durable(history, logs, &mut v),
+        PersistencyModel::ReadEnforced => {
+            observed_reads_durable(history, logs, placement, &mut v);
+        }
         PersistencyModel::Eventual => {} // phantom oracle only
-        PersistencyModel::Scope => flushed_scopes_durable(history, logs, &mut v),
+        PersistencyModel::Scope => flushed_scopes_durable(history, logs, placement, &mut v),
     }
     v
+}
+
+/// The logs the containment oracles must audit for `key`: full-run nodes
+/// that (per the placement map, when sharded) replicate the key.
+fn audit_logs<'a>(
+    logs: &'a [NodeLog],
+    placement: Option<&'a ShardMap>,
+    key: Key,
+) -> impl Iterator<Item = &'a NodeLog> {
+    logs.iter()
+        .filter(move |l| l.audit_exact && placement.is_none_or(|m| m.is_replica(l.node, key)))
 }
 
 /// Oracle A (all models): every durable entry must correspond to a
@@ -113,11 +141,12 @@ fn completed_writes_durable(
     model: PersistencyModel,
     history: &History,
     logs: &[NodeLog],
+    placement: Option<&ShardMap>,
     v: &mut Vec<String>,
 ) {
     for (k, ts, op) in history.completed_writes() {
         let exact = !op.obsolete && !history.has_newer_overlapping_write(k, ts, op);
-        for log in logs.iter().filter(|l| l.audit_exact) {
+        for log in audit_logs(logs, placement, k) {
             let ok = if exact {
                 log.contains(k, ts)
             } else {
@@ -143,7 +172,12 @@ fn completed_writes_durable(
 /// equivalent). Supersession applies as for writes; the observed write
 /// need not have completed — the read proves its `VAL` was released,
 /// which under REnf happens only after `ACK_P` from every follower.
-fn observed_reads_durable(history: &History, logs: &[NodeLog], v: &mut Vec<String>) {
+fn observed_reads_durable(
+    history: &History,
+    logs: &[NodeLog],
+    placement: Option<&ShardMap>,
+    v: &mut Vec<String>,
+) {
     let mut checked: HashSet<(Key, Ts)> = HashSet::new();
     for (k, observed, r) in history.completed_reads() {
         if observed.version == 0 || !checked.insert((k, observed)) {
@@ -157,7 +191,7 @@ fn observed_reads_durable(history: &History, logs: &[NodeLog], v: &mut Vec<Strin
             .is_some_and(|(_, _, w)| {
                 !w.obsolete && !history.has_newer_overlapping_write(k, observed, w)
             });
-        for log in logs.iter().filter(|l| l.audit_exact) {
+        for log in audit_logs(logs, placement, k) {
             let ok = if exact {
                 log.contains(k, observed)
             } else {
@@ -182,7 +216,12 @@ fn observed_reads_durable(history: &History, logs: &[NodeLog], v: &mut Vec<Strin
 /// flush was invoked is durable at every full-run node. (Scopes are
 /// registered per `(origin, sc)` — a flush through node `c` covers the
 /// writes `c` coordinated.)
-fn flushed_scopes_durable(history: &History, logs: &[NodeLog], v: &mut Vec<String>) {
+fn flushed_scopes_durable(
+    history: &History,
+    logs: &[NodeLog],
+    placement: Option<&ShardMap>,
+    v: &mut Vec<String>,
+) {
     for flush in history
         .completed()
         .filter(|o| o.kind == OpKind::PersistScope)
@@ -197,7 +236,7 @@ fn flushed_scopes_durable(history: &History, logs: &[NodeLog], v: &mut Vec<Strin
                 continue;
             }
             let exact = !history.has_newer_overlapping_write(k, ts, w);
-            for log in logs.iter().filter(|l| l.audit_exact) {
+            for log in audit_logs(logs, placement, k) {
                 let ok = if exact {
                     log.contains(k, ts)
                 } else {
@@ -305,6 +344,35 @@ mod tests {
         l2.audit_exact = false;
         let logs = [log(0, &[(1, ts(0, 1))]), log(1, &[(1, ts(0, 1))]), l2];
         assert!(check(PersistencyModel::Synchronous, &h, &logs).is_empty());
+    }
+
+    #[test]
+    fn placement_excuses_non_replicas_but_not_replicas() {
+        // 2 shards × 2 replicas over 4 nodes: key 0 lives on {0, 1}.
+        let map = ShardMap::uniform(2, 4, 2);
+        let h = History {
+            ops: vec![w(0, 0, 1, 0, 10)],
+        };
+        let logs = [
+            log(0, &[(0, ts(0, 1))]),
+            log(1, &[(0, ts(0, 1))]),
+            log(2, &[]),
+            log(3, &[]),
+        ];
+        // Unsharded audit: nodes 2 and 3 are missing the write.
+        assert_eq!(check(PersistencyModel::Synchronous, &h, &logs).len(), 2);
+        // Sharded audit: they aren't replicas of key 0, so the run is clean.
+        assert!(check_placed(PersistencyModel::Synchronous, &h, &logs, Some(&map)).is_empty());
+        // But a *replica* missing the write is still a violation.
+        let bad = [
+            log(0, &[(0, ts(0, 1))]),
+            log(1, &[]),
+            log(2, &[]),
+            log(3, &[]),
+        ];
+        let v = check_placed(PersistencyModel::Synchronous, &h, &bad, Some(&map));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("n1"), "{v:?}");
     }
 
     #[test]

@@ -45,7 +45,8 @@ use minos_cluster::tcp::{TcpClient, TcpNode, TcpNodeConfig};
 use minos_cluster::Cluster;
 use minos_core::obs::{OpKind, SharedSink};
 use minos_types::{
-    ClusterConfig, DdpModel, FaultSpec, Key, MsgChaos, NodeId, PersistencyModel, ScopeId, Ts,
+    ClusterConfig, DdpModel, FaultSpec, Key, MsgChaos, NodeId, PersistencyModel, ScopeId, ShardMap,
+    Ts,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -72,6 +73,12 @@ pub struct TortureOptions {
     /// Deliberate protocol bug to arm (mutation smoke). Ignored unless
     /// the engines were compiled with `fault-injection`.
     pub fault: Option<FaultSpec>,
+    /// Key-space placement: when set, nodes replicate only their shards,
+    /// clients route through the facade, the workload mixes in multi-key
+    /// cross-shard writes, recovery donors come from the crashed node's
+    /// replica group, and the persistency oracles audit per the map.
+    /// Threaded runtime only (the TCP driver has no routing client).
+    pub placement: Option<ShardMap>,
 }
 
 impl TortureOptions {
@@ -87,7 +94,16 @@ impl TortureOptions {
             injections: 5,
             allow_crash: true,
             fault: None,
+            placement: None,
         }
+    }
+
+    /// Shards the cluster `shards` ways at `replicas` copies per shard,
+    /// keeping `self.nodes` as the cluster size.
+    #[must_use]
+    pub fn sharded(mut self, shards: u32, replicas: u16) -> Self {
+        self.placement = Some(ShardMap::uniform(shards, self.nodes as usize, replicas));
+        self
     }
 
     /// Total client ops a run attempts (warm-up included).
@@ -152,12 +168,13 @@ fn check_everything(
     model: PersistencyModel,
     history: &History,
     logs: &[NodeLog],
+    placement: Option<&ShardMap>,
     written: &HashMap<(Key, Ts), Vec<u8>>,
     reads: &[(Key, Ts, Vec<u8>)],
 ) -> Vec<String> {
     let mut v = prepass::audit(history);
     v.extend(linearize::check(history));
-    v.extend(persistency::check(model, history, logs));
+    v.extend(persistency::check_placed(model, history, logs, placement));
     for (k, ts, got) in reads {
         if ts.version == 0 {
             if !got.is_empty() {
@@ -184,16 +201,32 @@ fn check_everything(
 /// What a client thread decides to do next.
 enum Roll {
     Write,
+    MultiWrite,
     Read,
     Flush,
 }
 
-fn roll(rng: &mut Rng, model: PersistencyModel) -> Roll {
+fn roll(rng: &mut Rng, model: PersistencyModel, sharded: bool) -> Roll {
     match rng.below(100) {
-        0..=54 => Roll::Write,
-        55..=92 => Roll::Read,
+        0..=47 => Roll::Write,
+        48..=54 if sharded => Roll::MultiWrite,
+        48..=92 => Roll::Read,
         _ if model == PersistencyModel::Scope => Roll::Flush,
         _ => Roll::Read,
+    }
+}
+
+/// The node a crashed node's recovery replays from: any full-replication
+/// peer, or — under a placement map — a member of its own replica group
+/// (the only nodes that hold its shards' data).
+fn recovery_donor(crash: NodeId, opts: &TortureOptions) -> NodeId {
+    match &opts.placement {
+        Some(map) => *map
+            .peers_of(crash)
+            .iter()
+            .next()
+            .expect("replica group of size >= 2"),
+        None => NodeId(if crash.0 == 0 { 1 } else { 0 }),
     }
 }
 
@@ -207,6 +240,14 @@ type ReadLog = Arc<Mutex<Vec<(Key, Ts, Vec<u8>)>>>;
 #[must_use]
 pub fn run_threaded(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
     let mut cfg = ClusterConfig::cloudlab().with_nodes(opts.nodes as usize);
+    if let Some(map) = &opts.placement {
+        assert_eq!(
+            map.n_nodes(),
+            opts.nodes as usize,
+            "placement map sized for a different cluster"
+        );
+        cfg = cfg.with_placement(map.clone());
+    }
     cfg.wire_latency_ns = 20_000;
     cfg.failure_timeout_ns = 40_000_000;
     if !schedule.injections.is_empty() {
@@ -269,7 +310,7 @@ pub fn run_threaded(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
                         NodeId(rng.below(u64::from(opts.nodes)) as u16)
                     };
                     let key = Key(rng.below(opts.keys));
-                    match roll(&mut rng, opts.model) {
+                    match roll(&mut rng, opts.model, opts.placement.is_some()) {
                         Roll::Write => {
                             let value = format!("s{seed:x}-c{c}-i{i}").into_bytes();
                             let sc = (opts.model == PersistencyModel::Scope && rng.chance(2, 3))
@@ -280,6 +321,28 @@ pub fn run_threaded(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
                             }
                             // Errors (crashed coordinator, wedged write)
                             // leave a pending op in the history.
+                        }
+                        Roll::MultiWrite => {
+                            // 2–3 adjacent keys: consecutive keys land on
+                            // consecutive shards, so the batch crosses a
+                            // shard boundary whenever the map has one.
+                            let count = (2 + u64::from(rng.chance(1, 2))).min(opts.keys);
+                            let batch: Vec<(Key, Vec<u8>)> = (0..count)
+                                .map(|j| {
+                                    let k = Key((key.0 + j) % opts.keys);
+                                    (k, format!("s{seed:x}-c{c}-i{i}-m{j}").into_bytes())
+                                })
+                                .collect();
+                            let sc = (opts.model == PersistencyModel::Scope && rng.chance(2, 3))
+                                .then_some(scope);
+                            let writes =
+                                batch.iter().map(|(k, v)| (*k, v.clone().into())).collect();
+                            if let Ok(tss) = cluster.put_multi(node, writes, sc) {
+                                let mut w = written.lock().unwrap();
+                                for ((k, v), ts) in batch.into_iter().zip(tss) {
+                                    w.insert((k, ts), v);
+                                }
+                            }
                         }
                         Roll::Read => {
                             if let Ok((v, ts)) = cluster.get_versioned(node, key) {
@@ -331,7 +394,7 @@ pub fn run_threaded(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
                     std::thread::sleep(Duration::from_millis(1));
                 }
                 std::thread::sleep(Duration::from_millis(25));
-                let donor = NodeId(if crash_node.0 == 0 { 1 } else { 0 });
+                let donor = recovery_donor(crash_node, opts);
                 if let Err(e) = cluster.recover_node(crash_node, donor) {
                     violations.push(format!("recovery of {crash_node} from {donor} failed: {e}"));
                 }
@@ -349,7 +412,7 @@ pub fn run_threaded(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
         ever_crashed = Some(crash_node);
         if cp.recover_after_ops.is_none() {
             std::thread::sleep(Duration::from_millis(25));
-            let donor = NodeId(if crash_node.0 == 0 { 1 } else { 0 });
+            let donor = recovery_donor(crash_node, opts);
             if let Err(e) = cluster.recover_node(crash_node, donor) {
                 violations.push(format!(
                     "post-run recovery of {crash_node} from {donor} failed: {e}"
@@ -392,6 +455,7 @@ pub fn run_threaded(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
         opts.model,
         &history,
         &logs,
+        opts.placement.as_ref(),
         &written.lock().unwrap(),
         &reads.lock().unwrap(),
     ));
@@ -406,6 +470,11 @@ pub fn run_threaded(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
 /// One TCP-cluster run under `schedule` (message injections only).
 #[must_use]
 pub fn run_tcp(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
+    assert!(
+        opts.placement.is_none(),
+        "sharded torture runs on the threaded runtime (the TCP driver's \
+         clients do not route)"
+    );
     let n = opts.nodes as usize;
     let nodes = bind_tcp_cluster(n, schedule, opts);
     let client_addrs: Vec<_> = nodes.iter().map(TcpNode::client_addr).collect();
@@ -472,7 +541,8 @@ pub fn run_tcp(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
                         rng.below(u64::from(opts.nodes)) as usize
                     };
                     let key = Key(rng.below(opts.keys));
-                    match roll(&mut rng, opts.model) {
+                    match roll(&mut rng, opts.model, false) {
+                        Roll::MultiWrite => unreachable!("TCP torture is never sharded"),
                         Roll::Write => {
                             let value = format!("s{seed:x}-c{c}-i{i}").into_bytes();
                             let sc = (opts.model == PersistencyModel::Scope && rng.chance(2, 3))
@@ -573,6 +643,7 @@ pub fn run_tcp(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
         opts.model,
         &history,
         &logs,
+        None,
         &written.lock().unwrap(),
         &reads.lock().unwrap(),
     ));
@@ -646,6 +717,7 @@ fn bind_tcp_cluster(n: usize, schedule: &Schedule, opts: &TortureOptions) -> Vec
                 metrics_interval: std::time::Duration::from_secs(1),
                 chaos: (!schedule.injections.is_empty()).then(|| schedule.spec()),
                 fault: opts.fault,
+                placement: None,
             }) {
                 Ok(node) => nodes.push(node),
                 Err(_) => {

@@ -172,6 +172,27 @@ fn threaded_torture_chaos_seeds_run_clean() {
 }
 
 #[test]
+fn sharded_threaded_torture_seeds_run_clean() {
+    // 2 shards × 2 replicas over 4 nodes: the workload mixes in
+    // multi-key cross-shard writes, crashes fail over inside the
+    // replica group, and the oracles audit per the placement map.
+    for model in [PersistencyModel::Synchronous, PersistencyModel::Scope] {
+        let mut opts = TortureOptions::new(model);
+        opts.nodes = 4;
+        opts.clients = 2;
+        opts.ops_per_client = 8;
+        let opts = opts.sharded(2, 2);
+        let result = torture(1, 3, &opts, false, run_threaded, false);
+        assert!(
+            result.failure.is_none(),
+            "{model:?}: {:?}",
+            result.failure.map(|f| f.violations)
+        );
+        assert!(result.ops_checked > 0);
+    }
+}
+
+#[test]
 fn threaded_torture_scope_flushes_run_clean() {
     let mut opts = TortureOptions::new(PersistencyModel::Scope);
     opts.clients = 2;

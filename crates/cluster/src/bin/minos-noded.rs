@@ -3,6 +3,7 @@
 //! ```text
 //! minos-noded [--batching] [--broadcast] [--metrics-out <path>] \
 //!     [--metrics-interval <ms>] [--trace-out <path>] \
+//!     [--shards <SxK> | --placement <codec>] \
 //!     <node-idx> <model> <client-addr> <peer-addr-0> ...
 //! ```
 //!
@@ -14,9 +15,16 @@
 //! Prometheus text format every `--metrics-interval` milliseconds
 //! (default 1000) and once more at clean shutdown; `--trace-out` appends
 //! a JSONL protocol-event trace that `minos-trace` can replay.
+//!
+//! `--shards SxK` partitions the key space into `S` shards of `K`
+//! replicas each, uniformly over the peer list; `--placement` accepts
+//! the explicit `epoch=E;nodes=N;groups=...` codec instead. Every
+//! process of the cluster must be started with the *same* spec — the
+//! node then replicates only its own shards, and clients must contact a
+//! replica of each key's shard (`ShardedTcpClient` routes this way).
 
 use minos_cluster::tcp::{TcpNode, TcpNodeConfig};
-use minos_types::{DdpModel, NodeId, PersistencyModel};
+use minos_types::{DdpModel, NodeId, PersistencyModel, ShardMap};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -53,9 +61,11 @@ fn main() {
         })
         .unwrap_or(1000);
     let trace_out = take_path_flag(&mut args, "--trace-out");
+    let shard_spec = take_value_flag(&mut args, "--shards")
+        .or_else(|| take_value_flag(&mut args, "--placement"));
     if args.len() < 4 {
         eprintln!(
-            "usage: minos-noded [--batching] [--broadcast] [--metrics-out <path>] [--metrics-interval <ms>] [--trace-out <path>] <node-idx> <synch|strict|renf|event|scope> <client-addr> <peer-addr>..."
+            "usage: minos-noded [--batching] [--broadcast] [--metrics-out <path>] [--metrics-interval <ms>] [--trace-out <path>] [--shards <SxK> | --placement <codec>] <node-idx> <synch|strict|renf|event|scope> <client-addr> <peer-addr>..."
         );
         std::process::exit(2);
     }
@@ -77,6 +87,12 @@ fn main() {
         .map(|a| a.parse().expect("peer addr"))
         .collect::<Vec<_>>();
     assert!((node as usize) < peers.len(), "node index out of range");
+    let placement = shard_spec.map(|spec| {
+        ShardMap::parse_spec(&spec, peers.len()).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    });
 
     let cfg = TcpNodeConfig {
         node: NodeId(node),
@@ -91,6 +107,7 @@ fn main() {
         metrics_interval: Duration::from_millis(metrics_interval_ms),
         chaos: None,
         fault: None,
+        placement,
     };
     let server = TcpNode::serve(cfg).expect("bind node");
     eprintln!(

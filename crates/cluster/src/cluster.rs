@@ -2,9 +2,9 @@
 
 use crate::node::{spawn_node, NodeMsg, NodeThread};
 use crate::timer::TimerWheel;
-use crossbeam::channel::{bounded, unbounded, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use minos_core::obs::{shared_gauges, GaugeSet, SharedGauges, SharedSink, TraceClock, Tracer};
-use minos_core::runtime::{DispatchStats, TransportCounters};
+use minos_core::runtime::{DispatchStats, ShardRouter, TransportCounters};
 use minos_core::{Event, ReqId};
 use minos_nvm::LogEntry;
 use minos_types::{ClusterConfig, DdpModel, Key, MinosError, NodeId, Result, ScopeId, Ts, Value};
@@ -44,6 +44,11 @@ pub(crate) type CompletionMap = Arc<Mutex<HashMap<ReqId, Sender<Outcome>>>>;
 ///
 /// Client calls are synchronous: they block the calling thread until the
 /// protocol's client-response point for the configured DDP model.
+///
+/// When [`ClusterConfig::placement`] carries a [`ShardMap`](minos_types::ShardMap),
+/// every client call is routed through the shared [`ShardRouter`]: the
+/// `node` argument names the *origin* (where the client is attached) and
+/// the operation is coordinated by a replica of its key's shard.
 pub struct Cluster {
     nodes: Vec<NodeThread>,
     timer: Option<TimerWheel<NodeMsg>>,
@@ -53,6 +58,9 @@ pub struct Cluster {
     failure_rx: crossbeam::channel::Receiver<NodeId>,
     cfg: ClusterConfig,
     gauges: SharedGauges,
+    /// Facade-level shard routing (key → coordinator, scope → recorded
+    /// coordinators). Identity when the cluster is unsharded.
+    router: Mutex<ShardRouter>,
 }
 
 impl Cluster {
@@ -108,6 +116,7 @@ impl Cluster {
             })
             .collect();
 
+        let router = Mutex::new(ShardRouter::new(cfg.placement.clone()));
         Cluster {
             nodes,
             timer: Some(timer),
@@ -117,6 +126,7 @@ impl Cluster {
             failure_rx,
             cfg,
             gauges,
+            router,
         }
     }
 
@@ -138,7 +148,7 @@ impl Cluster {
         ReqId(self.next_req.fetch_add(1, Ordering::Relaxed))
     }
 
-    fn submit(&self, node: NodeId, build: impl FnOnce(ReqId) -> Event) -> Result<Outcome> {
+    fn check_alive(&self, node: NodeId) -> Result<()> {
         if *self
             .failed
             .lock()
@@ -147,6 +157,19 @@ impl Cluster {
         {
             return Err(MinosError::NodeFailed(node));
         }
+        Ok(())
+    }
+
+    /// Admits a request at `node` without blocking on its completion —
+    /// the building block the multi-coordinator barriers
+    /// ([`Cluster::put_multi`], cross-shard [`Cluster::persist_scope`])
+    /// assemble their fan-outs from.
+    fn submit_async(
+        &self,
+        node: NodeId,
+        build: impl FnOnce(ReqId) -> Event,
+    ) -> Result<(ReqId, Receiver<Outcome>)> {
+        self.check_alive(node)?;
         let req = self.fresh_req();
         let (tx, rx) = bounded(1);
         self.completions.lock().insert(req, tx);
@@ -154,15 +177,44 @@ impl Cluster {
             .tx
             .send(NodeMsg::Ev(build(req)))
             .map_err(|_| MinosError::Shutdown)?;
+        Ok((req, rx))
+    }
+
+    fn wait(&self, node: NodeId, req: ReqId, rx: &Receiver<Outcome>) -> Result<Outcome> {
         rx.recv_timeout(Duration::from_secs(10)).map_err(|err| {
             self.completions.lock().remove(&req);
             match err {
                 // The coordinator crashed with this op in flight and
                 // severed the reply channel (see `NodeMsg::Crash`).
-                crossbeam::channel::RecvTimeoutError::Disconnected => MinosError::NodeFailed(node),
-                crossbeam::channel::RecvTimeoutError::Timeout => MinosError::Shutdown,
+                RecvTimeoutError::Disconnected => MinosError::NodeFailed(node),
+                RecvTimeoutError::Timeout => MinosError::Shutdown,
             }
         })
+    }
+
+    fn submit(&self, node: NodeId, build: impl FnOnce(ReqId) -> Event) -> Result<Outcome> {
+        let (req, rx) = self.submit_async(node, build)?;
+        self.wait(node, req, &rx)
+    }
+
+    /// Liveness failover for routed ops: when the default coordinator of
+    /// `key`'s shard is failed, serve at the first alive replica of the
+    /// group instead (§III-E membership: survivors keep serving the
+    /// shard). Falls back to `coord` when the whole group is down, so
+    /// the caller reports [`MinosError::NodeFailed`] honestly.
+    fn route_alive(&self, coord: NodeId, key: Key) -> NodeId {
+        let failed = self.failed.lock();
+        if !failed.get(coord.0 as usize).copied().unwrap_or(true) {
+            return coord;
+        }
+        if let Some(map) = self.cfg.placement.as_ref() {
+            for &r in map.replicas_of_key(key) {
+                if !failed.get(r.0 as usize).copied().unwrap_or(true) {
+                    return r;
+                }
+            }
+        }
+        coord
     }
 
     /// Writes `value` under `key`, coordinated by `node`; returns the
@@ -189,7 +241,16 @@ impl Cluster {
         value: Value,
         scope: Option<ScopeId>,
     ) -> Result<Ts> {
-        match self.submit(node, |req| Event::ClientWrite {
+        self.check_alive(node)?;
+        let coord = {
+            let mut router = self.router.lock();
+            let coord = self.route_alive(router.serving(node, key), key);
+            if let Some(sc) = scope {
+                router.note_scope_route(node, sc, coord);
+            }
+            coord
+        };
+        match self.submit(coord, |req| Event::ClientWrite {
             key,
             value,
             scope,
@@ -198,6 +259,57 @@ impl Cluster {
             Outcome::Write { ts, .. } => Ok(ts),
             _ => Err(MinosError::Shutdown),
         }
+    }
+
+    /// Writes every `(key, value)` pair as one multi-key operation
+    /// submitted at `node`: each write is routed to its key's serving
+    /// replica, all children are admitted before any completion is
+    /// awaited, and the call returns only when the last child has
+    /// completed (a client-side completion barrier). Timestamps come back
+    /// in submission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `writes` is empty.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cluster::put`]; a failed coordinator fails the whole
+    /// barrier.
+    pub fn put_multi(
+        &self,
+        node: NodeId,
+        writes: Vec<(Key, Value)>,
+        scope: Option<ScopeId>,
+    ) -> Result<Vec<Ts>> {
+        assert!(!writes.is_empty(), "a multi-write needs at least one key");
+        self.check_alive(node)?;
+        let mut waits = Vec::with_capacity(writes.len());
+        for (key, value) in writes {
+            let coord = {
+                let mut router = self.router.lock();
+                let coord = self.route_alive(router.serving(node, key), key);
+                if let Some(sc) = scope {
+                    router.note_scope_route(node, sc, coord);
+                }
+                coord
+            };
+            let (req, rx) = self.submit_async(coord, |req| Event::ClientWrite {
+                key,
+                value,
+                scope,
+                req,
+            })?;
+            waits.push((coord, req, rx));
+        }
+        let mut out = Vec::with_capacity(waits.len());
+        for (coord, req, rx) in waits {
+            match self.wait(coord, req, &rx)? {
+                Outcome::Write { ts, .. } => out.push(ts),
+                _ => return Err(MinosError::Shutdown),
+            }
+        }
+        Ok(out)
     }
 
     /// Reads `key` at `node` (served locally).
@@ -216,7 +328,9 @@ impl Cluster {
     ///
     /// As for [`Cluster::put`].
     pub fn get_versioned(&self, node: NodeId, key: Key) -> Result<(Value, Ts)> {
-        match self.submit(node, |req| Event::ClientRead { key, req })? {
+        self.check_alive(node)?;
+        let coord = self.route_alive(self.router.lock().serving(node, key), key);
+        match self.submit(coord, |req| Event::ClientRead { key, req })? {
             Outcome::Read { value, ts } => Ok((value, ts)),
             _ => Err(MinosError::Shutdown),
         }
@@ -224,14 +338,29 @@ impl Cluster {
 
     /// Ends scope `scope` with a `[PERSIST]sc` transaction at `node`.
     ///
+    /// Sharded clusters fan the flush out to every coordinator the
+    /// scope's writes were routed to and return once all of them have
+    /// flushed; a scope with no routed writes flushes trivially at the
+    /// origin.
+    ///
     /// # Errors
     ///
     /// As for [`Cluster::put`].
     pub fn persist_scope(&self, node: NodeId, scope: ScopeId) -> Result<()> {
-        match self.submit(node, |req| Event::ClientPersistScope { scope, req })? {
-            Outcome::PersistScope { .. } => Ok(()),
-            _ => Err(MinosError::Shutdown),
+        self.check_alive(node)?;
+        let coords = self.router.lock().scope_coordinators(node, scope);
+        let mut waits = Vec::with_capacity(coords.len());
+        for c in coords {
+            let (req, rx) = self.submit_async(c, |req| Event::ClientPersistScope { scope, req })?;
+            waits.push((c, req, rx));
         }
+        for (c, req, rx) in waits {
+            match self.wait(c, req, &rx)? {
+                Outcome::PersistScope { .. } => {}
+                _ => return Err(MinosError::Shutdown),
+            }
+        }
+        Ok(())
     }
 
     /// Crashes `node` (it silently drops all traffic until revived). The

@@ -18,7 +18,7 @@ use minos_core::{DelayClass, Event, NodeEngine, ReqId};
 use minos_kv::DurableState;
 use minos_nvm::LogEntry;
 use minos_types::{ClusterConfig, DdpModel, Key, Message, NodeId, Ts, Value};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -100,8 +100,8 @@ pub(crate) fn spawn_node(
         .spawn(move || {
             let mut dispatcher = Dispatcher::new();
             dispatcher.set_tracer(tracer);
-            #[allow(unused_mut)]
             let mut engine = NodeEngine::new(node, cfg.nodes, model);
+            engine.set_placement(cfg.placement.clone());
             #[cfg(feature = "fault-injection")]
             if let Some(f) = cfg.fault {
                 if f.node == node.0 {
@@ -123,7 +123,7 @@ pub(crate) fn spawn_node(
                 failure_tx,
                 last_seen: HashMap::new(),
                 crashed: false,
-                inflight: HashSet::new(),
+                inflight: HashMap::new(),
                 chaos,
                 gauges,
                 dispatches: 0,
@@ -151,10 +151,12 @@ struct NodeLoop {
     failure_tx: Sender<NodeId>,
     last_seen: HashMap<NodeId, Instant>,
     crashed: bool,
-    /// Client requests admitted here and not yet completed. Severed (reply
-    /// senders dropped) on [`NodeMsg::Crash`] so blocked `Cluster::submit`
-    /// callers observe the crash immediately instead of timing out.
-    inflight: HashSet<ReqId>,
+    /// Client requests admitted here and not yet completed, each tagged
+    /// with the shard its key belongs to (`None` when unsharded or
+    /// keyless). Severed (reply senders dropped) on [`NodeMsg::Crash`] so
+    /// blocked `Cluster::submit` callers observe the crash immediately
+    /// instead of timing out.
+    inflight: HashMap<ReqId, Option<u32>>,
     /// Seeded chaos bookkeeping (`ClusterConfig::chaos`); persists across
     /// dispatches so injection indices count whole-run outbound traffic.
     chaos: Option<ChaosState>,
@@ -179,7 +181,7 @@ struct NodeHandler<'a> {
     scheduler: &'a Scheduler<NodeMsg>,
     durable: &'a mut DurableState,
     completions: &'a CompletionMap,
-    inflight: &'a mut HashSet<ReqId>,
+    inflight: &'a mut HashMap<ReqId, Option<u32>>,
 }
 
 impl NodeHandler<'_> {
@@ -277,7 +279,7 @@ impl NodeLoop {
                     // submit timeout. (The completion map is shared by
                     // all nodes, so only our own requests are removed.)
                     let mut map = self.completions.lock();
-                    for req in self.inflight.drain() {
+                    for (req, _) in self.inflight.drain() {
                         map.remove(&req);
                     }
                 }
@@ -384,10 +386,12 @@ impl NodeLoop {
 
     fn handle_event(&mut self, ev: Event) {
         match &ev {
-            Event::ClientWrite { req, .. }
-            | Event::ClientRead { req, .. }
-            | Event::ClientPersistScope { req, .. } => {
-                self.inflight.insert(*req);
+            Event::ClientWrite { req, key, .. } | Event::ClientRead { req, key, .. } => {
+                let shard = self.cfg.placement.as_ref().map(|m| m.shard_of(*key).0);
+                self.inflight.insert(*req, shard);
+            }
+            Event::ClientPersistScope { req, .. } => {
+                self.inflight.insert(*req, None);
             }
             _ => {}
         }
@@ -434,12 +438,34 @@ impl NodeLoop {
         // `% N == 1` rather than `== 0`: short runs still get a sample.
         if self.dispatches % GAUGE_SAMPLE_DISPATCHES == 1 {
             let mut g = self.gauges.lock().expect("gauge lock");
-            g.observe(GaugeKind::InflightTxs, node, self.inflight.len() as u64);
-            g.observe(
-                GaugeKind::LockTableSize,
-                node,
-                self.engine.locked_records() as u64,
-            );
+            match self.cfg.placement.as_ref() {
+                Some(map) => {
+                    // Sharded: level gauges are keyed by (node, shard) so
+                    // hot shards are visible. Hosted shards with no locks
+                    // still sample an explicit zero.
+                    let locked = self.engine.locked_records_by_shard(map);
+                    for sh in map.shards_on(self.node) {
+                        let v = locked.get(&sh.0).copied().unwrap_or(0);
+                        g.observe_shard(GaugeKind::LockTableSize, node, sh.0, v as u64);
+                    }
+                    let mut by_shard: HashMap<u32, u64> = HashMap::new();
+                    for sh in self.inflight.values().flatten() {
+                        *by_shard.entry(*sh).or_default() += 1;
+                    }
+                    for (sh, v) in by_shard {
+                        g.observe_shard(GaugeKind::InflightTxs, node, sh, v);
+                    }
+                    g.observe(GaugeKind::InflightTxs, node, self.inflight.len() as u64);
+                }
+                None => {
+                    g.observe(GaugeKind::InflightTxs, node, self.inflight.len() as u64);
+                    g.observe(
+                        GaugeKind::LockTableSize,
+                        node,
+                        self.engine.locked_records() as u64,
+                    );
+                }
+            }
             g.observe(GaugeKind::HostSendQueue, node, self.rx.len() as u64);
         }
     }
@@ -450,6 +476,7 @@ impl NodeLoop {
     /// records are installed into the fresh volatile replica.
     fn revive(&mut self, entries: &[LogEntry]) {
         self.engine = NodeEngine::new(self.node, self.cfg.nodes, self.model);
+        self.engine.set_placement(self.cfg.placement.clone());
         self.durable.replay(entries);
         let records: Vec<(Key, Ts, Value)> = self
             .durable

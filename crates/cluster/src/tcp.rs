@@ -37,7 +37,9 @@ use minos_core::{DelayClass, Event, NodeEngine, ReqId};
 use minos_kv::DurableState;
 use minos_nvm::LogEntry;
 use minos_types::wire::{decode_peer_frame, encode_peer_frame};
-use minos_types::{ChaosSpec, DdpModel, FaultSpec, Key, Message, NodeId, ScopeId, Ts, Value};
+use minos_types::{
+    ChaosSpec, DdpModel, FaultSpec, Key, Message, NodeId, ScopeId, ShardMap, Ts, Value,
+};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -90,6 +92,12 @@ pub struct TcpNodeConfig {
     /// honored when built with the `fault-injection` feature; silently
     /// ignored otherwise.
     pub fault: Option<FaultSpec>,
+    /// Key-space placement (`None` = the paper's single fully replicated
+    /// group). Every process of a sharded deployment must be handed the
+    /// *same* map (`minos-noded --shards`/`--placement`); the node then
+    /// replicates only its shards and expects clients to contact a
+    /// replica of each key's shard ([`ShardedTcpClient`] does this).
+    pub placement: Option<ShardMap>,
 }
 
 enum In {
@@ -248,8 +256,8 @@ impl TcpNode {
         let engine_thread = std::thread::Builder::new()
             .name(format!("minos-tcp-engine-{}", cfg.node))
             .spawn(move || {
-                #[allow(unused_mut)]
                 let mut engine = NodeEngine::new(cfg.node, cfg.peers.len(), cfg.model);
+                engine.set_placement(cfg.placement.clone());
                 #[cfg(feature = "fault-injection")]
                 if let Some(f) = cfg.fault {
                     if f.node == cfg.node.0 {
@@ -530,8 +538,10 @@ impl ActionSink for TcpHandler<'_> {
     }
 
     fn redirect(&mut self, _to: NodeId, _event: Event) {
-        // The TCP runtime serves fully replicated clusters; redirects
-        // cannot arise.
+        // Client-op routing happens at the client ([`ShardedTcpClient`]),
+        // so a correctly routed deployment never redirects. An op that
+        // reaches a non-replica anyway is dropped — indistinguishable
+        // from a lost frame, and the client times out.
     }
 
     fn defer(&mut self, event: Event, _class: DelayClass) {
@@ -804,5 +814,107 @@ impl TcpClient {
             return Err(std::io::Error::other("unexpected persist response"));
         }
         Ok(())
+    }
+}
+
+/// A placement-aware TCP client: holds (lazy) connections to every
+/// node's client port and routes each operation to a replica of its
+/// key's shard — the wire-protocol counterpart of the facade routing the
+/// in-process harnesses get from
+/// [`ShardRouter`](minos_core::runtime::ShardRouter).
+///
+/// `origin` plays the role the submit node plays in the threaded
+/// cluster: ops on keys it replicates stay local, everything else goes
+/// to the shard's home node. Scoped writes record their coordinator so
+/// [`ShardedTcpClient::persist_scope`] can fan the flush out to exactly
+/// the touched shards.
+pub struct ShardedTcpClient {
+    map: ShardMap,
+    origin: NodeId,
+    client_addrs: Vec<SocketAddr>,
+    conns: HashMap<NodeId, TcpClient>,
+    /// Coordinators each open scope's writes were routed to.
+    scopes: HashMap<ScopeId, Vec<NodeId>>,
+}
+
+impl ShardedTcpClient {
+    /// A client attached at `origin`, routing over `map`. `client_addrs`
+    /// lists every node's client-protocol address, indexed by node id;
+    /// connections are opened on first use.
+    #[must_use]
+    pub fn new(map: ShardMap, origin: NodeId, client_addrs: Vec<SocketAddr>) -> ShardedTcpClient {
+        assert_eq!(
+            map.n_nodes(),
+            client_addrs.len(),
+            "placement map and client address list disagree on cluster size"
+        );
+        ShardedTcpClient {
+            map,
+            origin,
+            client_addrs,
+            conns: HashMap::new(),
+            scopes: HashMap::new(),
+        }
+    }
+
+    fn conn(&mut self, node: NodeId) -> std::io::Result<&mut TcpClient> {
+        if !self.conns.contains_key(&node) {
+            let c = TcpClient::connect(self.client_addrs[node.0 as usize])?;
+            self.conns.insert(node, c);
+        }
+        Ok(self.conns.get_mut(&node).expect("connection just inserted"))
+    }
+
+    /// Routes and issues a put; returns the write's timestamp.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses.
+    pub fn put(&mut self, key: Key, value: &[u8], scope: Option<ScopeId>) -> std::io::Result<Ts> {
+        let coord = self.map.serving(self.origin, key);
+        if let Some(sc) = scope {
+            let coords = self.scopes.entry(sc).or_default();
+            if !coords.contains(&coord) {
+                coords.push(coord);
+            }
+        }
+        self.conn(coord)?.put(key, value, scope)
+    }
+
+    /// Routes and issues a get.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses.
+    pub fn get(&mut self, key: Key) -> std::io::Result<Vec<u8>> {
+        let coord = self.map.serving(self.origin, key);
+        self.conn(coord)?.get(key)
+    }
+
+    /// Flushes `scope` at every coordinator its writes were routed to
+    /// (consuming the record); a scope with no routed writes flushes
+    /// trivially at the origin.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses.
+    pub fn persist_scope(&mut self, scope: ScopeId) -> std::io::Result<()> {
+        let coords = match self.scopes.remove(&scope) {
+            Some(c) if !c.is_empty() => c,
+            _ => vec![self.origin],
+        };
+        for c in coords {
+            self.conn(c)?.persist_scope(scope)?;
+        }
+        Ok(())
+    }
+
+    /// Dumps `node`'s durable log (the audit surface, unrouted).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses.
+    pub fn dump_durable(&mut self, node: NodeId) -> std::io::Result<Vec<LogEntry>> {
+        self.conn(node)?.dump_durable()
     }
 }

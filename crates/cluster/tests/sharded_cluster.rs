@@ -1,0 +1,144 @@
+//! Sharded threaded clusters: facade routing, data partitioning,
+//! multi-key barriers, cross-shard scope flushes, and crash failover
+//! inside a replica group — all over real threads and the delay wheel.
+
+use minos_cluster::Cluster;
+use minos_types::{ClusterConfig, DdpModel, Key, NodeId, PersistencyModel, ScopeId, ShardMap};
+use std::time::Duration;
+
+const ALL_MODELS: [PersistencyModel; 5] = [
+    PersistencyModel::Synchronous,
+    PersistencyModel::Strict,
+    PersistencyModel::ReadEnforced,
+    PersistencyModel::Eventual,
+    PersistencyModel::Scope,
+];
+
+/// 4 shards × 2 replicas over 8 nodes: groups {0,1} {2,3} {4,5} {6,7}.
+fn sharded_cfg() -> ClusterConfig {
+    let mut cfg = ClusterConfig::cloudlab().with_placement(ShardMap::uniform(4, 8, 2));
+    cfg.wire_latency_ns = 20_000;
+    cfg.failure_timeout_ns = 40_000_000; // 40 ms
+    cfg
+}
+
+#[test]
+fn sharded_put_get_routes_across_shards() {
+    for pm in ALL_MODELS {
+        let cl = Cluster::spawn(sharded_cfg(), DdpModel::lin(pm));
+        let sc = (pm == PersistencyModel::Scope).then_some(ScopeId(1));
+        for k in 0..8u64 {
+            cl.put_scoped(NodeId(0), Key(k), format!("v{k}").into(), sc)
+                .unwrap();
+        }
+        if let Some(sc) = sc {
+            cl.persist_scope(NodeId(0), sc).unwrap();
+        }
+        // Reads route from any origin, replica or not.
+        for k in 0..8u64 {
+            assert_eq!(
+                cl.get(NodeId(7), Key(k)).unwrap(),
+                format!("v{k}"),
+                "[{pm:?}] key {k}"
+            );
+        }
+        cl.shutdown();
+    }
+}
+
+#[test]
+fn synchronous_writes_are_durable_only_on_their_shard() {
+    let map = ShardMap::uniform(4, 8, 2);
+    let cl = Cluster::spawn(sharded_cfg(), DdpModel::lin(PersistencyModel::Synchronous));
+    for k in 0..8u64 {
+        cl.put(NodeId(0), Key(k), format!("d{k}").into()).unwrap();
+    }
+    // <Lin, Synchronous> completion implies durability at every replica
+    // of the key's shard — and the placement map says nowhere else.
+    for n in 0..8u16 {
+        let keys: Vec<Key> = cl
+            .durable_log(NodeId(n))
+            .unwrap()
+            .into_iter()
+            .map(|e| e.key)
+            .collect();
+        for k in 0..8u64 {
+            assert_eq!(
+                keys.contains(&Key(k)),
+                map.is_replica(NodeId(n), Key(k)),
+                "key {k} durable on node {n}: must follow the map"
+            );
+        }
+    }
+    cl.shutdown();
+}
+
+#[test]
+fn put_multi_barriers_across_shards() {
+    let cl = Cluster::spawn(sharded_cfg(), DdpModel::lin(PersistencyModel::Strict));
+    let writes: Vec<_> = (0..4u64)
+        .map(|k| (Key(k), format!("m{k}").into()))
+        .collect();
+    let tss = cl.put_multi(NodeId(2), writes, None).unwrap();
+    assert_eq!(tss.len(), 4);
+    // Children were coordinated by different replica groups.
+    let coords: std::collections::BTreeSet<NodeId> = tss.iter().map(|ts| ts.node).collect();
+    assert!(coords.len() > 1, "multi-write never left one group");
+    for k in 0..4u64 {
+        assert_eq!(cl.get(NodeId(6), Key(k)).unwrap(), format!("m{k}"));
+    }
+    cl.shutdown();
+}
+
+#[test]
+fn scope_flush_spans_every_touched_shard() {
+    let map = ShardMap::uniform(4, 8, 2);
+    let cl = Cluster::spawn(sharded_cfg(), DdpModel::lin(PersistencyModel::Scope));
+    let sc = ScopeId(9);
+    // Keys 1 and 2 live on shards 1 and 2; node 0 replicates neither.
+    cl.put_scoped(NodeId(0), Key(1), "a".into(), Some(sc))
+        .unwrap();
+    cl.put_scoped(NodeId(0), Key(2), "b".into(), Some(sc))
+        .unwrap();
+    cl.persist_scope(NodeId(0), sc).unwrap();
+    // The flush fanned out to each coordinator: both keys are durable
+    // somewhere in their own replica group.
+    for k in [1u64, 2] {
+        let durable = map
+            .replicas_of_key(Key(k))
+            .iter()
+            .any(|&r| cl.durable_log(r).unwrap().iter().any(|e| e.key == Key(k)));
+        assert!(durable, "scoped key {k} not durable in its group");
+    }
+    // An untouched scope flushes trivially.
+    cl.persist_scope(NodeId(5), ScopeId(77)).unwrap();
+    cl.shutdown();
+}
+
+#[test]
+fn crashed_home_node_fails_over_within_the_group() {
+    let map = ShardMap::uniform(4, 8, 2);
+    let cl = Cluster::spawn(sharded_cfg(), DdpModel::lin(PersistencyModel::Synchronous));
+    // Key 1 lives on shard 1 = {2, 3}; its home (default coordinator
+    // from node 0) is node 2.
+    assert_eq!(map.serving(NodeId(0), Key(1)), NodeId(2));
+    cl.put(NodeId(0), Key(1), "before".into()).unwrap();
+    cl.crash_node(NodeId(2));
+    assert!(
+        cl.await_failure_detection(NodeId(2), Duration::from_secs(5)),
+        "failure never detected"
+    );
+    // Routed ops fail over to the surviving replica (node 3).
+    let ts = cl.put(NodeId(0), Key(1), "after".into()).unwrap();
+    assert_eq!(ts.node, NodeId(3), "write not coordinated by survivor");
+    assert_eq!(cl.get(NodeId(0), Key(1)).unwrap(), "after");
+    // Recovery donor comes from the same replica group.
+    let donor = *map
+        .peers_of(NodeId(2))
+        .iter()
+        .next()
+        .expect("group has a peer");
+    cl.recover_node(NodeId(2), donor).unwrap();
+    assert_eq!(cl.get(NodeId(2), Key(1)).unwrap(), "after");
+    cl.shutdown();
+}

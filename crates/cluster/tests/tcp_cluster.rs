@@ -1,8 +1,8 @@
 //! The real-socket runtime: in-process TCP nodes and genuine
 //! multi-process clusters via the `minos-noded` binary.
 
-use minos_cluster::tcp::{TcpClient, TcpNode, TcpNodeConfig};
-use minos_types::{DdpModel, Key, NodeId, PersistencyModel, ScopeId};
+use minos_cluster::tcp::{ShardedTcpClient, TcpClient, TcpNode, TcpNodeConfig};
+use minos_types::{DdpModel, Key, NodeId, PersistencyModel, ScopeId, ShardMap};
 use std::net::{SocketAddr, TcpListener};
 use std::time::{Duration, Instant};
 
@@ -19,7 +19,7 @@ fn free_addrs(n: usize) -> Vec<SocketAddr> {
 }
 
 fn spawn_tcp_cluster(n: usize, model: DdpModel) -> (Vec<TcpNode>, Vec<SocketAddr>) {
-    spawn_tcp_cluster_with(n, model, false, false)
+    spawn_tcp_cluster_full(n, model, false, false, None)
 }
 
 fn spawn_tcp_cluster_with(
@@ -27,6 +27,16 @@ fn spawn_tcp_cluster_with(
     model: DdpModel,
     batching: bool,
     broadcast: bool,
+) -> (Vec<TcpNode>, Vec<SocketAddr>) {
+    spawn_tcp_cluster_full(n, model, batching, broadcast, None)
+}
+
+fn spawn_tcp_cluster_full(
+    n: usize,
+    model: DdpModel,
+    batching: bool,
+    broadcast: bool,
+    placement: Option<ShardMap>,
 ) -> (Vec<TcpNode>, Vec<SocketAddr>) {
     let peers = free_addrs(n);
     let clients = free_addrs(n);
@@ -45,6 +55,7 @@ fn spawn_tcp_cluster_with(
                 metrics_interval: Duration::from_secs(1),
                 chaos: None,
                 fault: None,
+                placement: placement.clone(),
             })
             .expect("bind node")
         })
@@ -233,4 +244,74 @@ fn three_process_cluster_end_to_end() {
         let _ = c.wait();
     }
     let _ = std::fs::remove_file(&metrics_path);
+}
+
+#[test]
+fn sharded_tcp_cluster_routes_and_partitions() {
+    // 2 shards × 2 replicas over 4 nodes: groups {0,1} {2,3}.
+    let map = ShardMap::uniform(2, 4, 2);
+    let (nodes, clients) = spawn_tcp_cluster_full(
+        4,
+        DdpModel::lin(PersistencyModel::Synchronous),
+        false,
+        false,
+        Some(map.clone()),
+    );
+
+    // A client attached at node 0 routes every op to its key's shard.
+    let mut c = ShardedTcpClient::new(map.clone(), NodeId(0), clients.clone());
+    for k in 0..6u64 {
+        c.put(Key(k), format!("s{k}").as_bytes(), None).unwrap();
+    }
+    for k in 0..6u64 {
+        assert_eq!(c.get(Key(k)).unwrap(), format!("s{k}").as_bytes());
+    }
+    // Durability follows the placement: a node's NVM log holds exactly
+    // the keys of the shards it replicates.
+    for n in 0..4u16 {
+        let keys: Vec<Key> = c
+            .dump_durable(NodeId(n))
+            .unwrap()
+            .into_iter()
+            .map(|e| e.key)
+            .collect();
+        for k in 0..6u64 {
+            assert_eq!(
+                keys.contains(&Key(k)),
+                map.is_replica(NodeId(n), Key(k)),
+                "key {k} durable on node {n}"
+            );
+        }
+    }
+    for n in nodes {
+        n.shutdown();
+    }
+}
+
+#[test]
+fn sharded_tcp_scope_flush_follows_routed_writes() {
+    let map = ShardMap::uniform(2, 4, 2);
+    let (nodes, clients) = spawn_tcp_cluster_full(
+        4,
+        DdpModel::lin(PersistencyModel::Scope),
+        false,
+        false,
+        Some(map.clone()),
+    );
+    let mut c = ShardedTcpClient::new(map.clone(), NodeId(0), clients);
+    let sc = ScopeId(5);
+    // Key 0 stays local (shard 0), key 1 routes to shard 1's home.
+    c.put(Key(0), b"local", Some(sc)).unwrap();
+    c.put(Key(1), b"remote", Some(sc)).unwrap();
+    c.persist_scope(sc).unwrap();
+    for k in [0u64, 1] {
+        let durable = map
+            .replicas_of_key(Key(k))
+            .iter()
+            .any(|&r| c.dump_durable(r).unwrap().iter().any(|e| e.key == Key(k)));
+        assert!(durable, "scoped key {k} not durable in its group");
+    }
+    for n in nodes {
+        n.shutdown();
+    }
 }

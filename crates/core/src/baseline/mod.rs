@@ -15,7 +15,7 @@ use crate::event::{Action, DelayClass, Event, MetaOp, ReqId};
 use crate::scope::ScopeTable;
 use crate::stats::EngineStats;
 use crate::store::Store;
-use minos_types::{DdpModel, Key, Message, NodeId, RecordMeta, ScopeId, Ts, Value};
+use minos_types::{DdpModel, Key, Message, NodeId, RecordMeta, ScopeId, ShardMap, Ts, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -196,11 +196,12 @@ pub struct NodeEngine {
     /// its completion point), but a younger write's completion can then
     /// be delayed behind an older one's.
     snatch_enabled: bool,
-    /// Partial-replication extension (the paper assumes "a record is
-    /// replicated in all the nodes … for simplicity"): `Some(k)` places
-    /// each record on `k` nodes chosen by a hash ring. Writes must be
-    /// coordinated by a replica (non-replicas redirect); reads forward.
-    replication: Option<u16>,
+    /// Key-space placement (the paper assumes "a record is replicated in
+    /// all the nodes … for simplicity"): `Some(map)` places each record
+    /// on its shard's replica group. Writes must be coordinated by a
+    /// replica (non-replicas redirect); reads forward. The legacy
+    /// replication-factor knob is sugar for a `uniform(n, n, k)` map.
+    placement: Option<ShardMap>,
     /// A deliberately armed protocol bug, used by the mutation smoke
     /// tests to prove the conformance checkers can catch real protocol
     /// violations. Compiled out of production builds.
@@ -260,7 +261,7 @@ impl NodeEngine {
             stats: EngineStats::default(),
             alive: (0..n_nodes as u16).map(NodeId).collect(),
             snatch_enabled: true,
-            replication: None,
+            placement: None,
             #[cfg(feature = "fault-injection")]
             fault: None,
         }
@@ -288,13 +289,16 @@ impl NodeEngine {
 
     /// Enables partial replication with factor `k`: each record lives on
     /// `k` of the `n` nodes (hash-ring placement). Pass `None` to restore
-    /// the paper's full replication.
+    /// the paper's full replication. Sugar for
+    /// [`NodeEngine::set_placement`] with a `ShardMap::uniform(n, n, k)`
+    /// ring, kept for the legacy call sites.
     ///
     /// # Panics
     ///
     /// Panics if `k` is zero or exceeds the cluster size, or if the
     /// engine runs the `<Lin, Scope>` model (scope flush targets are not
-    /// defined under partial replication in this implementation).
+    /// defined under the legacy knob; use an explicit placement map and a
+    /// routing facade instead).
     pub fn set_replication_factor(&mut self, k: Option<u16>) {
         if let Some(k) = k {
             assert!(k >= 1 && (k as usize) <= self.n_nodes, "bad factor {k}");
@@ -303,28 +307,54 @@ impl NodeEngine {
                 "partial replication is not supported under <Lin, Scope>"
             );
         }
-        self.replication = k;
+        self.placement = k.map(|k| ShardMap::uniform(self.n_nodes as u32, self.n_nodes, k));
     }
 
-    /// The nodes holding a replica of `key` (hash-ring placement;
+    /// Installs the cluster placement map (`None` = the paper's full
+    /// replication). Scoped models are supported when a routing facade
+    /// directs every scoped write to a replica of its key (the
+    /// `ShardRouter` layer does this); the engine itself only consults
+    /// the map for replica sets and redirect targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map's node count disagrees with the engine's.
+    pub fn set_placement(&mut self, map: Option<ShardMap>) {
+        if let Some(map) = &map {
+            assert_eq!(
+                map.n_nodes(),
+                self.n_nodes,
+                "placement map covers {} nodes, engine cluster has {}",
+                map.n_nodes(),
+                self.n_nodes
+            );
+        }
+        self.placement = map;
+    }
+
+    /// The installed placement map, if any.
+    #[must_use]
+    pub fn placement(&self) -> Option<&ShardMap> {
+        self.placement.as_ref()
+    }
+
+    /// The nodes holding a replica of `key` (placement-map lookup;
     /// identical on every node).
     #[must_use]
     pub fn replicas_of(&self, key: Key) -> Vec<NodeId> {
-        match self.replication {
+        match &self.placement {
             None => (0..self.n_nodes as u16).map(NodeId).collect(),
-            Some(k) => {
-                let start = (key.0 % self.n_nodes as u64) as usize;
-                (0..k as usize)
-                    .map(|i| NodeId(((start + i) % self.n_nodes) as u16))
-                    .collect()
-            }
+            Some(map) => map.replicas_of_key(key).to_vec(),
         }
     }
 
     /// Whether this node holds a replica of `key`.
     #[must_use]
     pub fn is_replica(&self, key: Key) -> bool {
-        self.replication.is_none() || self.replicas_of(key).contains(&self.node)
+        match &self.placement {
+            None => true,
+            Some(map) => map.is_replica(self.node, key),
+        }
     }
 
     /// Live peers expected to acknowledge a write to `key`.
@@ -471,6 +501,14 @@ impl NodeEngine {
         self.store.locked_records()
     }
 
+    /// Locked records broken down by the shard each key hashes to under
+    /// `map` (the per-shard lock-table gauge). Shards with no locked
+    /// records are omitted.
+    #[must_use]
+    pub fn locked_records_by_shard(&self, map: &ShardMap) -> BTreeMap<u32, usize> {
+        self.store.locked_records_by_shard(map)
+    }
+
     /// Cumulative protocol statistics.
     #[must_use]
     pub fn stats(&self) -> &EngineStats {
@@ -493,7 +531,7 @@ impl NodeEngine {
         self.coord
             .iter()
             .map(|(&(key, ts), tx)| {
-                let needed = self.followers();
+                let needed = self.followers_for(key);
                 let consistency_complete = match self.model.persistency {
                     minos_types::PersistencyModel::Synchronous => tx.acks.len() >= needed,
                     _ => tx.ack_cs.len() >= needed,

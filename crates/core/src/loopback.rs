@@ -21,10 +21,11 @@ use crate::event::{DelayClass, Event, ReqId};
 use crate::obs::{GaugeKind, GaugeSet, SharedSink, TraceClock, Tracer, GAUGE_NODE_ALL};
 use crate::offload::{OEvent, ONodeEngine, PcieMsg, Side};
 use crate::runtime::{
-    ActionSink, DispatchStats, Dispatcher, ODispatchStats, ODispatcher, OSink, Transport,
+    ActionSink, DispatchStats, Dispatcher, ODispatchStats, ODispatcher, OSink, ShardRouter,
+    Transport,
 };
-use minos_types::{DdpModel, Key, NodeId, ScopeId, Ts, Value};
-use std::collections::VecDeque;
+use minos_types::{DdpModel, Key, NodeId, ScopeId, ShardMap, Ts, Value};
+use std::collections::{BTreeMap, VecDeque};
 
 /// A client-visible completion observed by a loopback cluster.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,6 +65,45 @@ pub enum Completion {
         /// Scope flushed.
         scope: ScopeId,
     },
+    /// A multi-key write batch finished: every per-key child write
+    /// completed and the barrier released the parent request.
+    MultiWrite {
+        /// Node the batch was submitted at.
+        node: NodeId,
+        /// Parent request id.
+        req: ReqId,
+        /// Keys written, in submission order.
+        keys: Vec<Key>,
+    },
+}
+
+/// A barrier parent awaiting its routed children (used by the sharded
+/// submit paths; the unsharded paths never enroll one).
+#[derive(Debug, Clone)]
+enum ParentOp {
+    /// A multi-key write batch.
+    Multi {
+        /// Origin node.
+        node: NodeId,
+        /// Keys in submission order.
+        keys: Vec<Key>,
+    },
+    /// A `[PERSIST]sc` fanned out to every coordinator of the scope.
+    Scope {
+        /// Origin node.
+        node: NodeId,
+        /// Scope being flushed.
+        scope: ScopeId,
+    },
+}
+
+impl ParentOp {
+    fn finish(self, req: ReqId) -> Completion {
+        match self {
+            ParentOp::Multi { node, keys } => Completion::MultiWrite { node, req, keys },
+            ParentOp::Scope { node, scope } => Completion::PersistScope { node, req, scope },
+        }
+    }
 }
 
 /// Loopback driver for a cluster of MINOS-B engines.
@@ -99,6 +139,13 @@ pub struct BCluster {
     /// depth), sampled every [`LOOPBACK_SAMPLE_STEPS`] dispatch steps.
     gauges: GaugeSet,
     steps: u64,
+    /// Key → shard-group routing and multi-op barriers; the identity
+    /// router when the cluster is unsharded.
+    router: ShardRouter,
+    /// Barrier parents awaiting their last child.
+    parents: BTreeMap<ReqId, ParentOp>,
+    /// Submitted-minus-completed keyed ops per shard (sharded only).
+    inflight_by_shard: BTreeMap<u32, u64>,
 }
 
 /// Dispatch steps between telemetry samples on the loopback clusters.
@@ -203,7 +250,29 @@ impl BCluster {
             scramble: None,
             gauges: GaugeSet::new(),
             steps: 0,
+            router: ShardRouter::new(None),
+            parents: BTreeMap::new(),
+            inflight_by_shard: BTreeMap::new(),
         }
+    }
+
+    /// Builds a sharded cluster over `map`'s nodes: every engine holds
+    /// only its shards' keys, and client operations are routed through a
+    /// [`ShardRouter`] to a replica of their key's shard.
+    #[must_use]
+    pub fn with_placement(map: ShardMap, model: DdpModel) -> Self {
+        let mut cl = BCluster::new(map.n_nodes(), model);
+        for e in &mut cl.engines {
+            e.set_placement(Some(map.clone()));
+        }
+        cl.router = ShardRouter::new(Some(map));
+        cl
+    }
+
+    /// The placement map, if this cluster is sharded.
+    #[must_use]
+    pub fn placement(&self) -> Option<&ShardMap> {
+        self.router.map()
     }
 
     /// Enables seeded event-order scrambling: `step` pops a pseudo-random
@@ -264,10 +333,13 @@ impl BCluster {
         total
     }
 
-    /// Pre-loads `key` on every node.
+    /// Pre-loads `key` on every node that replicates it (every node, when
+    /// the cluster is unsharded).
     pub fn load_all(&mut self, key: Key, value: Value) {
         for e in &mut self.engines {
-            e.load_record(key, value.clone());
+            if e.is_replica(key) {
+                e.load_record(key, value.clone());
+            }
         }
     }
 
@@ -283,7 +355,16 @@ impl BCluster {
         r
     }
 
-    /// Submits a client write at `node`; returns its request id.
+    fn note_submitted(&mut self, key: Key) {
+        if let Some(map) = self.router.map() {
+            let shard = map.shard_of(key).0;
+            *self.inflight_by_shard.entry(shard).or_insert(0) += 1;
+        }
+    }
+
+    /// Submits a client write at `node`; returns its request id. On a
+    /// sharded cluster the write is routed to a replica of its key's
+    /// shard (the submitting node when it is one).
     pub fn submit_write(
         &mut self,
         node: NodeId,
@@ -292,8 +373,10 @@ impl BCluster {
         scope: Option<ScopeId>,
     ) -> ReqId {
         let req = self.fresh_req();
+        let coord = self.router.route_write(node, key, scope);
+        self.note_submitted(key);
         self.queue.push_back((
-            node,
+            coord,
             Event::ClientWrite {
                 key,
                 value,
@@ -304,18 +387,75 @@ impl BCluster {
         req
     }
 
-    /// Submits a client read at `node`.
+    /// Submits a client read at `node`, routed to a serving replica.
     pub fn submit_read(&mut self, node: NodeId, key: Key) -> ReqId {
         let req = self.fresh_req();
-        self.queue.push_back((node, Event::ClientRead { key, req }));
+        let serving = self.router.serving(node, key);
+        self.note_submitted(key);
+        self.queue
+            .push_back((serving, Event::ClientRead { key, req }));
         req
     }
 
-    /// Submits a `[PERSIST]sc` at `node`.
+    /// Submits a multi-key write batch at `node`: each key is routed to
+    /// its shard's coordinator and the returned parent request completes
+    /// (as [`Completion::MultiWrite`]) only once every per-key child has.
+    /// Works on unsharded clusters too — the children all run at `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `writes` is empty.
+    pub fn submit_write_multi(
+        &mut self,
+        node: NodeId,
+        writes: Vec<(Key, Value)>,
+        scope: Option<ScopeId>,
+    ) -> ReqId {
+        assert!(!writes.is_empty(), "empty multi-key write batch");
+        let req = self.fresh_req();
+        let children: Vec<ReqId> = writes.iter().map(|_| self.fresh_req()).collect();
+        self.router.begin_barrier(req, &children);
+        self.parents.insert(
+            req,
+            ParentOp::Multi {
+                node,
+                keys: writes.iter().map(|(k, _)| *k).collect(),
+            },
+        );
+        for ((key, value), child) in writes.into_iter().zip(children) {
+            let coord = self.router.route_write(node, key, scope);
+            self.note_submitted(key);
+            self.queue.push_back((
+                coord,
+                Event::ClientWrite {
+                    key,
+                    value,
+                    scope,
+                    req: child,
+                },
+            ));
+        }
+        req
+    }
+
+    /// Submits a `[PERSIST]sc` at `node`. On a sharded cluster the flush
+    /// is fanned out to every coordinator that scoped writes from `node`
+    /// were routed to, barrier-joined into the returned parent request.
     pub fn submit_persist_scope(&mut self, node: NodeId, scope: ScopeId) -> ReqId {
         let req = self.fresh_req();
-        self.queue
-            .push_back((node, Event::ClientPersistScope { scope, req }));
+        if self.router.map().is_some() {
+            let coords = self.router.scope_coordinators(node, scope);
+            let children: Vec<ReqId> = coords.iter().map(|_| self.fresh_req()).collect();
+            self.router.begin_barrier(req, &children);
+            self.parents.insert(req, ParentOp::Scope { node, scope });
+            for (coord, child) in coords.into_iter().zip(children) {
+                self.queue
+                    .push_back((coord, Event::ClientPersistScope { scope, req: child }));
+            }
+        } else {
+            self.queue
+                .push_back((node, Event::ClientPersistScope { scope, req }));
+        }
         req
     }
 
@@ -337,6 +477,7 @@ impl BCluster {
             return false;
         };
         let ni = node.0 as usize;
+        let pre = self.completions.len();
         let mut handler = BLoopHandler {
             node,
             auto_persist: self.auto_persist,
@@ -345,21 +486,44 @@ impl BCluster {
             completions: &mut self.completions,
         };
         self.dispatchers[ni].dispatch(&mut self.engines[ni], ev, &mut handler);
+        self.absorb_completions(pre);
         self.steps += 1;
         if self.steps.is_multiple_of(LOOPBACK_SAMPLE_STEPS) {
-            for (i, e) in self.engines.iter().enumerate() {
-                self.gauges.observe(
-                    GaugeKind::LockTableSize,
-                    i as u32,
-                    e.locked_records() as u64,
-                );
+            match self.router.map().cloned() {
+                Some(map) => {
+                    for (i, e) in self.engines.iter().enumerate() {
+                        let by_shard = e.locked_records_by_shard(&map);
+                        for s in map.shards_on(NodeId(i as u16)) {
+                            let n = by_shard.get(&s.0).copied().unwrap_or(0);
+                            self.gauges.observe_shard(
+                                GaugeKind::LockTableSize,
+                                i as u32,
+                                s.0,
+                                n as u64,
+                            );
+                        }
+                    }
+                    for (&shard, &n) in &self.inflight_by_shard {
+                        self.gauges
+                            .observe_shard(GaugeKind::InflightTxs, GAUGE_NODE_ALL, shard, n);
+                    }
+                }
+                None => {
+                    for (i, e) in self.engines.iter().enumerate() {
+                        self.gauges.observe(
+                            GaugeKind::LockTableSize,
+                            i as u32,
+                            e.locked_records() as u64,
+                        );
+                    }
+                    let done: u64 = self.completions.len() as u64;
+                    self.gauges.observe(
+                        GaugeKind::InflightTxs,
+                        GAUGE_NODE_ALL,
+                        (self.next_req - 1).saturating_sub(done),
+                    );
+                }
             }
-            let done: u64 = self.completions.len() as u64;
-            self.gauges.observe(
-                GaugeKind::InflightTxs,
-                GAUGE_NODE_ALL,
-                (self.next_req - 1).saturating_sub(done),
-            );
             self.gauges.observe(
                 GaugeKind::HostSendQueue,
                 GAUGE_NODE_ALL,
@@ -367,6 +531,42 @@ impl BCluster {
             );
         }
         true
+    }
+
+    /// Folds barrier-child completions into their parent: a child's
+    /// completion is absorbed (never surfaced), and when a parent's last
+    /// child lands, the parent's own completion is surfaced at its
+    /// origin. Also retires per-shard in-flight counts.
+    fn absorb_completions(&mut self, from: usize) {
+        let mut i = from;
+        while i < self.completions.len() {
+            let (req, key) = match &self.completions[i] {
+                Completion::Write { req, key, .. } | Completion::Read { req, key, .. } => {
+                    (*req, Some(*key))
+                }
+                Completion::PersistScope { req, .. } | Completion::MultiWrite { req, .. } => {
+                    (*req, None)
+                }
+            };
+            if let (Some(map), Some(key)) = (self.router.map(), key) {
+                let shard = map.shard_of(key).0;
+                if let Some(n) = self.inflight_by_shard.get_mut(&shard) {
+                    *n = n.saturating_sub(1);
+                }
+            }
+            if self.router.is_child(req) {
+                self.completions.remove(i);
+                if let Some(parent) = self.router.complete_child(req) {
+                    let op = self
+                        .parents
+                        .remove(&parent)
+                        .expect("barrier parent recorded");
+                    self.completions.push(op.finish(parent));
+                }
+            } else {
+                i += 1;
+            }
+        }
     }
 
     /// The resource-telemetry gauges accumulated so far.
@@ -408,6 +608,14 @@ impl BCluster {
             .any(|c| matches!(c, Completion::Write { req: r, .. } if *r == req))
     }
 
+    /// Whether multi-key write `req` (a barrier parent) has completed.
+    #[must_use]
+    pub fn multi_completed(&self, req: ReqId) -> bool {
+        self.completions
+            .iter()
+            .any(|c| matches!(c, Completion::MultiWrite { req: r, .. } if *r == req))
+    }
+
     /// The value observed by read `req`, if it has completed.
     #[must_use]
     pub fn read_value(&self, req: ReqId) -> Option<Value> {
@@ -418,15 +626,28 @@ impl BCluster {
     }
 
     /// Asserts that every replica of `key` converged to the same value and
-    /// fully-released, consistent metadata. Returns that value.
+    /// fully-released, consistent metadata. Returns that value. On a
+    /// sharded cluster only the key's replica group is checked — other
+    /// nodes never hold the record.
     ///
     /// # Panics
     ///
     /// Panics if replicas diverge or a lock is still held.
     pub fn assert_converged(&self, key: Key) -> Value {
-        let first = self.engines[0].record_value(key).unwrap_or_default();
-        let meta0 = self.engines[0].record_meta(key);
-        for e in &self.engines {
+        let replicas: Vec<usize> = match self.router.map() {
+            Some(map) => map
+                .replicas_of_key(key)
+                .iter()
+                .map(|n| n.0 as usize)
+                .collect(),
+            None => (0..self.engines.len()).collect(),
+        };
+        let first = self.engines[replicas[0]]
+            .record_value(key)
+            .unwrap_or_default();
+        let meta0 = self.engines[replicas[0]].record_meta(key);
+        for &i in &replicas {
+            let e = &self.engines[i];
             let meta = e.record_meta(key);
             assert!(
                 meta.readable(),
@@ -466,6 +687,14 @@ pub struct OCluster {
     /// dispatch steps (mirrors [`BCluster::gauges`]).
     gauges: GaugeSet,
     steps: u64,
+    /// Key → shard-group routing and multi-op barriers. MINOS-O engines
+    /// have no redirect path, so on a sharded cluster this facade routing
+    /// is what keeps every submit on a replica.
+    router: ShardRouter,
+    /// Barrier parents awaiting their last child.
+    parents: BTreeMap<ReqId, ParentOp>,
+    /// Submitted-minus-completed keyed ops per shard (sharded only).
+    inflight_by_shard: BTreeMap<u32, u64>,
 }
 
 /// The loopback handler for MINOS-O: PCIe descriptors and FIFO drains
@@ -555,7 +784,29 @@ impl OCluster {
             scramble: None,
             gauges: GaugeSet::new(),
             steps: 0,
+            router: ShardRouter::new(None),
+            parents: BTreeMap::new(),
+            inflight_by_shard: BTreeMap::new(),
         }
+    }
+
+    /// Builds a sharded MINOS-O cluster over `map`'s nodes (see
+    /// [`BCluster::with_placement`]). The facade routes every client op
+    /// to a replica — the offloaded engines themselves never redirect.
+    #[must_use]
+    pub fn with_placement(map: ShardMap, model: DdpModel) -> Self {
+        let mut cl = OCluster::new(map.n_nodes(), model);
+        for e in &mut cl.engines {
+            e.set_placement(Some(map.clone()));
+        }
+        cl.router = ShardRouter::new(Some(map));
+        cl
+    }
+
+    /// The placement map, if this cluster is sharded.
+    #[must_use]
+    pub fn placement(&self) -> Option<&ShardMap> {
+        self.router.map()
     }
 
     /// Enables seeded event-order scrambling (see
@@ -604,10 +855,12 @@ impl OCluster {
         total
     }
 
-    /// Pre-loads `key` on every node.
+    /// Pre-loads `key` on every node that replicates it.
     pub fn load_all(&mut self, key: Key, value: Value) {
         for e in &mut self.engines {
-            e.load_record(key, value.clone());
+            if e.is_replica(key) {
+                e.load_record(key, value.clone());
+            }
         }
     }
 
@@ -623,7 +876,15 @@ impl OCluster {
         r
     }
 
-    /// Submits a client write at `node`.
+    fn note_submitted(&mut self, key: Key) {
+        if let Some(map) = self.router.map() {
+            let shard = map.shard_of(key).0;
+            *self.inflight_by_shard.entry(shard).or_insert(0) += 1;
+        }
+    }
+
+    /// Submits a client write at `node`, routed to a replica of its
+    /// key's shard.
     pub fn submit_write(
         &mut self,
         node: NodeId,
@@ -632,8 +893,10 @@ impl OCluster {
         scope: Option<ScopeId>,
     ) -> ReqId {
         let req = self.fresh_req();
+        let coord = self.router.route_write(node, key, scope);
+        self.note_submitted(key);
         self.queue.push_back((
-            node,
+            coord,
             OEvent::ClientWrite {
                 key,
                 value,
@@ -644,19 +907,72 @@ impl OCluster {
         req
     }
 
-    /// Submits a client read at `node`.
+    /// Submits a client read at `node`, routed to a serving replica.
     pub fn submit_read(&mut self, node: NodeId, key: Key) -> ReqId {
         let req = self.fresh_req();
+        let serving = self.router.serving(node, key);
+        self.note_submitted(key);
         self.queue
-            .push_back((node, OEvent::ClientRead { key, req }));
+            .push_back((serving, OEvent::ClientRead { key, req }));
         req
     }
 
-    /// Submits a `[PERSIST]sc` at `node`.
+    /// Submits a multi-key write batch at `node` (see
+    /// [`BCluster::submit_write_multi`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `writes` is empty.
+    pub fn submit_write_multi(
+        &mut self,
+        node: NodeId,
+        writes: Vec<(Key, Value)>,
+        scope: Option<ScopeId>,
+    ) -> ReqId {
+        assert!(!writes.is_empty(), "empty multi-key write batch");
+        let req = self.fresh_req();
+        let children: Vec<ReqId> = writes.iter().map(|_| self.fresh_req()).collect();
+        self.router.begin_barrier(req, &children);
+        self.parents.insert(
+            req,
+            ParentOp::Multi {
+                node,
+                keys: writes.iter().map(|(k, _)| *k).collect(),
+            },
+        );
+        for ((key, value), child) in writes.into_iter().zip(children) {
+            let coord = self.router.route_write(node, key, scope);
+            self.note_submitted(key);
+            self.queue.push_back((
+                coord,
+                OEvent::ClientWrite {
+                    key,
+                    value,
+                    scope,
+                    req: child,
+                },
+            ));
+        }
+        req
+    }
+
+    /// Submits a `[PERSIST]sc` at `node` (see
+    /// [`BCluster::submit_persist_scope`] for the sharded fan-out).
     pub fn submit_persist_scope(&mut self, node: NodeId, scope: ScopeId) -> ReqId {
         let req = self.fresh_req();
-        self.queue
-            .push_back((node, OEvent::ClientPersistScope { scope, req }));
+        if self.router.map().is_some() {
+            let coords = self.router.scope_coordinators(node, scope);
+            let children: Vec<ReqId> = coords.iter().map(|_| self.fresh_req()).collect();
+            self.router.begin_barrier(req, &children);
+            self.parents.insert(req, ParentOp::Scope { node, scope });
+            for (coord, child) in coords.into_iter().zip(children) {
+                self.queue
+                    .push_back((coord, OEvent::ClientPersistScope { scope, req: child }));
+            }
+        } else {
+            self.queue
+                .push_back((node, OEvent::ClientPersistScope { scope, req }));
+        }
         req
     }
 
@@ -673,27 +989,51 @@ impl OCluster {
             return false;
         };
         let ni = node.0 as usize;
+        let pre = self.completions.len();
         let mut handler = OLoopHandler {
             node,
             queue: &mut self.queue,
             completions: &mut self.completions,
         };
         self.dispatchers[ni].dispatch(&mut self.engines[ni], ev, &mut handler);
+        self.absorb_completions(pre);
         self.steps += 1;
         if self.steps.is_multiple_of(LOOPBACK_SAMPLE_STEPS) {
-            for (i, e) in self.engines.iter().enumerate() {
-                self.gauges.observe(
-                    GaugeKind::LockTableSize,
-                    i as u32,
-                    e.locked_records() as u64,
-                );
+            match self.router.map().cloned() {
+                Some(map) => {
+                    for (i, e) in self.engines.iter().enumerate() {
+                        let by_shard = e.locked_records_by_shard(&map);
+                        for s in map.shards_on(NodeId(i as u16)) {
+                            let n = by_shard.get(&s.0).copied().unwrap_or(0);
+                            self.gauges.observe_shard(
+                                GaugeKind::LockTableSize,
+                                i as u32,
+                                s.0,
+                                n as u64,
+                            );
+                        }
+                    }
+                    for (&shard, &n) in &self.inflight_by_shard {
+                        self.gauges
+                            .observe_shard(GaugeKind::InflightTxs, GAUGE_NODE_ALL, shard, n);
+                    }
+                }
+                None => {
+                    for (i, e) in self.engines.iter().enumerate() {
+                        self.gauges.observe(
+                            GaugeKind::LockTableSize,
+                            i as u32,
+                            e.locked_records() as u64,
+                        );
+                    }
+                    let done: u64 = self.completions.len() as u64;
+                    self.gauges.observe(
+                        GaugeKind::InflightTxs,
+                        GAUGE_NODE_ALL,
+                        (self.next_req - 1).saturating_sub(done),
+                    );
+                }
             }
-            let done: u64 = self.completions.len() as u64;
-            self.gauges.observe(
-                GaugeKind::InflightTxs,
-                GAUGE_NODE_ALL,
-                (self.next_req - 1).saturating_sub(done),
-            );
             self.gauges.observe(
                 GaugeKind::HostSendQueue,
                 GAUGE_NODE_ALL,
@@ -701,6 +1041,40 @@ impl OCluster {
             );
         }
         true
+    }
+
+    /// Folds barrier-child completions into their parent (see
+    /// [`BCluster::absorb_completions`]).
+    fn absorb_completions(&mut self, from: usize) {
+        let mut i = from;
+        while i < self.completions.len() {
+            let (req, key) = match &self.completions[i] {
+                Completion::Write { req, key, .. } | Completion::Read { req, key, .. } => {
+                    (*req, Some(*key))
+                }
+                Completion::PersistScope { req, .. } | Completion::MultiWrite { req, .. } => {
+                    (*req, None)
+                }
+            };
+            if let (Some(map), Some(key)) = (self.router.map(), key) {
+                let shard = map.shard_of(key).0;
+                if let Some(n) = self.inflight_by_shard.get_mut(&shard) {
+                    *n = n.saturating_sub(1);
+                }
+            }
+            if self.router.is_child(req) {
+                self.completions.remove(i);
+                if let Some(parent) = self.router.complete_child(req) {
+                    let op = self
+                        .parents
+                        .remove(&parent)
+                        .expect("barrier parent recorded");
+                    self.completions.push(op.finish(parent));
+                }
+            } else {
+                i += 1;
+            }
+        }
     }
 
     /// The resource-telemetry gauges accumulated so far.
@@ -730,6 +1104,14 @@ impl OCluster {
             .any(|c| matches!(c, Completion::Write { req: r, .. } if *r == req))
     }
 
+    /// Whether multi-key write `req` (a barrier parent) has completed.
+    #[must_use]
+    pub fn multi_completed(&self, req: ReqId) -> bool {
+        self.completions
+            .iter()
+            .any(|c| matches!(c, Completion::MultiWrite { req: r, .. } if *r == req))
+    }
+
     /// The value observed by read `req`, if completed.
     #[must_use]
     pub fn read_value(&self, req: ReqId) -> Option<Value> {
@@ -740,13 +1122,25 @@ impl OCluster {
     }
 
     /// Asserts replica convergence for `key`; returns the common value.
+    /// On a sharded cluster only the key's replica group is checked.
     ///
     /// # Panics
     ///
     /// Panics if replicas diverge or a lock is still held.
     pub fn assert_converged(&self, key: Key) -> Value {
-        let first = self.engines[0].record_value(key).unwrap_or_default();
-        for e in &self.engines {
+        let replicas: Vec<usize> = match self.router.map() {
+            Some(map) => map
+                .replicas_of_key(key)
+                .iter()
+                .map(|n| n.0 as usize)
+                .collect(),
+            None => (0..self.engines.len()).collect(),
+        };
+        let first = self.engines[replicas[0]]
+            .record_value(key)
+            .unwrap_or_default();
+        for &i in &replicas {
+            let e = &self.engines[i];
             let meta = e.record_meta(key);
             assert!(meta.readable(), "node {}: RDLock still held", e.node());
             assert_eq!(

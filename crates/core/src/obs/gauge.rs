@@ -130,18 +130,25 @@ impl Gauge {
     }
 }
 
-/// A set of [`Gauge`] series keyed by kind and node.
+/// A set of [`Gauge`] series keyed by kind, node, and shard.
 ///
 /// Level series take [`observe`](GaugeSet::observe) on the sampling
 /// tick; counters take [`add`](GaugeSet::add) at each contributing
-/// event. `u32::MAX` as the node index means "whole cluster".
+/// event. `u32::MAX` as the node index means "whole cluster";
+/// `u32::MAX` as the shard index means "not attributed to one shard"
+/// (every unsharded runtime reports there, so single-group telemetry is
+/// unchanged by the shard dimension).
 #[derive(Debug, Clone, Default)]
 pub struct GaugeSet {
-    series: BTreeMap<(GaugeKind, u32), Gauge>,
+    series: BTreeMap<(GaugeKind, u32, u32), Gauge>,
 }
 
 /// Node index meaning "not attributable to one node".
 pub const GAUGE_NODE_ALL: u32 = u32::MAX;
+
+/// Shard index meaning "not attributable to one shard" (unsharded
+/// runtimes, cluster-wide series).
+pub const GAUGE_SHARD_ALL: u32 = u32::MAX;
 
 impl GaugeSet {
     /// An empty set.
@@ -150,25 +157,51 @@ impl GaugeSet {
         GaugeSet::default()
     }
 
-    /// Samples level series `kind` at `node` as `value`.
+    /// Samples level series `kind` at `node` as `value`, unattributed to
+    /// a shard.
     pub fn observe(&mut self, kind: GaugeKind, node: u32, value: u64) {
-        self.series.entry((kind, node)).or_default().observe(value);
+        self.observe_shard(kind, node, GAUGE_SHARD_ALL, value);
     }
 
-    /// Accumulates `delta` into counter series `kind` at `node`.
+    /// Samples level series `kind` at `(node, shard)` as `value`.
+    pub fn observe_shard(&mut self, kind: GaugeKind, node: u32, shard: u32, value: u64) {
+        self.series
+            .entry((kind, node, shard))
+            .or_default()
+            .observe(value);
+    }
+
+    /// Accumulates `delta` into counter series `kind` at `node`,
+    /// unattributed to a shard.
     pub fn add(&mut self, kind: GaugeKind, node: u32, delta: u64) {
-        self.series.entry((kind, node)).or_default().add(delta);
+        self.add_shard(kind, node, GAUGE_SHARD_ALL, delta);
     }
 
-    /// The series for (`kind`, `node`), if it ever took a sample.
+    /// Accumulates `delta` into counter series `kind` at `(node, shard)`.
+    pub fn add_shard(&mut self, kind: GaugeKind, node: u32, shard: u32, delta: u64) {
+        self.series
+            .entry((kind, node, shard))
+            .or_default()
+            .add(delta);
+    }
+
+    /// The shard-unattributed series for (`kind`, `node`), if it ever
+    /// took a sample.
     #[must_use]
     pub fn get(&self, kind: GaugeKind, node: u32) -> Option<&Gauge> {
-        self.series.get(&(kind, node))
+        self.get_shard(kind, node, GAUGE_SHARD_ALL)
     }
 
-    /// Every populated series, ordered by kind then node.
-    pub fn iter(&self) -> impl Iterator<Item = (GaugeKind, u32, &Gauge)> {
-        self.series.iter().map(|(&(k, n), g)| (k, n, g))
+    /// The series for (`kind`, `node`, `shard`), if it ever took a
+    /// sample.
+    #[must_use]
+    pub fn get_shard(&self, kind: GaugeKind, node: u32, shard: u32) -> Option<&Gauge> {
+        self.series.get(&(kind, node, shard))
+    }
+
+    /// Every populated series, ordered by kind, node, then shard.
+    pub fn iter(&self) -> impl Iterator<Item = (GaugeKind, u32, u32, &Gauge)> {
+        self.series.iter().map(|(&(k, n, s), g)| (k, n, s, g))
     }
 
     /// True when no series has taken a sample.
@@ -184,7 +217,7 @@ impl GaugeSet {
     pub fn high_water(&self, kind: GaugeKind) -> Option<u64> {
         let mut any = false;
         let mut acc: u64 = 0;
-        for ((k, _), g) in &self.series {
+        for ((k, _, _), g) in &self.series {
             if *k == kind {
                 any = true;
                 if kind.is_counter() {
@@ -214,6 +247,10 @@ impl GaugeSet {
     /// minos_gauge_high_water{kind="vfifo_occupancy",node="2"} 5
     /// minos_gauge_samples{kind="vfifo_occupancy",node="2"} 118
     /// ```
+    ///
+    /// Shard-attributed series additionally carry `shard="<s>"`; the
+    /// label is omitted for shard-unattributed series so unsharded dumps
+    /// are byte-identical to the pre-sharding format.
     #[must_use]
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
@@ -228,12 +265,14 @@ impl GaugeSet {
         out.push_str("# TYPE minos_gauge_high_water gauge\n");
         out.push_str("# HELP minos_gauge_samples Observations taken of the series.\n");
         out.push_str("# TYPE minos_gauge_samples counter\n");
-        for ((kind, node), g) in &self.series {
-            let labels = if *node == GAUGE_NODE_ALL {
-                format!("kind=\"{}\"", kind.label())
-            } else {
-                format!("kind=\"{}\",node=\"{node}\"", kind.label())
-            };
+        for ((kind, node, shard), g) in &self.series {
+            let mut labels = format!("kind=\"{}\"", kind.label());
+            if *node != GAUGE_NODE_ALL {
+                let _ = write!(labels, ",node=\"{node}\"");
+            }
+            if *shard != GAUGE_SHARD_ALL {
+                let _ = write!(labels, ",shard=\"{shard}\"");
+            }
             let _ = writeln!(out, "minos_gauge{{{labels}}} {}", g.last);
             let _ = writeln!(out, "minos_gauge_high_water{{{labels}}} {}", g.high_water);
             let _ = writeln!(out, "minos_gauge_samples{{{labels}}} {}", g.samples);
@@ -313,6 +352,23 @@ mod tests {
         assert!(text.contains("minos_gauge{kind=\"lock_table_size\",node=\"2\"} 1"));
         assert!(text.contains("minos_gauge_high_water{kind=\"lock_table_size\",node=\"2\"} 1"));
         assert!(text.contains("# TYPE minos_gauge gauge"));
+    }
+
+    #[test]
+    fn shard_series_are_distinct_and_labelled() {
+        let mut g = GaugeSet::new();
+        g.observe_shard(GaugeKind::LockTableSize, 1, 0, 4);
+        g.observe_shard(GaugeKind::LockTableSize, 1, 3, 9);
+        g.observe(GaugeKind::LockTableSize, 1, 2);
+        assert_eq!(g.get_shard(GaugeKind::LockTableSize, 1, 0).unwrap().last, 4);
+        assert_eq!(g.get_shard(GaugeKind::LockTableSize, 1, 3).unwrap().last, 9);
+        // The shard-unattributed series is its own key, untouched by
+        // shard-attributed samples.
+        assert_eq!(g.get(GaugeKind::LockTableSize, 1).unwrap().samples, 1);
+        assert_eq!(g.high_water(GaugeKind::LockTableSize), Some(9));
+        let text = g.render_prometheus();
+        assert!(text.contains("minos_gauge{kind=\"lock_table_size\",node=\"1\",shard=\"3\"} 9"));
+        assert!(text.contains("minos_gauge{kind=\"lock_table_size\",node=\"1\"} 2"));
     }
 
     #[test]

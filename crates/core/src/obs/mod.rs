@@ -42,7 +42,9 @@ pub mod perfetto;
 pub mod replay;
 pub mod sinks;
 
-pub use gauge::{shared_gauges, Gauge, GaugeKind, GaugeSet, SharedGauges, GAUGE_NODE_ALL};
+pub use gauge::{
+    shared_gauges, Gauge, GaugeKind, GaugeSet, SharedGauges, GAUGE_NODE_ALL, GAUGE_SHARD_ALL,
+};
 pub use hist::{HistogramSet, LatencyHistogram, OpKind};
 pub use json::Json;
 pub use replay::{analyze, format_report, parse_jsonl, Category, OpTrace};

@@ -18,11 +18,59 @@
 use super::json::escape;
 use super::replay::{analyze, OpTrace};
 use super::{TraceEvent, TraceRecord};
+use minos_types::ShardMap;
 use std::fmt::Write as _;
 
 /// The `tid` used for per-node lanes that are not tied to one request
 /// (network receive slices, counter tracks).
 const NET_LANE: u64 = 0;
+
+/// How trace events map onto Perfetto processes and thread lanes.
+///
+/// The default layout is one process per node. The sharded layout groups
+/// nodes of the same shard replica group into one process so each group
+/// renders as its own track lane block.
+struct Layout<'a> {
+    map: Option<&'a ShardMap>,
+}
+
+/// Process-id base for shard-group processes, keeping them clear of the
+/// per-node pid space.
+const GROUP_PID_BASE: u64 = 10_000;
+
+/// Lane stride reserving a tid block per node inside a shared group
+/// process (request ids stay far below this in any realistic trace).
+const NODE_LANE_STRIDE: u64 = 1_000_000;
+
+impl Layout<'_> {
+    fn pid(&self, node: u16) -> u64 {
+        match self.map {
+            None => u64::from(node),
+            Some(map) => {
+                let shards = map.shards_on(minos_types::NodeId(node));
+                match shards.first() {
+                    Some(s) => GROUP_PID_BASE + u64::from(map.group_of(*s).0),
+                    // A node serving no shard keeps its own process.
+                    None => u64::from(node),
+                }
+            }
+        }
+    }
+
+    fn tid(&self, node: u16, lane: u64) -> u64 {
+        match self.map {
+            None => lane,
+            Some(_) => u64::from(node) * NODE_LANE_STRIDE + lane,
+        }
+    }
+
+    fn lane_name(&self, node: u16, name: &str) -> String {
+        match self.map {
+            None => name.to_string(),
+            Some(_) => format!("n{node} {name}"),
+        }
+    }
+}
 
 fn us(ns: u64) -> String {
     format!("{}.{:03}", ns / 1000, ns % 1000)
@@ -56,6 +104,18 @@ fn op_slice_name(op: &OpTrace) -> String {
 /// does.
 #[must_use]
 pub fn export(records: &[TraceRecord]) -> String {
+    render(records, &Layout { map: None })
+}
+
+/// Like [`export`], but lays tracks out by shard group: all nodes of one
+/// replica group share a Perfetto process (`shard group g`), so each
+/// group renders as its own track lane block with per-node sub-lanes.
+#[must_use]
+pub fn export_sharded(records: &[TraceRecord], map: &ShardMap) -> String {
+    render(records, &Layout { map: Some(map) })
+}
+
+fn render(records: &[TraceRecord], layout: &Layout<'_>) -> String {
     let ops = analyze(records);
     let mut ev = String::new();
 
@@ -63,17 +123,32 @@ pub fn export(records: &[TraceRecord]) -> String {
     let mut nodes: Vec<u16> = records.iter().map(|r| r.node.0).collect();
     nodes.sort_unstable();
     nodes.dedup();
+    let mut named_pids: Vec<u64> = Vec::new();
     for n in &nodes {
+        let pid = layout.pid(*n);
+        if !named_pids.contains(&pid) {
+            named_pids.push(pid);
+            let pname = match layout.map {
+                None => format!("node {n}"),
+                Some(map) => match map.shards_on(minos_types::NodeId(*n)).first() {
+                    Some(s) => format!("shard group {}", map.group_of(*s).0),
+                    None => format!("node {n}"),
+                },
+            };
+            push_event(
+                &mut ev,
+                &format!(
+                    r#"{{"ph":"M","pid":{pid},"tid":0,"name":"process_name","args":{{"name":"{}"}}}}"#,
+                    escape(&pname),
+                ),
+            );
+        }
         push_event(
             &mut ev,
             &format!(
-                r#"{{"ph":"M","pid":{n},"tid":0,"name":"process_name","args":{{"name":"node {n}"}}}}"#
-            ),
-        );
-        push_event(
-            &mut ev,
-            &format!(
-                r#"{{"ph":"M","pid":{n},"tid":{NET_LANE},"name":"thread_name","args":{{"name":"net/counters"}}}}"#
+                r#"{{"ph":"M","pid":{pid},"tid":{},"name":"thread_name","args":{{"name":"{}"}}}}"#,
+                layout.tid(*n, NET_LANE),
+                escape(&layout.lane_name(*n, "net/counters")),
             ),
         );
     }
@@ -81,13 +156,13 @@ pub fn export(records: &[TraceRecord]) -> String {
     // Per-op spans with nested critical-path slices. Lane = req id + 1
     // (so the shared NET_LANE stays free).
     for op in &ops {
-        let pid = op.node.0;
-        let tid = op.req.0 + 1;
+        let pid = layout.pid(op.node.0);
+        let tid = layout.tid(op.node.0, op.req.0 + 1);
         push_event(
             &mut ev,
             &format!(
-                r#"{{"ph":"M","pid":{pid},"tid":{tid},"name":"thread_name","args":{{"name":"req {}"}}}}"#,
-                op.req.0
+                r#"{{"ph":"M","pid":{pid},"tid":{tid},"name":"thread_name","args":{{"name":"{}"}}}}"#,
+                escape(&layout.lane_name(op.node.0, &format!("req {}", op.req.0))),
             ),
         );
         push_event(
@@ -162,20 +237,21 @@ pub fn export(records: &[TraceRecord]) -> String {
                 continue;
             }
             seen.push(later.node.0);
-            let rpid = later.node.0;
+            let rpid = layout.pid(later.node.0);
+            let rtid = layout.tid(later.node.0, NET_LANE);
             // A 1 ns receive slice so the flow terminator has a slice
             // to bind to.
             push_event(
                 &mut arrows,
                 &format!(
-                    r#"{{"ph":"X","pid":{rpid},"tid":{NET_LANE},"ts":{},"dur":0.001,"name":"recv","cat":"net"}}"#,
+                    r#"{{"ph":"X","pid":{rpid},"tid":{rtid},"ts":{},"dur":0.001,"name":"recv","cat":"net"}}"#,
                     us(later.at_ns),
                 ),
             );
             push_event(
                 &mut arrows,
                 &format!(
-                    r#"{{"ph":"f","bp":"e","pid":{rpid},"tid":{NET_LANE},"ts":{},"id":{flow_id},"name":"fanout","cat":"flow"}}"#,
+                    r#"{{"ph":"f","bp":"e","pid":{rpid},"tid":{rtid},"ts":{},"id":{flow_id},"name":"fanout","cat":"flow"}}"#,
                     us(later.at_ns),
                 ),
             );
@@ -185,8 +261,8 @@ pub fn export(records: &[TraceRecord]) -> String {
                 &mut ev,
                 &format!(
                     r#"{{"ph":"s","pid":{},"tid":{},"ts":{},"id":{flow_id},"name":"fanout","cat":"flow"}}"#,
-                    rec.node.0,
-                    op.req.0 + 1,
+                    layout.pid(rec.node.0),
+                    layout.tid(rec.node.0, op.req.0 + 1),
                     us(rec.at_ns),
                 ),
             );
@@ -212,10 +288,11 @@ pub fn export(records: &[TraceRecord]) -> String {
         push_event(
             &mut ev,
             &format!(
-                r#"{{"ph":"C","pid":{},"tid":{NET_LANE},"ts":{},"name":"{}","args":{{"entries":{}}}}}"#,
-                rec.node.0,
+                r#"{{"ph":"C","pid":{},"tid":{},"ts":{},"name":"{}","args":{{"entries":{}}}}}"#,
+                layout.pid(rec.node.0),
+                layout.tid(rec.node.0, NET_LANE),
                 us(rec.at_ns),
-                if durable { "dfifo" } else { "vfifo" },
+                escape(&layout.lane_name(rec.node.0, if durable { "dfifo" } else { "vfifo" })),
                 *slot,
             ),
         );
@@ -386,5 +463,48 @@ mod tests {
                 .as_u64(),
             Some(0)
         );
+    }
+
+    #[test]
+    fn sharded_export_groups_nodes_into_shard_processes() {
+        use minos_types::ShardMap;
+        // 4 nodes, 2 disjoint shard groups: {0,1} and {2,3}.
+        let map = ShardMap::uniform(2, 4, 2);
+        let doc = export_sharded(&tiny_trace(), &map);
+        let parsed = Json::parse(&doc).expect("valid JSON");
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(!events.is_empty());
+        let process_names: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("process_name"))
+            .filter_map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .map(str::to_owned)
+            })
+            .collect();
+        assert!(
+            process_names.iter().any(|n| n == "shard group 0"),
+            "expected a shard-group process, got {process_names:?}"
+        );
+        assert!(
+            process_names.iter().any(|n| n == "shard group 1"),
+            "node 2 lives in group 1, got {process_names:?}"
+        );
+        // Thread (lane) names carry the node prefix so lanes from
+        // different nodes stay distinguishable inside one group track.
+        let has_prefixed_lane = events.iter().any(|e| {
+            e.get("name").and_then(Json::as_str) == Some("thread_name")
+                && e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .is_some_and(|n| n.starts_with("n0 "))
+        });
+        assert!(has_prefixed_lane, "lane names should be node-prefixed");
+        // Unsharded export is unchanged by the layout machinery.
+        let plain = export(&tiny_trace());
+        assert!(plain.contains(r#""name":"node 0""#));
+        assert!(!plain.contains("shard group"));
     }
 }

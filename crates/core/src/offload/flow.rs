@@ -16,6 +16,12 @@ impl ONodeEngine {
         out: &mut Vec<OAction>,
     ) {
         self.stats_mut().writes += 1;
+        assert!(
+            self.is_replica(key),
+            "MINOS-O has no redirect: node {} asked to coordinate non-replica key {key:?} \
+             (the routing facade must submit at a replica)",
+            self.node()
+        );
         self.meta_access(Side::Host, key, out);
         let me = self.node();
         let ts = self.store_mut().issue_ts(key, me);
@@ -84,6 +90,11 @@ impl ONodeEngine {
     /// §III-D read, checked on the host against the coherent RDLock.
     pub(super) fn o_client_read(&mut self, key: Key, req: ReqId, out: &mut Vec<OAction>) {
         self.stats_mut().reads += 1;
+        assert!(
+            self.is_replica(key),
+            "MINOS-O has no read forwarding: node {} asked to read non-replica key {key:?}",
+            self.node()
+        );
         self.meta_access(Side::Host, key, out);
         if self.store().meta(key).readable() {
             self.o_complete_read(key, req, out);
@@ -325,7 +336,7 @@ impl ONodeEngine {
     }
 
     pub(super) fn send_to_followers_o(&mut self, msg: Message, out: &mut Vec<OAction>) {
-        let n = self.followers();
+        let n = self.fanout_targets(msg.key()).len();
         self.stats_mut().record_fanout(msg.kind(), n);
         out.push(OAction::SendToFollowers { msg });
     }
@@ -383,7 +394,10 @@ impl ONodeEngine {
         let Some(mut tx) = self.coord_map().remove(&(key, ts)) else {
             return false;
         };
-        let followers = self.followers();
+        // Acknowledgment quorums count the key's replica peers — every
+        // peer under full replication, the shard group under a placement
+        // map.
+        let followers = self.followers_for(key);
         let model = self.model().persistency;
         let mut progressed = false;
 

@@ -28,7 +28,7 @@ use crate::event::{MetaOp, ReqId};
 use crate::scope::ScopeTable;
 use crate::stats::EngineStats;
 use crate::store::Store;
-use minos_types::{DdpModel, Key, Message, NodeId, RecordMeta, ScopeId, Ts, Value};
+use minos_types::{DdpModel, Key, Message, NodeId, RecordMeta, ScopeId, ShardMap, Ts, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -330,6 +330,11 @@ pub struct ONodeEngine {
     /// Which side last touched each coherent metadata line (MSI owner).
     coherence_owner: BTreeMap<Key, Side>,
     stats: EngineStats,
+    /// Key-space placement (`None` = the paper's full replication).
+    /// MINOS-O has no redirect path: a routing facade must submit every
+    /// operation at a replica of its key's shard; the engine only scopes
+    /// its fan-outs and acknowledgment quorums to the replica group.
+    placement: Option<ShardMap>,
 }
 
 impl ONodeEngine {
@@ -356,7 +361,78 @@ impl ONodeEngine {
             scopes: ScopeTable::new(),
             coherence_owner: BTreeMap::new(),
             stats: EngineStats::default(),
+            placement: None,
         }
+    }
+
+    /// Installs the cluster placement map (`None` = full replication).
+    /// Callers must also route submissions: the engine panics at
+    /// coordination time if asked to coordinate a key it does not
+    /// replicate, because MINOS-O has no redirect message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map's node count disagrees with the engine's.
+    pub fn set_placement(&mut self, map: Option<ShardMap>) {
+        if let Some(map) = &map {
+            assert_eq!(
+                map.n_nodes(),
+                self.n_nodes,
+                "placement map covers {} nodes, engine cluster has {}",
+                map.n_nodes(),
+                self.n_nodes
+            );
+        }
+        self.placement = map;
+    }
+
+    /// The installed placement map, if any.
+    #[must_use]
+    pub fn placement(&self) -> Option<&ShardMap> {
+        self.placement.as_ref()
+    }
+
+    /// Whether this node holds a replica of `key`.
+    #[must_use]
+    pub fn is_replica(&self, key: Key) -> bool {
+        match &self.placement {
+            None => true,
+            Some(map) => map.is_replica(self.node, key),
+        }
+    }
+
+    /// The destinations a fan-out should reach: the key's replica peers
+    /// under a placement map, every peer for scope messages or without a
+    /// map (the paper's fully replicated MINOS-O).
+    #[must_use]
+    pub fn fanout_targets(&self, key: Option<Key>) -> Vec<NodeId> {
+        let all_peers = || {
+            (0..self.n_nodes as u16)
+                .map(NodeId)
+                .filter(|&n| n != self.node)
+                .collect()
+        };
+        match (key, &self.placement) {
+            (Some(key), Some(map)) => map
+                .replicas_of_key(key)
+                .iter()
+                .copied()
+                .filter(|&r| r != self.node)
+                .collect(),
+            _ => all_peers(),
+        }
+    }
+
+    /// Peers expected to acknowledge a write to `key`.
+    pub(crate) fn followers_for(&self, key: Key) -> usize {
+        self.fanout_targets(Some(key)).len()
+    }
+
+    /// Per-shard locked-record counts (the lock-table gauge under a
+    /// placement map); see [`crate::NodeEngine::locked_records_by_shard`].
+    #[must_use]
+    pub fn locked_records_by_shard(&self, map: &ShardMap) -> BTreeMap<u32, usize> {
+        self.store.locked_records_by_shard(map)
     }
 
     /// This node's id.
@@ -433,7 +509,7 @@ impl ONodeEngine {
         self.coord
             .iter()
             .map(|(&(key, ts), tx)| {
-                let needed = self.followers();
+                let needed = self.followers_for(key);
                 let consistency_complete = match self.model.persistency {
                     minos_types::PersistencyModel::Synchronous => tx.acks.len() >= needed,
                     _ => tx.ack_cs.len() >= needed,

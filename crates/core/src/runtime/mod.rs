@@ -43,9 +43,11 @@
 
 mod batch;
 mod chaos;
+mod router;
 
 pub use batch::{BatchPolicy, Batched, FrameTransport, TransportCounters};
 pub use chaos::{ChaosNet, ChaosState};
+pub use router::ShardRouter;
 
 use crate::baseline::NodeEngine;
 use crate::event::{Action, DelayClass, Event, MetaOp, ReqId};
@@ -547,10 +549,8 @@ impl ODispatcher {
 
     fn apply<H: Transport + OSink>(&mut self, engine: &ONodeEngine, act: OAction, h: &mut H) {
         if self.tracer.is_some() {
-            // Under MINOS-O the broadcast module always fans out to every
-            // peer, so the destination count is `n - 1`.
             let dests = match &act {
-                OAction::SendToFollowers { .. } => engine.n_nodes().saturating_sub(1),
+                OAction::SendToFollowers { msg } => engine.fanout_targets(msg.key()).len(),
                 _ => 0,
             };
             if let Some(ev) = obs::trace_of_oaction(&act, dests) {
@@ -565,13 +565,11 @@ impl ODispatcher {
                 h.send(to, msg);
             }
             OAction::SendToFollowers { msg } => {
-                // The SNIC broadcast module fans out to every peer: the
-                // store is fully replicated under MINOS-O.
-                let me = engine.node();
-                let dests: Vec<NodeId> = (0..engine.n_nodes() as u16)
-                    .map(NodeId)
-                    .filter(|&n| n != me)
-                    .collect();
+                // The SNIC broadcast module fans out to the key's replica
+                // group — every peer when the store is fully replicated
+                // (the paper's MINOS-O shape), the shard's peers under a
+                // placement map.
+                let dests = engine.fanout_targets(msg.key());
                 self.stats.fanouts += 1;
                 self.stats.fanout_dests += dests.len() as u64;
                 h.broadcast(&dests, msg);

@@ -1,6 +1,6 @@
 //! Node-local record store shared by the baseline and offload engines.
 
-use minos_types::{Key, NodeId, Record, RecordMeta, Ts, Value};
+use minos_types::{Key, NodeId, Record, RecordMeta, ShardMap, Ts, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -84,6 +84,19 @@ impl Store {
             .values()
             .filter(|r| r.meta.rd_lock_owner.is_some() || r.meta.wr_lock)
             .count()
+    }
+
+    /// Locked records grouped by the shard each key hashes to under
+    /// `map`; shards with no locked records are omitted.
+    #[must_use]
+    pub fn locked_records_by_shard(&self, map: &ShardMap) -> BTreeMap<u32, usize> {
+        let mut by_shard = BTreeMap::new();
+        for (key, r) in &self.records {
+            if r.meta.rd_lock_owner.is_some() || r.meta.wr_lock {
+                *by_shard.entry(map.shard_of(*key).0).or_insert(0) += 1;
+            }
+        }
+        by_shard
     }
 
     /// Number of materialized records.

@@ -2,9 +2,11 @@
 
 use crate::durable::DurableState;
 use crate::hash_key;
-use minos_core::runtime::{ActionSink, DispatchStats, Dispatcher, Transport};
+use minos_core::runtime::{ActionSink, DispatchStats, Dispatcher, ShardRouter, Transport};
 use minos_core::{DelayClass, EngineStats, Event, NodeEngine, ReqId};
-use minos_types::{DdpModel, Key, Message, MinosError, NodeId, Result, ScopeId, Ts, Value};
+use minos_types::{
+    DdpModel, Key, Message, MinosError, NodeId, Result, ScopeId, ShardMap, Ts, Value,
+};
 use std::collections::VecDeque;
 
 /// A replicated key-value store: N protocol engines + N durable states,
@@ -30,6 +32,11 @@ pub struct MinosKv {
     completions: Vec<(ReqId, KvOutcome)>,
     next_req: u64,
     model: DdpModel,
+    /// Facade-level shard routing over the cluster placement map
+    /// (identity when fully replicated). Scoped writes record their
+    /// coordinator here so `[PERSIST]sc` can fan out to the touched
+    /// shards.
+    router: ShardRouter,
 }
 
 /// Result of a completed client operation.
@@ -59,12 +66,14 @@ impl MinosKv {
             completions: Vec::new(),
             next_req: 1,
             model,
+            router: ShardRouter::new(None),
         }
     }
 
     /// Creates an `n`-node store with each record replicated on only `k`
-    /// nodes (hash-ring placement) — the partial-replication extension
-    /// lifting the paper's "replicated in all the nodes" simplification.
+    /// nodes — the partial-replication extension lifting the paper's
+    /// "replicated in all the nodes" simplification, expressed as a
+    /// `ShardMap::uniform(n, n, k)` ring over the shared placement map.
     /// Writes submitted at a non-replica are transparently redirected;
     /// reads at a non-replica are forwarded to a replica over the
     /// ReadReq/ReadResp sub-protocol.
@@ -72,14 +81,44 @@ impl MinosKv {
     /// # Panics
     ///
     /// Panics if `k` is zero or exceeds `n`, or if `model` is
-    /// `<Lin, Scope>` (unsupported under partial replication).
+    /// `<Lin, Scope>` (scope flush targets are undefined under the ring
+    /// layout's overlapping groups; use [`MinosKv::with_shard_map`] with
+    /// a disjoint map instead).
     #[must_use]
     pub fn with_replication(n: usize, k: u16, model: DdpModel) -> Self {
-        let mut kv = MinosKv::new(n, model);
+        assert!(k >= 1 && (k as usize) <= n, "bad factor {k}");
+        assert!(
+            model.persistency != minos_types::PersistencyModel::Scope,
+            "partial replication is not supported under <Lin, Scope>; \
+             use with_shard_map with a disjoint placement"
+        );
+        MinosKv::with_shard_map(ShardMap::uniform(n as u32, n, k), model)
+    }
+
+    /// Creates a store partitioned by `map`: one engine per node, each
+    /// replicating only the shards the map places on it, with all client
+    /// operations routed through the shared [`ShardRouter`] facade. All
+    /// five persistency models are supported — scoped writes register
+    /// their coordinator so [`MinosKv::persist_scope`] fans the flush out
+    /// to exactly the touched shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map is empty.
+    #[must_use]
+    pub fn with_shard_map(map: ShardMap, model: DdpModel) -> Self {
+        let mut kv = MinosKv::new(map.n_nodes(), model);
         for e in &mut kv.engines {
-            e.set_replication_factor(Some(k));
+            e.set_placement(Some(map.clone()));
         }
+        kv.router = ShardRouter::new(Some(map));
         kv
+    }
+
+    /// The placement map partitioning this store, if any.
+    #[must_use]
+    pub fn placement(&self) -> Option<&ShardMap> {
+        self.router.map()
     }
 
     /// The DDP model in force.
@@ -125,8 +164,12 @@ impl MinosKv {
         self.check_alive(node)?;
         let req = self.fresh_req();
         let key = hash_key(name);
+        // Facade routing: the write is coordinated by a replica of its
+        // key's shard (the origin when it is one). The engine-level
+        // redirect remains as a safety net for unrouted submissions.
+        let coord = self.router.route_write(node, key, scope);
         self.queue.push_back((
-            node,
+            coord,
             Event::ClientWrite {
                 key,
                 value: value.into(),
@@ -164,19 +207,29 @@ impl MinosKv {
 
     /// Ends scope `scope` at `node` with a `[PERSIST]sc` transaction.
     ///
+    /// Sharded stores fan the flush out to every coordinator the scope's
+    /// writes were routed to; a scope with no routed writes flushes
+    /// trivially at the origin.
+    ///
     /// # Errors
     ///
     /// Returns [`MinosError::NodeFailed`] if `node` is marked failed.
     pub fn persist_scope(&mut self, node: NodeId, scope: ScopeId) -> Result<()> {
         self.check_alive(node)?;
-        let req = self.fresh_req();
-        self.queue
-            .push_back((node, Event::ClientPersistScope { scope, req }));
-        self.run();
-        match self.take_completion(req) {
-            Some(KvOutcome::PersistScope) => Ok(()),
-            _ => Err(MinosError::Shutdown),
+        let coords = self.router.scope_coordinators(node, scope);
+        let reqs: Vec<ReqId> = coords.iter().map(|_| self.fresh_req()).collect();
+        for (&coord, &req) in coords.iter().zip(&reqs) {
+            self.queue
+                .push_back((coord, Event::ClientPersistScope { scope, req }));
         }
+        self.run();
+        for req in reqs {
+            match self.take_completion(req) {
+                Some(KvOutcome::PersistScope) => {}
+                _ => return Err(MinosError::Shutdown),
+            }
+        }
+        Ok(())
     }
 
     /// The durable state of `node` (inspection, tests).
@@ -263,9 +316,11 @@ impl MinosKv {
         self.durable[ni].replay(&entries);
 
         // The crash wiped volatile state: rebuild the engine so no stale
-        // transaction or lock survives, then re-exclude any other nodes
-        // that are still failed.
+        // transaction or lock survives (re-installing the cluster
+        // placement), then re-exclude any other nodes that are still
+        // failed.
         self.engines[ni] = NodeEngine::new(node, self.engines.len(), self.model);
+        self.engines[ni].set_placement(self.router.map().cloned());
         for (i, f) in self.failed.iter().enumerate() {
             if *f && i != ni {
                 self.engines[ni].mark_failed(NodeId(i as u16));

@@ -4,11 +4,13 @@ use crate::arch::Arch;
 use crate::driver::{CompletionKind, CompletionRec};
 use crate::timing::{self, DISPATCH_NS};
 use minos_core::obs::{GaugeKind, GaugeSet, SharedSink, TraceClock, Tracer, GAUGE_NODE_ALL};
-use minos_core::runtime::{self, ActionSink, DispatchStats, Dispatcher, Transport};
+use minos_core::runtime::{self, ActionSink, DispatchStats, Dispatcher, ShardRouter, Transport};
 use minos_core::{Action, DelayClass, Event, NodeEngine, ReqId, Side};
 use minos_sim::{CorePool, DepthTracker, EventQueue, Resource, Time};
-use minos_types::{DdpModel, Key, Message, MessageKind, NodeId, ScopeId, SimConfig, Ts, Value};
-use std::collections::HashMap;
+use minos_types::{
+    DdpModel, Key, Message, MessageKind, NodeId, ScopeId, ShardMap, SimConfig, Ts, Value,
+};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -69,6 +71,18 @@ pub struct BSim {
     /// Completions already handed out through `drain_completions` (for
     /// the in-flight gauge).
     drained: u64,
+    /// Key → shard-group routing and multi-op barriers; identity when the
+    /// simulation is unsharded.
+    router: ShardRouter,
+    /// Requests routed off their origin node: req → origin. Their
+    /// completions pay the return routing hop at drain time.
+    routed: HashMap<ReqId, NodeId>,
+    /// Barrier parents: parent req → (origin, completion kind).
+    parents: HashMap<ReqId, (NodeId, CompletionKind)>,
+    /// Latest child completion seen per parent (the barrier release time).
+    parent_hwm: HashMap<ReqId, Time>,
+    /// Submitted-minus-completed keyed ops per shard (sharded only).
+    inflight_by_shard: BTreeMap<u32, u64>,
 }
 
 impl BSim {
@@ -100,9 +114,39 @@ impl BSim {
             gauges: GaugeSet::new(),
             next_sample: 0,
             drained: 0,
+            router: ShardRouter::new(None),
+            routed: HashMap::new(),
+            parents: HashMap::new(),
+            parent_hwm: HashMap::new(),
+            inflight_by_shard: BTreeMap::new(),
             cfg,
             arch,
         }
+    }
+
+    /// Builds a sharded simulation over `map`'s nodes: one simulation
+    /// hosts every shard group, each engine holds only its shards' keys,
+    /// and client ops submitted outside their key's replica group pay a
+    /// routing hop (`timing::route_hop_ns`) each way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` does not span exactly `cfg.nodes` nodes.
+    #[must_use]
+    pub fn with_placement(cfg: SimConfig, arch: Arch, model: DdpModel, map: ShardMap) -> Self {
+        assert_eq!(map.n_nodes(), cfg.nodes, "placement/config node mismatch");
+        let mut sim = BSim::new(cfg, arch, model);
+        for e in &mut sim.engines {
+            e.set_placement(Some(map.clone()));
+        }
+        sim.router = ShardRouter::new(Some(map));
+        sim
+    }
+
+    /// The placement map, if this simulation is sharded.
+    #[must_use]
+    pub fn placement(&self) -> Option<&ShardMap> {
+        self.router.map()
     }
 
     /// Attaches observability sinks to every node's dispatcher. Records
@@ -126,14 +170,38 @@ impl BSim {
         self.queue.now()
     }
 
-    /// Pre-loads a record on every node.
+    /// Pre-loads a record on every node that replicates it.
     pub fn load_all(&mut self, key: Key, value: Value) {
         for e in &mut self.engines {
-            e.load_record(key, value.clone());
+            if e.is_replica(key) {
+                e.load_record(key, value.clone());
+            }
         }
     }
 
-    /// Submits a client write at `node`, `at` the given time.
+    fn note_submitted(&mut self, key: Key) {
+        if let Some(map) = self.router.map() {
+            let shard = map.shard_of(key).0;
+            *self.inflight_by_shard.entry(shard).or_insert(0) += 1;
+        }
+    }
+
+    /// Schedules `ev` at `coord`, charging the one-way routing hop when
+    /// the op was submitted at a different node; remembers the origin so
+    /// the completion pays the return hop.
+    fn route_schedule(&mut self, at: Time, origin: NodeId, coord: NodeId, req: ReqId, ev: Event) {
+        let at = if coord == origin {
+            at
+        } else {
+            self.routed.insert(req, origin);
+            at + timing::route_hop_ns(&self.cfg)
+        };
+        self.queue.schedule(at, (coord, ev));
+    }
+
+    /// Submits a client write at `node`, `at` the given time. On a
+    /// sharded simulation the write is routed to a replica of its key's
+    /// shard, paying the routing hop each way when `node` is not one.
     pub fn submit_write(
         &mut self,
         at: Time,
@@ -143,34 +211,95 @@ impl BSim {
         scope: Option<ScopeId>,
     ) -> ReqId {
         let req = self.fresh_req();
-        self.queue.schedule(
+        let coord = self.router.route_write(node, key, scope);
+        self.note_submitted(key);
+        self.route_schedule(
             at,
-            (
-                node,
-                Event::ClientWrite {
-                    key,
-                    value,
-                    scope,
-                    req,
-                },
-            ),
+            node,
+            coord,
+            req,
+            Event::ClientWrite {
+                key,
+                value,
+                scope,
+                req,
+            },
         );
         req
     }
 
-    /// Submits a client read.
+    /// Submits a client read, routed to a serving replica.
     pub fn submit_read(&mut self, at: Time, node: NodeId, key: Key) -> ReqId {
         let req = self.fresh_req();
-        self.queue
-            .schedule(at, (node, Event::ClientRead { key, req }));
+        let serving = self.router.serving(node, key);
+        self.note_submitted(key);
+        self.route_schedule(at, node, serving, req, Event::ClientRead { key, req });
         req
     }
 
-    /// Submits a `[PERSIST]sc`.
+    /// Submits a multi-key write batch: one routed child write per key,
+    /// barrier-joined into the returned parent request, which completes
+    /// (kind [`CompletionKind::MultiWrite`], at the latest child's
+    /// completion) only once every child has.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `writes` is empty.
+    pub fn submit_write_multi(
+        &mut self,
+        at: Time,
+        node: NodeId,
+        writes: Vec<(Key, Value)>,
+        scope: Option<ScopeId>,
+    ) -> ReqId {
+        assert!(!writes.is_empty(), "empty multi-key write batch");
+        let req = self.fresh_req();
+        let children: Vec<ReqId> = writes.iter().map(|_| self.fresh_req()).collect();
+        self.router.begin_barrier(req, &children);
+        self.parents.insert(req, (node, CompletionKind::MultiWrite));
+        for ((key, value), child) in writes.into_iter().zip(children) {
+            let coord = self.router.route_write(node, key, scope);
+            self.note_submitted(key);
+            self.route_schedule(
+                at,
+                node,
+                coord,
+                child,
+                Event::ClientWrite {
+                    key,
+                    value,
+                    scope,
+                    req: child,
+                },
+            );
+        }
+        req
+    }
+
+    /// Submits a `[PERSIST]sc`. On a sharded simulation the flush fans
+    /// out to every coordinator that scoped writes from `node` were
+    /// routed to, barrier-joined into the returned parent request.
     pub fn submit_persist_scope(&mut self, at: Time, node: NodeId, scope: ScopeId) -> ReqId {
         let req = self.fresh_req();
-        self.queue
-            .schedule(at, (node, Event::ClientPersistScope { scope, req }));
+        if self.router.map().is_some() {
+            let coords = self.router.scope_coordinators(node, scope);
+            let children: Vec<ReqId> = coords.iter().map(|_| self.fresh_req()).collect();
+            self.router.begin_barrier(req, &children);
+            self.parents
+                .insert(req, (node, CompletionKind::PersistScope));
+            for (coord, child) in coords.into_iter().zip(children) {
+                self.route_schedule(
+                    at,
+                    node,
+                    coord,
+                    child,
+                    Event::ClientPersistScope { scope, req: child },
+                );
+            }
+        } else {
+            self.queue
+                .schedule(at, (node, Event::ClientPersistScope { scope, req }));
+        }
         req
     }
 
@@ -180,9 +309,46 @@ impl BSim {
         r
     }
 
-    /// Drains the completions recorded since the last call.
+    /// Drains the completions recorded since the last call. Routed
+    /// requests pay the return hop here; barrier children are folded
+    /// into their parent, which surfaces at the latest child completion.
     pub fn drain_completions(&mut self) -> Vec<CompletionRec> {
-        let out = std::mem::take(&mut self.completions);
+        let raw = std::mem::take(&mut self.completions);
+        let mut out = Vec::with_capacity(raw.len());
+        for mut rec in raw {
+            if self.routed.remove(&rec.req).is_some() {
+                rec.at += timing::route_hop_ns(&self.cfg);
+            }
+            if let Some(key) = rec.key {
+                if let Some(map) = self.router.map() {
+                    let shard = map.shard_of(key).0;
+                    if let Some(n) = self.inflight_by_shard.get_mut(&shard) {
+                        *n = n.saturating_sub(1);
+                    }
+                }
+            }
+            match self.router.parent_of(rec.req) {
+                None => out.push(rec),
+                Some(parent) => {
+                    let hwm = self.parent_hwm.entry(parent).or_insert(0);
+                    *hwm = (*hwm).max(rec.at);
+                    if self.router.complete_child(rec.req).is_some() {
+                        let (origin, kind) = self.parents.remove(&parent).expect("parent recorded");
+                        let at = self.parent_hwm.remove(&parent).unwrap_or(rec.at);
+                        out.push(CompletionRec {
+                            req: parent,
+                            node: origin,
+                            at,
+                            kind,
+                            key: None,
+                            ts: Ts::zero(),
+                            obsolete: false,
+                            comm_ns: None,
+                        });
+                    }
+                }
+            }
+        }
         self.drained += out.len() as u64;
         out
     }
@@ -210,19 +376,43 @@ impl BSim {
             );
             self.gauges
                 .observe(GaugeKind::NicSendQueue, node, res.nic_depth.depth(t) as u64);
-            self.gauges.observe(
-                GaugeKind::LockTableSize,
-                node,
-                self.engines[i].locked_records() as u64,
-            );
         }
-        let issued = self.next_req - 1;
-        let done = self.drained + self.completions.len() as u64;
-        self.gauges.observe(
-            GaugeKind::InflightTxs,
-            GAUGE_NODE_ALL,
-            issued.saturating_sub(done),
-        );
+        match self.router.map().cloned() {
+            Some(map) => {
+                for (i, e) in self.engines.iter().enumerate() {
+                    let by_shard = e.locked_records_by_shard(&map);
+                    for sh in map.shards_on(NodeId(i as u16)) {
+                        let n = by_shard.get(&sh.0).copied().unwrap_or(0);
+                        self.gauges.observe_shard(
+                            GaugeKind::LockTableSize,
+                            i as u32,
+                            sh.0,
+                            n as u64,
+                        );
+                    }
+                }
+                for (&shard, &n) in &self.inflight_by_shard {
+                    self.gauges
+                        .observe_shard(GaugeKind::InflightTxs, GAUGE_NODE_ALL, shard, n);
+                }
+            }
+            None => {
+                for (i, e) in self.engines.iter().enumerate() {
+                    self.gauges.observe(
+                        GaugeKind::LockTableSize,
+                        i as u32,
+                        e.locked_records() as u64,
+                    );
+                }
+                let issued = self.next_req - 1;
+                let done = self.drained + self.completions.len() as u64;
+                self.gauges.observe(
+                    GaugeKind::InflightTxs,
+                    GAUGE_NODE_ALL,
+                    issued.saturating_sub(done),
+                );
+            }
+        }
     }
 
     /// Access to a node's engine (assertions, state dumps).

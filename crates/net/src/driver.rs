@@ -10,7 +10,7 @@ use minos_core::obs::{
 };
 use minos_core::ReqId;
 use minos_sim::{LatencyStats, Time};
-use minos_types::{DdpModel, Key, NodeId, PersistencyModel, ScopeId, SimConfig, Value};
+use minos_types::{DdpModel, Key, NodeId, PersistencyModel, ScopeId, ShardMap, SimConfig, Value};
 use minos_workload::deathstar::{login_batch, App};
 use minos_workload::{Op, RequestStream, WorkloadSpec};
 use std::collections::HashMap;
@@ -24,6 +24,9 @@ pub enum CompletionKind {
     Read,
     /// A `[PERSIST]sc`.
     PersistScope,
+    /// A multi-key write batch (barrier parent over per-key children;
+    /// sharded runs only).
+    MultiWrite,
 }
 
 /// One completed request, as reported by a simulation.
@@ -113,10 +116,31 @@ enum SimBox {
 
 impl SimBox {
     fn new(arch: Arch, cfg: &SimConfig, model: DdpModel) -> Self {
-        if arch.offload {
-            SimBox::O(Box::new(OSim::new(cfg.clone(), arch, model)))
-        } else {
-            SimBox::B(Box::new(BSim::new(cfg.clone(), arch, model)))
+        SimBox::with_placement(arch, cfg, model, None)
+    }
+
+    /// Builds the simulation, sharded over `placement` when given.
+    fn with_placement(
+        arch: Arch,
+        cfg: &SimConfig,
+        model: DdpModel,
+        placement: Option<&ShardMap>,
+    ) -> Self {
+        match (arch.offload, placement) {
+            (true, Some(map)) => SimBox::O(Box::new(OSim::with_placement(
+                cfg.clone(),
+                arch,
+                model,
+                map.clone(),
+            ))),
+            (true, None) => SimBox::O(Box::new(OSim::new(cfg.clone(), arch, model))),
+            (false, Some(map)) => SimBox::B(Box::new(BSim::with_placement(
+                cfg.clone(),
+                arch,
+                model,
+                map.clone(),
+            ))),
+            (false, None) => SimBox::B(Box::new(BSim::new(cfg.clone(), arch, model))),
         }
     }
 
@@ -234,6 +258,24 @@ pub fn run_with_clients(
     run_on(&mut sim, arch, cfg, model, spec, seed, clients_per_node)
 }
 
+/// [`run_with_clients`] on a sharded cluster: one simulation hosts every
+/// shard group of `map` (which must span `cfg.nodes` nodes), clients
+/// submit at their own node, and the routing layer forwards each op to
+/// its key's replica group, charging the cross-shard hop both ways.
+#[must_use]
+pub fn run_sharded(
+    arch: Arch,
+    cfg: &SimConfig,
+    model: DdpModel,
+    spec: &WorkloadSpec,
+    seed: u64,
+    clients_per_node: usize,
+    map: &ShardMap,
+) -> RunResult {
+    let mut sim = SimBox::with_placement(arch, cfg, model, Some(map));
+    run_on(&mut sim, arch, cfg, model, spec, seed, clients_per_node)
+}
+
 /// MINOS-B with the RDLock-snatching optimization of §III-A disabled —
 /// the design-choice ablation (DESIGN.md): a younger write can no longer
 /// displace an older one's read lock, so its completion may be delayed
@@ -298,9 +340,57 @@ pub fn run_observed(
     clients_per_node: usize,
     trace_capacity: usize,
 ) -> ObservedRun {
+    run_observed_with_placement(
+        arch,
+        cfg,
+        model,
+        spec,
+        seed,
+        clients_per_node,
+        trace_capacity,
+        None,
+    )
+}
+
+/// [`run_observed`] on a sharded cluster (see [`run_sharded`]).
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn run_observed_sharded(
+    arch: Arch,
+    cfg: &SimConfig,
+    model: DdpModel,
+    spec: &WorkloadSpec,
+    seed: u64,
+    clients_per_node: usize,
+    trace_capacity: usize,
+    map: &ShardMap,
+) -> ObservedRun {
+    run_observed_with_placement(
+        arch,
+        cfg,
+        model,
+        spec,
+        seed,
+        clients_per_node,
+        trace_capacity,
+        Some(map),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_observed_with_placement(
+    arch: Arch,
+    cfg: &SimConfig,
+    model: DdpModel,
+    spec: &WorkloadSpec,
+    seed: u64,
+    clients_per_node: usize,
+    trace_capacity: usize,
+    placement: Option<&ShardMap>,
+) -> ObservedRun {
     use std::sync::{Arc, Mutex};
 
-    let mut sim = SimBox::new(arch, cfg, model);
+    let mut sim = SimBox::with_placement(arch, cfg, model, placement);
     let (msink, hists) = MetricsSink::new(model.persistency);
     let ring = Arc::new(Mutex::new(RingRecorder::new(trace_capacity.max(1))));
     let ring_sink: SharedSink = ring.clone();
@@ -395,6 +485,13 @@ fn run_on(
                 CompletionKind::PersistScope => {
                     result.persist_lat.record(lat);
                     clients[p.client].waiting_persist = false;
+                }
+                // The closed-loop driver never issues batches itself, but
+                // a barrier parent surfacing here still counts as one
+                // completed write operation.
+                CompletionKind::MultiWrite => {
+                    result.writes += 1;
+                    result.write_lat.record(lat);
                 }
             }
             submit_next(sim, &mut clients, p.client, rec.at, scoped, &mut pending);

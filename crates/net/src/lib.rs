@@ -44,6 +44,9 @@ mod timing;
 
 pub use arch::Arch;
 pub use bsim::BSim;
-pub use driver::{run_observed, CompletionKind, CompletionRec, ObservedRun, RunResult};
+pub use driver::{
+    run_observed, run_observed_sharded, run_sharded, CompletionKind, CompletionRec, ObservedRun,
+    RunResult,
+};
 pub use osim::OSim;
 pub use timing::meta_cost;

@@ -46,6 +46,16 @@ pub(crate) fn link_time(cfg: &SimConfig, msg: &Message) -> Time {
     cfg.link_transfer_ns(msg.wire_bytes()) + cfg.datacenter_rtt_ns / 2
 }
 
+/// One-way cost of a cross-shard routing hop: a client operation
+/// submitted at a node outside its key's replica group travels one
+/// header-sized wire transfer to the serving replica (and its completion
+/// pays the same hop back). Charged by the sharded simulations on both
+/// legs of every routed request.
+#[must_use]
+pub fn route_hop_ns(cfg: &SimConfig) -> Time {
+    cfg.link_transfer_ns(64) + cfg.datacenter_rtt_ns / 2
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,6 +2,7 @@
 //! system) parameter sets.
 
 use crate::chaos::{ChaosSpec, FaultSpec};
+use crate::shard::ShardMap;
 use serde::{Deserialize, Serialize};
 
 /// Parameters of the MINOS-B distributed machine (Table II), used by the
@@ -37,6 +38,11 @@ pub struct ClusterConfig {
     /// honored when `minos-core` is compiled with its `fault-injection`
     /// feature; silently ignored otherwise.
     pub fault: Option<FaultSpec>,
+    /// Key-space placement map (`None` = the paper's single fully
+    /// replicated group). When set, each node hosts only its shards'
+    /// records and the cluster facade routes every operation to a
+    /// replica of its key's shard.
+    pub placement: Option<ShardMap>,
 }
 
 impl ClusterConfig {
@@ -53,6 +59,7 @@ impl ClusterConfig {
             broadcast: false,
             chaos: None,
             fault: None,
+            placement: None,
         }
     }
 
@@ -88,6 +95,15 @@ impl ClusterConfig {
     #[must_use]
     pub fn with_fault(mut self, fault: FaultSpec) -> Self {
         self.fault = Some(fault);
+        self
+    }
+
+    /// Builder-style placement-map install. Also aligns `nodes` with the
+    /// map so the two can never disagree.
+    #[must_use]
+    pub fn with_placement(mut self, map: ShardMap) -> Self {
+        self.nodes = map.n_nodes();
+        self.placement = Some(map);
         self
     }
 }

@@ -40,6 +40,7 @@ mod error;
 mod message;
 mod model;
 mod record;
+mod shard;
 mod ts;
 pub mod wire;
 
@@ -49,4 +50,5 @@ pub use error::{MinosError, Result};
 pub use message::{Message, MessageKind, ScopeId};
 pub use model::{ConsistencyModel, DdpModel, PersistencyModel};
 pub use record::{Record, RecordMeta};
+pub use shard::{GroupId, ShardId, ShardMap};
 pub use ts::{Key, NodeId, Ts, Value, TS_UNLOCKED};

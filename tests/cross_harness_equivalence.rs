@@ -8,7 +8,7 @@ use minos::kv::hash_key;
 use minos::mc::{check_baseline, check_offload, Workload};
 use minos::net::{Arch, BSim, CompletionKind, OSim};
 use minos::types::{
-    ClusterConfig, DdpModel, Key, NodeId, PersistencyModel, ScopeId, SimConfig, Ts, Value,
+    ClusterConfig, DdpModel, Key, NodeId, PersistencyModel, ScopeId, ShardMap, SimConfig, Ts, Value,
 };
 use std::collections::BTreeMap;
 
@@ -162,6 +162,9 @@ fn loopback_trace(model: DdpModel, scoped: bool) -> ParityTrace {
                     trace.read(*key, *ts, Some(value));
                 }
                 Completion::PersistScope { .. } => {}
+                Completion::MultiWrite { .. } => {
+                    unreachable!("no multi-key writes in the parity workload")
+                }
             }
         }
         seen = cl.completions().len();
@@ -205,6 +208,9 @@ fn simulator_trace(model: DdpModel, scoped: bool) -> ParityTrace {
                 // the version pins the value via `write_values`.
                 CompletionKind::Read => trace.read(rec.key.unwrap(), rec.ts, None),
                 CompletionKind::PersistScope => {}
+                CompletionKind::MultiWrite => {
+                    unreachable!("no multi-key writes in the parity workload")
+                }
             }
         }
     }
@@ -238,6 +244,189 @@ fn threaded_trace(model: DdpModel, scoped: bool) -> ParityTrace {
     }
     cl.shutdown();
     trace
+}
+
+/// One step of the sharded parity workload (2 shards × 2 replicas over
+/// 4 nodes; even keys → shard 0 = {0,1}, odd keys → shard 1 = {2,3}).
+enum SOp {
+    Write(NodeId, Key, &'static str),
+    Multi(NodeId, &'static [(u64, &'static str)]),
+    Read(NodeId, Key),
+    PersistScope(NodeId),
+}
+
+/// The sharded parity workload: singles and reads routed across both
+/// shard groups plus cross-shard multi-key batches, from every node.
+fn sharded_parity_ops() -> Vec<SOp> {
+    use SOp::{Multi, PersistScope, Read, Write};
+    let (n0, n1, n2, n3) = (NodeId(0), NodeId(1), NodeId(2), NodeId(3));
+    let (k0, k1, k2, k3) = (Key(100), Key(201), Key(302), Key(403));
+    vec![
+        Write(n0, k0, "a0"),
+        Write(n2, k1, "b0"),
+        Read(n3, k0),
+        Multi(n1, &[(100, "m0"), (201, "m1")]), // crosses both shards
+        Read(n0, k1),
+        Write(n3, k2, "c0"),
+        Multi(n0, &[(302, "m2"), (403, "m3")]),
+        Read(n1, k3),
+        Read(n2, k2),
+        Write(n1, k0, "a1"),
+        Read(n0, k0),
+        PersistScope(n0),
+        PersistScope(n2),
+    ]
+}
+
+/// Per-key completion structure of a sharded run: single writes ('W')
+/// and reads ('R') carry their protocol timestamps; a multi-key barrier
+/// marks each of its keys with ('M', zero) at its release point.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct ShardedTrace {
+    per_key: BTreeMap<Key, Vec<(char, Ts)>>,
+}
+
+impl ShardedTrace {
+    fn push(&mut self, key: Key, kind: char, ts: Ts) {
+        self.per_key.entry(key).or_default().push((kind, ts));
+    }
+}
+
+/// The converged value at each key's replica group.
+fn converged_values<F: Fn(NodeId, Key) -> Option<Value>>(
+    map: &ShardMap,
+    read: F,
+) -> BTreeMap<Key, Value> {
+    [100u64, 201, 302, 403]
+        .into_iter()
+        .map(|k| {
+            let key = Key(k);
+            let replicas = map.replicas_of_key(key);
+            let value = read(replicas[0], key).expect("replica holds the key");
+            // Every replica of the group agrees.
+            for &r in &replicas[1..] {
+                assert_eq!(read(r, key).as_ref(), Some(&value), "split group at {key}");
+            }
+            (key, value)
+        })
+        .collect()
+}
+
+fn sharded_loopback_trace(
+    model: DdpModel,
+    scoped: bool,
+    map: &ShardMap,
+) -> (ShardedTrace, BTreeMap<Key, Value>) {
+    use minos::core::loopback::Completion;
+    let mut cl = BCluster::with_placement(map.clone(), model);
+    let mut trace = ShardedTrace::default();
+    let mut seen = 0;
+    for op in sharded_parity_ops() {
+        match op {
+            SOp::Write(node, key, v) => {
+                cl.submit_write(node, key, v.into(), scoped.then(|| scope_of(node)));
+            }
+            SOp::Multi(node, kvs) => {
+                let writes = kvs.iter().map(|&(k, v)| (Key(k), v.into())).collect();
+                cl.submit_write_multi(node, writes, scoped.then(|| scope_of(node)));
+            }
+            SOp::Read(node, key) => {
+                cl.submit_read(node, key);
+            }
+            SOp::PersistScope(node) => {
+                if !scoped {
+                    continue;
+                }
+                cl.submit_persist_scope(node, scope_of(node));
+            }
+        }
+        cl.run();
+        for c in &cl.completions()[seen..] {
+            match c {
+                Completion::Write { key, ts, .. } => trace.push(*key, 'W', *ts),
+                Completion::Read { key, ts, .. } => trace.push(*key, 'R', *ts),
+                Completion::MultiWrite { keys, .. } => {
+                    for k in keys {
+                        trace.push(*k, 'M', Ts::zero());
+                    }
+                }
+                Completion::PersistScope { .. } => {}
+            }
+        }
+        seen = cl.completions().len();
+    }
+    let values = converged_values(map, |n, k| cl.engine(n).record_value(k));
+    (trace, values)
+}
+
+fn sharded_simulator_trace(
+    model: DdpModel,
+    scoped: bool,
+    map: &ShardMap,
+) -> (ShardedTrace, BTreeMap<Key, Value>) {
+    let mut sim = BSim::with_placement(
+        SimConfig::paper_defaults().with_nodes(4),
+        Arch::baseline(),
+        model,
+        map.clone(),
+    );
+    let mut trace = ShardedTrace::default();
+    let mut t = 0;
+    for op in sharded_parity_ops() {
+        let submitted = match op {
+            SOp::Write(node, key, v) => {
+                Some(sim.submit_write(t, node, key, v.into(), scoped.then(|| scope_of(node))))
+            }
+            SOp::Multi(node, kvs) => {
+                let writes = kvs.iter().map(|&(k, v)| (Key(k), v.into())).collect();
+                Some(sim.submit_write_multi(t, node, writes, scoped.then(|| scope_of(node))))
+            }
+            SOp::Read(node, key) => Some(sim.submit_read(t, node, key)),
+            SOp::PersistScope(node) => {
+                scoped.then(|| sim.submit_persist_scope(t, node, scope_of(node)))
+            }
+        };
+        let Some(req) = submitted else { continue };
+        sim.run_to_idle();
+        for rec in sim.drain_completions() {
+            if rec.req != req {
+                continue;
+            }
+            t = rec.at + 1;
+            match rec.kind {
+                CompletionKind::Write => trace.push(rec.key.unwrap(), 'W', rec.ts),
+                CompletionKind::Read => trace.push(rec.key.unwrap(), 'R', rec.ts),
+                CompletionKind::MultiWrite => {
+                    let SOp::Multi(_, kvs) = op else {
+                        panic!("{model}: barrier completion for a non-multi op")
+                    };
+                    for &(k, _) in kvs {
+                        trace.push(Key(k), 'M', Ts::zero());
+                    }
+                }
+                CompletionKind::PersistScope => {}
+            }
+        }
+    }
+    let values = converged_values(map, |n, k| sim.engine(n).record_value(k));
+    (trace, values)
+}
+
+#[test]
+fn sharded_dispatch_parity_loopback_vs_simulator() {
+    // The sharded counterpart of the dispatch-parity guarantee: routed
+    // singles, cross-shard multi-key barriers, and scope flushes produce
+    // identical per-key completion structure and identical converged
+    // replica state on the loopback cluster and the DES kernel, under
+    // every persistency model.
+    let map = ShardMap::uniform(2, 4, 2);
+    for model in all_models() {
+        let scoped = model.persistency == PersistencyModel::Scope;
+        let (lo, lo_vals) = sharded_loopback_trace(model, scoped, &map);
+        let (sim, sim_vals) = sharded_simulator_trace(model, scoped, &map);
+        assert_eq!(lo, sim, "{model}: sharded loopback vs DES divergence");
+        assert_eq!(lo_vals, sim_vals, "{model}: converged values diverge");
+    }
 }
 
 #[test]
