@@ -5,12 +5,16 @@
 #   ./ci.sh          — the standard gate
 #   ./ci.sh --chaos  — additionally runs the seeded-torture block:
 #                      mutation smoke (both protocol faults must be found
-#                      and shrunk; output includes the reproducing seed)
-#                      plus clean chaos sweeps on the threaded runtime
+#                      and shrunk; output includes the reproducing seed),
+#                      clean chaos sweeps on the threaded runtime
 #                      (fully replicated and 4-shard × 3-replica sharded)
-#                      and the TCP runtime. This is the fast PR subset — the nightly
-#                      block (500 seeds per model per runtime) is
-#                      documented in EXPERIMENTS.md §Verification.
+#                      and the TCP runtime, then the crash/rejoin block:
+#                      250 seeds per runtime (50 × all 5 models) with up
+#                      to two crash→rejoin points per schedule — rolling
+#                      restarts under load, audited by the epoch-aware
+#                      oracles. The nightly block (500 seeds per model
+#                      per runtime) is documented in EXPERIMENTS.md
+#                      §Verification.
 #   ./ci.sh --bench  — additionally runs the minos-bench quick sweep,
 #                      writes BENCH_results.json, and reruns the sweep
 #                      with --compare against the file it just wrote.
@@ -74,6 +78,13 @@ if [ "$CHAOS" -eq 1 ]; then
 
     echo "==> chaos: clean sweep — tcp, all models"
     "$TORTURE" --runtime tcp --model all --seeds 5 --clients 2 --ops 8
+
+    echo "==> chaos: crash/rejoin — threaded, 250 seeds (all models, rolling restarts)"
+    "$TORTURE" --model all --seeds 50 --clients 2 --ops 8 --max-crashes 2
+
+    echo "==> chaos: crash/rejoin — tcp, 250 seeds (all models, rolling restarts)"
+    "$TORTURE" --runtime tcp --model all --seeds 50 --clients 2 --ops 8 \
+        --max-crashes 2
 fi
 
 if [ "$BENCH" -eq 1 ]; then

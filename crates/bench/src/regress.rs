@@ -21,7 +21,7 @@ use minos_core::obs::json::quoted;
 use minos_core::obs::{
     analyze, shared, Category, GaugeKind, HistogramSet, Json, MetricsSink, RingRecorder,
 };
-use minos_net::{run_observed, run_observed_sharded, Arch};
+use minos_net::{run_observed, run_observed_sharded, run_rolling_restart, Arch};
 use minos_types::{DdpModel, Key, NodeId, PersistencyModel, ScopeId, ShardMap, SimConfig, Value};
 use minos_workload::WorkloadSpec;
 use std::collections::BTreeMap;
@@ -266,6 +266,73 @@ pub fn sweep_scaling(quick: bool) -> Vec<BenchPoint> {
     points
 }
 
+/// Open-loop load of the availability cell: one write per node every
+/// `period_ns`, for this many periods.
+#[must_use]
+pub fn availability_writes(quick: bool) -> u64 {
+    if quick {
+        150
+    } else {
+        400
+    }
+}
+
+/// The rolling-restart availability cell: every node of the paper
+/// 5-node MINOS-B machine crashes and rejoins once, staggered across
+/// the run, while an open-loop write stream keeps arriving. Ops
+/// addressed to a down node are lost, so the cell's `throughput`
+/// column carries the *availability fraction* (completed / submitted)
+/// — the `ci.sh --bench` gate thereby flags any change that widens the
+/// catch-up window or drops extra ops during a restart. The
+/// `dip_ppm` / `final_epoch` gauges record the per-window throughput
+/// dip and the epoch count (1 + 2·nodes when every restart completes).
+#[must_use]
+pub fn sweep_availability(quick: bool) -> Vec<BenchPoint> {
+    let cfg = SimConfig::paper_defaults();
+    let run = run_rolling_restart(
+        &cfg,
+        DdpModel::lin(PersistencyModel::Synchronous),
+        availability_writes(quick),
+        20_000,  // period: one write per node per 20 µs
+        200_000, // 200 µs outage per node
+        64,      // key-space
+        500_000, // 0.5 ms throughput windows
+    );
+    let mut gauges = BTreeMap::new();
+    gauges.insert("submitted".into(), run.submitted);
+    gauges.insert("completed".into(), run.completed);
+    gauges.insert("lost".into(), run.submitted - run.completed);
+    gauges.insert("final_epoch".into(), run.final_epoch);
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    gauges.insert("dip_ppm".into(), (run.dip_ratio() * 1e6) as u64);
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let mean = run.write_mean_ns.round() as u64;
+    let mut latency = BTreeMap::new();
+    latency.insert(
+        "write".into(),
+        Quantiles {
+            count: run.completed,
+            p50: mean,
+            p95: mean,
+            p99: mean,
+            p999: mean,
+        },
+    );
+    vec![BenchPoint {
+        id: format!("des/b/Synch/restart-1x{}", cfg.nodes),
+        runtime: "des".into(),
+        arch: "b".into(),
+        model: "Synch".into(),
+        shards: 1,
+        nodes: cfg.nodes as u32,
+        throughput: run.availability(),
+        ops: run.completed,
+        latency,
+        gauges,
+        critical_path: BTreeMap::new(),
+    }]
+}
+
 /// Ops driven through each loopback cell.
 fn loopback_ops(quick: bool) -> u64 {
     if quick {
@@ -398,13 +465,15 @@ fn loopback_point(p: PersistencyModel, offload: bool, quick: bool) -> BenchPoint
     }
 }
 
-/// Runs the whole sweep: DES matrix, loopback matrix, then the 64-node
-/// multi-group scale-out cells.
+/// Runs the whole sweep: DES matrix, loopback matrix, the 64-node
+/// multi-group scale-out cells, then the rolling-restart availability
+/// cell.
 #[must_use]
 pub fn run_sweep(quick: bool) -> Vec<BenchPoint> {
     let mut points = sweep_des(quick);
     points.extend(sweep_loopback(quick));
     points.extend(sweep_scaling(quick));
+    points.extend(sweep_availability(quick));
     points
 }
 

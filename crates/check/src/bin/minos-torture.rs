@@ -3,13 +3,17 @@
 //! ```text
 //! minos-torture [--runtime threaded|tcp] [--model synch|strict|renf|event|scope|all]
 //!     [--seeds N] [--start-seed S] [--nodes N] [--clients N] [--ops N] [--keys N]
-//!     [--injections N] [--shards S] [--replicas K] [--no-crash]
+//!     [--injections N] [--shards S] [--replicas K] [--no-crash] [--max-crashes N]
 //!     [--fault skip-inv@NODE|phantom-persist@NODE] [--expect-violation]
 //! ```
 //!
 //! Runs `--seeds` consecutive seeds per selected model. Each seed derives
-//! a deterministic chaos schedule (message delays/reorders; on the
-//! threaded runtime also a crash/recovery point), drives concurrent
+//! a deterministic chaos schedule: message delays/reorders plus up to
+//! `--max-crashes` crash/rejoin points — a rolling restart when several
+//! chain. On the threaded runtime a crash goes through the cluster
+//! facade's view machinery; on the TCP runtime the node process is
+//! stopped outright and re-served from its on-disk NVM log with a donor
+//! catch-up. Each seed then drives concurrent
 //! client traffic under it, and checks the run for linearizability and
 //! persistency conformance. On the first violation the schedule is
 //! greedily shrunk and the reproducing seed plus minimal schedule are
@@ -35,7 +39,8 @@ fn usage() -> ! {
          [--model synch|strict|renf|event|scope|all] [--seeds N] \
          [--start-seed S] [--nodes N] [--clients N] [--ops N] [--keys N] \
          [--injections N] [--shards S] [--replicas K] [--no-crash] \
-         [--fault skip-inv@NODE|phantom-persist@NODE] [--expect-violation]"
+         [--max-crashes N] [--fault skip-inv@NODE|phantom-persist@NODE] \
+         [--expect-violation]"
     );
     std::process::exit(2);
 }
@@ -124,6 +129,10 @@ fn main() {
         "--replicas",
     );
     let no_crash = take_switch(&mut args, "--no-crash");
+    let max_crashes: u32 = parse_num(
+        &take_flag(&mut args, "--max-crashes").unwrap_or_else(|| "2".into()),
+        "--max-crashes",
+    );
     let fault = take_flag(&mut args, "--fault").map(|s| parse_fault(&s));
     let expect_violation = take_switch(&mut args, "--expect-violation");
     if !args.is_empty() {
@@ -176,6 +185,7 @@ fn main() {
         opts.keys = keys;
         opts.injections = injections;
         opts.allow_crash = !no_crash;
+        opts.max_crashes = max_crashes;
         opts.fault = fault;
         if shards > 0 {
             if tcp {

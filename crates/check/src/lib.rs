@@ -42,7 +42,7 @@ pub mod schedule;
 pub mod torture;
 
 pub use history::{ClientOp, History, HistoryRecorder};
-pub use persistency::NodeLog;
+pub use persistency::{AuditMode, NodeLog};
 pub use schedule::{CrashPoint, Schedule, ScheduleOptions};
 pub use torture::{Failure, RunReport, TortureOptions, TortureResult};
 

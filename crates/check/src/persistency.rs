@@ -23,18 +23,54 @@
 //! ([`minos_types::FaultKind`]) deterministically detectable: the
 //! torture driver's sequential warm-up writes are overlap-free.
 //!
-//! # Crashes
+//! # Crashes and epochs
 //!
-//! Nodes that crashed (or crashed and recovered) during the run are
-//! excluded from the containment oracles: writes completed during their
-//! outage legitimately never reached them, and recovery replay installs
-//! only the newest version per key. The phantom-entry oracle still
-//! applies to them — nothing may ever invent durable data.
+//! The oracles are *epoch-aware*: how strictly a node's log is audited
+//! depends on what the membership view did to the node during the run
+//! ([`AuditMode`]). A node that served the whole run is audited in full.
+//! A node that crashed and **rejoined** is audited for every op invoked
+//! at or after its readmission: catch-up replay made it current as of
+//! the cutover, so from that moment it owes the same containment as any
+//! other replica — but writes completed during its outage legitimately
+//! never reached it, so earlier ops are excused. A node that crashed and
+//! never rejoined is excused from containment entirely. The
+//! phantom-entry oracle applies to every node in every mode — nothing
+//! may ever invent durable data, whatever the view did.
 
 use crate::history::History;
 use minos_core::obs::OpKind;
 use minos_types::{Key, NodeId, PersistencyModel, ShardMap, Ts};
 use std::collections::{HashMap, HashSet};
+
+/// How strictly the containment oracles audit one node's log, derived
+/// from the node's membership history over the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditMode {
+    /// Served every epoch of the run: all oracles in full.
+    Full,
+    /// Crashed and rejoined: containment applies to ops invoked at or
+    /// after `since` (history-clock ns of the readmission cutover).
+    Rejoined {
+        /// Readmission time on the history's clock.
+        since: u64,
+    },
+    /// Crashed and never readmitted: phantom-entry oracle only.
+    Excused,
+}
+
+impl AuditMode {
+    /// Whether the containment oracles audit this log for an op invoked
+    /// at `invoked_at` (`None` when the invocation time is unknown —
+    /// only a full-run node is held to those).
+    #[must_use]
+    pub fn audits(self, invoked_at: Option<u64>) -> bool {
+        match self {
+            AuditMode::Full => true,
+            AuditMode::Rejoined { since } => invoked_at.is_some_and(|t| t >= since),
+            AuditMode::Excused => false,
+        }
+    }
+}
 
 /// One node's end-of-run durable log, reduced to `(key, ts)` pairs in
 /// append order.
@@ -44,9 +80,8 @@ pub struct NodeLog {
     pub node: NodeId,
     /// `(key, ts)` per log entry, in LSN order.
     pub entries: Vec<(Key, Ts)>,
-    /// True when the node was up for the whole run (never crashed, never
-    /// recovered): the containment oracles apply in full.
-    pub audit_exact: bool,
+    /// The audit strictness this node's membership history earns.
+    pub mode: AuditMode,
 }
 
 impl NodeLog {
@@ -93,15 +128,18 @@ pub fn check_placed(
     v
 }
 
-/// The logs the containment oracles must audit for `key`: full-run nodes
-/// that (per the placement map, when sharded) replicate the key.
+/// The logs the containment oracles must audit for `key` given the
+/// audited op's invocation time: nodes whose [`AuditMode`] covers the op
+/// and that (per the placement map, when sharded) replicate the key.
 fn audit_logs<'a>(
     logs: &'a [NodeLog],
     placement: Option<&'a ShardMap>,
     key: Key,
+    invoked_at: Option<u64>,
 ) -> impl Iterator<Item = &'a NodeLog> {
-    logs.iter()
-        .filter(move |l| l.audit_exact && placement.is_none_or(|m| m.is_replica(l.node, key)))
+    logs.iter().filter(move |l| {
+        l.mode.audits(invoked_at) && placement.is_none_or(|m| m.is_replica(l.node, key))
+    })
 }
 
 /// Oracle A (all models): every durable entry must correspond to a
@@ -134,7 +172,8 @@ fn phantom_entries(history: &History, logs: &[NodeLog], v: &mut Vec<String>) {
 }
 
 /// Oracle B (Synch, Strict): a completed non-obsolete write is durable
-/// at every full-run node — exactly when overlap-free, by supersession
+/// at every node whose [`AuditMode`] covers its invocation — exactly
+/// when overlap-free, by supersession
 /// otherwise. (Obsolete completions are covered too, in supersession
 /// form: `handleObsolete` spins on `globalDurableTS` before returning.)
 fn completed_writes_durable(
@@ -146,7 +185,7 @@ fn completed_writes_durable(
 ) {
     for (k, ts, op) in history.completed_writes() {
         let exact = !op.obsolete && !history.has_newer_overlapping_write(k, ts, op);
-        for log in audit_logs(logs, placement, k) {
+        for log in audit_logs(logs, placement, k, Some(op.call)) {
             let ok = if exact {
                 log.contains(k, ts)
             } else {
@@ -183,15 +222,17 @@ fn observed_reads_durable(
         if observed.version == 0 || !checked.insert((k, observed)) {
             continue;
         }
-        // Exactness needs the observed write's interval; a pending or
-        // unmatched observation falls back to supersession form.
-        let exact = history
+        // Exactness (and the invocation time the epoch-aware modes key
+        // on) needs the observed write's interval; a pending or
+        // unmatched observation falls back to supersession form, audited
+        // at full-run nodes only.
+        let matching = history
             .completed_writes()
-            .find(|&(wk, wts, _)| wk == k && wts == observed)
-            .is_some_and(|(_, _, w)| {
-                !w.obsolete && !history.has_newer_overlapping_write(k, observed, w)
-            });
-        for log in audit_logs(logs, placement, k) {
+            .find(|&(wk, wts, _)| wk == k && wts == observed);
+        let exact = matching.is_some_and(|(_, _, w)| {
+            !w.obsolete && !history.has_newer_overlapping_write(k, observed, w)
+        });
+        for log in audit_logs(logs, placement, k, matching.map(|(_, _, w)| w.call)) {
             let ok = if exact {
                 log.contains(k, observed)
             } else {
@@ -236,7 +277,7 @@ fn flushed_scopes_durable(
                 continue;
             }
             let exact = !history.has_newer_overlapping_write(k, ts, w);
-            for log in audit_logs(logs, placement, k) {
+            for log in audit_logs(logs, placement, k, Some(w.call)) {
                 let ok = if exact {
                     log.contains(k, ts)
                 } else {
@@ -285,7 +326,7 @@ mod tests {
         NodeLog {
             node: NodeId(node),
             entries: entries.iter().map(|&(k, t)| (Key(k), t)).collect(),
-            audit_exact: true,
+            mode: AuditMode::Full,
         }
     }
 
@@ -341,9 +382,36 @@ mod tests {
             ops: vec![w(0, 1, 1, 0, 10)],
         };
         let mut l2 = log(2, &[]);
-        l2.audit_exact = false;
+        l2.mode = AuditMode::Excused;
         let logs = [log(0, &[(1, ts(0, 1))]), log(1, &[(1, ts(0, 1))]), l2];
         assert!(check(PersistencyModel::Synchronous, &h, &logs).is_empty());
+    }
+
+    #[test]
+    fn rejoined_nodes_are_audited_for_post_readmission_ops_only() {
+        // Write v1 lands while node 2 is down; v2 is invoked after node 2
+        // rejoined at t=50. A rejoined log missing v1 is legal (catch-up
+        // installs the *latest* version per key), but missing v2 is not.
+        let h = History {
+            ops: vec![w(0, 1, 1, 0, 10), w(0, 1, 2, 60, 70)],
+        };
+        let mut l2 = log(2, &[(1, ts(0, 2))]);
+        l2.mode = AuditMode::Rejoined { since: 50 };
+        let full = [
+            log(0, &[(1, ts(0, 1)), (1, ts(0, 2))]),
+            log(1, &[(1, ts(0, 1)), (1, ts(0, 2))]),
+        ];
+        let logs = [full[0].clone(), full[1].clone(), l2];
+        assert!(check(PersistencyModel::Synchronous, &h, &logs).is_empty());
+
+        // The same rejoined node missing the post-readmission write is a
+        // violation: it owes full containment from `since` onward.
+        let mut stale = log(2, &[(1, ts(0, 1))]);
+        stale.mode = AuditMode::Rejoined { since: 50 };
+        let logs = [full[0].clone(), full[1].clone(), stale];
+        let v = check(PersistencyModel::Synchronous, &h, &logs);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("n2"), "{v:?}");
     }
 
     #[test]

@@ -5,16 +5,17 @@
 //! `minos-torture` is a complete reproduction recipe. The schedule is
 //! *explicit data* (not a probability): message-level injections ride in
 //! [`ChaosSpec`] down to the `ChaosNet` transport middleware, and the
-//! crash/recovery point is executed by the torture driver against the
+//! crash/rejoin points are executed by the torture driver against the
 //! cluster facade, keyed on *protocol progress* (completed-op count from
-//! the [`crate::history::HistoryRecorder`]) rather than wall time so it
-//! replays stably.
+//! the [`crate::history::HistoryRecorder`]) rather than wall time so
+//! they replay stably. A schedule may carry several crash points — a
+//! rolling restart — whose outage windows the generator keeps disjoint.
 //!
-//! Shrinking is greedy component removal: drop one injection (or the
-//! recovery, or the whole crash) at a time, re-run, and keep every
-//! removal that still fails, looping to a fixpoint. Because schedules
-//! are explicit lists, every shrink candidate is itself a perfectly
-//! reproducible schedule.
+//! Shrinking is greedy component removal: drop one injection (or one
+//! crash point's rejoin, or the whole point) at a time, re-run, and keep
+//! every removal that still fails, looping to a fixpoint. Because
+//! schedules are explicit lists, every shrink candidate is itself a
+//! perfectly reproducible schedule.
 
 use minos_types::{ChaosSpec, MsgChaos, MsgInjection};
 use std::fmt;
@@ -60,7 +61,7 @@ pub struct CrashPoint {
     pub node: u16,
     /// Crash once this many client ops have completed cluster-wide.
     pub after_ops: u64,
-    /// Recover (log-shipped from a surviving donor) once this many ops
+    /// Rejoin (own-log replay plus donor catch-up) once this many ops
     /// have completed; `None` leaves the node down for the rest of the
     /// run.
     pub recover_after_ops: Option<u64>,
@@ -73,8 +74,12 @@ pub struct Schedule {
     pub seed: u64,
     /// Message-level injections (applied by `ChaosNet`).
     pub injections: Vec<MsgInjection>,
-    /// Driver-level crash/recovery, if any.
-    pub crash: Option<CrashPoint>,
+    /// Driver-level crash/rejoin points, ordered by `after_ops`. The
+    /// generator keeps the outage windows disjoint (each crash fires at
+    /// or after the previous point's recovery) — a rolling restart —
+    /// though shrinking may drop a recovery and leave windows nested;
+    /// the driver skips a crash of an already-down node.
+    pub crashes: Vec<CrashPoint>,
 }
 
 impl Schedule {
@@ -84,7 +89,7 @@ impl Schedule {
         Schedule {
             seed,
             injections: Vec::new(),
-            crash: None,
+            crashes: Vec::new(),
         }
     }
 
@@ -102,15 +107,17 @@ impl Schedule {
     pub fn weight(&self) -> usize {
         self.injections.len()
             + self
-                .crash
-                .map_or(0, |c| 1 + usize::from(c.recover_after_ops.is_some()))
+                .crashes
+                .iter()
+                .map(|c| 1 + usize::from(c.recover_after_ops.is_some()))
+                .sum::<usize>()
     }
 }
 
 impl fmt::Display for Schedule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "schedule (seed {:#x}):", self.seed)?;
-        if self.injections.is_empty() && self.crash.is_none() {
+        if self.injections.is_empty() && self.crashes.is_empty() {
             writeln!(f, "  (no chaos — the failure needs no schedule)")?;
         }
         for inj in &self.injections {
@@ -122,11 +129,11 @@ impl fmt::Display for Schedule {
                 inj.node
             )?;
         }
-        if let Some(c) = self.crash {
+        for c in &self.crashes {
             write!(f, "  crash n{} after {} completed ops", c.node, c.after_ops)?;
             match c.recover_after_ops {
-                Some(r) => writeln!(f, ", recover after {r}")?,
-                None => writeln!(f, " (never recovered)")?,
+                Some(r) => writeln!(f, ", rejoin after {r}")?,
+                None => writeln!(f, " (never rejoined)")?,
             }
         }
         Ok(())
@@ -147,8 +154,13 @@ pub struct ScheduleOptions {
     /// retransmission, so their schedules must not include
     /// [`MsgChaos::Drop`].
     pub kinds: Vec<MsgChaos>,
-    /// Permit a crash/recovery point (threaded runtime only).
+    /// Permit crash/rejoin points.
     pub allow_crash: bool,
+    /// Most crash points one schedule may carry. At 2 or more, seeds
+    /// produce rolling restarts: consecutive outage windows over
+    /// (usually) different nodes, each rejoin replaying the node's log
+    /// and catching up from a donor before the next crash fires.
+    pub max_crashes: u32,
     /// Total client ops the run will attempt (bounds crash placement).
     pub total_ops: u64,
 }
@@ -165,22 +177,38 @@ pub fn generate(seed: u64, opts: &ScheduleOptions) -> Schedule {
             kind: opts.kinds[rng.below(opts.kinds.len() as u64) as usize],
         });
     }
-    let crash = (opts.allow_crash && opts.total_ops >= 8 && rng.chance(1, 2)).then(|| {
+    let mut crashes = Vec::new();
+    if opts.allow_crash && opts.max_crashes > 0 && opts.total_ops >= 8 && rng.chance(1, 2) {
         let span = opts.total_ops;
-        let after_ops = 1 + rng.below(span / 2);
-        let recover_after_ops = rng
-            .chance(2, 3)
-            .then(|| after_ops + 1 + rng.below(span / 2));
-        CrashPoint {
-            node: rng.below(u64::from(opts.nodes)) as u16,
-            after_ops,
-            recover_after_ops,
+        let want = 1 + rng.below(u64::from(opts.max_crashes));
+        // Rolling placement: each crash fires at or after the previous
+        // rejoin, so at most one node is down at a time (and a crash
+        // left unrecovered ends the sequence — the driver rejoins it
+        // post-run).
+        let mut cursor = 1 + rng.below((span / 2).max(1));
+        for _ in 0..want {
+            if cursor >= span {
+                break;
+            }
+            let after_ops = cursor;
+            let recover_after_ops = rng
+                .chance(3, 4)
+                .then(|| after_ops + 1 + rng.below((span / 3).max(1)));
+            crashes.push(CrashPoint {
+                node: rng.below(u64::from(opts.nodes)) as u16,
+                after_ops,
+                recover_after_ops,
+            });
+            match recover_after_ops {
+                Some(r) => cursor = r + rng.below((span / 3).max(1)),
+                None => break,
+            }
         }
-    });
+    }
     Schedule {
         seed,
         injections,
-        crash,
+        crashes,
     }
 }
 
@@ -215,28 +243,29 @@ pub fn shrink<F: FnMut(&Schedule) -> bool>(
             }
         }
 
-        // Recovery alone, then the whole crash.
-        if let Some(c) = best.crash {
-            if c.recover_after_ops.is_some() && runs < max_runs {
+        // Per crash point: the rejoin alone, then the whole point.
+        let mut ci = 0;
+        while ci < best.crashes.len() {
+            if best.crashes[ci].recover_after_ops.is_some() && runs < max_runs {
                 let mut candidate = best.clone();
-                candidate.crash = Some(CrashPoint {
-                    recover_after_ops: None,
-                    ..c
-                });
+                candidate.crashes[ci].recover_after_ops = None;
                 runs += 1;
                 if still_fails(&candidate) {
                     best = candidate;
                     progressed = true;
                 }
             }
-            if runs < max_runs {
-                let mut candidate = best.clone();
-                candidate.crash = None;
-                runs += 1;
-                if still_fails(&candidate) {
-                    best = candidate;
-                    progressed = true;
-                }
+            if runs >= max_runs {
+                return (best, runs);
+            }
+            let mut candidate = best.clone();
+            candidate.crashes.remove(ci);
+            runs += 1;
+            if still_fails(&candidate) {
+                best = candidate;
+                progressed = true;
+            } else {
+                ci += 1;
             }
         }
 
@@ -257,6 +286,7 @@ mod tests {
             max_nth: 100,
             kinds: vec![MsgChaos::DelayToFlush, MsgChaos::ReorderNext],
             allow_crash: true,
+            max_crashes: 3,
             total_ops: 60,
         }
     }
@@ -278,13 +308,33 @@ mod tests {
                 .injections
                 .iter()
                 .all(|i| i.kind != MsgChaos::Drop && i.node < 3));
-            if let Some(c) = s.crash {
+            for c in &s.crashes {
                 assert!(c.after_ops >= 1 && c.node < 3);
                 if let Some(r) = c.recover_after_ops {
                     assert!(r > c.after_ops);
                 }
             }
         }
+    }
+
+    #[test]
+    fn crash_windows_are_disjoint_and_a_final_crash_may_stay_down() {
+        let mut saw_multi = false;
+        for seed in 0..200 {
+            let s = generate(seed, &opts());
+            saw_multi |= s.crashes.len() >= 2;
+            for pair in s.crashes.windows(2) {
+                let r = pair[0]
+                    .recover_after_ops
+                    .expect("only the last crash may stay down");
+                assert!(
+                    pair[1].after_ops >= r,
+                    "rolling restarts: the next crash fires at or after \
+                     the previous rejoin ({pair:?})"
+                );
+            }
+        }
+        assert!(saw_multi, "max_crashes 3 must yield rolling restarts");
     }
 
     #[test]
@@ -295,7 +345,23 @@ mod tests {
         // A run "fails" iff the guilty injection is present.
         let (shrunk, _) = shrink(&schedule, |s| s.injections.contains(&guilty), 200);
         assert_eq!(shrunk.injections, vec![guilty]);
-        assert_eq!(shrunk.crash, None);
+        assert!(shrunk.crashes.is_empty());
+    }
+
+    #[test]
+    fn shrink_isolates_the_guilty_crash_point() {
+        // Find a seed with at least two crash points.
+        let (schedule, guilty) = (0..500)
+            .map(|seed| generate(seed, &opts()))
+            .find(|s| s.crashes.len() >= 2)
+            .map(|s| {
+                let guilty = s.crashes[1];
+                (s, guilty)
+            })
+            .expect("some seed yields a rolling restart");
+        let (shrunk, _) = shrink(&schedule, |s| s.crashes.contains(&guilty), 400);
+        assert_eq!(shrunk.crashes, vec![guilty]);
+        assert!(shrunk.injections.is_empty());
     }
 
     #[test]

@@ -13,13 +13,22 @@
 //!
 //! * [`run_threaded`] — the in-process threaded cluster. The history
 //!   comes from a [`HistoryRecorder`] tapping the observability layer;
-//!   crash/recovery points are live.
+//!   crash/rejoin points go through the cluster facade's epoch/lease
+//!   view machinery ([`minos_cluster::Cluster::rejoin_node`]).
 //! * [`run_tcp`] — real-socket nodes. Every node process has its own
 //!   trace epoch, so the driver records the history *client-side*
 //!   (invocation/response around each blocking call — a superset of the
 //!   true intervals, hence sound); durable logs arrive over the wire via
-//!   the `dump-durable` client op. No crashes (the TCP runtime has no
-//!   failure-detector facade), and schedules stick to delay/reorder.
+//!   the `dump-durable` client op. Crash points stop the node outright
+//!   (ports released, per-node NVM log file surviving on disk) and
+//!   rejoin re-serves it on the same addresses — own-log replay, donor
+//!   catch-up, `set_peer_status` readmission. Schedules stick to
+//!   delay/reorder injections (no retransmission on the live wire).
+//!
+//! Both drivers hand each node's membership history to the persistency
+//! oracles as an [`crate::persistency::AuditMode`], so a rejoined
+//! replica is audited in full for everything invoked after its
+//! readmission.
 //!
 //! # Workload
 //!
@@ -48,7 +57,7 @@ use minos_types::{
     ClusterConfig, DdpModel, FaultSpec, Key, MsgChaos, NodeId, PersistencyModel, ScopeId, ShardMap,
     Ts,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -68,8 +77,10 @@ pub struct TortureOptions {
     pub keys: u64,
     /// Message injections per generated schedule.
     pub injections: u32,
-    /// Allow crash/recovery points (threaded runtime only).
+    /// Allow crash/rejoin points.
     pub allow_crash: bool,
+    /// Most crash points per schedule (≥2 yields rolling restarts).
+    pub max_crashes: u32,
     /// Deliberate protocol bug to arm (mutation smoke). Ignored unless
     /// the engines were compiled with `fault-injection`.
     pub fault: Option<FaultSpec>,
@@ -93,6 +104,7 @@ impl TortureOptions {
             keys: 4,
             injections: 5,
             allow_crash: true,
+            max_crashes: 2,
             fault: None,
             placement: None,
         }
@@ -112,9 +124,12 @@ impl TortureOptions {
         self.keys + u64::from(self.clients) * u64::from(self.ops_per_client)
     }
 
-    /// Schedule-generation knobs matching this workload.
+    /// Schedule-generation knobs matching this workload. Crash/rejoin
+    /// points run on both runtimes: the threaded driver goes through the
+    /// cluster facade's view machinery, the TCP driver kills the node
+    /// process outright and restarts it against its on-disk NVM log.
     #[must_use]
-    pub fn schedule_options(&self, tcp: bool) -> ScheduleOptions {
+    pub fn schedule_options(&self, _tcp: bool) -> ScheduleOptions {
         ScheduleOptions {
             nodes: self.nodes,
             injections: self.injections,
@@ -124,7 +139,8 @@ impl TortureOptions {
             // The live runtimes have no retransmission: drops would
             // wedge writes by design, so schedules stay delay/reorder.
             kinds: vec![MsgChaos::DelayToFlush, MsgChaos::ReorderNext],
-            allow_crash: self.allow_crash && !tcp,
+            allow_crash: self.allow_crash,
+            max_crashes: self.max_crashes,
             total_ops: self.total_ops(),
         }
     }
@@ -216,20 +232,6 @@ fn roll(rng: &mut Rng, model: PersistencyModel, sharded: bool) -> Roll {
     }
 }
 
-/// The node a crashed node's recovery replays from: any full-replication
-/// peer, or — under a placement map — a member of its own replica group
-/// (the only nodes that hold its shards' data).
-fn recovery_donor(crash: NodeId, opts: &TortureOptions) -> NodeId {
-    match &opts.placement {
-        Some(map) => *map
-            .peers_of(crash)
-            .iter()
-            .next()
-            .expect("replica group of size >= 2"),
-        None => NodeId(if crash.0 == 0 { 1 } else { 0 }),
-    }
-}
-
 /// Values written during a run, keyed by the protocol-assigned `(key, ts)`
 /// — the ground truth reads and the persistency oracles are audited against.
 type WrittenMap = Arc<Mutex<HashMap<(Key, Ts), Vec<u8>>>>;
@@ -283,6 +285,22 @@ pub fn run_threaded(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
 
     let paused = AtomicBool::new(false);
     let done_clients = AtomicU32::new(0);
+
+    // Membership bookkeeping the crash controller maintains: nodes
+    // currently down, every node that crashed at least once, and — per
+    // rejoined node — the history-clock watermark of its readmission
+    // (everything invoked after it is audited in full).
+    let mut down: Vec<NodeId> = Vec::new();
+    let mut ever_crashed: HashSet<NodeId> = HashSet::new();
+    let mut rejoined_at: HashMap<NodeId, u64> = HashMap::new();
+    let watermark = |recorder: &Mutex<HistoryRecorder>| {
+        let snap = recorder.lock().unwrap().snapshot();
+        snap.ops
+            .iter()
+            .map(|o| o.ret.unwrap_or(o.call))
+            .max()
+            .unwrap_or(0)
+    };
 
     std::thread::scope(|s| {
         for c in 0..opts.clients {
@@ -359,15 +377,23 @@ pub fn run_threaded(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
         }
 
         // The driver doubles as the crash controller, keyed on protocol
-        // progress so schedules replay stably.
-        if let Some(cp) = schedule.crash {
+        // progress so schedules replay stably. Points run in order — a
+        // rolling restart when the windows chain across nodes.
+        let all_done = || done_clients.load(Ordering::Acquire) >= u32::from(opts.clients);
+        let completed = || recorder.lock().unwrap().completed_count() as u64;
+        for cp in &schedule.crashes {
             let crash_node = NodeId(cp.node % opts.nodes);
-            let all_done = || done_clients.load(Ordering::Acquire) >= u32::from(opts.clients);
-            let completed = || recorder.lock().unwrap().completed_count() as u64;
             while completed() < cp.after_ops && !all_done() {
                 std::thread::sleep(Duration::from_millis(1));
             }
+            if down.contains(&crash_node) {
+                // Shrinking can drop an earlier rejoin and leave this
+                // point aimed at a node that is already down.
+                continue;
+            }
             cluster.crash_node(crash_node);
+            down.push(crash_node);
+            ever_crashed.insert(crash_node);
             if !cluster.await_failure_detection(crash_node, Duration::from_secs(5)) {
                 violations.push(format!("failure detection never reported {crash_node}"));
             }
@@ -375,11 +401,11 @@ pub fn run_threaded(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
                 while completed() < after && !all_done() {
                     std::thread::sleep(Duration::from_millis(1));
                 }
-                // Quiesce before the log ships: recovery replicates the
-                // *donor's durable log*, so in-flight writes (and, under
-                // the background-persist models, persists still in the
-                // device) must land first or the rejoiner would serve
-                // genuinely stale data.
+                // Quiesce before the catch-up delta ships: rejoin
+                // replicates from the *donor's durable log*, so
+                // in-flight writes (and, under the background-persist
+                // models, persists still in the device) must land first
+                // or the rejoiner would serve genuinely stale data.
                 paused.store(true, Ordering::Release);
                 let deadline = Instant::now() + Duration::from_secs(2);
                 while recorder
@@ -388,36 +414,36 @@ pub fn run_threaded(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
                     .snapshot()
                     .ops
                     .iter()
-                    .any(|o| !o.is_complete() && o.node != crash_node)
+                    .any(|o| !o.is_complete() && !down.contains(&o.node))
                     && Instant::now() < deadline
                 {
                     std::thread::sleep(Duration::from_millis(1));
                 }
                 std::thread::sleep(Duration::from_millis(25));
-                let donor = recovery_donor(crash_node, opts);
-                if let Err(e) = cluster.recover_node(crash_node, donor) {
-                    violations.push(format!("recovery of {crash_node} from {donor} failed: {e}"));
+                // The facade picks the donor: an alive placement-group
+                // peer, or any alive node when fully replicated.
+                match cluster.rejoin_node(crash_node) {
+                    Ok(_epoch) => {
+                        down.retain(|&n| n != crash_node);
+                        rejoined_at.insert(crash_node, watermark(&recorder));
+                    }
+                    Err(e) => violations.push(format!("rejoin of {crash_node} failed: {e}")),
                 }
                 paused.store(false, Ordering::Release);
             }
         }
     });
 
-    // Post-run: if the schedule crashed without recovering, recover now
-    // anyway — the recovery machinery is part of what's under test, and
-    // the probe pass below then audits the rejoiner too.
-    let mut ever_crashed: Option<NodeId> = None;
-    if let Some(cp) = schedule.crash {
-        let crash_node = NodeId(cp.node % opts.nodes);
-        ever_crashed = Some(crash_node);
-        if cp.recover_after_ops.is_none() {
-            std::thread::sleep(Duration::from_millis(25));
-            let donor = recovery_donor(crash_node, opts);
-            if let Err(e) = cluster.recover_node(crash_node, donor) {
-                violations.push(format!(
-                    "post-run recovery of {crash_node} from {donor} failed: {e}"
-                ));
+    // Post-run: rejoin every node the schedule left down — the rejoin
+    // machinery is part of what's under test, and the probe pass below
+    // then audits the rejoiner too.
+    for node in std::mem::take(&mut down) {
+        std::thread::sleep(Duration::from_millis(25));
+        match cluster.rejoin_node(node) {
+            Ok(_epoch) => {
+                rejoined_at.insert(node, watermark(&recorder));
             }
+            Err(e) => violations.push(format!("post-run rejoin of {node} failed: {e}")),
         }
     }
 
@@ -435,15 +461,26 @@ pub fn run_threaded(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
         }
     }
 
-    // Durable-log snapshots (crashed nodes included: NVM survives).
+    // Durable-log snapshots (crashed nodes included: NVM survives). The
+    // audit mode encodes each node's membership history: full-run nodes
+    // get the full containment oracles, rejoined nodes answer for
+    // everything invoked after their readmission, nodes that never made
+    // it back get the phantom oracle only.
     let mut logs = Vec::new();
     for n in 0..opts.nodes {
         let node = NodeId(n);
+        let mode = if !ever_crashed.contains(&node) {
+            crate::persistency::AuditMode::Full
+        } else if let Some(&since) = rejoined_at.get(&node) {
+            crate::persistency::AuditMode::Rejoined { since }
+        } else {
+            crate::persistency::AuditMode::Excused
+        };
         match cluster.durable_log(node) {
             Ok(entries) => logs.push(NodeLog {
                 node,
                 entries: entries.iter().map(|e| (e.key, e.ts)).collect(),
-                audit_exact: ever_crashed != Some(node),
+                mode,
             }),
             Err(e) => violations.push(format!("durable-log snapshot of {node} failed: {e}")),
         }
@@ -467,7 +504,11 @@ pub fn run_threaded(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
     RunReport { violations, ops }
 }
 
-/// One TCP-cluster run under `schedule` (message injections only).
+/// One TCP-cluster run under `schedule`. Crash points kill the node
+/// in-process (threads stopped, ports released, peers treating the dead
+/// sockets as frame loss) and notify survivors via the `set_peer_status`
+/// admin op; rejoin re-serves the node on the same addresses against its
+/// surviving on-disk NVM log, with a live peer as catch-up donor.
 #[must_use]
 pub fn run_tcp(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
     assert!(
@@ -476,8 +517,8 @@ pub fn run_tcp(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
          clients do not route)"
     );
     let n = opts.nodes as usize;
-    let nodes = bind_tcp_cluster(n, schedule, opts);
-    let client_addrs: Vec<_> = nodes.iter().map(TcpNode::client_addr).collect();
+    let mut harness = bind_tcp_cluster(n, schedule, opts);
+    let client_addrs = harness.client_addrs.clone();
 
     let epoch = Instant::now();
     let now_ns = move || u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -518,23 +559,36 @@ pub fn run_tcp(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
         }
     }
 
+    let paused = AtomicBool::new(false);
+    let done_clients = AtomicU32::new(0);
+    let mut ever_crashed: HashSet<usize> = HashSet::new();
+    let mut rejoined_at: HashMap<usize, u64> = HashMap::new();
+
     std::thread::scope(|s| {
         for c in 0..opts.clients {
             let history = Arc::clone(&history);
             let written = Arc::clone(&written);
             let reads = Arc::clone(&reads);
             let client_addrs = client_addrs.clone();
+            let paused = &paused;
+            let done_clients = &done_clients;
             let opts = &*opts;
             let seed = schedule.seed;
             s.spawn(move || {
-                let mut conns: Vec<TcpClient> = client_addrs
+                // Connections are lazy and re-established after an error:
+                // a crashed node kills its sockets, and the rejoined node
+                // listens on a fresh listener at the same address.
+                let mut conns: Vec<Option<TcpClient>> = client_addrs
                     .iter()
-                    .map(|&a| TcpClient::connect(a).expect("connect"))
+                    .map(|&a| TcpClient::connect(a).ok())
                     .collect();
                 let mut rng = Rng::new(seed ^ (0x7C11 + u64::from(c) * 0x9E3779B9));
                 let pinned = usize::from(c % opts.nodes);
                 let scope = ScopeId(u32::from(c));
                 for i in 0..opts.ops_per_client {
+                    while paused.load(Ordering::Acquire) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
                     let ni = if opts.model == PersistencyModel::Scope {
                         pinned
                     } else {
@@ -548,7 +602,10 @@ pub fn run_tcp(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
                             let sc = (opts.model == PersistencyModel::Scope && rng.chance(2, 3))
                                 .then_some(scope);
                             let call = now_ns();
-                            match conns[ni].put(key, &value, sc) {
+                            let Some(conn) = reconnect(&mut conns, &client_addrs, ni) else {
+                                continue; // node down, nothing invoked
+                            };
+                            match conn.put(key, &value, sc) {
                                 Ok(ts) => {
                                     let mut op = write_op(
                                         NodeId(ni as u16),
@@ -562,6 +619,7 @@ pub fn run_tcp(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
                                     written.lock().unwrap().insert((key, ts), value);
                                 }
                                 Err(_) => {
+                                    conns[ni] = None;
                                     history.lock().unwrap().push(write_op(
                                         NodeId(ni as u16),
                                         call,
@@ -574,42 +632,118 @@ pub fn run_tcp(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
                         }
                         Roll::Read => {
                             let call = now_ns();
-                            if let Ok((v, ts)) = conns[ni].get_versioned(key) {
-                                history.lock().unwrap().push(read_op(
-                                    NodeId(ni as u16),
-                                    call,
-                                    now_ns(),
-                                    key,
-                                    ts,
-                                ));
-                                reads.lock().unwrap().push((key, ts, v));
+                            let Some(conn) = reconnect(&mut conns, &client_addrs, ni) else {
+                                continue;
+                            };
+                            match conn.get_versioned(key) {
+                                Ok((v, ts)) => {
+                                    history.lock().unwrap().push(read_op(
+                                        NodeId(ni as u16),
+                                        call,
+                                        now_ns(),
+                                        key,
+                                        ts,
+                                    ));
+                                    reads.lock().unwrap().push((key, ts, v));
+                                }
+                                Err(_) => conns[ni] = None,
                             }
                         }
                         Roll::Flush => {
                             let call = now_ns();
-                            if conns[pinned].persist_scope(scope).is_ok() {
-                                history.lock().unwrap().push(crate::history::ClientOp {
-                                    node: NodeId(pinned as u16),
-                                    req: call,
-                                    kind: OpKind::PersistScope,
-                                    key: None,
-                                    scope: Some(scope),
-                                    call,
-                                    ret: Some(now_ns()),
-                                    ts: None,
-                                    obsolete: false,
-                                });
+                            let Some(conn) = reconnect(&mut conns, &client_addrs, pinned) else {
+                                continue;
+                            };
+                            match conn.persist_scope(scope) {
+                                Ok(()) => {
+                                    history.lock().unwrap().push(crate::history::ClientOp {
+                                        node: NodeId(pinned as u16),
+                                        req: call,
+                                        kind: OpKind::PersistScope,
+                                        key: None,
+                                        scope: Some(scope),
+                                        call,
+                                        ret: Some(now_ns()),
+                                        ts: None,
+                                        obsolete: false,
+                                    });
+                                }
+                                Err(_) => conns[pinned] = None,
                             }
                         }
                     }
                 }
+                done_clients.fetch_add(1, Ordering::Release);
             });
         }
+
+        // Crash controller: same progress-keyed points as the threaded
+        // driver, realized as real process-level restarts.
+        let all_done = || done_clients.load(Ordering::Acquire) >= u32::from(opts.clients);
+        let completed = || {
+            history
+                .lock()
+                .unwrap()
+                .iter()
+                .filter(|o| o.ret.is_some())
+                .count() as u64
+        };
+        for cp in &schedule.crashes {
+            let ni = usize::from(cp.node % opts.nodes);
+            while completed() < cp.after_ops && !all_done() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let Some(node) = harness.nodes[ni].take() else {
+                continue; // already down (shrinking dropped its rejoin)
+            };
+            node.shutdown();
+            ever_crashed.insert(ni);
+            // The TCP runtime has no in-band failure detector: the
+            // control plane alerts the survivors, which shrink their
+            // quorums and complete any write wedged on the dead peer.
+            for (j, peer) in harness.nodes.iter().enumerate() {
+                if peer.is_some() {
+                    if let Ok(mut c) = TcpClient::connect(client_addrs[j]) {
+                        let _ = c.set_peer_status(NodeId(ni as u16), false);
+                    }
+                }
+            }
+            if let Some(after) = cp.recover_after_ops {
+                while completed() < after && !all_done() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                // Quiesce: catch-up ships the donor's *durable* log, so
+                // in-flight ops and background persists must land first.
+                paused.store(true, Ordering::Release);
+                std::thread::sleep(Duration::from_millis(50));
+                if restart_tcp_node(&mut harness, ni, schedule, opts, &mut violations) {
+                    rejoined_at.insert(ni, now_ns());
+                }
+                paused.store(false, Ordering::Release);
+            }
+        }
     });
+
+    // Post-run: rejoin every node the schedule left down, so the probe
+    // pass and durable dumps below audit the rejoiner too.
+    for ni in 0..n {
+        if harness.nodes[ni].is_none()
+            && restart_tcp_node(&mut harness, ni, schedule, opts, &mut violations)
+        {
+            rejoined_at.insert(ni, now_ns());
+        }
+    }
 
     // Probe pass + durable dumps.
     let mut logs = Vec::new();
     for (ni, &addr) in client_addrs.iter().enumerate() {
+        let mode = if !ever_crashed.contains(&ni) {
+            crate::persistency::AuditMode::Full
+        } else if let Some(&since) = rejoined_at.get(&ni) {
+            crate::persistency::AuditMode::Rejoined { since }
+        } else {
+            crate::persistency::AuditMode::Excused
+        };
         match TcpClient::connect(addr) {
             Ok(mut conn) => {
                 for k in 0..opts.keys {
@@ -626,7 +760,7 @@ pub fn run_tcp(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
                     Ok(entries) => logs.push(NodeLog {
                         node: NodeId(ni as u16),
                         entries: entries.iter().map(|e| (e.key, e.ts)).collect(),
-                        audit_exact: true,
+                        mode,
                     }),
                     Err(e) => violations.push(format!("tcp durable dump of n{ni} failed: {e}")),
                 }
@@ -648,10 +782,27 @@ pub fn run_tcp(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
         &reads.lock().unwrap(),
     ));
 
-    for node in nodes {
+    for node in harness.nodes.into_iter().flatten() {
         node.shutdown();
     }
+    for path in harness.log_paths.into_iter().flatten() {
+        let _ = std::fs::remove_file(path);
+    }
     RunReport { violations, ops }
+}
+
+/// The client's connection to node `ni`, re-established on demand — a
+/// crashed node kills its sockets, and a rejoined node listens on a
+/// fresh listener at the same address. `None` while the node is down.
+fn reconnect<'a>(
+    conns: &'a mut [Option<TcpClient>],
+    addrs: &[std::net::SocketAddr],
+    ni: usize,
+) -> Option<&'a mut TcpClient> {
+    if conns[ni].is_none() {
+        conns[ni] = TcpClient::connect(addrs[ni]).ok();
+    }
+    conns[ni].as_mut()
 }
 
 fn write_op(
@@ -688,12 +839,65 @@ fn read_op(node: NodeId, call: u64, ret: u64, key: Key, ts: Ts) -> crate::histor
     }
 }
 
+/// A live TCP torture cluster: node handles (`None` while crashed), the
+/// fixed peer/client address plan, and the per-node on-disk NVM logs
+/// (present only when the schedule carries crash points).
+struct TcpHarness {
+    nodes: Vec<Option<TcpNode>>,
+    peer_addrs: Vec<std::net::SocketAddr>,
+    client_addrs: Vec<std::net::SocketAddr>,
+    log_paths: Vec<Option<std::path::PathBuf>>,
+}
+
+/// The node config for (re-)serving node `i` of the harness.
+fn tcp_node_config(
+    harness: &TcpHarness,
+    i: usize,
+    schedule: &Schedule,
+    opts: &TortureOptions,
+    rejoin_donor: Option<std::net::SocketAddr>,
+) -> TcpNodeConfig {
+    TcpNodeConfig {
+        node: NodeId(i as u16),
+        model: DdpModel::lin(opts.model),
+        peers: harness.peer_addrs.clone(),
+        client_addr: harness.client_addrs[i],
+        persist_ns_per_kb: 1295,
+        batching: false,
+        broadcast: false,
+        trace_out: None,
+        metrics_out: None,
+        metrics_interval: std::time::Duration::from_secs(1),
+        chaos: (!schedule.injections.is_empty()).then(|| schedule.spec()),
+        fault: opts.fault,
+        placement: None,
+        nvm_log: harness.log_paths[i].clone(),
+        rejoin_donor,
+    }
+}
+
 /// Brings up an in-process TCP cluster on fresh ports. All probe
 /// listeners are held simultaneously before any port is reused (a
 /// sequentially probed port can be handed right back by the kernel), and
 /// the whole bind phase retries on a collision — a port released by a
 /// probe can still be grabbed by another process between probe and bind.
-fn bind_tcp_cluster(n: usize, schedule: &Schedule, opts: &TortureOptions) -> Vec<TcpNode> {
+fn bind_tcp_cluster(n: usize, schedule: &Schedule, opts: &TortureOptions) -> TcpHarness {
+    // Crash schedules need every node's NVM to survive its process: an
+    // on-disk log per node, cleaned of any stale content from a previous
+    // (possibly aborted) run of the same seed.
+    let log_paths: Vec<Option<std::path::PathBuf>> = (0..n)
+        .map(|i| {
+            (!schedule.crashes.is_empty()).then(|| {
+                let path = std::env::temp_dir().join(format!(
+                    "minos-torture-{}-{:x}-n{i}.nvmlog",
+                    std::process::id(),
+                    schedule.seed,
+                ));
+                let _ = std::fs::remove_file(&path);
+                path
+            })
+        })
+        .collect();
     'attempt: for _ in 0..16 {
         let probes: Vec<std::net::TcpListener> = (0..2 * n)
             .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("probe port"))
@@ -702,35 +906,81 @@ fn bind_tcp_cluster(n: usize, schedule: &Schedule, opts: &TortureOptions) -> Vec
             probes.iter().map(|l| l.local_addr().unwrap()).collect();
         drop(probes);
         let (peers, client_addrs) = addrs.split_at(n);
-        let mut nodes = Vec::with_capacity(n);
-        for (i, &client_addr) in client_addrs.iter().enumerate() {
-            match TcpNode::serve(TcpNodeConfig {
-                node: NodeId(i as u16),
-                model: DdpModel::lin(opts.model),
-                peers: peers.to_vec(),
-                client_addr,
-                persist_ns_per_kb: 1295,
-                batching: false,
-                broadcast: false,
-                trace_out: None,
-                metrics_out: None,
-                metrics_interval: std::time::Duration::from_secs(1),
-                chaos: (!schedule.injections.is_empty()).then(|| schedule.spec()),
-                fault: opts.fault,
-                placement: None,
-            }) {
-                Ok(node) => nodes.push(node),
+        let mut harness = TcpHarness {
+            nodes: Vec::with_capacity(n),
+            peer_addrs: peers.to_vec(),
+            client_addrs: client_addrs.to_vec(),
+            log_paths: log_paths.clone(),
+        };
+        for i in 0..n {
+            match TcpNode::serve(tcp_node_config(&harness, i, schedule, opts, None)) {
+                Ok(node) => harness.nodes.push(Some(node)),
                 Err(_) => {
-                    for node in nodes {
+                    for node in harness.nodes.into_iter().flatten() {
                         node.shutdown();
                     }
                     continue 'attempt;
                 }
             }
         }
-        return nodes;
+        return harness;
     }
     panic!("could not bind a TCP cluster after 16 attempts");
+}
+
+/// Re-serves crashed node `ni` on its original addresses: own-log replay
+/// from the surviving NVM file, donor catch-up from the first live peer,
+/// then `set_peer_status` notifications so every survivor re-admits it
+/// (and the rejoiner learns which peers are still down). Returns false
+/// (with a violation recorded) if the node could not come back.
+fn restart_tcp_node(
+    harness: &mut TcpHarness,
+    ni: usize,
+    schedule: &Schedule,
+    opts: &TortureOptions,
+    violations: &mut Vec<String>,
+) -> bool {
+    let donor = harness
+        .nodes
+        .iter()
+        .position(Option::is_some)
+        .map(|j| harness.client_addrs[j]);
+    let cfg = tcp_node_config(harness, ni, schedule, opts, donor);
+    // The old listener's port is released by shutdown, but give the
+    // kernel a few tries in case another process squats it briefly.
+    let mut served = None;
+    for _ in 0..10 {
+        match TcpNode::serve(cfg.clone()) {
+            Ok(node) => {
+                served = Some(node);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    let Some(node) = served else {
+        violations.push(format!("tcp rejoin of n{ni} could not rebind its ports"));
+        return false;
+    };
+    harness.nodes[ni] = Some(node);
+    // Survivors re-admit the rejoiner (dropping any cached connection to
+    // its dead pre-crash sockets); the rejoiner learns who is down.
+    for j in 0..harness.nodes.len() {
+        if j == ni || harness.nodes[j].is_none() {
+            continue;
+        }
+        if let Ok(mut c) = TcpClient::connect(harness.client_addrs[j]) {
+            let _ = c.set_peer_status(NodeId(ni as u16), true);
+        }
+    }
+    if let Ok(mut c) = TcpClient::connect(harness.client_addrs[ni]) {
+        for j in 0..harness.nodes.len() {
+            if harness.nodes[j].is_none() {
+                let _ = c.set_peer_status(NodeId(j as u16), false);
+            }
+        }
+    }
+    true
 }
 
 /// Runs `count` seeds starting at `start`, stopping (and shrinking) on
@@ -761,10 +1011,10 @@ where
                     model = opts.model,
                     ops = report.ops,
                     w = schedule.injections.len(),
-                    crash = if schedule.crash.is_some() {
-                        ", crash"
-                    } else {
-                        ""
+                    crash = match schedule.crashes.len() {
+                        0 => String::new(),
+                        1 => ", 1 crash".into(),
+                        k => format!(", {k} crashes"),
                     },
                 );
             }

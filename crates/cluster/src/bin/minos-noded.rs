@@ -4,6 +4,7 @@
 //! minos-noded [--batching] [--broadcast] [--metrics-out <path>] \
 //!     [--metrics-interval <ms>] [--trace-out <path>] \
 //!     [--shards <SxK> | --placement <codec>] \
+//!     [--nvm-log <path>] [--rejoin-donor <addr>] \
 //!     <node-idx> <model> <client-addr> <peer-addr-0> ...
 //! ```
 //!
@@ -22,6 +23,14 @@
 //! process of the cluster must be started with the *same* spec — the
 //! node then replicates only its own shards, and clients must contact a
 //! replica of each key's shard (`ShardedTcpClient` routes this way).
+//!
+//! `--nvm-log <path>` persists every NVM append to a real file and
+//! replays it at startup, so the emulated durability survives a process
+//! restart. `--rejoin-donor <addr>` (a peer's *client* address) makes
+//! the restart a full rejoin: after replaying its own log the node
+//! fetches from the donor exactly the versions it missed while down,
+//! and only then starts serving. Restart a crashed node with both flags
+//! to bring it back; see the README's "Operating a cluster" walkthrough.
 
 use minos_cluster::tcp::{TcpNode, TcpNodeConfig};
 use minos_types::{DdpModel, NodeId, PersistencyModel, ShardMap};
@@ -63,9 +72,16 @@ fn main() {
     let trace_out = take_path_flag(&mut args, "--trace-out");
     let shard_spec = take_value_flag(&mut args, "--shards")
         .or_else(|| take_value_flag(&mut args, "--placement"));
+    let nvm_log = take_path_flag(&mut args, "--nvm-log");
+    let rejoin_donor = take_value_flag(&mut args, "--rejoin-donor").map(|a| {
+        a.parse().unwrap_or_else(|e| {
+            eprintln!("--rejoin-donor wants a socket address, got {a}: {e}");
+            std::process::exit(2);
+        })
+    });
     if args.len() < 4 {
         eprintln!(
-            "usage: minos-noded [--batching] [--broadcast] [--metrics-out <path>] [--metrics-interval <ms>] [--trace-out <path>] [--shards <SxK> | --placement <codec>] <node-idx> <synch|strict|renf|event|scope> <client-addr> <peer-addr>..."
+            "usage: minos-noded [--batching] [--broadcast] [--metrics-out <path>] [--metrics-interval <ms>] [--trace-out <path>] [--shards <SxK> | --placement <codec>] [--nvm-log <path>] [--rejoin-donor <addr>] <node-idx> <synch|strict|renf|event|scope> <client-addr> <peer-addr>..."
         );
         std::process::exit(2);
     }
@@ -108,6 +124,8 @@ fn main() {
         chaos: None,
         fault: None,
         placement,
+        nvm_log,
+        rejoin_donor,
     };
     let server = TcpNode::serve(cfg).expect("bind node");
     eprintln!(

@@ -7,7 +7,10 @@ use minos_core::obs::{shared_gauges, GaugeSet, SharedGauges, SharedSink, TraceCl
 use minos_core::runtime::{DispatchStats, ShardRouter, TransportCounters};
 use minos_core::{Event, ReqId};
 use minos_nvm::LogEntry;
-use minos_types::{ClusterConfig, DdpModel, Key, MinosError, NodeId, Result, ScopeId, Ts, Value};
+use minos_types::{
+    ClusterConfig, DdpModel, Key, MembershipView, MinosError, NodeId, Result, ScopeId, ShardId,
+    ShardMap, Ts, Value,
+};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -61,6 +64,30 @@ pub struct Cluster {
     /// Facade-level shard routing (key → coordinator, scope → recorded
     /// coordinators). Identity when the cluster is unsharded.
     router: Mutex<ShardRouter>,
+    /// The epoch-versioned membership view: crash_node marks down,
+    /// rejoin walks Down → CatchingUp → Serving, re-replication bumps
+    /// through the placement epoch. Leases run on wall-clock nanoseconds
+    /// since [`Cluster::spawn`].
+    view: Mutex<MembershipView>,
+    /// Lease/epoch timebase origin.
+    boot: std::time::Instant,
+}
+
+/// An in-progress rejoin, between catch-up fetch and cutover: the node's
+/// own durable state has been summarized, the donor's missing-version
+/// delta fetched, and the view pinned. [`Cluster::complete_rejoin`]
+/// installs the delta and re-admits the node; a crash in between aborts
+/// the ticket (the test hook for "second crash mid-catch-up").
+#[derive(Debug)]
+pub struct RejoinTicket {
+    /// The rejoining node.
+    pub node: NodeId,
+    /// The donor whose delta was fetched.
+    pub donor: NodeId,
+    /// The missing durable versions to install.
+    entries: Vec<LogEntry>,
+    /// The view epoch the catch-up is pinned to.
+    pub pinned_epoch: u64,
 }
 
 impl Cluster {
@@ -117,6 +144,7 @@ impl Cluster {
             .collect();
 
         let router = Mutex::new(ShardRouter::new(cfg.placement.clone()));
+        let view = Mutex::new(MembershipView::new(cfg.nodes, cfg.failure_timeout_ns, 0));
         Cluster {
             nodes,
             timer: Some(timer),
@@ -127,7 +155,34 @@ impl Cluster {
             cfg,
             gauges,
             router,
+            view,
+            boot: std::time::Instant::now(),
         }
+    }
+
+    /// Nanoseconds since spawn — the lease/epoch timebase.
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.boot.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// The membership view epoch currently in force. Bumps on every
+    /// crash detection, completed rejoin, and re-replication cutover.
+    #[must_use]
+    pub fn view_epoch(&self) -> u64 {
+        self.view.lock().epoch()
+    }
+
+    /// A snapshot of the membership view (states, leases, epoch).
+    #[must_use]
+    pub fn membership(&self) -> MembershipView {
+        self.view.lock().clone()
+    }
+
+    /// The placement map currently in force (re-replication may have
+    /// moved it past [`ClusterConfig::placement`]). `None` = unsharded.
+    #[must_use]
+    pub fn placement(&self) -> Option<ShardMap> {
+        self.router.lock().map().cloned()
     }
 
     /// Snapshots the cluster's resource telemetry: per-node in-flight
@@ -202,12 +257,12 @@ impl Cluster {
     /// group instead (§III-E membership: survivors keep serving the
     /// shard). Falls back to `coord` when the whole group is down, so
     /// the caller reports [`MinosError::NodeFailed`] honestly.
-    fn route_alive(&self, coord: NodeId, key: Key) -> NodeId {
+    fn route_alive(&self, map: Option<&ShardMap>, coord: NodeId, key: Key) -> NodeId {
         let failed = self.failed.lock();
         if !failed.get(coord.0 as usize).copied().unwrap_or(true) {
             return coord;
         }
-        if let Some(map) = self.cfg.placement.as_ref() {
+        if let Some(map) = map {
             for &r in map.replicas_of_key(key) {
                 if !failed.get(r.0 as usize).copied().unwrap_or(true) {
                     return r;
@@ -244,7 +299,7 @@ impl Cluster {
         self.check_alive(node)?;
         let coord = {
             let mut router = self.router.lock();
-            let coord = self.route_alive(router.serving(node, key), key);
+            let coord = self.route_alive(router.map(), router.serving(node, key), key);
             if let Some(sc) = scope {
                 router.note_scope_route(node, sc, coord);
             }
@@ -288,7 +343,7 @@ impl Cluster {
         for (key, value) in writes {
             let coord = {
                 let mut router = self.router.lock();
-                let coord = self.route_alive(router.serving(node, key), key);
+                let coord = self.route_alive(router.map(), router.serving(node, key), key);
                 if let Some(sc) = scope {
                     router.note_scope_route(node, sc, coord);
                 }
@@ -329,7 +384,10 @@ impl Cluster {
     /// As for [`Cluster::put`].
     pub fn get_versioned(&self, node: NodeId, key: Key) -> Result<(Value, Ts)> {
         self.check_alive(node)?;
-        let coord = self.route_alive(self.router.lock().serving(node, key), key);
+        let coord = {
+            let router = self.router.lock();
+            self.route_alive(router.map(), router.serving(node, key), key)
+        };
         match self.submit(coord, |req| Event::ClientRead { key, req })? {
             Outcome::Read { value, ts } => Ok((value, ts)),
             _ => Err(MinosError::Shutdown),
@@ -370,6 +428,9 @@ impl Cluster {
     pub fn crash_node(&self, node: NodeId) {
         let _ = self.nodes[node.0 as usize].tx.send(NodeMsg::Crash);
         self.failed.lock()[node.0 as usize] = true;
+        // View change: the serving set shrank (idempotent; a crash
+        // mid-catch-up moves CatchingUp → Down without burning an epoch).
+        let _ = self.view.lock().mark_down(node);
     }
 
     /// Blocks until the heartbeat detectors report `node` failed, then
@@ -437,7 +498,231 @@ impl Cluster {
             }
         }
         self.failed.lock()[node.0 as usize] = false;
+        // Best-effort view walk (Down → CatchingUp → Serving); callers
+        // using the explicit donor API may not have marked the node down.
+        {
+            let mut view = self.view.lock();
+            let _ = view.begin_rejoin(node);
+            let _ = view.complete_rejoin(node, self.now_ns());
+        }
         Ok(())
+    }
+
+    /// Picks a rejoin donor for `node`: the first alive placement-group
+    /// peer (a node that replicates a shard with it), falling back to any
+    /// alive other node on an unsharded cluster.
+    fn pick_donor(&self, node: NodeId) -> Option<NodeId> {
+        let failed = self.failed.lock();
+        let alive = |n: NodeId| !failed.get(n.0 as usize).copied().unwrap_or(true);
+        if let Some(map) = self.router.lock().map() {
+            if let Some(peer) = map.peers_of(node).into_iter().find(|&p| alive(p)) {
+                return Some(peer);
+            }
+        }
+        (0..self.nodes.len() as u16)
+            .map(NodeId)
+            .find(|&n| n != node && alive(n))
+    }
+
+    /// Starts a rejoin of a down node: pins the view at `CatchingUp`,
+    /// replays the node's own durable log into a per-key version summary
+    /// (served from its surviving NVM — the "replay your log" step), and
+    /// fetches from a donor exactly the versions the node missed while
+    /// down. The node is **not** serving yet; [`Cluster::complete_rejoin`]
+    /// performs the cutover. Splitting the two lets tests (and operators)
+    /// inject a second crash mid-catch-up.
+    ///
+    /// # Errors
+    ///
+    /// [`MinosError::Membership`] if the node is not `Down` or no alive
+    /// donor exists; [`MinosError::Shutdown`] on unresponsive threads.
+    pub fn begin_rejoin(&self, node: NodeId) -> Result<RejoinTicket> {
+        let pinned_epoch = self
+            .view
+            .lock()
+            .begin_rejoin(node)
+            .map_err(|e| MinosError::Membership(e.to_string()))?;
+
+        // The rejoiner summarizes its durable state. This is served even
+        // while the node is "crashed": NVM contents survive the crash.
+        let (tx, rx) = bounded(1);
+        self.nodes[node.0 as usize]
+            .tx
+            .send(NodeMsg::QuerySummary { reply: tx })
+            .map_err(|_| MinosError::Shutdown)?;
+        let have = rx
+            .recv_timeout(Duration::from_secs(10))
+            .map_err(|_| MinosError::Shutdown)?;
+
+        let Some(donor) = self.pick_donor(node) else {
+            let _ = self.view.lock().abort_rejoin(node);
+            return Err(MinosError::Membership(format!(
+                "no alive donor for rejoining node {node}"
+            )));
+        };
+        let (tx, rx) = bounded(1);
+        self.nodes[donor.0 as usize]
+            .tx
+            .send(NodeMsg::ShipDelta { have, reply: tx })
+            .map_err(|_| MinosError::Shutdown)?;
+        let entries = rx
+            .recv_timeout(Duration::from_secs(10))
+            .map_err(|_| MinosError::Shutdown)?;
+
+        Ok(RejoinTicket {
+            node,
+            donor,
+            entries,
+            pinned_epoch,
+        })
+    }
+
+    /// Completes a rejoin started by [`Cluster::begin_rejoin`]: installs
+    /// the donor delta on the rejoiner, re-admits it at every survivor,
+    /// and moves the view `CatchingUp → Serving` under a fresh lease.
+    /// Returns the new view epoch.
+    ///
+    /// The `PeerRecovered` broadcast is sent before this method returns,
+    /// and each node inbox is FIFO — so any client op submitted after
+    /// `complete_rejoin` returns is processed after every peer has
+    /// re-admitted the node.
+    ///
+    /// # Errors
+    ///
+    /// [`MinosError::Membership`] if the node crashed again mid-catch-up
+    /// (the view is no longer `CatchingUp`); [`MinosError::Shutdown`] on
+    /// unresponsive threads.
+    pub fn complete_rejoin(&self, ticket: RejoinTicket) -> Result<u64> {
+        let RejoinTicket { node, entries, .. } = ticket;
+        {
+            let view = self.view.lock();
+            let state = view
+                .state(node)
+                .map_err(|e| MinosError::Membership(e.to_string()))?;
+            if state != minos_types::NodeState::CatchingUp {
+                return Err(MinosError::Membership(format!(
+                    "cannot complete rejoin of node {node}: state is {state:?}, \
+                     not CatchingUp (crashed again mid-catch-up?)"
+                )));
+            }
+        }
+
+        // Install the missed versions and restart the protocol engine.
+        let (done_tx, done_rx) = bounded(1);
+        self.nodes[node.0 as usize]
+            .tx
+            .send(NodeMsg::Revive {
+                entries,
+                done: done_tx,
+            })
+            .map_err(|_| MinosError::Shutdown)?;
+        done_rx
+            .recv_timeout(Duration::from_secs(10))
+            .map_err(|_| MinosError::Shutdown)?;
+
+        // Re-admit everywhere, then open the gate for client traffic.
+        for (i, nt) in self.nodes.iter().enumerate() {
+            if i != node.0 as usize {
+                let _ = nt.tx.send(NodeMsg::PeerRecovered { node });
+            }
+        }
+        self.failed.lock()[node.0 as usize] = false;
+        self.view
+            .lock()
+            .complete_rejoin(node, self.now_ns())
+            .map_err(|e| MinosError::Membership(e.to_string()))
+    }
+
+    /// Rejoins a down node end to end: [`Cluster::begin_rejoin`] (own-log
+    /// replay + donor catch-up) followed by [`Cluster::complete_rejoin`]
+    /// (cutover). Returns the new view epoch.
+    ///
+    /// # Errors
+    ///
+    /// As for the two staged calls.
+    pub fn rejoin_node(&self, node: NodeId) -> Result<u64> {
+        let ticket = self.begin_rejoin(node)?;
+        self.complete_rejoin(ticket)
+    }
+
+    /// Re-replicates `shard` onto `new_node`: picks an alive donor from
+    /// the shard's current group, background-copies the shard's durable
+    /// records to the new replica, then performs the epoch-gated cutover
+    /// — the new map (placement epoch bumped by the membership change) is
+    /// installed at the new replica first, broadcast to every other node,
+    /// and finally adopted by the client-facing router, so no node ever
+    /// adopts an older epoch over a newer one. Returns the new placement
+    /// epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`MinosError::Membership`] if the cluster is unsharded, the group
+    /// has no alive donor, or `new_node` already replicates the shard;
+    /// [`MinosError::Shutdown`] on unresponsive threads.
+    pub fn rereplicate(&self, shard: ShardId, new_node: NodeId) -> Result<u64> {
+        let mut new_map = self.router.lock().map().cloned().ok_or_else(|| {
+            MinosError::Membership("re-replication needs a sharded cluster".into())
+        })?;
+        let excluded: Vec<NodeId> = {
+            let failed = self.failed.lock();
+            failed
+                .iter()
+                .enumerate()
+                .filter(|&(_, &down)| down)
+                .map(|(i, _)| NodeId(i as u16))
+                .collect()
+        };
+        let donor = new_map
+            .donor_for(shard, &excluded)
+            .ok_or_else(|| MinosError::Membership(format!("shard {shard} has no alive donor")))?;
+
+        // Background copy: the donor's durable records for this shard.
+        let (tx, rx) = bounded(1);
+        self.nodes[donor.0 as usize]
+            .tx
+            .send(NodeMsg::ShipLog {
+                since: 0,
+                reply: tx,
+            })
+            .map_err(|_| MinosError::Shutdown)?;
+        let entries: Vec<LogEntry> = rx
+            .recv_timeout(Duration::from_secs(10))
+            .map_err(|_| MinosError::Shutdown)?
+            .into_iter()
+            .filter(|e| new_map.shard_of(e.key) == shard)
+            .collect();
+
+        let epoch = new_map
+            .add_replica(shard, new_node)
+            .map_err(MinosError::Membership)?;
+
+        // Cutover, epoch-gated at every layer: new replica first (data +
+        // map, acknowledged), then the rest of the cluster, then the
+        // client-facing router.
+        let (done_tx, done_rx) = bounded(1);
+        self.nodes[new_node.0 as usize]
+            .tx
+            .send(NodeMsg::InstallPlacement {
+                map: new_map.clone(),
+                entries,
+                done: Some(done_tx),
+            })
+            .map_err(|_| MinosError::Shutdown)?;
+        done_rx
+            .recv_timeout(Duration::from_secs(10))
+            .map_err(|_| MinosError::Shutdown)?;
+        for (i, nt) in self.nodes.iter().enumerate() {
+            if i != new_node.0 as usize {
+                let _ = nt.tx.send(NodeMsg::InstallPlacement {
+                    map: new_map.clone(),
+                    entries: Vec::new(),
+                    done: None,
+                });
+            }
+        }
+        self.router.lock().install_map(new_map);
+        self.view.lock().adopt_epoch(epoch);
+        Ok(epoch)
     }
 
     /// Snapshots `node`'s durable log — every record persisted to its

@@ -47,6 +47,34 @@ pub(crate) enum NodeMsg {
         /// Where to send them.
         reply: Sender<Vec<LogEntry>>,
     },
+    /// Rejoiner side of catch-up, step 1: report the newest durable
+    /// version per key (served from NVM even while crashed — this *is*
+    /// the "replay your own log first" step: the summary is what local
+    /// replay reconstructs).
+    QuerySummary {
+        /// Where to send the summary.
+        reply: Sender<Vec<(Key, Ts)>>,
+    },
+    /// Donor side of catch-up, step 2: ship the durable records the
+    /// rejoiner's summary shows it missed.
+    ShipDelta {
+        /// The rejoiner's per-key durable high-water marks.
+        have: Vec<(Key, Ts)>,
+        /// Where to send the missing versions.
+        reply: Sender<Vec<LogEntry>>,
+    },
+    /// Re-replication cutover: adopt `map` iff its placement epoch is
+    /// newer, installing `entries` (the background copy) first when this
+    /// node is the new replica.
+    InstallPlacement {
+        /// The new placement, epoch included.
+        map: minos_types::ShardMap,
+        /// Copied records for a node joining a group (empty for
+        /// bystanders, who only swap their routing map).
+        entries: Vec<LogEntry>,
+        /// Signaled once the install is visible (new-replica side).
+        done: Option<Sender<()>>,
+    },
     /// Rejoiner side of recovery: replay shipped entries, install the
     /// rebuilt records, resume service.
     Revive {
@@ -296,6 +324,21 @@ impl NodeLoop {
                     // recovery and post-crash durability audits possible.
                     let _ = reply.send(self.durable.entries_since(since));
                 }
+                Ok(NodeMsg::QuerySummary { reply }) => {
+                    // Also served while crashed: the summary is derived
+                    // from the durable database the node's own log replay
+                    // reconstructs.
+                    let _ = reply.send(self.durable.summary());
+                }
+                Ok(NodeMsg::ShipDelta { have, reply }) => {
+                    let _ = reply.send(self.durable.delta_against(&have));
+                }
+                Ok(NodeMsg::InstallPlacement { map, entries, done }) if !self.crashed => {
+                    self.install_placement(map, &entries);
+                    if let Some(done) = done {
+                        let _ = done.send(());
+                    }
+                }
                 Ok(msg) if self.crashed => {
                     // A crashed node silently drains its inbox — but a
                     // client op racing the crash (sent before the failed
@@ -311,6 +354,10 @@ impl NodeLoop {
                         self.completions.lock().remove(&req);
                     }
                 }
+                // Unreachable in practice (the guarded arms above cover
+                // both crashed and alive), but guards don't count toward
+                // exhaustiveness.
+                Ok(NodeMsg::InstallPlacement { .. }) => {}
                 Ok(NodeMsg::Ev(ev)) => self.handle_event(ev),
                 Ok(NodeMsg::Frame { from, msgs }) => {
                     for msg in msgs {
@@ -468,6 +515,29 @@ impl NodeLoop {
             }
             g.observe(GaugeKind::HostSendQueue, node, self.rx.len() as u64);
         }
+    }
+
+    /// Re-replication cutover at this node: install the copied records
+    /// (when joining the group), then adopt the new map iff its epoch is
+    /// newer than the one in force — a stale cutover racing a newer view
+    /// change must lose.
+    fn install_placement(&mut self, map: minos_types::ShardMap, entries: &[LogEntry]) {
+        let newer = self
+            .cfg
+            .placement
+            .as_ref()
+            .is_none_or(|m| map.epoch() > m.epoch());
+        if !newer {
+            return;
+        }
+        if !entries.is_empty() {
+            self.durable.replay(entries);
+            for e in entries {
+                self.engine.install_recovered(e.key, e.ts, e.value.clone());
+            }
+        }
+        self.cfg.placement = Some(map.clone());
+        self.engine.set_placement(Some(map));
     }
 
     /// §III-E rejoin: a crash wiped the volatile state, so the protocol

@@ -20,10 +20,14 @@
 //! * **client → node**: `[u8 op][u64 client-req][op payload]` where op is
 //!   1=put `[key][scope_opt][value]`, 2=get `[key]`, 3=persist `[scope]`,
 //!   4=dump-durable (no payload; audit surface, served off the protocol
-//!   path)
+//!   path), 5=rejoin catch-up `[u32 count]{[key][ts]}` (a per-key version
+//!   summary; the reply is the donor's missing-version delta), 6=peer
+//!   status `[u16 peer][u8 up]` (the membership admin surface — the
+//!   control plane's failure detector marks peers down/recovered here)
 //! * **node → client**: `[u64 client-req][u8 status][payload]` — status
 //!   1=write-done `[ts]`, 2=read-done `[ts][value]`, 3=persist-done,
-//!   4=durable-log dump `[u32 count]` + entries, 0=error
+//!   4=durable-log dump `[u32 count]` + entries, 5=catch-up delta (same
+//!   encoding as 4), 6=peer-status ack, 0=error
 
 use crate::timer::{Scheduler, TimerWheel};
 use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
@@ -35,7 +39,7 @@ use minos_core::runtime::{
 };
 use minos_core::{DelayClass, Event, NodeEngine, ReqId};
 use minos_kv::DurableState;
-use minos_nvm::LogEntry;
+use minos_nvm::{decode_entries, encode_entries, DecodeOutcome, LogEntry};
 use minos_types::wire::{decode_peer_frame, encode_peer_frame};
 use minos_types::{
     ChaosSpec, DdpModel, FaultSpec, Key, Message, NodeId, ScopeId, ShardMap, Ts, Value,
@@ -98,6 +102,19 @@ pub struct TcpNodeConfig {
     /// replicates only its shards and expects clients to contact a
     /// replica of each key's shard ([`ShardedTcpClient`] does this).
     pub placement: Option<ShardMap>,
+    /// On-disk NVM log (`minos-noded --nvm-log`). Every persist is
+    /// appended to this file in the [`minos_nvm`] entry codec; on
+    /// startup the file is decoded and replayed — the "replay your own
+    /// durable log" half of a node rejoin. A truncated tail (torn final
+    /// append from a crash) is discarded, matching the codec's
+    /// crash-consistency contract. `None` keeps the log in memory only.
+    pub nvm_log: Option<PathBuf>,
+    /// Client-protocol address of a rejoin donor (`minos-noded
+    /// --rejoin-donor`). When set, the node completes its startup rejoin
+    /// before serving: after replaying its own log it sends the donor a
+    /// per-key version summary and installs the donor's catch-up delta —
+    /// exactly the versions it missed while down. `None` = fresh start.
+    pub rejoin_donor: Option<SocketAddr>,
 }
 
 enum In {
@@ -124,6 +141,22 @@ enum ClientOp {
     /// by the node loop, off the protocol path — the wire analogue of the
     /// threaded cluster's log-shipping snapshot.
     DumpDurable,
+    /// Rejoin catch-up (op 5): the caller is a rejoining node shipping
+    /// its per-key durable version summary; the response is the donor's
+    /// delta — durable records strictly newer than (or absent from) the
+    /// summary. Served off the protocol path, like `DumpDurable`.
+    Delta {
+        have: Vec<(Key, Ts)>,
+    },
+    /// Membership notification (op 6): the control plane (the torture
+    /// harness, or an operator's failure detector) tells this node that
+    /// a peer went down or came back. The TCP runtime carries no
+    /// heartbeats of its own — frames to a dead peer are just lost — so
+    /// view changes arrive over this admin surface.
+    PeerStatus {
+        peer: NodeId,
+        up: bool,
+    },
 }
 
 /// Handle to a running TCP node (its threads stop on [`TcpNode::shutdown`]
@@ -131,8 +164,17 @@ enum ClientOp {
 pub struct TcpNode {
     tx: Sender<In>,
     engine_thread: Option<JoinHandle<()>>,
+    accept_threads: Vec<JoinHandle<()>>,
+    stop: Arc<std::sync::atomic::AtomicBool>,
     peer_addr: SocketAddr,
     client_addr: SocketAddr,
+    /// Write-halves of the established client connections, shared with
+    /// the engine's response path. Closed on shutdown so blocked client
+    /// reads observe the crash (a real dead process RSTs its sockets).
+    client_writers: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    /// Established inbound peer connections, closed on shutdown for the
+    /// same reason (and to release their reader threads).
+    peer_conns: Arc<Mutex<Vec<TcpStream>>>,
 }
 
 /// Reads one length-prefixed frame.
@@ -183,30 +225,47 @@ impl TcpNode {
         let client_addr = client_listener.local_addr()?;
 
         let (tx, rx) = unbounded::<In>();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut accept_threads = Vec::with_capacity(2);
 
         // Peer acceptor: one reader thread per inbound peer connection.
+        // The loop exits (dropping the listener, freeing the port) when
+        // `stop` is raised and a wake-up connection arrives — so a
+        // shut-down node can be re-served on the same address, which is
+        // what a rejoin after a process "crash" looks like in-process.
+        let peer_conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
         {
             let tx = tx.clone();
-            std::thread::Builder::new()
-                .name(format!("minos-tcp-peer-accept-{}", cfg.node))
-                .spawn(move || {
-                    for stream in peer_listener.incoming() {
-                        let Ok(mut stream) = stream else { continue };
-                        let tx = tx.clone();
-                        std::thread::spawn(move || {
-                            while let Ok(frame) = read_frame(&mut stream) {
-                                match decode_peer_frame(&frame) {
-                                    Ok((from, msgs)) => {
-                                        if tx.send(In::Peer(from, msgs)).is_err() {
-                                            break;
-                                        }
-                                    }
-                                    Err(_) => break,
-                                }
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&peer_conns);
+            accept_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("minos-tcp-peer-accept-{}", cfg.node))
+                    .spawn(move || {
+                        for stream in peer_listener.incoming() {
+                            if stop.load(std::sync::atomic::Ordering::SeqCst) {
+                                break;
                             }
-                        });
-                    }
-                })?;
+                            let Ok(mut stream) = stream else { continue };
+                            if let Ok(c) = stream.try_clone() {
+                                conns.lock().push(c);
+                            }
+                            let tx = tx.clone();
+                            std::thread::spawn(move || {
+                                while let Ok(frame) = read_frame(&mut stream) {
+                                    match decode_peer_frame(&frame) {
+                                        Ok((from, msgs)) => {
+                                            if tx.send(In::Peer(from, msgs)).is_err() {
+                                                break;
+                                            }
+                                        }
+                                        Err(_) => break,
+                                    }
+                                }
+                            });
+                        }
+                    })?,
+            );
         }
 
         // Client acceptor: per-connection reader + shared writer handle.
@@ -215,43 +274,50 @@ impl TcpNode {
         {
             let tx = tx.clone();
             let writers = Arc::clone(&client_writers);
-            std::thread::Builder::new()
-                .name(format!("minos-tcp-client-accept-{}", cfg.node))
-                .spawn(move || {
-                    let mut next_conn = 1u64;
-                    for stream in client_listener.incoming() {
-                        let Ok(stream) = stream else { continue };
-                        let conn = next_conn;
-                        next_conn += 1;
-                        if let Ok(w) = stream.try_clone() {
-                            writers.lock().insert(conn, w);
-                        } else {
-                            continue;
-                        }
-                        let tx = tx.clone();
-                        let writers = Arc::clone(&writers);
-                        let mut stream = stream;
-                        std::thread::spawn(move || {
-                            while let Ok(frame) = read_frame(&mut stream) {
-                                match parse_client_request(&frame) {
-                                    Some((creq, op)) => {
-                                        if tx.send(In::Client { conn, creq, op }).is_err() {
-                                            break;
-                                        }
-                                    }
-                                    None => break,
-                                }
+            let stop = Arc::clone(&stop);
+            accept_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("minos-tcp-client-accept-{}", cfg.node))
+                    .spawn(move || {
+                        let mut next_conn = 1u64;
+                        for stream in client_listener.incoming() {
+                            if stop.load(std::sync::atomic::Ordering::SeqCst) {
+                                break;
                             }
-                            writers.lock().remove(&conn);
-                        });
-                    }
-                })?;
+                            let Ok(stream) = stream else { continue };
+                            let conn = next_conn;
+                            next_conn += 1;
+                            if let Ok(w) = stream.try_clone() {
+                                writers.lock().insert(conn, w);
+                            } else {
+                                continue;
+                            }
+                            let tx = tx.clone();
+                            let writers = Arc::clone(&writers);
+                            let mut stream = stream;
+                            std::thread::spawn(move || {
+                                while let Ok(frame) = read_frame(&mut stream) {
+                                    match parse_client_request(&frame) {
+                                        Some((creq, op)) => {
+                                            if tx.send(In::Client { conn, creq, op }).is_err() {
+                                                break;
+                                            }
+                                        }
+                                        None => break,
+                                    }
+                                }
+                                writers.lock().remove(&conn);
+                            });
+                        }
+                    })?,
+            );
         }
 
         // Persist-completion timer (single destination: this engine).
         let wheel = TimerWheel::spawn(vec![tx.clone()]);
         let scheduler = wheel.scheduler();
 
+        let writers_for_shutdown = Arc::clone(&client_writers);
         let engine_tx = tx.clone();
         let engine_thread = std::thread::Builder::new()
             .name(format!("minos-tcp-engine-{}", cfg.node))
@@ -308,6 +374,65 @@ impl TcpNode {
                     broadcast: cfg.broadcast,
                 };
                 let mut durable = DurableState::with_persist_latency(cfg.persist_ns_per_kb);
+
+                // ---- Startup rejoin ----
+                // Step 1, replay your own durable log: decode the on-disk
+                // NVM file (surviving state from before the crash). A torn
+                // final append is truncated away, per the codec contract.
+                let mut log_file: Option<std::fs::File> = None;
+                if let Some(path) = cfg.nvm_log.as_ref() {
+                    if let Ok(bytes) = std::fs::read(path) {
+                        let (entries, outcome) = decode_entries(&bytes);
+                        if let DecodeOutcome::Truncated { valid_bytes } = outcome {
+                            eprintln!(
+                                "minos-tcp: NVM log {} has a torn tail; truncating to {valid_bytes} bytes",
+                                path.display()
+                            );
+                            if let Ok(f) =
+                                std::fs::OpenOptions::new().write(true).open(path)
+                            {
+                                let _ = f.set_len(valid_bytes as u64);
+                            }
+                        }
+                        durable.replay(&entries);
+                    }
+                    match std::fs::OpenOptions::new().create(true).append(true).open(path) {
+                        Ok(f) => log_file = Some(f),
+                        Err(e) => eprintln!(
+                            "minos-tcp: cannot open NVM log {}: {e}",
+                            path.display()
+                        ),
+                    }
+                }
+                // Step 2, donor catch-up: ship the per-key version summary
+                // to the donor and install exactly the versions this node
+                // missed while down — appended to the on-disk log so they
+                // survive a second crash.
+                if let Some(donor) = cfg.rejoin_donor {
+                    match TcpClient::connect(donor)
+                        .and_then(|mut c| c.fetch_delta(&durable.summary()))
+                    {
+                        Ok(delta) => {
+                            durable.replay(&delta);
+                            if let Some(f) = log_file.as_mut() {
+                                let _ = f.write_all(&encode_entries(&delta));
+                            }
+                        }
+                        Err(e) => eprintln!(
+                            "minos-tcp: rejoin catch-up from {donor} failed: {e}"
+                        ),
+                    }
+                }
+                // Raise the fresh engine's volatile state to the recovered
+                // durable state before the first client op is admitted.
+                let recovered: Vec<(Key, Ts, Value)> = durable
+                    .iter_durable()
+                    .map(|(k, (ts, v))| (*k, *ts, v.clone()))
+                    .collect();
+                for (k, ts, v) in recovered {
+                    engine.install_recovered(k, ts, v);
+                }
+
                 let mut peers: HashMap<NodeId, TcpStream> = HashMap::new();
                 // Client request bookkeeping: engine ReqId → (conn, creq).
                 let mut pending: HashMap<ReqId, (u64, u64)> = HashMap::new();
@@ -362,6 +487,77 @@ impl TcpNode {
                                 }
                             }
                         }
+                        In::Client {
+                            conn,
+                            creq,
+                            op: ClientOp::Delta { have },
+                        } => {
+                            // Donor side of a rejoin: ship the versions the
+                            // caller's summary is missing.
+                            let mut body = creq.to_le_bytes().to_vec();
+                            body.push(5);
+                            encode_log_dump(&durable.delta_against(&have), &mut body);
+                            let mut writers = client_writers.lock();
+                            if let Some(s) = writers.get_mut(&conn) {
+                                if write_frame(s, &body).is_err() {
+                                    writers.remove(&conn);
+                                }
+                            }
+                        }
+                        In::Client {
+                            conn,
+                            creq,
+                            op: ClientOp::PeerStatus { peer, up },
+                        } => {
+                            // The control plane's view change: shrink or
+                            // regrow the replication quorum, then drain any
+                            // transactions the exclusion unblocked.
+                            if peer != cfg.node {
+                                // Drop the cached connection either way: a
+                                // down peer's socket is dead, and a rejoined
+                                // peer listens on a *new* socket — a write
+                                // into the half-closed old one would succeed
+                                // at the TCP level and silently swallow the
+                                // frame.
+                                peers.remove(&peer);
+                                if up {
+                                    engine.mark_recovered(peer);
+                                } else {
+                                    engine.mark_failed(peer);
+                                }
+                                let mut out = Vec::new();
+                                engine.poll_now(&mut out);
+                                let mut handler = Batched::new(
+                                    TcpHandler {
+                                        node: cfg.node,
+                                        peer_addrs: &cfg.peers,
+                                        peers: &mut peers,
+                                        durable: &mut durable,
+                                        log_file: &mut log_file,
+                                        scheduler: &scheduler,
+                                        engine_tx: &engine_tx,
+                                        writers: &client_writers,
+                                        pending: &mut pending,
+                                    },
+                                    policy,
+                                );
+                                if let Some(chaos) = chaos.as_mut() {
+                                    let mut net = ChaosNet::new(&mut handler, chaos);
+                                    dispatcher.run_actions(&engine, out, &mut net);
+                                } else {
+                                    dispatcher.run_actions(&engine, out, &mut handler);
+                                }
+                                let _ = handler.into_parts();
+                            }
+                            let mut body = creq.to_le_bytes().to_vec();
+                            body.push(6);
+                            let mut writers = client_writers.lock();
+                            if let Some(s) = writers.get_mut(&conn) {
+                                if write_frame(s, &body).is_err() {
+                                    writers.remove(&conn);
+                                }
+                            }
+                        }
                         In::Client { conn, creq, op } => {
                             let req = ReqId(next_req);
                             next_req += 1;
@@ -377,7 +573,11 @@ impl TcpNode {
                                 ClientOp::Persist { scope } => {
                                     Event::ClientPersistScope { scope, req }
                                 }
-                                ClientOp::DumpDurable => unreachable!("handled above"),
+                                ClientOp::DumpDurable
+                                | ClientOp::Delta { .. }
+                                | ClientOp::PeerStatus { .. } => {
+                                    unreachable!("handled above")
+                                }
                             });
                         }
                     }
@@ -388,6 +588,7 @@ impl TcpNode {
                                 peer_addrs: &cfg.peers,
                                 peers: &mut peers,
                                 durable: &mut durable,
+                                log_file: &mut log_file,
                                 scheduler: &scheduler,
                                 engine_tx: &engine_tx,
                                 writers: &client_writers,
@@ -441,8 +642,12 @@ impl TcpNode {
         Ok(TcpNode {
             tx,
             engine_thread: Some(engine_thread),
+            accept_threads,
+            stop,
             peer_addr,
             client_addr,
+            client_writers: writers_for_shutdown,
+            peer_conns,
         })
     }
 
@@ -458,12 +663,39 @@ impl TcpNode {
         self.client_addr
     }
 
-    /// Stops the engine thread (listener threads exit when the process
-    /// does; inbound connections then fail, which peers treat as loss).
+    /// Stops the engine thread and both acceptor threads, releasing the
+    /// listening ports — so the node can later be re-served on the same
+    /// addresses ([`TcpNode::serve`] with `nvm_log`/`rejoin_donor` set),
+    /// which is what a crash → rejoin cycle looks like in-process.
+    ///
+    /// Every *established* connection is closed too, exactly as a dead
+    /// process's sockets would be: a client blocked on a response to an
+    /// op the node admitted but never finished gets an immediate error
+    /// (its write stays pending — the conformance checkers treat it as
+    /// such), and peers see dead sockets, i.e. frame loss — a crashed
+    /// node's signature.
     pub fn shutdown(mut self) {
         let _ = self.tx.send(In::Shutdown);
+        self.stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        // Wake both acceptors so they observe the stop flag and drop
+        // their listeners.
+        let _ = TcpStream::connect(self.peer_addr);
+        let _ = TcpStream::connect(self.client_addr);
+        for h in self.accept_threads.drain(..) {
+            let _ = h.join();
+        }
         if let Some(h) = self.engine_thread.take() {
             let _ = h.join();
+        }
+        // Sever established connections (the acceptors are gone, so no
+        // new ones can race in). `Shutdown::Both` reaches the underlying
+        // socket shared with the per-connection reader threads, waking
+        // them and the remote ends.
+        for (_, s) in self.client_writers.lock().drain() {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        for s in self.peer_conns.lock().drain(..) {
+            let _ = s.shutdown(std::net::Shutdown::Both);
         }
     }
 
@@ -484,6 +716,8 @@ struct TcpHandler<'a> {
     peer_addrs: &'a [SocketAddr],
     peers: &'a mut HashMap<NodeId, TcpStream>,
     durable: &'a mut DurableState,
+    /// Open on-disk NVM log (None = memory-only durability emulation).
+    log_file: &'a mut Option<std::fs::File>,
     scheduler: &'a Scheduler<In>,
     engine_tx: &'a Sender<In>,
     writers: &'a Arc<Mutex<HashMap<u64, TcpStream>>>,
@@ -532,7 +766,17 @@ impl FrameTransport for TcpHandler<'_> {
 impl ActionSink for TcpHandler<'_> {
     fn persist(&mut self, key: Key, ts: Ts, value: Value, _background: bool) {
         let ns = self.durable.device().persist_ns(value.len() as u64);
-        self.durable.persist(key, ts, value);
+        let lsn = self.durable.persist(key, ts, value.clone());
+        // Mirror the persist to the on-disk log so it survives a real
+        // process restart (the rejoin path replays this file).
+        if let Some(f) = self.log_file.as_mut() {
+            let _ = f.write_all(&encode_entries(&[LogEntry {
+                lsn,
+                key,
+                ts,
+                value,
+            }]));
+        }
         self.scheduler
             .send_after(ns, NodeId(0), In::PersistDone(key, ts));
     }
@@ -641,6 +885,33 @@ fn parse_client_request(frame: &[u8]) -> Option<(u64, ClientOp)> {
                 return None;
             }
             ClientOp::DumpDurable
+        }
+        5 => {
+            // [u32 count]{[u64 key][u32 ts_version][u16 ts_node]}
+            let count = u32::from_le_bytes(rest.get(..4)?.try_into().ok()?) as usize;
+            let mut rest = &rest[4..];
+            let mut have = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                let key = Key(u64::from_le_bytes(rest.get(..8)?.try_into().ok()?));
+                let version = u32::from_le_bytes(rest.get(8..12)?.try_into().ok()?);
+                let node = NodeId(u16::from_le_bytes(rest.get(12..14)?.try_into().ok()?));
+                rest = &rest[14..];
+                have.push((key, Ts { version, node }));
+            }
+            if !rest.is_empty() {
+                return None;
+            }
+            ClientOp::Delta { have }
+        }
+        6 => {
+            // [u16 peer][u8 up]
+            if rest.len() != 3 {
+                return None;
+            }
+            ClientOp::PeerStatus {
+                peer: NodeId(u16::from_le_bytes(rest[..2].try_into().ok()?)),
+                up: rest[2] == 1,
+            }
         }
         _ => return None,
     };
@@ -797,6 +1068,53 @@ impl TcpClient {
             return Err(std::io::Error::other("unexpected dump response"));
         }
         decode_log_dump(&resp[9..]).ok_or_else(|| std::io::Error::other("malformed log dump"))
+    }
+
+    /// Fetches a rejoin catch-up delta (op 5): ships `have` — this
+    /// node's per-key durable version summary — and returns the donor's
+    /// durable records strictly newer than (or absent from) it. Called
+    /// by a restarting node against its donor before it starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses.
+    pub fn fetch_delta(&mut self, have: &[(Key, Ts)]) -> std::io::Result<Vec<LogEntry>> {
+        let creq = self.fresh();
+        let mut body = vec![5u8];
+        body.extend_from_slice(&creq.to_le_bytes());
+        body.extend_from_slice(&u32::try_from(have.len()).unwrap_or(u32::MAX).to_le_bytes());
+        for (key, ts) in have {
+            body.extend_from_slice(&key.0.to_le_bytes());
+            body.extend_from_slice(&ts.version.to_le_bytes());
+            body.extend_from_slice(&ts.node.0.to_le_bytes());
+        }
+        let resp = self.roundtrip(body)?;
+        if resp[8] != 5 {
+            return Err(std::io::Error::other("unexpected delta response"));
+        }
+        decode_log_dump(&resp[9..]).ok_or_else(|| std::io::Error::other("malformed delta"))
+    }
+
+    /// Notifies the connected node that `peer` went down (`up = false`)
+    /// or rejoined (`up = true`) — op 6, the membership admin surface.
+    /// The TCP runtime has no in-band failure detector; the control
+    /// plane (an operator, or the torture harness) drives view changes
+    /// through this call so survivors shrink their replication quorum.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses.
+    pub fn set_peer_status(&mut self, peer: NodeId, up: bool) -> std::io::Result<()> {
+        let creq = self.fresh();
+        let mut body = vec![6u8];
+        body.extend_from_slice(&creq.to_le_bytes());
+        body.extend_from_slice(&peer.0.to_le_bytes());
+        body.push(u8::from(up));
+        let resp = self.roundtrip(body)?;
+        if resp[8] != 6 {
+            return Err(std::io::Error::other("unexpected peer-status response"));
+        }
+        Ok(())
     }
 
     /// Issues a `[PERSIST]sc` for `scope`.

@@ -1,0 +1,239 @@
+//! Live membership over the threaded runtime: epoch/lease view changes,
+//! staged rejoin with own-log replay + donor catch-up, second crashes
+//! mid-catch-up, and shard re-replication with epoch-gated cutover.
+
+use minos_cluster::Cluster;
+use minos_types::{
+    ClusterConfig, DdpModel, Key, MinosError, NodeId, NodeState, PersistencyModel, ScopeId,
+    ShardId, ShardMap,
+};
+use std::time::Duration;
+
+fn fast_cfg(nodes: usize) -> ClusterConfig {
+    let mut cfg = ClusterConfig::cloudlab().with_nodes(nodes);
+    cfg.wire_latency_ns = 20_000;
+    cfg.failure_timeout_ns = 40_000_000;
+    cfg
+}
+
+/// 4 shards × 2 replicas over 8 nodes: groups {0,1} {2,3} {4,5} {6,7}.
+fn sharded_cfg() -> ClusterConfig {
+    let mut cfg = ClusterConfig::cloudlab().with_placement(ShardMap::uniform(4, 8, 2));
+    cfg.wire_latency_ns = 20_000;
+    cfg.failure_timeout_ns = 40_000_000;
+    cfg
+}
+
+/// The ISSUE acceptance criterion: a rejoined node provably serves reads
+/// after catch-up — including versions written while it was down — and
+/// every view transition burns the epochs the state machine promises.
+#[test]
+fn rejoined_node_serves_post_catchup_reads_under_every_model() {
+    for model in DdpModel::all_lin() {
+        let cl = Cluster::spawn(fast_cfg(3), model);
+        let scoped = model.persistency == PersistencyModel::Scope;
+        assert_eq!(cl.view_epoch(), 1, "{model}: fresh view starts at 1");
+
+        let sc = scoped.then_some(ScopeId(1));
+        cl.put_scoped(NodeId(0), Key(1), "pre".into(), sc).unwrap();
+        if let Some(sc) = sc {
+            cl.persist_scope(NodeId(0), sc).unwrap();
+        }
+
+        cl.crash_node(NodeId(2));
+        assert!(cl.await_failure_detection(NodeId(2), Duration::from_secs(5)));
+        assert_eq!(cl.view_epoch(), 2, "{model}: crash bumps the epoch");
+        assert_eq!(
+            cl.membership().state(NodeId(2)).unwrap(),
+            NodeState::Down,
+            "{model}"
+        );
+
+        // Written while node 2 is down — the version catch-up must ship it.
+        let sc2 = scoped.then_some(ScopeId(2));
+        cl.put_scoped(NodeId(1), Key(2), "during".into(), sc2)
+            .unwrap();
+        if let Some(sc2) = sc2 {
+            cl.persist_scope(NodeId(1), sc2).unwrap();
+        }
+
+        let epoch = cl.rejoin_node(NodeId(2)).unwrap();
+        assert_eq!(epoch, 3, "{model}: rejoin bumps the epoch again");
+        assert_eq!(
+            cl.membership().state(NodeId(2)).unwrap(),
+            NodeState::Serving,
+            "{model}"
+        );
+
+        // The rejoined node serves reads itself (no failover routing in
+        // an unsharded cluster: NodeId(2) coordinates its own reads).
+        assert_eq!(
+            cl.get(NodeId(2), Key(1)).unwrap(),
+            "pre",
+            "{model}: pre-crash version lost on rejoin"
+        );
+        assert_eq!(
+            cl.get(NodeId(2), Key(2)).unwrap(),
+            "during",
+            "{model}: down-window version not caught up"
+        );
+        // And accepts new writes as a coordinator again.
+        let sc3 = scoped.then_some(ScopeId(3));
+        cl.put_scoped(NodeId(2), Key(3), "post".into(), sc3)
+            .unwrap_or_else(|e| panic!("{model}: rejoined node rejected a write: {e}"));
+        assert_eq!(cl.get(NodeId(0), Key(3)).unwrap(), "post", "{model}");
+        cl.shutdown();
+    }
+}
+
+/// The failure-matrix hole named in the ISSUE: crash → rejoin → second
+/// crash *mid-catch-up*. The staged API makes the window explicit — the
+/// second crash moves the view CatchingUp → Down, the stale ticket is
+/// rejected, and a later full rejoin still works.
+#[test]
+fn second_crash_mid_catchup_aborts_and_later_rejoin_succeeds() {
+    let cl = Cluster::spawn(fast_cfg(3), DdpModel::lin(PersistencyModel::Synchronous));
+    cl.put(NodeId(0), Key(1), "pre".into()).unwrap();
+
+    cl.crash_node(NodeId(1));
+    assert!(cl.await_failure_detection(NodeId(1), Duration::from_secs(5)));
+    let epoch_down = cl.view_epoch();
+
+    // Catch-up fetched, cutover not yet performed…
+    let ticket = cl.begin_rejoin(NodeId(1)).unwrap();
+    assert_eq!(ticket.pinned_epoch, epoch_down, "catch-up pins the epoch");
+    assert_eq!(
+        cl.membership().state(NodeId(1)).unwrap(),
+        NodeState::CatchingUp
+    );
+
+    // …and the node dies again before it completes.
+    cl.crash_node(NodeId(1));
+    assert_eq!(
+        cl.membership().state(NodeId(1)).unwrap(),
+        NodeState::Down,
+        "second crash aborts the catch-up"
+    );
+    assert_eq!(
+        cl.view_epoch(),
+        epoch_down,
+        "an aborted catch-up does not burn an epoch"
+    );
+    match cl.complete_rejoin(ticket) {
+        Err(MinosError::Membership(_)) => {}
+        other => panic!("stale ticket must be rejected, got {other:?}"),
+    }
+
+    // Survivors were never told the node recovered: writes still route
+    // around it and the key stays served.
+    cl.put(NodeId(0), Key(2), "still-down".into()).unwrap();
+
+    // A later full rejoin walks the state machine cleanly.
+    let epoch = cl.rejoin_node(NodeId(1)).unwrap();
+    assert_eq!(epoch, epoch_down + 1);
+    assert_eq!(cl.get(NodeId(1), Key(1)).unwrap(), "pre");
+    assert_eq!(cl.get(NodeId(1), Key(2)).unwrap(), "still-down");
+    cl.shutdown();
+}
+
+#[test]
+fn rejoin_of_a_serving_node_is_rejected() {
+    let cl = Cluster::spawn(fast_cfg(3), DdpModel::lin(PersistencyModel::Synchronous));
+    match cl.rejoin_node(NodeId(0)) {
+        Err(MinosError::Membership(why)) => {
+            assert!(why.contains("n0"), "error names the node: {why}")
+        }
+        other => panic!("rejoin of a serving node must fail, got {other:?}"),
+    }
+    cl.shutdown();
+}
+
+/// Re-replication: after a replica of shard 0 dies, a new node is grafted
+/// into the group — background copy from the surviving donor, placement
+/// epoch bump, epoch-gated cutover — and then serves the shard's data
+/// locally.
+#[test]
+fn rereplication_restores_the_replication_factor() {
+    let cl = Cluster::spawn(sharded_cfg(), DdpModel::lin(PersistencyModel::Synchronous));
+    // Shard 0 is keys ≡ 0 (mod 4), served by group {0,1}.
+    cl.put(NodeId(0), Key(0), "s0-a".into()).unwrap();
+    cl.put(NodeId(0), Key(4), "s0-b".into()).unwrap();
+    cl.put(NodeId(0), Key(1), "s1-a".into()).unwrap(); // other shard: must NOT be copied
+
+    cl.crash_node(NodeId(1));
+    assert!(cl.await_failure_detection(NodeId(1), Duration::from_secs(5)));
+    let map = cl.placement().unwrap();
+    assert_eq!(
+        map.epoch(),
+        1,
+        "crash alone does not change the placement map"
+    );
+
+    // Graft node 7 into shard 0's group; donor must be the survivor n0.
+    let epoch = cl.rereplicate(ShardId(0), NodeId(7)).unwrap();
+    assert_eq!(epoch, 2, "re-replication bumps the placement epoch");
+    let map = cl.placement().unwrap();
+    assert!(
+        map.is_replica(NodeId(7), Key(0)),
+        "n7 now replicates shard 0"
+    );
+    assert_eq!(map.epoch(), 2);
+
+    // The new replica serves shard 0's data *locally* — reads submitted
+    // at n7 for shard-0 keys are coordinated by n7 itself under the
+    // origin-if-replica rule, so this proves the background copy landed.
+    assert_eq!(cl.get(NodeId(7), Key(0)).unwrap(), "s0-a");
+    assert_eq!(cl.get(NodeId(7), Key(4)).unwrap(), "s0-b");
+
+    // The copy was shard-filtered: n7's durable log holds no shard-1 key.
+    let log = cl.durable_log(NodeId(7)).unwrap();
+    assert!(
+        log.iter().all(|e| map.shard_of(e.key) == ShardId(0)),
+        "re-replication leaked foreign-shard records: {log:?}"
+    );
+
+    // New writes to shard 0 replicate to the grafted node too.
+    cl.put(NodeId(0), Key(8), "s0-c".into()).unwrap();
+    assert_eq!(cl.get(NodeId(7), Key(8)).unwrap(), "s0-c");
+    cl.shutdown();
+}
+
+#[test]
+fn rereplication_is_rejected_without_a_donor_or_on_unsharded_clusters() {
+    let cl = Cluster::spawn(fast_cfg(3), DdpModel::lin(PersistencyModel::Synchronous));
+    match cl.rereplicate(ShardId(0), NodeId(2)) {
+        Err(MinosError::Membership(why)) => assert!(why.contains("sharded"), "{why}"),
+        other => panic!("unsharded rereplicate must fail, got {other:?}"),
+    }
+    cl.shutdown();
+
+    let cl = Cluster::spawn(sharded_cfg(), DdpModel::lin(PersistencyModel::Synchronous));
+    cl.crash_node(NodeId(0));
+    cl.crash_node(NodeId(1));
+    assert!(cl.await_failure_detection(NodeId(0), Duration::from_secs(5)));
+    assert!(cl.await_failure_detection(NodeId(1), Duration::from_secs(5)));
+    match cl.rereplicate(ShardId(0), NodeId(7)) {
+        Err(MinosError::Membership(why)) => assert!(why.contains("donor"), "{why}"),
+        other => panic!("whole group down: no donor, got {other:?}"),
+    }
+    cl.shutdown();
+}
+
+/// Leases: serving nodes renew against the view's wall-clock timebase;
+/// a down node cannot renew and shows up in the expired set.
+#[test]
+fn leases_renew_for_serving_nodes_and_lapse_for_down_ones() {
+    let cl = Cluster::spawn(fast_cfg(3), DdpModel::lin(PersistencyModel::Synchronous));
+    let view = cl.membership();
+    for n in 0..3u16 {
+        assert!(view.lease_expiry(NodeId(n)).is_some());
+    }
+    cl.crash_node(NodeId(2));
+    let view = cl.membership();
+    assert!(
+        view.lease_expiry(NodeId(2)).is_none(),
+        "mark_down revokes the lease"
+    );
+    assert_eq!(view.serving_nodes(), vec![NodeId(0), NodeId(1)]);
+    cl.shutdown();
+}

@@ -56,6 +56,8 @@ fn spawn_tcp_cluster_full(
                 chaos: None,
                 fault: None,
                 placement: placement.clone(),
+                nvm_log: None,
+                rejoin_donor: None,
             })
             .expect("bind node")
         })
@@ -314,4 +316,89 @@ fn sharded_tcp_scope_flush_follows_routed_writes() {
     for n in nodes {
         n.shutdown();
     }
+}
+
+/// The full TCP crash → rejoin cycle in-process: a node with an on-disk
+/// NVM log is shut down (its ports are released), survivors are told via
+/// the peer-status admin op and keep serving with a shrunk quorum, and
+/// the node is then re-served on the *same* addresses with
+/// `rejoin_donor` set — replaying its own log file, catching up the
+/// down-window writes from the donor, and serving them locally.
+#[test]
+fn tcp_node_rejoins_with_log_replay_and_donor_catchup() {
+    let model = DdpModel::lin(PersistencyModel::Synchronous);
+    let peers = free_addrs(3);
+    let client_addrs = free_addrs(3);
+    let log_path = std::env::temp_dir().join(format!(
+        "minos-tcp-rejoin-{}-{:?}.nvmlog",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&log_path);
+    let cfg_for = |i: u16| TcpNodeConfig {
+        node: NodeId(i),
+        model,
+        peers: peers.clone(),
+        client_addr: client_addrs[i as usize],
+        persist_ns_per_kb: 1295,
+        batching: false,
+        broadcast: false,
+        trace_out: None,
+        metrics_out: None,
+        metrics_interval: Duration::from_secs(1),
+        chaos: None,
+        fault: None,
+        placement: None,
+        nvm_log: (i == 2).then(|| log_path.clone()),
+        rejoin_donor: None,
+    };
+    let n0 = TcpNode::serve(cfg_for(0)).unwrap();
+    let n1 = TcpNode::serve(cfg_for(1)).unwrap();
+    let n2 = TcpNode::serve(cfg_for(2)).unwrap();
+    let clients: Vec<SocketAddr> = [&n0, &n1, &n2].iter().map(|n| n.client_addr()).collect();
+
+    let mut c0 = TcpClient::connect(clients[0]).unwrap();
+    c0.put(Key(1), b"pre", None).unwrap();
+
+    // Crash node 2 (ports released) and tell the survivors — the TCP
+    // runtime's failure detection is the control plane's job.
+    n2.shutdown();
+    c0.set_peer_status(NodeId(2), false).unwrap();
+    TcpClient::connect(clients[1])
+        .unwrap()
+        .set_peer_status(NodeId(2), false)
+        .unwrap();
+
+    // The down-window write: completes against the shrunk quorum, and
+    // node 2 must learn it during catch-up (it never saw the frames).
+    c0.put(Key(2), b"during", None).unwrap();
+
+    // Rejoin: same node id, same addresses, own log + donor catch-up.
+    let n2 = TcpNode::serve(TcpNodeConfig {
+        rejoin_donor: Some(clients[0]),
+        ..cfg_for(2)
+    })
+    .unwrap();
+    c0.set_peer_status(NodeId(2), true).unwrap();
+    TcpClient::connect(clients[1])
+        .unwrap()
+        .set_peer_status(NodeId(2), true)
+        .unwrap();
+
+    // The rejoined node serves both its replayed and caught-up versions.
+    let mut c2 = TcpClient::connect(n2.client_addr()).unwrap();
+    assert_eq!(c2.get(Key(1)).unwrap(), b"pre", "own-log replay");
+    assert_eq!(c2.get(Key(2)).unwrap(), b"during", "donor catch-up");
+    // And both are in its durable log (the catch-up was persisted).
+    let durable: Vec<Key> = c2.dump_durable().unwrap().iter().map(|e| e.key).collect();
+    assert!(durable.contains(&Key(1)) && durable.contains(&Key(2)));
+
+    // The node is a full replica again: a new write reaches it.
+    c0.put(Key(3), b"post", None).unwrap();
+    assert_eq!(c2.get(Key(3)).unwrap(), b"post");
+
+    for n in [n0, n1, n2] {
+        n.shutdown();
+    }
+    let _ = std::fs::remove_file(&log_path);
 }

@@ -24,7 +24,7 @@ use crate::runtime::{
     ActionSink, DispatchStats, Dispatcher, ODispatchStats, ODispatcher, OSink, ShardRouter,
     Transport,
 };
-use minos_types::{DdpModel, Key, NodeId, ScopeId, ShardMap, Ts, Value};
+use minos_types::{DdpModel, Key, MembershipView, NodeId, ScopeId, ShardMap, Ts, Value};
 use std::collections::{BTreeMap, VecDeque};
 
 /// A client-visible completion observed by a loopback cluster.
@@ -146,12 +146,23 @@ pub struct BCluster {
     parents: BTreeMap<ReqId, ParentOp>,
     /// Submitted-minus-completed keyed ops per shard (sharded only).
     inflight_by_shard: BTreeMap<u32, u64>,
+    /// Epoch/lease membership view, advanced by
+    /// [`BCluster::crash_node`]/[`BCluster::rejoin_node`]. The loopback
+    /// harness has no clock, so the dispatch-step counter stands in for
+    /// nanoseconds and leases are granted generously — lease *expiry* is
+    /// the timed runtimes' concern; loopback exercises the view changes.
+    view: MembershipView,
 }
 
 /// Dispatch steps between telemetry samples on the loopback clusters.
 /// The loopback harness has no clock, so the sequence counter paces the
 /// gauges; 64 keeps the lock-table scan off the hot path.
 const LOOPBACK_SAMPLE_STEPS: u64 = 64;
+
+/// Lease duration on the loopback clusters, in the step-counter "clock".
+/// Effectively never expires within a test run — the loopback harness
+/// exercises view *changes*, not lease timing.
+const LOOPBACK_LEASE: u64 = 1 << 40;
 
 /// xorshift64*, used for seeded event-order scrambling without pulling a
 /// random-number dependency into the protocol crate.
@@ -253,6 +264,7 @@ impl BCluster {
             router: ShardRouter::new(None),
             parents: BTreeMap::new(),
             inflight_by_shard: BTreeMap::new(),
+            view: MembershipView::new(n, LOOPBACK_LEASE, 0),
         }
     }
 
@@ -670,6 +682,119 @@ impl BCluster {
         }
         first
     }
+
+    /// The epoch/lease membership view in force.
+    #[must_use]
+    pub fn membership(&self) -> &MembershipView {
+        &self.view
+    }
+
+    /// The current view epoch (bumped by every crash and every completed
+    /// rejoin).
+    #[must_use]
+    pub fn view_epoch(&self) -> u64 {
+        self.view.epoch()
+    }
+
+    /// Crashes `node`: its volatile state is lost (the engine is rebuilt
+    /// fresh), events queued for it are dropped, NVM completions it was
+    /// awaiting are discarded, every surviving engine excludes it from
+    /// its acknowledgment quorums, and the view epoch advances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the cluster.
+    pub fn crash_node(&mut self, node: NodeId) {
+        let ni = node.0 as usize;
+        let n = self.engines.len();
+        let model = self.engines[ni].model();
+        self.engines[ni] = NodeEngine::new(node, n, model);
+        self.engines[ni].set_placement(self.router.map().cloned());
+        self.dispatchers[ni] = Dispatcher::new();
+        self.queue.retain(|(to, _)| *to != node);
+        self.held_persists.retain(|(at, _, _)| *at != node);
+        self.view.mark_down(node).expect("crash a known node");
+        for i in 0..n {
+            if i != ni {
+                self.engines[i].mark_failed(node);
+            }
+        }
+        // In-flight transactions blocked on the dead node's ack
+        // re-evaluate against the shrunken quorum.
+        self.poke_all();
+    }
+
+    /// Rejoins crashed `node` with `donor` as the catch-up source: the
+    /// fresh engine installs every record the donor replicates on
+    /// `node`'s shards (the loopback stand-in for durable-log replay
+    /// plus the donor's missing-version delta — loopback has no
+    /// persistence layer, so the donor copy *is* the recovered state),
+    /// the survivors re-admit it to their quorums, and the epoch
+    /// advances again.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `node` is down and `donor` is serving.
+    pub fn rejoin_node(&mut self, node: NodeId, donor: NodeId) {
+        assert!(
+            self.view.is_serving(donor),
+            "rejoin donor {donor} is not serving"
+        );
+        self.view.begin_rejoin(node).expect("rejoin a down node");
+        let ni = node.0 as usize;
+        let records: Vec<(Key, Ts, Value)> = self.engines[donor.0 as usize]
+            .keys()
+            .into_iter()
+            .filter(|&k| self.engines[ni].is_replica(k))
+            .map(|k| {
+                let e = &self.engines[donor.0 as usize];
+                (
+                    k,
+                    e.record_meta(k).volatile_ts,
+                    e.record_value(k).unwrap_or_default(),
+                )
+            })
+            .collect();
+        for (k, ts, v) in records {
+            self.engines[ni].install_recovered(k, ts, v);
+        }
+        for i in 0..self.engines.len() {
+            let other = NodeId(i as u16);
+            if other == node {
+                continue;
+            }
+            self.engines[i].mark_recovered(node);
+            // The rebuilt engine starts with everyone alive; teach it
+            // about peers that are still down.
+            if !self.view.is_serving(other) {
+                self.engines[ni].mark_failed(other);
+            }
+        }
+        self.view
+            .complete_rejoin(node, self.steps)
+            .expect("complete rejoin");
+        self.poke_all();
+    }
+
+    /// Drains the unblock actions a view change releases: every engine
+    /// re-evaluates its in-flight transactions now (the timed runtimes
+    /// do this on their next timer tick).
+    fn poke_all(&mut self) {
+        let pre = self.completions.len();
+        for i in 0..self.engines.len() {
+            let mut out = Vec::new();
+            self.engines[i].poll_now(&mut out);
+            let mut handler = BLoopHandler {
+                node: NodeId(i as u16),
+                auto_persist: self.auto_persist,
+                queue: &mut self.queue,
+                held_persists: &mut self.held_persists,
+                completions: &mut self.completions,
+            };
+            self.dispatchers[i].run_actions(&self.engines[i], out, &mut handler);
+        }
+        self.absorb_completions(pre);
+    }
 }
 
 /// Loopback driver for a cluster of MINOS-O engines (host + SmartNIC per
@@ -695,6 +820,10 @@ pub struct OCluster {
     parents: BTreeMap<ReqId, ParentOp>,
     /// Submitted-minus-completed keyed ops per shard (sharded only).
     inflight_by_shard: BTreeMap<u32, u64>,
+    /// Epoch/lease membership view (see [`BCluster`]'s field). The
+    /// offloaded engine carries no failure detector, so O-cluster view
+    /// changes are *quiesced* — see [`OCluster::crash_node`].
+    view: MembershipView,
 }
 
 /// The loopback handler for MINOS-O: PCIe descriptors and FIFO drains
@@ -787,6 +916,7 @@ impl OCluster {
             router: ShardRouter::new(None),
             parents: BTreeMap::new(),
             inflight_by_shard: BTreeMap::new(),
+            view: MembershipView::new(n, LOOPBACK_LEASE, 0),
         }
     }
 
@@ -1151,5 +1281,80 @@ impl OCluster {
             );
         }
         first
+    }
+
+    /// The epoch/lease membership view in force.
+    #[must_use]
+    pub fn membership(&self) -> &MembershipView {
+        &self.view
+    }
+
+    /// The current view epoch.
+    #[must_use]
+    pub fn view_epoch(&self) -> u64 {
+        self.view.epoch()
+    }
+
+    /// Crashes `node` between client batches: its engine is rebuilt
+    /// fresh (volatile loss), queued events for it are dropped, and the
+    /// view epoch advances.
+    ///
+    /// The offloaded engine has no failure detector — its quorums always
+    /// span the full replica group — so O-cluster crash/rejoin is
+    /// *quiesced*: every engine must be idle when the view changes. A
+    /// Synchronous write coordinated elsewhere would otherwise wait
+    /// forever for the dead node's acknowledgment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any engine has an operation in flight.
+    pub fn crash_node(&mut self, node: NodeId) {
+        assert!(
+            self.engines.iter().all(ONodeEngine::is_quiescent),
+            "O-cluster view changes must be quiesced"
+        );
+        let ni = node.0 as usize;
+        let n = self.engines.len();
+        let model = self.engines[ni].model();
+        self.engines[ni] = ONodeEngine::new(node, n, model);
+        self.engines[ni].set_placement(self.router.map().cloned());
+        self.dispatchers[ni] = ODispatcher::new();
+        self.queue.retain(|(to, _)| *to != node);
+        self.view.mark_down(node).expect("crash a known node");
+    }
+
+    /// Rejoins crashed `node` with `donor` as the catch-up source (see
+    /// [`BCluster::rejoin_node`]); like [`OCluster::crash_node`], the
+    /// cluster must be quiescent.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `node` is down and `donor` is serving.
+    pub fn rejoin_node(&mut self, node: NodeId, donor: NodeId) {
+        assert!(
+            self.view.is_serving(donor),
+            "rejoin donor {donor} is not serving"
+        );
+        self.view.begin_rejoin(node).expect("rejoin a down node");
+        let ni = node.0 as usize;
+        let records: Vec<(Key, Ts, Value)> = self.engines[donor.0 as usize]
+            .keys()
+            .into_iter()
+            .filter(|&k| self.engines[ni].is_replica(k))
+            .map(|k| {
+                let e = &self.engines[donor.0 as usize];
+                (
+                    k,
+                    e.record_meta(k).volatile_ts,
+                    e.record_value(k).unwrap_or_default(),
+                )
+            })
+            .collect();
+        for (k, ts, v) in records {
+            self.engines[ni].install_recovered(k, ts, v);
+        }
+        self.view
+            .complete_rejoin(node, self.steps)
+            .expect("complete rejoin");
     }
 }

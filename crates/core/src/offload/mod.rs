@@ -462,6 +462,22 @@ impl ONodeEngine {
         self.store.load(key, value);
     }
 
+    /// Installs a record recovered from a donor during a quiesced rejoin
+    /// (the loopback/DES membership paths): the update is already
+    /// globally consistent *and* durable, so `volatileTS`,
+    /// `glb_volatileTS` and `glb_durableTS` all advance to `ts` and no
+    /// PCIe or network traffic flows. Older-than-current entries are
+    /// ignored. Mirrors `NodeEngine::install_recovered`.
+    pub fn install_recovered(&mut self, key: Key, ts: Ts, value: Value) {
+        let rec = self.store.record_mut(key);
+        if ts >= rec.meta.volatile_ts {
+            rec.value = value;
+            rec.meta.raise_volatile(ts);
+        }
+        rec.meta.raise_glb_volatile(ts);
+        rec.meta.raise_glb_durable(ts);
+    }
+
     /// Record metadata accessor.
     #[must_use]
     pub fn record_meta(&self, key: Key) -> RecordMeta {

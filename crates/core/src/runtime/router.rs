@@ -60,6 +60,20 @@ impl ShardRouter {
         self.map.as_ref()
     }
 
+    /// The epoch-gated cutover: adopts `map` iff its placement epoch is
+    /// newer than the current map's (a re-replication or view change
+    /// published elsewhere). Returns true when the map was installed.
+    /// Scope routes and barriers in flight are kept — they name
+    /// coordinators already chosen, which stay valid across a cutover
+    /// (the old replicas keep serving until drained).
+    pub fn install_map(&mut self, map: ShardMap) -> bool {
+        let newer = self.map.as_ref().is_none_or(|m| map.epoch() > m.epoch());
+        if newer {
+            self.map = Some(map);
+        }
+        newer
+    }
+
     /// The node that serves an operation on `key` submitted at `origin`.
     #[must_use]
     pub fn serving(&self, origin: NodeId, key: Key) -> NodeId {
@@ -189,6 +203,21 @@ mod tests {
         let e1 = map.bump_epoch();
         let e2 = map.bump_epoch();
         assert!(e0 < e1 && e1 < e2);
+    }
+
+    #[test]
+    fn install_map_is_epoch_gated() {
+        let mut router = ShardRouter::new(Some(ShardMap::uniform(2, 4, 2)));
+        let mut newer = ShardMap::uniform(2, 4, 2);
+        newer.remove_node(NodeId(1)).unwrap(); // epoch 2
+        let stale = ShardMap::uniform(2, 4, 2); // epoch 1 again
+        assert!(router.install_map(newer.clone()));
+        assert_eq!(router.map().unwrap().epoch(), 2);
+        assert!(!router.install_map(stale), "stale epoch rejected");
+        assert_eq!(router.map().unwrap(), &newer);
+        // An unsharded router adopts any map (None has no epoch to gate on).
+        let mut bare = ShardRouter::new(None);
+        assert!(bare.install_map(ShardMap::uniform(1, 2, 2)));
     }
 
     #[test]

@@ -83,6 +83,34 @@ impl DurableState {
         applied
     }
 
+    /// The rejoin catch-up summary: the newest durable version per key.
+    /// A rejoining node sends this to its donor so the donor can ship
+    /// exactly the versions the rejoiner missed — LSNs are per-node and
+    /// not comparable across logs, so catch-up is keyed on versions.
+    #[must_use]
+    pub fn summary(&self) -> Vec<(Key, Ts)> {
+        self.db.iter().map(|(k, (ts, _))| (*k, *ts)).collect()
+    }
+
+    /// The donor side of rejoin catch-up: durable records strictly newer
+    /// than the rejoiner's [`DurableState::summary`] (or for keys the
+    /// rejoiner has never seen). Returned as log entries with this log's
+    /// LSNs; [`DurableState::replay`] re-assigns local LSNs on install.
+    #[must_use]
+    pub fn delta_against(&self, have: &[(Key, Ts)]) -> Vec<LogEntry> {
+        let known: std::collections::HashMap<Key, Ts> = have.iter().copied().collect();
+        self.db
+            .iter()
+            .filter(|(k, (ts, _))| known.get(k).is_none_or(|seen| ts > seen))
+            .map(|(k, (ts, v))| LogEntry {
+                lsn: 0, // re-assigned by the receiver's replay
+                key: *k,
+                ts: *ts,
+                value: v.clone(),
+            })
+            .collect()
+    }
+
     /// The emulated device (latency/accounting queries).
     #[must_use]
     pub fn device(&self) -> &NvmDevice {
@@ -125,6 +153,27 @@ mod tests {
         d.persist(Key(1), ts(0, 3), "older".into());
         assert_eq!(d.durable(Key(1)).unwrap().1, "newer");
         assert_eq!(d.head(), 2, "both logged");
+    }
+
+    #[test]
+    fn delta_ships_exactly_the_missed_versions() {
+        let mut donor = DurableState::new();
+        donor.persist(Key(1), ts(0, 2), "v2".into());
+        donor.persist(Key(2), ts(1, 1), "w".into());
+        donor.persist(Key(3), ts(0, 4), "x".into());
+
+        let mut rejoiner = DurableState::new();
+        rejoiner.persist(Key(1), ts(0, 1), "v1".into()); // stale
+        rejoiner.persist(Key(3), ts(0, 4), "x".into()); // current
+
+        let delta = donor.delta_against(&rejoiner.summary());
+        let keys: Vec<Key> = delta.iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![Key(1), Key(2)], "stale + unseen only");
+        rejoiner.replay(&delta);
+        assert_eq!(rejoiner.durable(Key(1)).unwrap().0, ts(0, 2));
+        assert_eq!(rejoiner.durable(Key(2)).unwrap().1, "w");
+        // Idempotent: a caught-up summary yields an empty delta.
+        assert!(donor.delta_against(&rejoiner.summary()).is_empty());
     }
 
     #[test]

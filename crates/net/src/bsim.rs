@@ -8,7 +8,8 @@ use minos_core::runtime::{self, ActionSink, DispatchStats, Dispatcher, ShardRout
 use minos_core::{Action, DelayClass, Event, NodeEngine, ReqId, Side};
 use minos_sim::{CorePool, DepthTracker, EventQueue, Resource, Time};
 use minos_types::{
-    DdpModel, Key, Message, MessageKind, NodeId, ScopeId, ShardMap, SimConfig, Ts, Value,
+    DdpModel, Key, MembershipView, Message, MessageKind, NodeId, ScopeId, ShardMap, SimConfig, Ts,
+    Value,
 };
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,6 +41,30 @@ struct TxTrace {
     foll_handle_total: Time,
     foll_handles: u32,
 }
+
+/// A scheduled membership action, applied when simulated time reaches
+/// it (before any protocol event at a later instant).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ViewChange {
+    /// Kill the node: volatile loss, survivors shrink their quorums.
+    Crash(NodeId),
+    /// Start the node's rejoin: donor copy now, re-admittance after the
+    /// catch-up transfer time.
+    BeginRejoin {
+        /// Rejoining node.
+        node: NodeId,
+        /// Serving peer that streams the catch-up delta.
+        donor: NodeId,
+    },
+    /// Catch-up done: the node re-enters every quorum and the epoch
+    /// advances (scheduled internally by `BeginRejoin`).
+    Readmit(NodeId),
+}
+
+/// Lease duration granted by the simulated views. Generous — the DES
+/// failure detector is the scheduled [`ViewChange`] list, not lease
+/// expiry; leases document liveness, they don't drive it here.
+pub(crate) const SIM_LEASE_NS: Time = 1 << 40;
 
 /// The MINOS-B discrete-event simulation.
 ///
@@ -83,6 +108,14 @@ pub struct BSim {
     parent_hwm: HashMap<ReqId, Time>,
     /// Submitted-minus-completed keyed ops per shard (sharded only).
     inflight_by_shard: BTreeMap<u32, u64>,
+    /// Scheduled membership actions, fired in time order interleaved
+    /// with the protocol event queue.
+    ctrl: Vec<(Time, ViewChange)>,
+    /// Epoch/lease membership view; simulated time feeds the lease
+    /// clock. Crashed and catching-up nodes are out of the serving set:
+    /// events addressed to them are dropped (frames to a dead node are
+    /// lost) and survivors exclude them from acknowledgment quorums.
+    view: MembershipView,
 }
 
 impl BSim {
@@ -119,6 +152,8 @@ impl BSim {
             parents: HashMap::new(),
             parent_hwm: HashMap::new(),
             inflight_by_shard: BTreeMap::new(),
+            ctrl: Vec::new(),
+            view: MembershipView::new(n, SIM_LEASE_NS, 0),
             cfg,
             arch,
         }
@@ -436,11 +471,171 @@ impl BSim {
         self.dispatchers[node.0 as usize].stats()
     }
 
+    /// Schedules a crash of `node` at simulated time `at`: its volatile
+    /// state is lost, events addressed to it from then on are dropped,
+    /// survivors shrink their acknowledgment quorums, and the view epoch
+    /// advances.
+    pub fn schedule_crash(&mut self, at: Time, node: NodeId) {
+        self.ctrl.push((at, ViewChange::Crash(node)));
+    }
+
+    /// Schedules the rejoin of a crashed `node` at `at`, with `donor` as
+    /// the catch-up source. The donor copy is installed at `at`; the
+    /// node re-enters the serving set (and the epoch advances) only
+    /// after the catch-up transfer time [`timing::catchup_ns`] — the
+    /// availability dip a rolling restart pays per node. The attempt is
+    /// dropped if `node` is not down or `donor` is not serving when the
+    /// action fires.
+    pub fn schedule_rejoin(&mut self, at: Time, node: NodeId, donor: NodeId) {
+        self.ctrl
+            .push((at, ViewChange::BeginRejoin { node, donor }));
+    }
+
+    /// The epoch/lease membership view in force.
+    #[must_use]
+    pub fn membership(&self) -> &MembershipView {
+        &self.view
+    }
+
+    /// The current view epoch.
+    #[must_use]
+    pub fn view_epoch(&self) -> u64 {
+        self.view.epoch()
+    }
+
+    /// Pops the earliest scheduled view change if it is due before (or
+    /// at) the next protocol event.
+    fn pop_ctrl_due(&mut self) -> Option<(Time, ViewChange)> {
+        let idx = self
+            .ctrl
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (t, _))| *t)
+            .map(|(i, _)| i)?;
+        let t = self.ctrl[idx].0;
+        if self.queue.peek_time().is_none_or(|evt| t <= evt) {
+            Some(self.ctrl.remove(idx))
+        } else {
+            None
+        }
+    }
+
+    /// Applies one due view change at simulated time `t`.
+    fn apply_view_change(&mut self, t: Time, vc: ViewChange) {
+        if let Some(v) = &self.vclock {
+            v.store(t, Ordering::Relaxed);
+        }
+        self.sample_gauges(t);
+        match vc {
+            ViewChange::Crash(node) => {
+                let ni = node.0 as usize;
+                let n = self.engines.len();
+                let model = self.engines[ni].model();
+                self.engines[ni] = NodeEngine::new(node, n, model);
+                self.engines[ni].set_placement(self.router.map().cloned());
+                self.dispatchers[ni] = Dispatcher::new();
+                if self.view.mark_down(node).is_err() {
+                    return;
+                }
+                for i in 0..n {
+                    if i != ni {
+                        self.engines[i].mark_failed(node);
+                    }
+                }
+                self.poke_all(t);
+            }
+            ViewChange::BeginRejoin { node, donor } => {
+                if !self.view.is_serving(donor) || self.view.begin_rejoin(node).is_err() {
+                    return;
+                }
+                let ni = node.0 as usize;
+                let records: Vec<(Key, Ts, Value)> = self.engines[donor.0 as usize]
+                    .keys()
+                    .into_iter()
+                    .filter(|&k| self.engines[ni].is_replica(k))
+                    .map(|k| {
+                        let e = &self.engines[donor.0 as usize];
+                        (
+                            k,
+                            e.record_meta(k).volatile_ts,
+                            e.record_value(k).unwrap_or_default(),
+                        )
+                    })
+                    .collect();
+                let bytes: u64 = records.iter().map(|(_, _, v)| v.len() as u64).sum();
+                let cost = timing::catchup_ns(&self.cfg, records.len() as u64, bytes);
+                for (k, ts, v) in records {
+                    self.engines[ni].install_recovered(k, ts, v);
+                }
+                self.ctrl.push((t + cost, ViewChange::Readmit(node)));
+            }
+            ViewChange::Readmit(node) => {
+                let ni = node.0 as usize;
+                for i in 0..self.engines.len() {
+                    let other = NodeId(i as u16);
+                    if other == node {
+                        continue;
+                    }
+                    self.engines[i].mark_recovered(node);
+                    // The rebuilt engine starts with everyone alive;
+                    // teach it about peers still out of the set.
+                    if !self.view.is_serving(other) {
+                        self.engines[ni].mark_failed(other);
+                    }
+                }
+                self.view
+                    .complete_rejoin(node, t)
+                    .expect("readmit follows begin_rejoin");
+                self.poke_all(t);
+            }
+        }
+    }
+
+    /// Re-evaluates every serving engine's wait conditions at `t`: a
+    /// view change may have made a quorum satisfiable (or a blocked
+    /// transaction re-targetable).
+    fn poke_all(&mut self, t: Time) {
+        for i in 0..self.engines.len() {
+            if !self.view.is_serving(NodeId(i as u16)) {
+                continue;
+            }
+            let mut out = Vec::new();
+            self.engines[i].poll_now(&mut out);
+            if out.is_empty() {
+                continue;
+            }
+            let mut handler = BSimHandler {
+                cfg: &self.cfg,
+                arch: self.arch,
+                node: NodeId(i as u16),
+                t,
+                end: t,
+                inv_key: None,
+                res: &mut self.nodes[i],
+                peer_rx: &mut self.pcie_rx,
+                queue: &mut self.queue,
+                completions: &mut self.completions,
+                traces: &mut self.traces,
+                gauges: &mut self.gauges,
+            };
+            self.dispatchers[i].run_actions(&self.engines[i], out, &mut handler);
+        }
+    }
+
     /// Processes one simulated event. Returns false when idle.
     pub fn step(&mut self) -> bool {
+        if let Some((t, vc)) = self.pop_ctrl_due() {
+            self.apply_view_change(t, vc);
+            return true;
+        }
         let Some((t, (node, ev))) = self.queue.pop() else {
             return false;
         };
+        // A node outside the serving set neither receives nor computes:
+        // frames addressed to it are lost on the wire.
+        if !self.view.is_serving(node) {
+            return true;
+        }
         let ni = node.0 as usize;
         if let Some(v) = &self.vclock {
             v.store(t, Ordering::Relaxed);

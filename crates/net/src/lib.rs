@@ -45,8 +45,8 @@ mod timing;
 pub use arch::Arch;
 pub use bsim::BSim;
 pub use driver::{
-    run_observed, run_observed_sharded, run_sharded, CompletionKind, CompletionRec, ObservedRun,
-    RunResult,
+    run_observed, run_observed_sharded, run_rolling_restart, run_sharded, AvailabilityRun,
+    CompletionKind, CompletionRec, ObservedRun, RunResult,
 };
 pub use osim::OSim;
-pub use timing::meta_cost;
+pub use timing::{catchup_ns, meta_cost};

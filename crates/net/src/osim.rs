@@ -1,6 +1,7 @@
 //! The simulated MINOS-O machine: SmartNIC-offloaded protocol execution.
 
 use crate::arch::Arch;
+use crate::bsim::{ViewChange, SIM_LEASE_NS};
 use crate::driver::{CompletionKind, CompletionRec};
 use crate::timing::{self, DISPATCH_NS};
 use minos_core::obs::{GaugeKind, GaugeSet, SharedSink, TraceClock, Tracer, GAUGE_NODE_ALL};
@@ -8,7 +9,8 @@ use minos_core::runtime::{self, ODispatchStats, ODispatcher, OSink, ShardRouter,
 use minos_core::{OAction, OEvent, ONodeEngine, PcieMsg, ReqId, Side};
 use minos_sim::{BoundedFifo, CorePool, DepthTracker, EventQueue, Resource, Time};
 use minos_types::{
-    DdpModel, Key, Message, MessageKind, NodeId, ScopeId, ShardMap, SimConfig, Ts, Value,
+    DdpModel, Key, MembershipView, Message, MessageKind, NodeId, ScopeId, ShardMap, SimConfig, Ts,
+    Value,
 };
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -76,6 +78,15 @@ pub struct OSim {
     parent_hwm: HashMap<ReqId, Time>,
     /// Submitted-minus-completed keyed ops per shard (sharded only).
     inflight_by_shard: BTreeMap<u32, u64>,
+    /// Scheduled membership actions (see [`crate::bsim::BSim`]). The
+    /// offloaded engine has no failure detector — its quorums always
+    /// span the full replica group — so O-side view changes are
+    /// *quiesced*: they fire only between client batches, and the
+    /// harness panics if an operation is still in flight.
+    ctrl: Vec<(Time, ViewChange)>,
+    /// Epoch/lease membership view; simulated time feeds the lease
+    /// clock.
+    view: MembershipView,
 }
 
 impl OSim {
@@ -114,6 +125,8 @@ impl OSim {
             parents: HashMap::new(),
             parent_hwm: HashMap::new(),
             inflight_by_shard: BTreeMap::new(),
+            ctrl: Vec::new(),
+            view: MembershipView::new(n, SIM_LEASE_NS, 0),
             cfg,
             arch,
         }
@@ -440,11 +453,118 @@ impl OSim {
         self.dispatchers[node.0 as usize].stats()
     }
 
+    /// Schedules a *quiesced* crash of `node` at `at`: every engine must
+    /// be idle when the action fires (the offloaded protocol has no
+    /// failure handling, so a mid-flight crash would stall the full-group
+    /// quorum forever). Volatile state is lost and the epoch advances.
+    pub fn schedule_crash(&mut self, at: Time, node: NodeId) {
+        self.ctrl.push((at, ViewChange::Crash(node)));
+    }
+
+    /// Schedules the quiesced rejoin of a crashed `node` at `at` with
+    /// `donor` as the catch-up source; the node re-enters the serving
+    /// set after [`timing::catchup_ns`].
+    pub fn schedule_rejoin(&mut self, at: Time, node: NodeId, donor: NodeId) {
+        self.ctrl
+            .push((at, ViewChange::BeginRejoin { node, donor }));
+    }
+
+    /// The epoch/lease membership view in force.
+    #[must_use]
+    pub fn membership(&self) -> &MembershipView {
+        &self.view
+    }
+
+    /// The current view epoch.
+    #[must_use]
+    pub fn view_epoch(&self) -> u64 {
+        self.view.epoch()
+    }
+
+    /// Pops the earliest scheduled view change if due before (or at) the
+    /// next protocol event.
+    fn pop_ctrl_due(&mut self) -> Option<(Time, ViewChange)> {
+        let idx = self
+            .ctrl
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (t, _))| *t)
+            .map(|(i, _)| i)?;
+        let t = self.ctrl[idx].0;
+        if self.queue.peek_time().is_none_or(|evt| t <= evt) {
+            Some(self.ctrl.remove(idx))
+        } else {
+            None
+        }
+    }
+
+    /// Applies one due view change at `t` (quiesced — see
+    /// [`OSim::schedule_crash`]).
+    fn apply_view_change(&mut self, t: Time, vc: ViewChange) {
+        assert!(
+            self.engines.iter().all(ONodeEngine::is_quiescent),
+            "O-sim view changes must be quiesced"
+        );
+        if let Some(v) = &self.vclock {
+            v.store(t, Ordering::Relaxed);
+        }
+        self.sample_gauges(t);
+        match vc {
+            ViewChange::Crash(node) => {
+                let ni = node.0 as usize;
+                let n = self.engines.len();
+                let model = self.engines[ni].model();
+                self.engines[ni] = ONodeEngine::new(node, n, model);
+                self.engines[ni].set_placement(self.router.map().cloned());
+                self.dispatchers[ni] = ODispatcher::new();
+                let _ = self.view.mark_down(node);
+            }
+            ViewChange::BeginRejoin { node, donor } => {
+                if !self.view.is_serving(donor) || self.view.begin_rejoin(node).is_err() {
+                    return;
+                }
+                let ni = node.0 as usize;
+                let records: Vec<(Key, Ts, Value)> = self.engines[donor.0 as usize]
+                    .keys()
+                    .into_iter()
+                    .filter(|&k| self.engines[ni].is_replica(k))
+                    .map(|k| {
+                        let e = &self.engines[donor.0 as usize];
+                        (
+                            k,
+                            e.record_meta(k).volatile_ts,
+                            e.record_value(k).unwrap_or_default(),
+                        )
+                    })
+                    .collect();
+                let bytes: u64 = records.iter().map(|(_, _, v)| v.len() as u64).sum();
+                let cost = timing::catchup_ns(&self.cfg, records.len() as u64, bytes);
+                for (k, ts, v) in records {
+                    self.engines[ni].install_recovered(k, ts, v);
+                }
+                self.ctrl.push((t + cost, ViewChange::Readmit(node)));
+            }
+            ViewChange::Readmit(node) => {
+                self.view
+                    .complete_rejoin(node, t)
+                    .expect("readmit follows begin_rejoin");
+            }
+        }
+    }
+
     /// Processes one simulated event. Returns false when idle.
     pub fn step(&mut self) -> bool {
+        if let Some((t, vc)) = self.pop_ctrl_due() {
+            self.apply_view_change(t, vc);
+            return true;
+        }
         let Some((t, (node, ev))) = self.queue.pop() else {
             return false;
         };
+        // A node outside the serving set neither receives nor computes.
+        if !self.view.is_serving(node) {
+            return true;
+        }
         let ni = node.0 as usize;
         if let Some(v) = &self.vclock {
             v.store(t, Ordering::Relaxed);

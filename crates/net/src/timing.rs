@@ -56,6 +56,17 @@ pub fn route_hop_ns(cfg: &SimConfig) -> Time {
     cfg.link_transfer_ns(64) + cfg.datacenter_rtt_ns / 2
 }
 
+/// Rejoin catch-up time: the donor streams `entries` recovered records
+/// totalling `bytes` payload bytes to the rejoining node as one
+/// background copy — a summary/delta request-response hop each way, the
+/// bulk link transfer, and one dispatch charge per installed record.
+/// The simulations keep the rejoiner out of the serving set for this
+/// long (the availability dip of a rolling restart).
+#[must_use]
+pub fn catchup_ns(cfg: &SimConfig, entries: u64, bytes: u64) -> Time {
+    2 * route_hop_ns(cfg) + cfg.link_transfer_ns(bytes) + entries * DISPATCH_NS
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

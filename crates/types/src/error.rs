@@ -33,6 +33,9 @@ pub enum MinosError {
     UnknownScope(u32),
     /// The cluster runtime shut down before the operation completed.
     Shutdown,
+    /// A membership transition or cutover was rejected (rejoin of a
+    /// serving node, second crash mid-catch-up, stale placement epoch…).
+    Membership(String),
 }
 
 impl fmt::Display for MinosError {
@@ -48,6 +51,7 @@ impl fmt::Display for MinosError {
             MinosError::NodeFailed(n) => write!(f, "node {n} has failed"),
             MinosError::UnknownScope(sc) => write!(f, "unknown scope sc{sc}"),
             MinosError::Shutdown => write!(f, "cluster is shutting down"),
+            MinosError::Membership(why) => write!(f, "membership violation: {why}"),
         }
     }
 }

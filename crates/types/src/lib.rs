@@ -37,6 +37,7 @@
 mod chaos;
 mod config;
 mod error;
+mod membership;
 mod message;
 mod model;
 mod record;
@@ -47,6 +48,7 @@ pub mod wire;
 pub use chaos::{ChaosSpec, FaultKind, FaultSpec, MsgChaos, MsgInjection};
 pub use config::{ClusterConfig, SimConfig};
 pub use error::{MinosError, Result};
+pub use membership::{MembershipError, MembershipView, NodeState, ViewMsg};
 pub use message::{Message, MessageKind, ScopeId};
 pub use model::{ConsistencyModel, DdpModel, PersistencyModel};
 pub use record::{Record, RecordMeta};

@@ -1,0 +1,480 @@
+//! Live membership: per-node serving leases and epoch-versioned views.
+//!
+//! MINOS's recovery story (§III-E) brings a crashed replica back by
+//! shipping it the durable-log suffix it missed; this module supplies the
+//! cluster-level bookkeeping that makes such a rejoin *safe to observe*:
+//!
+//! * every node holds a **serving lease** ([`MembershipView::renew`]) and
+//!   is only routed client operations while the lease is live;
+//! * the view carries an **epoch** that bumps on every serving-set change
+//!   (a node marked down, a rejoin completing, a re-replication cutover),
+//!   so stale routing or catch-up deltas can be rejected by comparing
+//!   epochs — the same epoch that versions the
+//!   [`ShardMap`](crate::ShardMap) placement;
+//! * a rejoining node moves through an explicit **catch-up state**
+//!   ([`NodeState::CatchingUp`]) during which it replays its own durable
+//!   log and fetches the missed suffix from a group peer; it re-enters
+//!   the serving set only at [`MembershipView::complete_rejoin`], which
+//!   is the epoch-gated cutover point.
+//!
+//! The state machine per node:
+//!
+//! ```text
+//!            lease expires / crash reported
+//!   Serving ─────────────────────────────────▶ Down      (epoch += 1)
+//!      ▲                                        │
+//!      │ complete_rejoin (epoch += 1)           │ begin_rejoin
+//!      │                                        ▼
+//!      └──────────────────────────────────  CatchingUp
+//!                                               │ crash mid-catch-up
+//!                                               └──▶ Down (abort_rejoin,
+//!                                                    no epoch change)
+//! ```
+//!
+//! Epochs bump only on serving-set *changes*: entering catch-up does not
+//! change who serves, so it does not bump; aborting a catch-up returns to
+//! `Down` without ever having served, so it does not bump either.
+
+use crate::shard::ShardMap;
+use crate::ts::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Where a node stands in the membership state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeState {
+    /// Holding a live lease; routed client operations.
+    Serving,
+    /// Crashed or lease-expired; excluded from quorums and routing.
+    Down,
+    /// Replaying its durable log and fetching the missed suffix from a
+    /// donor; not yet serving.
+    CatchingUp,
+}
+
+/// Errors from membership transitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MembershipError {
+    /// The node id is outside the view.
+    UnknownNode(NodeId),
+    /// The transition is invalid from the node's current state.
+    BadState {
+        /// The node whose transition was rejected.
+        node: NodeId,
+        /// Its state at the time.
+        state: NodeState,
+        /// The transition that was attempted.
+        wanted: &'static str,
+    },
+}
+
+impl std::fmt::Display for MembershipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MembershipError::UnknownNode(n) => write!(f, "node {n} is not in the view"),
+            MembershipError::BadState {
+                node,
+                state,
+                wanted,
+            } => {
+                write!(f, "node {node} is {state:?}; cannot {wanted}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MembershipError {}
+
+/// The epoch-versioned membership view: one state + lease per node.
+///
+/// Deterministic and time-free — callers supply `now_ns` explicitly, so
+/// the threaded cluster can feed wall-clock time while tests and the DES
+/// kernels feed virtual time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MembershipView {
+    /// View version; bumps on every serving-set change.
+    epoch: u64,
+    /// Lease duration granted by [`MembershipView::renew`].
+    lease_ns: u64,
+    states: BTreeMap<NodeId, NodeState>,
+    /// Lease expiry instant per node; absent = no live lease.
+    leases: BTreeMap<NodeId, u64>,
+}
+
+impl MembershipView {
+    /// A fresh view over nodes `0..n_nodes`, all serving with leases
+    /// granted at `now_ns` for `lease_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes` is zero.
+    #[must_use]
+    pub fn new(n_nodes: usize, lease_ns: u64, now_ns: u64) -> Self {
+        assert!(n_nodes > 0, "need at least one node");
+        let states = (0..n_nodes)
+            .map(|i| (NodeId(i as u16), NodeState::Serving))
+            .collect();
+        let leases = (0..n_nodes)
+            .map(|i| (NodeId(i as u16), now_ns.saturating_add(lease_ns)))
+            .collect();
+        MembershipView {
+            epoch: 1,
+            lease_ns,
+            states,
+            leases,
+        }
+    }
+
+    /// The view epoch. Strictly monotonic across serving-set changes.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The lease duration granted on renewal.
+    #[must_use]
+    pub fn lease_ns(&self) -> u64 {
+        self.lease_ns
+    }
+
+    /// A node's current state.
+    ///
+    /// # Errors
+    ///
+    /// [`MembershipError::UnknownNode`] for ids outside the view.
+    pub fn state(&self, node: NodeId) -> Result<NodeState, MembershipError> {
+        self.states
+            .get(&node)
+            .copied()
+            .ok_or(MembershipError::UnknownNode(node))
+    }
+
+    /// True when `node` is serving (regardless of lease freshness — an
+    /// expired lease is grounds for [`MembershipView::mark_down`], but
+    /// the node serves until the view actually changes).
+    #[must_use]
+    pub fn is_serving(&self, node: NodeId) -> bool {
+        self.states.get(&node) == Some(&NodeState::Serving)
+    }
+
+    /// The serving nodes, ascending.
+    #[must_use]
+    pub fn serving_nodes(&self) -> Vec<NodeId> {
+        self.states
+            .iter()
+            .filter(|(_, s)| **s == NodeState::Serving)
+            .map(|(n, _)| *n)
+            .collect()
+    }
+
+    /// Renews `node`'s lease to `now_ns + lease_ns`.
+    ///
+    /// A *late* renewal — after the old lease expired but before any
+    /// failure detector called [`MembershipView::mark_down`] — succeeds:
+    /// the node never left the serving set, so no view change happened
+    /// and no epoch is burned. Renewal by a `Down` or `CatchingUp` node
+    /// is rejected; such a node must go through the rejoin path.
+    ///
+    /// # Errors
+    ///
+    /// [`MembershipError::BadState`] unless the node is `Serving`;
+    /// [`MembershipError::UnknownNode`] for ids outside the view.
+    pub fn renew(&mut self, node: NodeId, now_ns: u64) -> Result<u64, MembershipError> {
+        match self.state(node)? {
+            NodeState::Serving => {
+                let until = now_ns.saturating_add(self.lease_ns);
+                self.leases.insert(node, until);
+                Ok(until)
+            }
+            state => Err(MembershipError::BadState {
+                node,
+                state,
+                wanted: "renew a serving lease",
+            }),
+        }
+    }
+
+    /// The expiry instant of `node`'s lease, if it holds one.
+    #[must_use]
+    pub fn lease_expiry(&self, node: NodeId) -> Option<u64> {
+        self.leases.get(&node).copied()
+    }
+
+    /// Serving nodes whose lease has expired at `now_ns` — the failure
+    /// detector's candidates for [`MembershipView::mark_down`]. A lease
+    /// expiring exactly at `now_ns` is still live (expiry is exclusive).
+    #[must_use]
+    pub fn expired(&self, now_ns: u64) -> Vec<NodeId> {
+        self.states
+            .iter()
+            .filter(|(n, s)| {
+                **s == NodeState::Serving && self.leases.get(*n).is_none_or(|&until| until < now_ns)
+            })
+            .map(|(n, _)| *n)
+            .collect()
+    }
+
+    /// Removes `node` from the serving set (crash reported or lease
+    /// expired): revokes its lease and bumps the epoch. Idempotent — a
+    /// second report of the same failure changes nothing and burns no
+    /// epoch. Returns the epoch in force afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`MembershipError::UnknownNode`] for ids outside the view.
+    pub fn mark_down(&mut self, node: NodeId) -> Result<u64, MembershipError> {
+        match self.state(node)? {
+            NodeState::Serving => {
+                self.states.insert(node, NodeState::Down);
+                self.leases.remove(&node);
+                self.epoch += 1;
+                Ok(self.epoch)
+            }
+            // Down stays down; a crash mid-catch-up is `abort_rejoin`'s
+            // job, but tolerating it here keeps detectors simple.
+            NodeState::Down | NodeState::CatchingUp => {
+                self.states.insert(node, NodeState::Down);
+                Ok(self.epoch)
+            }
+        }
+    }
+
+    /// Starts a rejoin: `Down` → `CatchingUp`. Returns the epoch the
+    /// catch-up is pinned to — deltas shipped to the rejoiner are valid
+    /// only while this epoch holds (the donor's group did not change
+    /// under it).
+    ///
+    /// # Errors
+    ///
+    /// [`MembershipError::BadState`] unless the node is `Down`.
+    pub fn begin_rejoin(&mut self, node: NodeId) -> Result<u64, MembershipError> {
+        match self.state(node)? {
+            NodeState::Down => {
+                self.states.insert(node, NodeState::CatchingUp);
+                Ok(self.epoch)
+            }
+            state => Err(MembershipError::BadState {
+                node,
+                state,
+                wanted: "begin rejoin",
+            }),
+        }
+    }
+
+    /// Completes a rejoin: `CatchingUp` → `Serving` with a fresh lease;
+    /// bumps the epoch (the serving set grew). Returns the new epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`MembershipError::BadState`] unless the node is `CatchingUp`.
+    pub fn complete_rejoin(&mut self, node: NodeId, now_ns: u64) -> Result<u64, MembershipError> {
+        match self.state(node)? {
+            NodeState::CatchingUp => {
+                self.states.insert(node, NodeState::Serving);
+                self.leases
+                    .insert(node, now_ns.saturating_add(self.lease_ns));
+                self.epoch += 1;
+                Ok(self.epoch)
+            }
+            state => Err(MembershipError::BadState {
+                node,
+                state,
+                wanted: "complete rejoin",
+            }),
+        }
+    }
+
+    /// Aborts a catch-up (the rejoiner crashed again mid-catch-up):
+    /// `CatchingUp` → `Down`. The node never re-entered the serving set,
+    /// so the epoch is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`MembershipError::BadState`] unless the node is `CatchingUp`.
+    pub fn abort_rejoin(&mut self, node: NodeId) -> Result<u64, MembershipError> {
+        match self.state(node)? {
+            NodeState::CatchingUp => {
+                self.states.insert(node, NodeState::Down);
+                Ok(self.epoch)
+            }
+            state => Err(MembershipError::BadState {
+                node,
+                state,
+                wanted: "abort rejoin",
+            }),
+        }
+    }
+
+    /// Adopts `epoch` when it is newer (a cutover published by another
+    /// node won the race). Returns true when the local epoch advanced.
+    pub fn adopt_epoch(&mut self, epoch: u64) -> bool {
+        if epoch > self.epoch {
+            self.epoch = epoch;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Control-plane view-change messages, carried out-of-band from the
+/// protocol's [`Message`](crate::Message) stream (they change *routing*,
+/// not record state). Encoded by
+/// [`wire::encode_view_msg`](crate::wire::encode_view_msg).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViewMsg {
+    /// `node`'s lease now runs to `expires_at_ns`.
+    LeaseRenew {
+        /// The renewing node.
+        node: NodeId,
+        /// New expiry instant.
+        expires_at_ns: u64,
+    },
+    /// `node` left the serving set; `epoch` is the view after the bump.
+    NodeDown {
+        /// The failed node.
+        node: NodeId,
+        /// Epoch in force after the removal.
+        epoch: u64,
+    },
+    /// `node` started catching up, pinned to `epoch` — deltas are
+    /// discarded if the epoch moves before the rejoin completes.
+    RejoinStart {
+        /// The rejoining node.
+        node: NodeId,
+        /// The epoch the catch-up is pinned to.
+        epoch: u64,
+    },
+    /// `node` finished catch-up and serves again; `epoch` is the view
+    /// after the bump.
+    RejoinDone {
+        /// The rejoined node.
+        node: NodeId,
+        /// Epoch in force after the rejoin.
+        epoch: u64,
+    },
+    /// Re-replication cutover: adopt `map` (which carries its own
+    /// placement epoch) iff it is newer than the local map's.
+    InstallMap {
+        /// The new placement, epoch included.
+        map: ShardMap,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LEASE: u64 = 1_000;
+
+    #[test]
+    fn fresh_view_serves_everyone() {
+        let v = MembershipView::new(3, LEASE, 0);
+        assert_eq!(v.epoch(), 1);
+        assert_eq!(
+            v.serving_nodes(),
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+            "all serving"
+        );
+        assert!(v.expired(LEASE).is_empty(), "expiry is exclusive");
+        assert_eq!(v.expired(LEASE + 1), vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn renewal_extends_the_lease() {
+        let mut v = MembershipView::new(2, LEASE, 0);
+        assert_eq!(v.renew(NodeId(0), 900), Ok(900 + LEASE));
+        assert_eq!(v.expired(1500), vec![NodeId(1)], "only the non-renewer");
+    }
+
+    #[test]
+    fn late_renewal_races_the_detector_and_wins() {
+        // The lease expired at 1000 but nobody marked the node down yet:
+        // a renewal at 1200 keeps it serving with no epoch burned.
+        let mut v = MembershipView::new(2, LEASE, 0);
+        assert!(v.renew(NodeId(0), 1200).is_ok());
+        assert_eq!(v.epoch(), 1);
+        assert!(v.is_serving(NodeId(0)));
+        assert!(!v.expired(1300).contains(&NodeId(0)));
+    }
+
+    #[test]
+    fn down_node_cannot_renew() {
+        let mut v = MembershipView::new(2, LEASE, 0);
+        v.mark_down(NodeId(1)).unwrap();
+        let err = v.renew(NodeId(1), 500).unwrap_err();
+        assert!(matches!(err, MembershipError::BadState { .. }));
+    }
+
+    #[test]
+    fn mark_down_bumps_once() {
+        let mut v = MembershipView::new(3, LEASE, 0);
+        assert_eq!(v.mark_down(NodeId(2)), Ok(2));
+        assert_eq!(v.mark_down(NodeId(2)), Ok(2), "idempotent: no new epoch");
+        assert_eq!(v.serving_nodes(), vec![NodeId(0), NodeId(1)]);
+        assert_eq!(v.lease_expiry(NodeId(2)), None, "lease revoked");
+    }
+
+    #[test]
+    fn rejoin_walks_the_state_machine() {
+        let mut v = MembershipView::new(2, LEASE, 0);
+        v.mark_down(NodeId(1)).unwrap(); // epoch 2
+        assert_eq!(v.begin_rejoin(NodeId(1)), Ok(2), "pinned to epoch 2");
+        assert_eq!(v.state(NodeId(1)), Ok(NodeState::CatchingUp));
+        assert!(!v.is_serving(NodeId(1)), "catch-up is not serving");
+        assert_eq!(v.complete_rejoin(NodeId(1), 5_000), Ok(3));
+        assert!(v.is_serving(NodeId(1)));
+        assert_eq!(v.lease_expiry(NodeId(1)), Some(5_000 + LEASE));
+    }
+
+    #[test]
+    fn second_crash_mid_catch_up_aborts_without_an_epoch() {
+        let mut v = MembershipView::new(2, LEASE, 0);
+        v.mark_down(NodeId(1)).unwrap(); // epoch 2
+        v.begin_rejoin(NodeId(1)).unwrap();
+        assert_eq!(v.abort_rejoin(NodeId(1)), Ok(2), "no epoch burned");
+        assert_eq!(v.state(NodeId(1)), Ok(NodeState::Down));
+        // The node can start over.
+        assert_eq!(v.begin_rejoin(NodeId(1)), Ok(2));
+        assert_eq!(v.complete_rejoin(NodeId(1), 9_000), Ok(3));
+    }
+
+    #[test]
+    fn invalid_transitions_are_rejected() {
+        let mut v = MembershipView::new(2, LEASE, 0);
+        assert!(v.begin_rejoin(NodeId(0)).is_err(), "serving cannot rejoin");
+        assert!(v.complete_rejoin(NodeId(0), 0).is_err());
+        assert!(v.abort_rejoin(NodeId(0)).is_err());
+        assert!(v.state(NodeId(9)).is_err(), "unknown node");
+        v.mark_down(NodeId(0)).unwrap();
+        assert!(
+            v.complete_rejoin(NodeId(0), 0).is_err(),
+            "must pass through catch-up"
+        );
+    }
+
+    #[test]
+    fn adopt_epoch_is_monotonic() {
+        let mut v = MembershipView::new(2, LEASE, 0);
+        assert!(v.adopt_epoch(7));
+        assert_eq!(v.epoch(), 7);
+        assert!(!v.adopt_epoch(3), "stale epochs are ignored");
+        assert_eq!(v.epoch(), 7);
+    }
+
+    #[test]
+    fn zero_lease_expires_immediately_but_renews() {
+        let mut v = MembershipView::new(1, 0, 0);
+        assert_eq!(v.expired(1), vec![NodeId(0)]);
+        assert_eq!(v.renew(NodeId(0), 10), Ok(10));
+        assert!(v.expired(10).is_empty(), "live exactly at expiry");
+        assert_eq!(v.expired(11), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn saturating_lease_arithmetic() {
+        let mut v = MembershipView::new(1, u64::MAX, 5);
+        assert_eq!(v.lease_expiry(NodeId(0)), Some(u64::MAX));
+        assert_eq!(v.renew(NodeId(0), u64::MAX), Ok(u64::MAX));
+    }
+}

@@ -276,6 +276,78 @@ impl ShardMap {
             .all(|g| g.iter().all(|&n| seen.insert(n)))
     }
 
+    /// Removes `node` from every replica group it appears in (the node
+    /// left the cluster for good, or is being drained ahead of a
+    /// re-replication) and bumps the epoch. Returns the shards that are
+    /// now short one replica — the re-replication work list.
+    ///
+    /// # Errors
+    ///
+    /// Refuses (leaving the map untouched) when removing the node would
+    /// empty any group: a shard must always keep at least one replica to
+    /// donate from.
+    pub fn remove_node(&mut self, node: NodeId) -> Result<Vec<ShardId>, String> {
+        let affected: Vec<ShardId> = self.shards_on(node);
+        for &s in &affected {
+            if self.groups[s.0 as usize].len() == 1 {
+                return Err(format!(
+                    "removing node {node} would leave {s} with no replicas"
+                ));
+            }
+        }
+        for &s in &affected {
+            self.groups[s.0 as usize].retain(|&n| n != node);
+        }
+        if !affected.is_empty() {
+            self.bump_epoch();
+        }
+        Ok(affected)
+    }
+
+    /// Adds `node` as a replica of `shard` (the re-replication cutover:
+    /// the background copy finished and the new replica goes live) and
+    /// bumps the epoch.
+    ///
+    /// # Errors
+    ///
+    /// Refuses when the node already replicates the shard or its id is
+    /// outside the map.
+    pub fn add_replica(&mut self, shard: ShardId, node: NodeId) -> Result<u64, String> {
+        assert!((shard.0 as usize) < self.groups.len(), "unknown {shard}");
+        if (node.0 as usize) >= self.n_nodes {
+            return Err(format!(
+                "node {node} is outside the {}-node map",
+                self.n_nodes
+            ));
+        }
+        if self.groups[shard.0 as usize].contains(&node) {
+            return Err(format!("node {node} already replicates {shard}"));
+        }
+        self.groups[shard.0 as usize].push(node);
+        Ok(self.bump_epoch())
+    }
+
+    /// Shards with fewer than `target` replicas, ascending — the
+    /// re-replication planner's input.
+    #[must_use]
+    pub fn under_replicated(&self, target: usize) -> Vec<ShardId> {
+        (0..self.groups.len() as u32)
+            .map(ShardId)
+            .filter(|&s| self.groups[s.0 as usize].len() < target)
+            .collect()
+    }
+
+    /// Picks the donor for re-replicating `shard`: the group's first
+    /// member not listed in `exclude` (the home node is the
+    /// longest-standing replica, so it is preferred).
+    #[must_use]
+    pub fn donor_for(&self, shard: ShardId, exclude: &[NodeId]) -> Option<NodeId> {
+        self.groups[shard.0 as usize]
+            .iter()
+            .copied()
+            .find(|n| !exclude.contains(n))
+    }
+
     /// Parses the compact spec accepted by the `--shards`/`--placement`
     /// CLI flags. Two forms:
     ///
@@ -500,6 +572,72 @@ mod tests {
         assert!(ShardMap::parse_spec("0x4", 64).is_err());
         assert!(ShardMap::parse_spec("4x9", 8).is_err());
         assert!(ShardMap::parse_spec("garbage", 8).is_err());
+    }
+
+    #[test]
+    fn remove_node_lists_under_replicated_shards() {
+        let mut map = ShardMap::uniform(2, 4, 2); // s0: n0,n1  s1: n2,n3
+        let e0 = map.epoch();
+        let short = map.remove_node(NodeId(1)).expect("removable");
+        assert_eq!(short, vec![ShardId(0)]);
+        assert_eq!(map.epoch(), e0 + 1, "removal is a view change");
+        assert_eq!(map.replicas_of_shard(ShardId(0)), &[NodeId(0)]);
+        assert_eq!(map.under_replicated(2), vec![ShardId(0)]);
+        // Removing a node that hosts nothing is a no-op, epoch included.
+        assert_eq!(map.remove_node(NodeId(1)), Ok(vec![]));
+        assert_eq!(map.epoch(), e0 + 1);
+    }
+
+    #[test]
+    fn last_replica_cannot_be_removed() {
+        let mut map = ShardMap::explicit(2, vec![vec![NodeId(0)], vec![NodeId(1)]]);
+        let err = map.remove_node(NodeId(0)).unwrap_err();
+        assert!(err.contains("no replicas"), "{err}");
+        assert_eq!(map.replicas_of_shard(ShardId(0)), &[NodeId(0)], "untouched");
+    }
+
+    #[test]
+    fn add_replica_is_the_epoch_gated_cutover() {
+        let mut map = ShardMap::uniform(2, 4, 2);
+        map.remove_node(NodeId(1)).unwrap(); // epoch 2
+        let e = map.add_replica(ShardId(0), NodeId(3)).expect("cutover");
+        assert_eq!(e, 3);
+        assert_eq!(map.replicas_of_shard(ShardId(0)), &[NodeId(0), NodeId(3)]);
+        assert!(map.under_replicated(2).is_empty());
+        assert!(map.add_replica(ShardId(0), NodeId(3)).is_err(), "duplicate");
+        assert!(map.add_replica(ShardId(0), NodeId(9)).is_err(), "range");
+    }
+
+    #[test]
+    fn donor_prefers_home_and_honors_exclusions() {
+        let map = ShardMap::uniform(1, 3, 3);
+        assert_eq!(map.donor_for(ShardId(0), &[]), Some(NodeId(0)));
+        assert_eq!(map.donor_for(ShardId(0), &[NodeId(0)]), Some(NodeId(1)));
+        assert_eq!(
+            map.donor_for(ShardId(0), &[NodeId(0), NodeId(1), NodeId(2)]),
+            None
+        );
+    }
+
+    #[test]
+    fn codec_round_trips_non_uniform_post_rereplication_map() {
+        // A map as re-replication leaves it: one group grown to 3, one
+        // shrunk to 1 — group sizes differ, order is not sorted.
+        let mut map = ShardMap::uniform(2, 4, 2);
+        map.remove_node(NodeId(2)).unwrap();
+        map.add_replica(ShardId(1), NodeId(0)).unwrap();
+        map.add_replica(ShardId(0), NodeId(3)).unwrap();
+        assert_eq!(map.epoch(), 4);
+        assert!(!map.is_disjoint());
+        let text = map.to_string();
+        let back: ShardMap = text.parse().expect("codec parses");
+        assert_eq!(back, map, "groups, order, and epoch all survive");
+        assert_eq!(back.epoch(), 4);
+        assert_eq!(
+            back.replicas_of_shard(ShardId(1)),
+            &[NodeId(3), NodeId(0)],
+            "replica order (home first) survives the round trip"
+        );
     }
 
     #[test]

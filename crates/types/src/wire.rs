@@ -6,7 +6,8 @@
 //! little-endian, length-prefixed, and versioned by a leading tag byte
 //! per message kind.
 
-use crate::{Key, Message, NodeId, ScopeId, Ts, Value};
+use crate::membership::ViewMsg;
+use crate::{Key, Message, NodeId, ScopeId, ShardMap, Ts, Value};
 
 /// Errors from [`decode_message`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -17,6 +18,8 @@ pub enum WireError {
     BadTag(u8),
     /// Trailing bytes followed a complete message.
     TrailingBytes(usize),
+    /// A view-change payload carried a malformed placement codec.
+    BadPayload(String),
 }
 
 impl std::fmt::Display for WireError {
@@ -25,6 +28,7 @@ impl std::fmt::Display for WireError {
             WireError::Truncated => write!(f, "message truncated"),
             WireError::BadTag(t) => write!(f, "unknown message tag {t:#x}"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::BadPayload(why) => write!(f, "bad view-change payload: {why}"),
         }
     }
 }
@@ -329,9 +333,99 @@ pub fn decode_peer_frame(buf: &[u8]) -> Result<(NodeId, Vec<Message>), WireError
     Ok((from, msgs))
 }
 
+// Control-plane view-change tags live in a separate 0x20+ namespace so a
+// protocol-message decoder can never confuse them with Table I traffic.
+const TAG_VIEW_LEASE: u8 = 0x20;
+const TAG_VIEW_DOWN: u8 = 0x21;
+const TAG_VIEW_REJOIN_START: u8 = 0x22;
+const TAG_VIEW_REJOIN_DONE: u8 = 0x23;
+const TAG_VIEW_INSTALL_MAP: u8 = 0x24;
+
+/// Encodes a control-plane view-change message. The placement map inside
+/// [`ViewMsg::InstallMap`] rides as its compact text codec
+/// (`epoch=E;nodes=N;groups=…`), so the wire format and the CLI flags
+/// share one parser.
+#[must_use]
+pub fn encode_view_msg(msg: &ViewMsg) -> Vec<u8> {
+    let mut w = Writer(Vec::with_capacity(32));
+    match msg {
+        ViewMsg::LeaseRenew {
+            node,
+            expires_at_ns,
+        } => {
+            w.u8(TAG_VIEW_LEASE);
+            w.u16(node.0);
+            w.u64(*expires_at_ns);
+        }
+        ViewMsg::NodeDown { node, epoch } => {
+            w.u8(TAG_VIEW_DOWN);
+            w.u16(node.0);
+            w.u64(*epoch);
+        }
+        ViewMsg::RejoinStart { node, epoch } => {
+            w.u8(TAG_VIEW_REJOIN_START);
+            w.u16(node.0);
+            w.u64(*epoch);
+        }
+        ViewMsg::RejoinDone { node, epoch } => {
+            w.u8(TAG_VIEW_REJOIN_DONE);
+            w.u16(node.0);
+            w.u64(*epoch);
+        }
+        ViewMsg::InstallMap { map } => {
+            w.u8(TAG_VIEW_INSTALL_MAP);
+            w.bytes(map.to_string().as_bytes());
+        }
+    }
+    w.0
+}
+
+/// Decodes a message produced by [`encode_view_msg`].
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] / [`WireError::BadTag`] /
+/// [`WireError::TrailingBytes`] as for [`decode_message`], plus
+/// [`WireError::BadPayload`] when an `InstallMap` placement codec does
+/// not parse.
+pub fn decode_view_msg(buf: &[u8]) -> Result<ViewMsg, WireError> {
+    let mut r = Reader { buf, pos: 0 };
+    let msg = match r.u8()? {
+        TAG_VIEW_LEASE => ViewMsg::LeaseRenew {
+            node: NodeId(r.u16()?),
+            expires_at_ns: r.u64()?,
+        },
+        TAG_VIEW_DOWN => ViewMsg::NodeDown {
+            node: NodeId(r.u16()?),
+            epoch: r.u64()?,
+        },
+        TAG_VIEW_REJOIN_START => ViewMsg::RejoinStart {
+            node: NodeId(r.u16()?),
+            epoch: r.u64()?,
+        },
+        TAG_VIEW_REJOIN_DONE => ViewMsg::RejoinDone {
+            node: NodeId(r.u16()?),
+            epoch: r.u64()?,
+        },
+        TAG_VIEW_INSTALL_MAP => {
+            let raw = r.bytes()?;
+            let text =
+                std::str::from_utf8(&raw).map_err(|e| WireError::BadPayload(e.to_string()))?;
+            let map: ShardMap = text.parse().map_err(WireError::BadPayload)?;
+            ViewMsg::InstallMap { map }
+        }
+        t => return Err(WireError::BadTag(t)),
+    };
+    if r.pos != buf.len() {
+        return Err(WireError::TrailingBytes(buf.len() - r.pos));
+    }
+    Ok(msg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ShardId;
 
     fn roundtrip(msg: Message) {
         let enc = encode_message(&msg);
@@ -448,6 +542,68 @@ mod tests {
         let mut padded = enc;
         padded.push(7);
         assert_eq!(decode_peer_frame(&padded), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn view_msgs_roundtrip_including_non_uniform_maps() {
+        let mut map = ShardMap::uniform(2, 4, 2);
+        map.remove_node(NodeId(2)).unwrap();
+        map.add_replica(ShardId(1), NodeId(1)).unwrap();
+        let cases = vec![
+            ViewMsg::LeaseRenew {
+                node: NodeId(3),
+                expires_at_ns: u64::MAX,
+            },
+            ViewMsg::NodeDown {
+                node: NodeId(0),
+                epoch: 17,
+            },
+            ViewMsg::RejoinStart {
+                node: NodeId(1),
+                epoch: 17,
+            },
+            ViewMsg::RejoinDone {
+                node: NodeId(1),
+                epoch: 18,
+            },
+            ViewMsg::InstallMap { map: map.clone() },
+        ];
+        for msg in cases {
+            let enc = encode_view_msg(&msg);
+            assert_eq!(decode_view_msg(&enc), Ok(msg.clone()), "{msg:?}");
+        }
+        // The installed map keeps its bumped epoch and ragged groups.
+        let enc = encode_view_msg(&ViewMsg::InstallMap { map: map.clone() });
+        let ViewMsg::InstallMap { map: back } = decode_view_msg(&enc).unwrap() else {
+            panic!("wrong kind");
+        };
+        assert_eq!(back.epoch(), map.epoch());
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn view_msg_decoder_rejects_protocol_tags_and_garbage_maps() {
+        let enc = encode_message(&Message::Persist { scope: ScopeId(1) });
+        assert!(matches!(
+            decode_view_msg(&enc),
+            Err(WireError::BadTag(TAG_PERSIST))
+        ));
+        let mut w = Writer(Vec::new());
+        w.u8(TAG_VIEW_INSTALL_MAP);
+        w.bytes(b"epoch=zzz;nodes=2;groups=0,1");
+        assert!(matches!(
+            decode_view_msg(&w.0),
+            Err(WireError::BadPayload(_))
+        ));
+        for cut in 0..4 {
+            assert!(decode_view_msg(
+                &encode_view_msg(&ViewMsg::NodeDown {
+                    node: NodeId(0),
+                    epoch: 1
+                })[..cut]
+            )
+            .is_err());
+        }
     }
 
     #[test]
