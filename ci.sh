@@ -8,7 +8,9 @@
 #                      and shrunk; output includes the reproducing seed),
 #                      clean chaos sweeps on the threaded runtime
 #                      (fully replicated and 4-shard × 3-replica sharded)
-#                      and the TCP runtime, then the crash/rejoin block:
+#                      and the TCP runtime, scenario sweeps (YCSB A/E/F,
+#                      compose, skew, geo as torture workloads under all
+#                      five models), then the crash/rejoin block:
 #                      250 seeds per runtime (50 × all 5 models) with up
 #                      to two crash→rejoin points per schedule — rolling
 #                      restarts under load, audited by the epoch-aware
@@ -78,6 +80,16 @@ if [ "$CHAOS" -eq 1 ]; then
 
     echo "==> chaos: clean sweep — tcp, all models"
     "$TORTURE" --runtime tcp --model all --seeds 5 --clients 2 --ops 8
+
+    echo "==> chaos: scenario sweeps — every open-loop scenario doubles as a torture workload"
+    # RMW (ycsb-a/f), scans (ycsb-e), compose flows, the hot-key skew
+    # storm, and the WAN geo profile, each under all five models on the
+    # threaded runtime; one representative scenario rides the TCP wire.
+    for wl in ycsb-a ycsb-e ycsb-f compose skew geo; do
+        "$TORTURE" --model all --seeds 6 --clients 2 --ops 8 --workload "$wl"
+    done
+    "$TORTURE" --runtime tcp --model all --seeds 3 --clients 2 --ops 8 \
+        --workload ycsb-a
 
     echo "==> chaos: crash/rejoin — threaded, 250 seeds (all models, rolling restarts)"
     "$TORTURE" --model all --seeds 50 --clients 2 --ops 8 --max-crashes 2

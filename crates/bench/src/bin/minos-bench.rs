@@ -5,10 +5,11 @@
 //! ```
 //!
 //! Runs the persistency-model × architecture sweep on the DES and
-//! loopback runtimes (see [`minos_bench::regress`]) and writes the
-//! machine-readable results to `--out` (default `BENCH_results.json`):
-//! throughput, p50/p95/p99/p999 per op kind, resource-gauge high-water
-//! marks, and Fig. 4 critical-path category totals per sweep cell.
+//! loopback runtimes plus the open-loop latency-vs-offered-load curves
+//! (see [`minos_bench::regress`]) and writes the machine-readable
+//! results to `--out` (default `BENCH_results.json`): throughput,
+//! p50/p95/p99/p999 per op kind, resource-gauge high-water marks, and
+//! Fig. 4 critical-path category totals per sweep cell.
 //!
 //! With `--compare`, the fresh sweep is diffed against a baseline file
 //! and the process exits nonzero when any cell's throughput drops, or a
@@ -126,13 +127,13 @@ fn main() {
 /// full detail).
 fn print_summary(points: &[BenchPoint]) {
     println!(
-        "{:<22} {:>12} {:>8} {:>10} {:>10} {:>10}",
+        "{:<32} {:>12} {:>8} {:>10} {:>10} {:>10}",
         "point", "throughput", "ops", "w.p50", "w.p95", "w.p99"
     );
     for pt in points {
         let w = pt.latency.get("write");
         println!(
-            "{:<22} {:>12.3} {:>8} {:>10} {:>10} {:>10}",
+            "{:<32} {:>12.3} {:>8} {:>10} {:>10} {:>10}",
             pt.id,
             pt.throughput,
             pt.ops,

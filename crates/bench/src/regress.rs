@@ -21,16 +21,21 @@ use minos_core::obs::json::quoted;
 use minos_core::obs::{
     analyze, shared, Category, GaugeKind, HistogramSet, Json, MetricsSink, RingRecorder,
 };
-use minos_net::{run_observed, run_observed_sharded, run_rolling_restart, Arch};
+use minos_net::{run_observed, run_observed_sharded, run_rolling_restart, run_slo_curve, Arch};
 use minos_types::{DdpModel, Key, NodeId, PersistencyModel, ScopeId, ShardMap, SimConfig, Value};
+use minos_workload::openloop::{OpenLoopSpec, Scenario};
 use minos_workload::WorkloadSpec;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Schema version stamped into `BENCH_results.json`. Version 2 added the
 /// sharding dimension: `shards`/`nodes` fields per point and a
-/// `<shards>x<nodes>` suffix in every cell id.
-pub const SCHEMA_VERSION: u64 = 2;
+/// `<shards>x<nodes>` suffix in every cell id. Version 3 added the
+/// open-loop dimension (`scenario` and `offered_load` fields; closed-loop
+/// cells carry `"closed"` / `0`) and normalized loopback throughput to
+/// ops/s (1 sequence tick = 1 ns) — loopback cells were previously
+/// reported in ops *per tick*, ~9 orders of magnitude off the DES cells.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Latency percentiles for one op kind, in the runtime's time unit
 /// (nanoseconds on the DES runtime, sequence ticks on loopback).
@@ -65,6 +70,12 @@ pub struct BenchPoint {
     pub shards: u32,
     /// Cluster size the cell ran at.
     pub nodes: u32,
+    /// Workload scenario: an open-loop [`Scenario::label`] (`ycsb-a`…)
+    /// or `"closed"` for the closed-loop matrix cells.
+    pub scenario: String,
+    /// Offered load of an open-loop cell (ops/s); 0 for closed-loop
+    /// cells, where the drive adapts to the system.
+    pub offered_load: f64,
     /// Completed operations per second (DES) or per sequence tick
     /// (loopback). Deterministic for a fixed seed on both runtimes.
     pub throughput: f64,
@@ -187,6 +198,8 @@ pub fn sweep_des(quick: bool) -> Vec<BenchPoint> {
                 model: p.label().into(),
                 shards: 1,
                 nodes: cfg.nodes as u32,
+                scenario: "closed".into(),
+                offered_load: 0.0,
                 throughput: run.result.total_throughput(),
                 ops: run.result.writes + run.result.reads,
                 latency: latency_map(&run.hists),
@@ -255,6 +268,8 @@ pub fn sweep_scaling(quick: bool) -> Vec<BenchPoint> {
                 model: p.label().into(),
                 shards,
                 nodes: SCALING_NODES as u32,
+                scenario: "closed".into(),
+                offered_load: 0.0,
                 throughput: run.result.total_throughput(),
                 ops: run.result.writes + run.result.reads,
                 latency: latency_map(&run.hists),
@@ -325,6 +340,8 @@ pub fn sweep_availability(quick: bool) -> Vec<BenchPoint> {
         model: "Synch".into(),
         shards: 1,
         nodes: cfg.nodes as u32,
+        scenario: "closed".into(),
+        offered_load: 0.0,
         throughput: run.availability(),
         ops: run.completed,
         latency,
@@ -451,12 +468,15 @@ fn loopback_point(p: PersistencyModel, offload: bool, quick: bool) -> BenchPoint
         model: p.label().into(),
         shards: 1,
         nodes: nodes as u32,
-        // Ops per dispatch tick — dimensionless but deterministic, which
-        // is all the regression gate needs.
+        scenario: "closed".into(),
+        offered_load: 0.0,
+        // Normalized to ops/s with 1 sequence tick = 1 ns, so loopback
+        // cells sit on the same scale as the DES cells (schema v3; they
+        // were previously reported in ops per tick, ~0.06).
         throughput: if last_tick == 0 {
             0.0
         } else {
-            completions as f64 / last_tick as f64
+            completions as f64 * 1e9 / last_tick as f64
         },
         ops: completions,
         latency: latency_map(&hists),
@@ -465,15 +485,99 @@ fn loopback_point(p: PersistencyModel, offload: bool, quick: bool) -> BenchPoint
     }
 }
 
+/// Offered loads of the open-loop SLO curve, in ops/s: five points
+/// bracketing MINOS-B's ~1.1 M ops/s capacity on the paper config, so
+/// the B curve bends (the p99 knee) inside the sweep while MINOS-O
+/// (~5× the capacity) stays flat.
+pub const SLO_LOADS: [f64; 5] = [250_000.0, 500_000.0, 1_000_000.0, 2_000_000.0, 4_000_000.0];
+
+/// The open-loop spec each SLO-curve cell replays (YCSB-A: the 50 %
+/// read-modify-write mix, zipfian keys — the mix that actually loads
+/// the write path).
+#[must_use]
+pub fn openloop_spec(quick: bool) -> OpenLoopSpec {
+    let ops = if quick { 2_000 } else { 6_000 };
+    OpenLoopSpec::new(Scenario::YcsbA, SLO_LOADS[0])
+        .with_records(2_000)
+        .with_sessions(400)
+        .with_total_ops(ops)
+}
+
+fn openloop_latency_map(r: &minos_net::OpenLoopResult) -> BTreeMap<String, Quantiles> {
+    let mut out = BTreeMap::new();
+    for (label, stats) in [
+        ("op", &r.lat),
+        ("write", &r.write_lat),
+        ("read", &r.read_lat),
+    ] {
+        let mut stats = stats.clone();
+        if stats.count() > 0 {
+            out.insert(
+                label.to_string(),
+                Quantiles {
+                    count: stats.count() as u64,
+                    p50: stats.quantile(0.5),
+                    p95: stats.quantile(0.95),
+                    p99: stats.quantile(0.99),
+                    p999: stats.quantile(0.999),
+                },
+            );
+        }
+    }
+    out
+}
+
+/// Runs the open-loop latency-vs-offered-load curves: B and O each
+/// replay the same Poisson YCSB-A schedule at every [`SLO_LOADS`]
+/// point. Cell ids carry the scenario and the load
+/// (`des/b/Synch/ycsb-a@1000000/1x5`), so the regression gate tracks
+/// the whole curve point-by-point — including the p99 knee.
+#[must_use]
+pub fn sweep_openloop(quick: bool) -> Vec<BenchPoint> {
+    let cfg = SimConfig::paper_defaults();
+    let model = DdpModel::lin(PersistencyModel::Synchronous);
+    let spec = openloop_spec(quick);
+    let mut points = Vec::new();
+    for arch in [Arch::baseline(), Arch::minos_o()] {
+        let curve = run_slo_curve(arch, &cfg, model, &spec, SEED, &SLO_LOADS);
+        for r in &curve {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let load = r.offered_load as u64;
+            points.push(BenchPoint {
+                id: format!(
+                    "des/{}/Synch/{}@{load}/1x{}",
+                    arch_slug(arch),
+                    r.scenario.label(),
+                    cfg.nodes
+                ),
+                runtime: "des".into(),
+                arch: arch_slug(arch).into(),
+                model: "Synch".into(),
+                shards: 1,
+                nodes: cfg.nodes as u32,
+                scenario: r.scenario.label().into(),
+                offered_load: r.offered_load,
+                throughput: r.achieved_throughput(),
+                ops: r.completed,
+                latency: openloop_latency_map(r),
+                gauges: BTreeMap::new(),
+                critical_path: BTreeMap::new(),
+            });
+        }
+    }
+    points
+}
+
 /// Runs the whole sweep: DES matrix, loopback matrix, the 64-node
-/// multi-group scale-out cells, then the rolling-restart availability
-/// cell.
+/// multi-group scale-out cells, the rolling-restart availability cell,
+/// then the open-loop SLO curves.
 #[must_use]
 pub fn run_sweep(quick: bool) -> Vec<BenchPoint> {
     let mut points = sweep_des(quick);
     points.extend(sweep_loopback(quick));
     points.extend(sweep_scaling(quick));
     points.extend(sweep_availability(quick));
+    points.extend(sweep_openloop(quick));
     points
 }
 
@@ -506,13 +610,15 @@ pub fn render_json(points: &[BenchPoint], quick: bool) -> String {
         }
         let _ = write!(
             out,
-            "\n    {{\"id\":{},\"runtime\":{},\"arch\":{},\"model\":{},\"shards\":{},\"nodes\":{},\"throughput\":{},\"ops\":{},\"latency\":",
+            "\n    {{\"id\":{},\"runtime\":{},\"arch\":{},\"model\":{},\"shards\":{},\"nodes\":{},\"scenario\":{},\"offered_load\":{},\"throughput\":{},\"ops\":{},\"latency\":",
             quoted(&pt.id),
             quoted(&pt.runtime),
             quoted(&pt.arch),
             quoted(&pt.model),
             pt.shards,
             pt.nodes,
+            quoted(&pt.scenario),
+            pt.offered_load,
             pt.throughput,
             pt.ops,
         );
@@ -629,6 +735,11 @@ pub fn parse_results(src: &str) -> Result<BenchResults, String> {
             model: str_field("model")?,
             shards: num_field("shards")?,
             nodes: num_field("nodes")?,
+            scenario: str_field("scenario")?,
+            offered_load: field(pt, "offered_load")
+                .map_err(ctx)?
+                .as_f64()
+                .ok_or_else(|| ctx("offered_load is not a number".into()))?,
             throughput: field(pt, "throughput")
                 .map_err(ctx)?
                 .as_f64()
@@ -803,6 +914,8 @@ mod tests {
             model: "Synch".into(),
             shards: 1,
             nodes: 5,
+            scenario: "closed".into(),
+            offered_load: 0.0,
             throughput: thr,
             ops: 100,
             latency,
@@ -819,16 +932,66 @@ mod tests {
         let mut scaled = point("des/b/Synch/16x64", 4321.0, 120);
         scaled.shards = 16;
         scaled.nodes = 64;
+        let mut open = point("des/b/Synch/ycsb-a@500000/1x5", 499_876.5, 2_100);
+        open.scenario = "ycsb-a".into();
+        open.offered_load = 500_000.0;
         let pts = vec![
             point("des/b/Synch/1x5", 1234.5, 800),
             point("des/o/Event/1x5", 99.25, 30),
             scaled,
+            open,
         ];
         let text = render_json(&pts, true);
         let parsed = parse_results(&text).expect("parse back");
         assert_eq!(parsed.version, SCHEMA_VERSION);
         assert!(parsed.quick);
         assert_eq!(parsed.points, pts);
+    }
+
+    /// The open-loop acceptance gate: the B curve's p99 must bend
+    /// sharply upward past capacity (the saturation knee), while O —
+    /// with ~5× the capacity — stays well below B's saturated tail at
+    /// the same top load.
+    #[test]
+    fn openloop_curve_shows_saturation_knee() {
+        let pts = sweep_openloop(true);
+        assert_eq!(pts.len(), 2 * SLO_LOADS.len());
+        let p99 = |arch: &str, load: f64| {
+            pts.iter()
+                .find(|p| p.arch == arch && p.offered_load == load)
+                .and_then(|p| p.latency.get("op"))
+                .map(|q| q.p99)
+                .expect("curve cell missing")
+        };
+        let b_low = p99("b", SLO_LOADS[0]);
+        let b_high = p99("b", SLO_LOADS[SLO_LOADS.len() - 1]);
+        let o_high = p99("o+all", SLO_LOADS[SLO_LOADS.len() - 1]);
+        assert!(
+            b_high > 3 * b_low,
+            "B curve never bent: p99 {b_low} → {b_high}"
+        );
+        assert!(
+            o_high < b_high / 2,
+            "O should stay under B's knee: {o_high} vs {b_high}"
+        );
+        // Past the knee, B's achieved throughput falls behind the offer.
+        let b_top = pts
+            .iter()
+            .find(|p| p.arch == "b" && p.offered_load == SLO_LOADS[SLO_LOADS.len() - 1])
+            .unwrap();
+        assert!(b_top.throughput < b_top.offered_load * 0.95);
+    }
+
+    /// Loopback cells now report ops/s (1 tick = 1 ns) — the same scale
+    /// as the DES cells, not the old per-tick fractions (~0.06).
+    #[test]
+    fn loopback_throughput_is_in_ops_per_sec() {
+        let pt = loopback_point(PersistencyModel::Synchronous, false, true);
+        assert!(
+            pt.throughput > 1e3,
+            "loopback throughput {} looks like the old per-tick unit",
+            pt.throughput
+        );
     }
 
     /// The scale-out acceptance gate: at equal replica count, 16 shard

@@ -4,6 +4,7 @@
 //! minos-torture [--runtime threaded|tcp] [--model synch|strict|renf|event|scope|all]
 //!     [--seeds N] [--start-seed S] [--nodes N] [--clients N] [--ops N] [--keys N]
 //!     [--injections N] [--shards S] [--replicas K] [--no-crash] [--max-crashes N]
+//!     [--workload ycsb-a|ycsb-b|ycsb-c|ycsb-d|ycsb-e|ycsb-f|compose|skew|geo]
 //!     [--fault skip-inv@NODE|phantom-persist@NODE] [--expect-violation]
 //! ```
 //!
@@ -25,6 +26,12 @@
 //! mixes in multi-key cross-shard writes, and the checkers audit
 //! durability per the placement map.
 //!
+//! `--workload` shapes the client mix after one of the open-loop
+//! scenarios (RMW for YCSB A/F, scans for E, compose flows, the hot-key
+//! skew storm, the WAN geo profile — the latter raises the threaded
+//! cluster's wire latency to a 500 µs hop). Scenario ops decompose into
+//! the primitive reads and writes the checkers already audit.
+//!
 //! `--fault` arms a deliberate protocol bug (requires a binary built
 //! with `--features fault-injection`) — the mutation smoke mode used by
 //! `ci.sh --chaos`, where `--expect-violation` inverts the exit status:
@@ -32,6 +39,7 @@
 
 use minos_check::torture::{run_tcp, run_threaded, torture, TortureOptions};
 use minos_types::{FaultKind, FaultSpec, PersistencyModel};
+use minos_workload::openloop::Scenario;
 
 fn usage() -> ! {
     eprintln!(
@@ -39,7 +47,9 @@ fn usage() -> ! {
          [--model synch|strict|renf|event|scope|all] [--seeds N] \
          [--start-seed S] [--nodes N] [--clients N] [--ops N] [--keys N] \
          [--injections N] [--shards S] [--replicas K] [--no-crash] \
-         [--max-crashes N] [--fault skip-inv@NODE|phantom-persist@NODE] \
+         [--max-crashes N] \
+         [--workload ycsb-a..ycsb-f|compose|skew|geo] \
+         [--fault skip-inv@NODE|phantom-persist@NODE] \
          [--expect-violation]"
     );
     std::process::exit(2);
@@ -133,6 +143,12 @@ fn main() {
         &take_flag(&mut args, "--max-crashes").unwrap_or_else(|| "2".into()),
         "--max-crashes",
     );
+    let workload = take_flag(&mut args, "--workload").map(|s| {
+        Scenario::from_flag(&s).unwrap_or_else(|| {
+            eprintln!("unknown workload: {s}");
+            usage();
+        })
+    });
     let fault = take_flag(&mut args, "--fault").map(|s| parse_fault(&s));
     let expect_violation = take_switch(&mut args, "--expect-violation");
     if !args.is_empty() {
@@ -187,6 +203,7 @@ fn main() {
         opts.allow_crash = !no_crash;
         opts.max_crashes = max_crashes;
         opts.fault = fault;
+        opts.workload = workload;
         if shards > 0 {
             if tcp {
                 eprintln!("--shards requires --runtime threaded");
@@ -216,7 +233,7 @@ fn main() {
             print!("{}", f.shrunk);
             println!(
                 "reproduce: minos-torture --runtime {runtime} --model \
-                 {model} --seeds 1 --start-seed {seed}{shard_arg}{fault_arg}",
+                 {model} --seeds 1 --start-seed {seed}{shard_arg}{workload_arg}{fault_arg}",
                 model = model_label(model),
                 seed = f.seed,
                 shard_arg = if shards > 0 {
@@ -224,6 +241,9 @@ fn main() {
                 } else {
                     String::new()
                 },
+                workload_arg = workload
+                    .map(|w| format!(" --workload {}", w.label()))
+                    .unwrap_or_default(),
                 fault_arg = fault
                     .map(|f| format!(" --fault {}@{}", f.kind.label(), f.node))
                     .unwrap_or_default(),

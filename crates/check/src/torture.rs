@@ -40,6 +40,13 @@
 //! INV or fakes a persist during warm-up is caught on the very first
 //! seed, whatever the chaos schedule does.
 //!
+//! The client mix is either the classic torture roll or, with
+//! [`TortureOptions::workload`] set, one of the open-loop scenario
+//! shapes ([`Scenario`]): YCSB A–F (RMW for A/F, scans for E), the
+//! compose flows, the hot-key skew storm, or the WAN geo profile.
+//! Scenario ops decompose into the primitive reads and writes the
+//! history already records, so the checkers need no scenario knowledge.
+//!
 //! After the clients join, the driver quiesces and issues a sequential
 //! **probe read of every key at every live node**. Probes enter the same
 //! history, so a replica left stale by a protocol bug fails the
@@ -57,6 +64,7 @@ use minos_types::{
     ClusterConfig, DdpModel, FaultSpec, Key, MsgChaos, NodeId, PersistencyModel, ScopeId, ShardMap,
     Ts,
 };
+use minos_workload::openloop::Scenario;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
@@ -90,6 +98,14 @@ pub struct TortureOptions {
     /// replica group, and the persistency oracles audit per the map.
     /// Threaded runtime only (the TCP driver has no routing client).
     pub placement: Option<ShardMap>,
+    /// Scenario shaping the client mix ([`Scenario`] from the open-loop
+    /// library). `None` keeps the classic torture mix. Scenario ops
+    /// decompose into the history's primitive reads and writes — an RMW
+    /// is a read plus a dependent write, a scan a fan-out of point reads
+    /// — so every checker and oracle applies unchanged. The skew storm
+    /// biases key choice onto a hot head; the geo profile additionally
+    /// raises the threaded cluster's wire latency to a WAN hop.
+    pub workload: Option<Scenario>,
 }
 
 impl TortureOptions {
@@ -107,7 +123,15 @@ impl TortureOptions {
             max_crashes: 2,
             fault: None,
             placement: None,
+            workload: None,
         }
+    }
+
+    /// Shapes the client mix after `scenario` (see [`Scenario`]).
+    #[must_use]
+    pub fn with_workload(mut self, scenario: Scenario) -> Self {
+        self.workload = Some(scenario);
+        self
     }
 
     /// Shards the cluster `shards` ways at `replicas` copies per shard,
@@ -219,17 +243,91 @@ enum Roll {
     Write,
     MultiWrite,
     Read,
+    /// Read-modify-write: a read followed by a dependent write of the
+    /// same key. Decomposes into two primitive history ops.
+    Rmw,
+    /// A fan-out of point reads over this many adjacent keys.
+    Scan(u64),
     Flush,
 }
 
-fn roll(rng: &mut Rng, model: PersistencyModel, sharded: bool) -> Roll {
-    match rng.below(100) {
-        0..=47 => Roll::Write,
-        48..=54 if sharded => Roll::MultiWrite,
-        48..=92 => Roll::Read,
-        _ if model == PersistencyModel::Scope => Roll::Flush,
-        _ => Roll::Read,
+/// Picks the next op. `multi_ok` gates batched multi-key writes (the
+/// threaded facade routes them; the TCP client does not).
+fn roll(
+    rng: &mut Rng,
+    model: PersistencyModel,
+    multi_ok: bool,
+    workload: Option<Scenario>,
+) -> Roll {
+    let Some(w) = workload else {
+        // The classic torture mix.
+        return match rng.below(100) {
+            0..=47 => Roll::Write,
+            48..=54 if multi_ok => Roll::MultiWrite,
+            48..=92 => Roll::Read,
+            _ if model == PersistencyModel::Scope => Roll::Flush,
+            _ => Roll::Read,
+        };
+    };
+    // Scope-model runs keep a slice of flushes whatever the scenario, so
+    // the scope machinery stays under test.
+    if model == PersistencyModel::Scope && rng.chance(1, 16) {
+        return Roll::Flush;
     }
+    let pct = rng.below(100);
+    match w {
+        // YCSB-A is 50% RMW under torture (the update half becomes a
+        // dependent read-then-write); F is the same mix drawn uniform.
+        Scenario::YcsbA | Scenario::YcsbF => {
+            if pct < 50 {
+                Roll::Rmw
+            } else {
+                Roll::Read
+            }
+        }
+        // B, D and the geo profile share a 95/5 read-heavy point mix;
+        // geo's WAN latency comes from the cluster config, not the mix.
+        Scenario::YcsbB | Scenario::YcsbD | Scenario::Geo => {
+            if pct < 5 {
+                Roll::Write
+            } else {
+                Roll::Read
+            }
+        }
+        Scenario::YcsbC => Roll::Read,
+        Scenario::YcsbE => {
+            if pct < 95 {
+                Roll::Scan(1 + rng.below(3))
+            } else {
+                Roll::Write
+            }
+        }
+        // Compose alternates post composition (a burst of adjacent
+        // writes — batched when the runtime can) with timeline fan-ins.
+        Scenario::Compose => match pct % 3 {
+            0 if multi_ok => Roll::MultiWrite,
+            0 => Roll::Write,
+            1 => Roll::Read,
+            _ => Roll::Scan(2),
+        },
+        // The skew storm's heat lives in pick_key; the mix is half/half.
+        Scenario::Skew => {
+            if pct < 50 {
+                Roll::Write
+            } else {
+                Roll::Read
+            }
+        }
+    }
+}
+
+/// Key choice for the next op: uniform, except the skew storm sends 60%
+/// of traffic to a two-key hot head.
+fn pick_key(rng: &mut Rng, keys: u64, workload: Option<Scenario>) -> Key {
+    if workload == Some(Scenario::Skew) && rng.chance(3, 5) {
+        return Key(rng.below(2.min(keys)));
+    }
+    Key(rng.below(keys))
 }
 
 /// Values written during a run, keyed by the protocol-assigned `(key, ts)`
@@ -252,6 +350,12 @@ pub fn run_threaded(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
     }
     cfg.wire_latency_ns = 20_000;
     cfg.failure_timeout_ns = 40_000_000;
+    if opts.workload == Some(Scenario::Geo) {
+        // WAN profile: every hop pays a 500 µs geo link, and the failure
+        // detector backs off to match.
+        cfg.wire_latency_ns = 500_000;
+        cfg.failure_timeout_ns = 200_000_000;
+    }
     if !schedule.injections.is_empty() {
         cfg = cfg.with_chaos(schedule.spec());
     }
@@ -327,8 +431,10 @@ pub fn run_threaded(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
                     } else {
                         NodeId(rng.below(u64::from(opts.nodes)) as u16)
                     };
-                    let key = Key(rng.below(opts.keys));
-                    match roll(&mut rng, opts.model, opts.placement.is_some()) {
+                    let key = pick_key(&mut rng, opts.keys, opts.workload);
+                    let multi_ok =
+                        opts.placement.is_some() || opts.workload == Some(Scenario::Compose);
+                    match roll(&mut rng, opts.model, multi_ok, opts.workload) {
                         Roll::Write => {
                             let value = format!("s{seed:x}-c{c}-i{i}").into_bytes();
                             let sc = (opts.model == PersistencyModel::Scope && rng.chance(2, 3))
@@ -365,6 +471,27 @@ pub fn run_threaded(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
                         Roll::Read => {
                             if let Ok((v, ts)) = cluster.get_versioned(node, key) {
                                 reads.lock().unwrap().push((key, ts, v.as_ref().to_vec()));
+                            }
+                        }
+                        Roll::Rmw => {
+                            // Read, then the dependent write: two primitive
+                            // history ops, so every oracle applies as-is.
+                            if let Ok((v, ts)) = cluster.get_versioned(node, key) {
+                                reads.lock().unwrap().push((key, ts, v.as_ref().to_vec()));
+                            }
+                            let value = format!("s{seed:x}-c{c}-i{i}-rmw").into_bytes();
+                            if let Ok(ts) = cluster.put(node, key, value.clone().into()) {
+                                written.lock().unwrap().insert((key, ts), value);
+                            }
+                        }
+                        Roll::Scan(len) => {
+                            // Each scan leg is an ordinary point read in
+                            // the history.
+                            for j in 0..len {
+                                let k = Key((key.0 + j) % opts.keys);
+                                if let Ok((v, ts)) = cluster.get_versioned(node, k) {
+                                    reads.lock().unwrap().push((k, ts, v.as_ref().to_vec()));
+                                }
                             }
                         }
                         Roll::Flush => {
@@ -594,9 +721,9 @@ pub fn run_tcp(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
                     } else {
                         rng.below(u64::from(opts.nodes)) as usize
                     };
-                    let key = Key(rng.below(opts.keys));
-                    match roll(&mut rng, opts.model, false) {
-                        Roll::MultiWrite => unreachable!("TCP torture is never sharded"),
+                    let key = pick_key(&mut rng, opts.keys, opts.workload);
+                    match roll(&mut rng, opts.model, false, opts.workload) {
+                        Roll::MultiWrite => unreachable!("TCP torture never batches"),
                         Roll::Write => {
                             let value = format!("s{seed:x}-c{c}-i{i}").into_bytes();
                             let sc = (opts.model == PersistencyModel::Scope && rng.chance(2, 3))
@@ -647,6 +774,84 @@ pub fn run_tcp(schedule: &Schedule, opts: &TortureOptions) -> RunReport {
                                     reads.lock().unwrap().push((key, ts, v));
                                 }
                                 Err(_) => conns[ni] = None,
+                            }
+                        }
+                        Roll::Rmw => {
+                            // Read then dependent write over the wire —
+                            // two primitive client ops in the history.
+                            let call = now_ns();
+                            {
+                                let Some(conn) = reconnect(&mut conns, &client_addrs, ni) else {
+                                    continue;
+                                };
+                                match conn.get_versioned(key) {
+                                    Ok((v, ts)) => {
+                                        history.lock().unwrap().push(read_op(
+                                            NodeId(ni as u16),
+                                            call,
+                                            now_ns(),
+                                            key,
+                                            ts,
+                                        ));
+                                        reads.lock().unwrap().push((key, ts, v));
+                                    }
+                                    Err(_) => {
+                                        conns[ni] = None;
+                                        continue;
+                                    }
+                                }
+                            }
+                            let value = format!("s{seed:x}-c{c}-i{i}-rmw").into_bytes();
+                            let call = now_ns();
+                            let Some(conn) = reconnect(&mut conns, &client_addrs, ni) else {
+                                continue;
+                            };
+                            match conn.put(key, &value, None) {
+                                Ok(ts) => {
+                                    history.lock().unwrap().push(write_op(
+                                        NodeId(ni as u16),
+                                        call,
+                                        Some(now_ns()),
+                                        key,
+                                        Some(ts),
+                                    ));
+                                    written.lock().unwrap().insert((key, ts), value);
+                                }
+                                Err(_) => {
+                                    conns[ni] = None;
+                                    history.lock().unwrap().push(write_op(
+                                        NodeId(ni as u16),
+                                        call,
+                                        None,
+                                        key,
+                                        None,
+                                    ));
+                                }
+                            }
+                        }
+                        Roll::Scan(len) => {
+                            for j in 0..len {
+                                let k = Key((key.0 + j) % opts.keys);
+                                let call = now_ns();
+                                let Some(conn) = reconnect(&mut conns, &client_addrs, ni) else {
+                                    break;
+                                };
+                                match conn.get_versioned(k) {
+                                    Ok((v, ts)) => {
+                                        history.lock().unwrap().push(read_op(
+                                            NodeId(ni as u16),
+                                            call,
+                                            now_ns(),
+                                            k,
+                                            ts,
+                                        ));
+                                        reads.lock().unwrap().push((k, ts, v));
+                                    }
+                                    Err(_) => {
+                                        conns[ni] = None;
+                                        break;
+                                    }
+                                }
                             }
                         }
                         Roll::Flush => {
@@ -1007,8 +1212,9 @@ where
             ops_checked += report.ops;
             if verbose {
                 println!(
-                    "seed {seed:#018x} {model:?}: ok ({ops} ops, {w} injections{crash})",
+                    "seed {seed:#018x} {model:?}{wl}: ok ({ops} ops, {w} injections{crash})",
                     model = opts.model,
+                    wl = opts.workload.map(|w| format!("/{w}")).unwrap_or_default(),
                     ops = report.ops,
                     w = schedule.injections.len(),
                     crash = match schedule.crashes.len() {
@@ -1022,8 +1228,9 @@ where
         }
         if verbose {
             println!(
-                "seed {seed:#018x} {model:?}: VIOLATION — shrinking…",
-                model = opts.model
+                "seed {seed:#018x} {model:?}{wl}: VIOLATION — shrinking…",
+                model = opts.model,
+                wl = opts.workload.map(|w| format!("/{w}")).unwrap_or_default(),
             );
             for v in &report.violations {
                 println!("  {v}");

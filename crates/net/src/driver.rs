@@ -1,6 +1,10 @@
-//! The closed-loop workload driver: submits YCSB-style or DeathStar
-//! operations against a simulated cluster and collects the latency and
-//! throughput numbers behind the paper's figures.
+//! Workload drivers: the closed-loop driver submits YCSB-style or
+//! DeathStar operations against a simulated cluster and collects the
+//! latency and throughput numbers behind the paper's figures; the
+//! open-loop driver ([`run_open_loop`] / [`run_slo_curve`]) replays a
+//! Poisson arrival schedule at a fixed offered load so saturation shows
+//! up as queueing delay (the latency-vs-offered-load knee) instead of
+//! reduced drive.
 
 use crate::arch::Arch;
 use crate::bsim::BSim;
@@ -12,6 +16,7 @@ use minos_core::ReqId;
 use minos_sim::{LatencyStats, Time};
 use minos_types::{DdpModel, Key, NodeId, PersistencyModel, ScopeId, ShardMap, SimConfig, Value};
 use minos_workload::deathstar::{login_batch, App};
+use minos_workload::openloop::{OpenLoopSpec, Scenario, SessionOp};
 use minos_workload::{Op, RequestStream, WorkloadSpec};
 use std::collections::HashMap;
 
@@ -162,6 +167,19 @@ impl SimBox {
         match self {
             SimBox::B(s) => s.submit_read(at, node, key),
             SimBox::O(s) => s.submit_read(at, node, key),
+        }
+    }
+
+    fn submit_write_multi(
+        &mut self,
+        at: Time,
+        node: NodeId,
+        writes: Vec<(Key, Value)>,
+        scope: Option<ScopeId>,
+    ) -> ReqId {
+        match self {
+            SimBox::B(s) => s.submit_write_multi(at, node, writes, scope),
+            SimBox::O(s) => s.submit_write_multi(at, node, writes, scope),
         }
     }
 
@@ -858,4 +876,255 @@ pub fn run_rolling_restart(
             lat_sum as f64 / completed as f64
         },
     }
+}
+
+/// Aggregated results of one open-loop run at a fixed offered load.
+///
+/// All latencies use *late-arrival accounting*: measured from the
+/// operation's scheduled Poisson arrival, not from when the system got
+/// around to serving it — so past saturation, queueing delay piles into
+/// the percentiles instead of silently throttling the drive.
+#[derive(Debug, Clone)]
+pub struct OpenLoopResult {
+    /// Architecture simulated.
+    pub arch: Arch,
+    /// DDP model simulated.
+    pub model: DdpModel,
+    /// The scenario replayed.
+    pub scenario: Scenario,
+    /// Offered load the arrival schedule was generated at (ops/s).
+    pub offered_load: f64,
+    /// Session operations in the schedule.
+    pub submitted: u64,
+    /// Session operations that fully completed (every scan leg, the
+    /// dependent RMW write, the multi-key barrier).
+    pub completed: u64,
+    /// End-to-end latency of every completed session op (ns, from
+    /// scheduled arrival).
+    pub lat: LatencyStats,
+    /// Latencies of the writing ops (write / rmw / multi-write).
+    pub write_lat: LatencyStats,
+    /// Latencies of the read-only ops (read / scan).
+    pub read_lat: LatencyStats,
+    /// Time of the last completion.
+    pub makespan: Time,
+    /// Time of the last scheduled arrival.
+    pub horizon: Time,
+}
+
+impl OpenLoopResult {
+    /// Completed session operations per second of simulated time.
+    #[must_use]
+    pub fn achieved_throughput(&self) -> f64 {
+        ops_per_sec(self.completed, self.makespan)
+    }
+
+    /// `achieved / offered` — 1.0 below saturation, < 1.0 once the
+    /// makespan stretches past the arrival horizon.
+    #[must_use]
+    pub fn drive_ratio(&self) -> f64 {
+        if self.offered_load == 0.0 {
+            return 1.0;
+        }
+        self.achieved_throughput() / self.offered_load
+    }
+}
+
+/// Per-arrival bookkeeping for the open-loop driver.
+struct ArrState {
+    at: Time,
+    /// Outstanding legs (scan fan-out; 1 for everything else).
+    legs: u32,
+    /// `Some(payload)` while an RMW's read leg is outstanding; taken
+    /// when the dependent write is submitted.
+    rmw_value: Option<Value>,
+    key: Key,
+    node: NodeId,
+    session: u32,
+    writes: bool,
+}
+
+/// Replays the open-loop schedule of `spec` (seeded with `seed`)
+/// against a simulated cluster: every arrival is submitted at its
+/// scheduled nanosecond regardless of how far behind the system is.
+///
+/// * RMW arrivals submit their read at the arrival and chain the
+///   dependent write when it completes; the op finishes at the write.
+/// * Scans fan out all legs at the arrival and finish at the last leg.
+/// * Multi-key writes use the barrier parent ([`CompletionKind::MultiWrite`]).
+/// * [`Scenario::Geo`] raises the datacenter RTT to
+///   [`Scenario::wan_rtt_ns`] and splits the cluster into two "regions"
+///   (a 2-group [`ShardMap`]), so cross-region ops pay the WAN hop both
+///   ways via `timing::route_hop_ns`.
+/// * Under `<Lin, Scope>` each session writes into its own scope; the
+///   curve measures write visibility, not flush cost (no `[PERSIST]sc`
+///   is issued — flush-inclusive numbers come from the closed-loop
+///   driver).
+///
+/// Virtual sessions map to coordinator nodes round-robin
+/// (`session % nodes`).
+#[must_use]
+pub fn run_open_loop(
+    arch: Arch,
+    cfg: &SimConfig,
+    model: DdpModel,
+    spec: &OpenLoopSpec,
+    seed: u64,
+) -> OpenLoopResult {
+    let mut cfg = cfg.clone();
+    let placement = spec.scenario.wan_rtt_ns().map(|rtt| {
+        cfg.datacenter_rtt_ns = cfg.datacenter_rtt_ns.max(rtt);
+        let replicas = u16::try_from((cfg.nodes / 2).max(1)).expect("node count fits u16");
+        ShardMap::uniform(2, cfg.nodes, replicas)
+    });
+    let mut sim = SimBox::with_placement(arch, &cfg, model, placement.as_ref());
+    let scoped = model.persistency == PersistencyModel::Scope;
+    let schedule = spec.schedule(seed);
+
+    let mut result = OpenLoopResult {
+        arch,
+        model,
+        scenario: spec.scenario,
+        offered_load: spec.offered_load,
+        submitted: schedule.len() as u64,
+        completed: 0,
+        lat: LatencyStats::new(),
+        write_lat: LatencyStats::new(),
+        read_lat: LatencyStats::new(),
+        makespan: 0,
+        horizon: schedule.last().map_or(0, |a| a.at_ns),
+    };
+
+    // Submit the entire schedule upfront: the DES admits each op at its
+    // scheduled time, so a backlogged coordinator queues arrivals
+    // instead of deferring them.
+    let mut arrs: Vec<ArrState> = Vec::with_capacity(schedule.len());
+    let mut pending: HashMap<ReqId, usize> = HashMap::new();
+    for arrival in schedule {
+        let node = NodeId((arrival.session as usize % cfg.nodes) as u16);
+        let scope = scoped.then_some(ScopeId(arrival.session));
+        let at = arrival.at_ns;
+        let idx = arrs.len();
+        let (state, reqs) = match arrival.op {
+            SessionOp::Write { key, value } => {
+                let req = sim.submit_write(at, node, key, value, scope);
+                (
+                    arr_state(at, 1, None, key, node, arrival.session, true),
+                    vec![req],
+                )
+            }
+            SessionOp::Read { key } => {
+                let req = sim.submit_read(at, node, key);
+                (
+                    arr_state(at, 1, None, key, node, arrival.session, false),
+                    vec![req],
+                )
+            }
+            SessionOp::Rmw { key, value } => {
+                let req = sim.submit_read(at, node, key);
+                (
+                    arr_state(at, 1, Some(value), key, node, arrival.session, true),
+                    vec![req],
+                )
+            }
+            SessionOp::Scan { start, len } => {
+                let reqs: Vec<ReqId> = (0..u64::from(len))
+                    .map(|i| sim.submit_read(at, node, Key(start.0 + i)))
+                    .collect();
+                (
+                    arr_state(at, len, None, start, node, arrival.session, false),
+                    reqs,
+                )
+            }
+            SessionOp::MultiWrite { keys, value } => {
+                let first = keys[0];
+                let writes: Vec<(Key, Value)> =
+                    keys.into_iter().map(|k| (k, value.clone())).collect();
+                let req = sim.submit_write_multi(at, node, writes, scope);
+                (
+                    arr_state(at, 1, None, first, node, arrival.session, true),
+                    vec![req],
+                )
+            }
+        };
+        arrs.push(state);
+        for req in reqs {
+            pending.insert(req, idx);
+        }
+    }
+
+    while sim.step() {
+        for rec in sim.drain_completions() {
+            let Some(&idx) = pending.get(&rec.req) else {
+                continue; // barrier children and other internal reqs
+            };
+            pending.remove(&rec.req);
+            let st = &mut arrs[idx];
+            if let Some(value) = st.rmw_value.take() {
+                // The RMW's read came back: chain the dependent write.
+                let scope = scoped.then_some(ScopeId(st.session));
+                let req = sim.submit_write(rec.at, st.node, st.key, value, scope);
+                pending.insert(req, idx);
+                continue;
+            }
+            st.legs -= 1;
+            if st.legs > 0 {
+                continue;
+            }
+            let lat = rec.at.saturating_sub(st.at);
+            result.completed += 1;
+            result.makespan = result.makespan.max(rec.at);
+            result.lat.record(lat);
+            if st.writes {
+                result.write_lat.record(lat);
+            } else {
+                result.read_lat.record(lat);
+            }
+        }
+    }
+
+    result
+}
+
+#[allow(clippy::fn_params_excessive_bools)]
+fn arr_state(
+    at: Time,
+    legs: u32,
+    rmw_value: Option<Value>,
+    key: Key,
+    node: NodeId,
+    session: u32,
+    writes: bool,
+) -> ArrState {
+    ArrState {
+        at,
+        legs,
+        rmw_value,
+        key,
+        node,
+        session,
+        writes,
+    }
+}
+
+/// Sweeps [`run_open_loop`] over `loads` (ops/s, ascending by
+/// convention) with the same scenario, seed, and op budget — one
+/// latency-vs-offered-load curve. The p99 of the returned points bends
+/// sharply upward past the architecture's capacity: the saturation knee.
+#[must_use]
+pub fn run_slo_curve(
+    arch: Arch,
+    cfg: &SimConfig,
+    model: DdpModel,
+    spec: &OpenLoopSpec,
+    seed: u64,
+    loads: &[f64],
+) -> Vec<OpenLoopResult> {
+    loads
+        .iter()
+        .map(|&load| {
+            let spec = spec.clone().with_offered_load(load);
+            run_open_loop(arch, cfg, model, &spec, seed)
+        })
+        .collect()
 }

@@ -10,8 +10,11 @@
 //!   broadcast;
 //! * [`Arch`] — the seven architecture points of the Figure 12 ablation
 //!   (baseline/offload × batching × broadcast);
-//! * [`driver`] — a closed-loop workload driver producing the
-//!   latency/throughput numbers behind Figures 4, 9, 10, 11, 13 and 14.
+//! * [`driver`] — the closed-loop workload driver producing the
+//!   latency/throughput numbers behind Figures 4, 9, 10, 11, 13 and 14,
+//!   plus the open-loop driver ([`run_open_loop`] / [`run_slo_curve`])
+//!   replaying Poisson arrival schedules for latency-vs-offered-load
+//!   (SLO) curves.
 //!
 //! # Example: one write on the simulated 5-node machine
 //!
@@ -45,8 +48,9 @@ mod timing;
 pub use arch::Arch;
 pub use bsim::BSim;
 pub use driver::{
-    run_observed, run_observed_sharded, run_rolling_restart, run_sharded, AvailabilityRun,
-    CompletionKind, CompletionRec, ObservedRun, RunResult,
+    run_observed, run_observed_sharded, run_open_loop, run_rolling_restart, run_sharded,
+    run_slo_curve, AvailabilityRun, CompletionKind, CompletionRec, ObservedRun, OpenLoopResult,
+    RunResult,
 };
 pub use osim::OSim;
 pub use timing::{catchup_ns, meta_cost};

@@ -1,0 +1,227 @@
+//! Open-loop driver behavior: determinism, RMW chaining, scan fan-out,
+//! the WAN geo profile, and the saturation knee.
+
+use minos_net::{driver, run_open_loop, run_slo_curve, Arch};
+use minos_types::{DdpModel, PersistencyModel, SimConfig};
+use minos_workload::openloop::{OpenLoopSpec, Scenario};
+
+fn synch() -> DdpModel {
+    DdpModel::lin(PersistencyModel::Synchronous)
+}
+
+fn small(scenario: Scenario, load: f64) -> OpenLoopSpec {
+    OpenLoopSpec::new(scenario, load)
+        .with_records(2_000)
+        .with_sessions(200)
+        .with_total_ops(2_000)
+}
+
+/// A compact fingerprint of a run: every field the bench would record.
+fn fingerprint(r: &driver::OpenLoopResult) -> Vec<u64> {
+    let mut lat = r.lat.clone();
+    let mut wr = r.write_lat.clone();
+    let mut rd = r.read_lat.clone();
+    vec![
+        r.submitted,
+        r.completed,
+        r.makespan,
+        r.horizon,
+        lat.quantile(0.5),
+        lat.quantile(0.99),
+        wr.quantile(0.99),
+        rd.quantile(0.99),
+    ]
+}
+
+#[test]
+fn same_seed_gives_identical_runs() {
+    let cfg = SimConfig::paper_defaults();
+    let spec = small(Scenario::YcsbA, 500_000.0);
+    let a = run_open_loop(Arch::baseline(), &cfg, synch(), &spec, 42);
+    let b = run_open_loop(Arch::baseline(), &cfg, synch(), &spec, 42);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    let c = run_open_loop(Arch::baseline(), &cfg, synch(), &spec, 43);
+    assert_ne!(fingerprint(&a), fingerprint(&c), "seed must matter");
+}
+
+#[test]
+fn every_scenario_completes_all_arrivals_on_both_archs() {
+    let cfg = SimConfig::paper_defaults();
+    for scenario in Scenario::ALL {
+        let spec = OpenLoopSpec::new(scenario, 200_000.0)
+            .with_records(1_600)
+            .with_sessions(64)
+            .with_total_ops(400);
+        for arch in [Arch::baseline(), Arch::minos_o()] {
+            let r = run_open_loop(arch, &cfg, synch(), &spec, 7);
+            assert_eq!(
+                r.completed, r.submitted,
+                "{scenario}/{arch:?}: {} of {} arrivals completed",
+                r.completed, r.submitted
+            );
+            assert!(
+                r.makespan >= r.horizon,
+                "{scenario}: completions precede arrivals"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_five_models_run_ycsb_a_clean() {
+    let cfg = SimConfig::paper_defaults();
+    for model in [
+        PersistencyModel::Synchronous,
+        PersistencyModel::Strict,
+        PersistencyModel::ReadEnforced,
+        PersistencyModel::Eventual,
+        PersistencyModel::Scope,
+    ] {
+        let spec = small(Scenario::YcsbA, 300_000.0).with_total_ops(600);
+        let r = run_open_loop(Arch::baseline(), &cfg, DdpModel::lin(model), &spec, 5);
+        assert_eq!(r.completed, r.submitted, "{model:?} dropped arrivals");
+    }
+}
+
+#[test]
+fn rmw_latency_exceeds_plain_read_latency() {
+    // An RMW is a read plus a chained write: at a load far below
+    // capacity its mean end-to-end latency must exceed YCSB-C's
+    // read-only mean under the same config.
+    let cfg = SimConfig::paper_defaults();
+    let rmw = run_open_loop(
+        Arch::baseline(),
+        &cfg,
+        synch(),
+        &small(Scenario::YcsbA, 100_000.0),
+        3,
+    );
+    let ro = run_open_loop(
+        Arch::baseline(),
+        &cfg,
+        synch(),
+        &small(Scenario::YcsbC, 100_000.0),
+        3,
+    );
+    assert!(
+        rmw.write_lat.mean() > ro.read_lat.mean(),
+        "rmw mean {} ≤ read mean {}",
+        rmw.write_lat.mean(),
+        ro.read_lat.mean()
+    );
+}
+
+#[test]
+fn scans_complete_at_their_last_leg() {
+    let cfg = SimConfig::paper_defaults();
+    let e = run_open_loop(
+        Arch::baseline(),
+        &cfg,
+        synch(),
+        &small(Scenario::YcsbE, 100_000.0),
+        11,
+    );
+    assert_eq!(e.completed, e.submitted);
+    // Scan latency (last leg) must exceed the single-read floor of a
+    // read-only run at the same load.
+    let c = run_open_loop(
+        Arch::baseline(),
+        &cfg,
+        synch(),
+        &small(Scenario::YcsbC, 100_000.0),
+        11,
+    );
+    assert!(
+        e.read_lat.mean() > c.read_lat.mean(),
+        "scan mean {} ≤ point-read mean {}",
+        e.read_lat.mean(),
+        c.read_lat.mean()
+    );
+}
+
+#[test]
+fn geo_profile_pays_the_wan_hop() {
+    let cfg = SimConfig::paper_defaults();
+    let geo = run_open_loop(
+        Arch::baseline(),
+        &cfg,
+        synch(),
+        &small(Scenario::Geo, 50_000.0),
+        9,
+    );
+    let local = run_open_loop(
+        Arch::baseline(),
+        &cfg,
+        synch(),
+        &small(Scenario::YcsbB, 50_000.0),
+        9,
+    );
+    assert_eq!(geo.completed, geo.submitted);
+    // Cross-region ops pay ≥ 250 µs each way; the mean must reflect it.
+    assert!(
+        geo.lat.mean() > local.lat.mean() + 100_000.0,
+        "geo mean {} vs local mean {}",
+        geo.lat.mean(),
+        local.lat.mean()
+    );
+}
+
+#[test]
+fn slo_curve_shows_a_saturation_knee_for_b_but_not_o() {
+    let cfg = SimConfig::paper_defaults();
+    let spec = OpenLoopSpec::new(Scenario::YcsbA, 1.0)
+        .with_records(2_000)
+        .with_sessions(500)
+        .with_total_ops(4_000);
+    // MINOS-B saturates around ~1.1 M ops/s on the paper config; MINOS-O
+    // at ~5× that. Drive both through the same ascending loads.
+    let loads = [250_000.0, 500_000.0, 1_000_000.0, 2_000_000.0, 4_000_000.0];
+    let b = run_slo_curve(Arch::baseline(), &cfg, synch(), &spec, 17, &loads);
+    let o = run_slo_curve(Arch::minos_o(), &cfg, synch(), &spec, 17, &loads);
+    assert_eq!(b.len(), loads.len());
+
+    let p99 = |r: &driver::OpenLoopResult| r.lat.clone().quantile(0.99);
+    let b_low = p99(&b[0]);
+    let b_high = p99(b.last().unwrap());
+    let o_high = p99(o.last().unwrap());
+    assert!(
+        b_high > 5 * b_low,
+        "B never saturated: p99 {b_low} → {b_high}"
+    );
+    assert!(
+        o_high < b_high / 2,
+        "O should stay below B's knee: O {o_high} vs B {b_high}"
+    );
+    // Past saturation the achieved throughput falls behind the offer.
+    assert!(b.last().unwrap().drive_ratio() < 0.95);
+    assert!(b[0].drive_ratio() > 0.9);
+}
+
+#[test]
+fn late_arrivals_account_queueing_delay() {
+    // The same op count at 10× the offered load must *not* report lower
+    // p99 latency on a saturated system: arrivals keep their scheduled
+    // timestamps, so backpressure shows as queueing delay.
+    let cfg = SimConfig::paper_defaults();
+    let spec = small(Scenario::YcsbA, 1.0).with_total_ops(3_000);
+    let relaxed = run_open_loop(
+        Arch::baseline(),
+        &cfg,
+        synch(),
+        &spec.clone().with_offered_load(200_000.0),
+        23,
+    );
+    let slammed = run_open_loop(
+        Arch::baseline(),
+        &cfg,
+        synch(),
+        &spec.with_offered_load(8_000_000.0),
+        23,
+    );
+    let relaxed_p99 = relaxed.lat.clone().quantile(0.99);
+    let slammed_p99 = slammed.lat.clone().quantile(0.99);
+    assert!(
+        slammed_p99 > 10 * relaxed_p99,
+        "saturation hid the queueing delay: {slammed_p99} vs {relaxed_p99}"
+    );
+}

@@ -17,6 +17,11 @@ use bytes::Bytes;
 use minos_types::Key;
 use serde::{Deserialize, Serialize};
 
+/// Key slots reserved per user: reads land in the lower half of a
+/// user's block, writes in the upper half, so a user table of `n`
+/// records serves `n / SLOTS_PER_USER` users with disjoint key ranges.
+pub const SLOTS_PER_USER: u64 = 16;
+
 /// Which DeathStarBench application the trace models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum App {
@@ -78,7 +83,6 @@ pub struct LoginTrace {
 pub fn login_trace(app: App, user: u64, users: u64) -> LoginTrace {
     assert!(users > 0, "user table must be non-empty");
     let user = user % users;
-    const SLOTS_PER_USER: u64 = 16;
     let base = user * SLOTS_PER_USER;
     let (reads, writes) = app.ops_per_login();
     // Small session payloads: Login writes tokens, not media blobs.
@@ -105,6 +109,85 @@ pub fn login_batch(app: App, logins: usize, users: u64) -> Vec<LoginTrace> {
     (0..logins)
         .map(|i| login_trace(app, i as u64 * 7 + 1, users))
         .collect()
+}
+
+/// A DeathStar Social-Network request flow. `Login` is the paper's
+/// Figure 11 function; `ComposePost` and `HomeTimeline` are the two
+/// other dominant Social-Network endpoints, modelled by their KV access
+/// patterns the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Flow {
+    /// `UserService::Login` — credential reads then session writes.
+    Login,
+    /// `ComposePostService::ComposePost` — profile/graph/media reads,
+    /// then a post write fanned into the author's and followers'
+    /// timelines (one multi-key transaction in MINOS terms).
+    ComposePost,
+    /// `HomeTimelineService::ReadHomeTimeline` — a profile read followed
+    /// by a contiguous fan-in over the timeline entries (a scan).
+    HomeTimeline,
+}
+
+impl Flow {
+    /// Display label used in reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Flow::Login => "login",
+            Flow::ComposePost => "compose-post",
+            Flow::HomeTimeline => "home-timeline",
+        }
+    }
+}
+
+/// A generated flow invocation: the ordered KV operations it performs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowTrace {
+    /// The flow.
+    pub flow: Flow,
+    /// The user id this invocation concerns.
+    pub user: u64,
+    /// KV operations, in program order.
+    pub ops: Vec<Op>,
+}
+
+/// Generates the trace of one `flow` invocation for `user` against a
+/// user table of `users` records, on the same per-user
+/// [`SLOTS_PER_USER`]-slot key layout as [`login_trace`].
+///
+/// * `ComposePost`: 3 reads (profile, social graph, media) from the
+///   lower half of the user's block, then 3 adjacent writes (the post
+///   plus the user-/home-timeline markers) in the upper half — the
+///   contiguous write burst drivers collapse into one multi-key
+///   transaction.
+/// * `HomeTimeline`: a profile read, then a contiguous 6-entry fan-in
+///   over the timeline slots — the run drivers collapse into a scan.
+/// * `Login`: delegates to [`login_trace`] (Social Network variant).
+#[must_use]
+pub fn flow_trace(flow: Flow, user: u64, users: u64) -> FlowTrace {
+    assert!(users > 0, "user table must be non-empty");
+    let user = user % users;
+    let base = user * SLOTS_PER_USER;
+    let payload = Bytes::from(vec![0x5Eu8; 128]);
+    let ops = match flow {
+        Flow::Login => login_trace(App::SocialNetwork, user, users).ops,
+        Flow::ComposePost => {
+            let mut ops: Vec<Op> = (0..3).map(|i| Op::Read { key: Key(base + i) }).collect();
+            ops.extend((0..3).map(|i| Op::Write {
+                key: Key(base + SLOTS_PER_USER / 2 + i),
+                value: payload.clone(),
+            }));
+            ops
+        }
+        Flow::HomeTimeline => {
+            let mut ops = vec![Op::Read { key: Key(base) }];
+            ops.extend((0..6).map(|i| Op::Read {
+                key: Key(base + 2 + i),
+            }));
+            ops
+        }
+    };
+    FlowTrace { flow, user, ops }
 }
 
 #[cfg(test)]
@@ -151,5 +234,51 @@ mod tests {
     fn labels_match_figure() {
         assert_eq!(App::SocialNetwork.label(), "Social");
         assert_eq!(App::MediaMicroservices.label(), "Media");
+    }
+
+    #[test]
+    fn compose_post_reads_then_writes_contiguously() {
+        let t = flow_trace(Flow::ComposePost, 4, 100);
+        assert_eq!(t.ops.iter().filter(|o| !o.is_write()).count(), 3);
+        let writes: Vec<u64> = t
+            .ops
+            .iter()
+            .filter(|o| o.is_write())
+            .map(|o| o.key().0)
+            .collect();
+        assert_eq!(writes.len(), 3);
+        assert!(
+            writes.windows(2).all(|w| w[1] == w[0] + 1),
+            "post + timeline writes must be adjacent for the multi-key barrier: {writes:?}"
+        );
+    }
+
+    #[test]
+    fn home_timeline_is_read_only_with_contiguous_fanin() {
+        let t = flow_trace(Flow::HomeTimeline, 9, 100);
+        assert!(t.ops.iter().all(|o| !o.is_write()));
+        let keys: Vec<u64> = t.ops.iter().skip(1).map(|o| o.key().0).collect();
+        assert_eq!(keys.len(), 6);
+        assert!(keys.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+
+    #[test]
+    fn login_flow_matches_login_trace() {
+        let t = flow_trace(Flow::Login, 17, 1000);
+        assert_eq!(t.ops, login_trace(App::SocialNetwork, 17, 1000).ops);
+    }
+
+    #[test]
+    fn flows_stay_inside_the_user_block() {
+        for flow in [Flow::Login, Flow::ComposePost, Flow::HomeTimeline] {
+            let t = flow_trace(flow, 6, 100);
+            for op in &t.ops {
+                let k = op.key().0;
+                assert!(
+                    (6 * SLOTS_PER_USER..7 * SLOTS_PER_USER).contains(&k),
+                    "{flow:?}: key {k} escapes the user block"
+                );
+            }
+        }
     }
 }

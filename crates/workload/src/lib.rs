@@ -6,8 +6,14 @@
 //!   with a configurable write fraction, database size, and record size
 //!   (the paper's defaults: 100 000 records/node, 1 KB records, 50/50
 //!   mix, 100 000 requests per node);
-//! * [`deathstar`] — synthetic DeathStarBench `Login` traces for the
-//!   Figure 11 end-to-end experiment.
+//! * [`deathstar`] — synthetic DeathStarBench traces (`Login` for the
+//!   Figure 11 end-to-end experiment, plus `ComposePost` /
+//!   `HomeTimeline` flows);
+//! * [`openloop`] — seeded open-loop session generation: Poisson
+//!   arrivals at a configurable offered load over many virtual
+//!   sessions, with a scenario library (YCSB A–F, DeathStar compose
+//!   flows, hot-key skew storms, a WAN geo profile) whose every entry
+//!   doubles as a torture workload.
 //!
 //! # Example
 //!
@@ -25,8 +31,10 @@
 #![warn(missing_docs)]
 
 pub mod deathstar;
+pub mod openloop;
 mod stream;
 mod zipf;
 
+pub use openloop::{Arrival, OpenLoopSpec, Scenario, SessionOp};
 pub use stream::{KeyDist, Op, RequestStream, WorkloadSpec};
 pub use zipf::Zipfian;

@@ -1,0 +1,742 @@
+//! Open-loop session generation: Poisson arrivals at a configurable
+//! offered load over tens of thousands of virtual client sessions.
+//!
+//! The closed-loop streams of [`crate::WorkloadSpec`] submit a new
+//! request only when the previous one completes, so a slow system simply
+//! *receives less load* — coordinator backpressure is invisible. The
+//! open-loop generator fixes the arrival process instead: inter-arrival
+//! gaps are exponential with mean `1e9 / offered_load` nanoseconds,
+//! independent of completions, so a saturated system accumulates
+//! queueing delay that shows up as latency (the p99 "knee" of a
+//! latency-vs-offered-load curve) rather than as reduced drive.
+//!
+//! A schedule is a flat, deterministic list of [`Arrival`]s: the
+//! nanosecond the operation enters the system, the virtual session that
+//! issued it, and the [`SessionOp`] itself. Sessions partition the
+//! arrival stream the way independent clients would (per-session flow
+//! state for the DeathStar scenarios lives here too), but arrivals stay
+//! globally Poisson — the superposition of many thin client processes.
+//!
+//! # Scenarios
+//!
+//! [`Scenario`] widens the workload library beyond the closed-loop
+//! YCSB-C-shaped mix:
+//!
+//! | flag         | mix                                                    |
+//! |--------------|--------------------------------------------------------|
+//! | `ycsb-a`     | 50 % read / 50 % read-modify-write, zipfian keys       |
+//! | `ycsb-b`     | 95 % read / 5 % write, zipfian                         |
+//! | `ycsb-c`     | 100 % read, zipfian                                    |
+//! | `ycsb-d`     | 95 % recency-skewed read / 5 % insert at the frontier  |
+//! | `ycsb-e`     | 95 % scan (1–`scan_max` keys) / 5 % write              |
+//! | `ycsb-f`     | 50 % read / 50 % read-modify-write, uniform keys       |
+//! | `compose`    | DeathStar compose-post / home-timeline session flows   |
+//! | `skew`       | hot-key storm: 60 % of traffic on a 64-key zipf head   |
+//! | `geo`        | 95/5 read/write under a 500 µs+ WAN cross-region hop   |
+//!
+//! Every scenario doubles as a torture workload: `minos-torture
+//! --workload <flag>` drives the same mixes against the live runtimes.
+//!
+//! # Example
+//!
+//! ```
+//! use minos_workload::openloop::{OpenLoopSpec, Scenario};
+//!
+//! let spec = OpenLoopSpec::new(Scenario::YcsbA, 1_000_000.0) // 1 M ops/s
+//!     .with_sessions(10_000)
+//!     .with_total_ops(5_000);
+//! let sched = spec.schedule(42);
+//! assert_eq!(sched.len(), 5_000);
+//! // Same seed, same build: byte-identical schedules.
+//! assert_eq!(
+//!     minos_workload::openloop::encode_schedule(&sched),
+//!     minos_workload::openloop::encode_schedule(&spec.schedule(42)),
+//! );
+//! ```
+
+use crate::deathstar::{flow_trace, Flow, SLOTS_PER_USER};
+use crate::stream::Op;
+use crate::zipf::Zipfian;
+use bytes::Bytes;
+use minos_types::Key;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+
+/// A workload scenario: the op mix and key distribution one open-loop
+/// (or torture) session stream follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// YCSB-A: 50 % read / 50 % read-modify-write, zipfian keys.
+    YcsbA,
+    /// YCSB-B: 95 % read / 5 % write, zipfian keys.
+    YcsbB,
+    /// YCSB-C: 100 % read, zipfian keys.
+    YcsbC,
+    /// YCSB-D: 95 % recency-skewed read / 5 % insert at a moving
+    /// frontier ("latest" distribution).
+    YcsbD,
+    /// YCSB-E: 95 % short scan / 5 % write.
+    YcsbE,
+    /// YCSB-F: 50 % read / 50 % read-modify-write, uniform keys.
+    YcsbF,
+    /// DeathStar compose-post / home-timeline session flows.
+    Compose,
+    /// Hot-key storm: most traffic concentrated on a tiny zipf head,
+    /// half of it writes.
+    Skew,
+    /// WAN geo profile: a plain 95/5 mix, but the driver applies a
+    /// 500 µs+ cross-region hop to every routed message.
+    Geo,
+}
+
+impl Scenario {
+    /// Every scenario, in flag order.
+    pub const ALL: [Scenario; 9] = [
+        Scenario::YcsbA,
+        Scenario::YcsbB,
+        Scenario::YcsbC,
+        Scenario::YcsbD,
+        Scenario::YcsbE,
+        Scenario::YcsbF,
+        Scenario::Compose,
+        Scenario::Skew,
+        Scenario::Geo,
+    ];
+
+    /// The stable CLI flag / bench-cell label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::YcsbA => "ycsb-a",
+            Scenario::YcsbB => "ycsb-b",
+            Scenario::YcsbC => "ycsb-c",
+            Scenario::YcsbD => "ycsb-d",
+            Scenario::YcsbE => "ycsb-e",
+            Scenario::YcsbF => "ycsb-f",
+            Scenario::Compose => "compose",
+            Scenario::Skew => "skew",
+            Scenario::Geo => "geo",
+        }
+    }
+
+    /// Parses [`Scenario::label`] output back (the `--workload` flag).
+    #[must_use]
+    pub fn from_flag(s: &str) -> Option<Scenario> {
+        Scenario::ALL.into_iter().find(|sc| sc.label() == s)
+    }
+
+    /// The WAN round-trip this scenario imposes on cross-region hops
+    /// (`None` for datacenter-local scenarios). Drivers add this to
+    /// their link model — the DES runtime feeds it through
+    /// `timing::route_hop_ns` / the datacenter RTT, the threaded
+    /// torture driver inflates its wire latency.
+    #[must_use]
+    pub fn wan_rtt_ns(self) -> Option<u64> {
+        matches!(self, Scenario::Geo).then_some(500_000)
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One generated session operation. Supersets the closed-loop
+/// [`Op`]: read-modify-write and scans are first-class so the
+/// drivers can chain the dependent write / fan the range out, and the
+/// torture oracles see them decomposed into the reads and writes they
+/// are made of.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionOp {
+    /// Blind write of `value` to `key`.
+    Write {
+        /// Target key.
+        key: Key,
+        /// Payload (of the spec's record size).
+        value: Bytes,
+    },
+    /// Point read of `key`.
+    Read {
+        /// Target key.
+        key: Key,
+    },
+    /// Read-modify-write: read `key`, then write `value` to the same
+    /// key once the read completes. Latency is accounted end-to-end
+    /// from the arrival to the dependent write's completion.
+    Rmw {
+        /// Target key.
+        key: Key,
+        /// Payload of the dependent write.
+        value: Bytes,
+    },
+    /// Range scan: reads of `start .. start + len`, fanned out at the
+    /// arrival; complete when the last leg completes.
+    Scan {
+        /// First key of the range.
+        start: Key,
+        /// Number of keys read (≥ 1).
+        len: u32,
+    },
+    /// Multi-key transactional write: all keys written under one
+    /// completion barrier.
+    MultiWrite {
+        /// Target keys (distinct).
+        keys: Vec<Key>,
+        /// Payload written to each key.
+        value: Bytes,
+    },
+}
+
+impl SessionOp {
+    /// Whether the op performs any write.
+    #[must_use]
+    pub fn writes(&self) -> bool {
+        matches!(
+            self,
+            SessionOp::Write { .. } | SessionOp::Rmw { .. } | SessionOp::MultiWrite { .. }
+        )
+    }
+
+    /// The first key the op touches (scan start / first batch key).
+    #[must_use]
+    pub fn primary_key(&self) -> Key {
+        match self {
+            SessionOp::Write { key, .. } | SessionOp::Read { key } | SessionOp::Rmw { key, .. } => {
+                *key
+            }
+            SessionOp::Scan { start, .. } => *start,
+            SessionOp::MultiWrite { keys, .. } => keys[0],
+        }
+    }
+
+    /// Stable label for histograms and reports.
+    #[must_use]
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            SessionOp::Write { .. } => "write",
+            SessionOp::Read { .. } => "read",
+            SessionOp::Rmw { .. } => "rmw",
+            SessionOp::Scan { .. } => "scan",
+            SessionOp::MultiWrite { .. } => "multi_write",
+        }
+    }
+}
+
+/// One scheduled arrival: when, which virtual session, and what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arrival {
+    /// Nanosecond the operation enters the system (from t = 0).
+    pub at_ns: u64,
+    /// Virtual session that issued it.
+    pub session: u32,
+    /// The operation.
+    pub op: SessionOp,
+}
+
+/// An open-loop workload description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopSpec {
+    /// The scenario (op mix + key distribution).
+    pub scenario: Scenario,
+    /// Offered load in operations per second. The arrival process is
+    /// Poisson with this rate, independent of completions.
+    pub offered_load: f64,
+    /// Virtual client sessions the arrivals are spread over.
+    pub sessions: u32,
+    /// Total operations in the schedule.
+    pub total_ops: u64,
+    /// Records in the database.
+    pub records: u64,
+    /// Payload bytes per written record.
+    pub record_bytes: usize,
+    /// Largest scan length YCSB-E draws (uniform on `1..=scan_max`).
+    pub scan_max: u32,
+}
+
+impl OpenLoopSpec {
+    /// A spec at `offered_load` ops/s with the library defaults:
+    /// 10 000 sessions, 20 000 ops, 100 000 records, 128-byte payloads,
+    /// scans up to 16 keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offered_load` is not strictly positive and finite.
+    #[must_use]
+    pub fn new(scenario: Scenario, offered_load: f64) -> Self {
+        let spec = OpenLoopSpec {
+            scenario,
+            offered_load,
+            sessions: 10_000,
+            total_ops: 20_000,
+            records: 100_000,
+            record_bytes: 128,
+            scan_max: 16,
+        };
+        spec.check();
+        spec
+    }
+
+    fn check(&self) {
+        assert!(
+            self.offered_load.is_finite() && self.offered_load > 0.0,
+            "offered load must be a positive rate (ops/s)"
+        );
+        assert!(self.sessions > 0, "need at least one session");
+        assert!(self.records > 0, "database must be non-empty");
+        assert!(self.scan_max > 0, "scans need at least one key");
+    }
+
+    /// Builder-style offered-load override.
+    #[must_use]
+    pub fn with_offered_load(mut self, ops_per_sec: f64) -> Self {
+        self.offered_load = ops_per_sec;
+        self.check();
+        self
+    }
+
+    /// Builder-style session-count override.
+    #[must_use]
+    pub fn with_sessions(mut self, sessions: u32) -> Self {
+        self.sessions = sessions;
+        self.check();
+        self
+    }
+
+    /// Builder-style schedule-length override.
+    #[must_use]
+    pub fn with_total_ops(mut self, ops: u64) -> Self {
+        self.total_ops = ops;
+        self
+    }
+
+    /// Builder-style database-size override.
+    #[must_use]
+    pub fn with_records(mut self, records: u64) -> Self {
+        self.records = records;
+        self.check();
+        self
+    }
+
+    /// Builder-style payload-size override.
+    #[must_use]
+    pub fn with_record_bytes(mut self, bytes: usize) -> Self {
+        self.record_bytes = bytes;
+        self
+    }
+
+    /// Builder-style scan-length override.
+    #[must_use]
+    pub fn with_scan_max(mut self, max: u32) -> Self {
+        self.scan_max = max;
+        self.check();
+        self
+    }
+
+    /// The mean inter-arrival gap, in nanoseconds.
+    #[must_use]
+    pub fn mean_gap_ns(&self) -> f64 {
+        1e9 / self.offered_load
+    }
+
+    /// Generates the deterministic arrival schedule for `seed`. The
+    /// same seed and spec produce a byte-identical schedule (see
+    /// [`encode_schedule`]) — the foundation of the bench gate's
+    /// self-compare.
+    #[must_use]
+    pub fn schedule(&self, seed: u64) -> Vec<Arrival> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gen = ScenarioGen::new(self);
+        let mut arrivals = Vec::with_capacity(usize::try_from(self.total_ops).unwrap_or(0));
+        let mut t_ns = 0.0f64;
+        for _ in 0..self.total_ops {
+            // Exponential gap via inverse CDF; 1 - u avoids ln(0).
+            let u: f64 = rng.gen();
+            t_ns += -(1.0 - u).ln() * self.mean_gap_ns();
+            let session = rng.gen_range(0..self.sessions);
+            let op = gen.next_op(session, &mut rng);
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            arrivals.push(Arrival {
+                at_ns: t_ns as u64,
+                session,
+                op,
+            });
+        }
+        arrivals
+    }
+}
+
+/// Per-schedule scenario state: key distributions, the YCSB-D insert
+/// frontier, and per-session DeathStar flow queues.
+struct ScenarioGen {
+    scenario: Scenario,
+    records: u64,
+    scan_max: u32,
+    zipf: Zipfian,
+    /// The 64-key storm head of the skew scenario.
+    hot: Zipfian,
+    /// YCSB-D insert frontier (the "latest" record).
+    frontier: u64,
+    /// Per-session pending DeathStar flow ops (compose scenario only).
+    flows: HashMap<u32, VecDeque<SessionOp>>,
+    payload: Bytes,
+}
+
+impl ScenarioGen {
+    fn new(spec: &OpenLoopSpec) -> Self {
+        ScenarioGen {
+            scenario: spec.scenario,
+            records: spec.records,
+            scan_max: spec.scan_max,
+            zipf: Zipfian::new(spec.records),
+            hot: Zipfian::new(spec.records.min(64)),
+            frontier: 0,
+            flows: HashMap::new(),
+            payload: Bytes::from(vec![0xAB; spec.record_bytes]),
+        }
+    }
+
+    fn next_op(&mut self, session: u32, rng: &mut StdRng) -> SessionOp {
+        let roll = rng.gen_range(0u32..100);
+        match self.scenario {
+            Scenario::YcsbA => {
+                let key = Key(self.zipf.sample(rng));
+                if roll < 50 {
+                    SessionOp::Rmw {
+                        key,
+                        value: self.payload.clone(),
+                    }
+                } else {
+                    SessionOp::Read { key }
+                }
+            }
+            Scenario::YcsbB | Scenario::Geo => {
+                let key = Key(self.zipf.sample(rng));
+                if roll < 5 {
+                    SessionOp::Write {
+                        key,
+                        value: self.payload.clone(),
+                    }
+                } else {
+                    SessionOp::Read { key }
+                }
+            }
+            Scenario::YcsbC => SessionOp::Read {
+                key: Key(self.zipf.sample(rng)),
+            },
+            Scenario::YcsbD => {
+                if roll < 5 {
+                    // Insert at the moving frontier.
+                    self.frontier = (self.frontier + 1) % self.records;
+                    SessionOp::Write {
+                        key: Key(self.frontier),
+                        value: self.payload.clone(),
+                    }
+                } else {
+                    // "Latest" distribution: zipf-distributed distance
+                    // behind the frontier.
+                    let dist = self.zipf.sample(rng);
+                    let key = (self.frontier + self.records - dist % self.records) % self.records;
+                    SessionOp::Read { key: Key(key) }
+                }
+            }
+            Scenario::YcsbE => {
+                if roll < 5 {
+                    SessionOp::Write {
+                        key: Key(self.zipf.sample(rng)),
+                        value: self.payload.clone(),
+                    }
+                } else {
+                    let start = self.zipf.sample(rng);
+                    let len = 1 + rng.gen_range(0..self.scan_max);
+                    // Clamp the range inside the database.
+                    let len = len.min(u32::try_from(self.records - start).unwrap_or(u32::MAX));
+                    SessionOp::Scan {
+                        start: Key(start),
+                        len: len.max(1),
+                    }
+                }
+            }
+            Scenario::YcsbF => {
+                let key = Key(rng.gen_range(0..self.records));
+                if roll < 50 {
+                    SessionOp::Rmw {
+                        key,
+                        value: self.payload.clone(),
+                    }
+                } else {
+                    SessionOp::Read { key }
+                }
+            }
+            Scenario::Skew => {
+                // The storm: 60 % of traffic lands on the 64-key zipf
+                // head (most of that on rank 0), the rest spreads out.
+                let key = if roll < 60 {
+                    Key(self.hot.sample(rng))
+                } else {
+                    Key(rng.gen_range(0..self.records))
+                };
+                if rng.gen_range(0u32..100) < 50 {
+                    SessionOp::Write {
+                        key,
+                        value: self.payload.clone(),
+                    }
+                } else {
+                    SessionOp::Read { key }
+                }
+            }
+            Scenario::Compose => self.next_compose_op(session, rng),
+        }
+    }
+
+    /// Compose scenario: each session runs DeathStar flows op-by-op in
+    /// program order; one arrival consumes one op of the session's
+    /// current flow, and a drained session starts a fresh flow
+    /// (1-in-3 compose-post, else home-timeline).
+    fn next_compose_op(&mut self, session: u32, rng: &mut StdRng) -> SessionOp {
+        let users = (self.records / SLOTS_PER_USER).max(1);
+        let queue = self.flows.entry(session).or_default();
+        if queue.is_empty() {
+            let flow = if rng.gen_range(0u32..3) == 0 {
+                Flow::ComposePost
+            } else {
+                Flow::HomeTimeline
+            };
+            let trace = flow_trace(flow, rng.gen_range(0..users), users);
+            // Leading reads stay point reads; a trailing run of ≥2
+            // contiguous ops collapses into the flow's bulk op — the
+            // timeline fan-in becomes a scan, the post+timeline write
+            // burst becomes one multi-key transaction.
+            let writes: Vec<Key> = trace
+                .ops
+                .iter()
+                .filter(|o| o.is_write())
+                .map(Op::key)
+                .collect();
+            let reads: Vec<Key> = trace
+                .ops
+                .iter()
+                .filter(|o| !o.is_write())
+                .map(Op::key)
+                .collect();
+            match flow {
+                Flow::HomeTimeline => {
+                    // Profile read, then the contiguous timeline fan-in
+                    // as one scan.
+                    if let Some(&first) = reads.first() {
+                        queue.push_back(SessionOp::Read { key: first });
+                    }
+                    if reads.len() > 1 {
+                        let start = reads[1];
+                        queue.push_back(SessionOp::Scan {
+                            start,
+                            len: u32::try_from(reads.len() - 1).unwrap_or(1),
+                        });
+                    }
+                }
+                Flow::ComposePost | Flow::Login => {
+                    for key in reads {
+                        queue.push_back(SessionOp::Read { key });
+                    }
+                    if writes.len() > 1 {
+                        queue.push_back(SessionOp::MultiWrite {
+                            keys: writes,
+                            value: self.payload.clone(),
+                        });
+                    } else {
+                        for key in writes {
+                            queue.push_back(SessionOp::Write {
+                                key,
+                                value: self.payload.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        queue.pop_front().expect("flow refill produced no ops")
+    }
+}
+
+/// Serializes a schedule to a canonical byte string — the determinism
+/// tests compare these for byte-identity across runs.
+#[must_use]
+pub fn encode_schedule(schedule: &[Arrival]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(schedule.len() * 24);
+    for a in schedule {
+        out.extend_from_slice(&a.at_ns.to_le_bytes());
+        out.extend_from_slice(&a.session.to_le_bytes());
+        match &a.op {
+            SessionOp::Write { key, value } => {
+                out.push(0);
+                out.extend_from_slice(&key.0.to_le_bytes());
+                out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+            }
+            SessionOp::Read { key } => {
+                out.push(1);
+                out.extend_from_slice(&key.0.to_le_bytes());
+            }
+            SessionOp::Rmw { key, value } => {
+                out.push(2);
+                out.extend_from_slice(&key.0.to_le_bytes());
+                out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+            }
+            SessionOp::Scan { start, len } => {
+                out.push(3);
+                out.extend_from_slice(&start.0.to_le_bytes());
+                out.extend_from_slice(&len.to_le_bytes());
+            }
+            SessionOp::MultiWrite { keys, value } => {
+                out.push(4);
+                out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+                for k in keys {
+                    out.extend_from_slice(&k.0.to_le_bytes());
+                }
+                out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// FNV-1a digest of [`encode_schedule`] — a compact fingerprint for
+/// logs and reports.
+#[must_use]
+pub fn schedule_digest(schedule: &[Arrival]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in encode_schedule(schedule) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(sc: Scenario) -> OpenLoopSpec {
+        OpenLoopSpec::new(sc, 1_000_000.0)
+            .with_records(1_000)
+            .with_sessions(50)
+            .with_total_ops(2_000)
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for sc in Scenario::ALL {
+            assert_eq!(Scenario::from_flag(sc.label()), Some(sc));
+        }
+        assert_eq!(Scenario::from_flag("ycsb-z"), None);
+    }
+
+    #[test]
+    fn mean_gap_tracks_offered_load() {
+        let s = spec(Scenario::YcsbB);
+        let sched = s.schedule(7);
+        let span = sched.last().unwrap().at_ns as f64;
+        let mean = span / sched.len() as f64;
+        // Poisson: empirical mean gap within 10 % of 1/λ = 1000 ns.
+        assert!(
+            (mean - s.mean_gap_ns()).abs() < s.mean_gap_ns() * 0.1,
+            "mean gap {mean:.0} ns vs expected {:.0} ns",
+            s.mean_gap_ns()
+        );
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_sessions_in_range() {
+        let s = spec(Scenario::Compose);
+        let sched = s.schedule(3);
+        for w in sched.windows(2) {
+            assert!(w[0].at_ns <= w[1].at_ns);
+        }
+        assert!(sched.iter().all(|a| a.session < s.sessions));
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        for sc in Scenario::ALL {
+            let s = spec(sc);
+            let a = encode_schedule(&s.schedule(11));
+            let b = encode_schedule(&s.schedule(11));
+            let c = encode_schedule(&s.schedule(12));
+            assert_eq!(a, b, "{sc}: same seed diverged");
+            assert_ne!(a, c, "{sc}: different seeds collided");
+        }
+    }
+
+    #[test]
+    fn ycsb_a_is_half_rmw() {
+        let sched = spec(Scenario::YcsbA).schedule(5);
+        let rmw = sched
+            .iter()
+            .filter(|a| matches!(a.op, SessionOp::Rmw { .. }))
+            .count();
+        let frac = rmw as f64 / sched.len() as f64;
+        assert!((frac - 0.5).abs() < 0.05, "rmw fraction {frac}");
+    }
+
+    #[test]
+    fn ycsb_c_is_read_only() {
+        let sched = spec(Scenario::YcsbC).schedule(5);
+        assert!(sched.iter().all(|a| !a.op.writes()));
+    }
+
+    #[test]
+    fn ycsb_e_scans_stay_in_range() {
+        let s = spec(Scenario::YcsbE);
+        let sched = s.schedule(9);
+        let mut scans = 0;
+        for a in &sched {
+            if let SessionOp::Scan { start, len } = a.op {
+                scans += 1;
+                assert!(len >= 1 && len <= s.scan_max);
+                assert!(start.0 + u64::from(len) <= s.records);
+            }
+        }
+        assert!(scans > sched.len() / 2, "E should be scan-heavy: {scans}");
+    }
+
+    #[test]
+    fn skew_concentrates_on_the_head() {
+        let sched = spec(Scenario::Skew).schedule(13);
+        let head = sched.iter().filter(|a| a.op.primary_key().0 < 64).count();
+        assert!(
+            head * 2 > sched.len(),
+            "hot head drew only {head}/{} ops",
+            sched.len()
+        );
+    }
+
+    #[test]
+    fn compose_sessions_issue_flow_ops_in_order() {
+        let sched = spec(Scenario::Compose).schedule(21);
+        let multi = sched
+            .iter()
+            .filter(|a| matches!(a.op, SessionOp::MultiWrite { .. }))
+            .count();
+        let scans = sched
+            .iter()
+            .filter(|a| matches!(a.op, SessionOp::Scan { .. }))
+            .count();
+        assert!(multi > 0, "compose never issued a multi-key post");
+        assert!(scans > 0, "compose never issued a timeline fan-in");
+    }
+
+    #[test]
+    fn geo_declares_a_wan_rtt() {
+        assert_eq!(Scenario::Geo.wan_rtt_ns(), Some(500_000));
+        assert_eq!(Scenario::YcsbA.wan_rtt_ns(), None);
+    }
+
+    #[test]
+    fn digest_is_stable_for_equal_schedules() {
+        let s = spec(Scenario::YcsbF);
+        assert_eq!(
+            schedule_digest(&s.schedule(2)),
+            schedule_digest(&s.schedule(2))
+        );
+    }
+}

@@ -1,5 +1,6 @@
 //! Property-based tests of the workload generators.
 
+use minos_workload::openloop::{encode_schedule, OpenLoopSpec, Scenario};
 use minos_workload::{deathstar, KeyDist, WorkloadSpec, Zipfian};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -86,5 +87,83 @@ proptest! {
         let a = deathstar::login_trace(deathstar::App::SocialNetwork, user, users);
         let b = deathstar::login_trace(deathstar::App::SocialNetwork, user, users);
         prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zipfian_hottest_key_tracks_theoretical_mass_across_thetas(
+        seed in any::<u64>(),
+        theta_idx in 0usize..4,
+    ) {
+        // Several skews, from mild to the YCSB default: the empirical
+        // frequency of rank 0 must sit within an absolute tolerance of
+        // its analytic probability mass at every one of them.
+        let theta = [0.3, 0.6, 0.9, 0.99][theta_idx];
+        let z = Zipfian::with_theta(200, theta);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trials = 60_000u64;
+        let hits = (0..trials).filter(|_| z.sample(&mut rng) == 0).count();
+        let got = hits as f64 / trials as f64;
+        let expected = z.probability(0);
+        prop_assert!(
+            (got - expected).abs() < 0.02,
+            "theta {}: empirical {:.4} vs analytic {:.4}", theta, got, expected
+        );
+    }
+
+    #[test]
+    fn zipfian_sampling_is_deterministic_per_seed(
+        n in 1u64..5_000,
+        theta_centi in 1u64..100,
+        seed in any::<u64>(),
+    ) {
+        let z = Zipfian::with_theta(n, theta_centi as f64 / 100.0);
+        let mut a = StdRng::seed_from_u64(seed);
+        let mut b = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn zipfian_theta_orders_skew(seed in any::<u64>()) {
+        // Higher θ concentrates more mass on the head — both analytically
+        // and empirically.
+        let mild = Zipfian::with_theta(100, 0.2);
+        let hot = Zipfian::with_theta(100, 0.99);
+        prop_assert!(hot.probability(0) > mild.probability(0));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trials = 20_000;
+        let mild_hits = (0..trials).filter(|_| mild.sample(&mut rng) == 0).count();
+        let hot_hits = (0..trials).filter(|_| hot.sample(&mut rng) == 0).count();
+        prop_assert!(hot_hits > mild_hits, "hot {} vs mild {}", hot_hits, mild_hits);
+    }
+
+    #[test]
+    fn openloop_schedules_are_byte_identical_per_seed(
+        seed in any::<u64>(),
+        load_kops in 1u64..10_000,
+        scenario_idx in 0usize..9,
+    ) {
+        let spec = OpenLoopSpec::new(Scenario::ALL[scenario_idx], load_kops as f64 * 1_000.0)
+            .with_records(1_000)
+            .with_sessions(64)
+            .with_total_ops(300);
+        let a = encode_schedule(&spec.schedule(seed));
+        let b = encode_schedule(&spec.schedule(seed));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn openloop_keys_stay_in_database(
+        seed in any::<u64>(),
+        scenario_idx in 0usize..9,
+    ) {
+        let spec = OpenLoopSpec::new(Scenario::ALL[scenario_idx], 500_000.0)
+            .with_records(800)
+            .with_sessions(32)
+            .with_total_ops(400);
+        for a in spec.schedule(seed) {
+            prop_assert!(a.op.primary_key().0 < 800, "key {} out of range", a.op.primary_key().0);
+        }
     }
 }
