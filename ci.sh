@@ -53,6 +53,47 @@ echo "==> tier-1 verify: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> trace assembly: 3-process TCP cluster -> skew-corrected causal timelines"
+# Spawn a real multi-process cluster (one clock epoch per process), push
+# replicated writes through two coordinators, then require minos-trace
+# to assemble the three JSONL shards into timelines whose hops are all
+# causally ordered after the clock fit (corrected send <= recv).
+TRACE_DIR=$(mktemp -d)
+trap 'rm -rf "$TRACE_DIR"' EXIT
+NODED=target/release/minos-noded
+PORT_BASE=$((20000 + RANDOM % 20000))
+PEERS=""
+for i in 0 1 2; do PEERS="$PEERS 127.0.0.1:$((PORT_BASE + i))"; done
+NODED_PIDS=""
+for i in 0 1 2; do
+    "$NODED" --trace-out "$TRACE_DIR/shard$i.jsonl" \
+        "$i" synch "127.0.0.1:$((PORT_BASE + 10 + i))" $PEERS \
+        2>/dev/null &
+    NODED_PIDS="$NODED_PIDS $!"
+done
+sleep 1
+# Ten replicated puts through each of two coordinators (the offset fit
+# wants wire traffic in both directions), over the raw client protocol.
+python3 - "$PORT_BASE" <<'PYEOF'
+import socket, struct, sys
+base = int(sys.argv[1])
+def frame(b): return struct.pack('<I', len(b)) + b
+def put(s, creq, key, val):
+    body = bytes([1]) + struct.pack('<Q', creq) + struct.pack('<Q', key) + b'\x00' + val
+    s.sendall(frame(body))
+    n = struct.unpack('<I', s.recv(4))[0]
+    got = b''
+    while len(got) < n: got += s.recv(n - len(got))
+for port in (base + 10, base + 12):
+    s = socket.create_connection(('127.0.0.1', port), timeout=10)
+    for i in range(10): put(s, i + 1, i, b'v')
+    s.close()
+PYEOF
+sleep 0.5
+kill $NODED_PIDS 2>/dev/null || true
+wait $NODED_PIDS 2>/dev/null || true
+target/release/minos-trace --check-causal "$TRACE_DIR"/shard*.jsonl
+
 if [ "$CHAOS" -eq 1 ]; then
     echo "==> chaos: build minos-torture (with fault injection)"
     cargo build --release -p minos-check --features fault-injection

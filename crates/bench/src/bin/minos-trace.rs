@@ -2,7 +2,8 @@
 //! style critical-path breakdown.
 //!
 //! ```text
-//! minos-trace [--ops N] [--perfetto out.json] <trace.jsonl> [more.jsonl ...]
+//! minos-trace [--ops N] [--perfetto out.json] [--assemble] [--stats] \
+//!             [--check-causal] <trace.jsonl> [more.jsonl ...]
 //! ```
 //!
 //! The input is whatever a [`minos_core::obs::JsonlWriter`] sink wrote —
@@ -17,17 +18,40 @@
 //! critical-path slices, coordinator→follower flow arrows, and
 //! vFIFO/dFIFO counter tracks — loadable in <https://ui.perfetto.dev>
 //! or `chrome://tracing`.
+//!
+//! The cross-shard modes consume the ctx-stamped records a traced
+//! multi-process cluster writes (one JSONL shard per node process, each
+//! on its own clock epoch):
+//!
+//! * `--assemble` fits per-node clock offsets from matched send/receive
+//!   pairs and prints one skew-corrected end-to-end timeline per trace
+//!   id, with per-hop network delay and the coordinator's Fig. 4 tiling;
+//! * `--stats` prints the per-hop latency table — corrected network
+//!   delay p50/p95/p99 per directed node pair plus per-node per-category
+//!   service time;
+//! * `--check-causal` exits nonzero unless every assembled hop is
+//!   causally ordered after correction (corrected send ≤ corrected
+//!   receive) — the CI gate for the tracing pipeline.
 
-use minos_core::obs::{analyze, format_report, parse_jsonl, perfetto};
+use minos_core::obs::analyze;
+use minos_core::obs::{
+    assemble, format_assembly, format_hop_stats, format_report, parse_jsonl, perfetto,
+};
 
 fn usage() -> ! {
-    eprintln!("usage: minos-trace [--ops N] [--perfetto out.json] <trace.jsonl> [more.jsonl ...]");
+    eprintln!(
+        "usage: minos-trace [--ops N] [--perfetto out.json] [--assemble] [--stats] \
+       [--check-causal] <trace.jsonl> [more.jsonl ...]"
+    );
     std::process::exit(2);
 }
 
 fn main() {
     let mut max_ops = 10usize;
     let mut perfetto_out: Option<String> = None;
+    let mut do_assemble = false;
+    let mut do_stats = false;
+    let mut do_check = false;
     let mut paths: Vec<String> = Vec::new();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -44,6 +68,9 @@ fn main() {
                 i += 1;
                 perfetto_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--assemble" => do_assemble = true,
+            "--stats" => do_stats = true,
+            "--check-causal" => do_check = true,
             "--help" | "-h" => usage(),
             p => paths.push(p.to_string()),
         }
@@ -77,6 +104,34 @@ fn main() {
             "minos-trace: wrote Perfetto trace ({} records) to {out}",
             records.len()
         );
+    }
+
+    if do_assemble || do_stats || do_check {
+        let asm = assemble(&records);
+        if do_assemble {
+            print!("{}", format_assembly(&asm, max_ops));
+        }
+        if do_stats {
+            print!("{}", format_hop_stats(&asm, &records));
+        }
+        if do_check {
+            let hops: usize = asm.timelines.iter().map(|t| t.hops.len()).sum();
+            let bad = asm.causal_violations();
+            if bad > 0 {
+                eprintln!("minos-trace: causality FAILED: {bad} of {hops} hops reversed");
+                std::process::exit(1);
+            }
+            if asm.timelines.is_empty() {
+                eprintln!("minos-trace: causality check found no assembled traces");
+                std::process::exit(1);
+            }
+            println!(
+                "causal order OK: {} traces, {hops} hops, {} offset samples",
+                asm.timelines.len(),
+                asm.fit.samples
+            );
+        }
+        return;
     }
 
     let ops = analyze(&records);

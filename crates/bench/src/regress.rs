@@ -21,7 +21,9 @@ use minos_core::obs::json::quoted;
 use minos_core::obs::{
     analyze, shared, Category, GaugeKind, HistogramSet, Json, MetricsSink, RingRecorder,
 };
-use minos_net::{run_observed, run_observed_sharded, run_rolling_restart, run_slo_curve, Arch};
+use minos_net::{
+    run_observed, run_observed_sharded, run_rolling_restart, run_slo_curve, run_with_clients, Arch,
+};
 use minos_types::{DdpModel, Key, NodeId, PersistencyModel, ScopeId, ShardMap, SimConfig, Value};
 use minos_workload::openloop::{OpenLoopSpec, Scenario};
 use minos_workload::WorkloadSpec;
@@ -568,9 +570,54 @@ pub fn sweep_openloop(quick: bool) -> Vec<BenchPoint> {
     points
 }
 
+/// The tracing-overhead pair: one quick-sized DES point run completely
+/// untraced (no tracer installed on any dispatcher — the zero-cost
+/// path) and the same point with the full ctx-stamping observability
+/// stack attached. DES throughput is *virtual-time* ops/s: the tracer
+/// adds no virtual time, so the two cells must agree exactly, and any
+/// divergence means ctx propagation perturbed the protocol schedule
+/// itself. `ci.sh --bench` tracks both cells like any other; the
+/// `tracing_overhead_within_bound` test pins the pair within 5%.
+#[must_use]
+pub fn sweep_tracing(quick: bool) -> Vec<BenchPoint> {
+    let cfg = SimConfig::paper_defaults();
+    let spec = sweep_spec(quick);
+    let arch = Arch::baseline();
+    let model = DdpModel::lin(PersistencyModel::Synchronous);
+
+    let plain = run_with_clients(arch, &cfg, model, &spec, SEED, 4);
+    let traced = run_observed(arch, &cfg, model, &spec, SEED, 4, 1 << 20);
+
+    let base = |variant: &str, throughput: f64, ops: u64| BenchPoint {
+        id: format!("trace/{variant}/Synch/1x{}", cfg.nodes),
+        runtime: "des".into(),
+        arch: arch_slug(arch).into(),
+        model: "Synch".into(),
+        shards: 1,
+        nodes: cfg.nodes as u32,
+        scenario: "closed".into(),
+        offered_load: 0.0,
+        throughput,
+        ops,
+        latency: BTreeMap::new(),
+        gauges: BTreeMap::new(),
+        critical_path: BTreeMap::new(),
+    };
+    let off = base("off", plain.total_throughput(), plain.writes + plain.reads);
+    let mut on = base(
+        "on",
+        traced.result.total_throughput(),
+        traced.result.writes + traced.result.reads,
+    );
+    on.latency = latency_map(&traced.hists);
+    on.gauges = gauge_map(&traced.gauges);
+    on.critical_path = critical_path_map(traced.breakdown);
+    vec![off, on]
+}
+
 /// Runs the whole sweep: DES matrix, loopback matrix, the 64-node
 /// multi-group scale-out cells, the rolling-restart availability cell,
-/// then the open-loop SLO curves.
+/// the open-loop SLO curves, then the tracing-overhead pair.
 #[must_use]
 pub fn run_sweep(quick: bool) -> Vec<BenchPoint> {
     let mut points = sweep_des(quick);
@@ -578,6 +625,7 @@ pub fn run_sweep(quick: bool) -> Vec<BenchPoint> {
     points.extend(sweep_scaling(quick));
     points.extend(sweep_availability(quick));
     points.extend(sweep_openloop(quick));
+    points.extend(sweep_tracing(quick));
     points
 }
 
@@ -892,6 +940,26 @@ pub fn compare(baseline: &[BenchPoint], current: &[BenchPoint], threshold: f64) 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The tracing acceptance bound: a fully traced DES run may cost at
+    /// most 5% throughput against the untraced run — and on virtual
+    /// time it should cost exactly nothing.
+    #[test]
+    fn tracing_overhead_within_bound() {
+        let cells = sweep_tracing(true);
+        assert_eq!(cells.len(), 2);
+        let off = cells.iter().find(|c| c.id.contains("/off/")).unwrap();
+        let on = cells.iter().find(|c| c.id.contains("/on/")).unwrap();
+        assert!(off.throughput > 0.0);
+        assert!(
+            on.throughput >= off.throughput * 0.95,
+            "tracing costs more than 5%: traced {} vs untraced {}",
+            on.throughput,
+            off.throughput
+        );
+        // Same seed, same virtual schedule: identical op counts.
+        assert_eq!(on.ops, off.ops);
+    }
 
     fn point(id: &str, thr: f64, p95: u64) -> BenchPoint {
         let mut latency = BTreeMap::new();

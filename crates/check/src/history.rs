@@ -237,6 +237,7 @@ mod tests {
             at_ns,
             node: NodeId(node),
             event,
+            meta: minos_core::obs::TraceMeta::default(),
         }
     }
 

@@ -230,7 +230,7 @@ impl Cluster {
         self.completions.lock().insert(req, tx);
         self.nodes[node.0 as usize]
             .tx
-            .send(NodeMsg::Ev(build(req)))
+            .send(NodeMsg::Ev(build(req), None))
             .map_err(|_| MinosError::Shutdown)?;
         Ok((req, rx))
     }

@@ -17,6 +17,7 @@ use minos_core::runtime::{
 use minos_core::{DelayClass, Event, NodeEngine, ReqId};
 use minos_kv::DurableState;
 use minos_nvm::LogEntry;
+use minos_types::wire::TraceCtx;
 use minos_types::{ClusterConfig, DdpModel, Key, Message, NodeId, Ts, Value};
 use std::collections::HashMap;
 use std::thread::JoinHandle;
@@ -25,8 +26,9 @@ use std::time::{Duration, Instant};
 /// Messages a node thread accepts.
 #[derive(Debug)]
 pub(crate) enum NodeMsg {
-    /// A protocol or client event.
-    Ev(Event),
+    /// A protocol or client event, with the trace context of the
+    /// dispatch that caused it (`None` for client submissions).
+    Ev(Event, Option<TraceCtx>),
     /// Framed peer traffic: one transport deposit carrying one or more
     /// protocol messages from `from`.
     Frame {
@@ -34,6 +36,8 @@ pub(crate) enum NodeMsg {
         from: NodeId,
         /// The batched messages, in emission order.
         msgs: Vec<Message>,
+        /// The sending dispatch's trace context, if traced.
+        ctx: Option<TraceCtx>,
     },
     /// Liveness beacon from a peer.
     Heartbeat {
@@ -205,6 +209,9 @@ const GAUGE_SAMPLE_DISPATCHES: u64 = 32;
 /// blocked client thread.
 struct NodeHandler<'a> {
     node: NodeId,
+    /// The dispatching node's trace context, stamped onto every frame
+    /// and event this dispatch emits.
+    ctx: Option<TraceCtx>,
     cfg: &'a ClusterConfig,
     scheduler: &'a Scheduler<NodeMsg>,
     durable: &'a mut DurableState,
@@ -229,6 +236,7 @@ impl FrameTransport for NodeHandler<'_> {
             NodeMsg::Frame {
                 from: self.node,
                 msgs,
+                ctx: self.ctx,
             },
         );
     }
@@ -244,6 +252,7 @@ impl FrameTransport for NodeHandler<'_> {
                     NodeMsg::Frame {
                         from: self.node,
                         msgs: msgs.clone(),
+                        ctx: self.ctx,
                     },
                 )
             })
@@ -251,24 +260,32 @@ impl FrameTransport for NodeHandler<'_> {
         self.scheduler
             .send_after_many(self.cfg.wire_latency_ns, deliveries);
     }
+
+    fn set_ctx(&mut self, ctx: Option<TraceCtx>) {
+        self.ctx = ctx;
+    }
 }
 
 impl ActionSink for NodeHandler<'_> {
     fn persist(&mut self, key: Key, ts: Ts, value: Value, _background: bool) {
         let ns = self.durable.device().persist_ns(value.len() as u64);
         self.durable.persist(key, ts, value);
-        self.scheduler
-            .send_after(ns, self.node, NodeMsg::Ev(Event::PersistDone { key, ts }));
+        self.scheduler.send_after(
+            ns,
+            self.node,
+            NodeMsg::Ev(Event::PersistDone { key, ts }, self.ctx),
+        );
     }
 
     fn redirect(&mut self, to: NodeId, event: Event) {
         self.scheduler
-            .send_after(self.cfg.wire_latency_ns, to, NodeMsg::Ev(event));
+            .send_after(self.cfg.wire_latency_ns, to, NodeMsg::Ev(event, self.ctx));
     }
 
     fn defer(&mut self, event: Event, _class: DelayClass) {
         // Local dispatch hop: back through our own queue.
-        self.scheduler.send_after(0, self.node, NodeMsg::Ev(event));
+        self.scheduler
+            .send_after(0, self.node, NodeMsg::Ev(event, self.ctx));
     }
 
     fn write_done(&mut self, req: ReqId, _key: Key, ts: Ts, obsolete: bool) {
@@ -349,6 +366,7 @@ impl NodeLoop {
                         Event::ClientWrite { req, .. }
                         | Event::ClientRead { req, .. }
                         | Event::ClientPersistScope { req, .. },
+                        _,
                     ) = msg
                     {
                         self.completions.lock().remove(&req);
@@ -358,10 +376,10 @@ impl NodeLoop {
                 // both crashed and alive), but guards don't count toward
                 // exhaustiveness.
                 Ok(NodeMsg::InstallPlacement { .. }) => {}
-                Ok(NodeMsg::Ev(ev)) => self.handle_event(ev),
-                Ok(NodeMsg::Frame { from, msgs }) => {
+                Ok(NodeMsg::Ev(ev, ctx)) => self.handle_event(ev, ctx),
+                Ok(NodeMsg::Frame { from, msgs, ctx }) => {
                     for msg in msgs {
-                        self.handle_event(Event::Message { from, msg });
+                        self.handle_event(Event::Message { from, msg }, ctx);
                     }
                 }
                 Ok(NodeMsg::Heartbeat { from }) => {
@@ -374,6 +392,7 @@ impl NodeLoop {
                     let mut handler = Batched::new(
                         NodeHandler {
                             node: self.node,
+                            ctx: None,
                             cfg: &self.cfg,
                             scheduler: &self.scheduler,
                             durable: &mut self.durable,
@@ -431,7 +450,7 @@ impl NodeLoop {
         }
     }
 
-    fn handle_event(&mut self, ev: Event) {
+    fn handle_event(&mut self, ev: Event, ctx: Option<TraceCtx>) {
         match &ev {
             Event::ClientWrite { req, key, .. } | Event::ClientRead { req, key, .. } => {
                 let shard = self.cfg.placement.as_ref().map(|m| m.shard_of(*key).0);
@@ -445,6 +464,7 @@ impl NodeLoop {
         let mut handler = Batched::new(
             NodeHandler {
                 node: self.node,
+                ctx: None,
                 cfg: &self.cfg,
                 scheduler: &self.scheduler,
                 durable: &mut self.durable,
@@ -461,9 +481,11 @@ impl NodeLoop {
             // protocol messages, not frames — schedules replay the same
             // whatever the NIC capabilities.
             let mut net = ChaosNet::new(&mut handler, chaos);
-            self.dispatcher.dispatch(&mut self.engine, ev, &mut net);
+            self.dispatcher
+                .dispatch_ctx(&mut self.engine, ev, ctx, &mut net);
         } else {
-            self.dispatcher.dispatch(&mut self.engine, ev, &mut handler);
+            self.dispatcher
+                .dispatch_ctx(&mut self.engine, ev, ctx, &mut handler);
         }
         let (_, c) = handler.into_parts();
         self.counters.merge(&c);

@@ -40,7 +40,7 @@ use minos_core::runtime::{
 use minos_core::{DelayClass, Event, NodeEngine, ReqId};
 use minos_kv::DurableState;
 use minos_nvm::{decode_entries, encode_entries, DecodeOutcome, LogEntry};
-use minos_types::wire::{decode_peer_frame, encode_peer_frame};
+use minos_types::wire::{decode_peer_frame_ctx, encode_peer_frame_ctx, TraceCtx, CLIENT_CTX_FLAG};
 use minos_types::{
     ChaosSpec, DdpModel, FaultSpec, Key, Message, NodeId, ScopeId, ShardMap, Ts, Value,
 };
@@ -118,10 +118,15 @@ pub struct TcpNodeConfig {
 }
 
 enum In {
-    Peer(NodeId, Vec<Message>),
-    Client { conn: u64, creq: u64, op: ClientOp },
-    PersistDone(Key, Ts),
-    Local(Event),
+    Peer(NodeId, Vec<Message>, Option<TraceCtx>),
+    Client {
+        conn: u64,
+        creq: u64,
+        op: ClientOp,
+        ctx: Option<TraceCtx>,
+    },
+    PersistDone(Key, Ts, Option<TraceCtx>),
+    Local(Event, Option<TraceCtx>),
     Shutdown,
 }
 
@@ -253,9 +258,9 @@ impl TcpNode {
                             let tx = tx.clone();
                             std::thread::spawn(move || {
                                 while let Ok(frame) = read_frame(&mut stream) {
-                                    match decode_peer_frame(&frame) {
-                                        Ok((from, msgs)) => {
-                                            if tx.send(In::Peer(from, msgs)).is_err() {
+                                    match decode_peer_frame_ctx(&frame) {
+                                        Ok((from, msgs, ctx)) => {
+                                            if tx.send(In::Peer(from, msgs, ctx)).is_err() {
                                                 break;
                                             }
                                         }
@@ -298,8 +303,14 @@ impl TcpNode {
                             std::thread::spawn(move || {
                                 while let Ok(frame) = read_frame(&mut stream) {
                                     match parse_client_request(&frame) {
-                                        Some((creq, op)) => {
-                                            if tx.send(In::Client { conn, creq, op }).is_err() {
+                                        Some((creq, op, ctx)) => {
+                                            let input = In::Client {
+                                                conn,
+                                                creq,
+                                                op,
+                                                ctx,
+                                            };
+                                            if tx.send(input).is_err() {
                                                 break;
                                             }
                                         }
@@ -461,21 +472,25 @@ impl TcpNode {
                         }
                         Err(RecvTimeoutError::Disconnected) => break,
                     };
-                    let mut events: Vec<Event> = Vec::new();
+                    let mut events: Vec<(Event, Option<TraceCtx>)> = Vec::new();
                     match input {
                         In::Shutdown => break,
-                        In::Peer(from, msgs) => {
+                        In::Peer(from, msgs, ctx) => {
                             // One inbound frame may carry a whole batch.
-                            events.extend(msgs.into_iter().map(|msg| Event::Message { from, msg }));
+                            events.extend(
+                                msgs.into_iter()
+                                    .map(|msg| (Event::Message { from, msg }, ctx)),
+                            );
                         }
-                        In::PersistDone(key, ts) => {
-                            events.push(Event::PersistDone { key, ts });
+                        In::PersistDone(key, ts, ctx) => {
+                            events.push((Event::PersistDone { key, ts }, ctx));
                         }
-                        In::Local(ev) => events.push(ev),
+                        In::Local(ev, ctx) => events.push((ev, ctx)),
                         In::Client {
                             conn,
                             creq,
                             op: ClientOp::DumpDurable,
+                            ..
                         } => {
                             let mut body = creq.to_le_bytes().to_vec();
                             body.push(4);
@@ -491,6 +506,7 @@ impl TcpNode {
                             conn,
                             creq,
                             op: ClientOp::Delta { have },
+                            ..
                         } => {
                             // Donor side of a rejoin: ship the versions the
                             // caller's summary is missing.
@@ -508,6 +524,7 @@ impl TcpNode {
                             conn,
                             creq,
                             op: ClientOp::PeerStatus { peer, up },
+                            ..
                         } => {
                             // The control plane's view change: shrink or
                             // regrow the replication quorum, then drain any
@@ -530,6 +547,7 @@ impl TcpNode {
                                 let mut handler = Batched::new(
                                     TcpHandler {
                                         node: cfg.node,
+                                        ctx: None,
                                         peer_addrs: &cfg.peers,
                                         peers: &mut peers,
                                         durable: &mut durable,
@@ -558,11 +576,16 @@ impl TcpNode {
                                 }
                             }
                         }
-                        In::Client { conn, creq, op } => {
+                        In::Client {
+                            conn,
+                            creq,
+                            op,
+                            ctx,
+                        } => {
                             let req = ReqId(next_req);
                             next_req += 1;
                             pending.insert(req, (conn, creq));
-                            events.push(match op {
+                            let ev = match op {
                                 ClientOp::Put { key, scope, value } => Event::ClientWrite {
                                     key,
                                     value,
@@ -578,13 +601,15 @@ impl TcpNode {
                                 | ClientOp::PeerStatus { .. } => {
                                     unreachable!("handled above")
                                 }
-                            });
+                            };
+                            events.push((ev, ctx));
                         }
                     }
-                    for ev in events {
+                    for (ev, ctx) in events {
                         let mut handler = Batched::new(
                             TcpHandler {
                                 node: cfg.node,
+                                ctx: None,
                                 peer_addrs: &cfg.peers,
                                 peers: &mut peers,
                                 durable: &mut durable,
@@ -600,9 +625,9 @@ impl TcpNode {
                             // Chaos above batching: injection indices count
                             // protocol messages, not frames.
                             let mut net = ChaosNet::new(&mut handler, chaos);
-                            dispatcher.dispatch(&mut engine, ev, &mut net);
+                            dispatcher.dispatch_ctx(&mut engine, ev, ctx, &mut net);
                         } else {
-                            dispatcher.dispatch(&mut engine, ev, &mut handler);
+                            dispatcher.dispatch_ctx(&mut engine, ev, ctx, &mut handler);
                         }
                         let (_, c) = handler.into_parts();
                         if cfg.batching && c.deposits > 0 {
@@ -612,6 +637,13 @@ impl TcpNode {
                                 c.protocol_msgs / c.deposits,
                             );
                         }
+                    }
+                    // Keep trace shards on disk current: a killed (not
+                    // shut down) process must still leave an assemblable
+                    // shard behind, so the JSONL sink may not sit on a
+                    // buffered tail across input batches.
+                    if let Some(tr) = dispatcher.tracer_mut() {
+                        tr.flush_sinks();
                     }
                     if Instant::now() >= next_dump {
                         sample_node_gauges(
@@ -713,6 +745,9 @@ impl TcpNode {
 /// connection.
 struct TcpHandler<'a> {
     node: NodeId,
+    /// The dispatching node's trace context, carried on every peer frame
+    /// and locally rescheduled event this dispatch emits.
+    ctx: Option<TraceCtx>,
     peer_addrs: &'a [SocketAddr],
     peers: &'a mut HashMap<NodeId, TcpStream>,
     durable: &'a mut DurableState,
@@ -750,16 +785,20 @@ impl TcpHandler<'_> {
 
 impl FrameTransport for TcpHandler<'_> {
     fn deposit(&mut self, to: NodeId, msgs: Vec<Message>) {
-        let body = encode_peer_frame(self.node, &msgs);
+        let body = encode_peer_frame_ctx(self.node, &msgs, self.ctx);
         self.write_to(to, &body);
     }
 
     fn deposit_all(&mut self, dests: &[NodeId], msgs: Vec<Message>) {
         // Broadcast: encode once, write the same bytes to every socket.
-        let body = encode_peer_frame(self.node, &msgs);
+        let body = encode_peer_frame_ctx(self.node, &msgs, self.ctx);
         for &to in dests {
             self.write_to(to, &body);
         }
+    }
+
+    fn set_ctx(&mut self, ctx: Option<TraceCtx>) {
+        self.ctx = ctx;
     }
 }
 
@@ -778,7 +817,7 @@ impl ActionSink for TcpHandler<'_> {
             }]));
         }
         self.scheduler
-            .send_after(ns, NodeId(0), In::PersistDone(key, ts));
+            .send_after(ns, NodeId(0), In::PersistDone(key, ts, self.ctx));
     }
 
     fn redirect(&mut self, _to: NodeId, _event: Event) {
@@ -789,7 +828,7 @@ impl ActionSink for TcpHandler<'_> {
     }
 
     fn defer(&mut self, event: Event, _class: DelayClass) {
-        let _ = self.engine_tx.send(In::Local(event));
+        let _ = self.engine_tx.send(In::Local(event, self.ctx));
     }
 
     fn write_done(&mut self, req: ReqId, _key: Key, ts: Ts, _obsolete: bool) {
@@ -833,13 +872,23 @@ fn respond(
     }
 }
 
-fn parse_client_request(frame: &[u8]) -> Option<(u64, ClientOp)> {
+fn parse_client_request(frame: &[u8]) -> Option<(u64, ClientOp, Option<TraceCtx>)> {
     if frame.len() < 9 {
         return None;
     }
-    let op = frame[0];
+    // A set CLIENT_CTX_FLAG bit means a trace context follows the
+    // client-req field; the low bits are the op code either way.
+    let op = frame[0] & !CLIENT_CTX_FLAG;
     let creq = u64::from_le_bytes(frame[1..9].try_into().ok()?);
-    let rest = &frame[9..];
+    let (ctx, rest) = if frame[0] & CLIENT_CTX_FLAG != 0 {
+        let c = TraceCtx::decode(frame.get(9..)?).ok()?;
+        (
+            Some(c).filter(|c| !c.is_empty()),
+            &frame[9 + TraceCtx::WIRE_LEN..],
+        )
+    } else {
+        (None, &frame[9..])
+    };
     let parsed = match op {
         1 => {
             // [key u64][scope flag u8 (+u32)][value...]
@@ -915,7 +964,7 @@ fn parse_client_request(frame: &[u8]) -> Option<(u64, ClientOp)> {
         }
         _ => return None,
     };
-    Some((creq, parsed))
+    Some((creq, parsed, ctx))
 }
 
 /// Encodes a durable-log dump: `[u32 count]` then, per entry,
@@ -967,6 +1016,7 @@ fn decode_log_dump(mut rest: &[u8]) -> Option<Vec<LogEntry>> {
 pub struct TcpClient {
     stream: TcpStream,
     next_req: u64,
+    trace_ctx: Option<TraceCtx>,
 }
 
 impl TcpClient {
@@ -979,10 +1029,27 @@ impl TcpClient {
         Ok(TcpClient {
             stream: TcpStream::connect(addr)?,
             next_req: 1,
+            trace_ctx: None,
         })
     }
 
-    fn roundtrip(&mut self, body: Vec<u8>) -> std::io::Result<Vec<u8>> {
+    /// Sets the trace context stamped on every subsequent request
+    /// (`None` reverts to untraced requests). A stamped request makes
+    /// the server adopt the client's trace id instead of minting one,
+    /// and the context's `origin_ns` gives the assembler a client-side
+    /// send timestamp for the client-to-server hop.
+    pub fn set_trace_ctx(&mut self, ctx: Option<TraceCtx>) {
+        self.trace_ctx = ctx.filter(|c| !c.is_empty());
+    }
+
+    fn roundtrip(&mut self, mut body: Vec<u8>) -> std::io::Result<Vec<u8>> {
+        if let Some(ctx) = self.trace_ctx {
+            // Stamp after the fixed [op][creq] prefix all requests share.
+            body[0] |= CLIENT_CTX_FLAG;
+            let mut tail = body.split_off(9);
+            body.extend_from_slice(&ctx.encode());
+            body.append(&mut tail);
+        }
         write_frame(&mut self.stream, &body)?;
         let resp = read_frame(&mut self.stream)?;
         if resp.len() < 9 {

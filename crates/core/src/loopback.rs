@@ -24,6 +24,7 @@ use crate::runtime::{
     ActionSink, DispatchStats, Dispatcher, ODispatchStats, ODispatcher, OSink, ShardRouter,
     Transport,
 };
+use minos_types::wire::TraceCtx;
 use minos_types::{DdpModel, Key, MembershipView, NodeId, ScopeId, ShardMap, Ts, Value};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -127,11 +128,14 @@ impl ParentOp {
 pub struct BCluster {
     engines: Vec<NodeEngine>,
     dispatchers: Vec<Dispatcher>,
-    queue: VecDeque<(NodeId, Event)>,
+    /// Queued deliveries: destination, event, and the trace context of
+    /// the dispatch that caused the event (`None` for client submissions
+    /// — admission mints the trace).
+    queue: VecDeque<(NodeId, Event, Option<TraceCtx>)>,
     /// When false, persist completions are parked in `held_persists` until
     /// [`BCluster::release_persists`] is called.
     pub auto_persist: bool,
-    held_persists: Vec<(NodeId, Key, Ts)>,
+    held_persists: Vec<(NodeId, Key, Ts, Option<TraceCtx>)>,
     completions: Vec<Completion>,
     next_req: u64,
     scramble: Option<u64>,
@@ -180,8 +184,12 @@ fn xorshift(state: &mut u64) -> u64 {
 struct BLoopHandler<'a> {
     node: NodeId,
     auto_persist: bool,
-    queue: &'a mut VecDeque<(NodeId, Event)>,
-    held_persists: &'a mut Vec<(NodeId, Key, Ts)>,
+    /// The dispatching node's trace context, stamped onto every event
+    /// this dispatch causes so the trace follows messages, deferrals,
+    /// redirects, and persist completions across the queue.
+    ctx: Option<TraceCtx>,
+    queue: &'a mut VecDeque<(NodeId, Event, Option<TraceCtx>)>,
+    held_persists: &'a mut Vec<(NodeId, Key, Ts, Option<TraceCtx>)>,
     completions: &'a mut Vec<Completion>,
 }
 
@@ -193,7 +201,12 @@ impl Transport for BLoopHandler<'_> {
                 from: self.node,
                 msg,
             },
+            self.ctx,
         ));
+    }
+
+    fn set_ctx(&mut self, ctx: Option<TraceCtx>) {
+        self.ctx = ctx;
     }
 }
 
@@ -201,18 +214,18 @@ impl ActionSink for BLoopHandler<'_> {
     fn persist(&mut self, key: Key, ts: Ts, _value: Value, _background: bool) {
         if self.auto_persist {
             self.queue
-                .push_back((self.node, Event::PersistDone { key, ts }));
+                .push_back((self.node, Event::PersistDone { key, ts }, self.ctx));
         } else {
-            self.held_persists.push((self.node, key, ts));
+            self.held_persists.push((self.node, key, ts, self.ctx));
         }
     }
 
     fn redirect(&mut self, to: NodeId, event: Event) {
-        self.queue.push_back((to, event));
+        self.queue.push_back((to, event, self.ctx));
     }
 
     fn defer(&mut self, event: Event, _class: DelayClass) {
-        self.queue.push_back((self.node, event));
+        self.queue.push_back((self.node, event, self.ctx));
     }
 
     fn write_done(&mut self, req: ReqId, key: Key, ts: Ts, obsolete: bool) {
@@ -395,6 +408,7 @@ impl BCluster {
                 scope,
                 req,
             },
+            None,
         ));
         req
     }
@@ -405,7 +419,7 @@ impl BCluster {
         let serving = self.router.serving(node, key);
         self.note_submitted(key);
         self.queue
-            .push_back((serving, Event::ClientRead { key, req }));
+            .push_back((serving, Event::ClientRead { key, req }, None));
         req
     }
 
@@ -445,6 +459,7 @@ impl BCluster {
                     scope,
                     req: child,
                 },
+                None,
             ));
         }
         req
@@ -461,19 +476,22 @@ impl BCluster {
             self.router.begin_barrier(req, &children);
             self.parents.insert(req, ParentOp::Scope { node, scope });
             for (coord, child) in coords.into_iter().zip(children) {
-                self.queue
-                    .push_back((coord, Event::ClientPersistScope { scope, req: child }));
+                self.queue.push_back((
+                    coord,
+                    Event::ClientPersistScope { scope, req: child },
+                    None,
+                ));
             }
         } else {
             self.queue
-                .push_back((node, Event::ClientPersistScope { scope, req }));
+                .push_back((node, Event::ClientPersistScope { scope, req }, None));
         }
         req
     }
 
     /// Injects a raw event (tests use this for out-of-order deliveries).
     pub fn inject(&mut self, node: NodeId, event: Event) {
-        self.queue.push_back((node, event));
+        self.queue.push_back((node, event, None));
     }
 
     /// Processes one queued event. Returns false when the queue is empty.
@@ -485,7 +503,7 @@ impl BCluster {
             }
             _ => self.queue.pop_front(),
         };
-        let Some((node, ev)) = picked else {
+        let Some((node, ev, ctx)) = picked else {
             return false;
         };
         let ni = node.0 as usize;
@@ -493,11 +511,12 @@ impl BCluster {
         let mut handler = BLoopHandler {
             node,
             auto_persist: self.auto_persist,
+            ctx: None,
             queue: &mut self.queue,
             held_persists: &mut self.held_persists,
             completions: &mut self.completions,
         };
-        self.dispatchers[ni].dispatch(&mut self.engines[ni], ev, &mut handler);
+        self.dispatchers[ni].dispatch_ctx(&mut self.engines[ni], ev, ctx, &mut handler);
         self.absorb_completions(pre);
         self.steps += 1;
         if self.steps.is_multiple_of(LOOPBACK_SAMPLE_STEPS) {
@@ -606,8 +625,9 @@ impl BCluster {
     pub fn release_persists(&mut self) -> usize {
         let held = std::mem::take(&mut self.held_persists);
         let n = held.len();
-        for (node, key, ts) in held {
-            self.queue.push_back((node, Event::PersistDone { key, ts }));
+        for (node, key, ts, ctx) in held {
+            self.queue
+                .push_back((node, Event::PersistDone { key, ts }, ctx));
         }
         n
     }
@@ -711,8 +731,8 @@ impl BCluster {
         self.engines[ni] = NodeEngine::new(node, n, model);
         self.engines[ni].set_placement(self.router.map().cloned());
         self.dispatchers[ni] = Dispatcher::new();
-        self.queue.retain(|(to, _)| *to != node);
-        self.held_persists.retain(|(at, _, _)| *at != node);
+        self.queue.retain(|(to, _, _)| *to != node);
+        self.held_persists.retain(|(at, _, _, _)| *at != node);
         self.view.mark_down(node).expect("crash a known node");
         for i in 0..n {
             if i != ni {
@@ -787,6 +807,7 @@ impl BCluster {
             let mut handler = BLoopHandler {
                 node: NodeId(i as u16),
                 auto_persist: self.auto_persist,
+                ctx: None,
                 queue: &mut self.queue,
                 held_persists: &mut self.held_persists,
                 completions: &mut self.completions,
@@ -804,7 +825,9 @@ impl BCluster {
 pub struct OCluster {
     engines: Vec<ONodeEngine>,
     dispatchers: Vec<ODispatcher>,
-    queue: VecDeque<(NodeId, OEvent)>,
+    /// Queued deliveries with the causing dispatch's trace context (see
+    /// [`BCluster::queue`]).
+    queue: VecDeque<(NodeId, OEvent, Option<TraceCtx>)>,
     completions: Vec<Completion>,
     next_req: u64,
     scramble: Option<u64>,
@@ -830,7 +853,9 @@ pub struct OCluster {
 /// feed back into the same queue immediately.
 struct OLoopHandler<'a> {
     node: NodeId,
-    queue: &'a mut VecDeque<(NodeId, OEvent)>,
+    /// The dispatching node's trace context (see [`BLoopHandler::ctx`]).
+    ctx: Option<TraceCtx>,
+    queue: &'a mut VecDeque<(NodeId, OEvent, Option<TraceCtx>)>,
     completions: &'a mut Vec<Completion>,
 }
 
@@ -842,7 +867,12 @@ impl Transport for OLoopHandler<'_> {
                 from: self.node,
                 msg,
             },
+            self.ctx,
         ));
+    }
+
+    fn set_ctx(&mut self, ctx: Option<TraceCtx>) {
+        self.ctx = ctx;
     }
 }
 
@@ -852,21 +882,21 @@ impl OSink for OLoopHandler<'_> {
             Side::Host => OEvent::PcieFromHost(msg),
             Side::Snic => OEvent::PcieFromSnic(msg),
         };
-        self.queue.push_back((self.node, ev));
+        self.queue.push_back((self.node, ev, self.ctx));
     }
 
     fn vfifo_enqueue(&mut self, key: Key, ts: Ts, _bytes: u64) {
         self.queue
-            .push_back((self.node, OEvent::VfifoDrained { key, ts }));
+            .push_back((self.node, OEvent::VfifoDrained { key, ts }, self.ctx));
     }
 
     fn dfifo_enqueue(&mut self, key: Key, ts: Ts, _bytes: u64) {
         self.queue
-            .push_back((self.node, OEvent::DfifoDrained { key, ts }));
+            .push_back((self.node, OEvent::DfifoDrained { key, ts }, self.ctx));
     }
 
     fn defer(&mut self, event: OEvent) {
-        self.queue.push_back((self.node, event));
+        self.queue.push_back((self.node, event, self.ctx));
     }
 
     fn write_done(&mut self, req: ReqId, key: Key, ts: Ts, obsolete: bool) {
@@ -1033,6 +1063,7 @@ impl OCluster {
                 scope,
                 req,
             },
+            None,
         ));
         req
     }
@@ -1043,7 +1074,7 @@ impl OCluster {
         let serving = self.router.serving(node, key);
         self.note_submitted(key);
         self.queue
-            .push_back((serving, OEvent::ClientRead { key, req }));
+            .push_back((serving, OEvent::ClientRead { key, req }, None));
         req
     }
 
@@ -1081,6 +1112,7 @@ impl OCluster {
                     scope,
                     req: child,
                 },
+                None,
             ));
         }
         req
@@ -1096,12 +1128,15 @@ impl OCluster {
             self.router.begin_barrier(req, &children);
             self.parents.insert(req, ParentOp::Scope { node, scope });
             for (coord, child) in coords.into_iter().zip(children) {
-                self.queue
-                    .push_back((coord, OEvent::ClientPersistScope { scope, req: child }));
+                self.queue.push_back((
+                    coord,
+                    OEvent::ClientPersistScope { scope, req: child },
+                    None,
+                ));
             }
         } else {
             self.queue
-                .push_back((node, OEvent::ClientPersistScope { scope, req }));
+                .push_back((node, OEvent::ClientPersistScope { scope, req }, None));
         }
         req
     }
@@ -1115,17 +1150,18 @@ impl OCluster {
             }
             _ => self.queue.pop_front(),
         };
-        let Some((node, ev)) = picked else {
+        let Some((node, ev, ctx)) = picked else {
             return false;
         };
         let ni = node.0 as usize;
         let pre = self.completions.len();
         let mut handler = OLoopHandler {
             node,
+            ctx: None,
             queue: &mut self.queue,
             completions: &mut self.completions,
         };
-        self.dispatchers[ni].dispatch(&mut self.engines[ni], ev, &mut handler);
+        self.dispatchers[ni].dispatch_ctx(&mut self.engines[ni], ev, ctx, &mut handler);
         self.absorb_completions(pre);
         self.steps += 1;
         if self.steps.is_multiple_of(LOOPBACK_SAMPLE_STEPS) {
@@ -1319,7 +1355,7 @@ impl OCluster {
         self.engines[ni] = ONodeEngine::new(node, n, model);
         self.engines[ni].set_placement(self.router.map().cloned());
         self.dispatchers[ni] = ODispatcher::new();
-        self.queue.retain(|(to, _)| *to != node);
+        self.queue.retain(|(to, _, _)| *to != node);
         self.view.mark_down(node).expect("crash a known node");
     }
 

@@ -1,0 +1,832 @@
+//! Cross-node trace assembly: merge per-process trace shards into
+//! skew-corrected end-to-end timelines with per-hop attribution.
+//!
+//! Every process of a live cluster stamps its trace records with its
+//! *own* clock epoch ([`TraceClock::monotonic`](super::TraceClock) starts
+//! at process launch), so raw `at_ns` values from different shards are
+//! not comparable. What *is* comparable: each ctx-stamped `MsgReceived`
+//! record carries the sender's local clock at emission
+//! ([`TraceMeta::remote_ns`](super::TraceMeta)). Each matched send/recv
+//! pair therefore measures `delay + (offset_sender − offset_receiver)`,
+//! and with traffic in both directions the offset difference separates
+//! from the (nonnegative) network delay.
+//!
+//! The fit ([`ClockFit::fit`]) works in two phases:
+//!
+//! 1. **Feasible start.** Every observed pair `(A→B)` yields the
+//!    difference constraint `θ_A − θ_B ≤ min(d_AB)` (corrected send must
+//!    not exceed corrected recv). Bellman–Ford shortest paths from a
+//!    reference node over these edges produce offsets satisfying every
+//!    constraint — causality holds by construction.
+//! 2. **Median refinement.** The feasible point sits on constraint
+//!    boundaries (it assumes some hop had zero delay). `K` sweeps move
+//!    each node toward the median of its neighbor estimates
+//!    `θ_A − (med(d_AB) − med(d_BA))/2` — which cancels symmetric path
+//!    delay — *clamped* to the causality bounds, followed by a final
+//!    relaxation pass so the refined offsets still satisfy every
+//!    constraint exactly.
+//!
+//! [`assemble`] then groups ctx-stamped records by trace id, corrects
+//! every timestamp, extracts hops (a `MsgReceived` whose
+//! [`parent`](super::TraceMeta::parent) names the sending dispatch), and
+//! tiles the coordinator's `[admit, complete]` window into Fig. 4
+//! categories. [`format_assembly`] and [`format_hop_stats`] render the
+//! human-readable reports behind `minos-trace --assemble` / `--stats`.
+
+use super::replay::category_after;
+use super::{Category, OpKind, TraceEvent, TraceRecord};
+use minos_types::{Key, MessageKind, NodeId};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Refinement sweeps after the feasible start (cheap; converges fast).
+const REFINE_SWEEPS: usize = 8;
+
+/// Median of a sorted slice, averaging the middle pair for even lengths
+/// (picking one side would bias every even-sample fit upward).
+fn median_of(sorted: &[i64]) -> i64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    }
+}
+
+/// Per-node clock offsets fitted from matched send/receive pairs.
+///
+/// `corrected(node, t) = t + offset(node)`, with the reference node
+/// (lowest node id that appears) pinned at offset 0.
+#[derive(Debug, Clone)]
+pub struct ClockFit {
+    /// Node whose clock the corrected timeline is expressed in.
+    pub reference: NodeId,
+    /// Additive correction per node, nanoseconds.
+    pub offsets: BTreeMap<u16, i64>,
+    /// Matched send/receive samples the fit consumed.
+    pub samples: usize,
+}
+
+impl ClockFit {
+    /// An identity fit (no correction) — what a single-shard trace gets.
+    #[must_use]
+    pub fn identity() -> Self {
+        ClockFit {
+            reference: NodeId(0),
+            offsets: BTreeMap::new(),
+            samples: 0,
+        }
+    }
+
+    /// The additive correction for `node` (0 when the node never
+    /// exchanged a traced message).
+    #[must_use]
+    pub fn offset(&self, node: NodeId) -> i64 {
+        self.offsets.get(&node.0).copied().unwrap_or(0)
+    }
+
+    /// `node`'s local timestamp mapped onto the reference clock.
+    #[must_use]
+    pub fn correct(&self, node: NodeId, at_ns: u64) -> i64 {
+        i64::try_from(at_ns).unwrap_or(i64::MAX) + self.offset(node)
+    }
+
+    /// Fits per-node offsets from every ctx-stamped `MsgReceived` in
+    /// `records`. Nodes that never exchanged a traced message with the
+    /// reference component keep offset 0.
+    #[must_use]
+    pub fn fit(records: &[TraceRecord]) -> Self {
+        // Delay samples per directed pair: d = recv(local B) − send(local A).
+        let mut pair: BTreeMap<(u16, u16), Vec<i64>> = BTreeMap::new();
+        for rec in records {
+            if let TraceEvent::MsgReceived { from, .. } = rec.event {
+                if rec.meta.remote_ns != 0 && from != rec.node {
+                    let d = i64::try_from(rec.at_ns).unwrap_or(i64::MAX)
+                        - i64::try_from(rec.meta.remote_ns).unwrap_or(i64::MAX);
+                    pair.entry((from.0, rec.node.0)).or_default().push(d);
+                }
+            }
+        }
+        if pair.is_empty() {
+            return ClockFit::identity();
+        }
+        let samples = pair.values().map(Vec::len).sum();
+        let mut nodes: Vec<u16> = pair.keys().flat_map(|&(a, b)| [a, b]).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let reference = NodeId(nodes[0]);
+
+        // Tightest bound and median per directed pair.
+        let mut ub: BTreeMap<(u16, u16), i64> = BTreeMap::new();
+        let mut med: BTreeMap<(u16, u16), i64> = BTreeMap::new();
+        for (k, ds) in &mut pair {
+            ds.sort_unstable();
+            ub.insert(*k, ds[0]);
+            med.insert(*k, median_of(ds));
+        }
+
+        // Phase 1: Bellman–Ford shortest paths from the reference.
+        // Constraint θ_A − θ_B ≤ ub_AB is the relaxation edge B→A with
+        // weight ub_AB (θ_A ≤ θ_B + ub_AB).
+        let mut theta: BTreeMap<u16, i64> = nodes.iter().map(|&n| (n, i64::MAX)).collect();
+        theta.insert(reference.0, 0);
+        for _ in 0..nodes.len() {
+            let mut changed = false;
+            for (&(a, b), &w) in &ub {
+                let tb = theta[&b];
+                if tb != i64::MAX && theta[&a] > tb.saturating_add(w) {
+                    theta.insert(a, tb.saturating_add(w));
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // A disconnected component never relaxes; pin it at 0.
+        for v in theta.values_mut() {
+            if *v == i64::MAX {
+                *v = 0;
+            }
+        }
+
+        // Phase 2: clamped median refinement.
+        for _ in 0..REFINE_SWEEPS {
+            for &b in &nodes {
+                if b == reference.0 {
+                    continue;
+                }
+                let mut cands: Vec<i64> = Vec::new();
+                let mut lo = i64::MIN;
+                let mut hi = i64::MAX;
+                for &a in &nodes {
+                    if a == b {
+                        continue;
+                    }
+                    let fwd = med.get(&(a, b)); // A sent to B
+                    let rev = med.get(&(b, a)); // B sent to A
+                    match (fwd, rev) {
+                        (Some(&mab), Some(&mba)) => {
+                            // Symmetric-delay estimate of θ_A − θ_B.
+                            cands.push(theta[&a] - (mab - mba) / 2);
+                        }
+                        (Some(&mab), None) => cands.push(theta[&a] - mab),
+                        (None, Some(&mba)) => cands.push(theta[&a] + mba),
+                        (None, None) => continue,
+                    }
+                    if let Some(&u) = ub.get(&(a, b)) {
+                        lo = lo.max(theta[&a] - u); // θ_B ≥ θ_A − ub_AB
+                    }
+                    if let Some(&u) = ub.get(&(b, a)) {
+                        hi = hi.min(theta[&a] + u); // θ_B ≤ θ_A + ub_BA
+                    }
+                }
+                if cands.is_empty() {
+                    continue;
+                }
+                cands.sort_unstable();
+                let target = median_of(&cands);
+                let clamped = if lo <= hi { target.clamp(lo, hi) } else { lo };
+                theta.insert(b, clamped);
+            }
+        }
+
+        // Final repair: sweeping per-node clamps chase moving targets, so
+        // re-relax until every constraint holds exactly.
+        for _ in 0..nodes.len() {
+            let mut changed = false;
+            for (&(a, b), &w) in &ub {
+                if theta[&a] - theta[&b] > w {
+                    theta.insert(a, theta[&b].saturating_add(w));
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Re-pin the reference at 0 (repair may have moved it).
+        let shift = theta[&reference.0];
+        for v in theta.values_mut() {
+            *v -= shift;
+        }
+
+        ClockFit {
+            reference,
+            offsets: theta,
+            samples,
+        }
+    }
+}
+
+/// One wire hop of an assembled trace: a message leaving one dispatch
+/// and entering another, with both endpoints on the corrected clock.
+#[derive(Debug, Clone)]
+pub struct Hop {
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Message discriminant.
+    pub kind: MessageKind,
+    /// Sending dispatch's span id.
+    pub send_span: u64,
+    /// Receiving dispatch's span id.
+    pub recv_span: u64,
+    /// Emission time, corrected onto the reference clock.
+    pub send_ns: i64,
+    /// Receipt time, corrected onto the reference clock.
+    pub recv_ns: i64,
+}
+
+impl Hop {
+    /// Corrected network delay. Nonnegative whenever the fit satisfied
+    /// its causality constraints.
+    #[must_use]
+    pub fn delay_ns(&self) -> i64 {
+        self.recv_ns - self.send_ns
+    }
+}
+
+/// One end-to-end operation assembled across shards: the coordinator's
+/// `[admit, complete]` window, every wire hop the trace crossed, and the
+/// coordinator-side Fig. 4 category tiling.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    /// End-to-end trace identity.
+    pub trace_id: u64,
+    /// Coordinating node (where the op was admitted).
+    pub coordinator: NodeId,
+    /// Operation class.
+    pub op: OpKind,
+    /// Target record, if the op names one.
+    pub key: Option<Key>,
+    /// Admission, corrected onto the reference clock.
+    pub admit_ns: i64,
+    /// Completion, corrected onto the reference clock. `None` while the
+    /// op never completed inside the captured shards.
+    pub complete_ns: Option<i64>,
+    /// Wire hops the trace crossed, in corrected send order.
+    pub hops: Vec<Hop>,
+    /// Coordinator-side category segments tiling `[admit, complete]`
+    /// (empty for incomplete ops).
+    pub segments: Vec<(Category, u64)>,
+    /// Records across all shards carrying this trace id.
+    pub records: usize,
+}
+
+impl Timeline {
+    /// End-to-end latency on the corrected clock.
+    #[must_use]
+    pub fn total_ns(&self) -> Option<i64> {
+        self.complete_ns.map(|c| c - self.admit_ns)
+    }
+
+    /// Hops whose corrected receive precedes their corrected send —
+    /// zero whenever the clock fit is feasible.
+    #[must_use]
+    pub fn causal_violations(&self) -> usize {
+        self.hops.iter().filter(|h| h.delay_ns() < 0).count()
+    }
+}
+
+/// A full cross-shard assembly: the clock fit plus one [`Timeline`] per
+/// trace id observed.
+#[derive(Debug, Clone)]
+pub struct Assembly {
+    /// The fitted per-node clock corrections.
+    pub fit: ClockFit,
+    /// Assembled operations, ordered by corrected admission time.
+    pub timelines: Vec<Timeline>,
+    /// Ctx-stamped `MsgReceived` records whose parent span never matched
+    /// a sending dispatch (sender shard missing from the input).
+    pub unmatched_hops: usize,
+}
+
+impl Assembly {
+    /// Total corrected-causality violations across every timeline.
+    #[must_use]
+    pub fn causal_violations(&self) -> usize {
+        self.timelines.iter().map(Timeline::causal_violations).sum()
+    }
+}
+
+/// Assembles merged multi-shard `records` into per-op timelines on one
+/// skew-corrected clock. Untraced records (zero meta) contribute nothing
+/// here — [`analyze`](super::analyze) still covers them per shard.
+#[must_use]
+pub fn assemble(records: &[TraceRecord]) -> Assembly {
+    let fit = ClockFit::fit(records);
+
+    // Spans that emitted wire traffic, for hop matching: a receiving
+    // record names its sender's dispatch via meta.parent.
+    let mut send_spans: BTreeMap<u64, NodeId> = BTreeMap::new();
+    for rec in records {
+        if rec.meta.span != 0 {
+            if let TraceEvent::MsgSent { .. } | TraceEvent::FanOut { .. } = rec.event {
+                send_spans.insert(rec.meta.span, rec.node);
+            }
+        }
+    }
+
+    // Group ctx-stamped records per trace.
+    let mut by_trace: BTreeMap<u64, Vec<&TraceRecord>> = BTreeMap::new();
+    for rec in records {
+        if rec.meta.trace_id != 0 {
+            by_trace.entry(rec.meta.trace_id).or_default().push(rec);
+        }
+    }
+
+    let mut unmatched_hops = 0usize;
+    let mut timelines: Vec<Timeline> = Vec::new();
+    for (tid, recs) in &by_trace {
+        let admit = recs
+            .iter()
+            .find(|r| matches!(r.event, TraceEvent::OpAdmitted { .. }));
+        let Some(admit) = admit else {
+            // A forwarded fragment without its admission (coordinator
+            // shard missing); nothing to anchor a timeline on.
+            continue;
+        };
+        let coordinator = admit.node;
+        let (op, key) = match admit.event {
+            TraceEvent::OpAdmitted { op, key, .. } => (op, key),
+            _ => unreachable!(),
+        };
+        let admit_ns = fit.correct(admit.node, admit.at_ns);
+        let complete = recs
+            .iter()
+            .find(|r| r.node == coordinator && matches!(r.event, TraceEvent::OpCompleted { .. }));
+        let complete_ns = complete.map(|r| fit.correct(r.node, r.at_ns));
+
+        // Hops: every receipt that names its sending dispatch.
+        let mut hops: Vec<Hop> = Vec::new();
+        for rec in recs {
+            if let TraceEvent::MsgReceived { from, kind, .. } = rec.event {
+                if rec.meta.parent == 0 {
+                    continue;
+                }
+                if send_spans.contains_key(&rec.meta.parent) {
+                    let send_ns = if rec.meta.remote_ns != 0 {
+                        fit.correct(from, rec.meta.remote_ns)
+                    } else {
+                        fit.correct(rec.node, rec.at_ns)
+                    };
+                    hops.push(Hop {
+                        from,
+                        to: rec.node,
+                        kind,
+                        send_span: rec.meta.parent,
+                        recv_span: rec.meta.span,
+                        send_ns,
+                        recv_ns: fit.correct(rec.node, rec.at_ns),
+                    });
+                } else {
+                    unmatched_hops += 1;
+                }
+            }
+        }
+        hops.sort_by_key(|h| h.send_ns);
+
+        // Coordinator-side Fig. 4 tiling of [admit, complete], exactly
+        // as replay::analyze does per shard, but scoped to this trace.
+        let mut segments: Vec<(Category, u64)> = Vec::new();
+        if let Some(complete) = complete {
+            let end_ns = complete.at_ns;
+            let mut markers: Vec<(u64, Category)> = vec![(admit.at_ns, Category::Dispatch)];
+            for rec in recs {
+                if rec.node != coordinator
+                    || matches!(
+                        rec.event,
+                        TraceEvent::OpAdmitted { .. } | TraceEvent::OpCompleted { .. }
+                    )
+                {
+                    continue;
+                }
+                if let Some(cat) = category_after(&rec.event) {
+                    markers.push((rec.at_ns.clamp(admit.at_ns, end_ns), cat));
+                }
+            }
+            markers.sort_by_key(|&(t, _)| t);
+            for i in 0..markers.len() {
+                let (t, cat) = markers[i];
+                let next = markers.get(i + 1).map_or(end_ns, |&(t, _)| t);
+                segments.push((cat, next - t));
+            }
+        }
+
+        timelines.push(Timeline {
+            trace_id: *tid,
+            coordinator,
+            op,
+            key,
+            admit_ns,
+            complete_ns,
+            hops,
+            segments,
+            records: recs.len(),
+        });
+    }
+    timelines.sort_by_key(|t| t.admit_ns);
+
+    Assembly {
+        fit,
+        timelines,
+        unmatched_hops,
+    }
+}
+
+fn percentile(sorted: &[i64], p: f64) -> i64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Renders the assembly report behind `minos-trace --assemble`: the
+/// clock fit, then one line per timeline with its hop chain.
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn format_assembly(asm: &Assembly, max_ops: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== clock fit (reference node {}, {} send/recv samples) ==",
+        asm.fit.reference.0, asm.fit.samples
+    );
+    for (node, off) in &asm.fit.offsets {
+        let _ = writeln!(out, "  node {node}: offset {off:+}ns");
+    }
+    if asm.fit.offsets.is_empty() {
+        out.push_str("  (no cross-node samples; raw timestamps kept)\n");
+    }
+
+    let complete = asm.timelines.iter().filter(|t| t.complete_ns.is_some());
+    let _ = writeln!(
+        out,
+        "\n== assembled timelines ({} traces, {} unmatched hops) ==",
+        asm.timelines.len(),
+        asm.unmatched_hops
+    );
+    for t in complete.take(max_ops) {
+        let key = t
+            .key
+            .map_or_else(|| "-".to_string(), |k| format!("{}", k.0));
+        let _ = writeln!(
+            out,
+            "trace {:#x} op={} key={} coord={} total={}ns hops={} records={}",
+            t.trace_id,
+            t.op,
+            key,
+            t.coordinator.0,
+            t.total_ns().unwrap_or(0),
+            t.hops.len(),
+            t.records
+        );
+        for h in &t.hops {
+            let _ = writeln!(
+                out,
+                "  {} -> {} {:?}: delay {}ns (send {} recv {})",
+                h.from.0,
+                h.to.0,
+                h.kind,
+                h.delay_ns(),
+                h.send_ns,
+                h.recv_ns
+            );
+        }
+        for (cat, ns) in &t.segments {
+            let _ = writeln!(out, "  [{}] {}ns", cat.label(), ns);
+        }
+    }
+    out
+}
+
+/// Renders the per-hop latency table behind `minos-trace --stats`:
+/// corrected network-delay percentiles per directed node pair, then
+/// per-node per-category service time from the dispatch spans.
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn format_hop_stats(asm: &Assembly, records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+
+    // Network delay per directed pair, over every assembled hop.
+    let mut per_pair: BTreeMap<(u16, u16), Vec<i64>> = BTreeMap::new();
+    for t in &asm.timelines {
+        for h in &t.hops {
+            per_pair
+                .entry((h.from.0, h.to.0))
+                .or_default()
+                .push(h.delay_ns());
+        }
+    }
+    out.push_str("== per-hop network delay (skew-corrected) ==\n");
+    if per_pair.is_empty() {
+        out.push_str("  (no assembled hops)\n");
+    }
+    for ((from, to), mut ds) in per_pair {
+        ds.sort_unstable();
+        let mean = ds.iter().sum::<i64>() as f64 / ds.len() as f64;
+        let _ = writeln!(
+            out,
+            "  {from} -> {to}: n={} mean={mean:.0}ns p50={}ns p95={}ns p99={}ns",
+            ds.len(),
+            percentile(&ds, 0.50),
+            percentile(&ds, 0.95),
+            percentile(&ds, 0.99),
+        );
+    }
+
+    // Service time per node per category: tile each dispatch span's
+    // records (first to last) the same way the per-op replay does.
+    let mut spans: BTreeMap<(u16, u64), Vec<&TraceRecord>> = BTreeMap::new();
+    for rec in records {
+        if rec.meta.span != 0 {
+            spans
+                .entry((rec.node.0, rec.meta.span))
+                .or_default()
+                .push(rec);
+        }
+    }
+    let mut per_node: BTreeMap<u16, ([u64; 4], usize)> = BTreeMap::new();
+    for ((node, _), mut recs) in spans {
+        recs.sort_by_key(|r| r.at_ns);
+        let entry = per_node.entry(node).or_default();
+        entry.1 += 1;
+        for i in 0..recs.len().saturating_sub(1) {
+            if let Some(cat) = category_after(&recs[i].event) {
+                entry.0[cat.index()] += recs[i + 1].at_ns - recs[i].at_ns;
+            }
+        }
+    }
+    out.push_str("\n== per-node service time (per dispatch span) ==\n");
+    if per_node.is_empty() {
+        out.push_str("  (no ctx-stamped spans)\n");
+    }
+    for (node, (cats, n)) in per_node {
+        let _ = write!(out, "  node {node}: spans={n}");
+        for (cat, ns) in Category::ALL.iter().zip(cats) {
+            let _ = write!(out, " {}={:.0}ns", cat.label(), ns as f64 / n as f64);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::TraceMeta;
+    use super::*;
+    use minos_types::MessageKind;
+    use proptest::prelude::*;
+
+    /// Local clock of `node`: global time minus the node's true offset.
+    fn local(global: u64, offset: i64) -> u64 {
+        u64::try_from(i64::try_from(global).unwrap() - offset).unwrap()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn recv_rec(
+        at_global: u64,
+        from: u16,
+        to: u16,
+        offs: &[i64],
+        send_global: u64,
+        tid: u64,
+        span: u64,
+        parent: u64,
+    ) -> TraceRecord {
+        TraceRecord {
+            at_ns: local(at_global, offs[to as usize]),
+            node: NodeId(to),
+            event: TraceEvent::MsgReceived {
+                from: NodeId(from),
+                kind: MessageKind::Inv,
+                key: Some(Key(1)),
+            },
+            meta: TraceMeta {
+                trace_id: tid,
+                span,
+                parent,
+                remote_ns: local(send_global, offs[from as usize]),
+            },
+        }
+    }
+
+    fn sent_rec(at_global: u64, node: u16, offs: &[i64], tid: u64, span: u64) -> TraceRecord {
+        TraceRecord {
+            at_ns: local(at_global, offs[node as usize]),
+            node: NodeId(node),
+            event: TraceEvent::FanOut {
+                dests: 2,
+                kind: MessageKind::Inv,
+                key: Some(Key(1)),
+            },
+            meta: TraceMeta {
+                trace_id: tid,
+                span,
+                parent: 0,
+                remote_ns: 0,
+            },
+        }
+    }
+
+    /// Mesh traffic among 3 skewed nodes; the fit must recover the
+    /// pairwise offset differences and keep every hop causal.
+    #[test]
+    fn fit_recovers_known_skew() {
+        let offs = [0i64, 3_000_000, -2_000_000]; // ±ms skews
+        let mut recs = Vec::new();
+        let mut t = 10_000_000u64;
+        let mut span = 100u64;
+        for round in 0..40 {
+            for a in 0..3u16 {
+                for b in 0..3u16 {
+                    if a == b {
+                        continue;
+                    }
+                    let delay = 40_000 + 10_000 * u64::from((round + a + b) % 5);
+                    recs.push(sent_rec(t, a, &offs, 1, span));
+                    recs.push(recv_rec(t + delay, a, b, &offs, t, 1, span + 1, span));
+                    span += 2;
+                    t += 130_000;
+                }
+            }
+        }
+        let fit = ClockFit::fit(&recs);
+        assert_eq!(fit.reference, NodeId(0));
+        // Recovered within the delay spread (delays span 40–80µs).
+        for n in 0..3u16 {
+            let err = (fit.offset(NodeId(n)) - (offs[n as usize] - offs[0])).abs();
+            assert!(err <= 80_000, "node {n} offset err {err}ns");
+        }
+        // And every constraint holds exactly.
+        for r in &recs {
+            if let TraceEvent::MsgReceived { from, .. } = r.event {
+                assert!(fit.correct(from, r.meta.remote_ns) <= fit.correct(r.node, r.at_ns));
+            }
+        }
+    }
+
+    #[test]
+    fn no_samples_is_identity() {
+        let fit = ClockFit::fit(&[]);
+        assert_eq!(fit.samples, 0);
+        assert_eq!(fit.offset(NodeId(5)), 0);
+    }
+
+    /// A full mini-trace across two shards: admit on node 0, INV hop to
+    /// node 1, ACK hop back, complete on node 0. The assembly must
+    /// produce one timeline whose segments tile [admit, complete].
+    #[test]
+    fn assembles_cross_shard_timeline() {
+        let offs = [0i64, 5_000_000];
+        let tid = (1u64 << 48) | 7;
+        let s_admit = (1u64 << 48) | 1;
+        let s_remote = (2u64 << 48) | 1;
+        let s_done = (1u64 << 48) | 2;
+        let meta = |span, parent, rns| TraceMeta {
+            trace_id: tid,
+            span,
+            parent,
+            remote_ns: rns,
+        };
+        let mk = |at: u64, node: u16, event, meta| TraceRecord {
+            at_ns: local(at, offs[node as usize]),
+            node: NodeId(node),
+            event,
+            meta,
+        };
+        let recs = vec![
+            mk(
+                10_001_000,
+                0,
+                TraceEvent::OpAdmitted {
+                    op: OpKind::Write,
+                    req: crate::ReqId(1),
+                    key: Some(Key(3)),
+                    scope: None,
+                },
+                meta(s_admit, 0, 0),
+            ),
+            mk(
+                10_001_100,
+                0,
+                TraceEvent::FanOut {
+                    dests: 1,
+                    kind: MessageKind::Inv,
+                    key: Some(Key(3)),
+                },
+                meta(s_admit, 0, 0),
+            ),
+            mk(
+                10_001_500,
+                1,
+                TraceEvent::MsgReceived {
+                    from: NodeId(0),
+                    kind: MessageKind::Inv,
+                    key: Some(Key(3)),
+                },
+                meta(s_remote, s_admit, local(10_001_100, offs[0])),
+            ),
+            mk(
+                10_001_600,
+                1,
+                TraceEvent::MsgSent {
+                    to: NodeId(0),
+                    kind: MessageKind::Ack,
+                    key: Some(Key(3)),
+                },
+                meta(s_remote, s_admit, 0),
+            ),
+            mk(
+                10_002_000,
+                0,
+                TraceEvent::MsgReceived {
+                    from: NodeId(1),
+                    kind: MessageKind::Ack,
+                    key: Some(Key(3)),
+                },
+                meta(s_done, s_remote, local(10_001_600, offs[1])),
+            ),
+            mk(
+                10_002_400,
+                0,
+                TraceEvent::OpCompleted {
+                    op: OpKind::Write,
+                    req: crate::ReqId(1),
+                    key: Some(Key(3)),
+                    obsolete: false,
+                    ts: None,
+                },
+                meta(s_done, s_remote, 0),
+            ),
+        ];
+        let asm = assemble(&recs);
+        assert_eq!(asm.timelines.len(), 1);
+        assert_eq!(asm.causal_violations(), 0);
+        let t = &asm.timelines[0];
+        assert_eq!(t.coordinator, NodeId(0));
+        assert_eq!(t.hops.len(), 2);
+        assert_eq!((t.hops[0].from, t.hops[0].to), (NodeId(0), NodeId(1)));
+        assert_eq!((t.hops[1].from, t.hops[1].to), (NodeId(1), NodeId(0)));
+        // Segments tile [admit, complete] exactly.
+        let total: u64 = t.segments.iter().map(|&(_, ns)| ns).sum();
+        assert_eq!(i64::try_from(total).unwrap(), t.total_ns().unwrap());
+        assert_eq!(t.total_ns().unwrap(), 1_400);
+        // Reports render without panicking and mention the trace.
+        let rep = format_assembly(&asm, 10);
+        assert!(rep.contains("trace 0x"));
+        let stats = format_hop_stats(&asm, &recs);
+        assert!(stats.contains("0 -> 1"));
+        assert!(stats.contains("1 -> 0"));
+    }
+
+    proptest! {
+        /// Random ±5ms per-node skews with jittered delays: the
+        /// estimator recovers every pairwise offset within the delay
+        /// spread, and corrected hops always stay causal.
+        #[test]
+        fn prop_fit_recovers_injected_skew(
+            o1 in -5_000_000i64..5_000_000,
+            o2 in -5_000_000i64..5_000_000,
+            base in 20_000u64..200_000,
+            jitter in proptest::collection::vec(0u64..60_000, 24),
+        ) {
+            let offs = [0i64, o1, o2];
+            let mut recs = Vec::new();
+            let mut t = 20_000_000u64;
+            let mut span = 1u64;
+            let mut ji = 0usize;
+            for _round in 0..10 {
+                for a in 0..3u16 {
+                    for b in 0..3u16 {
+                        if a == b { continue; }
+                        let delay = base + jitter[ji % jitter.len()];
+                        ji += 1;
+                        recs.push(sent_rec(t, a, &offs, 1, span));
+                        recs.push(recv_rec(t + delay, a, b, &offs, t, 1, span + 1, span));
+                        span += 2;
+                        t += 250_000;
+                    }
+                }
+            }
+            let fit = ClockFit::fit(&recs);
+            // Tolerance: jitter-median asymmetry can compound across
+            // neighbor estimates; 100us is still 50x under the skew.
+            let tol = 100_000i64;
+            for n in 1..3u16 {
+                let err = (fit.offset(NodeId(n)) - offs[n as usize]).abs();
+                prop_assert!(err <= tol, "node {} err {}ns tol {}ns", n, err, tol);
+            }
+            for r in &recs {
+                if let TraceEvent::MsgReceived { from, .. } = r.event {
+                    prop_assert!(
+                        fit.correct(from, r.meta.remote_ns) <= fit.correct(r.node, r.at_ns)
+                    );
+                }
+            }
+        }
+    }
+}

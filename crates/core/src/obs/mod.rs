@@ -35,6 +35,7 @@
 //! high-water marks, exported next to the histograms in the Prometheus
 //! dump and summarized in `BENCH_results.json`.
 
+pub mod assemble;
 pub mod gauge;
 pub mod hist;
 pub mod json;
@@ -42,6 +43,9 @@ pub mod perfetto;
 pub mod replay;
 pub mod sinks;
 
+pub use assemble::{
+    assemble, format_assembly, format_hop_stats, Assembly, ClockFit, Hop, Timeline,
+};
 pub use gauge::{
     shared_gauges, Gauge, GaugeKind, GaugeSet, SharedGauges, GAUGE_NODE_ALL, GAUGE_SHARD_ALL,
 };
@@ -205,6 +209,37 @@ impl TraceEvent {
     }
 }
 
+/// Distributed-tracing identity attached to a [`TraceRecord`]. Zero
+/// fields mean "absent", so a default meta is the untraced record.
+///
+/// `trace_id` names the end-to-end operation (minted at `OpAdmitted`,
+/// carried on every wire hop via
+/// [`TraceCtx`](minos_types::wire::TraceCtx)); `span` names the dispatch
+/// that produced this record; `parent` is the upstream dispatch's span
+/// (the sender of the message this dispatch is handling); `remote_ns`
+/// is the *sender's* local clock at emission, recorded on `MsgReceived`
+/// so the offline assembler can fit per-node clock offsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceMeta {
+    /// End-to-end operation identity (0 = untraced).
+    pub trace_id: u64,
+    /// Span id of the dispatch this record belongs to (0 = none).
+    pub span: u64,
+    /// Span id of the upstream dispatch (0 = root or unknown).
+    pub parent: u64,
+    /// Sender-local clock (ns) carried on the incoming message
+    /// (0 = not a message receipt, or untraced sender).
+    pub remote_ns: u64,
+}
+
+impl TraceMeta {
+    /// True when every field is zero (an untraced record).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.trace_id == 0 && self.span == 0 && self.parent == 0 && self.remote_ns == 0
+    }
+}
+
 /// A timestamped [`TraceEvent`] attributed to a node.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceRecord {
@@ -215,6 +250,8 @@ pub struct TraceRecord {
     pub node: NodeId,
     /// What happened.
     pub event: TraceEvent,
+    /// Distributed-tracing identity (all-zero when untraced).
+    pub meta: TraceMeta,
 }
 
 /// A consumer of trace records. Implementations must be cheap: they run
@@ -278,6 +315,20 @@ impl TraceClock {
             TraceClock::Sequence(c) => c.fetch_add(1, Ordering::Relaxed),
         }
     }
+
+    /// Reads the clock without advancing it — a sequence clock keeps its
+    /// counter, so peeking never perturbs the deterministic record
+    /// numbering tests rely on. Used to stamp the `origin_ns` a dispatch
+    /// puts on its outgoing wire context.
+    fn peek_ns(&self) -> u64 {
+        match self {
+            TraceClock::Monotonic(epoch) => {
+                u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            }
+            TraceClock::Virtual(t) => t.load(Ordering::Relaxed),
+            TraceClock::Sequence(c) => c.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// A per-node trace emitter: stamps [`TraceEvent`]s with the clock and
@@ -288,6 +339,11 @@ pub struct Tracer {
     node: NodeId,
     clock: TraceClock,
     sinks: Vec<SharedSink>,
+    /// Identity stamped on every emitted record until the next
+    /// [`Tracer::set_meta`] — the dispatcher sets it per dispatch.
+    meta: TraceMeta,
+    /// Monotone counter behind [`Tracer::mint_id`].
+    next_id: u64,
 }
 
 impl fmt::Debug for Tracer {
@@ -304,7 +360,13 @@ impl Tracer {
     /// A tracer for `node` over `clock`, fanning out to `sinks`.
     #[must_use]
     pub fn new(node: NodeId, clock: TraceClock, sinks: Vec<SharedSink>) -> Self {
-        Tracer { node, clock, sinks }
+        Tracer {
+            node,
+            clock,
+            sinks,
+            meta: TraceMeta::default(),
+            next_id: 0,
+        }
     }
 
     /// The node this tracer stamps records with.
@@ -313,12 +375,40 @@ impl Tracer {
         self.node
     }
 
+    /// Mints a cluster-unique id (span or trace id): the node id in the
+    /// top 16 bits (offset by one so node 0 still mints nonzero ids)
+    /// over a per-tracer counter. Two tracers never collide; one tracer
+    /// never repeats.
+    pub fn mint_id(&mut self) -> u64 {
+        self.next_id += 1;
+        ((u64::from(self.node.0) + 1) << 48) | self.next_id
+    }
+
+    /// Sets the identity stamped on subsequently emitted records.
+    pub fn set_meta(&mut self, meta: TraceMeta) {
+        self.meta = meta;
+    }
+
+    /// The identity currently stamped on emitted records.
+    #[must_use]
+    pub fn meta(&self) -> TraceMeta {
+        self.meta
+    }
+
+    /// The clock's current reading without advancing it — the
+    /// `origin_ns` this node puts on outgoing wire contexts.
+    #[must_use]
+    pub fn origin_ns(&self) -> u64 {
+        self.clock.peek_ns()
+    }
+
     /// Stamps and emits one event to every sink.
     pub fn emit(&mut self, event: TraceEvent) {
         let rec = TraceRecord {
             at_ns: self.clock.now_ns(),
             node: self.node,
             event,
+            meta: self.meta,
         };
         for sink in &self.sinks {
             if let Ok(mut s) = sink.lock() {

@@ -203,10 +203,15 @@ fn render(records: &[TraceRecord], layout: &Layout<'_>) -> String {
         );
     }
 
-    // Flow arrows: coordinator fan-out → the next msg_received from
-    // that coordinator on each other node. Also thin receive slices on
-    // the follower net lane for the arrows to terminate on.
-    let mut flow_id: u64 = 0;
+    // Flow arrows: coordinator fan-out → the msg_received events it
+    // caused on other nodes. Ctx-stamped traces pair *exactly* — a
+    // receive binds to the fan-out whose dispatch span it names as
+    // parent, and the arrow id is that span, so pairing is stable no
+    // matter how many per-process shards were merged or in what order.
+    // Unstamped (pre-tracing) records fall back to the nearest-receive
+    // heuristic with sequential ids. Also thin receive slices on the
+    // follower net lane for the arrows to terminate on.
+    let mut flow_seq: u64 = 0;
     for (i, rec) in records.iter().enumerate() {
         let TraceEvent::FanOut { key, .. } = &rec.event else {
             continue;
@@ -220,6 +225,13 @@ fn render(records: &[TraceRecord], layout: &Layout<'_>) -> String {
         }) else {
             continue;
         };
+        let span = rec.meta.span;
+        let flow_id = if span != 0 { span } else { flow_seq };
+        let name = if rec.meta.trace_id != 0 {
+            format!("fanout t{:x}", rec.meta.trace_id)
+        } else {
+            "fanout".to_string()
+        };
         let mut seen: Vec<u16> = Vec::new();
         let mut arrows = String::new();
         for later in &records[i + 1..] {
@@ -229,11 +241,15 @@ fn render(records: &[TraceRecord], layout: &Layout<'_>) -> String {
             else {
                 continue;
             };
-            if *from != rec.node
-                || later.node == rec.node
-                || seen.contains(&later.node.0)
-                || (key.is_some() && rkey.is_some() && rkey != key)
-            {
+            if later.node == rec.node || seen.contains(&later.node.0) {
+                continue;
+            }
+            let matched = if span != 0 {
+                later.meta.parent == span
+            } else {
+                *from == rec.node && !(key.is_some() && rkey.is_some() && rkey != key)
+            };
+            if !matched {
                 continue;
             }
             seen.push(later.node.0);
@@ -251,7 +267,7 @@ fn render(records: &[TraceRecord], layout: &Layout<'_>) -> String {
             push_event(
                 &mut arrows,
                 &format!(
-                    r#"{{"ph":"f","bp":"e","pid":{rpid},"tid":{rtid},"ts":{},"id":{flow_id},"name":"fanout","cat":"flow"}}"#,
+                    r#"{{"ph":"f","bp":"e","pid":{rpid},"tid":{rtid},"ts":{},"id":{flow_id},"name":"{name}","cat":"flow"}}"#,
                     us(later.at_ns),
                 ),
             );
@@ -260,7 +276,7 @@ fn render(records: &[TraceRecord], layout: &Layout<'_>) -> String {
             push_event(
                 &mut ev,
                 &format!(
-                    r#"{{"ph":"s","pid":{},"tid":{},"ts":{},"id":{flow_id},"name":"fanout","cat":"flow"}}"#,
+                    r#"{{"ph":"s","pid":{},"tid":{},"ts":{},"id":{flow_id},"name":"{name}","cat":"flow"}}"#,
                     layout.pid(rec.node.0),
                     layout.tid(rec.node.0, op.req.0 + 1),
                     us(rec.at_ns),
@@ -268,7 +284,7 @@ fn render(records: &[TraceRecord], layout: &Layout<'_>) -> String {
             );
             ev.push_str(",\n ");
             ev.push_str(&arrows);
-            flow_id += 1;
+            flow_seq += 1;
         }
     }
 
@@ -315,6 +331,7 @@ mod tests {
             at_ns,
             node: NodeId(node),
             event,
+            meta: crate::obs::TraceMeta::default(),
         }
     }
 
@@ -405,6 +422,56 @@ mod tests {
         assert_eq!(count("s"), 1, "one fan-out start");
         assert_eq!(count("f"), 2, "two follower terminations");
         assert!(count("B") >= 2, "op span plus at least one category slice");
+    }
+
+    #[test]
+    fn ctx_stamped_flows_pair_exactly_and_carry_trace_id() {
+        use crate::obs::TraceMeta;
+        let span = (1u64 << 48) | 42;
+        let tid = (1u64 << 48) | 41;
+        let mut records = tiny_trace();
+        // Stamp the fan-out with a dispatch span + trace id.
+        records[2].meta = TraceMeta {
+            trace_id: tid,
+            span,
+            parent: 0,
+            remote_ns: 0,
+        };
+        // Node 1's receive names the fan-out span as parent: pairs.
+        records[3].meta = TraceMeta {
+            trace_id: tid,
+            span: (2u64 << 48) | 1,
+            parent: span,
+            remote_ns: 200,
+        };
+        // Node 2's receive belongs to a *different* dispatch (same
+        // sender, same key — the heuristic would have paired it).
+        records[4].meta = TraceMeta {
+            trace_id: tid,
+            span: (3u64 << 48) | 1,
+            parent: (1u64 << 48) | 99,
+            remote_ns: 0,
+        };
+        let doc = export(&records);
+        let parsed = Json::parse(&doc).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        let of_ph = |ph: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(Json::as_str) == Some(ph))
+                .collect::<Vec<_>>()
+        };
+        let starts = of_ph("s");
+        let finishes = of_ph("f");
+        assert_eq!(starts.len(), 1, "one fan-out start");
+        assert_eq!(finishes.len(), 1, "only the span-matched receive pairs");
+        // Arrow id is the dispatch span — stable across merged shards —
+        // and the name carries the trace id.
+        assert_eq!(starts[0].get("id").unwrap().as_u64(), Some(span));
+        assert_eq!(finishes[0].get("id").unwrap().as_u64(), Some(span));
+        let name = starts[0].get("name").unwrap().as_str().unwrap();
+        assert_eq!(name, format!("fanout t{tid:x}"));
+        assert_eq!(finishes[0].get("name").unwrap().as_str(), Some(name));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use super::hist::OpKind;
 use super::sinks::{kind_from_label, side_from_label};
-use super::{TraceEvent, TraceRecord};
+use super::{TraceEvent, TraceMeta, TraceRecord};
 use crate::event::ReqId;
 use minos_types::{Key, MessageKind, NodeId, ScopeId, Ts};
 use std::fmt::Write as _;
@@ -130,7 +130,20 @@ pub fn parse_jsonl_line(line: &str) -> Option<TraceRecord> {
         },
         _ => return None,
     };
-    Some(TraceRecord { at_ns, node, event })
+    // Tracing identity fields are optional (absent = zero), so traces
+    // written before distributed tracing still parse.
+    let meta = TraceMeta {
+        trace_id: u64_field(line, "tid").unwrap_or(0),
+        span: u64_field(line, "span").unwrap_or(0),
+        parent: u64_field(line, "parent").unwrap_or(0),
+        remote_ns: u64_field(line, "rns").unwrap_or(0),
+    };
+    Some(TraceRecord {
+        at_ns,
+        node,
+        event,
+        meta,
+    })
 }
 
 /// Parses a whole JSONL trace, skipping unparseable lines.
@@ -192,7 +205,7 @@ impl Category {
 /// Which category the time *after* `event` (until the next coordinator
 /// event) is attributed to; `None` for events that are not timeline
 /// markers (background persists, completions).
-fn category_after(event: &TraceEvent) -> Option<Category> {
+pub(crate) fn category_after(event: &TraceEvent) -> Option<Category> {
     match event {
         TraceEvent::OpAdmitted { .. } => Some(Category::Dispatch),
         TraceEvent::WriteStarted { .. }
@@ -460,7 +473,29 @@ mod tests {
             at_ns,
             node: NodeId(node),
             event,
+            meta: TraceMeta::default(),
         }
+    }
+
+    #[test]
+    fn meta_fields_roundtrip_through_jsonl() {
+        let mut r = rec(
+            3,
+            1,
+            TraceEvent::MsgReceived {
+                from: NodeId(0),
+                kind: MessageKind::Inv,
+                key: Some(Key(9)),
+            },
+        );
+        r.meta = TraceMeta {
+            trace_id: 77,
+            span: 88,
+            parent: 99,
+            remote_ns: 1234,
+        };
+        let line = encode_json(&r);
+        assert_eq!(parse_jsonl_line(&line), Some(r));
     }
 
     fn write_trace() -> Vec<TraceRecord> {

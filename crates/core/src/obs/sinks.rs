@@ -227,6 +227,20 @@ pub fn encode_json(rec: &TraceRecord) -> String {
             let _ = write!(s, ",\"durable\":{durable},\"key\":{}", key.0);
         }
     }
+    // Distributed-tracing identity: each field appears only when nonzero,
+    // so untraced records keep the pre-tracing encoding byte-for-byte.
+    if rec.meta.trace_id != 0 {
+        let _ = write!(s, ",\"tid\":{}", rec.meta.trace_id);
+    }
+    if rec.meta.span != 0 {
+        let _ = write!(s, ",\"span\":{}", rec.meta.span);
+    }
+    if rec.meta.parent != 0 {
+        let _ = write!(s, ",\"parent\":{}", rec.meta.parent);
+    }
+    if rec.meta.remote_ns != 0 {
+        let _ = write!(s, ",\"rns\":{}", rec.meta.remote_ns);
+    }
     s.push('}');
     s
 }
@@ -345,7 +359,25 @@ mod tests {
             at_ns,
             node: NodeId(0),
             event,
+            meta: crate::obs::TraceMeta::default(),
         }
+    }
+
+    #[test]
+    fn meta_fields_encode_only_when_nonzero() {
+        let mut r = rec(5, TraceEvent::BatchFlushed { sends: 1 });
+        assert!(!encode_json(&r).contains("tid"));
+        r.meta = crate::obs::TraceMeta {
+            trace_id: 11,
+            span: 22,
+            parent: 33,
+            remote_ns: 44,
+        };
+        assert_eq!(
+            encode_json(&r),
+            "{\"at_ns\":5,\"node\":0,\"ev\":\"batch_flushed\",\"sends\":1,\
+             \"tid\":11,\"span\":22,\"parent\":33,\"rns\":44}"
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use super::{ActionSink, Transport};
 use crate::event::{Action, DelayClass, Event, MetaOp, ReqId};
+use minos_types::wire::TraceCtx;
 use minos_types::{Key, Message, NodeId, ScopeId, Ts, Value};
 
 /// Which Fig. 12 NIC capabilities the transport layer has.
@@ -87,6 +88,10 @@ pub trait FrameTransport {
             self.deposit(d, msgs.clone());
         }
     }
+
+    /// Installs the trace context the current dispatch's frames travel
+    /// under (see [`Transport::set_ctx`]); the default ignores it.
+    fn set_ctx(&mut self, _ctx: Option<TraceCtx>) {}
 }
 
 /// Batching/broadcast middleware over a [`FrameTransport`].
@@ -204,6 +209,10 @@ impl<H: FrameTransport> Transport for Batched<H> {
         for (dests, msgs) in std::mem::take(&mut self.frames) {
             self.emit(dests, msgs);
         }
+    }
+
+    fn set_ctx(&mut self, ctx: Option<TraceCtx>) {
+        self.inner.set_ctx(ctx);
     }
 }
 

@@ -23,6 +23,7 @@
 
 use super::{ActionSink, Transport};
 use crate::event::{Action, DelayClass, Event, MetaOp, ReqId};
+use minos_types::wire::TraceCtx;
 use minos_types::{ChaosSpec, Key, Message, MsgChaos, MsgInjection, NodeId, ScopeId, Ts, Value};
 
 /// One outbound unit: a unicast or a fan-out kept whole.
@@ -165,6 +166,13 @@ impl<H: Transport> Transport for ChaosNet<'_, H> {
             Self::forward(self.inner, out);
         }
         self.inner.flush();
+    }
+
+    fn set_ctx(&mut self, ctx: Option<TraceCtx>) {
+        // Held messages never outlive their dispatch, so forwarding the
+        // per-dispatch context keeps every perturbed message under the
+        // right trace.
+        self.inner.set_ctx(ctx);
     }
 }
 

@@ -51,8 +51,9 @@ pub use router::ShardRouter;
 
 use crate::baseline::NodeEngine;
 use crate::event::{Action, DelayClass, Event, MetaOp, ReqId};
-use crate::obs::{self, TraceEvent, Tracer};
+use crate::obs::{self, TraceEvent, TraceMeta, Tracer};
 use crate::offload::{OAction, OEvent, ONodeEngine, PcieMsg, Side};
+use minos_types::wire::TraceCtx;
 use minos_types::{Key, Message, NodeId, ScopeId, Ts, Value};
 
 /// The messaging half of a dispatch handler: how protocol messages leave
@@ -75,6 +76,12 @@ pub trait Transport {
     /// Marks the end of one dispatch — the batch boundary. Buffering
     /// transports emit their coalesced frames here.
     fn flush(&mut self) {}
+
+    /// Installs the trace context every message of the current dispatch
+    /// travels under (the dispatcher calls this once per dispatch,
+    /// before any send). Transports that put traffic on a wire attach it
+    /// to their frames; the default ignores it.
+    fn set_ctx(&mut self, _ctx: Option<TraceCtx>) {}
 }
 
 /// The local half of a MINOS-B dispatch handler: everything an engine
@@ -283,20 +290,76 @@ impl Dispatcher {
 
     /// Feeds `event` to `engine` and interprets every resulting action
     /// through `handler`, in emission order, ending with a
-    /// [`Transport::flush`].
+    /// [`Transport::flush`]. Equivalent to [`Dispatcher::dispatch_ctx`]
+    /// with no inbound trace context.
     pub fn dispatch<H: Transport + ActionSink>(
         &mut self,
         engine: &mut NodeEngine,
         event: Event,
         handler: &mut H,
     ) {
-        if self.tracer.is_some() {
+        self.dispatch_ctx(engine, event, None, handler);
+    }
+
+    /// [`Dispatcher::dispatch`] with the distributed-tracing context the
+    /// event arrived under (`None` for untraced or locally originated
+    /// events).
+    ///
+    /// With a tracer installed, the dispatch joins the inbound trace (or
+    /// mints a fresh trace id at a client-op admission), mints its own
+    /// span, stamps every emitted [`TraceEvent`] with the resulting
+    /// [`TraceMeta`], and hands the handler an *outgoing*
+    /// [`TraceCtx`] — `(trace_id, this span, local clock)` — via
+    /// [`Transport::set_ctx`] so wire transports can attach it to this
+    /// dispatch's frames. Without a tracer the inbound context is
+    /// forwarded unchanged, so untraced relay nodes do not sever a trace.
+    pub fn dispatch_ctx<H: Transport + ActionSink>(
+        &mut self,
+        engine: &mut NodeEngine,
+        event: Event,
+        ctx: Option<TraceCtx>,
+        handler: &mut H,
+    ) {
+        let mut out_ctx = ctx.filter(|c| !c.is_empty());
+        if let Some(tr) = self.tracer.as_mut() {
+            let inbound = out_ctx.unwrap_or_default();
+            let admission = matches!(
+                event,
+                Event::ClientWrite { .. }
+                    | Event::ClientRead { .. }
+                    | Event::ClientPersistScope { .. }
+            );
+            let trace_id = if inbound.trace_id != 0 {
+                inbound.trace_id
+            } else if admission {
+                tr.mint_id()
+            } else {
+                0
+            };
+            let span = tr.mint_id();
+            tr.set_meta(TraceMeta {
+                trace_id,
+                span,
+                parent: inbound.span,
+                remote_ns: inbound.origin_ns,
+            });
             if let Some(ev) = obs::trace_of_event(&event) {
-                if let Some(tr) = self.tracer.as_mut() {
-                    tr.emit(ev);
-                }
+                tr.emit(ev);
             }
+            // The remote clock belongs to the input boundary only; action
+            // records carry just the dispatch identity.
+            let meta = tr.meta();
+            tr.set_meta(TraceMeta {
+                remote_ns: 0,
+                ..meta
+            });
+            out_ctx = Some(TraceCtx {
+                trace_id,
+                span,
+                origin_ns: tr.origin_ns(),
+            });
         }
+        handler.set_ctx(out_ctx);
         let mut out = std::mem::take(&mut self.scratch);
         out.clear();
         engine.on_event(event, &mut out);
@@ -307,6 +370,9 @@ impl Dispatcher {
         }
         handler.flush();
         self.trace_flush(wire0);
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.set_meta(TraceMeta::default());
+        }
         self.scratch = out;
     }
 
@@ -520,20 +586,64 @@ impl ODispatcher {
 
     /// Feeds `event` to `engine` and interprets every resulting action
     /// through `handler`, in emission order, ending with a
-    /// [`Transport::flush`].
+    /// [`Transport::flush`]. Equivalent to [`ODispatcher::dispatch_ctx`]
+    /// with no inbound trace context.
     pub fn dispatch<H: Transport + OSink>(
         &mut self,
         engine: &mut ONodeEngine,
         event: OEvent,
         handler: &mut H,
     ) {
-        if self.tracer.is_some() {
+        self.dispatch_ctx(engine, event, None, handler);
+    }
+
+    /// [`ODispatcher::dispatch`] with the trace context the event
+    /// arrived under — see [`Dispatcher::dispatch_ctx`] for semantics.
+    pub fn dispatch_ctx<H: Transport + OSink>(
+        &mut self,
+        engine: &mut ONodeEngine,
+        event: OEvent,
+        ctx: Option<TraceCtx>,
+        handler: &mut H,
+    ) {
+        let mut out_ctx = ctx.filter(|c| !c.is_empty());
+        if let Some(tr) = self.tracer.as_mut() {
+            let inbound = out_ctx.unwrap_or_default();
+            let admission = matches!(
+                event,
+                OEvent::ClientWrite { .. }
+                    | OEvent::ClientRead { .. }
+                    | OEvent::ClientPersistScope { .. }
+            );
+            let trace_id = if inbound.trace_id != 0 {
+                inbound.trace_id
+            } else if admission {
+                tr.mint_id()
+            } else {
+                0
+            };
+            let span = tr.mint_id();
+            tr.set_meta(TraceMeta {
+                trace_id,
+                span,
+                parent: inbound.span,
+                remote_ns: inbound.origin_ns,
+            });
             if let Some(ev) = obs::trace_of_oevent(&event) {
-                if let Some(tr) = self.tracer.as_mut() {
-                    tr.emit(ev);
-                }
+                tr.emit(ev);
             }
+            let meta = tr.meta();
+            tr.set_meta(TraceMeta {
+                remote_ns: 0,
+                ..meta
+            });
+            out_ctx = Some(TraceCtx {
+                trace_id,
+                span,
+                origin_ns: tr.origin_ns(),
+            });
         }
+        handler.set_ctx(out_ctx);
         let mut out = std::mem::take(&mut self.scratch);
         out.clear();
         engine.on_event(event, &mut out);
@@ -544,6 +654,9 @@ impl ODispatcher {
         }
         handler.flush();
         self.trace_flush(wire0);
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.set_meta(TraceMeta::default());
+        }
         self.scratch = out;
     }
 

@@ -7,6 +7,7 @@ use minos_core::obs::{GaugeKind, GaugeSet, SharedSink, TraceClock, Tracer, GAUGE
 use minos_core::runtime::{self, ActionSink, DispatchStats, Dispatcher, ShardRouter, Transport};
 use minos_core::{Action, DelayClass, Event, NodeEngine, ReqId, Side};
 use minos_sim::{CorePool, DepthTracker, EventQueue, Resource, Time};
+use minos_types::wire::TraceCtx;
 use minos_types::{
     DdpModel, Key, MembershipView, Message, MessageKind, NodeId, ScopeId, ShardMap, SimConfig, Ts,
     Value,
@@ -78,7 +79,10 @@ pub struct BSim {
     arch: Arch,
     engines: Vec<NodeEngine>,
     dispatchers: Vec<Dispatcher>,
-    queue: EventQueue<(NodeId, Event)>,
+    /// Scheduled deliveries: destination, event, and the trace context
+    /// of the dispatch that caused the event (`None` for client
+    /// submissions — admission mints the trace).
+    queue: EventQueue<(NodeId, Event, Option<TraceCtx>)>,
     nodes: Vec<NodeRes>,
     /// NIC→host PCIe bandwidth, indexed by receiving node.
     pcie_rx: Vec<Resource>,
@@ -231,7 +235,7 @@ impl BSim {
             self.routed.insert(req, origin);
             at + timing::route_hop_ns(&self.cfg)
         };
-        self.queue.schedule(at, (coord, ev));
+        self.queue.schedule(at, (coord, ev, None));
     }
 
     /// Submits a client write at `node`, `at` the given time. On a
@@ -333,7 +337,7 @@ impl BSim {
             }
         } else {
             self.queue
-                .schedule(at, (node, Event::ClientPersistScope { scope, req }));
+                .schedule(at, (node, Event::ClientPersistScope { scope, req }, None));
         }
         req
     }
@@ -611,6 +615,7 @@ impl BSim {
                 t,
                 end: t,
                 inv_key: None,
+                ctx: None,
                 res: &mut self.nodes[i],
                 peer_rx: &mut self.pcie_rx,
                 queue: &mut self.queue,
@@ -628,7 +633,7 @@ impl BSim {
             self.apply_view_change(t, vc);
             return true;
         }
-        let Some((t, (node, ev))) = self.queue.pop() else {
+        let Some((t, (node, ev, ctx))) = self.queue.pop() else {
             return false;
         };
         // A node outside the serving set neither receives nor computes:
@@ -667,6 +672,7 @@ impl BSim {
             t,
             end: t,
             inv_key,
+            ctx: None,
             res: &mut self.nodes[ni],
             peer_rx: &mut self.pcie_rx,
             queue: &mut self.queue,
@@ -674,7 +680,7 @@ impl BSim {
             traces: &mut self.traces,
             gauges: &mut self.gauges,
         };
-        self.dispatchers[ni].dispatch(&mut self.engines[ni], ev, &mut handler);
+        self.dispatchers[ni].dispatch_ctx(&mut self.engines[ni], ev, ctx, &mut handler);
         true
     }
 
@@ -697,9 +703,12 @@ struct BSimHandler<'a> {
     /// [`ActionSink::begin`] once the compute charge is known.
     end: Time,
     inv_key: Option<(Key, Ts)>,
+    /// The dispatching node's trace context, stamped onto every event
+    /// this dispatch schedules.
+    ctx: Option<TraceCtx>,
     res: &'a mut NodeRes,
     peer_rx: &'a mut [Resource],
-    queue: &'a mut EventQueue<(NodeId, Event)>,
+    queue: &'a mut EventQueue<(NodeId, Event, Option<TraceCtx>)>,
     completions: &'a mut Vec<CompletionRec>,
     traces: &'a mut HashMap<(Key, Ts), TxTrace>,
     gauges: &'a mut GaugeSet,
@@ -746,6 +755,7 @@ impl BSimHandler<'_> {
                     from: self.node,
                     msg,
                 },
+                self.ctx,
             ),
         );
     }
@@ -759,6 +769,10 @@ impl Transport for BSimHandler<'_> {
         let pcie_done = self.pcie_tx(self.end, bytes);
         let depart = self.nic_tx(pcie_done, timing::send_cost(self.cfg, &msg));
         self.deliver(to, depart, msg);
+    }
+
+    fn set_ctx(&mut self, ctx: Option<TraceCtx>) {
+        self.ctx = ctx;
     }
 
     /// The Coordinator's INV/VAL fan-out, shaped by the batching and
@@ -856,7 +870,7 @@ impl ActionSink for BSimHandler<'_> {
         let d = self.cfg.persist_ns(value.len() as u64);
         let done = self.res.cores.acquire(self.end, d);
         self.queue
-            .schedule(done, (self.node, Event::PersistDone { key, ts }));
+            .schedule(done, (self.node, Event::PersistDone { key, ts }, self.ctx));
     }
 
     fn redirect(&mut self, to: NodeId, event: Event) {
@@ -869,11 +883,11 @@ impl ActionSink for BSimHandler<'_> {
                     token: 0,
                 },
             );
-        self.queue.schedule(arrival, (to, event));
+        self.queue.schedule(arrival, (to, event, self.ctx));
     }
 
     fn defer(&mut self, event: Event, _class: DelayClass) {
-        self.queue.schedule(self.end, (self.node, event));
+        self.queue.schedule(self.end, (self.node, event, self.ctx));
     }
 
     fn write_done(&mut self, req: ReqId, key: Key, ts: Ts, obsolete: bool) {

@@ -8,6 +8,7 @@ use minos_core::obs::{GaugeKind, GaugeSet, SharedSink, TraceClock, Tracer, GAUGE
 use minos_core::runtime::{self, ODispatchStats, ODispatcher, OSink, ShardRouter, Transport};
 use minos_core::{OAction, OEvent, ONodeEngine, PcieMsg, ReqId, Side};
 use minos_sim::{BoundedFifo, CorePool, DepthTracker, EventQueue, Resource, Time};
+use minos_types::wire::TraceCtx;
 use minos_types::{
     DdpModel, Key, MembershipView, Message, MessageKind, NodeId, ScopeId, ShardMap, SimConfig, Ts,
     Value,
@@ -50,7 +51,9 @@ pub struct OSim {
     arch: Arch,
     engines: Vec<ONodeEngine>,
     dispatchers: Vec<ODispatcher>,
-    queue: EventQueue<(NodeId, OEvent)>,
+    /// Scheduled deliveries with the causing dispatch's trace context
+    /// (see [`crate::bsim::BSim`]'s queue).
+    queue: EventQueue<(NodeId, OEvent, Option<TraceCtx>)>,
     nodes: Vec<ONodeRes>,
     completions: Vec<CompletionRec>,
     /// Write submission times, for latency bookkeeping by the driver.
@@ -201,7 +204,7 @@ impl OSim {
             self.routed.insert(req, origin);
             at + timing::route_hop_ns(&self.cfg)
         };
-        self.queue.schedule(at, (coord, ev));
+        self.queue.schedule(at, (coord, ev, None));
     }
 
     /// Submits a client write, routed to a replica of its key's shard.
@@ -298,7 +301,7 @@ impl OSim {
             }
         } else {
             self.queue
-                .schedule(at, (node, OEvent::ClientPersistScope { scope, req }));
+                .schedule(at, (node, OEvent::ClientPersistScope { scope, req }, None));
         }
         req
     }
@@ -558,7 +561,7 @@ impl OSim {
             self.apply_view_change(t, vc);
             return true;
         }
-        let Some((t, (node, ev))) = self.queue.pop() else {
+        let Some((t, (node, ev, ctx))) = self.queue.pop() else {
             return false;
         };
         // A node outside the serving set neither receives nor computes.
@@ -584,12 +587,13 @@ impl OSim {
             end: t,
             vq_done: None,
             dq_done: None,
+            ctx: None,
             res: &mut self.nodes[ni],
             queue: &mut self.queue,
             completions: &mut self.completions,
             gauges: &mut self.gauges,
         };
-        self.dispatchers[ni].dispatch(&mut self.engines[ni], ev, &mut handler);
+        self.dispatchers[ni].dispatch_ctx(&mut self.engines[ni], ev, ctx, &mut handler);
         true
     }
 
@@ -620,8 +624,11 @@ struct OSimHandler<'a> {
     vq_done: Option<Time>,
     /// dFIFO enqueue completion within this dispatch, if any.
     dq_done: Option<Time>,
+    /// The dispatching node's trace context, stamped onto every event
+    /// this dispatch schedules.
+    ctx: Option<TraceCtx>,
     res: &'a mut ONodeRes,
-    queue: &'a mut EventQueue<(NodeId, OEvent)>,
+    queue: &'a mut EventQueue<(NodeId, OEvent, Option<TraceCtx>)>,
     completions: &'a mut Vec<CompletionRec>,
     gauges: &'a mut GaugeSet,
 }
@@ -662,6 +669,7 @@ impl OSimHandler<'_> {
                     from: self.node,
                     msg,
                 },
+                self.ctx,
             ),
         );
     }
@@ -702,6 +710,10 @@ impl Transport for OSimHandler<'_> {
         let start = self.send_gate(&msg);
         let depart = self.nic_tx(start, timing::send_cost(self.cfg, &msg));
         self.deliver(to, depart, msg);
+    }
+
+    fn set_ctx(&mut self, ctx: Option<TraceCtx>) {
+        self.ctx = ctx;
     }
 
     /// SNIC-side fan-out: a single Send-Buffer deposit with the broadcast
@@ -792,7 +804,7 @@ impl OSink for OSimHandler<'_> {
             Side::Host => OEvent::PcieFromHost(msg),
             Side::Snic => OEvent::PcieFromSnic(msg),
         };
-        self.queue.schedule(arrival, (self.node, ev));
+        self.queue.schedule(arrival, (self.node, ev, self.ctx));
     }
 
     fn vfifo_enqueue(&mut self, key: Key, ts: Ts, bytes: u64) {
@@ -805,7 +817,7 @@ impl OSink for OSimHandler<'_> {
         self.vq_done = Some(outcome.enqueued_at);
         self.queue.schedule(
             outcome.drained_at,
-            (self.node, OEvent::VfifoDrained { key, ts }),
+            (self.node, OEvent::VfifoDrained { key, ts }, self.ctx),
         );
     }
 
@@ -820,12 +832,14 @@ impl OSink for OSimHandler<'_> {
         self.gauges
             .add(GaugeKind::PcieBytes, u32::from(self.node.0), bytes.max(64));
         let dma_done = outcome.drained_at + self.cfg.pcie_transfer_ns(bytes);
-        self.queue
-            .schedule(dma_done, (self.node, OEvent::DfifoDrained { key, ts }));
+        self.queue.schedule(
+            dma_done,
+            (self.node, OEvent::DfifoDrained { key, ts }, self.ctx),
+        );
     }
 
     fn defer(&mut self, event: OEvent) {
-        self.queue.schedule(self.end, (self.node, event));
+        self.queue.schedule(self.end, (self.node, event, self.ctx));
     }
 
     fn write_done(&mut self, req: ReqId, key: Key, ts: Ts, obsolete: bool) {

@@ -116,6 +116,73 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// A compact distributed-tracing context that rides the wire alongside
+/// protocol traffic.
+///
+/// One context names one *hop*: `trace_id` is the end-to-end operation
+/// identity (minted when a client op is admitted), `span` is the
+/// sender-side dispatch that emitted the message(s), and `origin_ns` is
+/// the sender's local clock at emission — the receiver records it so an
+/// offline assembler can fit per-node clock offsets from matched
+/// send/recv pairs. All-zero fields mean "absent" (untraced traffic).
+///
+/// Encoded as 24 fixed little-endian bytes
+/// (`[u64 trace_id][u64 span][u64 origin_ns]`); see
+/// [`TraceCtx::encode`] / [`TraceCtx::decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCtx {
+    /// End-to-end operation identity, stable across every hop.
+    pub trace_id: u64,
+    /// The sending dispatch's span id (the receiver's parent span).
+    pub span: u64,
+    /// Sender-local clock (ns) when the message was emitted; 0 = unknown.
+    pub origin_ns: u64,
+}
+
+impl TraceCtx {
+    /// Encoded size in bytes.
+    pub const WIRE_LEN: usize = 24;
+
+    /// True when every field is zero — the "no context" sentinel.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.trace_id == 0 && self.span == 0 && self.origin_ns == 0
+    }
+
+    /// Encodes the context as 24 little-endian bytes.
+    #[must_use]
+    pub fn encode(&self) -> [u8; Self::WIRE_LEN] {
+        let mut out = [0u8; Self::WIRE_LEN];
+        out[..8].copy_from_slice(&self.trace_id.to_le_bytes());
+        out[8..16].copy_from_slice(&self.span.to_le_bytes());
+        out[16..].copy_from_slice(&self.origin_ns.to_le_bytes());
+        out
+    }
+
+    /// Decodes a context from the first 24 bytes of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] when `buf` is shorter than
+    /// [`TraceCtx::WIRE_LEN`].
+    pub fn decode(buf: &[u8]) -> Result<TraceCtx, WireError> {
+        if buf.len() < Self::WIRE_LEN {
+            return Err(WireError::Truncated);
+        }
+        Ok(TraceCtx {
+            trace_id: u64::from_le_bytes(buf[..8].try_into().unwrap()),
+            span: u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+            origin_ns: u64::from_le_bytes(buf[16..24].try_into().unwrap()),
+        })
+    }
+}
+
+/// Flag bit on a client-protocol op byte marking that a 24-byte
+/// [`TraceCtx`] follows the client-request id. Op bytes are small
+/// (1..=6), so the high bit is free; a server masks with `!CLIENT_CTX_FLAG`
+/// before switching on the op.
+pub const CLIENT_CTX_FLAG: u8 = 0x80;
+
 const TAG_INV: u8 = 0x01;
 const TAG_ACK: u8 = 0x02;
 const TAG_ACK_C: u8 = 0x03;
@@ -300,9 +367,36 @@ pub fn decode_message(buf: &[u8]) -> Result<Message, WireError> {
 /// through here, so a frame written by one is decodable by the other.
 #[must_use]
 pub fn encode_peer_frame(from: NodeId, msgs: &[Message]) -> Vec<u8> {
-    let mut w = Writer(Vec::with_capacity(64 * msgs.len() + 4));
+    encode_peer_frame_ctx(from, msgs, None)
+}
+
+/// Flag bit on a peer frame's count field marking that a 24-byte
+/// [`TraceCtx`] follows the header. Batch counts stay far below 2^15, so
+/// the high bit is free and ctx-less frames are bit-identical to the
+/// pre-tracing encoding.
+const FRAME_CTX_FLAG: u16 = 0x8000;
+
+/// Encodes a peer frame carrying an optional [`TraceCtx`].
+///
+/// Layout: `[u16 from][u16 count]` as in [`encode_peer_frame`]; when a
+/// context is present the count field has its high bit
+/// (`FRAME_CTX_FLAG`, `0x8000`) set and the 24 context bytes sit
+/// between the header and the first message. A `Some` context with
+/// all-zero fields is encoded as absent.
+#[must_use]
+pub fn encode_peer_frame_ctx(from: NodeId, msgs: &[Message], ctx: Option<TraceCtx>) -> Vec<u8> {
+    let ctx = ctx.filter(|c| !c.is_empty());
+    let mut w = Writer(Vec::with_capacity(64 * msgs.len() + 4 + TraceCtx::WIRE_LEN));
     w.u16(from.0);
-    w.u16(msgs.len() as u16);
+    debug_assert!(msgs.len() < FRAME_CTX_FLAG as usize, "peer frame too large");
+    let mut count = msgs.len() as u16;
+    if ctx.is_some() {
+        count |= FRAME_CTX_FLAG;
+    }
+    w.u16(count);
+    if let Some(c) = ctx {
+        w.0.extend_from_slice(&c.encode());
+    }
     for msg in msgs {
         let enc = encode_message(msg);
         w.u32(enc.len() as u32);
@@ -319,9 +413,28 @@ pub fn encode_peer_frame(from: NodeId, msgs: &[Message]) -> Vec<u8> {
 /// unknown message kinds, [`WireError::TrailingBytes`] for oversized
 /// buffers.
 pub fn decode_peer_frame(buf: &[u8]) -> Result<(NodeId, Vec<Message>), WireError> {
+    let (from, msgs, _) = decode_peer_frame_ctx(buf)?;
+    Ok((from, msgs))
+}
+
+/// Decodes a frame produced by [`encode_peer_frame_ctx`] (or, with
+/// `None` context, by [`encode_peer_frame`]).
+///
+/// # Errors
+///
+/// As for [`decode_peer_frame`].
+pub fn decode_peer_frame_ctx(
+    buf: &[u8],
+) -> Result<(NodeId, Vec<Message>, Option<TraceCtx>), WireError> {
     let mut r = Reader { buf, pos: 0 };
     let from = NodeId(r.u16()?);
-    let count = r.u16()? as usize;
+    let raw_count = r.u16()?;
+    let ctx = if raw_count & FRAME_CTX_FLAG != 0 {
+        Some(TraceCtx::decode(r.take(TraceCtx::WIRE_LEN)?)?)
+    } else {
+        None
+    };
+    let count = (raw_count & !FRAME_CTX_FLAG) as usize;
     let mut msgs = Vec::with_capacity(count);
     for _ in 0..count {
         let len = r.u32()? as usize;
@@ -330,7 +443,7 @@ pub fn decode_peer_frame(buf: &[u8]) -> Result<(NodeId, Vec<Message>), WireError
     if r.pos != buf.len() {
         return Err(WireError::TrailingBytes(buf.len() - r.pos));
     }
-    Ok((from, msgs))
+    Ok((from, msgs, ctx))
 }
 
 // Control-plane view-change tags live in a separate 0x20+ namespace so a
@@ -604,6 +717,71 @@ mod tests {
             )
             .is_err());
         }
+    }
+
+    #[test]
+    fn trace_ctx_roundtrips_and_rejects_short_buffers() {
+        let ctx = TraceCtx {
+            trace_id: 0x1122_3344_5566_7788,
+            span: 42,
+            origin_ns: u64::MAX,
+        };
+        let enc = ctx.encode();
+        assert_eq!(enc.len(), TraceCtx::WIRE_LEN);
+        assert_eq!(TraceCtx::decode(&enc), Ok(ctx));
+        for cut in 0..TraceCtx::WIRE_LEN {
+            assert_eq!(TraceCtx::decode(&enc[..cut]), Err(WireError::Truncated));
+        }
+        assert!(TraceCtx::default().is_empty());
+        assert!(!ctx.is_empty());
+    }
+
+    #[test]
+    fn ctx_frames_roundtrip_and_interoperate_with_plain_frames() {
+        let msgs = vec![
+            Message::Ack {
+                key: Key(5),
+                ts: Ts::new(NodeId(1), 3),
+            },
+            Message::Persist { scope: ScopeId(2) },
+        ];
+        let ctx = TraceCtx {
+            trace_id: 7,
+            span: 9,
+            origin_ns: 1234,
+        };
+        let enc = encode_peer_frame_ctx(NodeId(4), &msgs, Some(ctx));
+        assert_eq!(
+            decode_peer_frame_ctx(&enc),
+            Ok((NodeId(4), msgs.clone(), Some(ctx)))
+        );
+        // The ctx-less decoder still accepts a ctx frame (drops the ctx).
+        assert_eq!(decode_peer_frame(&enc), Ok((NodeId(4), msgs.clone())));
+        // A plain frame decodes through the ctx decoder with no ctx, and
+        // an empty (all-zero) ctx encodes as absent — bit-identical to
+        // the pre-tracing frame layout.
+        let plain = encode_peer_frame(NodeId(4), &msgs);
+        assert_eq!(
+            decode_peer_frame_ctx(&plain),
+            Ok((NodeId(4), msgs.clone(), None))
+        );
+        assert_eq!(
+            encode_peer_frame_ctx(NodeId(4), &msgs, Some(TraceCtx::default())),
+            plain
+        );
+        // Truncation sweep over the ctx-bearing frame.
+        for cut in 0..enc.len() {
+            assert!(
+                decode_peer_frame_ctx(&enc[..cut]).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+        // Empty ctx frames are legal (flush with nothing buffered).
+        let empty = encode_peer_frame_ctx(NodeId(0), &[], Some(ctx));
+        assert_eq!(
+            decode_peer_frame_ctx(&empty),
+            Ok((NodeId(0), vec![], Some(ctx)))
+        );
     }
 
     #[test]
