@@ -23,7 +23,11 @@
 #                      Both bench runtimes are deterministic, so the
 #                      self-compare must report zero regressions — this
 #                      gates the sweep, the JSON writer/parser, and the
-#                      compare logic in one pass.
+#                      compare logic in one pass. The sweep includes the
+#                      simspeed/* simulator-speed cells (checked present
+#                      below), and a final `--par-gate` run insists the
+#                      parallel per-shard-group DES mode is bit-identical
+#                      to the sequential one.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -150,6 +154,21 @@ if [ "$BENCH" -eq 1 ]; then
 
     echo "==> bench: self-compare (deterministic rerun must show 0 regressions)"
     "$BENCH_BIN" --quick --out target/bench_rerun.json --compare BENCH_results.json --threshold 5%
+
+    echo "==> bench: sim-speed cells self-compare (virtual-time metrics must be deterministic)"
+    # The simspeed/* cells ride the quick sweep, so the rerun above
+    # already re-measured them; here we insist they exist and that their
+    # deterministic metrics survived the --compare gate (wall-clock
+    # figures live in gauges, which compare ignores by design).
+    CELLS=$(grep -c '"id":"simspeed/' BENCH_results.json || true)
+    if [ "$CELLS" -lt 4 ]; then
+        echo "expected >=4 simspeed/* cells in BENCH_results.json, found $CELLS" >&2
+        exit 1
+    fi
+    echo "    $CELLS simspeed/* cells present and gated"
+
+    echo "==> bench: parallel-vs-sequential DES equivalence gate"
+    "$BENCH_BIN" --quick --par-gate
 fi
 
 echo "==> ci: all stages passed"

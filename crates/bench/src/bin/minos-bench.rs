@@ -18,14 +18,21 @@
 //! deterministic under the shared bench seed, so rerunning the sweep
 //! against a just-written baseline compares clean — the `ci.sh --bench`
 //! gate relies on exactly that.
+//!
+//! With `--par-gate`, no sweep is written: only the `simspeed/*` cells
+//! run, in both [`minos_net::ParMode::Sequential`] and
+//! [`minos_net::ParMode::Parallel`], and the process exits nonzero if
+//! any deterministic metric (ops, throughput bits, latency quantiles,
+//! DES event count) diverges between the two modes.
 
 use minos_bench::regress::{
-    compare, parse_results, parse_threshold, render_json, run_sweep, BenchPoint,
+    compare, par_equivalence_gate, parse_results, parse_threshold, render_json, run_sweep,
+    BenchPoint,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: minos-bench [--quick] [--out <file>] [--compare <baseline> [--threshold <t>]]"
+        "usage: minos-bench [--quick] [--out <file>] [--compare <baseline> [--threshold <t>]] [--par-gate]"
     );
     std::process::exit(2);
 }
@@ -36,6 +43,7 @@ fn main() {
     let mut out = String::from("BENCH_results.json");
     let mut baseline: Option<String> = None;
     let mut threshold = 0.05;
+    let mut par_gate = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -59,6 +67,7 @@ fn main() {
                     }
                 };
             }
+            "--par-gate" => par_gate = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("minos-bench: unknown argument {other}");
@@ -66,6 +75,23 @@ fn main() {
             }
         }
         i += 1;
+    }
+
+    if par_gate {
+        eprintln!("minos-bench: parallel-vs-sequential DES equivalence gate…");
+        let errors = par_equivalence_gate(quick);
+        if errors.is_empty() {
+            println!("minos-bench: par-gate PASS (parallel replay bit-identical to sequential)");
+            return;
+        }
+        for e in &errors {
+            println!("DIVERGENCE {e}");
+        }
+        eprintln!(
+            "minos-bench: par-gate FAIL ({} divergence(s))",
+            errors.len()
+        );
+        std::process::exit(1);
     }
 
     eprintln!(

@@ -22,7 +22,8 @@ use minos_core::obs::{
     analyze, shared, Category, GaugeKind, HistogramSet, Json, MetricsSink, RingRecorder,
 };
 use minos_net::{
-    run_observed, run_observed_sharded, run_rolling_restart, run_slo_curve, run_with_clients, Arch,
+    run_observed, run_observed_sharded, run_open_loop_sharded, run_rolling_restart, run_slo_curve,
+    run_with_clients, Arch, ParMode,
 };
 use minos_types::{DdpModel, Key, NodeId, PersistencyModel, ScopeId, ShardMap, SimConfig, Value};
 use minos_workload::openloop::{OpenLoopSpec, Scenario};
@@ -505,7 +506,10 @@ pub fn openloop_spec(quick: bool) -> OpenLoopSpec {
         .with_total_ops(ops)
 }
 
-fn openloop_latency_map(r: &minos_net::OpenLoopResult) -> BTreeMap<String, Quantiles> {
+/// Latency quantiles of an open-loop run, keyed by op kind — the
+/// `latency` map of the `des/...@load` and `simspeed/*` cells.
+#[must_use]
+pub fn openloop_latency_map(r: &minos_net::OpenLoopResult) -> BTreeMap<String, Quantiles> {
     let mut out = BTreeMap::new();
     for (label, stats) in [
         ("op", &r.lat),
@@ -570,6 +574,119 @@ pub fn sweep_openloop(quick: bool) -> Vec<BenchPoint> {
     points
 }
 
+/// Cluster shape of the `simspeed/*` cells: nodes, disjoint shard
+/// groups, replicas per group, and the open-loop spec the cells replay.
+#[must_use]
+pub fn simspeed_shape(quick: bool) -> (usize, u32, u16, OpenLoopSpec) {
+    let (nodes, groups, ops) = if quick {
+        (16, 2, 8_000)
+    } else {
+        (64, 8, 30_000)
+    };
+    let replicas = (nodes as u32 / groups) as u16;
+    let spec = OpenLoopSpec::new(Scenario::YcsbA, 250_000.0)
+        .with_records(10_000)
+        .with_sessions(1_000)
+        .with_total_ops(ops);
+    (nodes, groups, replicas, spec)
+}
+
+/// The simulator-speed cells: each DES kernel (MINOS-B and MINOS-O)
+/// replays the same sharded open-loop schedule in [`ParMode::Sequential`]
+/// and [`ParMode::Parallel`], one cell per (kernel, mode).
+///
+/// The *deterministic* metrics — virtual-time throughput, completed
+/// ops, latency quantiles — are what `--compare` gates, and they must be
+/// identical between the two modes (see [`par_equivalence_gate`]).
+/// Wall-clock figures (`wall_ms`, `events_per_sec`, `ops_per_sec_wall`)
+/// are machine-dependent, so they ride in `gauges`, which the compare
+/// gate ignores; `events` (DES events processed) is deterministic and
+/// rides there too as the events/sec denominator.
+#[must_use]
+pub fn sweep_simspeed(quick: bool) -> Vec<BenchPoint> {
+    let (nodes, groups, replicas, spec) = simspeed_shape(quick);
+    let mut cfg = SimConfig::paper_defaults();
+    cfg.nodes = nodes;
+    let map = ShardMap::uniform(groups, nodes, replicas);
+    let model = DdpModel::lin(PersistencyModel::Synchronous);
+    let mut points = Vec::new();
+    for arch in [Arch::baseline(), Arch::minos_o()] {
+        for (mode, mode_slug) in [(ParMode::Sequential, "seq"), (ParMode::Parallel, "par")] {
+            let t0 = std::time::Instant::now();
+            let run = run_open_loop_sharded(arch, &cfg, model, &spec, SEED, &map, mode);
+            let wall = t0.elapsed();
+            let mut gauges = BTreeMap::new();
+            gauges.insert("events".into(), run.events);
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            {
+                gauges.insert("wall_ms".into(), wall.as_millis() as u64);
+                let secs = wall.as_secs_f64().max(1e-9);
+                gauges.insert("events_per_sec".into(), (run.events as f64 / secs) as u64);
+                gauges.insert(
+                    "ops_per_sec_wall".into(),
+                    (run.result.completed as f64 / secs) as u64,
+                );
+            }
+            points.push(BenchPoint {
+                id: format!("simspeed/{}/{mode_slug}/{groups}x{nodes}", arch_slug(arch)),
+                runtime: "des".into(),
+                arch: arch_slug(arch).into(),
+                model: "Synch".into(),
+                shards: groups,
+                nodes: nodes as u32,
+                scenario: spec.scenario.label().into(),
+                offered_load: spec.offered_load,
+                throughput: run.result.achieved_throughput(),
+                ops: run.result.completed,
+                latency: openloop_latency_map(&run.result),
+                gauges,
+                critical_path: BTreeMap::new(),
+            });
+        }
+    }
+    points
+}
+
+/// The parallel-vs-sequential equivalence gate: for each DES kernel,
+/// the [`ParMode::Parallel`] replay must produce *identical*
+/// deterministic results to [`ParMode::Sequential`] — same completed
+/// ops, same DES event count, same virtual-time throughput bits, same
+/// latency quantiles. Returns every divergence found (empty = pass).
+#[must_use]
+pub fn par_equivalence_gate(quick: bool) -> Vec<String> {
+    let points = sweep_simspeed(quick);
+    let mut errors = Vec::new();
+    for arch in [Arch::baseline(), Arch::minos_o()].map(arch_slug) {
+        let find = |mode: &str| {
+            points
+                .iter()
+                .find(|p| p.id.starts_with(&format!("simspeed/{arch}/{mode}/")))
+                .unwrap_or_else(|| panic!("simspeed cell missing for {arch}/{mode}"))
+        };
+        let (seq, par) = (find("seq"), find("par"));
+        if seq.ops != par.ops {
+            errors.push(format!("{arch}: ops {} != {}", seq.ops, par.ops));
+        }
+        if seq.throughput.to_bits() != par.throughput.to_bits() {
+            errors.push(format!(
+                "{arch}: throughput {} != {}",
+                seq.throughput, par.throughput
+            ));
+        }
+        if seq.latency != par.latency {
+            errors.push(format!("{arch}: latency quantiles diverge"));
+        }
+        if seq.gauges.get("events") != par.gauges.get("events") {
+            errors.push(format!(
+                "{arch}: events {:?} != {:?}",
+                seq.gauges.get("events"),
+                par.gauges.get("events")
+            ));
+        }
+    }
+    errors
+}
+
 /// The tracing-overhead pair: one quick-sized DES point run completely
 /// untraced (no tracer installed on any dispatcher — the zero-cost
 /// path) and the same point with the full ctx-stamping observability
@@ -626,6 +743,7 @@ pub fn run_sweep(quick: bool) -> Vec<BenchPoint> {
     points.extend(sweep_availability(quick));
     points.extend(sweep_openloop(quick));
     points.extend(sweep_tracing(quick));
+    points.extend(sweep_simspeed(quick));
     points
 }
 

@@ -1,0 +1,99 @@
+//! Byte-identity of rendered bench cells across [`ParMode`]s.
+//!
+//! The `simspeed/*` cells measure the same sharded open-loop replay in
+//! sequential and parallel mode; everything `--compare` gates
+//! (throughput, ops, latency quantiles) plus the DES event count must
+//! come out *byte-identical* in the rendered `BENCH_results.json` text
+//! — only the wall-clock gauges (excluded here) may differ.
+
+use minos_bench::regress::{arch_slug, openloop_latency_map, render_json, BenchPoint};
+use minos_bench::SEED;
+use minos_net::{run_open_loop_sharded, Arch, ParMode};
+use minos_types::{DdpModel, PersistencyModel, ShardMap, SimConfig};
+use minos_workload::openloop::{OpenLoopSpec, Scenario};
+use std::collections::BTreeMap;
+
+const GROUPS: u32 = 2;
+const NODES: usize = 8;
+
+/// Builds the deterministic part of a `simspeed/*` cell — the id
+/// deliberately omits the mode so the two renderings can be compared
+/// byte for byte.
+fn cell(arch: Arch, mode: ParMode) -> BenchPoint {
+    let mut cfg = SimConfig::paper_defaults();
+    cfg.nodes = NODES;
+    let map = ShardMap::uniform(GROUPS, NODES, (NODES as u32 / GROUPS) as u16);
+    let spec = OpenLoopSpec::new(Scenario::YcsbA, 250_000.0)
+        .with_records(500)
+        .with_sessions(100)
+        .with_total_ops(800);
+    let model = DdpModel::lin(PersistencyModel::Synchronous);
+    let run = run_open_loop_sharded(arch, &cfg, model, &spec, SEED, &map, mode);
+    let mut gauges = BTreeMap::new();
+    gauges.insert("events".to_string(), run.events);
+    BenchPoint {
+        id: format!("simspeed/{}/{GROUPS}x{NODES}", arch_slug(arch)),
+        runtime: "des".into(),
+        arch: arch_slug(arch).into(),
+        model: "Synch".into(),
+        shards: GROUPS,
+        nodes: NODES as u32,
+        scenario: spec.scenario.label().into(),
+        offered_load: spec.offered_load,
+        throughput: run.result.achieved_throughput(),
+        ops: run.result.completed,
+        latency: openloop_latency_map(&run.result),
+        gauges,
+        critical_path: BTreeMap::new(),
+    }
+}
+
+#[test]
+fn parallel_cells_render_byte_identical_to_sequential() {
+    for arch in [Arch::baseline(), Arch::minos_o()] {
+        let seq = render_json(&[cell(arch, ParMode::Sequential)], true);
+        let par = render_json(&[cell(arch, ParMode::Parallel)], true);
+        assert_eq!(
+            seq,
+            par,
+            "{}: rendered cells diverge between modes",
+            arch_slug(arch)
+        );
+        assert!(seq.contains("\"events\""));
+    }
+}
+
+#[test]
+fn single_box_mode_matches_partitioned_results() {
+    // ParMode::Single runs the whole cluster in one simulation box; its
+    // virtual-time aggregates must agree with the decomposed replay on
+    // completed-op count (latencies legitimately differ: the single box
+    // models cross-group queueing that disjoint groups cannot see).
+    let mut cfg = SimConfig::paper_defaults();
+    cfg.nodes = NODES;
+    let map = ShardMap::uniform(GROUPS, NODES, (NODES as u32 / GROUPS) as u16);
+    let spec = OpenLoopSpec::new(Scenario::YcsbA, 250_000.0)
+        .with_records(500)
+        .with_sessions(100)
+        .with_total_ops(800);
+    let model = DdpModel::lin(PersistencyModel::Synchronous);
+    let single = run_open_loop_sharded(
+        Arch::baseline(),
+        &cfg,
+        model,
+        &spec,
+        SEED,
+        &map,
+        ParMode::Single,
+    );
+    let seq = run_open_loop_sharded(
+        Arch::baseline(),
+        &cfg,
+        model,
+        &spec,
+        SEED,
+        &map,
+        ParMode::Sequential,
+    );
+    assert_eq!(single.result.completed, seq.result.completed);
+}

@@ -1,0 +1,98 @@
+//! Parallel-vs-sequential DES equivalence under the conformance
+//! oracles.
+//!
+//! `run_open_loop_sharded` promises that [`ParMode::Parallel`] (one DES
+//! instance per shard group, one thread per instance) is a pure
+//! wall-clock optimization: the per-group simulations are causally
+//! independent, so threading them must change *nothing* observable.
+//! These tests pin that promise at the oracle level: on a sharded
+//! YCSB-A run, every per-group operation history — and therefore every
+//! linearizability and persistency-conformance verdict — must be
+//! identical between the two modes, for all five DDP models.
+
+use minos_check::{check_consistency, History, HistoryRecorder};
+use minos_core::obs::{shared, SharedSink};
+use minos_net::{run_open_loop_sharded_traced, Arch, ParMode};
+use minos_types::{DdpModel, PersistencyModel, ShardMap, SimConfig};
+use minos_workload::openloop::{OpenLoopSpec, Scenario};
+
+const MODELS: [PersistencyModel; 5] = [
+    PersistencyModel::Synchronous,
+    PersistencyModel::Strict,
+    PersistencyModel::ReadEnforced,
+    PersistencyModel::Eventual,
+    PersistencyModel::Scope,
+];
+
+const GROUPS: u32 = 2;
+const NODES: usize = 8;
+const SEED: u64 = 42;
+
+/// One sharded YCSB-A replay with a [`HistoryRecorder`] per shard
+/// group; returns `(per-group histories, completed ops, DES events)`.
+fn replay(arch: Arch, model: PersistencyModel, mode: ParMode) -> (Vec<History>, u64, u64) {
+    let mut cfg = SimConfig::paper_defaults();
+    cfg.nodes = NODES;
+    let map = ShardMap::uniform(GROUPS, NODES, (NODES as u32 / GROUPS) as u16);
+    let spec = OpenLoopSpec::new(Scenario::YcsbA, 250_000.0)
+        .with_records(500)
+        .with_sessions(100)
+        .with_total_ops(600);
+    let recorders: Vec<_> = (0..GROUPS)
+        .map(|_| shared(HistoryRecorder::new()))
+        .collect();
+    let sinks_for = |g: u32| -> Vec<SharedSink> { vec![recorders[g as usize].clone()] };
+    let run = run_open_loop_sharded_traced(
+        arch,
+        &cfg,
+        DdpModel::lin(model),
+        &spec,
+        SEED,
+        &map,
+        mode,
+        Some(&sinks_for),
+    );
+    let histories = recorders
+        .iter()
+        .map(|r| r.lock().unwrap().snapshot())
+        .collect();
+    (histories, run.result.completed, run.events)
+}
+
+/// Runs `arch`/`model` in both modes and cross-checks histories and
+/// oracle verdicts group by group.
+fn assert_modes_equivalent(arch: Arch, model: PersistencyModel) {
+    let (seq_hist, seq_ops, seq_events) = replay(arch, model, ParMode::Sequential);
+    let (par_hist, par_ops, par_events) = replay(arch, model, ParMode::Parallel);
+    assert_eq!(seq_ops, par_ops, "{model:?}: completed ops diverge");
+    assert_eq!(
+        seq_events, par_events,
+        "{model:?}: DES event counts diverge"
+    );
+    assert_eq!(seq_hist.len(), par_hist.len());
+    for (g, (s, p)) in seq_hist.iter().zip(&par_hist).enumerate() {
+        assert!(
+            !s.ops.is_empty(),
+            "{model:?} group {g}: empty history — tracer not attached?"
+        );
+        assert_eq!(s.ops, p.ops, "{model:?} group {g}: histories diverge");
+        let sv = check_consistency(s);
+        let pv = check_consistency(p);
+        assert_eq!(sv, pv, "{model:?} group {g}: oracle verdicts diverge");
+        assert!(sv.is_empty(), "{model:?} group {g}: {sv:?}");
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_under_every_model_minos_b() {
+    for model in MODELS {
+        assert_modes_equivalent(Arch::baseline(), model);
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_under_every_model_minos_o() {
+    for model in MODELS {
+        assert_modes_equivalent(Arch::minos_o(), model);
+    }
+}

@@ -40,7 +40,9 @@ use minos_core::runtime::{
 use minos_core::{DelayClass, Event, NodeEngine, ReqId};
 use minos_kv::DurableState;
 use minos_nvm::{decode_entries, encode_entries, DecodeOutcome, LogEntry};
-use minos_types::wire::{decode_peer_frame_ctx, encode_peer_frame_ctx, TraceCtx, CLIENT_CTX_FLAG};
+use minos_types::wire::{
+    decode_peer_frame_ctx, encode_peer_frame_ctx_into, TraceCtx, CLIENT_CTX_FLAG,
+};
 use minos_types::{
     ChaosSpec, DdpModel, FaultSpec, Key, Message, NodeId, ScopeId, ShardMap, Ts, Value,
 };
@@ -447,6 +449,8 @@ impl TcpNode {
                 let mut peers: HashMap<NodeId, TcpStream> = HashMap::new();
                 // Client request bookkeeping: engine ReqId → (conn, creq).
                 let mut pending: HashMap<ReqId, (u64, u64)> = HashMap::new();
+                // Peer-frame encode scratch, reused across dispatches.
+                let mut frame_buf: Vec<u8> = Vec::new();
                 let mut next_req = 1u64;
                 let dump_every = cfg.metrics_interval.max(Duration::from_millis(1));
                 let mut next_dump = Instant::now() + dump_every;
@@ -556,6 +560,7 @@ impl TcpNode {
                                         engine_tx: &engine_tx,
                                         writers: &client_writers,
                                         pending: &mut pending,
+                                        frame_buf: &mut frame_buf,
                                     },
                                     policy,
                                 );
@@ -618,6 +623,7 @@ impl TcpNode {
                                 engine_tx: &engine_tx,
                                 writers: &client_writers,
                                 pending: &mut pending,
+                                frame_buf: &mut frame_buf,
                             },
                             policy,
                         );
@@ -757,6 +763,9 @@ struct TcpHandler<'a> {
     engine_tx: &'a Sender<In>,
     writers: &'a Arc<Mutex<HashMap<u64, TcpStream>>>,
     pending: &'a mut HashMap<ReqId, (u64, u64)>,
+    /// Peer-frame encode scratch (lives in the node loop so the
+    /// allocation survives across per-dispatch handlers).
+    frame_buf: &'a mut Vec<u8>,
 }
 
 impl TcpHandler<'_> {
@@ -785,16 +794,21 @@ impl TcpHandler<'_> {
 
 impl FrameTransport for TcpHandler<'_> {
     fn deposit(&mut self, to: NodeId, msgs: Vec<Message>) {
-        let body = encode_peer_frame_ctx(self.node, &msgs, self.ctx);
+        let mut body = std::mem::take(self.frame_buf);
+        encode_peer_frame_ctx_into(self.node, &msgs, self.ctx, &mut body);
         self.write_to(to, &body);
+        *self.frame_buf = body;
     }
 
     fn deposit_all(&mut self, dests: &[NodeId], msgs: Vec<Message>) {
-        // Broadcast: encode once, write the same bytes to every socket.
-        let body = encode_peer_frame_ctx(self.node, &msgs, self.ctx);
+        // Broadcast: encode once (into the reused scratch), write the
+        // same bytes to every socket.
+        let mut body = std::mem::take(self.frame_buf);
+        encode_peer_frame_ctx_into(self.node, &msgs, self.ctx, &mut body);
         for &to in dests {
             self.write_to(to, &body);
         }
+        *self.frame_buf = body;
     }
 
     fn set_ctx(&mut self, ctx: Option<TraceCtx>) {

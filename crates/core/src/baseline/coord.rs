@@ -56,6 +56,9 @@ impl NodeEngine {
         let Some(mut tx) = self.coord.remove(&(key, ts)) else {
             return; // duplicate StartWrite; nothing to do
         };
+        // The transaction leaves PendingStart below; its new gate may
+        // already be satisfied (empty quorum, past obsolete target).
+        self.mark_dirty(key);
         debug_assert_eq!(tx.state, CoordState::PendingStart);
 
         // Line 5: Obsolete(TS_WR)?
@@ -186,6 +189,7 @@ impl NodeEngine {
                 AckKind::Consistency => tx.ack_cs.insert(from),
                 AckKind::Persistency => tx.ack_ps.insert(from),
             };
+            self.mark_dirty(key);
         }
     }
 
@@ -374,6 +378,7 @@ impl NodeEngine {
     /// `glb_volatileTS`.
     pub(crate) fn consistency_global(&mut self, key: Key, ts: Ts, out: &mut Vec<Action>) {
         self.store_mut().record_mut(key).meta.raise_glb_volatile(ts);
+        self.mark_dirty(key); // obsolete-path spins on this key may fire
         self.meta_hint(MetaOp::TsUpdate, out);
     }
 
@@ -381,6 +386,7 @@ impl NodeEngine {
     /// `glb_durableTS`.
     pub(crate) fn durability_global(&mut self, key: Key, ts: Ts, out: &mut Vec<Action>) {
         self.store_mut().record_mut(key).meta.raise_glb_durable(ts);
+        self.mark_dirty(key); // obsolete-path spins on this key may fire
         self.meta_hint(MetaOp::TsUpdate, out);
     }
 

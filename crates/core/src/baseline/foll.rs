@@ -27,6 +27,7 @@ impl NodeEngine {
             self.stats_mut().obsolete_foll += 1;
             tx.obsolete = Some(meta.volatile_ts);
             self.foll.insert((key, ts), tx);
+            self.mark_dirty(key);
             return;
         }
 
@@ -69,6 +70,7 @@ impl NodeEngine {
         }
 
         self.foll.insert((key, ts), tx);
+        self.mark_dirty(key);
         // ACKs are emitted by the poll pass once their gates are met.
     }
 
@@ -269,6 +271,7 @@ impl NodeEngine {
     pub(crate) fn handle_val_c(&mut self, key: Key, ts: Ts, out: &mut Vec<Action>) {
         if let Some(tx) = self.foll.get_mut(&(key, ts)) {
             tx.got_val_c = true;
+            self.mark_dirty(key);
         } else {
             self.consistency_global(key, ts, out);
             self.stats_mut().vals_discarded += 1;
@@ -283,6 +286,7 @@ impl NodeEngine {
             self.store_mut().record_mut(key).meta.raise_glb_durable(ts);
             self.stats_mut().vals_discarded += 1;
         }
+        self.mark_dirty(key);
     }
 
     /// `[PERSIST]sc` arrived (Scope model, Figure 3(viii)): flush the
@@ -299,6 +303,7 @@ impl NodeEngine {
         let writes = self.scopes_mut().finish(from, scope);
         for (key, ts) in writes {
             self.store_mut().record_mut(key).meta.raise_glb_durable(ts);
+            self.mark_dirty(key);
         }
     }
 }

@@ -207,6 +207,18 @@ pub struct NodeEngine {
     /// violations. Compiled out of production builds.
     #[cfg(feature = "fault-injection")]
     fault: Option<ArmedFault>,
+    /// Keys whose in-flight transactions may have a newly-satisfiable
+    /// wait condition. The poll pass visits only these keys: a
+    /// transaction's gates read only its own flags/ack sets and its
+    /// key's global timestamps, and every mutation of either marks the
+    /// key dirty — so a clean key's transactions provably cannot
+    /// progress (polling them would emit nothing), and the pass stays
+    /// O(changed) per event instead of O(in-flight).
+    dirty: BTreeSet<Key>,
+    /// Alive-set or placement changes invalidate every per-key wait
+    /// condition at once (quorum sizes shrink, followers orphan); the
+    /// next poll falls back to one full scan.
+    dirty_all: bool,
 }
 
 /// An armed deliberate protocol bug (see [`NodeEngine::arm_fault`]); it
@@ -264,7 +276,32 @@ impl NodeEngine {
             placement: None,
             #[cfg(feature = "fault-injection")]
             fault: None,
+            dirty: BTreeSet::new(),
+            dirty_all: false,
         }
+    }
+
+    /// Flags `key` for re-evaluation in the next poll pass.
+    pub(crate) fn mark_dirty(&mut self, key: Key) {
+        self.dirty.insert(key);
+    }
+
+    /// In-flight coordinator transaction timestamps for `key`.
+    fn coord_ts_of(&self, key: Key) -> Vec<Ts> {
+        self.coord
+            .range((key, Ts::zero())..)
+            .take_while(|(&(k, _), _)| k == key)
+            .map(|(&(_, ts), _)| ts)
+            .collect()
+    }
+
+    /// In-flight follower transaction timestamps for `key`.
+    fn foll_ts_of(&self, key: Key) -> Vec<Ts> {
+        self.foll
+            .range((key, Ts::zero())..)
+            .take_while(|(&(k, _), _)| k == key)
+            .map(|(&(_, ts), _)| ts)
+            .collect()
     }
 
     /// Arms deliberate protocol bug `kind`; it fires at most once. Only
@@ -308,6 +345,7 @@ impl NodeEngine {
             );
         }
         self.placement = k.map(|k| ShardMap::uniform(self.n_nodes as u32, self.n_nodes, k));
+        self.dirty_all = true;
     }
 
     /// Installs the cluster placement map (`None` = the paper's full
@@ -330,6 +368,7 @@ impl NodeEngine {
             );
         }
         self.placement = map;
+        self.dirty_all = true;
     }
 
     /// The installed placement map, if any.
@@ -413,12 +452,14 @@ impl NodeEngine {
     pub fn mark_failed(&mut self, peer: NodeId) {
         assert_ne!(peer, self.node, "a node cannot exclude itself");
         self.alive.remove(&peer);
+        self.dirty_all = true;
     }
 
     /// Re-inserts a recovered `peer` into the replica set (§III-E: the
     /// node is brought up-to-date via log shipping before this is called).
     pub fn mark_recovered(&mut self, peer: NodeId) {
         self.alive.insert(peer);
+        self.dirty_all = true;
     }
 
     /// The peers currently considered alive (excluding this node).
@@ -474,6 +515,7 @@ impl NodeEngine {
         }
         rec.meta.raise_glb_volatile(ts);
         rec.meta.raise_glb_durable(ts);
+        self.dirty.insert(key);
     }
 
     /// Record metadata accessor (for harnesses and invariant checks).
@@ -553,6 +595,7 @@ impl NodeEngine {
     /// [`NodeEngine::mark_failed`]: quorum gates that were waiting on the
     /// failed peer may now be satisfiable.
     pub fn poll_now(&mut self, out: &mut Vec<Action>) {
+        self.dirty_all = true;
         self.poll(out);
     }
 
@@ -682,6 +725,7 @@ impl NodeEngine {
 
     fn on_persist_done(&mut self, key: Key, ts: Ts, out: &mut Vec<Action>) {
         self.stats.persists_completed += 1;
+        self.dirty.insert(key);
         if let Some(tx) = self.coord.get_mut(&(key, ts)) {
             tx.local_persisted = true;
         }

@@ -38,11 +38,15 @@ pub enum GaugeKind {
     /// Protocol messages coalesced into the flushed batch, observed at
     /// each transport flush boundary.
     BatchFill,
+    /// Pending events in the DES kernel's scheduler (calendar queue),
+    /// sampled at each telemetry tick. A whole-simulation series, not a
+    /// per-node one.
+    EventQueueDepth,
 }
 
 impl GaugeKind {
     /// Every kind, in render order.
-    pub const ALL: [GaugeKind; 8] = [
+    pub const ALL: [GaugeKind; 9] = [
         GaugeKind::VfifoOccupancy,
         GaugeKind::DfifoOccupancy,
         GaugeKind::HostSendQueue,
@@ -51,6 +55,7 @@ impl GaugeKind {
         GaugeKind::LockTableSize,
         GaugeKind::InflightTxs,
         GaugeKind::BatchFill,
+        GaugeKind::EventQueueDepth,
     ];
 
     /// Stable snake_case label (the Prometheus `kind` label and the
@@ -66,6 +71,7 @@ impl GaugeKind {
             GaugeKind::LockTableSize => "lock_table_size",
             GaugeKind::InflightTxs => "inflight_txs",
             GaugeKind::BatchFill => "batch_fill",
+            GaugeKind::EventQueueDepth => "event_queue_depth",
         }
     }
 

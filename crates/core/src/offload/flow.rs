@@ -42,6 +42,9 @@ impl ONodeEngine {
             val_p_sent: false,
         };
         self.coord_map().insert((key, ts), tx);
+        // An empty quorum (single-replica group) can satisfy an ack gate
+        // with no message traffic at all — evaluate immediately.
+        self.mark_dirty(key);
         out.push(OAction::Defer {
             event: OEvent::HostStart { key, ts },
         });
@@ -53,6 +56,7 @@ impl ONodeEngine {
         let Some(mut tx) = self.coord_map().remove(&(key, ts)) else {
             return;
         };
+        self.mark_dirty(key);
 
         self.hint(Side::Host, MetaOp::ObsoleteCheck, out);
         self.meta_access(Side::Host, key, out);
@@ -149,6 +153,7 @@ impl ONodeEngine {
                 if let Some(tx) = self.coord_map().get_mut(&(key, ts)) {
                     tx.enqueued = true;
                 }
+                self.mark_dirty(key);
             }
             // `[PERSIST]sc` offloaded wholesale to the SNIC.
             PcieMsg::PersistScopeReq { scope, req } => {
@@ -177,6 +182,7 @@ impl ONodeEngine {
                             obsolete: false,
                         });
                     }
+                    self.mark_dirty(key);
                 }
             }
             PcieMsg::PersistScopeDone { scope, req } => {
@@ -199,16 +205,19 @@ impl ONodeEngine {
             Message::Ack { key, ts } => {
                 if let Some(tx) = self.coord_map().get_mut(&(key, ts)) {
                     tx.acks.insert(from);
+                    self.mark_dirty(key);
                 }
             }
             Message::AckC { key, ts, .. } => {
                 if let Some(tx) = self.coord_map().get_mut(&(key, ts)) {
                     tx.ack_cs.insert(from);
+                    self.mark_dirty(key);
                 }
             }
             Message::AckP { key, ts } => {
                 if let Some(tx) = self.coord_map().get_mut(&(key, ts)) {
                     tx.ack_ps.insert(from);
+                    self.mark_dirty(key);
                 }
             }
             Message::Val { key, ts } | Message::ValC { key, ts, .. } => {
@@ -219,6 +228,7 @@ impl ONodeEngine {
                     self.store_mut().record_mut(key).meta.raise_glb_volatile(ts);
                     self.stats_mut().vals_discarded += 1;
                 }
+                self.mark_dirty(key);
             }
             Message::ValP { key, ts } => {
                 if let Some(tx) = self.foll_map().get_mut(&(key, ts)) {
@@ -227,6 +237,7 @@ impl ONodeEngine {
                     self.store_mut().record_mut(key).meta.raise_glb_durable(ts);
                     self.stats_mut().vals_discarded += 1;
                 }
+                self.mark_dirty(key);
             }
             Message::Persist { scope } => {
                 let _ = self.scopes_mut().request_flush(from, scope);
@@ -239,6 +250,7 @@ impl ONodeEngine {
                 let writes = self.scopes_mut().finish(from, scope);
                 for (key, ts) in writes {
                     self.store_mut().record_mut(key).meta.raise_glb_durable(ts);
+                    self.mark_dirty(key);
                 }
             }
             // Partial replication is a MINOS-B extension; MINOS-O always
@@ -280,6 +292,7 @@ impl ONodeEngine {
             self.stats_mut().obsolete_foll += 1;
             tx.obsolete = Some(meta.volatile_ts);
             self.foll_map().insert((key, ts), tx);
+            self.mark_dirty(key);
             return;
         }
 
@@ -299,6 +312,7 @@ impl ONodeEngine {
             let _ = self.scopes_mut().mark_persisted(key, ts);
         }
         self.foll_map().insert((key, ts), tx);
+        self.mark_dirty(key);
         // Line 38's ACK is emitted by the poll pass.
     }
 
@@ -326,6 +340,7 @@ impl ONodeEngine {
             if let Some(tx) = self.foll_map().get_mut(&(key, ts)) {
                 tx.vfifo_drained = true;
             }
+            self.mark_dirty(key);
         }
     }
 
@@ -363,17 +378,57 @@ impl ONodeEngine {
     fn raise_glb_v(&mut self, key: Key, ts: Ts, out: &mut Vec<OAction>) {
         self.meta_access(Side::Snic, key, out);
         self.store_mut().record_mut(key).meta.raise_glb_volatile(ts);
+        self.mark_dirty(key); // obsolete-path spins on this key may fire
         self.hint(Side::Snic, MetaOp::TsUpdate, out);
     }
 
     fn raise_glb_d(&mut self, key: Key, ts: Ts, out: &mut Vec<OAction>) {
         self.meta_access(Side::Snic, key, out);
         self.store_mut().record_mut(key).meta.raise_glb_durable(ts);
+        self.mark_dirty(key); // obsolete-path spins on this key may fire
         self.hint(Side::Snic, MetaOp::TsUpdate, out);
     }
 
-    /// Fixpoint progress pass.
+    /// Fixpoint progress pass over *dirty* keys only: every mutation a
+    /// wait condition can read marks its key dirty, so clean keys'
+    /// transactions provably cannot progress and polling them would
+    /// emit nothing — the emitted action sequence is byte-identical to
+    /// the full scan's (same sorted (key, ts) visit order), at
+    /// O(changed) instead of O(in-flight) per event.
     pub(super) fn o_poll(&mut self, out: &mut Vec<OAction>) {
+        if self.dirty_all {
+            self.dirty_all = false;
+            self.dirty.clear();
+            self.o_poll_full(out);
+            return;
+        }
+        loop {
+            let mut progressed = false;
+            let keys = std::mem::take(&mut self.dirty);
+            for &key in &keys {
+                for ts in self.coord_ts_of(key) {
+                    progressed |= self.o_poll_coord(key, ts, out);
+                }
+            }
+            for &key in &keys {
+                for ts in self.foll_ts_of(key) {
+                    progressed |= self.o_poll_foll(key, ts, out);
+                }
+            }
+            if !self.scopes().is_idle() {
+                progressed |= self.o_poll_scope_flushes(out);
+                progressed |= self.o_poll_persist_txs(out);
+            }
+            if !progressed && self.dirty.is_empty() {
+                break;
+            }
+        }
+    }
+
+    /// The pre-dirty-tracking fixpoint: re-evaluates every in-flight
+    /// transaction. Used after placement changes, when the per-key
+    /// bookkeeping cannot bound which conditions moved.
+    fn o_poll_full(&mut self, out: &mut Vec<OAction>) {
         loop {
             let mut progressed = false;
             for (key, ts) in self.coord_keys() {
@@ -388,6 +443,7 @@ impl ONodeEngine {
                 break;
             }
         }
+        self.dirty.clear();
     }
 
     fn o_poll_coord(&mut self, key: Key, ts: Ts, out: &mut Vec<OAction>) -> bool {
@@ -714,6 +770,7 @@ impl ONodeEngine {
             let writes = self.scopes_mut().finish(me, scope);
             for (key, ts) in writes {
                 self.store_mut().record_mut(key).meta.raise_glb_durable(ts);
+                self.mark_dirty(key);
             }
             out.push(OAction::Pcie {
                 from: Side::Snic,

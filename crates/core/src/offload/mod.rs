@@ -335,6 +335,14 @@ pub struct ONodeEngine {
     /// operation at a replica of its key's shard; the engine only scopes
     /// its fan-outs and acknowledgment quorums to the replica group.
     placement: Option<ShardMap>,
+    /// Keys whose in-flight transactions may have a newly-satisfiable
+    /// wait condition; the poll pass visits only these (see
+    /// `NodeEngine`'s field of the same name — identical reasoning and
+    /// byte-identical output versus the full scan).
+    dirty: BTreeSet<Key>,
+    /// Placement changes invalidate every per-key wait condition at
+    /// once; the next poll falls back to one full scan.
+    dirty_all: bool,
 }
 
 impl ONodeEngine {
@@ -362,7 +370,14 @@ impl ONodeEngine {
             coherence_owner: BTreeMap::new(),
             stats: EngineStats::default(),
             placement: None,
+            dirty: BTreeSet::new(),
+            dirty_all: false,
         }
+    }
+
+    /// Flags `key` for re-evaluation in the next poll pass.
+    pub(crate) fn mark_dirty(&mut self, key: Key) {
+        self.dirty.insert(key);
     }
 
     /// Installs the cluster placement map (`None` = full replication).
@@ -384,6 +399,7 @@ impl ONodeEngine {
             );
         }
         self.placement = map;
+        self.dirty_all = true;
     }
 
     /// The installed placement map, if any.
@@ -476,6 +492,7 @@ impl ONodeEngine {
         }
         rec.meta.raise_glb_volatile(ts);
         rec.meta.raise_glb_durable(ts);
+        self.dirty.insert(key);
     }
 
     /// Record metadata accessor.
@@ -627,5 +644,23 @@ impl ONodeEngine {
 
     pub(crate) fn foll_keys(&self) -> Vec<(Key, Ts)> {
         self.foll.keys().copied().collect()
+    }
+
+    /// In-flight coordinator transaction timestamps for `key`.
+    pub(crate) fn coord_ts_of(&self, key: Key) -> Vec<Ts> {
+        self.coord
+            .range((key, Ts::zero())..)
+            .take_while(|(&(k, _), _)| k == key)
+            .map(|(&(_, ts), _)| ts)
+            .collect()
+    }
+
+    /// In-flight follower transaction timestamps for `key`.
+    pub(crate) fn foll_ts_of(&self, key: Key) -> Vec<Ts> {
+        self.foll
+            .range((key, Ts::zero())..)
+            .take_while(|(&(k, _), _)| k == key)
+            .map(|(&(_, ts), _)| ts)
+            .collect()
     }
 }

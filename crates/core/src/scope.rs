@@ -178,6 +178,13 @@ impl ScopeTable {
             .unwrap_or_default()
     }
 
+    /// True when no scope or `[PERSIST]sc` state exists at this node —
+    /// lets the engines skip the scope scans in their poll fixpoint.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.scopes.is_empty() && self.persists.is_empty()
+    }
+
     /// All scope ids currently tracked (for invariant checks).
     pub fn scope_ids(&self) -> impl Iterator<Item = &(NodeId, ScopeId)> {
         self.scopes.keys()

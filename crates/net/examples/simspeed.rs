@@ -1,0 +1,75 @@
+//! Wall-clock speed probe for the DES kernels: replays a sharded
+//! open-loop YCSB-A schedule and reports events/sec and ops/sec.
+//!
+//! This is the measurement behind the `simspeed/*` cells in
+//! `BENCH_results.json` and the worked 128-node run in EXPERIMENTS.md:
+//!
+//! ```text
+//! cargo run --release -p minos-net --example simspeed -- \
+//!     [b|o] [nodes] [groups] [ops] [offered_load] [par|seq|single] [tick_ns]
+//! ```
+//!
+//! Defaults: `b 128 16 1000000 20000000 seq` with the paper-default
+//! telemetry tick (pass `tick_ns` to coarsen or `0` to disable level
+//! sampling — useful to isolate scheduling cost from telemetry cost).
+
+use minos_net::driver::{run_open_loop_sharded, ParMode};
+use minos_net::Arch;
+use minos_types::{DdpModel, PersistencyModel, ShardMap, SimConfig};
+use minos_workload::openloop::{OpenLoopSpec, Scenario};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arch_flag = args.first().map_or("b", String::as_str);
+    let nodes: usize = args.get(1).map_or(128, |s| s.parse().expect("nodes"));
+    let groups: u32 = args.get(2).map_or(16, |s| s.parse().expect("groups"));
+    let ops: u64 = args.get(3).map_or(1_000_000, |s| s.parse().expect("ops"));
+    let load: f64 = args
+        .get(4)
+        .map_or(20_000_000.0, |s| s.parse().expect("load"));
+    let par = match args.get(5).map(String::as_str) {
+        Some("par") => ParMode::Parallel,
+        Some("single") => ParMode::Single,
+        _ => ParMode::Sequential,
+    };
+    let tick: Option<u64> = args.get(6).map(|s| s.parse().expect("tick_ns"));
+
+    let arch = match arch_flag {
+        "o" => Arch::minos_o(),
+        _ => Arch::baseline(),
+    };
+    let replicas = u16::try_from(nodes / groups as usize).expect("replicas fit u16");
+    let map = ShardMap::uniform(groups, nodes, replicas);
+    let mut cfg = SimConfig::paper_defaults().with_nodes(nodes);
+    if let Some(t) = tick {
+        cfg = cfg.with_telemetry_tick(t);
+    }
+    let model = DdpModel::lin(PersistencyModel::Synchronous);
+    let spec = OpenLoopSpec::new(Scenario::YcsbA, load)
+        .with_total_ops(ops)
+        .with_records(100_000)
+        .with_sessions(10_000);
+
+    let t0 = Instant::now();
+    let run = run_open_loop_sharded(arch, &cfg, model, &spec, 0x004D_494E_4F53, &map, par);
+    let wall = t0.elapsed();
+
+    let secs = wall.as_secs_f64();
+    println!(
+        "arch={arch_flag} nodes={nodes} groups={groups} ops={ops} mode={:?}",
+        par
+    );
+    println!(
+        "completed={} makespan_ms={:.1} events={}",
+        run.result.completed,
+        run.result.makespan as f64 / 1e6,
+        run.events
+    );
+    println!(
+        "wall={:.3}s  events/sec={:.0}  ops/sec={:.0}",
+        secs,
+        run.events as f64 / secs,
+        run.result.completed as f64 / secs
+    );
+}

@@ -100,6 +100,10 @@ pub struct BSim {
     /// Completions already handed out through `drain_completions` (for
     /// the in-flight gauge).
     drained: u64,
+    /// Events processed by [`BSim::step`] so far (view changes, dropped
+    /// frames to dead nodes, and dispatched protocol events alike) —
+    /// the denominator of the simulator's events/sec speed cells.
+    events: u64,
     /// Key → shard-group routing and multi-op barriers; identity when the
     /// simulation is unsharded.
     router: ShardRouter,
@@ -151,6 +155,7 @@ impl BSim {
             gauges: GaugeSet::new(),
             next_sample: 0,
             drained: 0,
+            events: 0,
             router: ShardRouter::new(None),
             routed: HashMap::new(),
             parents: HashMap::new(),
@@ -406,6 +411,11 @@ impl BSim {
             return;
         }
         self.next_sample = (t / tick + 1) * tick;
+        self.gauges.observe(
+            GaugeKind::EventQueueDepth,
+            GAUGE_NODE_ALL,
+            self.queue.len() as u64,
+        );
         for (i, res) in self.nodes.iter_mut().enumerate() {
             let node = i as u32;
             self.gauges.observe(
@@ -627,15 +637,23 @@ impl BSim {
         }
     }
 
+    /// Events processed by [`BSim::step`] so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
     /// Processes one simulated event. Returns false when idle.
     pub fn step(&mut self) -> bool {
         if let Some((t, vc)) = self.pop_ctrl_due() {
+            self.events += 1;
             self.apply_view_change(t, vc);
             return true;
         }
         let Some((t, (node, ev, ctx))) = self.queue.pop() else {
             return false;
         };
+        self.events += 1;
         // A node outside the serving set neither receives nor computes:
         // frames addressed to it are lost on the wire.
         if !self.view.is_serving(node) {

@@ -217,6 +217,13 @@ impl SimBox {
             SimBox::O(s) => s.gauges(),
         }
     }
+
+    fn events(&self) -> u64 {
+        match self {
+            SimBox::B(s) => s.events_processed(),
+            SimBox::O(s) => s.events_processed(),
+        }
+    }
 }
 
 /// Writes issued per scope before a `[PERSIST]sc` under `<Lin, Scope>`.
@@ -978,8 +985,22 @@ pub fn run_open_loop(
         ShardMap::uniform(2, cfg.nodes, replicas)
     });
     let mut sim = SimBox::with_placement(arch, &cfg, model, placement.as_ref());
-    let scoped = model.persistency == PersistencyModel::Scope;
     let schedule = spec.schedule(seed);
+    open_loop_replay(&mut sim, arch, model, spec, schedule, cfg.nodes)
+}
+
+/// The open-loop replay core: submits `schedule` against a prepared
+/// simulation and runs it dry. Shared by [`run_open_loop`] and the
+/// [`ParMode::Single`] arm of [`run_open_loop_sharded`].
+fn open_loop_replay(
+    sim: &mut SimBox,
+    arch: Arch,
+    model: DdpModel,
+    spec: &OpenLoopSpec,
+    schedule: Vec<minos_workload::openloop::Arrival>,
+    nodes: usize,
+) -> OpenLoopResult {
+    let scoped = model.persistency == PersistencyModel::Scope;
 
     let mut result = OpenLoopResult {
         arch,
@@ -1001,7 +1022,7 @@ pub fn run_open_loop(
     let mut arrs: Vec<ArrState> = Vec::with_capacity(schedule.len());
     let mut pending: HashMap<ReqId, usize> = HashMap::new();
     for arrival in schedule {
-        let node = NodeId((arrival.session as usize % cfg.nodes) as u16);
+        let node = NodeId((arrival.session as usize % nodes) as u16);
         let scope = scoped.then_some(ScopeId(arrival.session));
         let at = arrival.at_ns;
         let idx = arrs.len();
@@ -1105,6 +1126,342 @@ fn arr_state(
         session,
         writes,
     }
+}
+
+/// How [`run_open_loop_sharded`] executes a sharded open-loop replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParMode {
+    /// One full-cluster simulation hosts every shard group — the
+    /// reference execution (the shape of [`run_open_loop`], with the
+    /// caller's placement map).
+    Single,
+    /// One full-cluster simulation **per shard group**, replayed one
+    /// group at a time, each fed only the arrival legs its group
+    /// serves. Disjoint groups interact solely through client routing
+    /// hops (`timing::route_hop_ns`), which are pure time offsets on
+    /// otherwise-untouched origin nodes, so this produces the same
+    /// per-arrival completion times as [`ParMode::Single`].
+    Sequential,
+    /// [`ParMode::Sequential`]'s per-group simulations on one thread
+    /// per group. Byte-identical output to `Sequential` by
+    /// construction: the same per-group code path runs on every group
+    /// and results merge in (group, arrival) order either way.
+    Parallel,
+}
+
+/// Result of a sharded open-loop replay, plus the number of DES events
+/// it took — the denominator of the `simspeed/*` bench cells.
+#[derive(Debug, Clone)]
+pub struct ShardedOpenLoop {
+    /// The open-loop aggregates.
+    pub result: OpenLoopResult,
+    /// Events processed, summed over every simulation instance. The
+    /// same arrival schedule costs the same event count in every
+    /// [`ParMode`]: each scheduled event runs in exactly one instance.
+    pub events: u64,
+}
+
+/// One primitive per-group leg of a decomposed open-loop arrival.
+enum SubOp {
+    Write {
+        key: Key,
+        value: Value,
+    },
+    Read {
+        key: Key,
+    },
+    /// A read that chains a dependent write of `value` at its
+    /// completion (both on `key`, hence both inside one group).
+    Rmw {
+        key: Key,
+        value: Value,
+    },
+}
+
+/// A leg routed to one shard group, tagged with its arrival index.
+struct SubArrival {
+    idx: u32,
+    at: Time,
+    node: NodeId,
+    session: u32,
+    sub: SubOp,
+}
+
+/// Decomposes the schedule into per-group leg lists (index = shard
+/// group), preserving arrival order within each group; also returns how
+/// many distinct groups each arrival touches (its merge fan-in).
+///
+/// The decomposition mirrors what the in-sim [`ShardRouter`] barrier
+/// machinery does on a single instance: scans split into one read per
+/// key, multi-key writes into one plain child write per key (the
+/// barrier parent completes at the latest child, i.e. the max over leg
+/// completion times — exactly what the merge computes), and RMWs chain
+/// inside their key's group.
+fn partition_schedule(
+    schedule: Vec<minos_workload::openloop::Arrival>,
+    map: &ShardMap,
+    nodes: usize,
+) -> (Vec<Vec<SubArrival>>, Vec<u32>) {
+    let groups = map.n_shards() as usize;
+    let mut subs: Vec<Vec<SubArrival>> = Vec::new();
+    subs.resize_with(groups, Vec::new);
+    let mut involved: Vec<u32> = Vec::with_capacity(schedule.len());
+    let mut touched: Vec<u32> = Vec::new();
+    for (i, arrival) in schedule.into_iter().enumerate() {
+        let idx = i as u32;
+        let at = arrival.at_ns;
+        let session = arrival.session;
+        let node = NodeId((session as usize % nodes) as u16);
+        touched.clear();
+        {
+            let mut leg = |key: Key, sub: SubOp| {
+                let g = map.shard_of(key).0;
+                if !touched.contains(&g) {
+                    touched.push(g);
+                }
+                subs[g as usize].push(SubArrival {
+                    idx,
+                    at,
+                    node,
+                    session,
+                    sub,
+                });
+            };
+            match arrival.op {
+                SessionOp::Write { key, value } => leg(key, SubOp::Write { key, value }),
+                SessionOp::Read { key } => leg(key, SubOp::Read { key }),
+                SessionOp::Rmw { key, value } => leg(key, SubOp::Rmw { key, value }),
+                SessionOp::Scan { start, len } => {
+                    for j in 0..u64::from(len) {
+                        let key = Key(start.0 + j);
+                        leg(key, SubOp::Read { key });
+                    }
+                }
+                SessionOp::MultiWrite { keys, value } => {
+                    for key in keys {
+                        let value = value.clone();
+                        leg(key, SubOp::Write { key, value });
+                    }
+                }
+            }
+        }
+        involved.push(touched.len() as u32);
+    }
+    (subs, involved)
+}
+
+/// What one per-group replay reports back for the merge.
+struct GroupOut {
+    /// `(arrival idx, completion time)` — emitted once every leg of
+    /// that arrival *inside this group* completed, at the latest leg.
+    done: Vec<(u32, Time)>,
+    /// Events this instance processed.
+    events: u64,
+}
+
+/// Replays one group's legs on its own full-cluster simulation.
+fn run_group(
+    arch: Arch,
+    cfg: &SimConfig,
+    model: DdpModel,
+    map: &ShardMap,
+    subs: Vec<SubArrival>,
+    sinks: Option<Vec<SharedSink>>,
+) -> GroupOut {
+    let mut sim = SimBox::with_placement(arch, cfg, model, Some(map));
+    if let Some(sinks) = sinks {
+        sim.attach_tracer(sinks);
+    }
+    let scoped = model.persistency == PersistencyModel::Scope;
+    // Arrival idx → (legs outstanding here, latest leg completion).
+    let mut arrs: HashMap<u32, (u32, Time)> = HashMap::new();
+    let mut pending: HashMap<ReqId, u32> = HashMap::new();
+    // Read req → the dependent RMW write to chain at its completion.
+    let mut rmw: HashMap<ReqId, (Key, Value, NodeId, u32)> = HashMap::new();
+    for s in subs {
+        let scope = scoped.then_some(ScopeId(s.session));
+        let req = match s.sub {
+            SubOp::Write { key, value } => sim.submit_write(s.at, s.node, key, value, scope),
+            SubOp::Read { key } => sim.submit_read(s.at, s.node, key),
+            SubOp::Rmw { key, value } => {
+                let req = sim.submit_read(s.at, s.node, key);
+                rmw.insert(req, (key, value, s.node, s.session));
+                req
+            }
+        };
+        arrs.entry(s.idx).or_insert((0, 0)).0 += 1;
+        pending.insert(req, s.idx);
+    }
+
+    let mut done: Vec<(u32, Time)> = Vec::new();
+    while sim.step() {
+        for rec in sim.drain_completions() {
+            let Some(idx) = pending.remove(&rec.req) else {
+                continue;
+            };
+            if let Some((key, value, node, session)) = rmw.remove(&rec.req) {
+                let scope = scoped.then_some(ScopeId(session));
+                let req = sim.submit_write(rec.at, node, key, value, scope);
+                pending.insert(req, idx);
+                continue;
+            }
+            let e = arrs.get_mut(&idx).expect("leg registered at submit");
+            e.0 -= 1;
+            e.1 = e.1.max(rec.at);
+            if e.0 == 0 {
+                done.push((idx, e.1));
+            }
+        }
+    }
+    GroupOut {
+        done,
+        events: sim.events(),
+    }
+}
+
+/// Replays the open-loop schedule of `spec` on the sharded cluster
+/// placed by `map`, in the given [`ParMode`].
+///
+/// [`ParMode::Single`] runs everything on one simulation (the reference
+/// physics). The partitioned modes run one full-cluster simulation per
+/// shard group — sound because a disjoint `map` makes groups share no
+/// nodes, and a routed client op only touches its origin as a pure
+/// `route_hop_ns` time offset — and merge per-arrival completion times
+/// deterministically (fan-out ops complete at their latest leg, exactly
+/// the in-sim barrier rule). [`Scenario::Geo`] raises the datacenter
+/// RTT like [`run_open_loop`], but keeps the caller's map.
+///
+/// # Panics
+///
+/// Panics when `map` does not span `cfg.nodes`, or a partitioned mode
+/// is asked for a non-disjoint map.
+#[must_use]
+pub fn run_open_loop_sharded(
+    arch: Arch,
+    cfg: &SimConfig,
+    model: DdpModel,
+    spec: &OpenLoopSpec,
+    seed: u64,
+    map: &ShardMap,
+    mode: ParMode,
+) -> ShardedOpenLoop {
+    run_open_loop_sharded_traced(arch, cfg, model, spec, seed, map, mode, None)
+}
+
+/// [`run_open_loop_sharded`] with observability attached: `sinks_for`
+/// is called once per simulation instance (the shard-group id in
+/// partitioned modes, 0 in [`ParMode::Single`]) and its sinks attach to
+/// that instance's tracer — per-group histories for the conformance
+/// oracles.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn run_open_loop_sharded_traced(
+    arch: Arch,
+    cfg: &SimConfig,
+    model: DdpModel,
+    spec: &OpenLoopSpec,
+    seed: u64,
+    map: &ShardMap,
+    mode: ParMode,
+    sinks_for: Option<&(dyn Fn(u32) -> Vec<SharedSink> + Sync)>,
+) -> ShardedOpenLoop {
+    assert_eq!(map.n_nodes(), cfg.nodes, "placement/config node mismatch");
+    let mut cfg = cfg.clone();
+    if let Some(rtt) = spec.scenario.wan_rtt_ns() {
+        cfg.datacenter_rtt_ns = cfg.datacenter_rtt_ns.max(rtt);
+    }
+    let schedule = spec.schedule(seed);
+
+    if mode == ParMode::Single {
+        let mut sim = SimBox::with_placement(arch, &cfg, model, Some(map));
+        if let Some(f) = sinks_for {
+            sim.attach_tracer(f(0));
+        }
+        let result = open_loop_replay(&mut sim, arch, model, spec, schedule, cfg.nodes);
+        return ShardedOpenLoop {
+            result,
+            events: sim.events(),
+        };
+    }
+
+    assert!(
+        map.is_disjoint(),
+        "per-shard-group replay needs disjoint replica groups"
+    );
+    let submitted = schedule.len() as u64;
+    let horizon = schedule.last().map_or(0, |a| a.at_ns);
+    // Per-arrival metadata, kept before the schedule is consumed.
+    let meta: Vec<(Time, bool)> = schedule.iter().map(|a| (a.at_ns, a.op.writes())).collect();
+    let (subs, involved) = partition_schedule(schedule, map, cfg.nodes);
+
+    let group_outs: Vec<GroupOut> = match mode {
+        ParMode::Single => unreachable!("handled above"),
+        ParMode::Sequential => subs
+            .into_iter()
+            .enumerate()
+            .map(|(g, s)| run_group(arch, &cfg, model, map, s, sinks_for.map(|f| f(g as u32))))
+            .collect(),
+        ParMode::Parallel => {
+            let cfg = &cfg;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = subs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(g, s)| {
+                        scope.spawn(move || {
+                            run_group(arch, cfg, model, map, s, sinks_for.map(|f| f(g as u32)))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("group replay thread"))
+                    .collect()
+            })
+        }
+    };
+
+    // Deterministic merge: group order, then arrival order.
+    let mut remaining = involved;
+    let mut done_at: Vec<Time> = vec![0; remaining.len()];
+    let mut events = 0u64;
+    for out in group_outs {
+        events += out.events;
+        for (idx, at) in out.done {
+            let i = idx as usize;
+            remaining[i] -= 1;
+            done_at[i] = done_at[i].max(at);
+        }
+    }
+
+    let mut result = OpenLoopResult {
+        arch,
+        model,
+        scenario: spec.scenario,
+        offered_load: spec.offered_load,
+        submitted,
+        completed: 0,
+        lat: LatencyStats::new(),
+        write_lat: LatencyStats::new(),
+        read_lat: LatencyStats::new(),
+        makespan: 0,
+        horizon,
+    };
+    for (i, &(at, writes)) in meta.iter().enumerate() {
+        if remaining[i] != 0 {
+            continue; // a leg was lost (possible only under view changes)
+        }
+        let lat = done_at[i].saturating_sub(at);
+        result.completed += 1;
+        result.makespan = result.makespan.max(done_at[i]);
+        result.lat.record(lat);
+        if writes {
+            result.write_lat.record(lat);
+        } else {
+            result.read_lat.record(lat);
+        }
+    }
+    ShardedOpenLoop { result, events }
 }
 
 /// Sweeps [`run_open_loop`] over `loads` (ops/s, ascending by

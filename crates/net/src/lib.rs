@@ -48,9 +48,10 @@ mod timing;
 pub use arch::Arch;
 pub use bsim::BSim;
 pub use driver::{
-    run_observed, run_observed_sharded, run_open_loop, run_rolling_restart, run_sharded,
-    run_slo_curve, run_with_clients, AvailabilityRun, CompletionKind, CompletionRec, ObservedRun,
-    OpenLoopResult, RunResult,
+    run_observed, run_observed_sharded, run_open_loop, run_open_loop_sharded,
+    run_open_loop_sharded_traced, run_rolling_restart, run_sharded, run_slo_curve,
+    run_with_clients, AvailabilityRun, CompletionKind, CompletionRec, ObservedRun, OpenLoopResult,
+    ParMode, RunResult, ShardedOpenLoop,
 };
 pub use osim::OSim;
 pub use timing::{catchup_ns, meta_cost};

@@ -68,6 +68,9 @@ pub struct OSim {
     next_sample: Time,
     /// Completions already handed out through `drain_completions`.
     drained: u64,
+    /// Events processed by [`OSim::step`] so far (see
+    /// [`BSim::events_processed`](crate::bsim::BSim::events_processed)).
+    events: u64,
     /// Key → shard-group routing and multi-op barriers; identity when the
     /// simulation is unsharded. MINOS-O engines have no redirect path, so
     /// on a sharded simulation this facade routing is what keeps every
@@ -123,6 +126,7 @@ impl OSim {
             gauges: GaugeSet::new(),
             next_sample: 0,
             drained: 0,
+            events: 0,
             router: ShardRouter::new(None),
             routed: HashMap::new(),
             parents: HashMap::new(),
@@ -370,6 +374,11 @@ impl OSim {
             return;
         }
         self.next_sample = (t / tick + 1) * tick;
+        self.gauges.observe(
+            GaugeKind::EventQueueDepth,
+            GAUGE_NODE_ALL,
+            self.queue.len() as u64,
+        );
         for (i, res) in self.nodes.iter_mut().enumerate() {
             let node = i as u32;
             self.gauges.observe(
@@ -555,15 +564,23 @@ impl OSim {
         }
     }
 
+    /// Events processed by [`OSim::step`] so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
     /// Processes one simulated event. Returns false when idle.
     pub fn step(&mut self) -> bool {
         if let Some((t, vc)) = self.pop_ctrl_due() {
+            self.events += 1;
             self.apply_view_change(t, vc);
             return true;
         }
         let Some((t, (node, ev, ctx))) = self.queue.pop() else {
             return false;
         };
+        self.events += 1;
         // A node outside the serving set neither receives nor computes.
         if !self.view.is_serving(node) {
             return true;

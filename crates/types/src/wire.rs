@@ -199,7 +199,21 @@ const TAG_READ_RESP: u8 = 0x0C;
 /// Encodes `msg` into a self-contained byte vector.
 #[must_use]
 pub fn encode_message(msg: &Message) -> Vec<u8> {
-    let mut w = Writer(Vec::with_capacity(64));
+    let mut out = Vec::with_capacity(64);
+    encode_message_into(msg, &mut out);
+    out
+}
+
+/// Appends the encoding of `msg` to `out` — the scratch-buffer variant
+/// of [`encode_message`] for hot paths that encode many messages and
+/// want to reuse one allocation.
+pub fn encode_message_into(msg: &Message, out: &mut Vec<u8>) {
+    let mut w = Writer(std::mem::take(out));
+    write_message(&mut w, msg);
+    *out = w.0;
+}
+
+fn write_message(w: &mut Writer, msg: &Message) {
     match msg {
         Message::Inv {
             key,
@@ -275,7 +289,6 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             w.bytes(value);
         }
     }
-    w.0
 }
 
 /// Decodes a message previously produced by [`encode_message`].
@@ -385,8 +398,25 @@ const FRAME_CTX_FLAG: u16 = 0x8000;
 /// all-zero fields is encoded as absent.
 #[must_use]
 pub fn encode_peer_frame_ctx(from: NodeId, msgs: &[Message], ctx: Option<TraceCtx>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 * msgs.len() + 4 + TraceCtx::WIRE_LEN);
+    encode_peer_frame_ctx_into(from, msgs, ctx, &mut out);
+    out
+}
+
+/// [`encode_peer_frame_ctx`] into a caller-owned scratch buffer:
+/// replaces `out`'s contents with the frame, reusing its allocation.
+/// Messages are encoded in place behind a `u32` length field that is
+/// backpatched once each message's size is known — no per-message (or
+/// per-frame) intermediate vector.
+pub fn encode_peer_frame_ctx_into(
+    from: NodeId,
+    msgs: &[Message],
+    ctx: Option<TraceCtx>,
+    out: &mut Vec<u8>,
+) {
+    out.clear();
     let ctx = ctx.filter(|c| !c.is_empty());
-    let mut w = Writer(Vec::with_capacity(64 * msgs.len() + 4 + TraceCtx::WIRE_LEN));
+    let mut w = Writer(std::mem::take(out));
     w.u16(from.0);
     debug_assert!(msgs.len() < FRAME_CTX_FLAG as usize, "peer frame too large");
     let mut count = msgs.len() as u16;
@@ -398,11 +428,13 @@ pub fn encode_peer_frame_ctx(from: NodeId, msgs: &[Message], ctx: Option<TraceCt
         w.0.extend_from_slice(&c.encode());
     }
     for msg in msgs {
-        let enc = encode_message(msg);
-        w.u32(enc.len() as u32);
-        w.0.extend_from_slice(&enc);
+        let at = w.0.len();
+        w.u32(0); // length placeholder
+        write_message(&mut w, msg);
+        let len = (w.0.len() - at - 4) as u32;
+        w.0[at..at + 4].copy_from_slice(&len.to_le_bytes());
     }
-    w.0
+    *out = w.0;
 }
 
 /// Decodes a frame produced by [`encode_peer_frame`].
